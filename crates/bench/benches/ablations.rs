@@ -1,0 +1,138 @@
+//! Ablation benches for the design choices DESIGN.md calls out:
+//!
+//! * **safety modes** — Zig's debug/production duality on shared-array
+//!   access (bounds checks on vs off vs race-tagging);
+//! * **dynamic chunk size** — the dispatch-overhead / load-balance
+//!   trade-off behind the `schedule` clause;
+//! * **CAS loop vs mutex** — the Listing 6 reduction strategy against the
+//!   naive lock-based alternative;
+//! * **pragma pipeline stages** — tokenise / parse / full preprocess cost
+//!   of the front-end on a representative annotated program.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use zomp::atomic::AtomicF64;
+use zomp::prelude::*;
+use zomp::safety::{with_safety_mode, SafetyMode};
+
+fn team_size() -> usize {
+    zomp::api::get_num_procs().clamp(1, 4)
+}
+
+fn bench_safety_modes(c: &mut Criterion) {
+    const N: usize = 1 << 14;
+    let mut g = c.benchmark_group("safety_mode_shared_access");
+    g.sample_size(20).measurement_time(Duration::from_secs(2));
+    for (name, mode) in [
+        ("production_unchecked", SafetyMode::Production),
+        ("debug_bounds_checked", SafetyMode::Debug),
+        ("paranoid_race_tagged", SafetyMode::Paranoid),
+    ] {
+        g.bench_function(name, |b| {
+            with_safety_mode(mode, || {
+                let mut data = vec![0.0f64; N];
+                let s = SharedSlice::new(&mut data);
+                b.iter(|| {
+                    s.reset_tags();
+                    for i in 0..N {
+                        s.set(i, black_box(i as f64));
+                    }
+                    black_box(s.get(N - 1))
+                });
+            });
+        });
+    }
+    g.finish();
+}
+
+fn bench_dynamic_chunks(c: &mut Criterion) {
+    const N: i64 = 1 << 13;
+    let mut g = c.benchmark_group("dynamic_chunk_size");
+    g.sample_size(15).measurement_time(Duration::from_secs(2));
+    for chunk in [1i64, 8, 64, 512] {
+        g.bench_with_input(BenchmarkId::from_parameter(chunk), &chunk, |b, &chunk| {
+            b.iter(|| {
+                parallel_reduce(
+                    Parallel::new().num_threads(team_size()),
+                    Schedule::dynamic(Some(chunk)),
+                    0..N,
+                    0i64,
+                    RedOp::Add,
+                    |i, acc| *acc += i,
+                )
+            });
+        });
+    }
+    g.finish();
+}
+
+fn bench_cas_vs_mutex(c: &mut Criterion) {
+    let mut g = c.benchmark_group("float_accumulate");
+    g.sample_size(30).measurement_time(Duration::from_secs(2));
+    g.bench_function("cas_loop_atomic_f64", |b| {
+        let cell = AtomicF64::new(0.0);
+        b.iter(|| {
+            for i in 0..1000 {
+                cell.fetch_add(black_box(i as f64));
+            }
+            cell.load()
+        });
+    });
+    g.bench_function("parking_lot_mutex_f64", |b| {
+        let cell = parking_lot::Mutex::new(0.0f64);
+        b.iter(|| {
+            for i in 0..1000 {
+                *cell.lock() += black_box(i as f64);
+            }
+            *cell.lock()
+        });
+    });
+    g.finish();
+}
+
+const ANNOTATED: &str = r#"
+fn main() void {
+    var rho: f64 = 0.0;
+    var n: i64 = 1000;
+    //$omp parallel num_threads(4) shared(rho) firstprivate(n)
+    {
+        var j: i64 = 0;
+        //$omp while schedule(guided) reduction(+: rho)
+        while (j < n) : (j += 1) {
+            rho = rho + 1.0;
+        }
+        //$omp single
+        {
+            rho = rho * 1.0;
+        }
+    }
+    //$omp barrier
+    _ = rho;
+}
+"#;
+
+fn bench_frontend_stages(c: &mut Criterion) {
+    let mut g = c.benchmark_group("pragma_pipeline");
+    g.sample_size(50).measurement_time(Duration::from_secs(2));
+    g.bench_function("tokenize", |b| {
+        b.iter(|| black_box(zomp_front::token::tokenize(ANNOTATED).unwrap().len()));
+    });
+    g.bench_function("parse", |b| {
+        b.iter(|| black_box(zomp_front::parse(ANNOTATED).unwrap().nodes.len()));
+    });
+    g.bench_function("preprocess_all_passes", |b| {
+        b.iter(|| black_box(zomp_front::preprocess(ANNOTATED).unwrap().len()));
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_safety_modes,
+    bench_dynamic_chunks,
+    bench_cas_vs_mutex,
+    bench_frontend_stages
+);
+criterion_main!(benches);

@@ -1,0 +1,148 @@
+//! Microbenchmarks of the runtime primitives the paper's compiler lowers
+//! to: region fork/join, barriers, the worksharing schedules, and the
+//! reduction paths (native atomic RMW vs the Listing 6 CAS loop).
+//!
+//! These are host-machine measurements (the class C tables come from the
+//! `paper-figures` model harness); sample sizes are kept small so the suite
+//! stays quick on small hosts.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use zomp::prelude::*;
+use zomp::workshare::for_loop;
+
+fn team_size() -> usize {
+    // Oversubscription past the core count only adds scheduler noise.
+    zomp::api::get_num_procs().clamp(1, 4)
+}
+
+fn bench_fork(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fork_join");
+    g.sample_size(20).measurement_time(Duration::from_secs(2));
+    let mut sizes = vec![1usize, 2, team_size()];
+    sizes.sort_unstable();
+    sizes.dedup();
+    for threads in sizes {
+        g.bench_with_input(BenchmarkId::from_parameter(threads), &threads, |b, &t| {
+            b.iter(|| {
+                fork_call(Parallel::new().num_threads(t), |ctx| {
+                    black_box(ctx.thread_num());
+                });
+            });
+        });
+    }
+    g.finish();
+}
+
+fn bench_barrier(c: &mut Criterion) {
+    let mut g = c.benchmark_group("barrier");
+    g.sample_size(20).measurement_time(Duration::from_secs(2));
+    let mut sizes = vec![2usize, team_size().max(2)];
+    sizes.sort_unstable();
+    sizes.dedup();
+    for threads in sizes {
+        g.bench_with_input(BenchmarkId::from_parameter(threads), &threads, |b, &t| {
+            b.iter(|| {
+                fork_call(Parallel::new().num_threads(t), |ctx| {
+                    for _ in 0..16 {
+                        ctx.barrier();
+                    }
+                });
+            });
+        });
+    }
+    g.finish();
+}
+
+fn bench_schedules(c: &mut Criterion) {
+    const N: i64 = 1 << 14;
+    let data: Vec<f64> = (0..N).map(|i| i as f64).collect();
+    let mut g = c.benchmark_group("schedule");
+    g.sample_size(20).measurement_time(Duration::from_secs(2));
+    let schedules = [
+        ("static", Schedule::static_default()),
+        ("static_16", Schedule::static_chunked(16)),
+        ("dynamic_16", Schedule::dynamic(Some(16))),
+        ("guided", Schedule::guided(None)),
+    ];
+    for (name, sched) in schedules {
+        g.bench_function(name, |b| {
+            b.iter(|| {
+                let s = parallel_reduce(
+                    Parallel::new().num_threads(team_size()),
+                    sched,
+                    0..N,
+                    0.0f64,
+                    RedOp::Add,
+                    |i, acc| *acc += data[i as usize],
+                );
+                black_box(s)
+            });
+        });
+    }
+    g.finish();
+}
+
+fn bench_reductions(c: &mut Criterion) {
+    let mut g = c.benchmark_group("reduction_combine");
+    g.sample_size(30).measurement_time(Duration::from_secs(2));
+    // Native atomic path (fetch_add) vs the CAS loop (multiply, Listing 6).
+    g.bench_function("i64_add_native", |b| {
+        let cell = RedCell::<i64>::new(RedOp::Add, 0);
+        b.iter(|| {
+            for _ in 0..1000 {
+                cell.combine(black_box(1));
+            }
+        });
+    });
+    g.bench_function("i64_mul_cas_loop", |b| {
+        let cell = RedCell::<i64>::new(RedOp::Mul, 1);
+        b.iter(|| {
+            for _ in 0..1000 {
+                cell.combine(black_box(1));
+            }
+        });
+    });
+    g.bench_function("f64_add_cas_loop", |b| {
+        let cell = RedCell::<f64>::new(RedOp::Add, 0.0);
+        b.iter(|| {
+            for _ in 0..1000 {
+                cell.combine(black_box(1.0));
+            }
+        });
+    });
+    g.finish();
+}
+
+fn bench_worksharing_nowait(c: &mut Criterion) {
+    const N: i64 = 1 << 12;
+    let mut g = c.benchmark_group("nowait_vs_barrier");
+    g.sample_size(20).measurement_time(Duration::from_secs(2));
+    for (name, nowait) in [("with_barrier", false), ("nowait", true)] {
+        g.bench_function(name, |b| {
+            b.iter(|| {
+                fork_call(Parallel::new().num_threads(team_size()), |ctx| {
+                    for _ in 0..8 {
+                        for_loop(ctx, Schedule::static_default(), 0..N, nowait, |i| {
+                            black_box(i);
+                        });
+                    }
+                    ctx.barrier();
+                });
+            });
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_fork,
+    bench_barrier,
+    bench_schedules,
+    bench_reductions,
+    bench_worksharing_nowait
+);
+criterion_main!(benches);

@@ -1,0 +1,119 @@
+//! Regenerate every table and figure of the paper's evaluation section.
+//!
+//! ```text
+//! cargo run --release -p zomp-bench --bin paper-figures -- all
+//! cargo run --release -p zomp-bench --bin paper-figures -- table1 fig3
+//! cargo run --release -p zomp-bench --bin paper-figures -- all --json out.json
+//! cargo run --release -p zomp-bench --bin paper-figures -- breakdown cg 128
+//! ```
+//!
+//! The class C numbers come from the calibrated ARCHER2 machine model (see
+//! `archer-sim` and DESIGN.md); the paper's published values are printed
+//! next to the modelled ones so shape agreement (who wins, by what factor,
+//! where the curves bend) can be read off directly.
+
+use zomp_bench::experiments::{all_experiments, cg_experiment, ep_experiment, is_experiment, Experiment};
+use zomp_bench::format::{render_figure, render_table};
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: paper-figures [table1|table2|table3|fig3|fig4|fig5|all]... [--json FILE]\n\
+       or: paper-figures breakdown <cg|ep|is> <threads>\n\
+         \n\
+         table1/fig3  CG  class C strong scaling (Zig vs Fortran)\n\
+         table2/fig4  EP  class C strong scaling (Zig vs Fortran)\n\
+         table3/fig5  IS  class C strong scaling (Zig vs C)\n\
+         all          everything, tables then figures\n\
+         breakdown    per-loop time attribution at one thread count"
+    );
+    std::process::exit(2);
+}
+
+fn run_breakdown(kernel: &str, threads: usize) {
+    use archer_sim::breakdown::simulate_breakdown;
+    use archer_sim::lang::{profile, Kernel, Lang};
+    use archer_sim::Machine;
+    use npb::class::{CgParams, EpParams, IsParams};
+    use npb::model::{cg_model, ep_model, estimate_nnz, is_model};
+    use npb::Class;
+
+    let (model, k) = match kernel {
+        "cg" => {
+            let p = CgParams::for_class(Class::C);
+            (cg_model(&p, estimate_nnz(&p)), Kernel::Cg)
+        }
+        "ep" => (ep_model(&EpParams::for_class(Class::C)), Kernel::Ep),
+        "is" => (is_model(&IsParams::for_class(Class::C)), Kernel::Is),
+        _ => usage(),
+    };
+    let bd = simulate_breakdown(&model, &Machine::archer2(), &profile(Lang::Zig, k), threads);
+    println!(
+        "{} — modelled Zig time attribution at {threads} threads (class C)\n{}",
+        model.name,
+        bd.render()
+    );
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() || args.iter().any(|a| a == "--help" || a == "-h") {
+        usage();
+    }
+
+    if args[0] == "breakdown" {
+        let kernel = args.get(1).map(|s| s.to_ascii_lowercase()).unwrap_or_else(|| usage());
+        let threads: usize = args
+            .get(2)
+            .and_then(|v| v.parse().ok())
+            .unwrap_or_else(|| usage());
+        run_breakdown(&kernel, threads);
+        return;
+    }
+
+    let mut json_path: Option<String> = None;
+    let mut wants: Vec<String> = Vec::new();
+    let mut it = args.into_iter();
+    while let Some(a) = it.next() {
+        if a == "--json" {
+            json_path = Some(it.next().unwrap_or_else(|| usage()));
+        } else {
+            wants.push(a.to_ascii_lowercase());
+        }
+    }
+
+    let mut printed = Vec::new();
+    let emit = |e: Experiment, table: bool, figure: bool, printed: &mut Vec<Experiment>| {
+        if table {
+            println!("{}", render_table(&e));
+        }
+        if figure {
+            println!("{}", render_figure(&e));
+        }
+        printed.push(e);
+    };
+
+    for w in &wants {
+        match w.as_str() {
+            "all" => {
+                for e in all_experiments() {
+                    println!("{}", render_table(&e));
+                    println!("{}", render_figure(&e));
+                    printed.push(e);
+                }
+            }
+            "table1" => emit(cg_experiment(), true, false, &mut printed),
+            "fig3" | "figure3" => emit(cg_experiment(), false, true, &mut printed),
+            "table2" => emit(ep_experiment(), true, false, &mut printed),
+            "fig4" | "figure4" => emit(ep_experiment(), false, true, &mut printed),
+            "table3" => emit(is_experiment(), true, false, &mut printed),
+            "fig5" | "figure5" => emit(is_experiment(), false, true, &mut printed),
+            _ => usage(),
+        }
+    }
+
+    if let Some(path) = json_path {
+        let json = serde_json::to_string_pretty(&printed).expect("serialise experiments");
+        std::fs::write(&path, json).expect("write JSON output");
+        eprintln!("wrote {path}");
+    }
+}

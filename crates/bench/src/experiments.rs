@@ -1,0 +1,153 @@
+//! Run the modelled experiments and pair them with the paper's numbers.
+
+use archer_sim::lang::{profile, Kernel, Lang};
+use archer_sim::{Machine, ScalingCurve};
+use npb::class::{CgParams, EpParams, IsParams};
+use npb::model::{cg_model, ep_model, estimate_nnz, is_model, KernelModel};
+use npb::Class;
+use serde::Serialize;
+
+use crate::paper::{PaperTable, THREADS};
+
+/// One evaluation artefact: a modelled table/figure next to its published
+/// reference.
+#[derive(Debug, Clone, Serialize)]
+pub struct Experiment {
+    pub table_id: String,
+    pub figure_id: String,
+    pub kernel: String,
+    pub reference_lang: String,
+    pub threads: Vec<usize>,
+    pub zig_model: ScalingCurve,
+    pub reference_model: ScalingCurve,
+    pub zig_paper: Vec<f64>,
+    pub reference_paper: Vec<f64>,
+}
+
+impl Experiment {
+    /// Largest relative error of the modelled Zig runtimes against the
+    /// paper's, across all thread counts.
+    pub fn max_rel_error_zig(&self) -> f64 {
+        self.zig_model
+            .points
+            .iter()
+            .zip(&self.zig_paper)
+            .map(|(p, &want)| ((p.seconds - want) / want).abs())
+            .fold(0.0, f64::max)
+    }
+
+    /// Do the headline claims hold in the model?
+    /// (who wins serially, and the approximate factor)
+    pub fn serial_winner_matches(&self) -> bool {
+        let model_ratio = self.reference_model.points[0].seconds / self.zig_model.points[0].seconds;
+        let paper_ratio = self.reference_paper[0] / self.zig_paper[0];
+        (model_ratio > 1.0) == (paper_ratio > 1.0)
+    }
+}
+
+fn build(kernel: Kernel, table: PaperTable, fig: &str, model: &KernelModel) -> Experiment {
+    let machine = Machine::archer2();
+    let ref_lang = match table.reference_lang {
+        "Fortran" => Lang::Fortran,
+        _ => Lang::C,
+    };
+    let zig_model = ScalingCurve::run(
+        format!("{} / Zig (model)", table.kernel),
+        model,
+        &machine,
+        &profile(Lang::Zig, kernel),
+        &THREADS,
+    );
+    let reference_model = ScalingCurve::run(
+        format!("{} / {} (model)", table.kernel, table.reference_lang),
+        model,
+        &machine,
+        &profile(ref_lang, kernel),
+        &THREADS,
+    );
+    Experiment {
+        table_id: table.id.to_string(),
+        figure_id: fig.to_string(),
+        kernel: table.kernel.to_string(),
+        reference_lang: table.reference_lang.to_string(),
+        threads: THREADS.to_vec(),
+        zig_model,
+        reference_model,
+        zig_paper: table.zig_seconds.to_vec(),
+        reference_paper: table.reference_seconds.to_vec(),
+    }
+}
+
+/// Table I / Figure 3: CG class C.
+pub fn cg_experiment() -> Experiment {
+    let p = CgParams::for_class(Class::C);
+    let model = cg_model(&p, estimate_nnz(&p));
+    build(Kernel::Cg, crate::paper::table1(), "Figure 3", &model)
+}
+
+/// Table II / Figure 4: EP class C.
+pub fn ep_experiment() -> Experiment {
+    let p = EpParams::for_class(Class::C);
+    let model = ep_model(&p);
+    build(Kernel::Ep, crate::paper::table2(), "Figure 4", &model)
+}
+
+/// Table III / Figure 5: IS class C.
+pub fn is_experiment() -> Experiment {
+    let p = IsParams::for_class(Class::C);
+    let model = is_model(&p);
+    build(Kernel::Is, crate::paper::table3(), "Figure 5", &model)
+}
+
+/// All three experiments.
+pub fn all_experiments() -> Vec<Experiment> {
+    vec![cg_experiment(), ep_experiment(), is_experiment()]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn serial_winners_match_everywhere() {
+        for e in all_experiments() {
+            assert!(
+                e.serial_winner_matches(),
+                "{}: serial winner differs from paper",
+                e.table_id
+            );
+        }
+    }
+
+    #[test]
+    fn modelled_serial_times_within_35_percent() {
+        for e in all_experiments() {
+            let model = e.zig_model.points[0].seconds;
+            let paper = e.zig_paper[0];
+            let err = ((model - paper) / paper).abs();
+            assert!(
+                err < 0.35,
+                "{}: serial model {model:.1}s vs paper {paper:.1}s",
+                e.table_id
+            );
+        }
+    }
+
+    #[test]
+    fn scaling_shapes_match_paper() {
+        // CG: large jump between 64 and 128 in both model and paper.
+        let cg = cg_experiment();
+        let s64 = cg.zig_model.at(64).unwrap().speedup;
+        let s128 = cg.zig_model.at(128).unwrap().speedup;
+        assert!(s128 / s64 > 2.0, "CG model jump: {s64:.1} -> {s128:.1}");
+
+        // EP: near-linear at 128.
+        let ep = ep_experiment();
+        assert!(ep.zig_model.at(128).unwrap().speedup > 100.0);
+
+        // IS: saturation — speedup at 128 less than half of linear.
+        let is = is_experiment();
+        let s = is.zig_model.at(128).unwrap().speedup;
+        assert!(s < 64.0 && s > 20.0, "IS model speedup at 128: {s:.1}");
+    }
+}

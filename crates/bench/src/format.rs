@@ -1,0 +1,114 @@
+//! Terminal rendering of tables and ASCII speedup figures.
+
+use crate::experiments::Experiment;
+
+/// Render the paper-style runtime table with model-vs-paper columns.
+pub fn render_table(e: &Experiment) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "{} — Runtime of Zig and {} NPB {} benchmark (class C), modelled vs paper\n",
+        e.table_id, e.reference_lang, e.kernel
+    ));
+    out.push_str(&format!(
+        "{:>8} | {:>13} {:>13} | {:>13} {:>13}\n",
+        "Threads",
+        "Zig model(s)",
+        "Zig paper(s)",
+        format!("{} model(s)", e.reference_lang),
+        format!("{} paper(s)", e.reference_lang),
+    ));
+    out.push_str(&"-".repeat(72));
+    out.push('\n');
+    for (i, &t) in e.threads.iter().enumerate() {
+        out.push_str(&format!(
+            "{:>8} | {:>13.2} {:>13.2} | {:>13.2} {:>13.2}\n",
+            t,
+            e.zig_model.points[i].seconds,
+            e.zig_paper[i],
+            e.reference_model.points[i].seconds,
+            e.reference_paper[i],
+        ));
+    }
+    out
+}
+
+/// Render the speedup figure (Fig. 3/4/5) as an ASCII chart: both modelled
+/// curves plus the paper's published speedups for reference.
+pub fn render_figure(e: &Experiment) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "{} — Speedup against number of threads, NPB {} class C (Zig vs {})\n",
+        e.figure_id, e.kernel, e.reference_lang
+    ));
+    let zig_paper_s: Vec<f64> = e.zig_paper.iter().map(|s| e.zig_paper[0] / s).collect();
+    let ref_paper_s: Vec<f64> = e
+        .reference_paper
+        .iter()
+        .map(|s| e.reference_paper[0] / s)
+        .collect();
+    let max = e
+        .zig_model
+        .points
+        .iter()
+        .map(|p| p.speedup)
+        .chain(zig_paper_s.iter().copied())
+        .chain(ref_paper_s.iter().copied())
+        .fold(1.0f64, f64::max);
+    const WIDTH: f64 = 56.0;
+    let bar = |s: f64| "#".repeat(((s / max) * WIDTH).round().max(1.0) as usize);
+    for (i, &t) in e.threads.iter().enumerate() {
+        let zm = e.zig_model.points[i].speedup;
+        let rm = e.reference_model.points[i].speedup;
+        out.push_str(&format!(
+            "{t:>4} Zig model {:>6.1}x |{}\n",
+            zm,
+            bar(zm)
+        ));
+        out.push_str(&format!(
+            "{:>4} {:<3} model {:>6.1}x |{}\n",
+            "",
+            short(&e.reference_lang),
+            rm,
+            bar(rm)
+        ));
+        out.push_str(&format!(
+            "     (paper: Zig {:.1}x, {} {:.1}x)\n",
+            zig_paper_s[i],
+            short(&e.reference_lang),
+            ref_paper_s[i]
+        ));
+    }
+    out
+}
+
+fn short(lang: &str) -> &str {
+    match lang {
+        "Fortran" => "Ftn",
+        other => other,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::experiments::ep_experiment;
+
+    #[test]
+    fn table_renders_all_rows() {
+        let e = ep_experiment();
+        let t = render_table(&e);
+        for threads in [1, 2, 16, 32, 64, 96, 128] {
+            assert!(t.contains(&format!("\n{threads:>8} |")) || t.starts_with(&format!("{threads:>8} |")),
+                "missing row {threads} in:\n{t}");
+        }
+    }
+
+    #[test]
+    fn figure_renders_bars() {
+        let e = ep_experiment();
+        let f = render_figure(&e);
+        assert!(f.contains("Figure 4"));
+        assert!(f.contains('#'));
+        assert!(f.contains("paper:"));
+    }
+}

@@ -1,0 +1,117 @@
+//! The paper's published evaluation numbers (Tables I–III; Figures 3–5 are
+//! the speedup views of the same data).
+//!
+//! Note: the paper's Table III misprints its last row's thread count as
+//! "64"; from the monotone runtimes and the surrounding text it is plainly
+//! the 128-thread row and is transcribed as such.
+
+/// Thread counts of every table.
+pub const THREADS: [usize; 7] = [1, 2, 16, 32, 64, 96, 128];
+
+/// One published table: Zig runtimes vs the reference language's.
+#[derive(Debug, Clone, Copy)]
+pub struct PaperTable {
+    pub id: &'static str,
+    pub caption: &'static str,
+    pub kernel: &'static str,
+    /// The comparison language ("Fortran" or "C").
+    pub reference_lang: &'static str,
+    pub zig_seconds: [f64; 7],
+    pub reference_seconds: [f64; 7],
+}
+
+impl PaperTable {
+    /// Speedups relative to each language's own single-thread time —
+    /// the series plotted in Figures 3–5.
+    pub fn zig_speedups(&self) -> [f64; 7] {
+        self.zig_seconds.map(|s| self.zig_seconds[0] / s)
+    }
+
+    pub fn reference_speedups(&self) -> [f64; 7] {
+        self.reference_seconds
+            .map(|s| self.reference_seconds[0] / s)
+    }
+}
+
+/// Table I: CG class C runtimes, Zig vs Fortran.
+pub fn table1() -> PaperTable {
+    PaperTable {
+        id: "Table I",
+        caption: "Runtime of Zig and Fortran NPB CG benchmark (class C)",
+        kernel: "CG",
+        reference_lang: "Fortran",
+        zig_seconds: [149.40, 82.34, 21.85, 11.26, 5.83, 2.80, 1.81],
+        reference_seconds: [170.17, 83.35, 21.80, 11.28, 5.98, 2.98, 2.07],
+    }
+}
+
+/// Table II: EP class C runtimes, Zig vs Fortran.
+pub fn table2() -> PaperTable {
+    PaperTable {
+        id: "Table II",
+        caption: "Runtime of Zig and Fortran NPB EP benchmark (class C)",
+        kernel: "EP",
+        reference_lang: "Fortran",
+        zig_seconds: [147.66, 76.17, 9.84, 4.72, 2.29, 1.57, 1.36],
+        reference_seconds: [185.26, 94.90, 11.83, 5.92, 2.84, 1.97, 1.42],
+    }
+}
+
+/// Table III: IS class C runtimes, Zig vs C.
+pub fn table3() -> PaperTable {
+    PaperTable {
+        id: "Table III",
+        caption: "Runtime of Zig and C NPB IS benchmark (class C)",
+        kernel: "IS",
+        reference_lang: "C",
+        zig_seconds: [11.87, 6.12, 1.05, 0.55, 0.33, 0.29, 0.27],
+        reference_seconds: [9.29, 4.76, 0.93, 0.54, 0.31, 0.28, 0.24],
+    }
+}
+
+/// All three tables (Figures 3–5 reuse the same data as speedups).
+pub fn all_tables() -> [PaperTable; 3] {
+    [table1(), table2(), table3()]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn headline_claims_hold_in_transcription() {
+        // "Zig is 1.15x faster than Fortran on a single core" (CG).
+        let t1 = table1();
+        let r = t1.reference_seconds[0] / t1.zig_seconds[0];
+        assert!((1.10..1.20).contains(&r), "CG serial ratio {r}");
+        // "on average 1.2 times faster" (EP) — serial ratio 1.25.
+        let t2 = table2();
+        let r = t2.reference_seconds[0] / t2.zig_seconds[0];
+        assert!((1.20..1.30).contains(&r), "EP serial ratio {r}");
+        // IS: C is faster serially.
+        let t3 = table3();
+        assert!(t3.reference_seconds[0] < t3.zig_seconds[0]);
+    }
+
+    #[test]
+    fn runtimes_monotonically_decrease() {
+        for t in all_tables() {
+            for w in t.zig_seconds.windows(2) {
+                assert!(w[1] < w[0]);
+            }
+            for w in t.reference_seconds.windows(2) {
+                assert!(w[1] < w[0]);
+            }
+        }
+    }
+
+    #[test]
+    fn cg_speedup_jump_is_in_the_published_data() {
+        // The Fig. 3 anomaly: both languages jump far past Amdahl between
+        // 64 and 128 threads.
+        let t = table1();
+        let s = t.zig_speedups();
+        assert!(s[4] < 30.0, "64-thread speedup {s:?}");
+        assert!(s[6] > 75.0, "128-thread speedup {s:?}");
+    }
+}

@@ -1,0 +1,247 @@
+//! Atomic floating-point cells and CAS-loop read-modify-write operations.
+//!
+//! Zig's `@atomicRmw` (like Rust's std atomics) offers add, sub, min, max and
+//! the bitwise operations, but **not** multiplication or the logical
+//! operations, and no hardware offers atomic f64 multiply. The paper
+//! implements the missing reduction operators with the compare-and-swap loop
+//! of Listing 6; [`rmw_cas_loop`] is a faithful generic transcription, and
+//! [`AtomicF64`] / [`AtomicF32`] build every floating-point RMW on top of it.
+
+use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
+
+/// Generic CAS-loop read-modify-write, Listing 6 of the paper:
+///
+/// ```text
+/// old := atomic-load(atom)
+/// new := op(old)
+/// WHILE TRUE DO
+///   exchange-success, actual-value := compare-and-swap(&atom, old, new)
+///   IF exchange-success THEN BREAK
+///   ELSE old = actual-value; new = op(old)
+/// END
+/// ```
+///
+/// Returns the value held *before* the successful exchange. `load`/`cas` are
+/// abstract so the same loop serves u32- and u64-backed cells.
+#[inline]
+pub fn rmw_cas_loop<T, L, C, F>(load: L, cas: C, mut op: F) -> T
+where
+    T: Copy + PartialEq,
+    L: Fn() -> T,
+    C: Fn(T, T) -> Result<T, T>,
+    F: FnMut(T) -> T,
+{
+    let mut old = load();
+    let mut new = op(old);
+    loop {
+        match cas(old, new) {
+            Ok(prev) => return prev,
+            Err(actual) => {
+                old = actual;
+                new = op(old);
+            }
+        }
+    }
+}
+
+macro_rules! atomic_float {
+    ($name:ident, $float:ty, $bits:ty, $atomic:ty) => {
+        /// An atomic floating-point cell.
+        ///
+        /// Stored as its bit pattern in the corresponding unsigned atomic;
+        /// every RMW op is a CAS loop (there is no hardware float RMW).
+        /// All orderings are `SeqCst`-free: reductions only need atomicity of
+        /// the individual update plus the region-end barrier for visibility,
+        /// so `AcqRel`/`Acquire` are used, matching libomp's
+        /// `__kmp_atomic_*` routines.
+        #[derive(Debug)]
+        pub struct $name {
+            bits: $atomic,
+        }
+
+        impl $name {
+            pub fn new(v: $float) -> Self {
+                Self {
+                    bits: <$atomic>::new(v.to_bits()),
+                }
+            }
+
+            #[inline]
+            pub fn load(&self) -> $float {
+                <$float>::from_bits(self.bits.load(Ordering::Acquire))
+            }
+
+            #[inline]
+            pub fn store(&self, v: $float) {
+                self.bits.store(v.to_bits(), Ordering::Release);
+            }
+
+            /// Apply `op` atomically; returns the previous value.
+            #[inline]
+            pub fn fetch_update_cas<F: FnMut($float) -> $float>(&self, mut op: F) -> $float {
+                let prev_bits = rmw_cas_loop(
+                    || self.bits.load(Ordering::Acquire),
+                    |old, new| {
+                        self.bits
+                            .compare_exchange_weak(old, new, Ordering::AcqRel, Ordering::Acquire)
+                    },
+                    |old: $bits| op(<$float>::from_bits(old)).to_bits(),
+                );
+                <$float>::from_bits(prev_bits)
+            }
+
+            #[inline]
+            pub fn fetch_add(&self, v: $float) -> $float {
+                self.fetch_update_cas(|old| old + v)
+            }
+
+            #[inline]
+            pub fn fetch_sub(&self, v: $float) -> $float {
+                self.fetch_update_cas(|old| old - v)
+            }
+
+            #[inline]
+            pub fn fetch_mul(&self, v: $float) -> $float {
+                self.fetch_update_cas(|old| old * v)
+            }
+
+            #[inline]
+            pub fn fetch_min(&self, v: $float) -> $float {
+                self.fetch_update_cas(|old| old.min(v))
+            }
+
+            #[inline]
+            pub fn fetch_max(&self, v: $float) -> $float {
+                self.fetch_update_cas(|old| old.max(v))
+            }
+        }
+
+        impl Default for $name {
+            fn default() -> Self {
+                Self::new(0.0)
+            }
+        }
+    };
+}
+
+atomic_float!(AtomicF64, f64, u64, AtomicU64);
+atomic_float!(AtomicF32, f32, u32, AtomicU32);
+
+/// CAS-loop integer multiply — the exact operation Listing 6 sketches, for
+/// `i64` cells. Std atomics provide no `fetch_mul`.
+#[inline]
+pub fn fetch_mul_i64(atom: &std::sync::atomic::AtomicI64, operand: i64) -> i64 {
+    rmw_cas_loop(
+        || atom.load(Ordering::Acquire),
+        |old, new| atom.compare_exchange_weak(old, new, Ordering::AcqRel, Ordering::Acquire),
+        |old| old.wrapping_mul(operand),
+    )
+}
+
+/// CAS-loop logical AND on a boolean stored as u8-in-u64 (0/1).
+#[inline]
+pub fn fetch_logical_and(atom: &AtomicU64, operand: bool) -> bool {
+    rmw_cas_loop(
+        || atom.load(Ordering::Acquire),
+        |old, new| atom.compare_exchange_weak(old, new, Ordering::AcqRel, Ordering::Acquire),
+        |old| ((old != 0) && operand) as u64,
+    ) != 0
+}
+
+/// CAS-loop logical OR on a boolean stored as 0/1.
+#[inline]
+pub fn fetch_logical_or(atom: &AtomicU64, operand: bool) -> bool {
+    rmw_cas_loop(
+        || atom.load(Ordering::Acquire),
+        |old, new| atom.compare_exchange_weak(old, new, Ordering::AcqRel, Ordering::Acquire),
+        |old| ((old != 0) || operand) as u64,
+    ) != 0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicI64;
+
+    #[test]
+    fn f64_add_and_mul() {
+        let a = AtomicF64::new(2.0);
+        assert_eq!(a.fetch_add(3.0), 2.0);
+        assert_eq!(a.load(), 5.0);
+        assert_eq!(a.fetch_mul(4.0), 5.0);
+        assert_eq!(a.load(), 20.0);
+    }
+
+    #[test]
+    fn f64_min_max() {
+        let a = AtomicF64::new(1.5);
+        a.fetch_max(9.0);
+        assert_eq!(a.load(), 9.0);
+        a.fetch_min(-3.0);
+        assert_eq!(a.load(), -3.0);
+        a.fetch_min(0.0); // no-op: already smaller
+        assert_eq!(a.load(), -3.0);
+    }
+
+    #[test]
+    fn f32_roundtrip() {
+        let a = AtomicF32::new(0.5);
+        a.fetch_add(0.25);
+        assert_eq!(a.load(), 0.75);
+        a.store(-1.0);
+        assert_eq!(a.fetch_mul(8.0), -1.0);
+        assert_eq!(a.load(), -8.0);
+    }
+
+    #[test]
+    fn i64_mul_cas() {
+        let a = AtomicI64::new(3);
+        assert_eq!(fetch_mul_i64(&a, 7), 3);
+        assert_eq!(a.load(Ordering::Relaxed), 21);
+    }
+
+    #[test]
+    fn logical_ops() {
+        let a = AtomicU64::new(1);
+        assert!(fetch_logical_and(&a, true));
+        assert_eq!(a.load(Ordering::Relaxed), 1);
+        fetch_logical_and(&a, false);
+        assert_eq!(a.load(Ordering::Relaxed), 0);
+        fetch_logical_or(&a, false);
+        assert_eq!(a.load(Ordering::Relaxed), 0);
+        fetch_logical_or(&a, true);
+        assert_eq!(a.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn concurrent_f64_adds_are_lossless() {
+        // 8 threads × 10_000 adds of 1.0 must sum exactly (integers in f64).
+        let a = AtomicF64::new(0.0);
+        std::thread::scope(|s| {
+            for _ in 0..8 {
+                s.spawn(|| {
+                    for _ in 0..10_000 {
+                        a.fetch_add(1.0);
+                    }
+                });
+            }
+        });
+        assert_eq!(a.load(), 80_000.0);
+    }
+
+    #[test]
+    fn concurrent_mul_reduction() {
+        // Multiply in 2.0 sixty-four times across threads: result 2^64.
+        let a = AtomicF64::new(1.0);
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                s.spawn(|| {
+                    for _ in 0..16 {
+                        a.fetch_mul(2.0);
+                    }
+                });
+            }
+        });
+        assert_eq!(a.load(), 2f64.powi(64));
+    }
+}

@@ -1,0 +1,194 @@
+//! Team barriers.
+//!
+//! Every parallel region carries an implicit barrier at its end, every
+//! worksharing loop without `nowait` carries one too, and the programmer can
+//! insert explicit ones (`omp barrier`). The implementation is a
+//! generation-counting central barrier (equivalent to the classic
+//! sense-reversing design, with the generation counter playing the role of
+//! the sense flag) that spins briefly and then blocks on a condition
+//! variable — appropriate both for dedicated cores (spin wins) and for the
+//! oversubscribed case (blocking avoids burning the timeslice).
+
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+
+use parking_lot::{Condvar, Mutex};
+
+/// How many pause/yield rounds to spin before blocking. Kept deliberately
+/// small: on an oversubscribed host (more threads than cores) long spins are
+/// pure waste.
+const SPIN_ROUNDS: usize = 64;
+
+/// A reusable barrier for a fixed-size team.
+#[derive(Debug)]
+pub struct Barrier {
+    n: usize,
+    arrived: AtomicUsize,
+    generation: AtomicU64,
+    mutex: Mutex<()>,
+    cvar: Condvar,
+}
+
+impl Barrier {
+    /// Barrier for `n` threads. `n == 0` is treated as 1.
+    pub fn new(n: usize) -> Self {
+        Barrier {
+            n: n.max(1),
+            arrived: AtomicUsize::new(0),
+            generation: AtomicU64::new(0),
+            mutex: Mutex::new(()),
+            cvar: Condvar::new(),
+        }
+    }
+
+    /// Team size this barrier synchronises.
+    pub fn team_size(&self) -> usize {
+        self.n
+    }
+
+    /// Block until all `n` threads have arrived. Returns `true` in exactly
+    /// one thread per cycle (the last arriver), mirroring
+    /// `std::sync::Barrier`'s leader flag.
+    pub fn wait(&self) -> bool {
+        if self.n == 1 {
+            return true;
+        }
+        let gen = self.generation.load(Ordering::Acquire);
+        let pos = self.arrived.fetch_add(1, Ordering::AcqRel) + 1;
+        if pos == self.n {
+            // Last arriver: reset the counter for the next cycle *before*
+            // releasing the others (they cannot re-arrive until the
+            // generation advances).
+            self.arrived.store(0, Ordering::Release);
+            let _g = self.mutex.lock();
+            self.generation.fetch_add(1, Ordering::Release);
+            self.cvar.notify_all();
+            true
+        } else {
+            for _ in 0..SPIN_ROUNDS {
+                if self.generation.load(Ordering::Acquire) != gen {
+                    return false;
+                }
+                std::hint::spin_loop();
+                std::thread::yield_now();
+            }
+            let mut g = self.mutex.lock();
+            while self.generation.load(Ordering::Acquire) == gen {
+                self.cvar.wait(&mut g);
+            }
+            false
+        }
+    }
+}
+
+/// A one-shot countdown latch used for region join: the master waits until
+/// every worker has finished executing the outlined function.
+#[derive(Debug)]
+pub struct Latch {
+    remaining: AtomicUsize,
+    mutex: Mutex<()>,
+    cvar: Condvar,
+}
+
+impl Latch {
+    pub fn new(count: usize) -> Self {
+        Latch {
+            remaining: AtomicUsize::new(count),
+            mutex: Mutex::new(()),
+            cvar: Condvar::new(),
+        }
+    }
+
+    /// Signal one completion.
+    pub fn count_down(&self) {
+        if self.remaining.fetch_sub(1, Ordering::AcqRel) == 1 {
+            let _g = self.mutex.lock();
+            self.cvar.notify_all();
+        }
+    }
+
+    /// Block until the count reaches zero.
+    pub fn wait(&self) {
+        for _ in 0..SPIN_ROUNDS {
+            if self.remaining.load(Ordering::Acquire) == 0 {
+                return;
+            }
+            std::hint::spin_loop();
+            std::thread::yield_now();
+        }
+        let mut g = self.mutex.lock();
+        while self.remaining.load(Ordering::Acquire) != 0 {
+            self.cvar.wait(&mut g);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+
+    #[test]
+    fn single_thread_barrier_is_noop() {
+        let b = Barrier::new(1);
+        assert!(b.wait());
+        assert!(b.wait());
+    }
+
+    #[test]
+    fn barrier_synchronises_phases() {
+        // Each thread increments a phase counter; after the barrier, every
+        // thread must observe the full count of the previous phase.
+        const N: usize = 4;
+        const PHASES: usize = 20;
+        let b = Barrier::new(N);
+        let counters: Vec<AtomicUsize> = (0..PHASES).map(|_| AtomicUsize::new(0)).collect();
+        std::thread::scope(|s| {
+            for _ in 0..N {
+                s.spawn(|| {
+                    for counter in counters.iter().take(PHASES) {
+                        counter.fetch_add(1, Ordering::SeqCst);
+                        b.wait();
+                        assert_eq!(counter.load(Ordering::SeqCst), N);
+                        b.wait();
+                    }
+                });
+            }
+        });
+    }
+
+    #[test]
+    fn exactly_one_leader_per_cycle() {
+        const N: usize = 8;
+        const CYCLES: usize = 50;
+        let b = Barrier::new(N);
+        let leaders = AtomicUsize::new(0);
+        std::thread::scope(|s| {
+            for _ in 0..N {
+                s.spawn(|| {
+                    for _ in 0..CYCLES {
+                        if b.wait() {
+                            leaders.fetch_add(1, Ordering::SeqCst);
+                        }
+                    }
+                });
+            }
+        });
+        assert_eq!(leaders.load(Ordering::SeqCst), CYCLES);
+    }
+
+    #[test]
+    fn latch_releases_waiter() {
+        let l = Latch::new(3);
+        std::thread::scope(|s| {
+            for _ in 0..3 {
+                s.spawn(|| l.count_down());
+            }
+            l.wait();
+        });
+    }
+
+    #[test]
+    fn latch_zero_is_immediate() {
+        Latch::new(0).wait();
+    }
+}

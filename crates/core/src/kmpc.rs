@@ -1,0 +1,261 @@
+//! The internal `__kmpc_*`-shaped API (the paper's `.omp.internal`
+//! namespace).
+//!
+//! The paper's preprocessor does not target the user-facing `omp_*` API but
+//! the *internal* libomp entry points, re-exported to Zig under
+//! `.omp.internal` together with generic wrapper helpers (§III-C). This
+//! module is that layer: thin, explicitly-named functions matching the
+//! libomp contract, used by the `zomp-vm` crate as the lowering target of
+//! preprocessed pragmas. Rust applications normally use
+//! [`crate::workshare`] instead.
+//!
+//! Name mapping:
+//!
+//! | libomp | here |
+//! |---|---|
+//! | `__kmpc_fork_call` | [`fork_call`] (re-export of [`crate::team::fork_call`]) |
+//! | `__kmpc_for_static_init_8` | [`for_static_init`] |
+//! | `__kmpc_for_static_fini` | [`for_static_fini`] |
+//! | `__kmpc_dispatch_init_8` | [`dispatch_init`] |
+//! | `__kmpc_dispatch_next_8` | [`DispatchHandle::next`] |
+//! | `__kmpc_barrier` | [`barrier`] |
+//! | `__kmpc_critical` / `__kmpc_end_critical` | [`crate::sync::critical_named`] |
+//! | `__kmpc_master` | [`crate::team::ThreadCtx::master`] |
+//! | `__kmpc_single` | [`crate::team::ThreadCtx::single`] |
+//! | reduction helpers | [`crate::reduction::RedCell`] |
+
+use std::ops::Range;
+use std::sync::Arc;
+
+use crate::schedule::{
+    static_block, DynamicDispatch, GuidedDispatch, LoopBounds, Schedule, ScheduleKind,
+    StaticChunked,
+};
+use crate::team::{Dispatcher, ThreadCtx};
+
+pub use crate::team::fork_call;
+
+/// The per-thread result of `__kmpc_for_static_init`: which *normalised*
+/// iteration ranges this thread executes. For the unchunked static schedule
+/// this is a single block; for `static,chunk` it is the round-robin chunk
+/// sequence (equivalent to libomp's `(lb, ub, stride)` triple).
+pub enum StaticIter {
+    Block(std::iter::Once<Range<u64>>),
+    Chunked(StaticChunked),
+}
+
+impl Iterator for StaticIter {
+    type Item = Range<u64>;
+
+    fn next(&mut self) -> Option<Range<u64>> {
+        match self {
+            StaticIter::Block(it) => it.next(),
+            StaticIter::Chunked(it) => it.next(),
+        }
+    }
+}
+
+/// `__kmpc_for_static_init`: compute the calling thread's share of a
+/// statically scheduled loop. Pure — no team state is touched, exactly as in
+/// libomp.
+pub fn for_static_init(tid: usize, nth: usize, trip: u64, chunk: Option<i64>) -> StaticIter {
+    match chunk {
+        None => StaticIter::Block(std::iter::once(static_block(tid, nth, trip))),
+        Some(c) => StaticIter::Chunked(StaticChunked::new(tid, nth, trip, c)),
+    }
+}
+
+/// `__kmpc_for_static_fini` (+ the loop's implicit barrier unless `nowait`).
+pub fn for_static_fini(ctx: &ThreadCtx<'_>, nowait: bool) {
+    if !nowait {
+        ctx.barrier();
+    }
+}
+
+/// Live handle over a dynamically scheduled loop: the
+/// `__kmpc_dispatch_init` result. Dropping without exhausting the iteration
+/// space still releases the team slot correctly.
+pub struct DispatchHandle<'a, 'b> {
+    ctx: &'b ThreadCtx<'a>,
+    slot: &'a crate::team::ConstructSlot,
+    dispatcher: Arc<Dispatcher>,
+    finished: bool,
+}
+
+/// `__kmpc_dispatch_init`: enter a dynamic/guided/runtime worksharing loop.
+///
+/// The schedule kind maps to libomp's `kmp_sch_dynamic_chunked`,
+/// `kmp_sch_guided_chunked` and `kmp_sch_runtime` respectively; `runtime` is
+/// resolved against the ICVs here, at loop entry.
+pub fn dispatch_init<'a, 'b>(
+    ctx: &'b ThreadCtx<'a>,
+    sched: Schedule,
+    trip: u64,
+) -> DispatchHandle<'a, 'b> {
+    let sched = if sched.kind == ScheduleKind::Runtime {
+        crate::icv::Icvs::global().run_schedule()
+    } else {
+        sched
+    };
+    let (slot, _c) = ctx.enter_construct();
+    let nth = ctx.num_threads();
+    let dispatcher = ctx.slot_dispatcher(slot, || match sched.kind {
+        ScheduleKind::Guided => Dispatcher::Guided(GuidedDispatch::new(trip, nth, sched.chunk)),
+        _ => Dispatcher::Dynamic(DynamicDispatch::new(trip, sched.chunk)),
+    });
+    DispatchHandle {
+        ctx,
+        slot,
+        dispatcher,
+        finished: false,
+    }
+}
+
+#[allow(clippy::should_implement_trait)] // deliberately named after __kmpc_dispatch_next
+impl DispatchHandle<'_, '_> {
+    /// `__kmpc_dispatch_next`: claim the next chunk of normalised
+    /// iterations, or `None` when the loop is exhausted (which releases the
+    /// team's construct slot).
+    pub fn next(&mut self) -> Option<Range<u64>> {
+        if self.finished {
+            return None;
+        }
+        match self.dispatcher.next() {
+            Some(r) => Some(r),
+            None => {
+                self.finish();
+                None
+            }
+        }
+    }
+
+    fn finish(&mut self) {
+        if !self.finished {
+            self.finished = true;
+            self.ctx.finish_construct(self.slot);
+        }
+    }
+
+    /// `__kmpc_dispatch_fini`: explicit early termination + optional
+    /// barrier. Called implicitly on drop (without the barrier).
+    pub fn fini(mut self, nowait: bool) {
+        self.finish();
+        if !nowait {
+            self.ctx.barrier();
+        }
+    }
+}
+
+impl Drop for DispatchHandle<'_, '_> {
+    fn drop(&mut self) {
+        self.finish();
+    }
+}
+
+/// `__kmpc_barrier`.
+pub fn barrier(ctx: &ThreadCtx<'_>) {
+    ctx.barrier();
+}
+
+/// Helper mirroring the paper's generic `__kmpc_for_static_*` wrapper: run a
+/// full statically scheduled loop (init → body → fini) in source-iteration
+/// units.
+pub fn static_loop<F: FnMut(i64)>(
+    ctx: &ThreadCtx<'_>,
+    bounds: LoopBounds,
+    chunk: Option<i64>,
+    nowait: bool,
+    mut body: F,
+) {
+    let trip = bounds.trip_count();
+    for r in for_static_init(ctx.thread_num(), ctx.num_threads(), trip, chunk) {
+        for i in r {
+            body(bounds.iter_value(i));
+        }
+    }
+    for_static_fini(ctx, nowait);
+}
+
+/// Helper mirroring the paper's generic `__kmpc_dispatch_*` wrapper: run a
+/// full dynamically scheduled loop in source-iteration units.
+pub fn dispatch_loop<F: FnMut(i64)>(
+    ctx: &ThreadCtx<'_>,
+    bounds: LoopBounds,
+    sched: Schedule,
+    nowait: bool,
+    mut body: F,
+) {
+    let trip = bounds.trip_count();
+    let mut h = dispatch_init(ctx, sched, trip);
+    while let Some(r) = h.next() {
+        for i in r {
+            body(bounds.iter_value(i));
+        }
+    }
+    h.fini(nowait);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::team::Parallel;
+    use std::sync::atomic::{AtomicI64, AtomicUsize, Ordering};
+
+    #[test]
+    fn static_init_block_matches_schedule_module() {
+        let mut it = for_static_init(1, 4, 100, None);
+        assert_eq!(it.next(), Some(25..50));
+        assert_eq!(it.next(), None);
+    }
+
+    #[test]
+    fn static_init_chunked_round_robins() {
+        let ranges: Vec<_> = for_static_init(0, 2, 10, Some(3)).collect();
+        assert_eq!(ranges, vec![0..3, 6..9]);
+    }
+
+    #[test]
+    fn dispatch_loop_covers_all_iterations() {
+        const N: i64 = 250;
+        let hits: Vec<AtomicUsize> = (0..N).map(|_| AtomicUsize::new(0)).collect();
+        fork_call(Parallel::new().num_threads(4), |ctx| {
+            dispatch_loop(
+                ctx,
+                LoopBounds::upto(0, N),
+                Schedule::dynamic(Some(7)),
+                false,
+                |i| {
+                    hits[i as usize].fetch_add(1, Ordering::SeqCst);
+                },
+            );
+        });
+        assert!(hits.iter().all(|h| h.load(Ordering::SeqCst) == 1));
+    }
+
+    #[test]
+    fn static_loop_strided() {
+        let sum = AtomicI64::new(0);
+        fork_call(Parallel::new().num_threads(3), |ctx| {
+            static_loop(ctx, LoopBounds::upto_by(0, 20, 4), None, false, |i| {
+                sum.fetch_add(i, Ordering::SeqCst);
+            });
+        });
+        assert_eq!(sum.load(Ordering::SeqCst), 4 + 8 + 12 + 16);
+    }
+
+    #[test]
+    fn abandoned_dispatch_handle_releases_slot() {
+        // A thread taking only the first chunk then dropping the handle must
+        // not wedge subsequent constructs.
+        fork_call(Parallel::new().num_threads(2), |ctx| {
+            {
+                let mut h = dispatch_init(ctx, Schedule::dynamic(Some(1)), 4);
+                let _ = h.next();
+                // handle dropped here without exhaustion
+            }
+            ctx.barrier();
+            // A later construct on the same ring must still work.
+            dispatch_loop(ctx, LoopBounds::upto(0, 8), Schedule::dynamic(None), false, |_| {});
+        });
+    }
+}

@@ -1,0 +1,165 @@
+//! Region profiling — the paper's future work, implemented.
+//!
+//! §VI proposes "modifying the compiler to automatically instrument
+//! applications" with profiling calls, "providing functionality similar to
+//! that of gprof". Here the *runtime* provides it: when profiling is
+//! enabled, every parallel region records its wall-clock duration and team
+//! size under a label (set with [`crate::team::Parallel::label`], or the
+//! default `<parallel>`), with zero overhead on the hot path when disabled
+//! (one relaxed atomic load).
+//!
+//! ```
+//! use zomp::prelude::*;
+//! zomp::profile::enable();
+//! fork_call(Parallel::new().num_threads(2).label("init"), |_| {});
+//! fork_call(Parallel::new().num_threads(2).label("init"), |_| {});
+//! let report = zomp::profile::report();
+//! let init = report.iter().find(|r| r.label == "init").unwrap();
+//! assert_eq!(init.invocations, 2);
+//! zomp::profile::disable();
+//! ```
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::OnceLock;
+use std::time::Duration;
+
+use parking_lot::Mutex;
+
+static ENABLED: AtomicBool = AtomicBool::new(false);
+
+#[derive(Debug, Clone, Default)]
+struct Accum {
+    invocations: u64,
+    total: Duration,
+    max: Duration,
+    threads_sum: u64,
+}
+
+fn registry() -> &'static Mutex<HashMap<String, Accum>> {
+    static REG: OnceLock<Mutex<HashMap<String, Accum>>> = OnceLock::new();
+    REG.get_or_init(|| Mutex::new(HashMap::new()))
+}
+
+/// Turn region instrumentation on.
+pub fn enable() {
+    ENABLED.store(true, Ordering::Relaxed);
+}
+
+/// Turn region instrumentation off (recorded data is kept).
+pub fn disable() {
+    ENABLED.store(false, Ordering::Relaxed);
+}
+
+/// Is instrumentation currently on?
+#[inline]
+pub fn enabled() -> bool {
+    ENABLED.load(Ordering::Relaxed)
+}
+
+/// Drop all recorded data.
+pub fn reset() {
+    registry().lock().clear();
+}
+
+pub(crate) fn record(label: &str, threads: usize, elapsed: Duration) {
+    let mut reg = registry().lock();
+    let a = reg.entry(label.to_string()).or_default();
+    a.invocations += 1;
+    a.total += elapsed;
+    a.max = a.max.max(elapsed);
+    a.threads_sum += threads as u64;
+}
+
+/// One profiled region label.
+#[derive(Debug, Clone)]
+pub struct RegionStat {
+    pub label: String,
+    pub invocations: u64,
+    pub total: Duration,
+    pub max: Duration,
+    /// Mean team size across invocations.
+    pub mean_threads: f64,
+}
+
+/// Snapshot of all recorded regions, sorted by total time descending
+/// (gprof-style "flat profile").
+pub fn report() -> Vec<RegionStat> {
+    let reg = registry().lock();
+    let mut out: Vec<RegionStat> = reg
+        .iter()
+        .map(|(label, a)| RegionStat {
+            label: label.clone(),
+            invocations: a.invocations,
+            total: a.total,
+            max: a.max,
+            mean_threads: a.threads_sum as f64 / a.invocations.max(1) as f64,
+        })
+        .collect();
+    out.sort_by_key(|r| std::cmp::Reverse(r.total));
+    out
+}
+
+/// Render the flat profile as a table.
+pub fn render_report() -> String {
+    let mut s = String::from(
+        "region                          calls   total (ms)     max (ms)  threads\n",
+    );
+    for r in report() {
+        s.push_str(&format!(
+            "{:<30} {:>6} {:>12.3} {:>12.3} {:>8.1}\n",
+            r.label,
+            r.invocations,
+            r.total.as_secs_f64() * 1e3,
+            r.max.as_secs_f64() * 1e3,
+            r.mean_threads
+        ));
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::team::{fork_call, Parallel};
+
+    #[test]
+    fn records_labelled_regions() {
+        reset();
+        enable();
+        for _ in 0..3 {
+            fork_call(Parallel::new().num_threads(2).label("test-region"), |ctx| {
+                std::hint::black_box(ctx.thread_num());
+            });
+        }
+        disable();
+        let report = report();
+        let r = report
+            .iter()
+            .find(|r| r.label == "test-region")
+            .expect("region recorded");
+        assert_eq!(r.invocations, 3);
+        assert!(r.total > Duration::ZERO);
+        assert!(r.max <= r.total);
+        assert!((r.mean_threads - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn disabled_profiling_records_nothing() {
+        reset();
+        disable();
+        fork_call(Parallel::new().num_threads(2).label("ghost"), |_| {});
+        assert!(report().iter().all(|r| r.label != "ghost"));
+    }
+
+    #[test]
+    fn render_contains_header_and_rows() {
+        reset();
+        enable();
+        fork_call(Parallel::new().num_threads(2).label("rendered"), |_| {});
+        disable();
+        let table = render_report();
+        assert!(table.contains("region"));
+        assert!(table.contains("rendered"));
+    }
+}

@@ -1,0 +1,84 @@
+//! Zig-style safety modes.
+//!
+//! Zig compiles code in a *debug* mode that inserts safety checks (bounds,
+//! overflow) and a *production* mode that elides them (§II-A of the paper).
+//! The runtime mirrors this with a process-wide [`SafetyMode`] consulted by
+//! [`crate::shared::SharedSlice`]:
+//!
+//! * `Production` — no checks; accesses compile to plain loads/stores.
+//! * `Debug` — bounds checks on every shared access ("safety checked
+//!   undefined behaviour" becomes a panic).
+//! * `Paranoid` — bounds checks **plus** write-write race tagging: each
+//!   element remembers its last writer thread, and two different threads
+//!   writing the same element between tag resets panic. This goes beyond
+//!   Zig, using the checked mode to validate worksharing disjointness in
+//!   tests.
+
+use std::sync::atomic::{AtomicU8, Ordering};
+
+/// The safety level applied to shared-memory accessors.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(u8)]
+pub enum SafetyMode {
+    /// Zig `ReleaseFast`: unchecked.
+    Production = 0,
+    /// Zig `Debug`: bounds-checked.
+    Debug = 1,
+    /// Bounds-checked plus write-race tagging.
+    Paranoid = 2,
+}
+
+static MODE: AtomicU8 = AtomicU8::new(SafetyMode::Debug as u8);
+
+/// Read the current process-wide safety mode.
+#[inline]
+pub fn safety_mode() -> SafetyMode {
+    match MODE.load(Ordering::Relaxed) {
+        0 => SafetyMode::Production,
+        2 => SafetyMode::Paranoid,
+        _ => SafetyMode::Debug,
+    }
+}
+
+/// Set the process-wide safety mode. Takes effect for accessors created
+/// afterwards (mirrors choosing the build mode in Zig).
+pub fn set_safety_mode(mode: SafetyMode) {
+    MODE.store(mode as u8, Ordering::Relaxed);
+}
+
+/// Run `f` under a temporary safety mode, restoring the previous one after.
+/// Test-oriented; not safe to nest concurrently from multiple threads.
+pub fn with_safety_mode<R>(mode: SafetyMode, f: impl FnOnce() -> R) -> R {
+    let prev = safety_mode();
+    set_safety_mode(mode);
+    struct Restore(SafetyMode);
+    impl Drop for Restore {
+        fn drop(&mut self) {
+            set_safety_mode(self.0);
+        }
+    }
+    let _g = Restore(prev);
+    f()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_debug() {
+        // Other tests may flip the mode; use the scoped helper to observe.
+        with_safety_mode(SafetyMode::Debug, || {
+            assert_eq!(safety_mode(), SafetyMode::Debug);
+        });
+    }
+
+    #[test]
+    fn with_mode_restores() {
+        let before = safety_mode();
+        with_safety_mode(SafetyMode::Production, || {
+            assert_eq!(safety_mode(), SafetyMode::Production);
+        });
+        assert_eq!(safety_mode(), before);
+    }
+}

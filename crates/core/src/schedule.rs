@@ -1,0 +1,530 @@
+//! Loop schedules and iteration-space partitioning.
+//!
+//! This module contains the *pure* scheduling logic shared between the live
+//! runtime ([`crate::workshare`], [`crate::kmpc`]) and the ARCHER2 machine
+//! model in the `archer-sim` crate: given a normalised iteration space
+//! `0..trip_count`, which iterations does thread `tid` of `nth` execute, and
+//! in what chunks?
+//!
+//! The paper lowers worksharing loops to two families of libomp entry points:
+//!
+//! * `__kmpc_for_static_init` / `__kmpc_for_static_fini` for `static`
+//!   schedules — partitioning is a closed-form function of `(tid, nth)`,
+//!   computed here by [`static_block`] and [`StaticChunked`];
+//! * `__kmpc_dispatch_init` / `__kmpc_dispatch_next` for `dynamic`, `guided`
+//!   and `runtime` schedules — threads repeatedly grab chunks from shared
+//!   state, modelled by [`DynamicDispatch`] and [`GuidedDispatch`].
+//!
+//! Loop bounds are extracted from the source loop exactly as §III-B2
+//! describes (lower bound from the init expression, upper bound and
+//! comparison operator from the condition, increment from the continuation
+//! expression); [`LoopBounds`] normalises all of that to a trip count.
+
+use std::ops::Range;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// The schedule kinds supported by the paper's worksharing implementation.
+///
+/// `runtime` defers the choice to the `run-sched-var` ICV
+/// (`OMP_SCHEDULE` / `omp_set_schedule`), mirroring `kmp_sch_runtime`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ScheduleKind {
+    /// `kmp_sch_static` / `kmp_sch_static_chunked`.
+    Static,
+    /// `kmp_sch_dynamic_chunked`.
+    Dynamic,
+    /// `kmp_sch_guided_chunked`.
+    Guided,
+    /// `kmp_sch_runtime`: resolved against the ICVs at loop entry.
+    Runtime,
+}
+
+/// A schedule clause: kind plus optional chunk size.
+///
+/// In the paper's AST encoding this is a 3-bit kind and a 29-bit chunk packed
+/// into one `u32` of the `extra_data` array, with chunk 0 meaning
+/// "unspecified" (chunks must be positive per the OpenMP spec). The front-end
+/// crate reproduces that packing; here we keep the decoded form.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Schedule {
+    pub kind: ScheduleKind,
+    /// `None` = no chunk specified. Always `>= 1` when `Some`.
+    pub chunk: Option<i64>,
+}
+
+impl Schedule {
+    /// `schedule(static)`.
+    pub const fn static_default() -> Self {
+        Schedule {
+            kind: ScheduleKind::Static,
+            chunk: None,
+        }
+    }
+
+    /// `schedule(static, chunk)`.
+    pub const fn static_chunked(chunk: i64) -> Self {
+        Schedule {
+            kind: ScheduleKind::Static,
+            chunk: Some(chunk),
+        }
+    }
+
+    /// `schedule(dynamic[, chunk])`.
+    pub const fn dynamic(chunk: Option<i64>) -> Self {
+        Schedule {
+            kind: ScheduleKind::Dynamic,
+            chunk,
+        }
+    }
+
+    /// `schedule(guided[, chunk])`.
+    pub const fn guided(chunk: Option<i64>) -> Self {
+        Schedule {
+            kind: ScheduleKind::Guided,
+            chunk,
+        }
+    }
+
+    /// `schedule(runtime)`.
+    pub const fn runtime() -> Self {
+        Schedule {
+            kind: ScheduleKind::Runtime,
+            chunk: None,
+        }
+    }
+}
+
+/// Comparison operator of the source loop condition (taken directly from the
+/// Zig `while` condition per §III-B2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LoopCmp {
+    /// `i < ub`
+    Lt,
+    /// `i <= ub`
+    Le,
+    /// `i > ub`
+    Gt,
+    /// `i >= ub`
+    Ge,
+}
+
+/// Raw loop bounds as extracted from the source loop.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LoopBounds {
+    /// Initial value of the loop counter.
+    pub lb: i64,
+    /// Right-hand side of the comparison.
+    pub ub: i64,
+    /// Signed increment applied by the continuation expression.
+    pub incr: i64,
+    /// Comparison operator.
+    pub cmp: LoopCmp,
+}
+
+impl LoopBounds {
+    /// An upward, exclusive loop `for i in lb..ub` with unit stride.
+    pub const fn upto(lb: i64, ub: i64) -> Self {
+        LoopBounds {
+            lb,
+            ub,
+            incr: 1,
+            cmp: LoopCmp::Lt,
+        }
+    }
+
+    /// An upward, exclusive loop with a stride.
+    pub const fn upto_by(lb: i64, ub: i64, incr: i64) -> Self {
+        LoopBounds {
+            lb,
+            ub,
+            incr,
+            cmp: LoopCmp::Lt,
+        }
+    }
+
+    /// Number of iterations the loop executes ("trip count").
+    ///
+    /// Returns 0 for loops whose condition is false on entry. Panics on a
+    /// zero increment or an increment whose sign cannot make progress (those
+    /// are non-conforming loops the compiler would reject).
+    pub fn trip_count(&self) -> u64 {
+        assert!(self.incr != 0, "worksharing loop increment must be nonzero");
+        match self.cmp {
+            LoopCmp::Lt | LoopCmp::Le => {
+                assert!(
+                    self.incr > 0,
+                    "upward loop ({:?}) needs a positive increment",
+                    self.cmp
+                );
+                let ub = if self.cmp == LoopCmp::Le {
+                    self.ub.checked_add(1).expect("loop bound overflow")
+                } else {
+                    self.ub
+                };
+                if self.lb >= ub {
+                    0
+                } else {
+                    let span = (ub as i128) - (self.lb as i128);
+                    ((span + self.incr as i128 - 1) / self.incr as i128) as u64
+                }
+            }
+            LoopCmp::Gt | LoopCmp::Ge => {
+                assert!(
+                    self.incr < 0,
+                    "downward loop ({:?}) needs a negative increment",
+                    self.cmp
+                );
+                let ub = if self.cmp == LoopCmp::Ge {
+                    self.ub.checked_sub(1).expect("loop bound overflow")
+                } else {
+                    self.ub
+                };
+                if self.lb <= ub {
+                    0
+                } else {
+                    let span = (self.lb as i128) - (ub as i128);
+                    let step = -(self.incr as i128);
+                    ((span + step - 1) / step) as u64
+                }
+            }
+        }
+    }
+
+    /// Map a normalised iteration index back to the source loop-variable
+    /// value.
+    #[inline]
+    pub fn iter_value(&self, logical: u64) -> i64 {
+        self.lb + (logical as i64) * self.incr
+    }
+}
+
+impl From<Range<i64>> for LoopBounds {
+    fn from(r: Range<i64>) -> Self {
+        LoopBounds::upto(r.start, r.end)
+    }
+}
+
+/// Closed-form block partition used by `schedule(static)` with no chunk.
+///
+/// Matches libomp's `kmp_sch_static`: iterations are divided into `nth`
+/// nearly equal contiguous blocks; the first `trip % nth` threads receive one
+/// extra iteration. Returns the normalised range for `tid`.
+pub fn static_block(tid: usize, nth: usize, trip: u64) -> Range<u64> {
+    assert!(nth >= 1 && tid < nth);
+    let nth = nth as u64;
+    let tid = tid as u64;
+    let small = trip / nth;
+    let extras = trip % nth;
+    let (start, len) = if tid < extras {
+        (tid * (small + 1), small + 1)
+    } else {
+        (extras * (small + 1) + (tid - extras) * small, small)
+    };
+    start..start + len
+}
+
+/// Iterator over the chunks of `schedule(static, chunk)` for one thread:
+/// chunk `k` of the loop goes to thread `k % nth` (round-robin), i.e. thread
+/// `tid` executes chunks `tid, tid + nth, tid + 2*nth, ...`.
+///
+/// This matches the `__kmpc_for_static_init` contract for
+/// `kmp_sch_static_chunked`, where the returned stride is `chunk * nth`.
+#[derive(Debug, Clone)]
+pub struct StaticChunked {
+    next_start: u64,
+    stride: u64,
+    chunk: u64,
+    trip: u64,
+}
+
+impl StaticChunked {
+    pub fn new(tid: usize, nth: usize, trip: u64, chunk: i64) -> Self {
+        assert!(chunk >= 1, "chunk sizes must be positive");
+        assert!(nth >= 1 && tid < nth);
+        let chunk = chunk as u64;
+        StaticChunked {
+            next_start: tid as u64 * chunk,
+            stride: chunk * nth as u64,
+            chunk,
+            trip,
+        }
+    }
+}
+
+impl Iterator for StaticChunked {
+    type Item = Range<u64>;
+
+    fn next(&mut self) -> Option<Range<u64>> {
+        if self.next_start >= self.trip {
+            return None;
+        }
+        let start = self.next_start;
+        let end = (start + self.chunk).min(self.trip);
+        self.next_start = match start.checked_add(self.stride) {
+            Some(v) => v,
+            None => self.trip,
+        };
+        Some(start..end)
+    }
+}
+
+/// Default chunk size for `schedule(dynamic)` with no chunk clause (the
+/// OpenMP spec mandates 1).
+pub const DYNAMIC_DEFAULT_CHUNK: u64 = 1;
+
+/// Shared dispatch state for `schedule(dynamic[, chunk])`.
+///
+/// Threads race on a single atomic iteration cursor; each successful
+/// fetch-add claims the next `chunk` iterations. This is the
+/// `__kmpc_dispatch_next` protocol for `kmp_sch_dynamic_chunked`.
+#[derive(Debug)]
+pub struct DynamicDispatch {
+    cursor: AtomicU64,
+    trip: u64,
+    chunk: u64,
+}
+
+impl DynamicDispatch {
+    pub fn new(trip: u64, chunk: Option<i64>) -> Self {
+        let chunk = chunk.map(|c| c.max(1) as u64).unwrap_or(DYNAMIC_DEFAULT_CHUNK);
+        DynamicDispatch {
+            cursor: AtomicU64::new(0),
+            trip,
+            chunk,
+        }
+    }
+
+    /// Claim the next chunk, or `None` when the iteration space is exhausted.
+    pub fn next(&self) -> Option<Range<u64>> {
+        let start = self.cursor.fetch_add(self.chunk, Ordering::Relaxed);
+        if start >= self.trip {
+            return None;
+        }
+        Some(start..(start + self.chunk).min(self.trip))
+    }
+
+    /// The chunk size in effect.
+    pub fn chunk(&self) -> u64 {
+        self.chunk
+    }
+}
+
+/// Shared dispatch state for `schedule(guided[, chunk])`.
+///
+/// Chunks start large and decay exponentially: each grab takes
+/// `ceil(remaining / (2 * nth))` iterations, never less than the clause chunk
+/// (default 1). This follows libomp's `kmp_sch_guided_chunked` shape.
+#[derive(Debug)]
+pub struct GuidedDispatch {
+    taken: AtomicU64,
+    trip: u64,
+    nth: u64,
+    min_chunk: u64,
+}
+
+impl GuidedDispatch {
+    pub fn new(trip: u64, nth: usize, chunk: Option<i64>) -> Self {
+        GuidedDispatch {
+            taken: AtomicU64::new(0),
+            trip,
+            nth: nth.max(1) as u64,
+            min_chunk: chunk.map(|c| c.max(1) as u64).unwrap_or(1),
+        }
+    }
+
+    /// Claim the next (decaying) chunk.
+    pub fn next(&self) -> Option<Range<u64>> {
+        loop {
+            let taken = self.taken.load(Ordering::Relaxed);
+            if taken >= self.trip {
+                return None;
+            }
+            let remaining = self.trip - taken;
+            let chunk = (remaining.div_ceil(2 * self.nth)).max(self.min_chunk);
+            let chunk = chunk.min(remaining);
+            match self.taken.compare_exchange_weak(
+                taken,
+                taken + chunk,
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => return Some(taken..taken + chunk),
+                Err(_) => continue,
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trip_count_upward_exclusive() {
+        assert_eq!(LoopBounds::upto(0, 10).trip_count(), 10);
+        assert_eq!(LoopBounds::upto(3, 10).trip_count(), 7);
+        assert_eq!(LoopBounds::upto(10, 10).trip_count(), 0);
+        assert_eq!(LoopBounds::upto(11, 10).trip_count(), 0);
+        assert_eq!(LoopBounds::upto_by(0, 10, 3).trip_count(), 4); // 0 3 6 9
+        assert_eq!(LoopBounds::upto_by(0, 9, 3).trip_count(), 3); // 0 3 6
+    }
+
+    #[test]
+    fn trip_count_inclusive_fortran_style() {
+        // Fortran DO i = 1, n has an inclusive upper bound; the paper notes
+        // ports must adjust. The runtime handles it natively via Le.
+        let b = LoopBounds {
+            lb: 1,
+            ub: 10,
+            incr: 1,
+            cmp: LoopCmp::Le,
+        };
+        assert_eq!(b.trip_count(), 10);
+    }
+
+    #[test]
+    fn trip_count_downward() {
+        let b = LoopBounds {
+            lb: 10,
+            ub: 0,
+            incr: -1,
+            cmp: LoopCmp::Gt,
+        };
+        assert_eq!(b.trip_count(), 10); // 10,9,...,1
+        let b = LoopBounds {
+            lb: 10,
+            ub: 0,
+            incr: -2,
+            cmp: LoopCmp::Ge,
+        };
+        assert_eq!(b.trip_count(), 6); // 10,8,6,4,2,0
+    }
+
+    #[test]
+    fn iter_value_denormalises() {
+        let b = LoopBounds::upto_by(5, 50, 3);
+        assert_eq!(b.iter_value(0), 5);
+        assert_eq!(b.iter_value(2), 11);
+        let b = LoopBounds {
+            lb: 10,
+            ub: 0,
+            incr: -2,
+            cmp: LoopCmp::Gt,
+        };
+        assert_eq!(b.iter_value(3), 4);
+    }
+
+    #[test]
+    fn static_block_covers_and_balances() {
+        for &trip in &[0u64, 1, 7, 64, 100, 12345] {
+            for &nth in &[1usize, 2, 3, 7, 128] {
+                let mut total = 0;
+                let mut prev_end = 0;
+                let mut sizes = vec![];
+                for tid in 0..nth {
+                    let r = static_block(tid, nth, trip);
+                    assert_eq!(r.start, prev_end, "blocks must be contiguous");
+                    prev_end = r.end;
+                    sizes.push(r.end - r.start);
+                    total += r.end - r.start;
+                }
+                assert_eq!(prev_end, trip);
+                assert_eq!(total, trip);
+                let min = *sizes.iter().min().unwrap();
+                let max = *sizes.iter().max().unwrap();
+                assert!(max - min <= 1, "blocks must be balanced");
+            }
+        }
+    }
+
+    #[test]
+    fn static_chunked_round_robin() {
+        // trip=10, chunk=2, nth=3: chunks [0,2) [2,4) [4,6) [6,8) [8,10)
+        // thread 0: chunks 0,3 -> [0,2),[6,8); thread 1: [2,4),[8,10);
+        // thread 2: [4,6).
+        let collect = |tid| StaticChunked::new(tid, 3, 10, 2).collect::<Vec<_>>();
+        assert_eq!(collect(0), vec![0..2, 6..8]);
+        assert_eq!(collect(1), vec![2..4, 8..10]);
+        assert_eq!(collect(2), vec![4..6]);
+    }
+
+    #[test]
+    fn static_chunked_covers_exactly() {
+        for &trip in &[0u64, 1, 5, 17, 1000] {
+            for &nth in &[1usize, 2, 5, 9] {
+                for &chunk in &[1i64, 2, 7, 100] {
+                    let mut seen = vec![false; trip as usize];
+                    for tid in 0..nth {
+                        for r in StaticChunked::new(tid, nth, trip, chunk) {
+                            for i in r {
+                                assert!(!seen[i as usize], "iteration executed twice");
+                                seen[i as usize] = true;
+                            }
+                        }
+                    }
+                    assert!(seen.iter().all(|&s| s), "iteration missed");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn dynamic_dispatch_covers_exactly() {
+        let d = DynamicDispatch::new(103, Some(10));
+        let mut seen = [false; 103];
+        while let Some(r) = d.next() {
+            for i in r {
+                assert!(!seen[i as usize]);
+                seen[i as usize] = true;
+            }
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn dynamic_default_chunk_is_one() {
+        let d = DynamicDispatch::new(5, None);
+        assert_eq!(d.next(), Some(0..1));
+        assert_eq!(d.chunk(), 1);
+    }
+
+    #[test]
+    fn dynamic_empty_loop() {
+        let d = DynamicDispatch::new(0, Some(4));
+        assert_eq!(d.next(), None);
+    }
+
+    #[test]
+    fn guided_chunks_decay_and_cover() {
+        let g = GuidedDispatch::new(1000, 4, None);
+        let mut chunks = vec![];
+        let mut covered = 0;
+        while let Some(r) = g.next() {
+            assert_eq!(r.start, covered, "guided chunks are contiguous");
+            covered = r.end;
+            chunks.push(r.end - r.start);
+        }
+        assert_eq!(covered, 1000);
+        // First chunk is remaining/(2*nth) = 125; sizes never increase.
+        assert_eq!(chunks[0], 125);
+        for w in chunks.windows(2) {
+            assert!(w[1] <= w[0], "guided chunk sizes must not grow");
+        }
+        // Tail chunks bottom out at the minimum chunk size (1 here).
+        assert_eq!(*chunks.last().unwrap(), 1);
+    }
+
+    #[test]
+    fn guided_respects_min_chunk() {
+        let g = GuidedDispatch::new(100, 8, Some(10));
+        let mut sizes = vec![];
+        while let Some(r) = g.next() {
+            sizes.push(r.end - r.start);
+        }
+        // All but possibly the final chunk honour the minimum.
+        for &s in &sizes[..sizes.len() - 1] {
+            assert!(s >= 10);
+        }
+        assert_eq!(sizes.iter().sum::<u64>(), 100);
+    }
+}

@@ -1,0 +1,260 @@
+//! Shared-variable accessors for parallel regions.
+//!
+//! The paper's preprocessor rewrites accesses to `shared` variables into
+//! pointer accesses through the argument pack handed to the outlined
+//! function (§III-B1/B3). In Rust the equivalent is a wrapper that lets many
+//! threads of a team read *and write* one slice through a shared reference —
+//! sound only under the OpenMP contract that the program divides writes
+//! disjointly (which worksharing schedules guarantee for the loop index
+//! pattern, and which [`SafetyMode::Paranoid`] can verify at runtime).
+//!
+//! [`SharedSlice`] is the workhorse used by the NPB kernels; [`SharedCell`]
+//! covers scalar shared variables written under `critical`/`atomic`/`single`
+//! discipline.
+
+use std::cell::UnsafeCell;
+use std::sync::atomic::{AtomicU32, Ordering};
+
+use crate::safety::{safety_mode, SafetyMode};
+
+/// A slice shareable across a team with interior mutability.
+///
+/// # Safety contract
+/// Distinct threads must write disjoint elements between two
+/// synchronisation points (barrier / region end), exactly the OpenMP data
+/// race rule. Reads of elements written in the same phase by another thread
+/// are races too. `Production` mode performs raw accesses; `Debug` adds
+/// bounds checks; `Paranoid` additionally tags each element with its writer
+/// and panics on write-write overlap between tag resets.
+pub struct SharedSlice<'a, T> {
+    data: &'a [UnsafeCell<T>],
+    /// Writer tags, allocated only in `Paranoid` mode: 0 = untouched,
+    /// `tid + 1` = last writer.
+    tags: Option<Box<[AtomicU32]>>,
+    checked: SafetyMode,
+}
+
+// SAFETY: access discipline is delegated to the OpenMP contract documented
+// above; the wrapper itself adds no thread affinity.
+unsafe impl<T: Send + Sync> Sync for SharedSlice<'_, T> {}
+unsafe impl<T: Send> Send for SharedSlice<'_, T> {}
+
+impl<'a, T: Copy> SharedSlice<'a, T> {
+    /// Wrap an exclusively borrowed slice for team-shared access. The
+    /// safety mode is sampled here, like choosing the build mode in Zig.
+    pub fn new(slice: &'a mut [T]) -> Self {
+        let checked = safety_mode();
+        let tags = (checked == SafetyMode::Paranoid)
+            .then(|| (0..slice.len()).map(|_| AtomicU32::new(0)).collect());
+        // SAFETY: `&mut [T]` -> `&[UnsafeCell<T>]` is the sanctioned cast
+        // for introducing interior mutability over exclusive data.
+        let data = unsafe { &*(slice as *mut [T] as *const [UnsafeCell<T>]) };
+        SharedSlice { data, tags, checked }
+    }
+
+    /// Element count.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Is the slice empty?
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    #[inline]
+    fn check_bounds(&self, i: usize) {
+        if self.checked != SafetyMode::Production && i >= self.data.len() {
+            panic!(
+                "shared slice index {} out of bounds (len {})",
+                i,
+                self.data.len()
+            );
+        }
+    }
+
+    /// Read element `i`.
+    #[inline]
+    pub fn get(&self, i: usize) -> T {
+        self.check_bounds(i);
+        // SAFETY: bounds checked above (or contractually valid in
+        // Production); read races are excluded by the OpenMP contract.
+        unsafe { *self.data.get_unchecked(i).get() }
+    }
+
+    /// Write element `i`.
+    #[inline]
+    pub fn set(&self, i: usize, v: T) {
+        self.check_bounds(i);
+        if let Some(tags) = &self.tags {
+            let me = crate::team::current_region()
+                .map(|(tid, _)| tid as u32 + 1)
+                .unwrap_or(u32::MAX);
+            let prev = tags[i].swap(me, Ordering::Relaxed);
+            if prev != 0 && prev != me {
+                panic!(
+                    "write-write race on shared element {i}: threads {} and {} \
+                     both wrote between synchronisation points",
+                    prev - 1,
+                    me.wrapping_sub(1),
+                );
+            }
+        }
+        // SAFETY: as for `get`; write disjointness is the caller contract,
+        // verified above in Paranoid mode.
+        unsafe { *self.data.get_unchecked(i).get() = v }
+    }
+
+    /// Read element by `i64` loop-variable (negative panics in checked
+    /// modes, wraps like C casts in Production).
+    #[inline]
+    pub fn at(&self, i: i64) -> T {
+        self.get(i as usize)
+    }
+
+    /// Write element by `i64` loop-variable.
+    #[inline]
+    pub fn put(&self, i: i64, v: T) {
+        self.set(i as usize, v)
+    }
+
+    /// `+=` convenience (not atomic — subject to the same write contract).
+    #[inline]
+    pub fn add_assign(&self, i: usize, v: T)
+    where
+        T: std::ops::Add<Output = T>,
+    {
+        self.set(i, self.get(i) + v);
+    }
+
+    /// Clear the Paranoid writer tags; call at synchronisation points when
+    /// the next phase legitimately re-writes the same elements.
+    pub fn reset_tags(&self) {
+        if let Some(tags) = &self.tags {
+            for t in tags.iter() {
+                t.store(0, Ordering::Relaxed);
+            }
+        }
+    }
+
+    /// Copy the full contents out (test/verification helper).
+    pub fn snapshot(&self) -> Vec<T> {
+        (0..self.len()).map(|i| self.get(i)).collect()
+    }
+}
+
+/// A single shared scalar cell, the `shared` clause equivalent for scalars
+/// mutated under `single`/`master`/`critical` discipline.
+pub struct SharedCell<T> {
+    v: UnsafeCell<T>,
+}
+
+// SAFETY: same contract as SharedSlice.
+unsafe impl<T: Send + Sync> Sync for SharedCell<T> {}
+unsafe impl<T: Send> Send for SharedCell<T> {}
+
+impl<T: Copy> SharedCell<T> {
+    pub fn new(v: T) -> Self {
+        SharedCell { v: UnsafeCell::new(v) }
+    }
+
+    /// Read the cell. Must not race with a concurrent `set`.
+    #[inline]
+    pub fn get(&self) -> T {
+        // SAFETY: OpenMP contract — no concurrent writer.
+        unsafe { *self.v.get() }
+    }
+
+    /// Write the cell. Must be the only accessor between sync points
+    /// (e.g. inside `single` or `critical`).
+    #[inline]
+    pub fn set(&self, v: T) {
+        // SAFETY: OpenMP contract — exclusive access at this point.
+        unsafe { *self.v.get() = v }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::safety::{with_safety_mode, SafetyMode};
+    use crate::schedule::Schedule;
+    use crate::team::Parallel;
+    use crate::workshare::parallel_for;
+
+    #[test]
+    fn disjoint_writes_from_team() {
+        let mut data = vec![0i64; 1000];
+        {
+            let s = SharedSlice::new(&mut data);
+            parallel_for(
+                Parallel::new().num_threads(4),
+                Schedule::static_default(),
+                0..1000,
+                |i| s.put(i, i * 2),
+            );
+        }
+        for (i, &v) in data.iter().enumerate() {
+            assert_eq!(v, i as i64 * 2);
+        }
+    }
+
+    #[test]
+    fn debug_mode_bounds_checks() {
+        with_safety_mode(SafetyMode::Debug, || {
+            let mut data = vec![0u32; 4];
+            let s = SharedSlice::new(&mut data);
+            let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| s.get(4)));
+            assert!(r.is_err(), "out-of-bounds read must panic in Debug mode");
+        });
+    }
+
+    #[test]
+    fn production_mode_skips_tagging() {
+        with_safety_mode(SafetyMode::Production, || {
+            let mut data = vec![0u32; 4];
+            let s = SharedSlice::new(&mut data);
+            s.set(2, 7);
+            assert_eq!(s.get(2), 7);
+        });
+    }
+
+    #[test]
+    fn paranoid_mode_catches_write_write_race() {
+        with_safety_mode(SafetyMode::Paranoid, || {
+            let mut data = vec![0u32; 8];
+            let s = SharedSlice::new(&mut data);
+            let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                crate::team::fork_call(Parallel::new().num_threads(2), |_ctx| {
+                    // Both threads write element 0: a deliberate race.
+                    s.set(0, 1);
+                });
+            }));
+            assert!(r.is_err(), "paranoid mode must catch the overlap");
+        });
+    }
+
+    #[test]
+    fn paranoid_reset_allows_rewrite() {
+        with_safety_mode(SafetyMode::Paranoid, || {
+            let mut data = vec![0u32; 2];
+            let s = SharedSlice::new(&mut data);
+            s.set(0, 1);
+            s.reset_tags();
+            s.set(0, 2); // same thread or another phase: fine after reset
+            assert_eq!(s.get(0), 2);
+        });
+    }
+
+    #[test]
+    fn shared_cell_single_writer() {
+        let c = SharedCell::new(0i64);
+        crate::team::fork_call(Parallel::new().num_threads(4), |ctx| {
+            ctx.single(false, || c.set(41));
+            // After the single's barrier every thread reads the value.
+            assert_eq!(c.get(), 41);
+        });
+    }
+}

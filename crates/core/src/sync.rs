@@ -1,0 +1,276 @@
+//! `critical` sections and the `omp_*` lock API.
+//!
+//! `critical` regions are mutual exclusion keyed by name: all unnamed
+//! criticals share one global lock, and every distinct name gets its own —
+//! exactly the libomp `__kmpc_critical(ident, lock)` semantics. The lock API
+//! mirrors `omp_init_lock` / `omp_set_lock` / `omp_unset_lock` /
+//! `omp_test_lock` and the nestable variants.
+
+use std::collections::HashMap;
+use std::sync::{Arc, OnceLock};
+use std::thread::ThreadId;
+
+use parking_lot::lock_api::RawMutex as _;
+use parking_lot::{Condvar, Mutex, RawMutex};
+
+/// Registry of named critical-section locks.
+fn critical_registry() -> &'static Mutex<HashMap<String, Arc<Mutex<()>>>> {
+    static REG: OnceLock<Mutex<HashMap<String, Arc<Mutex<()>>>>> = OnceLock::new();
+    REG.get_or_init(|| Mutex::new(HashMap::new()))
+}
+
+/// The single lock shared by all *unnamed* `critical` constructs.
+fn unnamed_critical() -> &'static Mutex<()> {
+    static LOCK: OnceLock<Mutex<()>> = OnceLock::new();
+    LOCK.get_or_init(|| Mutex::new(()))
+}
+
+/// Execute `f` inside an unnamed `critical` section.
+pub fn critical<R>(f: impl FnOnce() -> R) -> R {
+    let _g = unnamed_critical().lock();
+    f()
+}
+
+/// Execute `f` inside the `critical(name)` section.
+pub fn critical_named<R>(name: &str, f: impl FnOnce() -> R) -> R {
+    let lock = {
+        let mut reg = critical_registry().lock();
+        Arc::clone(reg.entry(name.to_string()).or_default())
+    };
+    let _g = lock.lock();
+    f()
+}
+
+/// A simple (non-nestable) OpenMP lock: `omp_init_lock` et al.
+///
+/// Built directly on the raw mutex so ownership can cross scopes the way the
+/// C API allows (`set` in one function, `unset` in another). Relocking from
+/// the owning thread deadlocks, as the spec prescribes for simple locks.
+pub struct OmpLock {
+    raw: RawMutex,
+}
+
+impl std::fmt::Debug for OmpLock {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("OmpLock").finish_non_exhaustive()
+    }
+}
+
+impl Default for OmpLock {
+    fn default() -> Self {
+        OmpLock { raw: RawMutex::INIT }
+    }
+}
+
+impl OmpLock {
+    /// `omp_init_lock`.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// `omp_set_lock`: blocks until the lock is acquired.
+    pub fn set(&self) {
+        self.raw.lock();
+    }
+
+    /// `omp_unset_lock`. Calling without holding the lock is non-conforming;
+    /// like libomp we unlock unconditionally.
+    pub fn unset(&self) {
+        // SAFETY: the OpenMP contract requires the caller to hold the lock.
+        unsafe { self.raw.unlock() };
+    }
+
+    /// `omp_test_lock`: try to acquire without blocking.
+    pub fn test(&self) -> bool {
+        self.raw.try_lock()
+    }
+
+    /// Scoped convenience not in the OpenMP API but idiomatic in Rust.
+    pub fn with<R>(&self, f: impl FnOnce() -> R) -> R {
+        self.set();
+        struct Unset<'a>(&'a OmpLock);
+        impl Drop for Unset<'_> {
+            fn drop(&mut self) {
+                self.0.unset();
+            }
+        }
+        let _g = Unset(self);
+        f()
+    }
+}
+
+#[derive(Debug, Default)]
+struct NestState {
+    owner: Option<ThreadId>,
+    depth: u32,
+}
+
+/// A nestable OpenMP lock: `omp_init_nest_lock` et al. The owning thread may
+/// re-acquire; each `set` must be matched by an `unset`.
+#[derive(Debug, Default)]
+pub struct OmpNestLock {
+    state: Mutex<NestState>,
+    cv: Condvar,
+}
+
+impl OmpNestLock {
+    /// `omp_init_nest_lock`.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// `omp_set_nest_lock`. Returns the nesting depth after acquisition.
+    pub fn set(&self) -> u32 {
+        let me = std::thread::current().id();
+        let mut st = self.state.lock();
+        loop {
+            match st.owner {
+                None => {
+                    st.owner = Some(me);
+                    st.depth = 1;
+                    return 1;
+                }
+                Some(owner) if owner == me => {
+                    st.depth += 1;
+                    return st.depth;
+                }
+                Some(_) => self.cv.wait(&mut st),
+            }
+        }
+    }
+
+    /// `omp_unset_nest_lock`.
+    ///
+    /// # Panics
+    /// If the calling thread does not own the lock (non-conforming use).
+    pub fn unset(&self) {
+        let me = std::thread::current().id();
+        let mut st = self.state.lock();
+        assert_eq!(st.owner, Some(me), "unset of a nest lock not owned by this thread");
+        st.depth -= 1;
+        if st.depth == 0 {
+            st.owner = None;
+            self.cv.notify_one();
+        }
+    }
+
+    /// `omp_test_nest_lock`: returns the new depth on success, 0 on failure.
+    pub fn test(&self) -> u32 {
+        let me = std::thread::current().id();
+        let mut st = self.state.lock();
+        match st.owner {
+            None => {
+                st.owner = Some(me);
+                st.depth = 1;
+                1
+            }
+            Some(owner) if owner == me => {
+                st.depth += 1;
+                st.depth
+            }
+            Some(_) => 0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn critical_is_mutually_exclusive() {
+        // A non-atomic counter updated under critical: no lost updates.
+        let mut counter = 0usize;
+        let cptr = std::ptr::addr_of_mut!(counter) as usize;
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                s.spawn(move || {
+                    for _ in 0..1000 {
+                        critical(|| {
+                            // SAFETY: serialised by the critical section.
+                            unsafe { *(cptr as *mut usize) += 1 };
+                        });
+                    }
+                });
+            }
+        });
+        assert_eq!(counter, 4000);
+    }
+
+    #[test]
+    fn named_criticals_are_independent() {
+        // Two different names can be held simultaneously; same name excludes.
+        let in_a = AtomicUsize::new(0);
+        critical_named("a", || {
+            in_a.store(1, Ordering::SeqCst);
+            critical_named("b", || {
+                assert_eq!(in_a.load(Ordering::SeqCst), 1);
+            });
+        });
+    }
+
+    #[test]
+    fn omp_lock_set_unset() {
+        let l = OmpLock::new();
+        l.set();
+        assert!(!l.test(), "lock is held, test must fail");
+        l.unset();
+        assert!(l.test());
+        l.unset();
+    }
+
+    #[test]
+    fn omp_lock_excludes_across_threads() {
+        let l = OmpLock::new();
+        let v = AtomicUsize::new(0);
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                s.spawn(|| {
+                    for _ in 0..500 {
+                        l.set();
+                        let x = v.load(Ordering::Relaxed);
+                        std::hint::spin_loop();
+                        v.store(x + 1, Ordering::Relaxed);
+                        l.unset();
+                    }
+                });
+            }
+        });
+        assert_eq!(v.load(Ordering::SeqCst), 2000);
+    }
+
+    #[test]
+    fn omp_lock_with_scoped() {
+        let l = OmpLock::new();
+        let out = l.with(|| 42);
+        assert_eq!(out, 42);
+        assert!(l.test(), "lock must be released after with()");
+        l.unset();
+    }
+
+    #[test]
+    fn nest_lock_reacquires() {
+        let l = OmpNestLock::new();
+        assert_eq!(l.set(), 1);
+        assert_eq!(l.set(), 2);
+        assert_eq!(l.test(), 3);
+        l.unset();
+        l.unset();
+        l.unset();
+        // Fully released: another depth-1 acquisition works.
+        assert_eq!(l.set(), 1);
+        l.unset();
+    }
+
+    #[test]
+    fn nest_lock_blocks_other_threads() {
+        let l = OmpNestLock::new();
+        l.set();
+        std::thread::scope(|s| {
+            let h = s.spawn(|| l.test());
+            assert_eq!(h.join().unwrap(), 0, "other thread cannot take held nest lock");
+        });
+        l.unset();
+    }
+}

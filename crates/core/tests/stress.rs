@@ -1,0 +1,169 @@
+//! Stress tests: the failure modes a worksharing runtime actually has —
+//! oversubscription, hot-team churn, construct-ring pressure from long
+//! `nowait` chains, contended dynamic dispatch, and concurrent independent
+//! teams from separate host threads.
+
+use std::sync::atomic::{AtomicI64, AtomicUsize, Ordering};
+
+use zomp::prelude::*;
+use zomp::workshare::{for_loop, for_reduce};
+
+/// Heavy oversubscription (far more threads than cores) must stay correct:
+/// blocking barriers, not spin deadlock.
+#[test]
+fn oversubscribed_team_is_correct() {
+    const THREADS: usize = 32;
+    const N: i64 = 4_000;
+    let hits: Vec<AtomicUsize> = (0..N).map(|_| AtomicUsize::new(0)).collect();
+    fork_call(Parallel::new().num_threads(THREADS), |ctx| {
+        for_loop(ctx, Schedule::dynamic(Some(7)), 0..N, false, |i| {
+            hits[i as usize].fetch_add(1, Ordering::Relaxed);
+        });
+        ctx.barrier();
+        for_loop(ctx, Schedule::static_default(), 0..N, false, |i| {
+            hits[i as usize].fetch_add(1, Ordering::Relaxed);
+        });
+    });
+    assert!(hits.iter().all(|h| h.load(Ordering::Relaxed) == 2));
+}
+
+/// Hundreds of back-to-back regions re-use the hot team without leaking or
+/// wedging.
+#[test]
+fn hot_team_survives_region_churn() {
+    for round in 0..400i64 {
+        let sum = AtomicI64::new(0);
+        fork_call(Parallel::new().num_threads(3), |ctx| {
+            sum.fetch_add(ctx.thread_num() as i64 + round, Ordering::Relaxed);
+        });
+        assert_eq!(sum.load(Ordering::Relaxed), 3 + 3 * round);
+    }
+}
+
+/// A long chain of `nowait` loops lets threads drift across the construct
+/// ring (more constructs in flight than ring slots); coverage must hold.
+#[test]
+fn nowait_chain_exceeding_ring_capacity() {
+    const LOOPS: usize = 64; // ring has 16 slots
+    const N: i64 = 40;
+    let counters: Vec<AtomicUsize> = (0..LOOPS).map(|_| AtomicUsize::new(0)).collect();
+    fork_call(Parallel::new().num_threads(4), |ctx| {
+        for c in counters.iter() {
+            for_loop(ctx, Schedule::dynamic(Some(3)), 0..N, true, |_| {
+                c.fetch_add(1, Ordering::Relaxed);
+            });
+        }
+        ctx.barrier();
+    });
+    for (k, c) in counters.iter().enumerate() {
+        assert_eq!(c.load(Ordering::Relaxed), N as usize, "loop {k}");
+    }
+}
+
+/// Chunk-1 dynamic dispatch under maximum contention still covers exactly.
+#[test]
+fn contended_chunk1_dispatch() {
+    const N: i64 = 20_000;
+    let total = AtomicI64::new(0);
+    fork_call(Parallel::new().num_threads(8), |ctx| {
+        for_loop(ctx, Schedule::dynamic(Some(1)), 0..N, false, |i| {
+            total.fetch_add(i, Ordering::Relaxed);
+        });
+    });
+    assert_eq!(total.load(Ordering::Relaxed), N * (N - 1) / 2);
+}
+
+/// Several host threads each running their own teams concurrently: the
+/// shared worker pool must keep the teams isolated.
+#[test]
+fn concurrent_independent_teams() {
+    std::thread::scope(|s| {
+        let mut handles = Vec::new();
+        for t in 0..4i64 {
+            handles.push(s.spawn(move || {
+                let n = 2_000 + t * 17;
+                parallel_reduce(
+                    Parallel::new().num_threads(3),
+                    Schedule::guided(None),
+                    0..n,
+                    0i64,
+                    RedOp::Add,
+                    |i, acc| *acc += i,
+                )
+            }));
+        }
+        for (t, h) in handles.into_iter().enumerate() {
+            let n = 2_000 + t as i64 * 17;
+            assert_eq!(h.join().unwrap(), n * (n - 1) / 2, "team {t}");
+        }
+    });
+}
+
+/// Nested fork_call inside an active region serialises but still runs the
+/// body, even under load.
+#[test]
+fn nested_regions_under_load() {
+    let inner_runs = AtomicUsize::new(0);
+    fork_call(Parallel::new().num_threads(4), |_outer| {
+        fork_call(Parallel::new().num_threads(4), |inner| {
+            assert_eq!(inner.num_threads(), 1);
+            inner_runs.fetch_add(1, Ordering::Relaxed);
+        });
+    });
+    assert_eq!(inner_runs.load(Ordering::Relaxed), 4);
+}
+
+/// Alternating single/sections/loops exercises mixed construct types
+/// through the same ring.
+#[test]
+fn mixed_construct_sequence() {
+    let singles = AtomicUsize::new(0);
+    let sections_run = AtomicUsize::new(0);
+    let loop_sum = AtomicI64::new(0);
+    let sec = || {
+        sections_run.fetch_add(1, Ordering::Relaxed);
+    };
+    fork_call(Parallel::new().num_threads(3), |ctx| {
+        for _ in 0..20 {
+            ctx.single(false, || {
+                singles.fetch_add(1, Ordering::Relaxed);
+            });
+            ctx.sections(false, &[&sec, &sec]);
+            for_loop(ctx, Schedule::dynamic(None), 0..10, false, |i| {
+                loop_sum.fetch_add(i, Ordering::Relaxed);
+            });
+        }
+    });
+    assert_eq!(singles.load(Ordering::Relaxed), 20);
+    assert_eq!(sections_run.load(Ordering::Relaxed), 40);
+    assert_eq!(loop_sum.load(Ordering::Relaxed), 20 * 45);
+}
+
+/// Reductions from every thread of a large team combine losslessly.
+#[test]
+fn wide_team_reduction() {
+    const THREADS: usize = 24;
+    let got = parallel_reduce(
+        Parallel::new().num_threads(THREADS),
+        Schedule::static_chunked(5),
+        0..100_000i64,
+        0i64,
+        RedOp::Add,
+        |i, acc| *acc += i,
+    );
+    assert_eq!(got, 100_000i64 * 99_999 / 2);
+}
+
+/// for_reduce with nowait still produces the right value once the caller
+/// synchronises manually.
+#[test]
+fn nowait_reduction_then_manual_barrier() {
+    let cell = RedCell::<i64>::new(RedOp::Add, 0);
+    fork_call(Parallel::new().num_threads(4), |ctx| {
+        for_reduce(ctx, Schedule::static_default(), 0..1000, true, &cell, |i, acc| {
+            *acc += i;
+        });
+        ctx.barrier();
+        assert_eq!(cell.get(), 499_500);
+    });
+}

@@ -1,0 +1,244 @@
+//! Human-readable dumps of the AST and its `extra_data` clause encoding —
+//! the tooling view of Fig. 2: a directive node pointing into the side
+//! array, packed words decoded bit by bit, list-clause slices printed with
+//! their begin/end indices.
+
+use crate::ast::{Ast, Clauses, NodeId, PackedFlags, PackedSchedule, Tag, CLAUSE_HEADER_LEN};
+
+/// Render the node tree, indented, one node per line.
+pub fn dump_tree(ast: &Ast) -> String {
+    let mut out = String::new();
+    dump_node(ast, ast.root, 0, &mut out);
+    out
+}
+
+fn label(ast: &Ast, id: NodeId) -> String {
+    let node = ast.node(id);
+    let tok = ast.token_text(node.main_token);
+    match node.tag {
+        Tag::Ident | Tag::IntLit | Tag::FloatLit | Tag::BoolLit | Tag::StrLit => {
+            format!("{:?} `{tok}`", node.tag)
+        }
+        Tag::FnDecl | Tag::VarDecl | Tag::ConstDecl | Tag::Param | Tag::Member => {
+            format!("{:?} `{tok}`", node.tag)
+        }
+        Tag::BinOp | Tag::UnOp | Tag::CompoundAssign => format!("{:?} `{tok}`", node.tag),
+        _ => format!("{:?}", node.tag),
+    }
+}
+
+fn dump_node(ast: &Ast, id: NodeId, depth: usize, out: &mut String) {
+    let node = *ast.node(id);
+    out.push_str(&"  ".repeat(depth));
+    out.push_str(&format!("[{id}] {}\n", label(ast, id)));
+    let children = children_of(ast, id);
+    // Directive nodes additionally dump their clause block.
+    if matches!(
+        node.tag,
+        Tag::OmpParallel
+            | Tag::OmpWhile
+            | Tag::OmpBarrier
+            | Tag::OmpCritical
+            | Tag::OmpMaster
+            | Tag::OmpSingle
+            | Tag::OmpAtomic
+            | Tag::OmpThreadprivate
+    ) {
+        for line in dump_clauses(ast, node.lhs).lines() {
+            out.push_str(&"  ".repeat(depth + 1));
+            out.push_str(line);
+            out.push('\n');
+        }
+    }
+    for c in children {
+        dump_node(ast, c, depth + 1, out);
+    }
+}
+
+/// Children of a node, following every tag's encoding.
+pub fn children_of(ast: &Ast, id: NodeId) -> Vec<NodeId> {
+    let node = *ast.node(id);
+    match node.tag {
+        Tag::Root | Tag::Block => ast.range(&node).to_vec(),
+        Tag::FnDecl => {
+            let n = node.rhs as usize;
+            ast.extra(node.lhs, node.lhs + n as u32 + 1).to_vec()
+        }
+        Tag::VarDecl | Tag::ConstDecl => {
+            if node.rhs > 0 {
+                vec![node.rhs - 1]
+            } else {
+                vec![]
+            }
+        }
+        Tag::Assign | Tag::CompoundAssign | Tag::BinOp | Tag::Index => {
+            vec![node.lhs, node.rhs]
+        }
+        Tag::While | Tag::If => {
+            let mut v = vec![node.lhs];
+            let a = ast.extra_data[node.rhs as usize];
+            let b = ast.extra_data[node.rhs as usize + 1];
+            v.push(a);
+            if b > 0 {
+                v.push(b - 1);
+            }
+            v
+        }
+        Tag::Return => {
+            if node.lhs > 0 {
+                vec![node.lhs - 1]
+            } else {
+                vec![]
+            }
+        }
+        Tag::Discard | Tag::ExprStmt | Tag::UnOp | Tag::Member | Tag::Deref => vec![node.lhs],
+        Tag::Call => {
+            let mut v = vec![node.lhs];
+            v.extend_from_slice(ast.call_args(&node));
+            v
+        }
+        Tag::BuiltinCall => ast.extra(node.lhs, node.rhs).to_vec(),
+        Tag::OmpParallel
+        | Tag::OmpWhile
+        | Tag::OmpCritical
+        | Tag::OmpMaster
+        | Tag::OmpSingle
+        | Tag::OmpAtomic => {
+            let mut v = Vec::new();
+            let c = Clauses::read(&ast.extra_data, node.lhs);
+            if let Some(e) = c.num_threads {
+                v.push(e);
+            }
+            if let Some(e) = c.if_expr {
+                v.push(e);
+            }
+            if node.rhs > 0 {
+                v.push(node.rhs);
+            }
+            v
+        }
+        _ => vec![],
+    }
+}
+
+/// Decode and render one clause block at `base` — the Fig. 2 picture in
+/// text: raw words, packed bit fields, and list slices.
+pub fn dump_clauses(ast: &Ast, base: u32) -> String {
+    let extra = &ast.extra_data;
+    let b = base as usize;
+    let mut out = String::new();
+    out.push_str(&format!(
+        "clauses @ extra_data[{b}..{}]\n",
+        b + CLAUSE_HEADER_LEN
+    ));
+    let sched = PackedSchedule::decode(extra[b]);
+    out.push_str(&format!(
+        "  [+0] 0x{:08x} schedule: kind={:?} chunk={:?} (3-bit kind | 29-bit chunk)\n",
+        extra[b], sched.kind, sched.chunk
+    ));
+    let flags = PackedFlags::decode(extra[b + 1]);
+    out.push_str(&format!(
+        "  [+1] 0x{:08x} flags: default={:?} nowait={} collapse={} has_num_threads={}\n",
+        extra[b + 1],
+        flags.default,
+        flags.nowait,
+        flags.collapse,
+        flags.has_num_threads
+    ));
+    out.push_str(&format!("  [+2] num_threads expr node = {}\n", extra[b + 2]));
+    out.push_str(&format!("  [+3] if expr node = {}\n", extra[b + 3]));
+    let list = |name: &str, at: usize, out: &mut String| {
+        let (s, e) = (extra[b + at] as usize, extra[b + at + 1] as usize);
+        let toks: Vec<&str> = extra[s..e]
+            .iter()
+            .map(|&t| ast.token_text(t))
+            .collect();
+        out.push_str(&format!(
+            "  [+{at}..+{}] {name}: slice [{s}, {e}) = {toks:?}\n",
+            at + 1
+        ));
+    };
+    list("private", 4, &mut out);
+    list("firstprivate", 6, &mut out);
+    list("shared", 8, &mut out);
+    let (s, e) = (extra[b + 10] as usize, extra[b + 11] as usize);
+    let reds: Vec<String> = extra[s..e]
+        .chunks(2)
+        .map(|p| format!("(op {} : `{}`)", p[0], ast.token_text(p[1])))
+        .collect();
+    out.push_str(&format!(
+        "  [+10..+11] reduction: slice [{s}, {e}) = {reds:?}\n"
+    ));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse;
+
+    pub(super) const SRC: &str = "fn main() void {\n\
+        var s: f64 = 0.0;\n\
+        var i: i64 = 0;\n\
+        //$omp parallel num_threads(4) private(t) shared(s) reduction(+: s) default(shared)\n\
+        {\n\
+        //$omp while schedule(dynamic, 16) nowait\n\
+        while (i < 10) : (i += 1) { s = s + 1.0; }\n\
+        }\n\
+        }";
+
+    #[test]
+    fn tree_dump_shows_structure() {
+        let ast = parse(SRC).unwrap();
+        let dump = dump_tree(&ast);
+        assert!(dump.contains("FnDecl `main`"), "{dump}");
+        assert!(dump.contains("OmpParallel"), "{dump}");
+        assert!(dump.contains("OmpWhile"), "{dump}");
+        assert!(dump.contains("While"), "{dump}");
+    }
+
+    #[test]
+    fn clause_dump_decodes_fig2_layout() {
+        let ast = parse(SRC).unwrap();
+        let par = (0..ast.nodes.len() as u32)
+            .find(|&i| ast.node(i).tag == Tag::OmpParallel)
+            .unwrap();
+        let dump = dump_clauses(&ast, ast.node(par).lhs);
+        assert!(dump.contains("private: slice"), "{dump}");
+        assert!(dump.contains("[\"t\"]"), "{dump}");
+        assert!(dump.contains("shared: slice"), "{dump}");
+        assert!(dump.contains("default=Shared"), "{dump}");
+        assert!(dump.contains("has_num_threads=true"), "{dump}");
+
+        let wh = (0..ast.nodes.len() as u32)
+            .find(|&i| ast.node(i).tag == Tag::OmpWhile)
+            .unwrap();
+        let dump = dump_clauses(&ast, ast.node(wh).lhs);
+        assert!(dump.contains("kind=Dynamic chunk=Some(16)"), "{dump}");
+        assert!(dump.contains("nowait=true"), "{dump}");
+    }
+
+    #[test]
+    fn children_cover_every_node_once() {
+        // Walking from the root reaches each node at most once (the AST is
+        // a tree, not a DAG) and reaches all statement/expression nodes.
+        let ast = parse(SRC).unwrap();
+        let mut seen = vec![false; ast.nodes.len()];
+        fn walk(ast: &Ast, id: NodeId, seen: &mut [bool]) {
+            assert!(!seen[id as usize], "node {id} visited twice");
+            seen[id as usize] = true;
+            for c in children_of(ast, id) {
+                walk(ast, c, seen);
+            }
+        }
+        walk(&ast, ast.root, &mut seen);
+        let unreached = seen.iter().filter(|&&s| !s).count();
+        // Params and directive clause-expression nodes may be shared
+        // entry points; everything else must be reached.
+        assert!(
+            unreached <= 2,
+            "{unreached} unreached nodes of {}",
+            ast.nodes.len()
+        );
+    }
+}

@@ -1,0 +1,73 @@
+//! # zomp-front — the Zag mini-language front-end with OpenMP pragmas
+//!
+//! The paper modifies the Zig compiler; since the Zig compiler cannot be
+//! reproduced in Rust, this crate implements the same pipeline for **Zag**,
+//! a Zig-like mini-language rich enough for the paper's OpenMP surface.
+//! Every mechanism of §III exists here, structured as the paper describes:
+//!
+//! * [`token`] — the tokenizer. Pragmas are sentinel comments (`//$omp`);
+//!   the sentinel is one token and the rest of the pragma is tokenised as
+//!   ordinary code (option "B" of Fig. 1).
+//! * [`omp_kw`] — OpenMP keywords **cannot** be language keywords (they
+//!   would break existing identifiers), so they are ordinary identifiers
+//!   disambiguated at parse time through a string → keyword-tag hash map.
+//! * [`ast`] — the flat AST with its `extra_data: Vec<u32>` side array.
+//!   Clause data is bit-packed exactly as §III-A2 describes
+//!   ([`ast::PackedSchedule`], [`ast::PackedFlags`]) and list clauses are
+//!   stored as contiguous `extra_data` slices (Fig. 2).
+//! * [`parser`] — recursive descent around an `eat_token` that also accepts
+//!   OpenMP keyword tags.
+//! * [`preprocess`] — the multi-pass source-to-source preprocessor of
+//!   Listing 5: parallel regions are outlined first, then worksharing
+//!   loops are rewritten into `omp.internal.*` runtime-call driver loops,
+//!   then the simple directives; source offsets are adjusted after each
+//!   replacement, and shared scalars are rewritten to pointer accesses
+//!   (§III-B3) using only the AST.
+//!
+//! The output of preprocessing is pragma-free Zag source whose
+//! `omp.internal.*` calls the `zomp-vm` crate binds to the real `zomp`
+//! runtime — pragmas in, threads out.
+
+pub mod ast;
+pub mod dump;
+pub mod fmt;
+pub mod omp_kw;
+pub mod parser;
+pub mod preprocess;
+pub mod token;
+
+pub use ast::Ast;
+pub use parser::parse;
+pub use preprocess::preprocess;
+
+/// A front-end error with a byte offset into the offending source.
+#[derive(Debug, Clone)]
+pub struct FrontError {
+    pub offset: usize,
+    pub message: String,
+}
+
+impl std::fmt::Display for FrontError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "error at byte {}: {}", self.offset, self.message)
+    }
+}
+
+impl std::error::Error for FrontError {}
+
+impl FrontError {
+    pub fn new(offset: usize, message: impl Into<String>) -> Self {
+        FrontError {
+            offset,
+            message: message.into(),
+        }
+    }
+
+    /// Render with line/column context against the source.
+    pub fn render(&self, source: &str) -> String {
+        let upto = &source[..self.offset.min(source.len())];
+        let line = upto.matches('\n').count() + 1;
+        let col = self.offset - upto.rfind('\n').map(|p| p + 1).unwrap_or(0) + 1;
+        format!("{}:{}: {}", line, col, self.message)
+    }
+}

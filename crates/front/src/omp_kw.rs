@@ -1,0 +1,116 @@
+//! OpenMP keyword recognition.
+//!
+//! The paper's first plan — tokenising `parallel`, `default` etc. as real
+//! keywords — had to be abandoned: "in Zig keywords may not be used as
+//! identifiers, and adding these would break compatibility with existing
+//! codes". The adopted design stores OpenMP keywords as identifiers and
+//! differentiates them during parsing with "a hash map of strings to
+//! keyword tokens" (§III-A). [`lookup`] is that hash map.
+
+use std::collections::HashMap;
+use std::sync::OnceLock;
+
+/// The OpenMP keyword tags — a parallel token-tag space that only the
+/// parser's `eat_omp_keyword` consults.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum OmpKw {
+    // Directives.
+    Parallel,
+    /// The worksharing loop directive. C/C++ spell it `for`; Zig and Zag
+    /// spell it `while` after their loop keyword.
+    While,
+    Barrier,
+    Critical,
+    Master,
+    Single,
+    Atomic,
+    Threadprivate,
+
+    // Clauses.
+    Private,
+    Firstprivate,
+    Shared,
+    Reduction,
+    Schedule,
+    Nowait,
+    Default,
+    NumThreads,
+    Collapse,
+    If,
+
+    // Schedule kinds and default() arguments.
+    Static,
+    Dynamic,
+    Guided,
+    Runtime,
+    Auto,
+    None,
+    Min,
+    Max,
+}
+
+fn map() -> &'static HashMap<&'static str, OmpKw> {
+    static MAP: OnceLock<HashMap<&'static str, OmpKw>> = OnceLock::new();
+    MAP.get_or_init(|| {
+        HashMap::from([
+            ("parallel", OmpKw::Parallel),
+            ("while", OmpKw::While),
+            ("for", OmpKw::While), // accepted alias for readers used to C
+            ("barrier", OmpKw::Barrier),
+            ("critical", OmpKw::Critical),
+            ("master", OmpKw::Master),
+            ("single", OmpKw::Single),
+            ("atomic", OmpKw::Atomic),
+            ("threadprivate", OmpKw::Threadprivate),
+            ("private", OmpKw::Private),
+            ("firstprivate", OmpKw::Firstprivate),
+            ("shared", OmpKw::Shared),
+            ("reduction", OmpKw::Reduction),
+            ("schedule", OmpKw::Schedule),
+            ("nowait", OmpKw::Nowait),
+            ("default", OmpKw::Default),
+            ("num_threads", OmpKw::NumThreads),
+            ("collapse", OmpKw::Collapse),
+            ("if", OmpKw::If),
+            ("static", OmpKw::Static),
+            ("dynamic", OmpKw::Dynamic),
+            ("guided", OmpKw::Guided),
+            ("runtime", OmpKw::Runtime),
+            ("auto", OmpKw::Auto),
+            ("none", OmpKw::None),
+            ("min", OmpKw::Min),
+            ("max", OmpKw::Max),
+        ])
+    })
+}
+
+/// Is this identifier an OpenMP keyword (inside a pragma)?
+pub fn lookup(ident: &str) -> Option<OmpKw> {
+    map().get(ident).copied()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn directives_and_clauses_resolve() {
+        assert_eq!(lookup("parallel"), Some(OmpKw::Parallel));
+        assert_eq!(lookup("private"), Some(OmpKw::Private));
+        assert_eq!(lookup("num_threads"), Some(OmpKw::NumThreads));
+        assert_eq!(lookup("guided"), Some(OmpKw::Guided));
+    }
+
+    #[test]
+    fn for_is_an_alias_for_while() {
+        assert_eq!(lookup("for"), Some(OmpKw::While));
+        assert_eq!(lookup("while"), Some(OmpKw::While));
+    }
+
+    #[test]
+    fn ordinary_identifiers_do_not_resolve() {
+        assert_eq!(lookup("parallelism"), None);
+        assert_eq!(lookup("x"), None);
+        assert_eq!(lookup("PARALLEL"), None); // pragmas are case-sensitive
+    }
+}

@@ -1,0 +1,934 @@
+//! The multi-pass source-to-source preprocessor (paper Listing 5).
+//!
+//! The paper's attempts to graft runtime calls directly into the Zig AST
+//! failed (nodes are welded to source locations), so the adopted design is
+//! a *preprocessor built into the compiler*: parse, find the directive
+//! nodes of the current step, compute a replacement payload per node, apply
+//! the replacements while **adjusting source offsets** after each splice,
+//! and recurse until no pragmas remain. Replacement order matters: all
+//! **parallel regions** are replaced before **worksharing loops**, then the
+//! simple directives — "consequently, nested constructs do not require
+//! special handling ... as long as they are of different types".
+//!
+//! Lowering targets are the `omp.internal.*` builtins (the paper's
+//! `.omp.internal` namespace, §III-C), including its generic wrappers for
+//! the `__kmpc_for_static_*` / `__kmpc_dispatch_*` families (`ws_begin` /
+//! `ws_next` / `ws_fini` here).
+//!
+//! Variable rewriting (§III-B3) happens with **no semantic information**,
+//! exactly as in the paper: two identifiers in the same scope refer to the
+//! same entity as long as neither is preceded by a period, so shared
+//! variables are renamed token-wise (`s` → `__shr_s.*`) across the whole
+//! outlined body — including inside nested pragma lines, whose clause
+//! grammar therefore accepts dereferenced places.
+
+use crate::ast::{
+    Ast, Clauses, Node, NodeId, RedOpCode, SchedKind, Tag as N, TokenId,
+};
+use crate::parser::parse;
+use crate::token::Tag as T;
+use crate::FrontError;
+
+/// Preprocess until no pragmas remain; returns the final pragma-free
+/// source.
+pub fn preprocess(source: &str) -> Result<String, FrontError> {
+    Ok(preprocess_trace(source)?.0)
+}
+
+/// Like [`preprocess`], but also returns each intermediate pass output (for
+/// tests and for showing the pipeline in examples).
+pub fn preprocess_trace(source: &str) -> Result<(String, Vec<String>), FrontError> {
+    let mut src = source.to_string();
+    let mut trace = Vec::new();
+    let mut counter = 0usize;
+    // Each iteration eliminates at least one directive; bound generously.
+    for _ in 0..256 {
+        let ast = parse(&src)?;
+        if !ast.has_pragmas() {
+            return Ok((src, trace));
+        }
+        let step = if contains(&ast, N::OmpParallel) {
+            Step::Parallel
+        } else if contains(&ast, N::OmpWhile) {
+            Step::While
+        } else {
+            Step::Simple
+        };
+        src = run_pass(&ast, step, &mut counter)?;
+        trace.push(src.clone());
+    }
+    Err(FrontError::new(0, "preprocessor did not converge"))
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Step {
+    Parallel,
+    While,
+    Simple,
+}
+
+fn contains(ast: &Ast, tag: N) -> bool {
+    ast.nodes.iter().any(|n| n.tag == tag)
+}
+
+/// A single replacement payload: splice `text` over `span`, optionally
+/// appending `appendix` (an outlined function) at end of file.
+struct Payload {
+    span: (usize, usize),
+    text: String,
+    appendix: String,
+}
+
+fn run_pass(ast: &Ast, step: Step, counter: &mut usize) -> Result<String, FrontError> {
+    // Collect the directive nodes of this step, outermost-first: nodes
+    // nested inside another selected node are left for a later iteration.
+    let wanted: Vec<NodeId> = (0..ast.nodes.len() as u32)
+        .filter(|&id| {
+            let t = ast.node(id).tag;
+            match step {
+                Step::Parallel => t == N::OmpParallel,
+                Step::While => t == N::OmpWhile,
+                Step::Simple => matches!(
+                    t,
+                    N::OmpBarrier
+                        | N::OmpCritical
+                        | N::OmpMaster
+                        | N::OmpSingle
+                        | N::OmpAtomic
+                        | N::OmpThreadprivate
+                ),
+            }
+        })
+        .collect();
+    let spans: Vec<(usize, usize)> = wanted.iter().map(|&id| ast.byte_span(id)).collect();
+    let outermost: Vec<NodeId> = wanted
+        .iter()
+        .enumerate()
+        .filter(|&(i, _)| {
+            !spans
+                .iter()
+                .enumerate()
+                .any(|(j, sj)| j != i && sj.0 <= spans[i].0 && spans[i].1 <= sj.1)
+        })
+        .map(|(_, &id)| id)
+        .collect();
+
+    let mut payloads = Vec::new();
+    for id in outermost {
+        let node = *ast.node(id);
+        let payload = match node.tag {
+            N::OmpParallel => replace_parallel(ast, id, &node, counter)?,
+            N::OmpWhile => replace_while(ast, id, &node, counter)?,
+            _ => replace_simple(ast, id, &node)?,
+        };
+        payloads.push(payload);
+    }
+
+    // Apply in source order, adjusting offsets after each replacement
+    // (Listing 5's «adjust source offset»).
+    payloads.sort_by_key(|p| p.span.0);
+    let mut out = ast.source.clone();
+    let mut appendix = String::new();
+    let mut offset: isize = 0;
+    for p in payloads {
+        let (s, e) = (
+            (p.span.0 as isize + offset) as usize,
+            (p.span.1 as isize + offset) as usize,
+        );
+        out.replace_range(s..e, &p.text);
+        offset += p.text.len() as isize - (p.span.1 - p.span.0) as isize;
+        appendix.push_str(&p.appendix);
+    }
+    out.push_str(&appendix);
+    Ok(out)
+}
+
+// ---------------------------------------------------------------------------
+// Shared helpers
+// ---------------------------------------------------------------------------
+
+/// A clause list entry resolved to source text: the identifier, and whether
+/// the clause spelled it as a dereferenced place (`__shr_x.*`) — which
+/// happens when an enclosing parallel pass already rewrote a shared
+/// variable.
+#[derive(Debug, Clone)]
+struct Place {
+    ident: String,
+    deref: bool,
+}
+
+impl Place {
+    /// The access expression for this place.
+    fn access(&self) -> String {
+        if self.deref {
+            format!("{}.*", self.ident)
+        } else {
+            self.ident.clone()
+        }
+    }
+}
+
+fn place_of(ast: &Ast, tok: TokenId) -> Place {
+    let deref = ast
+        .tokens
+        .get(tok as usize + 1)
+        .is_some_and(|t| t.tag == T::DotStar);
+    Place {
+        ident: ast.token_text(tok).to_string(),
+        deref,
+    }
+}
+
+/// Token-wise identifier rewriting over a snippet of source (§III-B3): each
+/// identifier token equal to `from` and *not preceded by a period* is
+/// replaced by `to`; when `strip_deref`, a directly following `.*` is
+/// swallowed (used when a dereferenced shared place becomes a plain local
+/// accumulator).
+fn rewrite_ident(snippet: &str, from: &str, to: &str, strip_deref: bool) -> String {
+    let Ok(tokens) = crate::token::tokenize(snippet) else {
+        return snippet.to_string();
+    };
+    let mut out = String::with_capacity(snippet.len() + 16);
+    let mut cursor = 0usize;
+    let mut i = 0usize;
+    while i < tokens.len() {
+        let t = &tokens[i];
+        if t.tag == T::Ident && t.text(snippet) == from {
+            let preceded_by_dot = i > 0 && tokens[i - 1].tag == T::Dot;
+            if !preceded_by_dot {
+                out.push_str(&snippet[cursor..t.start as usize]);
+                out.push_str(to);
+                cursor = t.end as usize;
+                if strip_deref
+                    && tokens.get(i + 1).is_some_and(|n| n.tag == T::DotStar)
+                {
+                    cursor = tokens[i + 1].end as usize;
+                    i += 1;
+                }
+            }
+        }
+        i += 1;
+    }
+    out.push_str(&snippet[cursor..]);
+    out
+}
+
+/// The inner text of a block (without its braces).
+fn block_inner(ast: &Ast, block: NodeId) -> Result<&str, FrontError> {
+    let node = ast.node(block);
+    if node.tag != N::Block {
+        let (s, _) = ast.byte_span(block);
+        return Err(FrontError::new(s, "directive body must be a block"));
+    }
+    let (s, e) = ast.byte_span(block);
+    Ok(&ast.source[s + 1..e - 1])
+}
+
+fn red_op_code(op: RedOpCode) -> u32 {
+    op as u32
+}
+
+// ---------------------------------------------------------------------------
+// Pass 1: parallel regions (function outlining, §III-B1)
+// ---------------------------------------------------------------------------
+
+fn replace_parallel(
+    ast: &Ast,
+    id: NodeId,
+    node: &Node,
+    counter: &mut usize,
+) -> Result<Payload, FrontError> {
+    let clauses = Clauses::read(&ast.extra_data, node.lhs);
+    let region = *counter;
+    *counter += 1;
+    let fname = format!("__omp_outlined_{region}");
+
+    let mut body = block_inner(ast, node.rhs)?.to_string();
+
+    // Argument groups of the variadic fork_call: firstprivate by value,
+    // shared by pointer, reduction by cell (§III-B1's three ?*anyopaque
+    // groups).
+    let mut params: Vec<String> = Vec::new();
+    let mut args: Vec<String> = Vec::new();
+    let mut prologue = String::new();
+    let mut epilogue = String::new();
+    let mut pre_call = String::new();
+    let mut post_call = String::new();
+
+    for &tok in &clauses.firstprivate {
+        let p = place_of(ast, tok);
+        let local = p.ident.clone();
+        params.push(format!("{local}: any"));
+        args.push(p.access());
+    }
+    for &tok in &clauses.shared {
+        let p = place_of(ast, tok);
+        let renamed = format!("__shr_{}", p.ident);
+        params.push(format!("{renamed}: any"));
+        args.push(format!("&{}", p.access()));
+        // Every use in the body — including in nested pragma clause
+        // lists — becomes a pointer access.
+        body = rewrite_ident(&body, &p.ident, &format!("{renamed}.*"), false);
+    }
+    for &(op, tok) in &clauses.reduction {
+        let p = place_of(ast, tok);
+        let cell = format!("__red_{}_{region}", p.ident);
+        pre_call.push_str(&format!(
+            "const {cell} = omp.internal.red_cell({}, {});\n",
+            red_op_code(op),
+            p.access()
+        ));
+        params.push(format!("{cell}: any"));
+        args.push(cell.clone());
+        prologue.push_str(&format!(
+            "var {} : any = omp.internal.red_identity({cell});\n",
+            p.ident
+        ));
+        epilogue.push_str(&format!(
+            "omp.internal.red_combine({cell}, {});\n",
+            p.ident
+        ));
+        post_call.push_str(&format!(
+            "{} = omp.internal.red_get({cell});\n",
+            p.access()
+        ));
+    }
+    for &tok in &clauses.private {
+        let p = place_of(ast, tok);
+        prologue.push_str(&format!("var {} : any = undefined;\n", p.ident));
+    }
+
+    // num_threads / if clauses decide the requested team size.
+    let nt = match (clauses.num_threads, clauses.if_expr) {
+        (Some(e), None) => ast.node_text(e).to_string(),
+        (None, None) => "0".to_string(),
+        (nt, Some(cond)) => {
+            let nt_text = nt.map(|e| ast.node_text(e).to_string()).unwrap_or("0".into());
+            format!("omp.internal.if_threads({}, {nt_text})", ast.node_text(cond))
+        }
+    };
+
+    let call = format!(
+        "{{\n{pre_call}omp.internal.fork_call({nt}, {fname}{}{});\n{post_call}}}",
+        if args.is_empty() { "" } else { ", " },
+        args.join(", ")
+    );
+    let fn_text = format!(
+        "\nfn {fname}({}) void {{\n{prologue}{body}\n{epilogue}}}\n",
+        params.join(", ")
+    );
+
+    Ok(Payload {
+        span: ast.byte_span(id),
+        text: call,
+        appendix: fn_text,
+    })
+}
+
+// ---------------------------------------------------------------------------
+// Pass 2: worksharing loops (§III-B2)
+// ---------------------------------------------------------------------------
+
+/// Extract (loop var, cmp code, ub text, incr text, cont text) from the
+/// attached while loop, the way §III-B2 describes: comparison operator from
+/// the condition, upper bound from its right-hand side, increment from the
+/// continuation expression.
+struct LoopShape {
+    var: String,
+    cmp_code: u32,
+    ub_text: String,
+    incr_text: String,
+    cont_text: String,
+    body: NodeId,
+}
+
+fn loop_shape(ast: &Ast, while_id: NodeId) -> Result<LoopShape, FrontError> {
+    loop_shape_inner(ast, while_id)
+}
+
+fn loop_shape_inner(ast: &Ast, while_id: NodeId) -> Result<LoopShape, FrontError> {
+    let w = ast.node(while_id);
+    let (wstart, _) = ast.byte_span(while_id);
+    let cond = ast.node(w.lhs);
+    if cond.tag != N::BinOp {
+        return Err(FrontError::new(
+            wstart,
+            "worksharing loop condition must be `var <cmp> bound`",
+        ));
+    }
+    let cmp_tok = ast.tokens[cond.main_token as usize].tag;
+    let cmp_code = match cmp_tok {
+        T::Lt => 0,
+        T::LtEq => 1,
+        T::Gt => 2,
+        T::GtEq => 3,
+        _ => {
+            return Err(FrontError::new(
+                wstart,
+                "worksharing loop comparison must be one of < <= > >=",
+            ))
+        }
+    };
+    let var_node = ast.node(cond.lhs);
+    if var_node.tag != N::Ident {
+        return Err(FrontError::new(
+            wstart,
+            "worksharing loop condition must compare the loop variable",
+        ));
+    }
+    let var = ast.token_text(var_node.main_token).to_string();
+    let ub_text = ast.node_text(cond.rhs).to_string();
+
+    let body = ast.extra_data[w.rhs as usize];
+    let cont = ast.extra_data[w.rhs as usize + 1];
+    if cont == 0 {
+        return Err(FrontError::new(
+            wstart,
+            "worksharing loops need a `: (i += step)` continuation",
+        ));
+    }
+    let cont_id = cont - 1;
+    let cont_node = ast.node(cont_id);
+    if cont_node.tag != N::CompoundAssign {
+        return Err(FrontError::new(
+            wstart,
+            "worksharing loop continuation must be `i += step` or `i -= step`",
+        ));
+    }
+    let lhs = ast.node(cont_node.lhs);
+    if lhs.tag != N::Ident || ast.token_text(lhs.main_token) != var {
+        return Err(FrontError::new(
+            wstart,
+            "loop continuation must update the loop variable",
+        ));
+    }
+    let step_text = ast.node_text(cont_node.rhs).to_string();
+    let incr_text = match ast.tokens[cont_node.main_token as usize].tag {
+        T::PlusEq => step_text,
+        T::MinusEq => format!("-({step_text})"),
+        _ => {
+            return Err(FrontError::new(
+                wstart,
+                "loop continuation must use += or -=",
+            ))
+        }
+    };
+    let cont_text = ast.node_text(cont_id).to_string();
+    Ok(LoopShape {
+        var,
+        cmp_code,
+        ub_text,
+        incr_text,
+        cont_text,
+        body,
+    })
+}
+
+fn replace_while(
+    ast: &Ast,
+    id: NodeId,
+    node: &Node,
+    counter: &mut usize,
+) -> Result<Payload, FrontError> {
+    let clauses = Clauses::read(&ast.extra_data, node.lhs);
+    let k = *counter;
+    *counter += 1;
+
+    if clauses.flags.collapse > 2 {
+        let (s, _) = ast.byte_span(id);
+        return Err(FrontError::new(
+            s,
+            "collapse depths greater than 2 are parsed and stored but not lowered",
+        ));
+    }
+    if clauses.flags.collapse == 2 {
+        return replace_while_collapse2(ast, id, node, &clauses, k);
+    }
+
+    let shape = loop_shape(ast, node.rhs)?;
+    let mut body = block_inner(ast, shape.body)?.to_string();
+
+    // Schedule kind codes for ws_begin: 0 static, 1 dynamic, 2 guided,
+    // 3 runtime (auto maps to static).
+    let (kind_code, chunk) = match clauses.schedule {
+        None => (0u32, 0u32),
+        Some(s) => {
+            let code = match s.kind {
+                SchedKind::Dynamic => 1,
+                SchedKind::Guided => 2,
+                SchedKind::Runtime => 3,
+                _ => 0,
+            };
+            (code, s.chunk.unwrap_or(0))
+        }
+    };
+
+    let mut pre = String::new();
+    let mut post = String::new();
+
+    // Loop privates: fresh names to honour Zig's no-shadowing rule.
+    for &tok in &clauses.private {
+        let p = place_of(ast, tok);
+        let fresh = format!("__prv_{}_{k}", p.ident);
+        pre.push_str(&format!("var {fresh}: any = undefined;\n"));
+        body = rewrite_ident(&body, &p.ident, &fresh, false);
+    }
+    for &tok in &clauses.firstprivate {
+        let p = place_of(ast, tok);
+        let fresh = format!("__prv_{}_{k}", p.ident);
+        pre.push_str(&format!("var {fresh}: any = {};\n", p.access()));
+        body = rewrite_ident(&body, &p.ident, &fresh, false);
+    }
+
+    // Loop reductions: a team-shared cell per variable, a private
+    // accumulator, and a write-back after the combine (the "reduction
+    // temporaries which may not share their names with the shared variable"
+    // of §III-B3).
+    let mut has_reduction = false;
+    for &(op, tok) in &clauses.reduction {
+        has_reduction = true;
+        let p = place_of(ast, tok);
+        let cell = format!("__rc_{}_{k}", sanitize(&p.ident));
+        let acc = format!("__acc_{}_{k}", sanitize(&p.ident));
+        pre.push_str(&format!(
+            "const {cell} = omp.internal.red_loop_begin({}, {});\n",
+            red_op_code(op),
+            p.access()
+        ));
+        pre.push_str(&format!(
+            "var {acc}: any = omp.internal.red_identity({cell});\n"
+        ));
+        body = rewrite_ident(&body, &p.ident, &acc, p.deref);
+        post.push_str(&format!(
+            "{} = omp.internal.red_loop_end({cell}, {acc});\n",
+            p.access()
+        ));
+    }
+
+    // The loop itself: the generic wrapper over __kmpc_for_static_* /
+    // __kmpc_dispatch_* (§III-C). Bounds are evaluated once at entry.
+    let ws = format!("__ws_{k}");
+    let ub = format!("__ub_{k}");
+    let var = &shape.var;
+    let inner_cmp = match shape.cmp_code {
+        2 | 3 => format!("{var} > {ub}"),
+        _ => format!("{var} < {ub}"),
+    };
+    // With a reduction the combined value is only safe to read after a
+    // barrier, so the barrier stays even under nowait (what Clang does).
+    let nowait_flag = if clauses.flags.nowait && !has_reduction {
+        1
+    } else {
+        0
+    };
+    let text = format!(
+        "{{\n{pre}const {ws} = omp.internal.ws_begin({kind_code}, {chunk}, {var}, {}, {}, {});\n\
+         while (omp.internal.ws_next({ws})) {{\n\
+         {var} = omp.internal.ws_lb({ws});\n\
+         const {ub} = omp.internal.ws_ub({ws});\n\
+         while ({inner_cmp}) : ({cont}) {{\n{body}\n}}\n\
+         }}\n\
+         omp.internal.ws_fini({ws}, {nowait_flag});\n{post}}}",
+        shape.ub_text, shape.incr_text, shape.cmp_code,
+        cont = shape.cont_text,
+    );
+
+    Ok(Payload {
+        span: ast.byte_span(id),
+        text,
+        appendix: String::new(),
+    })
+}
+
+/// `collapse(2)`: fuse two perfectly nested loops into one logical
+/// iteration space of `tripA * tripB` and workshare over it. The canonical
+/// shape is required — the outer body must be exactly an inner-counter
+/// declaration followed by the inner while loop:
+///
+/// ```text
+/// //$omp while collapse(2)
+/// while (i < n) : (i += 1) {
+///     var j: i64 = 0;
+///     while (j < m) : (j += 1) { <body> }
+/// }
+/// ```
+///
+/// Both loops' bounds must be invariant across the collapsed space (the
+/// OpenMP requirement for rectangular collapse).
+fn replace_while_collapse2(
+    ast: &Ast,
+    id: NodeId,
+    node: &Node,
+    clauses: &Clauses,
+    k: usize,
+) -> Result<Payload, FrontError> {
+    let (start, _) = ast.byte_span(id);
+    let outer = loop_shape(ast, node.rhs)?;
+
+    // The outer body: [VarDecl inner-counter, While inner].
+    let body_node = ast.node(outer.body);
+    if body_node.tag != N::Block {
+        return Err(FrontError::new(start, "collapse(2) needs a block body"));
+    }
+    let stmts = ast.range(body_node).to_vec();
+    if stmts.len() != 2
+        || ast.node(stmts[0]).tag != N::VarDecl
+        || ast.node(stmts[1]).tag != N::While
+    {
+        return Err(FrontError::new(
+            start,
+            "collapse(2) requires the outer body to be exactly `var j = ...; while (...) : (...) { }`",
+        ));
+    }
+    let decl = ast.node(stmts[0]);
+    let inner_var = ast.token_text(decl.main_token).to_string();
+    if decl.rhs == 0 {
+        return Err(FrontError::new(start, "inner counter needs an initializer"));
+    }
+    let inner_lb_text = ast.node_text(decl.rhs - 1).to_string();
+    let inner = loop_shape_of_while(ast, stmts[1])?;
+    if inner.var != inner_var {
+        return Err(FrontError::new(
+            start,
+            "the declared counter must drive the inner loop",
+        ));
+    }
+    let mut body = block_inner(ast, inner.body)?.to_string();
+
+    let (kind_code, chunk) = match clauses.schedule {
+        None => (0u32, 0u32),
+        Some(s) => {
+            let code = match s.kind {
+                SchedKind::Dynamic => 1,
+                SchedKind::Guided => 2,
+                SchedKind::Runtime => 3,
+                _ => 0,
+            };
+            (code, s.chunk.unwrap_or(0))
+        }
+    };
+
+    let mut pre = String::new();
+    let mut post = String::new();
+    for &tok in &clauses.private {
+        let p = place_of(ast, tok);
+        let fresh = format!("__prv_{}_{k}", p.ident);
+        pre.push_str(&format!("var {fresh}: any = undefined;\n"));
+        body = rewrite_ident(&body, &p.ident, &fresh, false);
+    }
+    for &tok in &clauses.firstprivate {
+        let p = place_of(ast, tok);
+        let fresh = format!("__prv_{}_{k}", p.ident);
+        pre.push_str(&format!("var {fresh}: any = {};\n", p.access()));
+        body = rewrite_ident(&body, &p.ident, &fresh, false);
+    }
+    let mut has_reduction = false;
+    for &(op, tok) in &clauses.reduction {
+        has_reduction = true;
+        let p = place_of(ast, tok);
+        let cell = format!("__rc_{}_{k}", sanitize(&p.ident));
+        let acc = format!("__acc_{}_{k}", sanitize(&p.ident));
+        pre.push_str(&format!(
+            "const {cell} = omp.internal.red_loop_begin({}, {});\n",
+            red_op_code(op),
+            p.access()
+        ));
+        pre.push_str(&format!(
+            "var {acc}: any = omp.internal.red_identity({cell});\n"
+        ));
+        body = rewrite_ident(&body, &p.ident, &acc, p.deref);
+        post.push_str(&format!(
+            "{} = omp.internal.red_loop_end({cell}, {acc});\n",
+            p.access()
+        ));
+    }
+
+    let ws = format!("__ws_{k}");
+    let (ta, tb) = (format!("__tripa_{k}"), format!("__tripb_{k}"));
+    let (lba, lbb) = (format!("__lba_{k}"), format!("__lbb_{k}"));
+    let idx = format!("__idx_{k}");
+    let idxub = format!("__idxub_{k}");
+    let ovar = &outer.var;
+    let nowait_flag = if clauses.flags.nowait && !has_reduction { 1 } else { 0 };
+
+    let text = format!(
+        "{{\n{pre}         const {lba} = {ovar};\n         const {lbb} = {inner_lb};\n         const {ta} = omp.internal.trip_count({lba}, {uba}, {inca}, {cmpa});\n         const {tb} = omp.internal.trip_count({lbb}, {ubb}, {incb}, {cmpb});\n         const {ws} = omp.internal.ws_begin({kind_code}, {chunk}, 0, {ta} * {tb}, 1, 0);\n         while (omp.internal.ws_next({ws})) {{\n         var {idx}: i64 = omp.internal.ws_lb({ws});\n         const {idxub} = omp.internal.ws_ub({ws});\n         while ({idx} < {idxub}) : ({idx} += 1) {{\n         {ovar} = {lba} + ({idx} / {tb}) * ({inca});\n         var {ivar}: any = {lbb} + ({idx} % {tb}) * ({incb});\n         {body}\n         _ = {ivar};\n         }}\n         }}\n         omp.internal.ws_fini({ws}, {nowait_flag});\n{post}}}",
+        inner_lb = inner_lb_text,
+        uba = outer.ub_text,
+        inca = outer.incr_text,
+        cmpa = outer.cmp_code,
+        ubb = inner.ub_text,
+        incb = inner.incr_text,
+        cmpb = inner.cmp_code,
+        ivar = inner_var,
+    );
+
+    Ok(Payload {
+        span: ast.byte_span(id),
+        text,
+        appendix: String::new(),
+    })
+}
+
+/// [`loop_shape`] for a bare `While` node (not a directive's rhs).
+fn loop_shape_of_while(ast: &Ast, while_id: NodeId) -> Result<LoopShape, FrontError> {
+    loop_shape_inner(ast, while_id)
+}
+
+fn sanitize(ident: &str) -> String {
+    ident.replace(|c: char| !c.is_ascii_alphanumeric(), "_")
+}
+
+// ---------------------------------------------------------------------------
+// Pass 3: simple directives
+// ---------------------------------------------------------------------------
+
+fn replace_simple(ast: &Ast, id: NodeId, node: &Node) -> Result<Payload, FrontError> {
+    let span = ast.byte_span(id);
+    let text = match node.tag {
+        N::OmpBarrier => "omp.internal.barrier();".to_string(),
+        N::OmpMaster => {
+            let body = block_inner(ast, node.rhs)?;
+            format!("if (omp.internal.is_master()) {{\n{body}\n}}")
+        }
+        N::OmpSingle => {
+            let clauses = Clauses::read(&ast.extra_data, node.lhs);
+            let body = block_inner(ast, node.rhs)?;
+            format!(
+                "if (omp.internal.single_begin()) {{\n{body}\n}}\nomp.internal.single_end({});",
+                clauses.flags.nowait as u32
+            )
+        }
+        N::OmpCritical => {
+            let name = if ast.tokens[node.main_token as usize].tag == T::Ident {
+                ast.token_text(node.main_token)
+            } else {
+                "" // the unnamed critical
+            };
+            let body = block_inner(ast, node.rhs)?;
+            format!(
+                "omp.internal.critical_enter(\"{name}\");\n{{\n{body}\n}}\nomp.internal.critical_exit(\"{name}\");"
+            )
+        }
+        N::OmpAtomic => {
+            let stmt = ast.node(node.rhs);
+            debug_assert_eq!(stmt.tag, N::CompoundAssign);
+            let lhs_text = ast.node_text(stmt.lhs);
+            let rhs_text = ast.node_text(stmt.rhs);
+            let op = match ast.tokens[stmt.main_token as usize].tag {
+                T::PlusEq => 0,
+                T::MinusEq => 9, // sub: distinct from Add for the VM RMW
+                T::StarEq => 1,
+                T::SlashEq => 10,
+                _ => unreachable!("parser enforces compound assignment"),
+            };
+            format!("omp.internal.atomic_rmw(&({lhs_text}), {op}, {rhs_text});")
+        }
+        N::OmpThreadprivate => {
+            return Err(FrontError::new(
+                span.0,
+                "threadprivate requires global variables, which Zag does not have; \
+                 use the zomp runtime's ThreadPrivate<T> from Rust instead",
+            ))
+        }
+        _ => unreachable!("replace_simple called on non-simple directive"),
+    };
+    Ok(Payload {
+        span,
+        text,
+        appendix: String::new(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pp(src: &str) -> String {
+        preprocess(src).map_err(|e| panic!("{}", e.render(src))).unwrap()
+    }
+
+    #[test]
+    fn pragma_free_source_is_unchanged() {
+        let src = "fn main() void { var x: i64 = 1; x = x + 1; }";
+        assert_eq!(pp(src), src);
+    }
+
+    #[test]
+    fn parallel_region_is_outlined() {
+        let src = "fn main() void {\n\
+                   var s: i64 = 0;\n\
+                   //$omp parallel shared(s) num_threads(4)\n\
+                   {\n s = 1;\n }\n\
+                   }";
+        let out = pp(src);
+        assert!(out.contains("fn __omp_outlined_0"), "{out}");
+        assert!(out.contains("omp.internal.fork_call(4, __omp_outlined_0, &s)"), "{out}");
+        // Shared access rewritten to a pointer access inside the outline.
+        assert!(out.contains("__shr_s.* = 1;"), "{out}");
+        // Result parses cleanly with no pragmas left.
+        let ast = parse(&out).unwrap();
+        assert!(!ast.has_pragmas());
+    }
+
+    #[test]
+    fn firstprivate_passed_by_value_private_declared() {
+        let src = "fn main() void {\n\
+                   var a: i64 = 7;\n\
+                   //$omp parallel firstprivate(a) private(t)\n\
+                   {\n t = a;\n _ = t;\n }\n\
+                   }";
+        let out = pp(src);
+        assert!(out.contains("fork_call(0, __omp_outlined_0, a)"), "{out}");
+        assert!(out.contains("var t : any = undefined;"), "{out}");
+        parse(&out).unwrap();
+    }
+
+    #[test]
+    fn region_reduction_uses_cell_protocol() {
+        let src = "fn main() void {\n\
+                   var r: f64 = 0.0;\n\
+                   //$omp parallel reduction(+: r)\n\
+                   {\n r = r + 1.0;\n }\n\
+                   _ = r;\n\
+                   }";
+        let out = pp(src);
+        assert!(out.contains("omp.internal.red_cell(0, r)"), "{out}");
+        assert!(out.contains("omp.internal.red_identity"), "{out}");
+        assert!(out.contains("omp.internal.red_combine"), "{out}");
+        assert!(out.contains("r = omp.internal.red_get"), "{out}");
+        parse(&out).unwrap();
+    }
+
+    #[test]
+    fn worksharing_loop_becomes_ws_driver() {
+        let src = "fn f() void {\n\
+                   var i: i64 = 0;\n\
+                   //$omp while schedule(dynamic, 8) nowait\n\
+                   while (i < 100) : (i += 1) {\n _ = i;\n }\n\
+                   }";
+        let out = pp(src);
+        assert!(out.contains("omp.internal.ws_begin(1, 8, i, 100, 1, 0)"), "{out}");
+        assert!(out.contains("omp.internal.ws_next"), "{out}");
+        assert!(out.contains("omp.internal.ws_fini(__ws_0, 1)"), "{out}");
+        parse(&out).unwrap();
+    }
+
+    #[test]
+    fn loop_reduction_renames_accumulator() {
+        // The §III-B3 case: the loop reduction temporary must not share its
+        // name with the variable being reduced into.
+        let src = "fn f() void {\n\
+                   var sum: f64 = 0.0;\n\
+                   var i: i64 = 0;\n\
+                   //$omp while reduction(+: sum)\n\
+                   while (i < 10) : (i += 1) {\n sum = sum + 1.0;\n }\n\
+                   _ = sum;\n\
+                   }";
+        let out = pp(src);
+        assert!(out.contains("red_loop_begin(0, sum)"), "{out}");
+        assert!(out.contains("__acc_sum_0 = __acc_sum_0 + 1.0;"), "{out}");
+        assert!(out.contains("sum = omp.internal.red_loop_end"), "{out}");
+        // Reduction forces the barrier: nowait flag 0.
+        assert!(out.contains("ws_fini(__ws_0, 0)"), "{out}");
+        parse(&out).unwrap();
+    }
+
+    #[test]
+    fn parallel_then_inner_loop_lowered_over_two_passes() {
+        // The canonical CG shape: a parallel region containing a
+        // worksharing reduction loop over a shared variable. The parallel
+        // pass rewrites `rho` into `__shr_rho.*` everywhere — including in
+        // the inner pragma's clause list — and the while pass then reduces
+        // into the dereferenced place.
+        let src = "fn main() void {\n\
+                   var rho: f64 = 0.0;\n\
+                   var n: i64 = 64;\n\
+                   //$omp parallel shared(rho) firstprivate(n)\n\
+                   {\n\
+                   var j: i64 = 0;\n\
+                   //$omp while reduction(+: rho)\n\
+                   while (j < n) : (j += 1) {\n rho = rho + 1.0;\n }\n\
+                   }\n\
+                   _ = rho;\n\
+                   }";
+        let (out, trace) = preprocess_trace(src).unwrap();
+        assert!(trace.len() >= 2, "two passes minimum");
+        // After pass 1 the inner pragma mentions the rewritten place.
+        assert!(trace[0].contains("reduction(+: __shr_rho.*)"), "{}", trace[0]);
+        // Final output reduces into the pointer access.
+        assert!(out.contains("red_loop_begin(0, __shr_rho.*)"), "{out}");
+        assert!(out.contains("__shr_rho.* = omp.internal.red_loop_end"), "{out}");
+        let ast = parse(&out).unwrap();
+        assert!(!ast.has_pragmas());
+    }
+
+    #[test]
+    fn simple_directives_lower() {
+        let src = "fn f() void {\n\
+                   var x: i64 = 0;\n\
+                   //$omp barrier\n\
+                   //$omp master\n{ x = 1; }\n\
+                   //$omp single nowait\n{ x = 2; }\n\
+                   //$omp critical (lock1)\n{ x = 3; }\n\
+                   //$omp atomic\nx += 5;\n\
+                   }";
+        let out = pp(src);
+        assert!(out.contains("omp.internal.barrier();"), "{out}");
+        assert!(out.contains("if (omp.internal.is_master())"), "{out}");
+        assert!(out.contains("omp.internal.single_begin()"), "{out}");
+        assert!(out.contains("omp.internal.single_end(1);"), "{out}");
+        assert!(out.contains("critical_enter(\"lock1\")"), "{out}");
+        assert!(out.contains("atomic_rmw(&(x), 0, 5)"), "{out}");
+        parse(&out).unwrap();
+    }
+
+    #[test]
+    fn variable_rewrite_respects_member_access() {
+        // `foo.s` must not be rewritten when `s` is shared — "two
+        // identifiers refer to the same entity as long as neither is
+        // preceded by a period".
+        let r = rewrite_ident("s = foo.s + s;", "s", "__shr_s.*", false);
+        assert_eq!(r, "__shr_s.* = foo.s + __shr_s.*;");
+    }
+
+    #[test]
+    fn rewrite_strips_deref_for_accumulators() {
+        let r = rewrite_ident("x.* = x.* + a[x.*];", "x", "acc", true);
+        assert_eq!(r, "acc = acc + a[acc];");
+    }
+
+    #[test]
+    fn offsets_adjust_across_multiple_replacements() {
+        let src = "fn f() void {\n\
+                   //$omp barrier\n\
+                   var x: i64 = 0;\n\
+                   //$omp barrier\n\
+                   _ = x;\n\
+                   //$omp barrier\n\
+                   }";
+        let out = pp(src);
+        assert_eq!(out.matches("omp.internal.barrier();").count(), 3, "{out}");
+        parse(&out).unwrap();
+    }
+
+    #[test]
+    fn threadprivate_reports_clear_error() {
+        let src = "//$omp threadprivate(g)\nfn f() void { }";
+        let err = preprocess(src).unwrap_err();
+        assert!(err.message.contains("threadprivate"));
+    }
+
+    #[test]
+    fn downward_loop_shape() {
+        let src = "fn f() void {\n\
+                   var i: i64 = 10;\n\
+                   //$omp while\n\
+                   while (i > 0) : (i -= 1) {\n _ = i;\n }\n\
+                   }";
+        let out = pp(src);
+        assert!(out.contains("ws_begin(0, 0, i, 0, -(1), 2)"), "{out}");
+        assert!(out.contains("while (i > __ub_0)"), "{out}");
+        parse(&out).unwrap();
+    }
+}

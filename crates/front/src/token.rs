@@ -1,0 +1,416 @@
+//! The Zag tokenizer.
+//!
+//! Pragmas are *sentinel comments*: a comment beginning `//$omp` starts an
+//! OpenMP directive, "similar to how they are supported in Fortran"
+//! (§III-A). The tokenizer follows the paper's option **B** (Fig. 1): the
+//! sentinel becomes one `PragmaSentinel` token, and the remainder of the
+//! pragma line is tokenised as ordinary code — possible because pragmas
+//! consist entirely of tokens Zag already has. A `PragmaEnd` token marks
+//! the end of the line so the parser knows where the directive stops.
+//!
+//! OpenMP directive and clause names (`parallel`, `private`, ...) are *not*
+//! keywords — adding them "would break compatibility with existing codes" —
+//! so they come out of the tokenizer as plain [`Tag::Ident`] tokens and are
+//! recognised later (see [`crate::omp_kw`]).
+
+/// Token kinds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Tag {
+    // Literals and names.
+    Ident,
+    IntLit,
+    FloatLit,
+    StrLit,
+    /// `@name` compiler builtins (`@intToFloat`, `@sqrt`, ...).
+    Builtin,
+
+    // Language keywords (real keywords; OpenMP names are NOT here).
+    KwFn,
+    KwVar,
+    KwConst,
+    KwWhile,
+    KwIf,
+    KwElse,
+    KwReturn,
+    KwBreak,
+    KwContinue,
+    KwTrue,
+    KwFalse,
+    KwAnd,
+    KwOr,
+    KwUndefined,
+
+    // Punctuation and operators.
+    LParen,
+    RParen,
+    LBrace,
+    RBrace,
+    LBracket,
+    RBracket,
+    Semicolon,
+    Colon,
+    Comma,
+    Dot,
+    DotStar, // `.*` pointer dereference
+    Amp,     // `&` address-of
+    Plus,
+    Minus,
+    Star,
+    Slash,
+    Percent,
+    Bang,
+    Eq,
+    PlusEq,
+    MinusEq,
+    StarEq,
+    SlashEq,
+    EqEq,
+    BangEq,
+    Lt,
+    LtEq,
+    Gt,
+    GtEq,
+
+    // OpenMP sentinel comment machinery.
+    PragmaSentinel,
+    PragmaEnd,
+
+    Eof,
+}
+
+/// One token: a tag plus its byte span in the source (spans are what the
+/// preprocessor uses to splice replacement text).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Token {
+    pub tag: Tag,
+    pub start: u32,
+    pub end: u32,
+}
+
+impl Token {
+    pub fn text<'s>(&self, source: &'s str) -> &'s str {
+        &source[self.start as usize..self.end as usize]
+    }
+}
+
+/// The pragma sentinel, as a comment prefix.
+pub const SENTINEL: &str = "//$omp";
+
+fn keyword_tag(s: &str) -> Option<Tag> {
+    Some(match s {
+        "fn" => Tag::KwFn,
+        "var" => Tag::KwVar,
+        "const" => Tag::KwConst,
+        "while" => Tag::KwWhile,
+        "if" => Tag::KwIf,
+        "else" => Tag::KwElse,
+        "return" => Tag::KwReturn,
+        "break" => Tag::KwBreak,
+        "continue" => Tag::KwContinue,
+        "true" => Tag::KwTrue,
+        "false" => Tag::KwFalse,
+        "and" => Tag::KwAnd,
+        "or" => Tag::KwOr,
+        "undefined" => Tag::KwUndefined,
+        _ => return None,
+    })
+}
+
+/// Tokenize the whole source. Never fails: unknown bytes become an error at
+/// parse time by producing no valid token sequence — the tokenizer reports
+/// them via `Err` with the byte offset.
+pub fn tokenize(source: &str) -> Result<Vec<Token>, crate::FrontError> {
+    let b = source.as_bytes();
+    let mut toks = Vec::with_capacity(source.len() / 4);
+    let mut i = 0usize;
+    // Are we inside a pragma line (between sentinel and end of line)?
+    let mut in_pragma = false;
+
+    macro_rules! push {
+        ($tag:expr, $start:expr, $end:expr) => {
+            toks.push(Token {
+                tag: $tag,
+                start: $start as u32,
+                end: $end as u32,
+            })
+        };
+    }
+
+    while i < b.len() {
+        let c = b[i];
+        match c {
+            b'\n' if in_pragma => {
+                push!(Tag::PragmaEnd, i, i);
+                in_pragma = false;
+                i += 1;
+            }
+            c if (c as char).is_ascii_whitespace() => i += 1,
+            b'/' if b.get(i + 1) == Some(&b'/') => {
+                // Comment — or the OpenMP sentinel.
+                if source[i..].starts_with(SENTINEL) {
+                    push!(Tag::PragmaSentinel, i, i + SENTINEL.len());
+                    in_pragma = true;
+                    i += SENTINEL.len();
+                } else {
+                    while i < b.len() && b[i] != b'\n' {
+                        i += 1;
+                    }
+                }
+            }
+            b'@' => {
+                let start = i;
+                i += 1;
+                while i < b.len() && (b[i].is_ascii_alphanumeric() || b[i] == b'_') {
+                    i += 1;
+                }
+                if i == start + 1 {
+                    return Err(crate::FrontError::new(start, "lone '@'"));
+                }
+                push!(Tag::Builtin, start, i);
+            }
+            c if c.is_ascii_alphabetic() || c == b'_' => {
+                let start = i;
+                while i < b.len() && (b[i].is_ascii_alphanumeric() || b[i] == b'_') {
+                    i += 1;
+                }
+                let text = &source[start..i];
+                push!(keyword_tag(text).unwrap_or(Tag::Ident), start, i);
+            }
+            c if c.is_ascii_digit() => {
+                let start = i;
+                while i < b.len() && b[i].is_ascii_digit() {
+                    i += 1;
+                }
+                let mut tag = Tag::IntLit;
+                // A fractional part — but not a method call like `0.foo` or
+                // a deref `x.*` (digits can't be followed by those anyway).
+                if i + 1 < b.len() && b[i] == b'.' && b[i + 1].is_ascii_digit() {
+                    tag = Tag::FloatLit;
+                    i += 1;
+                    while i < b.len() && b[i].is_ascii_digit() {
+                        i += 1;
+                    }
+                }
+                // Exponent.
+                if i < b.len() && (b[i] == b'e' || b[i] == b'E') {
+                    let mut j = i + 1;
+                    if j < b.len() && (b[j] == b'+' || b[j] == b'-') {
+                        j += 1;
+                    }
+                    if j < b.len() && b[j].is_ascii_digit() {
+                        tag = Tag::FloatLit;
+                        i = j;
+                        while i < b.len() && b[i].is_ascii_digit() {
+                            i += 1;
+                        }
+                    }
+                }
+                push!(tag, start, i);
+            }
+            b'"' => {
+                let start = i;
+                i += 1;
+                while i < b.len() && b[i] != b'"' {
+                    if b[i] == b'\\' {
+                        i += 1;
+                    }
+                    i += 1;
+                }
+                if i >= b.len() {
+                    return Err(crate::FrontError::new(start, "unterminated string"));
+                }
+                i += 1;
+                push!(Tag::StrLit, start, i);
+            }
+            _ => {
+                let start = i;
+                // `get` (not slicing) so a multi-byte UTF-8 character cannot
+                // split and panic; unknown bytes fall through to the error.
+                let two = source.get(i..i + 2).unwrap_or("");
+                let (tag, len) = match two {
+                    ".*" => (Tag::DotStar, 2),
+                    "+=" => (Tag::PlusEq, 2),
+                    "-=" => (Tag::MinusEq, 2),
+                    "*=" => (Tag::StarEq, 2),
+                    "/=" => (Tag::SlashEq, 2),
+                    "==" => (Tag::EqEq, 2),
+                    "!=" => (Tag::BangEq, 2),
+                    "<=" => (Tag::LtEq, 2),
+                    ">=" => (Tag::GtEq, 2),
+                    _ => match c {
+                        b'(' => (Tag::LParen, 1),
+                        b')' => (Tag::RParen, 1),
+                        b'{' => (Tag::LBrace, 1),
+                        b'}' => (Tag::RBrace, 1),
+                        b'[' => (Tag::LBracket, 1),
+                        b']' => (Tag::RBracket, 1),
+                        b';' => (Tag::Semicolon, 1),
+                        b':' => (Tag::Colon, 1),
+                        b',' => (Tag::Comma, 1),
+                        b'.' => (Tag::Dot, 1),
+                        b'&' => (Tag::Amp, 1),
+                        b'+' => (Tag::Plus, 1),
+                        b'-' => (Tag::Minus, 1),
+                        b'*' => (Tag::Star, 1),
+                        b'/' => (Tag::Slash, 1),
+                        b'%' => (Tag::Percent, 1),
+                        b'!' => (Tag::Bang, 1),
+                        b'=' => (Tag::Eq, 1),
+                        b'<' => (Tag::Lt, 1),
+                        b'>' => (Tag::Gt, 1),
+                        other => {
+                            return Err(crate::FrontError::new(
+                                start,
+                                format!("unexpected character {:?}", other as char),
+                            ))
+                        }
+                    },
+                };
+                push!(tag, start, start + len);
+                i = start + len;
+            }
+        }
+    }
+    if in_pragma {
+        push!(Tag::PragmaEnd, i, i);
+    }
+    push!(Tag::Eof, i, i);
+    Ok(toks)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tags(src: &str) -> Vec<Tag> {
+        tokenize(src).unwrap().iter().map(|t| t.tag).collect()
+    }
+
+    #[test]
+    fn basic_tokens() {
+        assert_eq!(
+            tags("var x: i64 = 1;"),
+            vec![
+                Tag::KwVar,
+                Tag::Ident,
+                Tag::Colon,
+                Tag::Ident,
+                Tag::Eq,
+                Tag::IntLit,
+                Tag::Semicolon,
+                Tag::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn float_and_exponent_literals() {
+        assert_eq!(tags("1.5"), vec![Tag::FloatLit, Tag::Eof]);
+        assert_eq!(tags("2e10"), vec![Tag::FloatLit, Tag::Eof]);
+        assert_eq!(tags("3.25e-4"), vec![Tag::FloatLit, Tag::Eof]);
+        assert_eq!(tags("7"), vec![Tag::IntLit, Tag::Eof]);
+    }
+
+    #[test]
+    fn sentinel_comment_becomes_pragma_tokens() {
+        // The paper's option B: sentinel token + ordinary tokens + end.
+        let t = tags("//$omp parallel private(x)\n{ }");
+        assert_eq!(
+            t,
+            vec![
+                Tag::PragmaSentinel,
+                Tag::Ident, // parallel — an identifier, not a keyword!
+                Tag::Ident, // private
+                Tag::LParen,
+                Tag::Ident,
+                Tag::RParen,
+                Tag::PragmaEnd,
+                Tag::LBrace,
+                Tag::RBrace,
+                Tag::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn ordinary_comments_are_skipped() {
+        assert_eq!(tags("// just a comment\nx"), vec![Tag::Ident, Tag::Eof]);
+        // Even one that merely mentions omp.
+        assert_eq!(tags("// omp parallel\nx"), vec![Tag::Ident, Tag::Eof]);
+    }
+
+    #[test]
+    fn pragma_at_eof_without_newline() {
+        let t = tags("//$omp barrier");
+        assert_eq!(
+            t,
+            vec![Tag::PragmaSentinel, Tag::Ident, Tag::PragmaEnd, Tag::Eof]
+        );
+    }
+
+    #[test]
+    fn deref_and_compound_ops() {
+        assert_eq!(
+            tags("p.* += 2;"),
+            vec![Tag::Ident, Tag::DotStar, Tag::PlusEq, Tag::IntLit, Tag::Semicolon, Tag::Eof]
+        );
+        assert_eq!(tags("a <= b"), vec![Tag::Ident, Tag::LtEq, Tag::Ident, Tag::Eof]);
+    }
+
+    #[test]
+    fn builtins() {
+        assert_eq!(
+            tags("@intToFloat(i)"),
+            vec![Tag::Builtin, Tag::LParen, Tag::Ident, Tag::RParen, Tag::Eof]
+        );
+    }
+
+    #[test]
+    fn member_access_vs_deref() {
+        assert_eq!(
+            tags("omp.internal.barrier()"),
+            vec![
+                Tag::Ident,
+                Tag::Dot,
+                Tag::Ident,
+                Tag::Dot,
+                Tag::Ident,
+                Tag::LParen,
+                Tag::RParen,
+                Tag::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn spans_are_exact() {
+        let src = "var abc = 12;";
+        let toks = tokenize(src).unwrap();
+        assert_eq!(toks[1].text(src), "abc");
+        assert_eq!(toks[3].text(src), "12");
+    }
+
+    #[test]
+    fn openmp_names_are_identifiers_outside_pragmas() {
+        // `parallel` must remain usable as a normal variable name — the
+        // compatibility constraint that forced the identifier+hash-map
+        // design in the paper.
+        assert_eq!(
+            tags("var parallel = 1;"),
+            vec![Tag::KwVar, Tag::Ident, Tag::Eq, Tag::IntLit, Tag::Semicolon, Tag::Eof]
+        );
+    }
+
+    #[test]
+    fn unterminated_string_errors() {
+        assert!(tokenize("\"abc").is_err());
+    }
+
+    #[test]
+    fn strings_with_escapes() {
+        let src = r#""he\"llo""#;
+        let toks = tokenize(src).unwrap();
+        assert_eq!(toks[0].tag, Tag::StrLit);
+        assert_eq!(toks[0].text(src), src);
+    }
+}

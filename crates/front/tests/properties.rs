@@ -1,0 +1,174 @@
+//! Property-based tests of the front-end: the tokenizer is total and
+//! span-exact, clause packing round-trips arbitrary values, and the
+//! preprocessor converges to a pragma-free fixed point on randomly
+//! generated pragma programs.
+
+use proptest::prelude::*;
+use zomp_front::ast::{Clauses, PackedFlags, PackedSchedule, RedOpCode, SchedKind, MAX_CHUNK};
+use zomp_front::token::{tokenize, Tag};
+use zomp_front::{parse, preprocess};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// The tokenizer never panics on arbitrary input.
+    #[test]
+    fn tokenizer_is_total(s in "\\PC{0,200}") {
+        let _ = tokenize(&s);
+    }
+
+    /// Token spans tile the input: ordered, non-overlapping, in-bounds.
+    #[test]
+    fn token_spans_are_sane(s in "[a-z0-9+*<=;(){}\\[\\] .\n]{0,200}") {
+        if let Ok(toks) = tokenize(&s) {
+            let mut prev_end = 0u32;
+            for t in &toks {
+                prop_assert!(t.start <= t.end);
+                prop_assert!(t.start >= prev_end || t.tag == Tag::Eof);
+                prop_assert!((t.end as usize) <= s.len());
+                prev_end = t.end;
+            }
+            prop_assert_eq!(toks.last().unwrap().tag, Tag::Eof);
+        }
+    }
+
+    /// Packed schedule encoding round-trips every kind/chunk combination.
+    #[test]
+    fn packed_schedule_roundtrip(kind in 1u32..6, chunk in 0u32..=MAX_CHUNK) {
+        let sched = PackedSchedule {
+            kind: match kind {
+                1 => SchedKind::Static,
+                2 => SchedKind::Dynamic,
+                3 => SchedKind::Guided,
+                4 => SchedKind::Runtime,
+                _ => SchedKind::Auto,
+            },
+            chunk: (chunk > 0).then_some(chunk),
+        };
+        prop_assert_eq!(PackedSchedule::decode(sched.encode()), sched);
+    }
+
+    /// Packed flags round-trip every field combination.
+    #[test]
+    fn packed_flags_roundtrip(default in 0u8..3, nowait in any::<bool>(),
+                              collapse in 0u8..16, hnt in any::<bool>()) {
+        let f = PackedFlags {
+            default: match default {
+                1 => zomp_front::ast::DefaultKind::Shared,
+                2 => zomp_front::ast::DefaultKind::None,
+                _ => zomp_front::ast::DefaultKind::NotSpecified,
+            },
+            nowait,
+            collapse,
+            has_num_threads: hnt,
+        };
+        prop_assert_eq!(PackedFlags::decode(f.encode()), f);
+    }
+
+    /// Clause blocks round-trip arbitrary list contents through extra_data.
+    #[test]
+    fn clause_block_roundtrip(
+        private in proptest::collection::vec(0u32..10_000, 0..8),
+        shared in proptest::collection::vec(0u32..10_000, 0..8),
+        red_toks in proptest::collection::vec(0u32..10_000, 0..6),
+        nt in proptest::option::of(1u32..5000),
+    ) {
+        let c = Clauses {
+            schedule: Some(PackedSchedule { kind: SchedKind::Dynamic, chunk: Some(3) }),
+            num_threads: nt,
+            private: private.clone(),
+            shared: shared.clone(),
+            reduction: red_toks.iter().map(|&t| (RedOpCode::Add, t)).collect(),
+            ..Default::default()
+        };
+        let mut extra = vec![7u32; 3];
+        let base = c.write(&mut extra);
+        let back = Clauses::read(&extra, base);
+        prop_assert_eq!(back.private, private);
+        prop_assert_eq!(back.shared, shared);
+        prop_assert_eq!(back.reduction.len(), red_toks.len());
+        prop_assert_eq!(back.num_threads, nt);
+    }
+}
+
+/// Random pragma-program generator: a parallel region holding a randomised
+/// worksharing loop (schedule, chunk, nowait, reduction op) plus optional
+/// simple directives. Every generated program must preprocess to a
+/// pragma-free fixed point that parses.
+fn arb_program() -> impl Strategy<Value = String> {
+    let sched = prop_oneof![
+        Just(String::new()),
+        Just("schedule(static)".to_string()),
+        (1u32..64).prop_map(|c| format!("schedule(static, {c})")),
+        (1u32..64).prop_map(|c| format!("schedule(dynamic, {c})")),
+        Just("schedule(guided)".to_string()),
+        Just("schedule(runtime)".to_string()),
+    ];
+    let red = prop_oneof![
+        Just(("".to_string(), false)),
+        Just(("reduction(+: acc)".to_string(), true)),
+        Just(("reduction(max: acc)".to_string(), true)),
+    ];
+    let nowait = any::<bool>();
+    let nthreads = 1u32..6;
+    let trip = 1u32..200;
+    let extras = prop_oneof![
+        Just(""),
+        Just("//$omp barrier\n"),
+        Just("//$omp master\n{ acc = acc; }\n"),
+        Just("//$omp single nowait\n{ acc = acc; }\n"),
+    ];
+
+    (sched, red, nowait, nthreads, trip, extras).prop_map(
+        |(sched, (red, has_red), nowait, nthreads, trip, extras)| {
+            let nowait = if nowait && !has_red { "nowait" } else { "" };
+            let acc_update = if has_red { "acc = acc + 1;" } else { "_ = i;" };
+            format!(
+                "fn main() void {{\n\
+                 var acc: i64 = 0;\n\
+                 //$omp parallel num_threads({nthreads}) shared(acc)\n\
+                 {{\n\
+                 var i: i64 = 0;\n\
+                 //$omp while {sched} {red} {nowait}\n\
+                 while (i < {trip}) : (i += 1) {{\n{acc_update}\n}}\n\
+                 {extras}\
+                 }}\n\
+                 _ = acc;\n\
+                 }}\n"
+            )
+        },
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Preprocessing converges, eliminates all pragmas, yields parseable
+    /// output, and is idempotent — for arbitrary clause combinations.
+    #[test]
+    fn preprocessor_reaches_pragma_free_fixed_point(src in arb_program()) {
+        let once = preprocess(&src)
+            .map_err(|e| TestCaseError::fail(format!("{}\n{src}", e.render(&src))))?;
+        let ast = parse(&once)
+            .map_err(|e| TestCaseError::fail(format!("output does not parse: {}\n{once}", e.render(&once))))?;
+        prop_assert!(!ast.has_pragmas(), "pragmas left:\n{once}");
+        let twice = preprocess(&once).unwrap();
+        prop_assert_eq!(&once, &twice, "not idempotent");
+    }
+}
+
+/// The generated programs do not just preprocess — they run and produce the
+/// right answer (sampled more sparsely: each case spins up real threads).
+#[test]
+fn random_programs_execute_correctly() {
+    use proptest::strategy::ValueTree;
+    use proptest::test_runner::TestRunner;
+    let mut runner = TestRunner::deterministic();
+    for _ in 0..12 {
+        let src = arb_program().new_tree(&mut runner).unwrap().current();
+        let out = zomp_vm::Vm::run(&src)
+            .map_err(|e| panic!("{e}\n--- source ---\n{src}"))
+            .unwrap();
+        assert!(out.is_empty(), "no prints expected");
+    }
+}

@@ -1,0 +1,2 @@
+//! Integration-test-only crate: see `tests/` for the cross-crate suites
+//! (pipeline equivalence, paper-claim gates, runtime interplay).

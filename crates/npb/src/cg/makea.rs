@@ -1,0 +1,358 @@
+//! Sparse matrix generation — port of `makea`/`sprnvc`/`vecset`/`sparse`
+//! from NPB `cg.f`.
+//!
+//! The matrix is a sum of geometrically weighted outer products of random
+//! sparse vectors, plus `rcond·I − shift·I` on the diagonal, giving a
+//! symmetric positive-definite matrix with condition number ≈ `1/rcond`
+//! whose largest eigenvalue the benchmark then estimates. The construction
+//! consumes the NPB random stream in a fixed order, so the official zeta
+//! verification values pin this port bit-for-bit to the Fortran.
+//!
+//! Internally the port keeps the Fortran's 1-based indexing (index 0
+//! unused) so every line can be audited against `cg.f`; the final
+//! [`SparseMatrix`] is normalised to 0-based CSR.
+
+// The ports keep the Fortran loop shapes for line-by-line auditability.
+#![allow(clippy::needless_range_loop, clippy::manual_memcpy)]
+
+use crate::class::CgParams;
+use crate::randlc::{randlc, DEFAULT_MULT, DEFAULT_SEED};
+
+/// A CSR sparse matrix (0-based).
+#[derive(Debug, Clone)]
+pub struct SparseMatrix {
+    pub n: usize,
+    /// Row pointers, `len == n + 1`.
+    pub rowstr: Vec<usize>,
+    /// Column indices, `len == nnz`.
+    pub colidx: Vec<usize>,
+    /// Values, `len == nnz`.
+    pub a: Vec<f64>,
+}
+
+impl SparseMatrix {
+    /// Number of stored nonzeros.
+    pub fn nnz(&self) -> usize {
+        self.a.len()
+    }
+
+    /// `y = A·x` (serial helper for tests and the serial solver).
+    pub fn spmv(&self, x: &[f64], y: &mut [f64]) {
+        for j in 0..self.n {
+            let mut sum = 0.0;
+            for k in self.rowstr[j]..self.rowstr[j + 1] {
+                sum += self.a[k] * x[self.colidx[k]];
+            }
+            y[j] = sum;
+        }
+    }
+}
+
+/// `icnvrt(x, ipwr2) = int(ipwr2 * x)` from cg.f.
+#[inline]
+fn icnvrt(x: f64, ipwr2: usize) -> usize {
+    (ipwr2 as f64 * x) as usize
+}
+
+/// Port of `sprnvc`: generate `nz` distinct random (index, value) pairs with
+/// indices in `1..=n`. `nn1` is the smallest power of two ≥ n.
+fn sprnvc(n: usize, nz: usize, nn1: usize, tran: &mut f64, out: &mut Vec<(usize, f64)>) {
+    out.clear();
+    while out.len() < nz {
+        let vecelt = randlc(tran, DEFAULT_MULT);
+        // Generate an integer index uniform on (0, n-1] via the next
+        // deviate; indices beyond n or already generated are rejected.
+        let vecloc = randlc(tran, DEFAULT_MULT);
+        let i = icnvrt(vecloc, nn1) + 1;
+        if i > n {
+            continue;
+        }
+        if out.iter().any(|&(idx, _)| idx == i) {
+            continue;
+        }
+        out.push((i, vecelt));
+    }
+}
+
+/// Port of `vecset`: force element `i` of the sparse vector to `val`,
+/// appending it if absent.
+fn vecset(v: &mut Vec<(usize, f64)>, i: usize, val: f64) {
+    for entry in v.iter_mut() {
+        if entry.0 == i {
+            entry.1 = val;
+            return;
+        }
+    }
+    v.push((i, val));
+}
+
+/// Generate the CG matrix for `params`. This consumes the random stream
+/// exactly as `cg.f` does, **including** the single `randlc` call the main
+/// program makes before `makea` (the initial `zeta = randlc(tran, amult)`).
+pub fn makea(params: &CgParams) -> SparseMatrix {
+    let n = params.na;
+    let nonzer = params.nonzer;
+    let nz = params.nz();
+    let rcond = 0.1f64;
+    let shift = params.shift;
+
+    let mut tran = DEFAULT_SEED;
+    // cg.f main: zeta = randlc(tran, amult) precedes the makea call.
+    let _zeta0 = randlc(&mut tran, DEFAULT_MULT);
+
+    // nn1: smallest power of two >= n.
+    let mut nn1 = 1usize;
+    while nn1 < n {
+        nn1 *= 2;
+    }
+
+    // Generate the n random sparse vectors (the [col, value] triples).
+    // arow(i) = length of vector i; acol/aelt its entries.
+    let mut arow = vec![0usize; n + 1];
+    let mut acol = vec![Vec::new(); n + 1];
+    let mut aelt = vec![Vec::new(); n + 1];
+    let mut scratch: Vec<(usize, f64)> = Vec::with_capacity(nonzer + 1);
+    for iouter in 1..=n {
+        sprnvc(n, nonzer, nn1, &mut tran, &mut scratch);
+        vecset(&mut scratch, iouter, 0.5);
+        arow[iouter] = scratch.len();
+        acol[iouter] = scratch.iter().map(|&(i, _)| i).collect();
+        aelt[iouter] = scratch.iter().map(|&(_, v)| v).collect();
+    }
+
+    sparse(n, nz, nonzer, &arow, &acol, &aelt, rcond, shift)
+}
+
+/// Port of `sparse`: assemble the CSR matrix from the outer-product triples.
+#[allow(clippy::too_many_arguments)]
+fn sparse(
+    n: usize,
+    nz: usize,
+    nonzer: usize,
+    arow: &[usize],
+    acol: &[Vec<usize>],
+    aelt: &[Vec<f64>],
+    rcond: f64,
+    shift: f64,
+) -> SparseMatrix {
+    let nrows = n;
+
+    // Count the triples contributing to each row (1-based rowstr, with
+    // rowstr[j] meaning "start of row j" after the prefix sum).
+    let mut rowstr = vec![0usize; nrows + 2];
+    for i in 1..=n {
+        for &col in &acol[i] {
+            let j = col + 1; // j = acol - firstrow + 2 with firstrow = 1
+            rowstr[j] += arow[i];
+        }
+    }
+    rowstr[1] = 1;
+    for j in 2..=nrows + 1 {
+        rowstr[j] += rowstr[j - 1];
+    }
+    let nza_total = rowstr[nrows + 1] - 1;
+    assert!(
+        nza_total <= nz,
+        "space for matrix elements exceeded: nza = {nza_total}, nzmax = {nz} (nonzer = {nonzer})"
+    );
+
+    // Work arrays (1-based; slot 0 unused).
+    let mut v = vec![0.0f64; nz + 1];
+    let mut iv = vec![0usize; nz + 1];
+    let mut nzloc = vec![0usize; nrows + 1];
+
+    // Assemble, summing duplicates and keeping each row's columns sorted.
+    let mut size = 1.0f64;
+    let ratio = rcond.powf(1.0 / n as f64);
+    for i in 1..=n {
+        for nza in 0..arow[i] {
+            let j = acol[i][nza];
+            let scale = size * aelt[i][nza];
+            for nzrow in 0..arow[i] {
+                let jcol = acol[i][nzrow];
+                let mut va = aelt[i][nzrow] * scale;
+                // Add rcond·I − shift·I on the diagonal (bounds the smallest
+                // eigenvalue from below by rcond and shifts the spectrum).
+                if jcol == j && j == i {
+                    va += rcond - shift;
+                }
+                // Insert (jcol, va) into row j's slot range, ordered by
+                // column, accumulating duplicates.
+                let mut k = rowstr[j];
+                loop {
+                    debug_assert!(
+                        k < rowstr[j + 1],
+                        "internal error in sparse: row {j} overflow at outer {i}"
+                    );
+                    if iv[k] > jcol {
+                        // Shift the tail right one slot to insert here.
+                        let mut kk = rowstr[j + 1] - 2;
+                        while kk >= k {
+                            if iv[kk] > 0 {
+                                v[kk + 1] = v[kk];
+                                iv[kk + 1] = iv[kk];
+                            }
+                            if kk == 0 {
+                                break;
+                            }
+                            kk -= 1;
+                        }
+                        iv[k] = jcol;
+                        v[k] = 0.0;
+                        break;
+                    } else if iv[k] == 0 {
+                        iv[k] = jcol;
+                        break;
+                    } else if iv[k] == jcol {
+                        // Duplicate: will be squeezed out in compression.
+                        nzloc[j] += 1;
+                        break;
+                    }
+                    k += 1;
+                }
+                v[k] += va;
+            }
+        }
+        size *= ratio;
+    }
+
+    // Compress out the duplicate slots.
+    for j in 2..=nrows {
+        nzloc[j] += nzloc[j - 1];
+    }
+
+    let mut a_out = vec![0.0f64; nza_total + 1];
+    let mut col_out = vec![0usize; nza_total + 1];
+    for j in 1..=nrows {
+        let j1 = if j > 1 { rowstr[j] - nzloc[j - 1] } else { 1 };
+        let j2 = rowstr[j + 1] - nzloc[j] - 1;
+        let mut nza = rowstr[j];
+        for k in j1..=j2 {
+            a_out[k] = v[nza];
+            col_out[k] = iv[nza];
+            nza += 1;
+        }
+    }
+    for j in 2..=nrows + 1 {
+        rowstr[j] -= nzloc[j - 1];
+    }
+    let nnz = rowstr[nrows + 1] - 1;
+
+    // Convert to 0-based CSR.
+    let mut rowstr0 = Vec::with_capacity(nrows + 1);
+    for j in 1..=nrows + 1 {
+        rowstr0.push(rowstr[j] - 1);
+    }
+    let colidx0: Vec<usize> = col_out[1..=nnz].iter().map(|&c| c - 1).collect();
+    let a0: Vec<f64> = a_out[1..=nnz].to_vec();
+
+    SparseMatrix {
+        n,
+        rowstr: rowstr0,
+        colidx: colidx0,
+        a: a0,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::class::{CgParams, Class};
+
+    fn tiny_params() -> CgParams {
+        // A miniature problem reusing the class S recipe.
+        CgParams {
+            class: Class::S,
+            na: 64,
+            nonzer: 3,
+            niter: 5,
+            shift: 5.0,
+            zeta_verify: f64::NAN,
+        }
+    }
+
+    #[test]
+    fn csr_is_well_formed() {
+        let m = makea(&tiny_params());
+        assert_eq!(m.rowstr.len(), m.n + 1);
+        assert_eq!(m.rowstr[0], 0);
+        assert_eq!(*m.rowstr.last().unwrap(), m.nnz());
+        for w in m.rowstr.windows(2) {
+            assert!(w[0] <= w[1]);
+        }
+        for &c in &m.colidx {
+            assert!(c < m.n);
+        }
+    }
+
+    #[test]
+    fn columns_sorted_and_unique_within_rows() {
+        let m = makea(&tiny_params());
+        for j in 0..m.n {
+            let cols = &m.colidx[m.rowstr[j]..m.rowstr[j + 1]];
+            for w in cols.windows(2) {
+                assert!(w[0] < w[1], "row {j} columns not strictly increasing");
+            }
+        }
+    }
+
+    #[test]
+    fn matrix_is_symmetric() {
+        let m = makea(&tiny_params());
+        // Dense check is fine at this size.
+        let mut dense = vec![vec![0.0; m.n]; m.n];
+        for j in 0..m.n {
+            for k in m.rowstr[j]..m.rowstr[j + 1] {
+                dense[j][m.colidx[k]] = m.a[k];
+            }
+        }
+        for r in 0..m.n {
+            for c in 0..m.n {
+                assert!(
+                    (dense[r][c] - dense[c][r]).abs() < 1e-12,
+                    "asymmetry at ({r},{c}): {} vs {}",
+                    dense[r][c],
+                    dense[c][r]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn diagonal_is_present_and_dominant_sign() {
+        let m = makea(&tiny_params());
+        for j in 0..m.n {
+            let row = m.rowstr[j]..m.rowstr[j + 1];
+            let diag = row
+                .clone()
+                .find(|&k| m.colidx[k] == j)
+                .expect("diagonal entry missing");
+            // Diagonal carries the -shift: strongly negative for tiny sizes.
+            assert!(m.a[diag] < 0.0, "row {j} diagonal {}", m.a[diag]);
+        }
+    }
+
+    #[test]
+    fn class_s_nnz_matches_reference() {
+        // NPB class S assembles 78148 nonzeros; this pins the whole random
+        // construction (stream order, rejection, duplicate handling).
+        let m = makea(&CgParams::for_class(Class::S));
+        assert_eq!(m.n, 1400);
+        assert_eq!(m.nnz(), 78_148);
+    }
+
+    #[test]
+    fn spmv_matches_dense() {
+        let m = makea(&tiny_params());
+        let x: Vec<f64> = (0..m.n).map(|i| (i as f64 * 0.37).sin()).collect();
+        let mut y = vec![0.0; m.n];
+        m.spmv(&x, &mut y);
+        for j in 0..m.n {
+            let mut want = 0.0;
+            for k in m.rowstr[j]..m.rowstr[j + 1] {
+                want += m.a[k] * x[m.colidx[k]];
+            }
+            assert_eq!(y[j], want);
+        }
+    }
+}

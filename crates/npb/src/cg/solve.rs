@@ -1,0 +1,326 @@
+//! The `conj_grad` subroutine: serial reference and the zomp-parallel port.
+//!
+//! 25 iterations of unpreconditioned CG on `A z = x`, returning
+//! `rnorm = ‖x − A z‖`. The parallel version is one parallel region
+//! containing every loop — the structure of the NPB OpenMP reference and of
+//! the paper's Zig port: worksharing loops with the default static schedule,
+//! loop reductions for the dot products, `nowait` where a loop's output is
+//! not read before the next barrier, and redundant per-thread scalar updates
+//! of `alpha`/`beta` (cheaper than broadcasting).
+
+// The ports keep the Fortran loop shapes for line-by-line auditability.
+#![allow(clippy::needless_range_loop)]
+
+use zomp::prelude::*;
+use zomp::reduction::RedCell;
+use zomp::workshare::{for_loop, for_reduce};
+
+use super::makea::SparseMatrix;
+use crate::class::CgParams;
+
+/// Scratch vectors reused across `conj_grad` calls (the Fortran work
+/// arrays). `z` holds the solution estimate after each call.
+#[derive(Debug, Clone)]
+pub struct CgWorkspace {
+    pub z: Vec<f64>,
+    pub p: Vec<f64>,
+    pub q: Vec<f64>,
+    pub r: Vec<f64>,
+}
+
+impl CgWorkspace {
+    pub fn new(n: usize) -> Self {
+        CgWorkspace {
+            z: vec![0.0; n],
+            p: vec![0.0; n],
+            q: vec![0.0; n],
+            r: vec![0.0; n],
+        }
+    }
+}
+
+/// Serial `conj_grad`, line-for-line with `cg.f`.
+pub fn conj_grad_serial(mat: &SparseMatrix, x: &[f64], ws: &mut CgWorkspace) -> f64 {
+    let n = mat.n;
+    let (z, p, q, r) = (&mut ws.z, &mut ws.p, &mut ws.q, &mut ws.r);
+
+    // Initialise: q = z = 0, r = p = x.
+    let mut rho = 0.0;
+    for j in 0..n {
+        q[j] = 0.0;
+        z[j] = 0.0;
+        r[j] = x[j];
+        p[j] = r[j];
+    }
+    // rho = r·r.
+    for j in 0..n {
+        rho += r[j] * r[j];
+    }
+
+    for _cgit in 0..CgParams::CGITMAX {
+        // q = A p.
+        for j in 0..n {
+            let mut sum = 0.0;
+            for k in mat.rowstr[j]..mat.rowstr[j + 1] {
+                sum += mat.a[k] * p[mat.colidx[k]];
+            }
+            q[j] = sum;
+        }
+        // d = p·q.
+        let mut d = 0.0;
+        for j in 0..n {
+            d += p[j] * q[j];
+        }
+        let alpha = rho / d;
+        let rho0 = rho;
+        // z += alpha p ; r -= alpha q ; rho = r·r (fused, as in the OpenMP
+        // reference).
+        rho = 0.0;
+        for j in 0..n {
+            z[j] += alpha * p[j];
+            r[j] -= alpha * q[j];
+            rho += r[j] * r[j];
+        }
+        let beta = rho / rho0;
+        // p = r + beta p.
+        for j in 0..n {
+            p[j] = r[j] + beta * p[j];
+        }
+    }
+
+    // rnorm = ‖x − A z‖ (r reused for A z).
+    for j in 0..n {
+        let mut sum = 0.0;
+        for k in mat.rowstr[j]..mat.rowstr[j + 1] {
+            sum += mat.a[k] * z[mat.colidx[k]];
+        }
+        r[j] = sum;
+    }
+    let mut sum = 0.0;
+    for j in 0..n {
+        let d = x[j] - r[j];
+        sum += d * d;
+    }
+    sum.sqrt()
+}
+
+/// Parallel `conj_grad` over the zomp runtime.
+///
+/// One `fork_call` region spans the whole solve. Scalar reduction results
+/// (`rho` per iteration, `d` per iteration, the final `rnorm` sum) live in
+/// pre-allocated [`RedCell`]s — one per reduction instance — so every thread
+/// reads a fully-combined value after the loop's implicit barrier with no
+/// shared-scalar reset races.
+pub fn conj_grad_parallel(
+    mat: &SparseMatrix,
+    x: &[f64],
+    ws: &mut CgWorkspace,
+    threads: usize,
+) -> f64 {
+    let n = mat.n as i64;
+
+    // Shared vectors: written disjointly by the worksharing loops.
+    let z = SharedSlice::new(&mut ws.z);
+    let p = SharedSlice::new(&mut ws.p);
+    let q = SharedSlice::new(&mut ws.q);
+    let r = SharedSlice::new(&mut ws.r);
+
+    // One reduction cell per instance: rho at init + per CG iteration,
+    // d per iteration, and the final norm.
+    let rho_init = RedCell::<f64>::new(RedOp::Add, 0.0);
+    let rho_iter: Vec<RedCell<f64>> = (0..CgParams::CGITMAX)
+        .map(|_| RedCell::new(RedOp::Add, 0.0))
+        .collect();
+    let d_iter: Vec<RedCell<f64>> = (0..CgParams::CGITMAX)
+        .map(|_| RedCell::new(RedOp::Add, 0.0))
+        .collect();
+    let norm_cell = RedCell::<f64>::new(RedOp::Add, 0.0);
+
+    fork_call(Parallel::new().num_threads(threads), |ctx| {
+        // Initialise q = z = 0, r = p = x (nowait: the next loop reads the
+        // same rows this thread just wrote — same static partition — but
+        // `rho` must see every r element only after its own loop, and the
+        // static block for this thread covers exactly the r entries it
+        // reads, so no barrier is needed between them).
+        for_loop(ctx, Schedule::static_default(), 0..n, true, |j| {
+            let j = j as usize;
+            q.set(j, 0.0);
+            z.set(j, 0.0);
+            r.set(j, x[j]);
+            p.set(j, x[j]);
+        });
+        // rho = r·r. Same static partition reads only this thread's rows;
+        // the barrier after it publishes both r/p and rho.
+        for_reduce(
+            ctx,
+            Schedule::static_default(),
+            0..n,
+            false,
+            &rho_init,
+            |j, acc| {
+                let rj = r.get(j as usize);
+                *acc += rj * rj;
+            },
+        );
+        let mut rho = rho_init.get();
+
+        for cgit in 0..CgParams::CGITMAX {
+            // q = A p (reads p everywhere: the preceding barrier ordered
+            // it). nowait: d's loop reads only this thread's q rows.
+            for_loop(ctx, Schedule::static_default(), 0..n, true, |j| {
+                let j = j as usize;
+                let mut sum = 0.0;
+                for k in mat.rowstr[j]..mat.rowstr[j + 1] {
+                    sum += mat.a[k] * p.get(mat.colidx[k]);
+                }
+                q.set(j, sum);
+            });
+            // d = p·q with its implicit barrier.
+            for_reduce(
+                ctx,
+                Schedule::static_default(),
+                0..n,
+                false,
+                &d_iter[cgit],
+                |j, acc| {
+                    let j = j as usize;
+                    *acc += p.get(j) * q.get(j);
+                },
+            );
+            // Every thread computes alpha redundantly (private scalar).
+            let d = d_iter[cgit].get();
+            let alpha = rho / d;
+            let rho0 = rho;
+            // z += alpha p ; r -= alpha q ; rho = r·r, fused.
+            for_reduce(
+                ctx,
+                Schedule::static_default(),
+                0..n,
+                false,
+                &rho_iter[cgit],
+                |j, acc| {
+                    let j = j as usize;
+                    z.set(j, z.get(j) + alpha * p.get(j));
+                    let rj = r.get(j) - alpha * q.get(j);
+                    r.set(j, rj);
+                    *acc += rj * rj;
+                },
+            );
+            rho = rho_iter[cgit].get();
+            let beta = rho / rho0;
+            // p = r + beta p. The barrier here publishes p for the next
+            // iteration's q = A p, which reads p at arbitrary columns.
+            for_loop(ctx, Schedule::static_default(), 0..n, false, |j| {
+                let j = j as usize;
+                p.set(j, r.get(j) + beta * p.get(j));
+            });
+        }
+
+        // rnorm: r = A z (needs whole z: published by the last loop's
+        // barrier), then sum (x - r)^2.
+        for_loop(ctx, Schedule::static_default(), 0..n, true, |j| {
+            let j = j as usize;
+            let mut sum = 0.0;
+            for k in mat.rowstr[j]..mat.rowstr[j + 1] {
+                sum += mat.a[k] * z.get(mat.colidx[k]);
+            }
+            r.set(j, sum);
+        });
+        for_reduce(
+            ctx,
+            Schedule::static_default(),
+            0..n,
+            false,
+            &norm_cell,
+            |j, acc| {
+                let j = j as usize;
+                let d = x[j] - r.get(j);
+                *acc += d * d;
+            },
+        );
+    });
+
+    norm_cell.get().sqrt()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cg::makea::makea;
+    use crate::class::{CgParams, Class};
+
+    fn tiny() -> (CgParams, SparseMatrix) {
+        let p = CgParams {
+            class: Class::S,
+            na: 200,
+            nonzer: 4,
+            niter: 3,
+            shift: 8.0,
+            zeta_verify: f64::NAN,
+        };
+        let m = makea(&p);
+        (p, m)
+    }
+
+    #[test]
+    fn cg_reduces_residual() {
+        let (_p, m) = tiny();
+        let x = vec![1.0; m.n];
+        let mut ws = CgWorkspace::new(m.n);
+        let rnorm = conj_grad_serial(&m, &x, &mut ws);
+        // ‖x‖ = sqrt(200) ≈ 14; CG on a well-conditioned SPD system must
+        // shrink the residual by many orders of magnitude.
+        assert!(rnorm < 1e-8, "rnorm = {rnorm}");
+    }
+
+    #[test]
+    fn solution_satisfies_system() {
+        let (_p, m) = tiny();
+        let x = vec![1.0; m.n];
+        let mut ws = CgWorkspace::new(m.n);
+        conj_grad_serial(&m, &x, &mut ws);
+        let mut az = vec![0.0; m.n];
+        m.spmv(&ws.z, &mut az);
+        for j in 0..m.n {
+            assert!((az[j] - x[j]).abs() < 1e-7, "row {j}: {} vs {}", az[j], x[j]);
+        }
+    }
+
+    #[test]
+    fn parallel_matches_serial_closely() {
+        let (_p, m) = tiny();
+        let x = vec![1.0; m.n];
+        let mut ws_s = CgWorkspace::new(m.n);
+        let rnorm_s = conj_grad_serial(&m, &x, &mut ws_s);
+        for threads in [1, 2, 4] {
+            let mut ws_p = CgWorkspace::new(m.n);
+            let rnorm_p = conj_grad_parallel(&m, &x, &mut ws_p, threads);
+            assert!(
+                (rnorm_s - rnorm_p).abs() < 1e-10,
+                "rnorm serial {rnorm_s} vs parallel {rnorm_p} at {threads} threads"
+            );
+            for j in 0..m.n {
+                assert!(
+                    (ws_s.z[j] - ws_p.z[j]).abs() < 1e-9,
+                    "z[{j}] serial {} vs parallel {}",
+                    ws_s.z[j],
+                    ws_p.z[j]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn one_thread_parallel_is_bitwise_serial() {
+        // With one thread the loop partitions and reduction order are
+        // identical to serial, so results must match exactly.
+        let (_p, m) = tiny();
+        let x = vec![1.0; m.n];
+        let mut ws_s = CgWorkspace::new(m.n);
+        let mut ws_p = CgWorkspace::new(m.n);
+        let rs = conj_grad_serial(&m, &x, &mut ws_s);
+        let rp = conj_grad_parallel(&m, &x, &mut ws_p, 1);
+        assert_eq!(rs, rp);
+        assert_eq!(ws_s.z, ws_p.z);
+    }
+}

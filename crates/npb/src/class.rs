@@ -1,0 +1,293 @@
+//! NPB problem classes and per-kernel parameter tables.
+//!
+//! Parameters follow NPB 3.x (`npbparams.h` as emitted by `setparams`).
+//! Class C is what the paper benchmarks; the smaller classes let the full
+//! pipeline run (and be verified) on laptop-scale hosts.
+
+use std::fmt;
+
+/// The NPB problem classes used in this reproduction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Class {
+    S,
+    W,
+    A,
+    B,
+    C,
+}
+
+impl Class {
+    pub const ALL: [Class; 5] = [Class::S, Class::W, Class::A, Class::B, Class::C];
+
+    /// Parse a single-letter class name.
+    pub fn parse(s: &str) -> Option<Class> {
+        match s.trim().to_ascii_uppercase().as_str() {
+            "S" => Some(Class::S),
+            "W" => Some(Class::W),
+            "A" => Some(Class::A),
+            "B" => Some(Class::B),
+            "C" => Some(Class::C),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for Class {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let c = match self {
+            Class::S => 'S',
+            Class::W => 'W',
+            Class::A => 'A',
+            Class::B => 'B',
+            Class::C => 'C',
+        };
+        write!(f, "{c}")
+    }
+}
+
+/// CG parameters: matrix order `na`, nonzeros per generated row `nonzer`,
+/// outer iterations `niter`, eigenvalue shift, and the official zeta
+/// verification value.
+#[derive(Debug, Clone, Copy)]
+pub struct CgParams {
+    pub class: Class,
+    pub na: usize,
+    pub nonzer: usize,
+    pub niter: usize,
+    pub shift: f64,
+    /// Official NPB verification value for zeta.
+    pub zeta_verify: f64,
+}
+
+impl CgParams {
+    pub fn for_class(class: Class) -> CgParams {
+        match class {
+            Class::S => CgParams {
+                class,
+                na: 1400,
+                nonzer: 7,
+                niter: 15,
+                shift: 10.0,
+                zeta_verify: 8.597_177_507_864_8,
+            },
+            Class::W => CgParams {
+                class,
+                na: 7000,
+                nonzer: 8,
+                niter: 15,
+                shift: 12.0,
+                zeta_verify: 10.362_595_087_124,
+            },
+            Class::A => CgParams {
+                class,
+                na: 14000,
+                nonzer: 11,
+                niter: 15,
+                shift: 20.0,
+                zeta_verify: 17.130_235_054_029,
+            },
+            Class::B => CgParams {
+                class,
+                na: 75000,
+                nonzer: 13,
+                niter: 75,
+                shift: 60.0,
+                zeta_verify: 22.712_745_482_631,
+            },
+            Class::C => CgParams {
+                class,
+                na: 150_000,
+                nonzer: 15,
+                niter: 75,
+                shift: 110.0,
+                zeta_verify: 28.973_605_592_845,
+            },
+        }
+    }
+
+    /// CG inner iterations per `conj_grad` call (fixed in NPB).
+    pub const CGITMAX: usize = 25;
+
+    /// Storage bound for the assembled matrix, `nz` in the Fortran:
+    /// `na * (nonzer + 1) * (nonzer + 1)`.
+    pub fn nz(&self) -> usize {
+        self.na * (self.nonzer + 1) * (self.nonzer + 1)
+    }
+}
+
+/// EP parameters: `2^m` random pairs.
+#[derive(Debug, Clone, Copy)]
+pub struct EpParams {
+    pub class: Class,
+    /// log2 of the number of pairs.
+    pub m: u32,
+    /// Official sums for verification (sx, sy).
+    pub sx_verify: f64,
+    pub sy_verify: f64,
+}
+
+impl EpParams {
+    pub fn for_class(class: Class) -> EpParams {
+        // Verification sums from NPB 3.x ep.f / ep.c.
+        match class {
+            Class::S => EpParams {
+                class,
+                m: 24,
+                sx_verify: -3.247_834_652_034_74e3,
+                sy_verify: -6.958_407_078_382_297e3,
+            },
+            Class::W => EpParams {
+                class,
+                m: 25,
+                sx_verify: -2.863_319_731_645_753e3,
+                sy_verify: -6.320_053_679_109_499e3,
+            },
+            Class::A => EpParams {
+                class,
+                m: 28,
+                sx_verify: -4.295_875_165_629_892e3,
+                sy_verify: -1.580_732_573_678_431e4,
+            },
+            Class::B => EpParams {
+                class,
+                m: 30,
+                sx_verify: 4.033_815_542_441_498e4,
+                sy_verify: -2.660_669_192_809_235e4,
+            },
+            Class::C => EpParams {
+                class,
+                m: 32,
+                sx_verify: 4.764_367_927_995_374e4,
+                sy_verify: -8.084_072_988_043_731e4,
+            },
+        }
+    }
+
+    /// Batch size exponent (`mk` in ep.f): pairs are generated in batches of
+    /// `2^MK` so the stream can be jumped per batch.
+    pub const MK: u32 = 16;
+
+    /// Number of Gaussian-deviate annuli counted (`nq`).
+    pub const NQ: usize = 10;
+
+    /// Total pairs.
+    pub fn pairs(&self) -> u64 {
+        1u64 << self.m
+    }
+
+    /// Number of batches (`nn = 2^(m - mk)`), at least 1.
+    pub fn batches(&self) -> u64 {
+        1u64 << self.m.saturating_sub(Self::MK)
+    }
+
+    /// Pairs per batch (`nk = 2^mk`, capped at the total).
+    pub fn batch_pairs(&self) -> u64 {
+        self.pairs() / self.batches()
+    }
+}
+
+/// IS parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct IsParams {
+    pub class: Class,
+    /// log2 of the number of keys.
+    pub total_keys_log2: u32,
+    /// log2 of the key range.
+    pub max_key_log2: u32,
+    /// log2 of the bucket count.
+    pub num_buckets_log2: u32,
+}
+
+impl IsParams {
+    pub fn for_class(class: Class) -> IsParams {
+        match class {
+            Class::S => IsParams {
+                class,
+                total_keys_log2: 16,
+                max_key_log2: 11,
+                num_buckets_log2: 9,
+            },
+            Class::W => IsParams {
+                class,
+                total_keys_log2: 20,
+                max_key_log2: 16,
+                num_buckets_log2: 10,
+            },
+            Class::A => IsParams {
+                class,
+                total_keys_log2: 23,
+                max_key_log2: 19,
+                num_buckets_log2: 10,
+            },
+            Class::B => IsParams {
+                class,
+                total_keys_log2: 25,
+                max_key_log2: 21,
+                num_buckets_log2: 10,
+            },
+            Class::C => IsParams {
+                class,
+                total_keys_log2: 27,
+                max_key_log2: 23,
+                num_buckets_log2: 10,
+            },
+        }
+    }
+
+    /// Ranking iterations (fixed at 10 in NPB).
+    pub const MAX_ITERATIONS: usize = 10;
+
+    pub fn num_keys(&self) -> usize {
+        1usize << self.total_keys_log2
+    }
+
+    pub fn max_key(&self) -> usize {
+        1usize << self.max_key_log2
+    }
+
+    pub fn num_buckets(&self) -> usize {
+        1usize << self.num_buckets_log2
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn class_parse_roundtrip() {
+        for c in Class::ALL {
+            assert_eq!(Class::parse(&c.to_string()), Some(c));
+        }
+        assert_eq!(Class::parse("s"), Some(Class::S));
+        assert_eq!(Class::parse("D"), None);
+    }
+
+    #[test]
+    fn cg_class_c_matches_paper() {
+        let p = CgParams::for_class(Class::C);
+        assert_eq!(p.na, 150_000);
+        assert_eq!(p.nonzer, 15);
+        assert_eq!(p.niter, 75);
+        assert_eq!(p.shift, 110.0);
+    }
+
+    #[test]
+    fn ep_batching_is_consistent() {
+        for c in Class::ALL {
+            let p = EpParams::for_class(c);
+            assert_eq!(p.batches() * p.batch_pairs(), p.pairs());
+        }
+    }
+
+    #[test]
+    fn is_sizes_grow_with_class() {
+        let mut prev = 0;
+        for c in Class::ALL {
+            let p = IsParams::for_class(c);
+            assert!(p.num_keys() > prev);
+            prev = p.num_keys();
+            assert!(p.max_key() <= p.num_keys() * 256);
+        }
+    }
+}

@@ -1,0 +1,285 @@
+//! EP — the Embarrassingly Parallel kernel (NPB `ep.f`).
+//!
+//! Generates `2^m` pairs of uniform deviates, maps them to Gaussian
+//! deviates with the Marsaglia polar method, and accumulates the sums
+//! `sx = Σ X`, `sy = Σ Y` plus counts of deviates per concentric square
+//! annulus. The random stream is jumped per batch of `2^16` pairs so
+//! batches are independent — which is what makes the kernel
+//! embarrassingly parallel.
+//!
+//! The parallel version mirrors the OpenMP reference (and the paper's Zig
+//! port, §V-B): a parallel region over batches with `sx`/`sy` in a region
+//! **reduction**, per-thread private deviate buffers (the `threadprivate`
+//! arrays of the Fortran), and the annulus counts merged with **atomic**
+//! updates.
+
+use zomp::prelude::*;
+use zomp::workshare::for_loop;
+
+use crate::class::{Class, EpParams};
+use crate::randlc::{randlc, vranlc, DEFAULT_MULT};
+
+/// EP's own stream seed (`s = 271828183` in ep.f — CG and IS use 314159265).
+pub const EP_SEED: f64 = 271_828_183.0;
+use crate::verify::{close, VerifyStatus};
+
+/// Result of an EP run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EpResult {
+    /// Sum of Gaussian X deviates.
+    pub sx: f64,
+    /// Sum of Gaussian Y deviates.
+    pub sy: f64,
+    /// Deviates per annulus `l = floor(max(|X|, |Y|))`, `l < 10`.
+    pub q: [f64; EpParams::NQ],
+    /// Total Gaussian pairs produced (`Σ q`).
+    pub gc: f64,
+    /// Pairs attempted.
+    pub pairs: u64,
+}
+
+impl EpResult {
+    /// Verify against the official NPB sums (1e-8 relative tolerance).
+    pub fn verify(&self, params: &EpParams) -> VerifyStatus {
+        const EPSILON: f64 = 1e-8;
+        if close(self.sx, params.sx_verify, EPSILON) && close(self.sy, params.sy_verify, EPSILON) {
+            VerifyStatus::Verified
+        } else {
+            VerifyStatus::Failed
+        }
+    }
+}
+
+/// Per-batch accumulator.
+#[derive(Debug, Clone, Copy, Default)]
+struct BatchSums {
+    sx: f64,
+    sy: f64,
+    q: [f64; EpParams::NQ],
+}
+
+/// Compute the starting seed for batch `kk` (0-based): `s * an^kk` where
+/// `an = a^(2 * nk)`. This is the literal binary-exponentiation loop from
+/// `ep.f` (labels 110/130), kept step-for-step for auditability.
+fn batch_seed(kk: u64, an: f64) -> f64 {
+    // ep.f computes kk = k_offset + k with k_offset = -1 and k from 1, so
+    // `kk` here is already the 0-based batch index.
+    let mut kk = kk;
+    let mut t1 = EP_SEED;
+    let mut t2 = an;
+    for _ in 0..100 {
+        let ik = kk / 2;
+        if 2 * ik != kk {
+            randlc(&mut t1, t2);
+        }
+        if ik == 0 {
+            break;
+        }
+        let t = t2;
+        randlc(&mut t2, t);
+        kk = ik;
+    }
+    t1
+}
+
+/// Precompute `an = a^(2*nk) (mod 2^46)` by `mk + 1` squarings (ep.f label
+/// 100 loop).
+fn compute_an(mk: u32) -> f64 {
+    let mut t1 = DEFAULT_MULT;
+    for _ in 0..=mk {
+        let t = t1;
+        randlc(&mut t1, t);
+    }
+    t1
+}
+
+/// Process one batch of `nk` pairs starting from the jumped seed; `x` is the
+/// caller's scratch buffer of `2 * nk` deviates (the threadprivate array).
+fn run_batch(kk: u64, an: f64, nk: u64, x: &mut [f64], sums: &mut BatchSums) {
+    debug_assert_eq!(x.len() as u64, 2 * nk);
+    let mut t1 = batch_seed(kk, an);
+    vranlc(&mut t1, DEFAULT_MULT, x);
+    for i in 0..nk as usize {
+        let x1 = 2.0 * x[2 * i] - 1.0;
+        let x2 = 2.0 * x[2 * i + 1] - 1.0;
+        let t1 = x1 * x1 + x2 * x2;
+        if t1 <= 1.0 {
+            let t2 = (-2.0 * t1.ln() / t1).sqrt();
+            let t3 = x1 * t2;
+            let t4 = x2 * t2;
+            let l = t3.abs().max(t4.abs()) as usize;
+            sums.q[l] += 1.0;
+            sums.sx += t3;
+            sums.sy += t4;
+        }
+    }
+}
+
+fn finish(total: BatchSums, pairs: u64) -> EpResult {
+    let gc = total.q.iter().sum();
+    EpResult {
+        sx: total.sx,
+        sy: total.sy,
+        q: total.q,
+        gc,
+        pairs,
+    }
+}
+
+/// Serial reference implementation.
+pub fn run_serial(params: &EpParams) -> EpResult {
+    let nk = params.batch_pairs();
+    let an = compute_an(nk.trailing_zeros());
+    let mut x = vec![0.0f64; 2 * nk as usize];
+    let mut total = BatchSums::default();
+    for kk in 0..params.batches() {
+        run_batch(kk, an, nk, &mut x, &mut total);
+    }
+    finish(total, params.pairs())
+}
+
+/// Parallel implementation over the zomp runtime.
+///
+/// Batches are distributed with the default static schedule; `sx`/`sy` use
+/// the region reduction protocol; annulus counts are merged with atomic
+/// adds (deterministic because counts are integers stored in f64). The
+/// result is bitwise independent of the thread count for `q`/`gc` and
+/// differs from serial only in the floating-point summation order of
+/// `sx`/`sy` (each batch's partials are exact per batch; cross-batch
+/// addition reassociates), which the NPB 1e-8 tolerance absorbs.
+pub fn run_parallel(params: &EpParams, threads: usize) -> EpResult {
+    let nk = params.batch_pairs();
+    let an = compute_an(nk.trailing_zeros());
+    let batches = params.batches();
+
+    let sx_cell = RedCell::<f64>::new(RedOp::Add, 0.0);
+    let sy_cell = RedCell::<f64>::new(RedOp::Add, 0.0);
+    let q_cells: Vec<AtomicF64> = (0..EpParams::NQ).map(|_| AtomicF64::default()).collect();
+
+    fork_call(Parallel::new().num_threads(threads), |ctx| {
+        // Private (per-thread) scratch and partials — the threadprivate
+        // arrays of the Fortran version.
+        let mut x = vec![0.0f64; 2 * nk as usize];
+        let mut local = BatchSums::default();
+        for_loop(
+            ctx,
+            Schedule::static_default(),
+            0..batches as i64,
+            true, // region join is the barrier
+            |kk| run_batch(kk as u64, an, nk, &mut x, &mut local),
+        );
+        sx_cell.combine(local.sx);
+        sy_cell.combine(local.sy);
+        for (cell, q) in q_cells.iter().zip(local.q) {
+            cell.fetch_add(q); // `omp atomic` on each annulus counter
+        }
+    });
+
+    let mut total = BatchSums {
+        sx: sx_cell.get(),
+        sy: sy_cell.get(),
+        q: [0.0; EpParams::NQ],
+    };
+    for (slot, cell) in total.q.iter_mut().zip(&q_cells) {
+        *slot = cell.load();
+    }
+    finish(total, params.pairs())
+}
+
+/// A reduced-size parameter set for tests and laptop-scale demos
+/// (self-verified only — no official sums exist for it).
+pub fn custom_params(m: u32) -> EpParams {
+    EpParams {
+        class: Class::S,
+        m,
+        sx_verify: f64::NAN,
+        sy_verify: f64::NAN,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn batch_seed_zero_is_initial_seed() {
+        let an = compute_an(EpParams::MK);
+        assert_eq!(batch_seed(0, an), EP_SEED);
+    }
+
+    #[test]
+    fn batch_seeds_match_sequential_stream() {
+        // Seed of batch kk must equal stepping the stream 2*nk*kk times.
+        let nk = 1u64 << 6;
+        let an = compute_an(6);
+        let mut s = EP_SEED;
+        for kk in 0..5u64 {
+            assert_eq!(batch_seed(kk, an), s, "batch {kk}");
+            for _ in 0..2 * nk {
+                randlc(&mut s, DEFAULT_MULT);
+            }
+        }
+    }
+
+    #[test]
+    fn gaussian_counts_are_plausible() {
+        let p = custom_params(16);
+        let r = run_serial(&p);
+        // Polar method acceptance rate is π/4 ≈ 0.785.
+        let rate = r.gc / r.pairs as f64;
+        assert!((rate - std::f64::consts::FRAC_PI_4).abs() < 0.01, "rate {rate}");
+        // Nearly all deviates land in the first few annuli.
+        assert!(r.q[0] > r.q[3]);
+        assert_eq!(r.gc, r.q.iter().sum::<f64>());
+    }
+
+    #[test]
+    fn parallel_matches_serial_counts_exactly() {
+        let p = custom_params(18);
+        let s = run_serial(&p);
+        for threads in [1, 2, 4] {
+            let par = run_parallel(&p, threads);
+            assert_eq!(par.q, s.q, "annulus counts must be exact at {threads} threads");
+            assert_eq!(par.gc, s.gc);
+            assert!(close(par.sx, s.sx, 1e-12), "sx {} vs {}", par.sx, s.sx);
+            assert!(close(par.sy, s.sy, 1e-12));
+        }
+    }
+
+    #[test]
+    #[ignore = "runs the official class S problem (~2^24 pairs); enable for full verification"]
+    fn class_s_official_verification() {
+        let p = EpParams::for_class(Class::S);
+        let r = run_serial(&p);
+        assert_eq!(
+            r.verify(&p),
+            VerifyStatus::Verified,
+            "sx={:e} sy={:e} (expected sx={:e} sy={:e})",
+            r.sx,
+            r.sy,
+            p.sx_verify,
+            p.sy_verify
+        );
+    }
+}
+
+#[cfg(test)]
+mod class_official_tests {
+    use super::*;
+
+    #[test]
+    #[ignore = "class W runs 2^25 pairs; run with --release -- --ignored"]
+    fn class_w_parallel_verifies_official() {
+        let p = EpParams::for_class(Class::W);
+        let r = run_parallel(&p, 4);
+        assert_eq!(
+            r.verify(&p),
+            VerifyStatus::Verified,
+            "sx={:e} sy={:e} (expected sx={:e} sy={:e})",
+            r.sx,
+            r.sy,
+            p.sx_verify,
+            p.sy_verify
+        );
+    }
+}

@@ -1,0 +1,358 @@
+//! IS — the Integer Sort kernel (NPB `is.c`).
+//!
+//! Ranks `2^total_keys_log2` uniformly distributed integer keys in
+//! `[0, 2^max_key_log2)` ten times with a bucketed counting sort. The
+//! memory-access pattern (indirect scatter into buckets, then per-bucket
+//! counting) is what pressurises the memory subsystem (§V-C).
+//!
+//! The paper ports the `rank` function (≈70 % of runtime) to Zig;
+//! [`rank_serial`] and [`rank_parallel`] are the Rust equivalents. The
+//! parallel version follows the OpenMP reference's bucketed algorithm with
+//! per-thread bucket counts and the `static,1` schedule over buckets the
+//! paper mentions. Verification: every iteration's rank array must match
+//! the serial reference exactly (integers — bitwise), and the final
+//! `full_verify` reconstructs the sorted sequence and checks order and
+//! multiset preservation, as in `is.c`.
+
+use zomp::prelude::*;
+use zomp::workshare::for_loop;
+
+use crate::class::IsParams;
+use crate::randlc::{randlc, DEFAULT_MULT, DEFAULT_SEED};
+use crate::verify::VerifyStatus;
+
+/// Key type: class C keys fit comfortably in u32.
+pub type Key = u32;
+
+/// Generate the key sequence — port of `create_seq(314159265, 1220703125)`:
+/// each key is `(max_key/4) * (u1+u2+u3+u4)` over four consecutive
+/// deviates.
+pub fn create_seq(params: &IsParams) -> Vec<Key> {
+    let mut s = DEFAULT_SEED;
+    let k = params.max_key() as f64 / 4.0;
+    (0..params.num_keys())
+        .map(|_| {
+            let mut x = randlc(&mut s, DEFAULT_MULT);
+            x += randlc(&mut s, DEFAULT_MULT);
+            x += randlc(&mut s, DEFAULT_MULT);
+            x += randlc(&mut s, DEFAULT_MULT);
+            (k * x) as Key
+        })
+        .collect()
+}
+
+/// Apply the per-iteration key mutations from `rank()`:
+/// `key[iter] = iter`, `key[iter + MAX_ITERATIONS] = max_key - iter`.
+pub fn mutate_keys(keys: &mut [Key], params: &IsParams, iteration: usize) {
+    keys[iteration] = iteration as Key;
+    keys[iteration + IsParams::MAX_ITERATIONS] = (params.max_key() - iteration) as Key;
+}
+
+/// Serial `rank`: plain counting sort. Returns the rank array where
+/// `ranks[k]` = number of keys with value `<= k` (the cumulative key
+/// population, `key_buff_ptr` in `is.c`).
+pub fn rank_serial(keys: &[Key], params: &IsParams) -> Vec<u32> {
+    let mut counts = vec![0u32; params.max_key()];
+    for &k in keys {
+        counts[k as usize] += 1;
+    }
+    for i in 1..counts.len() {
+        counts[i] += counts[i - 1];
+    }
+    counts
+}
+
+/// Parallel `rank` over the zomp runtime: the bucketed algorithm of the
+/// OpenMP reference.
+///
+/// 1. each thread counts its (static) slice of keys into private
+///    per-bucket counters;
+/// 2. every thread derives its scatter offsets from all threads' counters
+///    (threads scan the `T × B` count matrix redundantly, as `is.c` does);
+/// 3. keys are scattered into `key_buff2` bucket-contiguously;
+/// 4. buckets are ranked independently under `schedule(static, 1)`.
+pub fn rank_parallel(keys: &[Key], params: &IsParams, threads: usize) -> Vec<u32> {
+    let nb = params.num_buckets();
+    let shift = params.max_key_log2 - params.num_buckets_log2;
+    let nkeys = keys.len();
+
+    let mut ranks = vec![0u32; params.max_key()];
+    let mut buff2 = vec![0 as Key; nkeys];
+
+    // Per-thread bucket counts, written disjointly by thread id.
+    let mut bucket_counts = vec![0u32; threads * nb];
+    // Where each bucket starts in buff2 (filled by thread 0 in a single).
+    let mut bucket_starts = vec![0usize; nb + 1];
+
+    {
+        let counts = SharedSlice::new(&mut bucket_counts);
+        let starts = SharedSlice::new(&mut bucket_starts);
+        let out = SharedSlice::new(&mut buff2);
+        let ranks_sh = SharedSlice::new(&mut ranks);
+
+        fork_call(Parallel::new().num_threads(threads), |ctx| {
+            let tid = ctx.thread_num();
+            let nth = ctx.num_threads();
+
+            // Phase 1: private bucket histogram of this thread's key slice.
+            let mut local = vec![0u32; nb];
+            for_loop(
+                ctx,
+                Schedule::static_default(),
+                0..nkeys as i64,
+                true,
+                |i| {
+                    local[(keys[i as usize] >> shift) as usize] += 1;
+                },
+            );
+            for (b, &c) in local.iter().enumerate() {
+                counts.set(tid * nb + b, c);
+            }
+            ctx.barrier();
+
+            // Phase 2: bucket starts (one thread) and this thread's scatter
+            // cursor per bucket (every thread, redundantly — is.c's
+            // pattern).
+            ctx.single(false, || {
+                let mut acc = 0usize;
+                for b in 0..nb {
+                    starts.set(b, acc);
+                    for t in 0..nth {
+                        acc += counts.get(t * nb + b) as usize;
+                    }
+                }
+                starts.set(nb, acc);
+            });
+            let mut cursor = vec![0usize; nb];
+            for (b, slot) in cursor.iter_mut().enumerate() {
+                let mut at = starts.get(b);
+                for t in 0..tid {
+                    at += counts.get(t * nb + b) as usize;
+                }
+                *slot = at;
+            }
+
+            // Phase 3: scatter this thread's slice (same static partition as
+            // phase 1, so the cursors line up exactly).
+            for_loop(
+                ctx,
+                Schedule::static_default(),
+                0..nkeys as i64,
+                false,
+                |i| {
+                    let key = keys[i as usize];
+                    let b = (key >> shift) as usize;
+                    out.set(cursor[b], key);
+                    cursor[b] += 1;
+                },
+            );
+
+            // Phase 4: rank each bucket independently; schedule(static, 1)
+            // cycles buckets over threads to balance skew.
+            for_loop(
+                ctx,
+                Schedule::static_chunked(1),
+                0..nb as i64,
+                true,
+                |b| {
+                    let b = b as usize;
+                    let key_lo = b << shift;
+                    let key_hi = (b + 1) << shift;
+                    let start = starts.get(b);
+                    let end = starts.get(b + 1);
+                    // Zero this bucket's key range.
+                    for k in key_lo..key_hi {
+                        ranks_sh.set(k, 0);
+                    }
+                    // Count.
+                    for i in start..end {
+                        let k = out.get(i) as usize;
+                        ranks_sh.set(k, ranks_sh.get(k) + 1);
+                    }
+                    // Cumulative within the bucket, offset by the keys in
+                    // all earlier buckets (== start, since buckets partition
+                    // the key space in order).
+                    let mut acc = start as u32;
+                    for k in key_lo..key_hi {
+                        acc += ranks_sh.get(k);
+                        ranks_sh.set(k, acc);
+                    }
+                },
+            );
+        });
+    }
+
+    ranks
+}
+
+/// Reconstruct the sorted key sequence from a rank array and verify it —
+/// port of `full_verify`. Checks both sortedness and multiset preservation.
+pub fn full_verify(keys: &[Key], ranks: &[u32]) -> bool {
+    let mut cursors: Vec<u32> = ranks.to_vec();
+    let mut sorted = vec![0 as Key; keys.len()];
+    for &k in keys {
+        cursors[k as usize] -= 1;
+        sorted[cursors[k as usize] as usize] = k;
+    }
+    // Sorted order.
+    if sorted.windows(2).any(|w| w[0] > w[1]) {
+        return false;
+    }
+    // Multiset preservation: counts derived from ranks must match a direct
+    // histogram.
+    let mut hist = vec![0u32; ranks.len()];
+    for &k in keys {
+        hist[k as usize] += 1;
+    }
+    let mut acc = 0u32;
+    for (k, &h) in hist.iter().enumerate() {
+        acc += h;
+        if ranks[k] != acc {
+            return false;
+        }
+    }
+    true
+}
+
+/// Result of a full IS benchmark run.
+#[derive(Debug, Clone)]
+pub struct IsResult {
+    /// Rank array of the final iteration.
+    pub final_ranks: Vec<u32>,
+    /// Did every iteration match the serial reference (parallel runs only)?
+    pub iterations_consistent: bool,
+    /// Did `full_verify` pass?
+    pub full_verified: bool,
+}
+
+impl IsResult {
+    pub fn verify(&self) -> VerifyStatus {
+        if self.full_verified && self.iterations_consistent {
+            VerifyStatus::SelfVerified
+        } else {
+            VerifyStatus::Failed
+        }
+    }
+}
+
+/// Execution mode for [`run`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Mode {
+    Serial,
+    Parallel(usize),
+}
+
+/// Full benchmark: `MAX_ITERATIONS` ranks (with the per-iteration key
+/// mutations) followed by `full_verify`. In parallel mode every iteration is
+/// cross-checked against the serial reference.
+pub fn run(params: &IsParams, mode: Mode) -> IsResult {
+    let mut keys = create_seq(params);
+    let mut consistent = true;
+    let mut ranks = Vec::new();
+    for it in 1..=IsParams::MAX_ITERATIONS {
+        mutate_keys(&mut keys, params, it);
+        ranks = match mode {
+            Mode::Serial => rank_serial(&keys, params),
+            Mode::Parallel(t) => {
+                let r = rank_parallel(&keys, params, t);
+                if r != rank_serial(&keys, params) {
+                    consistent = false;
+                }
+                r
+            }
+        };
+    }
+    let full = full_verify(&keys, &ranks);
+    IsResult {
+        final_ranks: ranks,
+        iterations_consistent: consistent,
+        full_verified: full,
+    }
+}
+
+/// Reduced-size parameters for tests and laptop demos.
+pub fn custom_params(total_keys_log2: u32, max_key_log2: u32, num_buckets_log2: u32) -> IsParams {
+    IsParams {
+        class: crate::class::Class::S,
+        total_keys_log2,
+        max_key_log2,
+        num_buckets_log2,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::class::Class;
+
+    #[test]
+    fn keys_are_in_range_and_spread() {
+        let p = IsParams::for_class(Class::S);
+        let keys = create_seq(&p);
+        assert_eq!(keys.len(), 1 << 16);
+        assert!(keys.iter().all(|&k| (k as usize) < p.max_key()));
+        // Sum of 4 uniforms has mean 2 → keys average near max_key/2.
+        let mean = keys.iter().map(|&k| k as f64).sum::<f64>() / keys.len() as f64;
+        let half = p.max_key() as f64 / 2.0;
+        assert!((mean - half).abs() < half * 0.02, "mean {mean} vs {half}");
+    }
+
+    #[test]
+    fn serial_rank_is_cumulative_histogram() {
+        let p = custom_params(10, 6, 3);
+        let keys = create_seq(&p);
+        let ranks = rank_serial(&keys, &p);
+        assert_eq!(*ranks.last().unwrap() as usize, keys.len());
+        assert!(ranks.windows(2).all(|w| w[0] <= w[1]));
+    }
+
+    #[test]
+    fn parallel_rank_matches_serial_exactly() {
+        let p = custom_params(14, 10, 4);
+        let mut keys = create_seq(&p);
+        mutate_keys(&mut keys, &p, 1);
+        let want = rank_serial(&keys, &p);
+        for threads in [1, 2, 3, 4] {
+            let got = rank_parallel(&keys, &p, threads);
+            assert_eq!(got, want, "mismatch at {threads} threads");
+        }
+    }
+
+    #[test]
+    fn full_verify_accepts_correct_ranks() {
+        let p = custom_params(12, 8, 3);
+        let keys = create_seq(&p);
+        let ranks = rank_serial(&keys, &p);
+        assert!(full_verify(&keys, &ranks));
+    }
+
+    #[test]
+    fn full_verify_rejects_corrupted_ranks() {
+        let p = custom_params(12, 8, 3);
+        let keys = create_seq(&p);
+        let mut ranks = rank_serial(&keys, &p);
+        // Swap two adjacent cumulative counts: breaks monotone consistency.
+        let mid = ranks.len() / 2;
+        ranks[mid] = ranks[mid].wrapping_add(1);
+        assert!(!full_verify(&keys, &ranks));
+    }
+
+    #[test]
+    fn full_run_serial_and_parallel() {
+        let p = custom_params(13, 9, 4);
+        let s = run(&p, Mode::Serial);
+        assert!(s.full_verified);
+        assert_eq!(s.verify(), VerifyStatus::SelfVerified);
+        let par = run(&p, Mode::Parallel(3));
+        assert!(par.full_verified);
+        assert!(par.iterations_consistent);
+        assert_eq!(par.final_ranks, s.final_ranks);
+    }
+
+    #[test]
+    fn class_s_runs_and_verifies() {
+        let p = IsParams::for_class(Class::S);
+        let r = run(&p, Mode::Parallel(2));
+        assert!(r.verify().passed());
+    }
+}

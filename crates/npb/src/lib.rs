@@ -1,0 +1,36 @@
+//! # npb — NAS Parallel Benchmarks in Rust
+//!
+//! Rust ports of the three NPB kernels the paper evaluates (§V):
+//!
+//! * [`cg`] — Conjugate Gradient: irregular sparse matrix-vector products,
+//!   the kernel with the richest OpenMP surface (parallel regions,
+//!   worksharing loops, `private`/`shared`/`firstprivate`, `nowait`,
+//!   reductions on both regions and loops).
+//! * [`ep`] — Embarrassingly Parallel: Gaussian deviates via the Marsaglia
+//!   polar method; pure compute, `threadprivate` + region reduction.
+//! * [`is`] — Integer Sort: bucketed counting sort with indirect memory
+//!   access; pressurises the memory subsystem; `static,1` schedule.
+//!
+//! Each kernel provides a **serial** reference implementation and a
+//! **parallel** implementation running on the [`zomp`] runtime — the
+//! equivalent of the paper's Zig ports. Problem classes S, W, A, B and C use
+//! the official NPB 3.x parameters; verification combines the official NPB
+//! acceptance criteria with serial-vs-parallel cross checks (see each
+//! module for the exact guarantee).
+//!
+//! The [`model`] module describes each kernel's parallel regions as workload
+//! models (flops, bytes, synchronisation events) consumed by the
+//! `archer-sim` crate to reproduce the paper's 128-core strong-scaling
+//! results on hosts without 128 cores.
+
+pub mod cg;
+pub mod class;
+pub mod ep;
+pub mod is;
+pub mod model;
+pub mod randlc;
+pub mod timers;
+pub mod verify;
+
+pub use class::Class;
+pub use verify::VerifyStatus;

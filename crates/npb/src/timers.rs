@@ -1,0 +1,147 @@
+//! NPB-style named timers.
+//!
+//! The paper measures "using the internal timers provided within the
+//! reference implementations" (§IV) — the `timer_clear`/`timer_start`/
+//! `timer_stop`/`timer_read` quartet every NPB kernel carries. This is that
+//! interface, thread-safe so the parallel drivers can time regions too.
+
+use std::time::{Duration, Instant};
+
+use parking_lot::Mutex;
+
+/// A bank of named timers (NPB uses small integer ids; names read better).
+pub struct Timers {
+    slots: Mutex<Vec<(String, TimerState)>>,
+}
+
+#[derive(Debug, Clone, Copy, Default)]
+struct TimerState {
+    accumulated: Duration,
+    started: Option<Instant>,
+}
+
+impl Default for Timers {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Timers {
+    pub fn new() -> Timers {
+        Timers {
+            slots: Mutex::new(Vec::new()),
+        }
+    }
+
+    fn with_slot<R>(&self, name: &str, f: impl FnOnce(&mut TimerState) -> R) -> R {
+        let mut slots = self.slots.lock();
+        if let Some(entry) = slots.iter_mut().find(|(n, _)| n == name) {
+            f(&mut entry.1)
+        } else {
+            slots.push((name.to_string(), TimerState::default()));
+            f(&mut slots.last_mut().unwrap().1)
+        }
+    }
+
+    /// `timer_clear`.
+    pub fn clear(&self, name: &str) {
+        self.with_slot(name, |s| *s = TimerState::default());
+    }
+
+    /// `timer_start`. Starting a running timer restarts its current lap.
+    pub fn start(&self, name: &str) {
+        self.with_slot(name, |s| s.started = Some(Instant::now()));
+    }
+
+    /// `timer_stop`: accumulate the lap. Stopping a stopped timer is a
+    /// no-op, as in the reference.
+    pub fn stop(&self, name: &str) {
+        self.with_slot(name, |s| {
+            if let Some(t0) = s.started.take() {
+                s.accumulated += t0.elapsed();
+            }
+        });
+    }
+
+    /// `timer_read`: accumulated seconds (excluding a running lap).
+    pub fn read(&self, name: &str) -> f64 {
+        self.with_slot(name, |s| s.accumulated.as_secs_f64())
+    }
+
+    /// Time a closure under `name`, returning its value.
+    pub fn time<R>(&self, name: &str, f: impl FnOnce() -> R) -> R {
+        self.start(name);
+        let out = f();
+        self.stop(name);
+        out
+    }
+
+    /// All timers with non-zero accumulation, in insertion order.
+    pub fn report(&self) -> Vec<(String, f64)> {
+        self.slots
+            .lock()
+            .iter()
+            .filter(|(_, s)| s.accumulated > Duration::ZERO)
+            .map(|(n, s)| (n.clone(), s.accumulated.as_secs_f64()))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accumulates_across_laps() {
+        let t = Timers::new();
+        t.start("a");
+        std::thread::sleep(Duration::from_millis(2));
+        t.stop("a");
+        let first = t.read("a");
+        assert!(first > 0.0);
+        t.start("a");
+        std::thread::sleep(Duration::from_millis(2));
+        t.stop("a");
+        assert!(t.read("a") > first);
+    }
+
+    #[test]
+    fn clear_resets() {
+        let t = Timers::new();
+        t.time("x", || std::thread::sleep(Duration::from_millis(1)));
+        assert!(t.read("x") > 0.0);
+        t.clear("x");
+        assert_eq!(t.read("x"), 0.0);
+    }
+
+    #[test]
+    fn stop_without_start_is_noop() {
+        let t = Timers::new();
+        t.stop("never");
+        assert_eq!(t.read("never"), 0.0);
+    }
+
+    #[test]
+    fn report_lists_used_timers_in_order() {
+        let t = Timers::new();
+        t.time("first", || {});
+        t.time("second", || std::thread::sleep(Duration::from_millis(1)));
+        let names: Vec<String> = t.report().into_iter().map(|(n, _)| n).collect();
+        assert!(names.contains(&"second".to_string()));
+    }
+
+    #[test]
+    fn timers_are_thread_safe() {
+        let t = Timers::new();
+        std::thread::scope(|s| {
+            for i in 0..4 {
+                let t = &t;
+                s.spawn(move || {
+                    let name = format!("t{i}");
+                    t.time(&name, || std::thread::sleep(Duration::from_millis(1)));
+                });
+            }
+        });
+        assert_eq!(t.report().len(), 4);
+    }
+}

@@ -1,0 +1,66 @@
+//! Verification outcomes.
+//!
+//! Every kernel reports one of three statuses: verified against the
+//! **official** NPB acceptance value, verified only against this port's own
+//! serial implementation (used in tests to pin parallel == serial), or
+//! failed. The NPB tolerance is 1e-10 relative for CG's zeta and 1e-8
+//! relative for EP's sums; IS verifies exact ranks.
+
+use std::fmt;
+
+/// Outcome of a benchmark verification.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum VerifyStatus {
+    /// Matches the official NPB verification value.
+    Verified,
+    /// Matches this port's serial reference (cross-check only).
+    SelfVerified,
+    /// Verification failed.
+    Failed,
+}
+
+impl VerifyStatus {
+    pub fn passed(self) -> bool {
+        self != VerifyStatus::Failed
+    }
+}
+
+impl fmt::Display for VerifyStatus {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            VerifyStatus::Verified => write!(f, "VERIFICATION SUCCESSFUL"),
+            VerifyStatus::SelfVerified => write!(f, "SELF-VERIFIED (serial cross-check)"),
+            VerifyStatus::Failed => write!(f, "VERIFICATION FAILED"),
+        }
+    }
+}
+
+/// Relative-error acceptance test, `|got - want| / |want| <= epsilon`
+/// (absolute when `want == 0`).
+pub fn close(got: f64, want: f64, epsilon: f64) -> bool {
+    if want == 0.0 {
+        got.abs() <= epsilon
+    } else {
+        ((got - want) / want).abs() <= epsilon
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn close_relative() {
+        assert!(close(100.0, 100.0 + 1e-9, 1e-10));
+        assert!(!close(100.0, 101.0, 1e-10));
+        assert!(close(0.0, 0.0, 1e-10));
+        assert!(close(1e-12, 0.0, 1e-10));
+    }
+
+    #[test]
+    fn status_passed() {
+        assert!(VerifyStatus::Verified.passed());
+        assert!(VerifyStatus::SelfVerified.passed());
+        assert!(!VerifyStatus::Failed.passed());
+    }
+}

@@ -1,0 +1,120 @@
+//! Property-based tests of the NPB substrates: the 46-bit LCG, stream
+//! jumping, the IS rank invariants, EP batch independence, and the CG
+//! matrix construction invariants at randomised small sizes.
+
+#![allow(clippy::needless_range_loop)] // dense symmetry checks read clearer indexed
+
+use proptest::prelude::*;
+
+use npb::cg::makea::makea;
+use npb::class::{Class, CgParams};
+use npb::is::{full_verify, rank_parallel, rank_serial};
+use npb::randlc::{lcg_jump, randlc, DEFAULT_MULT, DEFAULT_SEED};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// The double-split randlc equals exact 46-bit modular arithmetic from
+    /// any odd seed below 2^46.
+    #[test]
+    fn randlc_matches_integer_lcg(seed_raw in 1u64..(1 << 45)) {
+        let seed = (seed_raw | 1) as f64; // odd, < 2^46
+        let mut x = seed;
+        let mut xi = seed as u64;
+        const M: u128 = 1 << 46;
+        for _ in 0..64 {
+            randlc(&mut x, DEFAULT_MULT);
+            xi = ((xi as u128 * DEFAULT_MULT as u128) % M) as u64;
+            prop_assert_eq!(x as u64, xi);
+        }
+    }
+
+    /// Jumping the stream by n equals stepping it n times, any n.
+    #[test]
+    fn lcg_jump_equals_stepping(n in 0u64..3000) {
+        let jumped = lcg_jump(DEFAULT_SEED, DEFAULT_MULT, n);
+        let mut stepped = DEFAULT_SEED;
+        for _ in 0..n {
+            randlc(&mut stepped, DEFAULT_MULT);
+        }
+        prop_assert_eq!(jumped, stepped);
+    }
+
+    /// IS: parallel rank equals serial rank exactly for arbitrary key sets
+    /// and thread counts; full_verify accepts the result.
+    #[test]
+    fn is_rank_parallel_equals_serial(
+        keys_raw in proptest::collection::vec(0u32..(1 << 10), 16..800),
+        threads in 1usize..5,
+    ) {
+        let params = npb::is::custom_params(10, 10, 4);
+        let want = rank_serial(&keys_raw, &params);
+        let got = rank_parallel(&keys_raw, &params, threads);
+        prop_assert_eq!(&got, &want);
+        prop_assert!(full_verify(&keys_raw, &got));
+    }
+
+    /// IS: ranks are a valid cumulative histogram (monotone, ending at the
+    /// key count).
+    #[test]
+    fn is_rank_is_cumulative(keys in proptest::collection::vec(0u32..(1 << 8), 1..500)) {
+        let params = npb::is::custom_params(9, 8, 3);
+        let ranks = rank_serial(&keys, &params);
+        prop_assert!(ranks.windows(2).all(|w| w[0] <= w[1]));
+        prop_assert_eq!(*ranks.last().unwrap() as usize, keys.len());
+    }
+}
+
+proptest! {
+    // The CG matrix generation is the expensive one; fewer cases.
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// makea invariants hold for randomised miniature problems: symmetric,
+    /// sorted unique columns, full diagonal.
+    #[test]
+    fn makea_invariants(na in 16usize..120, nonzer in 2usize..6, shift_i in 1i32..40) {
+        let params = CgParams {
+            class: Class::S,
+            na,
+            nonzer,
+            niter: 1,
+            shift: shift_i as f64,
+            zeta_verify: f64::NAN,
+        };
+        let m = makea(&params);
+        // CSR shape.
+        prop_assert_eq!(m.rowstr.len(), na + 1);
+        prop_assert_eq!(*m.rowstr.last().unwrap(), m.nnz());
+        // Columns sorted strictly, in range, diagonal present.
+        for j in 0..na {
+            let cols = &m.colidx[m.rowstr[j]..m.rowstr[j + 1]];
+            prop_assert!(cols.windows(2).all(|w| w[0] < w[1]));
+            prop_assert!(cols.iter().all(|&c| c < na));
+            prop_assert!(cols.contains(&j), "row {j} lost its diagonal");
+        }
+        // Symmetry (dense check is fine at this size).
+        let mut dense = vec![vec![0.0f64; na]; na];
+        for j in 0..na {
+            for k in m.rowstr[j]..m.rowstr[j + 1] {
+                dense[j][m.colidx[k]] = m.a[k];
+            }
+        }
+        for r in 0..na {
+            for c in (r + 1)..na {
+                prop_assert!((dense[r][c] - dense[c][r]).abs() < 1e-12);
+            }
+        }
+    }
+
+    /// EP batches are stream-independent: computing batches in any order
+    /// gives identical sums (the property that makes EP embarrassingly
+    /// parallel).
+    #[test]
+    fn ep_results_independent_of_thread_count(threads in 2usize..6) {
+        let p = npb::ep::custom_params(17);
+        let serial = npb::ep::run_serial(&p);
+        let par = npb::ep::run_parallel(&p, threads);
+        prop_assert_eq!(par.q, serial.q);
+        prop_assert!(((par.sx - serial.sx) / serial.sx).abs() < 1e-12);
+    }
+}

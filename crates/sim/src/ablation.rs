@@ -1,0 +1,127 @@
+//! Model ablations: turn individual mechanisms of the machine model off to
+//! show which observed behaviour each one is responsible for. These back
+//! the ablation analysis in EXPERIMENTS.md and are the model-level
+//! counterpart of the Criterion ablation benches.
+
+use crate::machine::Machine;
+
+impl Machine {
+    /// Disable the cache-residency (LRU-cliff) mechanism: reused working
+    /// sets stream from DRAM no matter how small the per-thread slice.
+    /// Without it the paper's CG 96-128-thread jump must disappear.
+    pub fn without_cache_fit(mut self) -> Machine {
+        // A zero-capacity cache makes every slice non-resident.
+        self.l2_bytes = 0.0;
+        self.l3_per_ccx_bytes = 0.0;
+        self
+    }
+
+    /// Disable the per-CCX fabric ceiling (give every CCX the full socket
+    /// bandwidth): the mid-range (16-64 threads) CG/IS curves become far
+    /// too optimistic, showing the ceiling is what produces the paper's
+    /// sub-linear middle.
+    pub fn without_ccx_cap(mut self) -> Machine {
+        self.bw_ccx_cap = self.bw_socket;
+        self
+    }
+
+    /// Disable the gather-contention curve (threads keep the exclusive
+    /// single-thread gather rate): CG scales near-ideally, which the paper
+    /// contradicts.
+    pub fn without_gather_contention(mut self) -> Machine {
+        self.bw_gather_contended = self.bw_gather_single;
+        self
+    }
+
+    /// Zero synchronisation overheads (free fork/barrier/dispatch):
+    /// quantifies how little of the class C picture is sync-dominated —
+    /// the kernels are bandwidth stories, not overhead stories.
+    pub fn without_sync_costs(mut self) -> Machine {
+        self.fork_base_s = 0.0;
+        self.fork_per_thread_s = 0.0;
+        self.barrier_base_s = 0.0;
+        self.barrier_log_s = 0.0;
+        self.dispatch_chunk_s = 0.0;
+        self.atomic_op_s = 0.0;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exec::simulate;
+    use crate::lang::{profile, Kernel, Lang};
+    use npb::class::{CgParams, IsParams};
+    use npb::model::{cg_model, estimate_nnz, is_model};
+    use npb::Class;
+
+    fn cg() -> npb::model::KernelModel {
+        let p = CgParams::for_class(Class::C);
+        cg_model(&p, estimate_nnz(&p))
+    }
+
+    #[test]
+    fn cache_fit_ablation_kills_the_jump() {
+        let zig = profile(Lang::Zig, Kernel::Cg);
+        let model = cg();
+        let with = Machine::archer2();
+        let without = Machine::archer2().without_cache_fit();
+
+        let jump = |m: &Machine| {
+            let t64 = simulate(&model, m, &zig, 64).seconds;
+            let t128 = simulate(&model, m, &zig, 128).seconds;
+            t64 / t128
+        };
+        let with_jump = jump(&with);
+        let without_jump = jump(&without);
+        assert!(with_jump > 3.0, "full model 64->128 gain {with_jump:.2}");
+        assert!(
+            without_jump < 2.2,
+            "without cache fit the jump must collapse: {without_jump:.2}"
+        );
+    }
+
+    #[test]
+    fn ccx_cap_ablation_inflates_midrange() {
+        let zig = profile(Lang::Zig, Kernel::Is);
+        let p = IsParams::for_class(Class::C);
+        let model = is_model(&p);
+        // At 64 threads IS's scatter phase sits on the fabric ceiling; with
+        // the ceiling removed the phase drops under its compute bound.
+        let t64_with = simulate(&model, &Machine::archer2(), &zig, 64).seconds;
+        let t64_without =
+            simulate(&model, &Machine::archer2().without_ccx_cap(), &zig, 64).seconds;
+        assert!(
+            t64_without < t64_with * 0.85,
+            "removing the fabric ceiling must speed up the mid-range: {t64_without:.3} vs {t64_with:.3}"
+        );
+    }
+
+    #[test]
+    fn gather_contention_ablation_overscales_cg() {
+        let zig = profile(Lang::Zig, Kernel::Cg);
+        let model = cg();
+        let m = Machine::archer2().without_gather_contention();
+        let t1 = simulate(&model, &m, &zig, 1).seconds;
+        let t16 = simulate(&model, &m, &zig, 16).seconds;
+        let speedup = t1 / t16;
+        // The paper measures 6.8x at 16 threads; without contention the
+        // model exceeds 12x — the contention curve carries that result.
+        assert!(speedup > 12.0, "no-contention CG speedup at 16: {speedup:.1}");
+    }
+
+    #[test]
+    fn sync_costs_are_second_order_at_class_c() {
+        let zig = profile(Lang::Zig, Kernel::Cg);
+        let model = cg();
+        let t = simulate(&model, &Machine::archer2(), &zig, 128).seconds;
+        let t0 = simulate(&model, &Machine::archer2().without_sync_costs(), &zig, 128).seconds;
+        let frac = (t - t0) / t;
+        assert!(
+            (0.0..0.25).contains(&frac),
+            "sync share of CG at 128 threads: {:.1}%",
+            frac * 100.0
+        );
+    }
+}

@@ -1,0 +1,278 @@
+//! Per-loop time breakdowns: *where* a modelled runtime goes.
+//!
+//! [`simulate_breakdown`] runs the same virtual-time execution as
+//! [`crate::exec::simulate`] but attributes the master clock's time to the
+//! individual loops/steps of the kernel model, and classifies each loop as
+//! compute- or memory-bound at that thread count. This is the explanatory
+//! companion to the tables: e.g. for CG class C it shows the SpMV loop
+//! owning >90 % of the time and flipping from memory- to compute-bound
+//! exactly where the cache-fit jump happens.
+
+use std::collections::HashMap;
+
+use npb::model::{KernelModel, LoopModel, Step, TimedStep};
+use zomp::schedule::{static_block, ScheduleKind, StaticChunked};
+
+use crate::lang::LangProfile;
+use crate::machine::Machine;
+
+/// What bounds a loop at a given thread count.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Bound {
+    Compute,
+    Memory,
+}
+
+/// Aggregated contribution of one named loop (or pseudo-step).
+#[derive(Debug, Clone)]
+pub struct LoopShare {
+    pub name: &'static str,
+    /// Seconds on the master's clock attributed to this step.
+    pub seconds: f64,
+    /// Invocations across all repeats.
+    pub count: u64,
+    /// Binding constraint at this thread count (last observed).
+    pub bound: Bound,
+}
+
+/// The breakdown: total plus per-step shares, sorted by time descending.
+#[derive(Debug, Clone)]
+pub struct Breakdown {
+    pub total_seconds: f64,
+    pub serial_seconds: f64,
+    pub sync_seconds: f64,
+    pub loops: Vec<LoopShare>,
+}
+
+impl Breakdown {
+    /// Render as a flat table.
+    pub fn render(&self) -> String {
+        let mut s = format!(
+            "total {:.3}s  (serial {:.4}s, sync {:.4}s)\n{:<24} {:>10} {:>8} {:>9} {:>8}\n",
+            self.total_seconds, self.serial_seconds, self.sync_seconds,
+            "loop", "seconds", "share", "calls", "bound",
+        );
+        for l in &self.loops {
+            s.push_str(&format!(
+                "{:<24} {:>10.4} {:>7.1}% {:>9} {:>8}\n",
+                l.name,
+                l.seconds,
+                100.0 * l.seconds / self.total_seconds,
+                l.count,
+                match l.bound {
+                    Bound::Compute => "compute",
+                    Bound::Memory => "memory",
+                }
+            ));
+        }
+        s
+    }
+}
+
+struct Acc {
+    per_loop: HashMap<&'static str, LoopShare>,
+    serial: f64,
+    sync: f64,
+}
+
+/// Time of the *slowest thread* for one loop, plus its binding constraint —
+/// the same arithmetic as the executor, reduced to the critical path.
+fn loop_time(l: &LoopModel, machine: &Machine, prof: &LangProfile, t: usize) -> (f64, Bound) {
+    let bw = machine.per_thread_bw(t, l.working_set_bytes, l.access, l.reused) * prof.mem_eff;
+    let frate = machine.flops_per_core * prof.compute_eff;
+    let sched = match l.sched.kind {
+        ScheduleKind::Runtime => zomp::schedule::Schedule::static_default(),
+        _ => l.sched,
+    };
+    let mut worst = 0.0f64;
+    let mut bound = Bound::Compute;
+    for tid in 0..t {
+        let (iters, chunks) = match sched.kind {
+            ScheduleKind::Static => match sched.chunk {
+                None => {
+                    let r = static_block(tid, t, l.trip);
+                    (r.end - r.start, 1u64)
+                }
+                Some(c) => {
+                    let mut iters = 0;
+                    let mut chunks = 0;
+                    for r in StaticChunked::new(tid, t, l.trip, c) {
+                        iters += r.end - r.start;
+                        chunks += 1;
+                    }
+                    (iters, chunks)
+                }
+            },
+            _ => {
+                let base = l.trip / t as u64;
+                let extra = u64::from((tid as u64) < l.trip % t as u64);
+                let chunk = sched.chunk.unwrap_or(1).max(1) as u64;
+                (base + extra, (base + extra).div_ceil(chunk))
+            }
+        };
+        let n = iters as f64;
+        let tc = n * l.flops_per_iter / frate;
+        let tm = n * l.bytes_per_iter / bw;
+        let mut dt = tc.max(tm);
+        if matches!(sched.kind, ScheduleKind::Dynamic | ScheduleKind::Guided) {
+            dt += chunks as f64 * machine.dispatch_chunk_s;
+        }
+        if dt > worst {
+            worst = dt;
+            bound = if tm > tc { Bound::Memory } else { Bound::Compute };
+        }
+    }
+    if l.reduction {
+        worst += machine.atomic_op_s * t as f64;
+    }
+    (worst, bound)
+}
+
+fn walk_steps(steps: &[Step], machine: &Machine, prof: &LangProfile, t: usize, acc: &mut Acc) {
+    for s in steps {
+        match s {
+            Step::Loop(l) => {
+                let (dt, bound) = loop_time(l, machine, prof, t);
+                let entry = acc.per_loop.entry(l.name).or_insert(LoopShare {
+                    name: l.name,
+                    seconds: 0.0,
+                    count: 0,
+                    bound,
+                });
+                entry.seconds += dt;
+                entry.count += 1;
+                entry.bound = bound;
+                if !l.nowait {
+                    acc.sync += machine.barrier_cost(t);
+                }
+            }
+            Step::Barrier => acc.sync += machine.barrier_cost(t),
+            Step::PerThread { flops } => {
+                acc.serial += flops / (machine.flops_per_core * prof.compute_eff);
+            }
+            Step::Repeat { times, body } => {
+                for _ in 0..*times {
+                    walk_steps(body, machine, prof, t, acc);
+                }
+            }
+        }
+    }
+}
+
+fn walk_timed(steps: &[TimedStep], machine: &Machine, prof: &LangProfile, t: usize, acc: &mut Acc) {
+    for s in steps {
+        match s {
+            TimedStep::Serial { flops, bytes } => {
+                let frate = machine.flops_per_core * prof.compute_eff;
+                let bw = machine.per_thread_bw(1, 0.0, npb::model::Access::Streaming, false)
+                    * prof.mem_eff;
+                acc.serial += (flops / frate).max(bytes / bw);
+            }
+            TimedStep::Region(region) => {
+                acc.sync += machine.fork_cost(t) + machine.barrier_cost(t);
+                walk_steps(&region.steps, machine, prof, t, acc);
+            }
+            TimedStep::Repeat { times, body } => {
+                for _ in 0..*times {
+                    walk_timed(body, machine, prof, t, acc);
+                }
+            }
+        }
+    }
+}
+
+/// Break a modelled run down by loop.
+///
+/// This approximates the critical path as the sum of slowest-thread step
+/// times (exact when every loop is followed by a barrier, which holds for
+/// all three NPB models except CG's nowait pairs, where the discrepancy is
+/// far below a percent).
+pub fn simulate_breakdown(
+    model: &KernelModel,
+    machine: &Machine,
+    prof: &LangProfile,
+    threads: usize,
+) -> Breakdown {
+    let mut acc = Acc {
+        per_loop: HashMap::new(),
+        serial: 0.0,
+        sync: 0.0,
+    };
+    walk_timed(&model.timed, machine, prof, threads, &mut acc);
+    let mut loops: Vec<LoopShare> = acc.per_loop.into_values().collect();
+    loops.sort_by(|a, b| b.seconds.total_cmp(&a.seconds));
+    let total = loops.iter().map(|l| l.seconds).sum::<f64>() + acc.serial + acc.sync;
+    Breakdown {
+        total_seconds: total,
+        serial_seconds: acc.serial,
+        sync_seconds: acc.sync,
+        loops,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exec::simulate;
+    use crate::lang::{profile, Kernel, Lang};
+    use npb::class::CgParams;
+    use npb::model::{cg_model, estimate_nnz};
+    use npb::Class;
+
+    fn cg() -> KernelModel {
+        let p = CgParams::for_class(Class::C);
+        cg_model(&p, estimate_nnz(&p))
+    }
+
+    #[test]
+    fn breakdown_total_matches_simulation() {
+        let m = Machine::archer2();
+        let prof = profile(Lang::Zig, Kernel::Cg);
+        let model = cg();
+        for t in [1usize, 16, 128] {
+            let bd = simulate_breakdown(&model, &m, &prof, t);
+            let sim = simulate(&model, &m, &prof, t).seconds;
+            let rel = ((bd.total_seconds - sim) / sim).abs();
+            assert!(rel < 0.02, "breakdown {:.2}s vs sim {sim:.2}s at {t} threads", bd.total_seconds);
+        }
+    }
+
+    #[test]
+    fn spmv_dominates_cg() {
+        let m = Machine::archer2();
+        let prof = profile(Lang::Zig, Kernel::Cg);
+        let bd = simulate_breakdown(&cg(), &m, &prof, 1);
+        let top = &bd.loops[0];
+        assert_eq!(top.name, "q = A p");
+        assert!(top.seconds / bd.total_seconds > 0.75, "{}", bd.render());
+    }
+
+    #[test]
+    fn spmv_flips_to_compute_bound_at_cache_fit() {
+        let m = Machine::archer2();
+        let prof = profile(Lang::Zig, Kernel::Cg);
+        let at = |t| {
+            simulate_breakdown(&cg(), &m, &prof, t)
+                .loops
+                .iter()
+                .find(|l| l.name == "q = A p")
+                .unwrap()
+                .bound
+        };
+        // Mid-range: streaming the matrix from DRAM binds.
+        assert_eq!(at(32), Bound::Memory);
+        // Past the cache-fit point the arithmetic is the constraint.
+        assert_eq!(at(128), Bound::Compute);
+    }
+
+    #[test]
+    fn render_is_complete() {
+        let m = Machine::archer2();
+        let prof = profile(Lang::Zig, Kernel::Cg);
+        let bd = simulate_breakdown(&cg(), &m, &prof, 64);
+        let txt = bd.render();
+        assert!(txt.contains("q = A p"));
+        assert!(txt.contains("share"));
+        assert!(txt.contains('%'));
+    }
+}

@@ -1,0 +1,321 @@
+//! The virtual-time executor: replay a kernel model at any thread count.
+//!
+//! Each simulated thread carries a virtual clock. Worksharing loops advance
+//! each clock by that thread's assigned work — computed with the *live*
+//! partitioning code from [`zomp::schedule`], so the simulation distributes
+//! iterations exactly as the real runtime would — and barriers synchronise
+//! the clocks to the team maximum (plus the barrier cost), which is where
+//! load imbalance turns into lost time. `nowait` loops skip the
+//! synchronisation and let clocks drift, exactly like the real construct.
+
+use npb::model::{KernelModel, LoopModel, Step, TimedStep};
+use zomp::schedule::{static_block, ScheduleKind, StaticChunked};
+
+use crate::lang::LangProfile;
+use crate::machine::Machine;
+
+/// Result of one simulated run.
+#[derive(Debug, Clone, Copy)]
+pub struct SimResult {
+    /// Wall-clock seconds of the timed section.
+    pub seconds: f64,
+    /// Seconds spent in synchronisation (fork + barriers), for ablations.
+    pub sync_seconds: f64,
+}
+
+struct Ctx<'a> {
+    machine: &'a Machine,
+    prof: &'a LangProfile,
+    threads: usize,
+    clocks: Vec<f64>,
+    sync: f64,
+}
+
+impl Ctx<'_> {
+    fn barrier(&mut self) {
+        let cost = self.machine.barrier_cost(self.threads);
+        let max = self.clocks.iter().cloned().fold(0.0f64, f64::max) + cost;
+        // Synchronisation loss: time threads spend waiting plus the barrier
+        // itself.
+        let sum: f64 = self.clocks.iter().sum();
+        self.sync += max * self.threads as f64 - sum;
+        for c in &mut self.clocks {
+            *c = max;
+        }
+    }
+
+    fn flop_rate(&self) -> f64 {
+        self.machine.flops_per_core * self.prof.compute_eff
+    }
+
+    fn do_loop(&mut self, l: &LoopModel) {
+        let t = self.threads;
+        let bw =
+            self.machine.per_thread_bw(t, l.working_set_bytes, l.access, l.reused) * self.prof.mem_eff;
+        let frate = self.flop_rate();
+
+        // Assigned iterations (and dispatch overhead events) per thread,
+        // using the real partitioning code.
+        let sched = match l.sched.kind {
+            // `runtime` defaults to static in the modelled configuration.
+            ScheduleKind::Runtime => zomp::schedule::Schedule::static_default(),
+            _ => l.sched,
+        };
+        for tid in 0..t {
+            let (iters, chunks) = match sched.kind {
+                ScheduleKind::Static => match sched.chunk {
+                    None => {
+                        let r = static_block(tid, t, l.trip);
+                        (r.end - r.start, 1u64)
+                    }
+                    Some(c) => {
+                        let mut iters = 0;
+                        let mut chunks = 0;
+                        for r in StaticChunked::new(tid, t, l.trip, c) {
+                            iters += r.end - r.start;
+                            chunks += 1;
+                        }
+                        (iters, chunks)
+                    }
+                },
+                ScheduleKind::Dynamic | ScheduleKind::Guided => {
+                    // Dynamic scheduling balances by construction; model a
+                    // near-even split plus per-chunk dispatch overhead.
+                    let base = l.trip / t as u64;
+                    let extra = u64::from((tid as u64) < l.trip % t as u64);
+                    let iters = base + extra;
+                    let chunk = sched.chunk.unwrap_or(1).max(1) as u64;
+                    (iters, iters.div_ceil(chunk.max(1)))
+                }
+                ScheduleKind::Runtime => unreachable!(),
+            };
+            let n = iters as f64;
+            let t_compute = n * l.flops_per_iter / frate;
+            let t_memory = n * l.bytes_per_iter / bw;
+            let mut dt = t_compute.max(t_memory);
+            if matches!(sched.kind, ScheduleKind::Dynamic | ScheduleKind::Guided) {
+                dt += chunks as f64 * self.machine.dispatch_chunk_s;
+            }
+            if l.reduction {
+                // Atomic combine: worst-case serialised across the team.
+                dt += self.machine.atomic_op_s * t as f64;
+            }
+            self.clocks[tid] += dt;
+        }
+
+        if !l.nowait {
+            self.barrier();
+        }
+    }
+
+    fn run_steps(&mut self, steps: &[Step]) {
+        for s in steps {
+            match s {
+                Step::Loop(l) => self.do_loop(l),
+                Step::Barrier => self.barrier(),
+                Step::PerThread { flops } => {
+                    let dt = flops / self.flop_rate();
+                    for c in &mut self.clocks {
+                        *c += dt;
+                    }
+                }
+                Step::Repeat { times, body } => {
+                    for _ in 0..*times {
+                        self.run_steps(body);
+                    }
+                }
+            }
+        }
+    }
+}
+
+fn run_timed(
+    steps: &[TimedStep],
+    machine: &Machine,
+    prof: &LangProfile,
+    threads: usize,
+    sync_total: &mut f64,
+) -> f64 {
+    let mut total = 0.0;
+    for step in steps {
+        match step {
+            TimedStep::Serial { flops, bytes } => {
+                let frate = machine.flops_per_core * prof.compute_eff;
+                let bw = machine.per_thread_bw(1, 0.0, npb::model::Access::Streaming, false)
+                    * prof.mem_eff;
+                total += (flops / frate).max(bytes / bw);
+            }
+            TimedStep::Region(region) => {
+                let fork = machine.fork_cost(threads);
+                let mut ctx = Ctx {
+                    machine,
+                    prof,
+                    threads,
+                    clocks: vec![0.0; threads],
+                    sync: 0.0,
+                };
+                ctx.run_steps(&region.steps);
+                // Join: implicit barrier at region end.
+                ctx.barrier();
+                let dur = ctx.clocks[0];
+                total += fork + dur;
+                *sync_total += fork + ctx.sync / threads as f64;
+            }
+            TimedStep::Repeat { times, body } => {
+                for _ in 0..*times {
+                    total += run_timed(body, machine, prof, threads, sync_total);
+                }
+            }
+        }
+    }
+    total
+}
+
+/// Simulate `model` on `machine` for `threads` threads compiled as `prof`.
+pub fn simulate(
+    model: &KernelModel,
+    machine: &Machine,
+    prof: &LangProfile,
+    threads: usize,
+) -> SimResult {
+    assert!(threads >= 1 && threads <= machine.cores());
+    let mut sync = 0.0;
+    let seconds = run_timed(&model.timed, machine, prof, threads, &mut sync);
+    SimResult {
+        seconds,
+        sync_seconds: sync,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lang::{profile, Kernel, Lang};
+    use npb::class::{CgParams, EpParams, IsParams};
+    use npb::model::{cg_model, ep_model, estimate_nnz, is_model};
+    use npb::Class;
+
+    fn zig(k: Kernel) -> LangProfile {
+        profile(Lang::Zig, k)
+    }
+
+    fn cg_c() -> npb::model::KernelModel {
+        let p = CgParams::for_class(Class::C);
+        cg_model(&p, estimate_nnz(&p))
+    }
+
+    #[test]
+    fn serial_cg_class_c_near_paper() {
+        let m = Machine::archer2();
+        let t = simulate(&cg_c(), &m, &zig(Kernel::Cg), 1).seconds;
+        // Paper Table I: 149.40 s. Calibration target ±25 %.
+        assert!((100.0..200.0).contains(&t), "CG serial {t} s");
+    }
+
+    #[test]
+    fn serial_ep_class_c_near_paper() {
+        let m = Machine::archer2();
+        let model = ep_model(&EpParams::for_class(Class::C));
+        let t = simulate(&model, &m, &zig(Kernel::Ep), 1).seconds;
+        // Paper Table II: 147.66 s.
+        assert!((110.0..190.0).contains(&t), "EP serial {t} s");
+    }
+
+    #[test]
+    fn serial_is_class_c_near_paper() {
+        let m = Machine::archer2();
+        let model = is_model(&IsParams::for_class(Class::C));
+        let t = simulate(&model, &m, &zig(Kernel::Is), 1).seconds;
+        // Paper Table III: 11.87 s.
+        assert!((6.0..20.0).contains(&t), "IS serial {t} s");
+    }
+
+    #[test]
+    fn ep_scales_nearly_linearly() {
+        let m = Machine::archer2();
+        let model = ep_model(&EpParams::for_class(Class::C));
+        let t1 = simulate(&model, &m, &zig(Kernel::Ep), 1).seconds;
+        let t128 = simulate(&model, &m, &zig(Kernel::Ep), 128).seconds;
+        let speedup = t1 / t128;
+        assert!(speedup > 100.0, "EP speedup at 128 threads: {speedup}");
+    }
+
+    #[test]
+    fn cg_shows_cache_fit_jump() {
+        // The paper's Fig. 3 signature: speedup at 128 threads far exceeds
+        // twice the speedup at 64 (25.6x -> 82.5x in Table I).
+        let m = Machine::archer2();
+        let model = cg_c();
+        let p = zig(Kernel::Cg);
+        let t1 = simulate(&model, &m, &p, 1).seconds;
+        let t64 = simulate(&model, &m, &p, 64).seconds;
+        let t128 = simulate(&model, &m, &p, 128).seconds;
+        let s64 = t1 / t64;
+        let s128 = t1 / t128;
+        assert!(
+            s128 > 2.2 * s64,
+            "cache-fit jump missing: s64 = {s64:.1}, s128 = {s128:.1}"
+        );
+    }
+
+    #[test]
+    fn is_saturates_memory_bandwidth() {
+        // Fig. 5 / Table III: IS scales well early then flattens.
+        let m = Machine::archer2();
+        let model = is_model(&IsParams::for_class(Class::C));
+        let p = zig(Kernel::Is);
+        let t1 = simulate(&model, &m, &p, 1).seconds;
+        let t16 = simulate(&model, &m, &p, 16).seconds;
+        let t128 = simulate(&model, &m, &p, 128).seconds;
+        let s16 = t1 / t16;
+        let s128 = t1 / t128;
+        assert!(s16 > 8.0, "early scaling too weak: {s16}");
+        assert!(
+            s128 < 128.0 * 0.6,
+            "IS must be far from linear at 128 threads: {s128}"
+        );
+        assert!(s128 > s16, "still some gain beyond 16 threads");
+    }
+
+    #[test]
+    fn more_threads_never_catastrophically_slower() {
+        let m = Machine::archer2();
+        let model = cg_c();
+        let p = zig(Kernel::Cg);
+        let mut prev = f64::INFINITY;
+        for t in [1usize, 2, 4, 8, 16, 32, 64, 96, 128] {
+            let s = simulate(&model, &m, &p, t).seconds;
+            assert!(s < prev * 1.05, "regression at {t} threads: {s} vs {prev}");
+            prev = s;
+        }
+    }
+
+    #[test]
+    fn fortran_slower_serial_on_cg_and_ep() {
+        let m = Machine::archer2();
+        let cg = cg_c();
+        let zc = simulate(&cg, &m, &zig(Kernel::Cg), 1).seconds;
+        let fc = simulate(&cg, &m, &profile(Lang::Fortran, Kernel::Cg), 1).seconds;
+        // Paper: Fortran/Zig = 1.139 on CG.
+        let ratio = fc / zc;
+        assert!((1.05..1.30).contains(&ratio), "CG Fortran/Zig ratio {ratio}");
+
+        let ep = ep_model(&EpParams::for_class(Class::C));
+        let ze = simulate(&ep, &m, &zig(Kernel::Ep), 1).seconds;
+        let fe = simulate(&ep, &m, &profile(Lang::Fortran, Kernel::Ep), 1).seconds;
+        let ratio = fe / ze;
+        // Paper: 185.26/147.66 = 1.255.
+        assert!((1.15..1.35).contains(&ratio), "EP Fortran/Zig ratio {ratio}");
+    }
+
+    #[test]
+    fn c_faster_serial_on_is() {
+        let m = Machine::archer2();
+        let is = is_model(&IsParams::for_class(Class::C));
+        let z = simulate(&is, &m, &zig(Kernel::Is), 1).seconds;
+        let c = simulate(&is, &m, &profile(Lang::C, Kernel::Is), 1).seconds;
+        // Paper: Zig/C = 11.87/9.29 = 1.278.
+        let ratio = z / c;
+        assert!((1.1..1.4).contains(&ratio), "IS Zig/C ratio {ratio}");
+    }
+}

@@ -1,0 +1,117 @@
+//! Per-language codegen profiles.
+//!
+//! The paper compares its Zig ports against the AOCC-compiled Fortran (CG,
+//! EP) and C (IS) reference implementations. Which compiler emits the
+//! tighter scalar loop is not something an analytic model can re-derive, so
+//! the single-thread performance ratios are *calibrated from the paper's
+//! own Table I–III serial rows* and recorded here as two multipliers per
+//! (language, kernel) pair:
+//!
+//! * `compute_eff` — scalar instruction-throughput multiplier (relative to
+//!   the Zig port = 1.0);
+//! * `mem_eff` — achieved-bandwidth multiplier (array access code quality:
+//!   bounds-check elision, aliasing knowledge, prefetch friendliness).
+//!
+//! Everything else about a scaling curve — partitioning, barriers, cache
+//! fit, bandwidth saturation — *emerges* from the machine model; these two
+//! numbers only set each language's serial baseline, exactly the quantity
+//! the paper itself reports rather than explains.
+
+use serde::Serialize;
+
+/// Languages compared in the paper (plus Rust, this port, for the native
+/// host benchmarks).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize)]
+pub enum Lang {
+    /// The paper's Zig port (baseline, 1.0).
+    Zig,
+    /// AOCC Flang-compiled Fortran reference.
+    Fortran,
+    /// AOCC Clang-compiled C reference.
+    C,
+    /// This repository's Rust port (treated as Zig-equivalent: both are
+    /// LLVM backends with bounds checks disabled in release mode).
+    Rust,
+}
+
+impl Lang {
+    pub fn name(&self) -> &'static str {
+        match self {
+            Lang::Zig => "Zig",
+            Lang::Fortran => "Fortran",
+            Lang::C => "C",
+            Lang::Rust => "Rust",
+        }
+    }
+}
+
+/// The kernels, for per-kernel calibration lookup.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize)]
+pub enum Kernel {
+    Cg,
+    Ep,
+    Is,
+}
+
+/// Codegen multipliers for one (language, kernel) pair.
+#[derive(Debug, Clone, Copy, Serialize)]
+pub struct LangProfile {
+    pub lang: Lang,
+    pub compute_eff: f64,
+    pub mem_eff: f64,
+}
+
+/// Calibrated profile table.
+///
+/// Sources (single-thread class C rows):
+/// * Table I (CG): Zig 149.40 s vs Fortran 170.17 s. CG's SpMV is serially
+///   latency/instruction-bound → the gap is mostly `compute_eff`
+///   149.40/170.17 ≈ 0.878, with a small bandwidth component.
+/// * Table II (EP): Zig 147.66 s vs Fortran 185.26 s. EP is compute-bound →
+///   `compute_eff` 147.66/185.26 ≈ 0.797.
+/// * Table III (IS): Zig 11.87 s vs C 9.29 s. IS is serially dominated by
+///   the dependent integer update chain → C `compute_eff`
+///   11.87/9.29 ≈ 1.278 (C is *faster* than the Zig port here).
+pub fn profile(lang: Lang, kernel: Kernel) -> LangProfile {
+    let (compute_eff, mem_eff) = match (lang, kernel) {
+        (Lang::Zig | Lang::Rust, _) => (1.0, 1.0),
+        (Lang::Fortran, Kernel::Cg) => (0.878, 0.95),
+        (Lang::Fortran, Kernel::Ep) => (0.797, 1.0),
+        // The paper does not run Fortran IS (the reference is C); keep a
+        // neutral profile for completeness.
+        (Lang::Fortran, Kernel::Is) => (1.0, 1.0),
+        (Lang::C, Kernel::Is) => (1.278, 1.0),
+        // The paper does not run C CG/EP; neutral.
+        (Lang::C, _) => (1.0, 1.0),
+    };
+    LangProfile {
+        lang,
+        compute_eff,
+        mem_eff,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zig_is_the_baseline() {
+        for k in [Kernel::Cg, Kernel::Ep, Kernel::Is] {
+            let p = profile(Lang::Zig, k);
+            assert_eq!(p.compute_eff, 1.0);
+            assert_eq!(p.mem_eff, 1.0);
+        }
+    }
+
+    #[test]
+    fn fortran_slower_on_cg_and_ep() {
+        assert!(profile(Lang::Fortran, Kernel::Cg).mem_eff < 1.0);
+        assert!(profile(Lang::Fortran, Kernel::Ep).compute_eff < 1.0);
+    }
+
+    #[test]
+    fn c_faster_on_is() {
+        assert!(profile(Lang::C, Kernel::Is).compute_eff > 1.0);
+    }
+}

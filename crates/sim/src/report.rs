@@ -1,0 +1,111 @@
+//! Scaling-curve containers for the figure/table harness.
+
+use serde::Serialize;
+
+use crate::exec::simulate;
+use crate::lang::LangProfile;
+use crate::machine::Machine;
+use npb::model::KernelModel;
+
+/// One point of a strong-scaling experiment.
+#[derive(Debug, Clone, Copy, Serialize)]
+pub struct ScalingPoint {
+    pub threads: usize,
+    pub seconds: f64,
+    /// Speedup relative to the curve's 1-thread point.
+    pub speedup: f64,
+}
+
+/// One language's strong-scaling curve (a series of Fig. 3/4/5, a column of
+/// Tables I–III).
+#[derive(Debug, Clone, Serialize)]
+pub struct ScalingCurve {
+    pub label: String,
+    pub points: Vec<ScalingPoint>,
+}
+
+impl ScalingCurve {
+    /// Run `model` at each thread count and build the curve. Speedups are
+    /// computed against the curve's own 1-thread time, which is prepended if
+    /// absent (the paper's Figures 3–5 normalise per language).
+    pub fn run(
+        label: impl Into<String>,
+        model: &KernelModel,
+        machine: &Machine,
+        prof: &LangProfile,
+        threads: &[usize],
+    ) -> ScalingCurve {
+        let t1 = simulate(model, machine, prof, 1).seconds;
+        let points = threads
+            .iter()
+            .map(|&t| {
+                let seconds = if t == 1 {
+                    t1
+                } else {
+                    simulate(model, machine, prof, t).seconds
+                };
+                ScalingPoint {
+                    threads: t,
+                    seconds,
+                    speedup: t1 / seconds,
+                }
+            })
+            .collect();
+        ScalingCurve {
+            label: label.into(),
+            points,
+        }
+    }
+
+    /// Time at a given thread count, if present.
+    pub fn at(&self, threads: usize) -> Option<ScalingPoint> {
+        self.points.iter().copied().find(|p| p.threads == threads)
+    }
+}
+
+/// The thread counts of the paper's tables.
+pub const PAPER_THREADS: [usize; 7] = [1, 2, 16, 32, 64, 96, 128];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lang::{profile, Kernel, Lang};
+    use npb::class::EpParams;
+    use npb::model::ep_model;
+    use npb::Class;
+
+    #[test]
+    fn curve_has_unit_speedup_at_one_thread() {
+        let m = Machine::archer2();
+        let model = ep_model(&EpParams::for_class(Class::A));
+        let c = ScalingCurve::run(
+            "EP/Zig",
+            &model,
+            &m,
+            &profile(Lang::Zig, Kernel::Ep),
+            &PAPER_THREADS,
+        );
+        let p1 = c.at(1).unwrap();
+        assert!((p1.speedup - 1.0).abs() < 1e-12);
+        assert_eq!(c.points.len(), PAPER_THREADS.len());
+        // Speedups increase monotonically for EP.
+        for w in c.points.windows(2) {
+            assert!(w[1].speedup >= w[0].speedup);
+        }
+    }
+
+    #[test]
+    fn curves_serialise_to_json() {
+        let m = Machine::archer2();
+        let model = ep_model(&EpParams::for_class(Class::S));
+        let c = ScalingCurve::run(
+            "EP/Zig",
+            &model,
+            &m,
+            &profile(Lang::Zig, Kernel::Ep),
+            &[1, 2],
+        );
+        let j = serde_json::to_string(&c).unwrap();
+        assert!(j.contains("\"threads\":2"));
+    }
+}

@@ -1,0 +1,123 @@
+//! `zag` — run a pragma-annotated Zag program from the command line.
+//!
+//! ```text
+//! zag program.zag                 # preprocess + execute main()
+//! zag --emit-preprocessed p.zag   # print the pragma-free source and exit
+//! zag --trace-passes p.zag        # print every preprocessor pass, then run
+//! zag --threads 8 p.zag           # set the default team size (nthreads-var)
+//! zag --safety production p.zag   # Zig-style build mode for shared arrays
+//! ```
+
+use zomp::safety::SafetyMode;
+use zomp_vm::Vm;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: zag [--emit-preprocessed] [--trace-passes] [--dump-ast] [--threads N] \
+         [--safety debug|production|paranoid] [--profile] <program.zag>"
+    );
+    std::process::exit(2);
+}
+
+fn main() {
+    let mut emit = false;
+    let mut trace = false;
+    let mut dump_ast = false;
+    let mut profile = false;
+    let mut path: Option<String> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--emit-preprocessed" => emit = true,
+            "--trace-passes" => trace = true,
+            "--dump-ast" => dump_ast = true,
+            "--profile" => profile = true,
+            "--threads" => {
+                let n: usize = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage());
+                zomp::api::set_num_threads(n);
+            }
+            "--safety" => {
+                let mode = match args.next().as_deref() {
+                    Some("debug") => SafetyMode::Debug,
+                    Some("production") => SafetyMode::Production,
+                    Some("paranoid") => SafetyMode::Paranoid,
+                    _ => usage(),
+                };
+                zomp::safety::set_safety_mode(mode);
+            }
+            "--help" | "-h" => usage(),
+            other if !other.starts_with('-') && path.is_none() => path = Some(other.to_string()),
+            _ => usage(),
+        }
+    }
+    let Some(path) = path else { usage() };
+    let source = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        eprintln!("zag: cannot read {path}: {e}");
+        std::process::exit(1);
+    });
+
+    if dump_ast {
+        match zomp_front::parse(&source) {
+            Ok(ast) => {
+                println!("{}", zomp_front::dump::dump_tree(&ast));
+                return;
+            }
+            Err(e) => {
+                eprintln!("zag: {path}:{}", e.render(&source));
+                std::process::exit(1);
+            }
+        }
+    }
+
+    if trace {
+        match zomp_front::preprocess::preprocess_trace(&source) {
+            Ok((_, passes)) => {
+                for (i, p) in passes.iter().enumerate() {
+                    println!("=== pass {} ===\n{p}", i + 1);
+                }
+            }
+            Err(e) => {
+                eprintln!("zag: {path}:{}", e.render(&source));
+                std::process::exit(1);
+            }
+        }
+    }
+
+    if emit {
+        match zomp_front::preprocess(&source) {
+            Ok(out) => {
+                println!("{out}");
+                return;
+            }
+            Err(e) => {
+                eprintln!("zag: {path}:{}", e.render(&source));
+                std::process::exit(1);
+            }
+        }
+    }
+
+    if profile {
+        zomp::profile::enable();
+    }
+
+    let vm = match Vm::new(&source) {
+        Ok(vm) => Vm { echo: true, ..vm },
+        Err(e) => {
+            eprintln!("zag: {path}:{}", e.render(&source));
+            std::process::exit(1);
+        }
+    };
+    if let Err(e) = vm.call_function("main", Vec::new()) {
+        eprintln!("zag: {e}");
+        std::process::exit(1);
+    }
+
+    if profile {
+        zomp::profile::disable();
+        eprintln!("\n--- region profile (gprof-style) ---");
+        eprint!("{}", zomp::profile::render_report());
+    }
+}

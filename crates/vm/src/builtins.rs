@@ -1,0 +1,508 @@
+//! The `omp` namespace bindings: the user-facing API (§III-C, Listing 7)
+//! and the `.omp.internal` lowering targets of the preprocessor.
+//!
+//! Inside a parallel region the current [`zomp::team::ThreadCtx`] is made
+//! available to builtins through a thread-local stack of erased pointers —
+//! valid for exactly the dynamic extent of the outlined call, which the
+//! guard enforces.
+
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::sync::{Arc, OnceLock};
+
+use parking_lot::Mutex;
+use zomp::reduction::RedOp;
+use zomp::schedule::{
+    static_block, DynamicDispatch, LoopBounds, LoopCmp, Schedule, ScheduleKind, StaticChunked,
+};
+use zomp::sync::OmpLock;
+use zomp::team::{Parallel, SingleToken, ThreadCtx};
+
+use crate::interp::Vm;
+use crate::value::{
+    err, RedCellAny, RedHandle, Value, VmResult, WsIter, WsMode, WsState,
+};
+
+// ---------------------------------------------------------------------------
+// Thread-current region context
+// ---------------------------------------------------------------------------
+
+thread_local! {
+    static CTX_STACK: RefCell<Vec<*const ()>> = const { RefCell::new(Vec::new()) };
+    static SINGLE_STACK: RefCell<Vec<Option<SingleToken>>> = const { RefCell::new(Vec::new()) };
+}
+
+pub(crate) struct CtxGuard;
+
+impl CtxGuard {
+    pub(crate) fn push(ctx: &ThreadCtx<'_>) -> CtxGuard {
+        CTX_STACK.with(|s| s.borrow_mut().push(ctx as *const ThreadCtx as *const ()));
+        CtxGuard
+    }
+}
+
+impl Drop for CtxGuard {
+    fn drop(&mut self) {
+        CTX_STACK.with(|s| {
+            s.borrow_mut().pop();
+        });
+    }
+}
+
+/// Run `f` with the innermost active region context, if any.
+fn with_ctx<R>(f: impl FnOnce(Option<&ThreadCtx<'_>>) -> R) -> R {
+    let ptr = CTX_STACK.with(|s| s.borrow().last().copied());
+    match ptr {
+        // SAFETY: the pointer was pushed by CtxGuard for the dynamic extent
+        // of the outlined function we are currently executing inside.
+        Some(p) => f(Some(unsafe { &*(p as *const ThreadCtx<'_>) })),
+        None => f(None),
+    }
+}
+
+fn red_op_from_code(code: i64) -> VmResult<RedOp> {
+    Ok(match code {
+        0 => RedOp::Add,
+        1 => RedOp::Mul,
+        2 => RedOp::Min,
+        3 => RedOp::Max,
+        4 => RedOp::BitAnd,
+        5 => RedOp::BitOr,
+        6 => RedOp::BitXor,
+        7 => RedOp::LogicalAnd,
+        8 => RedOp::LogicalOr,
+        other => return err(format!("unknown reduction op code {other}")),
+    })
+}
+
+fn critical_locks() -> &'static Mutex<HashMap<String, Arc<OmpLock>>> {
+    static LOCKS: OnceLock<Mutex<HashMap<String, Arc<OmpLock>>>> = OnceLock::new();
+    LOCKS.get_or_init(|| Mutex::new(HashMap::new()))
+}
+
+/// Striped locks giving atomicity to `omp.internal.atomic_rmw` on array
+/// elements (scalar slots use their own mutex).
+fn atomic_stripes() -> &'static [Mutex<()>; 64] {
+    static STRIPES: OnceLock<[Mutex<()>; 64]> = OnceLock::new();
+    STRIPES.get_or_init(|| std::array::from_fn(|_| Mutex::new(())))
+}
+
+fn stripe_for(addr: usize) -> &'static Mutex<()> {
+    &atomic_stripes()[(addr >> 4) % 64]
+}
+
+// ---------------------------------------------------------------------------
+// Dispatch
+// ---------------------------------------------------------------------------
+
+/// Entry point from the interpreter: `omp.<path>(args)` or
+/// `omp.internal.<path>(args)`.
+pub(crate) fn call(vm: &Vm, path: &[&str], args: Vec<Value>) -> VmResult<Value> {
+    match path {
+        ["internal", name] => internal(vm, name, args),
+        // The user-facing API with the redundant `omp_` prefix removed
+        // (paper Listing 7).
+        ["get_thread_num"] => Ok(Value::Int(zomp::api::get_thread_num() as i64)),
+        ["get_num_threads"] => Ok(Value::Int(zomp::api::get_num_threads() as i64)),
+        ["get_max_threads"] => Ok(Value::Int(zomp::api::get_max_threads() as i64)),
+        ["get_num_procs"] => Ok(Value::Int(zomp::api::get_num_procs() as i64)),
+        ["in_parallel"] => Ok(Value::Bool(zomp::api::in_parallel())),
+        ["get_level"] => Ok(Value::Int(zomp::api::get_level() as i64)),
+        ["get_wtime"] => Ok(Value::Float(zomp::api::get_wtime())),
+        ["set_num_threads"] => {
+            zomp::api::set_num_threads(args[0].as_int()?.max(1) as usize);
+            Ok(Value::Void)
+        }
+        other => err(format!("unknown omp function omp.{}", other.join("."))),
+    }
+}
+
+fn internal(vm: &Vm, name: &str, #[allow(unused_mut)] mut args: Vec<Value>) -> VmResult<Value> {
+    match name {
+        "fork_call" => fork_call(vm, args),
+        "if_threads" => {
+            let cond = args[0].truthy()?;
+            let nt = args[1].as_int()?;
+            Ok(Value::Int(if cond { nt } else { 1 }))
+        }
+        "barrier" => {
+            with_ctx(|ctx| {
+                if let Some(ctx) = ctx {
+                    ctx.barrier();
+                }
+            });
+            Ok(Value::Void)
+        }
+        "is_master" => Ok(Value::Bool(with_ctx(|ctx| {
+            ctx.map(|c| c.is_master()).unwrap_or(true)
+        }))),
+        "single_begin" => {
+            let chosen = with_ctx(|ctx| match ctx {
+                Some(ctx) => {
+                    let tok = ctx.single_begin();
+                    SINGLE_STACK.with(|s| s.borrow_mut().push(Some(tok)));
+                    tok.chosen
+                }
+                None => {
+                    SINGLE_STACK.with(|s| s.borrow_mut().push(None));
+                    true
+                }
+            });
+            Ok(Value::Bool(chosen))
+        }
+        "single_end" => {
+            let nowait = args[0].as_int()? != 0;
+            let tok = SINGLE_STACK
+                .with(|s| s.borrow_mut().pop())
+                .ok_or_else(|| crate::value::VmError("single_end without single_begin".into()))?;
+            with_ctx(|ctx| {
+                if let (Some(ctx), Some(tok)) = (ctx, tok) {
+                    ctx.single_end(tok, nowait);
+                }
+            });
+            Ok(Value::Void)
+        }
+        "critical_enter" => {
+            let Value::Str(name) = &args[0] else {
+                return err("critical_enter expects a name string");
+            };
+            let lock = {
+                let mut reg = critical_locks().lock();
+                Arc::clone(reg.entry(name.to_string()).or_default())
+            };
+            lock.set();
+            Ok(Value::Void)
+        }
+        "critical_exit" => {
+            let Value::Str(name) = &args[0] else {
+                return err("critical_exit expects a name string");
+            };
+            let lock = {
+                let mut reg = critical_locks().lock();
+                Arc::clone(reg.entry(name.to_string()).or_default())
+            };
+            lock.unset();
+            Ok(Value::Void)
+        }
+        "atomic_rmw" => atomic_rmw(args),
+
+        // -- reductions ------------------------------------------------------
+        "red_cell" => {
+            let op = red_op_from_code(args[0].as_int()?)?;
+            RedHandle::new_local(op, &args[1]).map(Value::Red)
+        }
+        "red_identity" => match &args[0] {
+            Value::Red(h) => Ok(h.identity()),
+            other => err(format!("red_identity on {}", other.type_name())),
+        },
+        "red_combine" => match &args[0] {
+            Value::Red(h) => {
+                h.combine(&args[1])?;
+                Ok(Value::Void)
+            }
+            other => err(format!("red_combine on {}", other.type_name())),
+        },
+        "red_get" => match &args[0] {
+            Value::Red(h) => Ok(h.get()),
+            other => err(format!("red_get on {}", other.type_name())),
+        },
+        "red_loop_begin" => {
+            let op = red_op_from_code(args[0].as_int()?)?;
+            let seed = args.remove(1);
+            with_ctx(|ctx| match ctx {
+                Some(ctx) => {
+                    let mut make_err = None;
+                    let (payload, token) = ctx.construct_shared(|| {
+                        match RedCellAny::new(op, &seed) {
+                            Ok(cell) => Arc::new(cell),
+                            Err(e) => {
+                                make_err = Some(e);
+                                Arc::new(RedCellAny::I(zomp::reduction::RedCell::new(op, 0)))
+                            }
+                        }
+                    });
+                    if let Some(e) = make_err {
+                        return Err(e);
+                    }
+                    let cell = payload
+                        .downcast::<RedCellAny>()
+                        .map_err(|_| crate::value::VmError("reduction slot type confusion".into()))?;
+                    Ok(Value::Red(Arc::new(RedHandle {
+                        cell,
+                        token: Mutex::new(Some(token)),
+                    })))
+                }
+                None => RedHandle::new_local(op, &seed).map(Value::Red),
+            })
+        }
+        "red_loop_end" => {
+            let Value::Red(h) = &args[0] else {
+                return err("red_loop_end expects a reduction cell");
+            };
+            h.combine(&args[1])?;
+            with_ctx(|ctx| {
+                if let Some(ctx) = ctx {
+                    if let Some(tok) = h.token.lock().take() {
+                        ctx.construct_done(tok);
+                    }
+                    // The combined value is only complete after the barrier.
+                    ctx.barrier();
+                }
+            });
+            Ok(h.get())
+        }
+
+        // -- worksharing loops -------------------------------------------------
+        "trip_count" => {
+            let bounds = LoopBounds {
+                lb: args[0].as_int()?,
+                ub: args[1].as_int()?,
+                incr: args[2].as_int()?,
+                cmp: cmp_from_code(args[3].as_int()?)?,
+            };
+            Ok(Value::Int(bounds.trip_count() as i64))
+        }
+        "ws_begin" => ws_begin(args),
+        "ws_next" => ws_next(args),
+        "ws_lb" => ws_cur(args, true),
+        "ws_ub" => ws_cur(args, false),
+        "ws_fini" => ws_fini(args),
+
+        other => err(format!("unknown omp.internal function {other}")),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// fork_call
+// ---------------------------------------------------------------------------
+
+fn fork_call(vm: &Vm, args: Vec<Value>) -> VmResult<Value> {
+    if args.len() < 2 {
+        return err("fork_call needs (num_threads, fn, args...)");
+    }
+    let nt = args[0].as_int()?;
+    let Value::Fn(fname) = &args[1] else {
+        return err(format!(
+            "fork_call expects an outlined function, got {}",
+            args[1].type_name()
+        ));
+    };
+    let rest: Vec<Value> = args[2..].to_vec();
+    let par = if nt > 0 {
+        Parallel::new().num_threads(nt as usize)
+    } else {
+        Parallel::new()
+    };
+    let failure: Mutex<Option<crate::value::VmError>> = Mutex::new(None);
+    zomp::fork_call(par, |ctx| {
+        let _guard = CtxGuard::push(ctx);
+        if let Err(e) = vm.call_function(fname, rest.clone()) {
+            let mut slot = failure.lock();
+            if slot.is_none() {
+                *slot = Some(e);
+            }
+        }
+    });
+    match failure.into_inner() {
+        Some(e) => Err(e),
+        None => Ok(Value::Void),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// atomic directive
+// ---------------------------------------------------------------------------
+
+fn atomic_apply(op: i64, old_i: Option<i64>, old_f: Option<f64>, v: &Value) -> VmResult<Value> {
+    // op codes from the preprocessor: 0 add, 1 mul, 9 sub, 10 div.
+    match (old_i, old_f, v) {
+        (Some(a), None, Value::Int(b)) => Ok(Value::Int(match op {
+            0 => a.wrapping_add(*b),
+            1 => a.wrapping_mul(*b),
+            9 => a.wrapping_sub(*b),
+            10 => {
+                if *b == 0 {
+                    return err("atomic division by zero");
+                }
+                a / b
+            }
+            _ => return err(format!("unknown atomic op {op}")),
+        })),
+        (None, Some(a), Value::Float(b)) => Ok(Value::Float(match op {
+            0 => a + b,
+            1 => a * b,
+            9 => a - b,
+            10 => a / b,
+            _ => return err(format!("unknown atomic op {op}")),
+        })),
+        _ => err("atomic operand type mismatch"),
+    }
+}
+
+fn atomic_rmw(args: Vec<Value>) -> VmResult<Value> {
+    let op = args[1].as_int()?;
+    let v = &args[2];
+    match &args[0] {
+        Value::Ptr(slot) => {
+            // The slot's mutex provides the atomicity.
+            let mut g = slot.lock();
+            let new = match &*g {
+                Value::Int(a) => atomic_apply(op, Some(*a), None, v)?,
+                Value::Float(a) => atomic_apply(op, None, Some(*a), v)?,
+                other => return err(format!("atomic on {}", other.type_name())),
+            };
+            *g = new;
+            Ok(Value::Void)
+        }
+        Value::ElemPtrF(arr, i) => {
+            let _g = stripe_for(Arc::as_ptr(arr) as usize + *i as usize).lock();
+            let old = arr.get(*i)?;
+            let new = atomic_apply(op, None, Some(old), v)?.as_float()?;
+            arr.set(*i, new)?;
+            Ok(Value::Void)
+        }
+        Value::ElemPtrI(arr, i) => {
+            let _g = stripe_for(Arc::as_ptr(arr) as usize + *i as usize).lock();
+            let old = arr.get(*i)?;
+            let new = atomic_apply(op, Some(old), None, v)?.as_int()?;
+            arr.set(*i, new)?;
+            Ok(Value::Void)
+        }
+        other => err(format!("atomic target must be a pointer, got {}", other.type_name())),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Worksharing loop drivers
+// ---------------------------------------------------------------------------
+
+fn cmp_from_code(code: i64) -> VmResult<LoopCmp> {
+    Ok(match code {
+        0 => LoopCmp::Lt,
+        1 => LoopCmp::Le,
+        2 => LoopCmp::Gt,
+        3 => LoopCmp::Ge,
+        other => return err(format!("bad comparison code {other}")),
+    })
+}
+
+fn ws_begin(args: Vec<Value>) -> VmResult<Value> {
+    let kind_code = args[0].as_int()?;
+    let chunk_raw = args[1].as_int()?;
+    let lb = args[2].as_int()?;
+    let ub = args[3].as_int()?;
+    let incr = args[4].as_int()?;
+    let cmp = cmp_from_code(args[5].as_int()?)?;
+    let chunk = (chunk_raw > 0).then_some(chunk_raw);
+
+    let bounds = LoopBounds { lb, ub, incr, cmp };
+    let trip = bounds.trip_count();
+
+    // `runtime` resolves against the ICVs at loop entry (§III-B2).
+    let sched = match kind_code {
+        1 => Schedule::dynamic(chunk),
+        2 => Schedule::guided(chunk),
+        3 => zomp::api::get_schedule(),
+        _ => Schedule {
+            kind: ScheduleKind::Static,
+            chunk,
+        },
+    };
+
+    let mode = with_ctx(|ctx| {
+        let (tid, nth) = ctx
+            .map(|c| (c.thread_num(), c.num_threads()))
+            .unwrap_or((0, 1));
+        match sched.kind {
+            ScheduleKind::Static => match sched.chunk {
+                None => WsMode::StaticBlock(Some(static_block(tid, nth, trip))),
+                Some(c) => WsMode::StaticChunked(StaticChunked::new(tid, nth, trip, c)),
+            },
+            _ => match ctx {
+                Some(ctx) => WsMode::Dispatch(ctx.dispatch_begin(sched, trip)),
+                None => WsMode::Local(DynamicDispatch::new(trip, sched.chunk)),
+            },
+        }
+    });
+
+    Ok(Value::Ws(Arc::new(WsIter {
+        state: Mutex::new(WsState {
+            lb,
+            incr,
+            mode,
+            cur: None,
+            finished: false,
+        }),
+    })))
+}
+
+fn as_ws(v: &Value) -> VmResult<&Arc<WsIter>> {
+    match v {
+        Value::Ws(w) => Ok(w),
+        other => err(format!("expected a worksharing iterator, got {}", other.type_name())),
+    }
+}
+
+fn ws_next(args: Vec<Value>) -> VmResult<Value> {
+    let ws = as_ws(&args[0])?;
+    let mut st = ws.state.lock();
+    let logical = match &mut st.mode {
+        WsMode::StaticBlock(r) => r.take().filter(|r| !r.is_empty()),
+        WsMode::StaticChunked(it) => it.next(),
+        WsMode::Dispatch(d) => with_ctx(|ctx| match ctx {
+            Some(ctx) => ctx.dispatch_next(d),
+            None => None,
+        }),
+        WsMode::Local(d) => d.next(),
+    };
+    match logical {
+        Some(r) => {
+            let lo = st.lb + r.start as i64 * st.incr;
+            let hi = st.lb + r.end as i64 * st.incr;
+            st.cur = Some((lo, hi));
+            Ok(Value::Bool(true))
+        }
+        None => {
+            st.finished = true;
+            st.cur = None;
+            Ok(Value::Bool(false))
+        }
+    }
+}
+
+fn ws_cur(args: Vec<Value>, lower: bool) -> VmResult<Value> {
+    let ws = as_ws(&args[0])?;
+    let st = ws.state.lock();
+    match st.cur {
+        Some((lo, hi)) => Ok(Value::Int(if lower { lo } else { hi })),
+        None => err("worksharing iterator has no current chunk"),
+    }
+}
+
+fn ws_fini(args: Vec<Value>) -> VmResult<Value> {
+    let ws = as_ws(&args[0])?;
+    let nowait = args[1].as_int()? != 0;
+    {
+        let mut st = ws.state.lock();
+        // Loops abandoned before exhaustion must still release their team
+        // construct slot.
+        if let WsMode::Dispatch(d) = &st.mode {
+            if !st.finished {
+                with_ctx(|ctx| {
+                    if let Some(ctx) = ctx {
+                        ctx.dispatch_end(d);
+                    }
+                });
+                st.finished = true;
+            }
+        }
+    }
+    if !nowait {
+        with_ctx(|ctx| {
+            if let Some(ctx) = ctx {
+                ctx.barrier();
+            }
+        });
+    }
+    Ok(Value::Void)
+}

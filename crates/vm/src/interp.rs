@@ -1,0 +1,588 @@
+//! The tree-walking interpreter.
+//!
+//! Executes the *preprocessed* (pragma-free) AST. All parallelism enters
+//! through `omp.internal.fork_call`, which runs the outlined function on a
+//! real `zomp` team — so a pragma-annotated Zag program ends up executing
+//! on actual threads, completing the paper's pipeline end to end.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+use zomp_front::ast::{Ast, Node, NodeId, Tag as N};
+use zomp_front::token::Tag as T;
+
+use crate::builtins;
+use crate::value::{err, ArrF, ArrI, Slot, Value, VmError, VmResult};
+
+/// A compiled (preprocessed + parsed) program.
+pub struct Program {
+    pub ast: Ast,
+    pub functions: HashMap<String, NodeId>,
+    /// The source before preprocessing, kept for display/teaching.
+    pub original_source: String,
+    /// The pragma-free source actually executed.
+    pub final_source: String,
+}
+
+/// Compile Zag source: preprocess pragmas away, parse, index functions.
+pub fn compile(source: &str) -> Result<Program, zomp_front::FrontError> {
+    let final_source = zomp_front::preprocess(source)?;
+    let ast = zomp_front::parse(&final_source)?;
+    let mut functions = HashMap::new();
+    let root = *ast.node(ast.root);
+    for &decl in ast.range(&root) {
+        let node = ast.node(decl);
+        if node.tag == N::FnDecl {
+            functions.insert(ast.token_text(node.main_token).to_string(), decl);
+        }
+    }
+    Ok(Program {
+        ast,
+        functions,
+        original_source: source.to_string(),
+        final_source,
+    })
+}
+
+/// The virtual machine: a compiled program plus captured output.
+pub struct Vm {
+    pub program: Arc<Program>,
+    /// Lines produced by `print(...)`, in order.
+    pub output: Mutex<Vec<String>>,
+    /// Echo `print` output to stdout as well.
+    pub echo: bool,
+}
+
+/// Lexical environment of one function activation.
+struct Frame {
+    scopes: Vec<HashMap<String, Slot>>,
+}
+
+impl Frame {
+    fn new() -> Frame {
+        Frame {
+            scopes: vec![HashMap::new()],
+        }
+    }
+
+    fn push(&mut self) {
+        self.scopes.push(HashMap::new());
+    }
+
+    fn pop(&mut self) {
+        self.scopes.pop();
+    }
+
+    fn declare(&mut self, name: &str, v: Value) {
+        self.scopes
+            .last_mut()
+            .unwrap()
+            .insert(name.to_string(), Arc::new(Mutex::new(v)));
+    }
+
+    fn lookup(&self, name: &str) -> Option<Slot> {
+        self.scopes
+            .iter()
+            .rev()
+            .find_map(|s| s.get(name).cloned())
+    }
+}
+
+/// Statement outcome.
+enum Flow {
+    Normal,
+    Break,
+    Continue,
+    Return(Value),
+}
+
+/// A resolved assignment target.
+enum Place {
+    Slot(Slot),
+    ElemF(Arc<ArrF>, i64),
+    ElemI(Arc<ArrI>, i64),
+}
+
+impl Vm {
+    /// Compile and wrap a program.
+    pub fn new(source: &str) -> Result<Vm, zomp_front::FrontError> {
+        Ok(Vm {
+            program: Arc::new(compile(source)?),
+            output: Mutex::new(Vec::new()),
+            echo: false,
+        })
+    }
+
+    /// Compile and run `main()`, returning the captured output lines.
+    pub fn run(source: &str) -> Result<Vec<String>, VmError> {
+        let vm = Vm::new(source).map_err(|e| VmError(e.render(source)))?;
+        vm.call_function("main", Vec::new())?;
+        Ok(vm.output.into_inner())
+    }
+
+    /// Call a function by name.
+    pub fn call_function(&self, name: &str, args: Vec<Value>) -> VmResult<Value> {
+        let ast = &self.program.ast;
+        let &decl = self
+            .program
+            .functions
+            .get(name)
+            .ok_or_else(|| VmError(format!("unknown function `{name}`")))?;
+        let node = ast.node(decl);
+        let nparams = node.rhs as usize;
+        let params = ast.extra(node.lhs, node.lhs + nparams as u32).to_vec();
+        let body = ast.extra_data[(node.lhs as usize) + nparams];
+        if args.len() != nparams {
+            return err(format!(
+                "`{name}` expects {nparams} arguments, got {}",
+                args.len()
+            ));
+        }
+        let mut frame = Frame::new();
+        for (param, arg) in params.iter().zip(args) {
+            let pname = ast.token_text(ast.node(*param).main_token);
+            frame.declare(pname, arg);
+        }
+        match self.exec_block(&mut frame, body)? {
+            Flow::Return(v) => Ok(v),
+            _ => Ok(Value::Void),
+        }
+    }
+
+    // -- statements ---------------------------------------------------------
+
+    fn exec_block(&self, frame: &mut Frame, block: NodeId) -> VmResult<Flow> {
+        let ast = &self.program.ast;
+        let node = *ast.node(block);
+        debug_assert_eq!(node.tag, N::Block);
+        frame.push();
+        let stmts = ast.range(&node).to_vec();
+        let mut out = Flow::Normal;
+        for stmt in stmts {
+            match self.exec_stmt(frame, stmt)? {
+                Flow::Normal => {}
+                flow => {
+                    out = flow;
+                    break;
+                }
+            }
+        }
+        frame.pop();
+        Ok(out)
+    }
+
+    fn exec_stmt(&self, frame: &mut Frame, id: NodeId) -> VmResult<Flow> {
+        let ast = &self.program.ast;
+        let node = *ast.node(id);
+        match node.tag {
+            N::VarDecl | N::ConstDecl => {
+                let init = if node.rhs > 0 {
+                    self.eval(frame, node.rhs - 1)?
+                } else {
+                    Value::Undefined
+                };
+                frame.declare(ast.token_text(node.main_token), init);
+                Ok(Flow::Normal)
+            }
+            N::Assign => {
+                let v = self.eval(frame, node.rhs)?;
+                let place = self.eval_place(frame, node.lhs)?;
+                self.store(place, v)?;
+                Ok(Flow::Normal)
+            }
+            N::CompoundAssign => {
+                let rhs = self.eval(frame, node.rhs)?;
+                let op = ast.tokens[node.main_token as usize].tag;
+                let place = self.eval_place(frame, node.lhs)?;
+                let old = self.load(&place)?;
+                let new = binop_arith(compound_op(op)?, &old, &rhs)?;
+                self.store(place, new)?;
+                Ok(Flow::Normal)
+            }
+            N::While => {
+                let body = ast.extra_data[node.rhs as usize];
+                let cont = ast.extra_data[node.rhs as usize + 1];
+                loop {
+                    if !self.eval(frame, node.lhs)?.truthy()? {
+                        break;
+                    }
+                    match self.exec_stmt(frame, body)? {
+                        Flow::Normal | Flow::Continue => {}
+                        Flow::Break => break,
+                        r @ Flow::Return(_) => return Ok(r),
+                    }
+                    if cont > 0 {
+                        self.exec_stmt(frame, cont - 1)?;
+                    }
+                }
+                Ok(Flow::Normal)
+            }
+            N::If => {
+                let then = ast.extra_data[node.rhs as usize];
+                let els = ast.extra_data[node.rhs as usize + 1];
+                if self.eval(frame, node.lhs)?.truthy()? {
+                    self.exec_stmt(frame, then)
+                } else if els > 0 {
+                    self.exec_stmt(frame, els - 1)
+                } else {
+                    Ok(Flow::Normal)
+                }
+            }
+            N::Return => {
+                let v = if node.lhs > 0 {
+                    self.eval(frame, node.lhs - 1)?
+                } else {
+                    Value::Void
+                };
+                Ok(Flow::Return(v))
+            }
+            N::Break => Ok(Flow::Break),
+            N::Continue => Ok(Flow::Continue),
+            N::Discard | N::ExprStmt => {
+                self.eval(frame, node.lhs)?;
+                Ok(Flow::Normal)
+            }
+            N::Block => self.exec_block(frame, id),
+            other => err(format!("node {other:?} is not a statement")),
+        }
+    }
+
+    // -- expressions ----------------------------------------------------------
+
+    fn eval(&self, frame: &mut Frame, id: NodeId) -> VmResult<Value> {
+        let ast = &self.program.ast;
+        let node = *ast.node(id);
+        match node.tag {
+            N::IntLit => ast
+                .token_text(node.main_token)
+                .parse::<i64>()
+                .map(Value::Int)
+                .map_err(|_| VmError("integer literal out of range".into())),
+            N::FloatLit => ast
+                .token_text(node.main_token)
+                .parse::<f64>()
+                .map(Value::Float)
+                .map_err(|_| VmError("bad float literal".into())),
+            N::BoolLit => Ok(Value::Bool(
+                ast.tokens[node.main_token as usize].tag == T::KwTrue,
+            )),
+            N::StrLit => {
+                let raw = ast.token_text(node.main_token);
+                let inner = &raw[1..raw.len() - 1];
+                Ok(Value::Str(Arc::from(
+                    inner.replace("\\\"", "\"").replace("\\n", "\n"),
+                )))
+            }
+            N::UndefinedLit => Ok(Value::Undefined),
+            N::Ident => {
+                let name = ast.token_text(node.main_token);
+                if let Some(slot) = frame.lookup(name) {
+                    let v = slot.lock().clone();
+                    return Ok(v);
+                }
+                if self.program.functions.contains_key(name) {
+                    return Ok(Value::Fn(Arc::from(name)));
+                }
+                err(format!("unknown variable `{name}`"))
+            }
+            N::BinOp => {
+                let op = ast.tokens[node.main_token as usize].tag;
+                // Short-circuit logical operators.
+                if op == T::KwAnd {
+                    return Ok(Value::Bool(
+                        self.eval(frame, node.lhs)?.truthy()?
+                            && self.eval(frame, node.rhs)?.truthy()?,
+                    ));
+                }
+                if op == T::KwOr {
+                    return Ok(Value::Bool(
+                        self.eval(frame, node.lhs)?.truthy()?
+                            || self.eval(frame, node.rhs)?.truthy()?,
+                    ));
+                }
+                let a = self.eval(frame, node.lhs)?;
+                let b = self.eval(frame, node.rhs)?;
+                binop(op, &a, &b)
+            }
+            N::UnOp => {
+                let op = ast.tokens[node.main_token as usize].tag;
+                match op {
+                    T::Amp => self.eval_addr(frame, node.lhs),
+                    T::Minus => match self.eval(frame, node.lhs)? {
+                        Value::Int(v) => Ok(Value::Int(-v)),
+                        Value::Float(v) => Ok(Value::Float(-v)),
+                        other => err(format!("cannot negate {}", other.type_name())),
+                    },
+                    T::Bang => Ok(Value::Bool(!self.eval(frame, node.lhs)?.truthy()?)),
+                    other => err(format!("bad unary operator {other:?}")),
+                }
+            }
+            N::Deref => match self.eval(frame, node.lhs)? {
+                Value::Ptr(slot) => {
+                    let v = slot.lock().clone();
+                    Ok(v)
+                }
+                Value::ElemPtrF(a, i) => a.get(i).map(Value::Float),
+                Value::ElemPtrI(a, i) => a.get(i).map(Value::Int),
+                other => err(format!("cannot dereference {}", other.type_name())),
+            },
+            N::Index => {
+                let base = self.eval(frame, node.lhs)?;
+                let idx = self.eval(frame, node.rhs)?.as_int()?;
+                match base {
+                    Value::ArrF(a) => a.get(idx).map(Value::Float),
+                    Value::ArrI(a) => a.get(idx).map(Value::Int),
+                    other => err(format!("cannot index {}", other.type_name())),
+                }
+            }
+            N::Member => {
+                // Bare member reads are only meaningful as call paths; a
+                // stray one is an error.
+                err(format!(
+                    "`{}` has no readable fields",
+                    ast.node_text(node.lhs)
+                ))
+            }
+            N::Call => self.eval_call(frame, &node),
+            N::BuiltinCall => self.eval_builtin(frame, &node),
+            other => err(format!("node {other:?} is not an expression")),
+        }
+    }
+
+    fn eval_addr(&self, frame: &mut Frame, target: NodeId) -> VmResult<Value> {
+        match self.eval_place(frame, target)? {
+            Place::Slot(s) => Ok(Value::Ptr(s)),
+            Place::ElemF(a, i) => Ok(Value::ElemPtrF(a, i)),
+            Place::ElemI(a, i) => Ok(Value::ElemPtrI(a, i)),
+        }
+    }
+
+    fn eval_place(&self, frame: &mut Frame, id: NodeId) -> VmResult<Place> {
+        let ast = &self.program.ast;
+        let node = *ast.node(id);
+        match node.tag {
+            N::Ident => {
+                let name = ast.token_text(node.main_token);
+                frame
+                    .lookup(name)
+                    .map(Place::Slot)
+                    .ok_or_else(|| VmError(format!("unknown variable `{name}`")))
+            }
+            N::Index => {
+                let base = self.eval(frame, node.lhs)?;
+                let idx = self.eval(frame, node.rhs)?.as_int()?;
+                match base {
+                    Value::ArrF(a) => Ok(Place::ElemF(a, idx)),
+                    Value::ArrI(a) => Ok(Place::ElemI(a, idx)),
+                    other => err(format!("cannot index {}", other.type_name())),
+                }
+            }
+            N::Deref => match self.eval(frame, node.lhs)? {
+                Value::Ptr(slot) => Ok(Place::Slot(slot)),
+                Value::ElemPtrF(a, i) => Ok(Place::ElemF(a, i)),
+                Value::ElemPtrI(a, i) => Ok(Place::ElemI(a, i)),
+                other => err(format!("cannot store through {}", other.type_name())),
+            },
+            other => err(format!("{other:?} is not assignable")),
+        }
+    }
+
+    fn load(&self, place: &Place) -> VmResult<Value> {
+        match place {
+            Place::Slot(s) => Ok(s.lock().clone()),
+            Place::ElemF(a, i) => a.get(*i).map(Value::Float),
+            Place::ElemI(a, i) => a.get(*i).map(Value::Int),
+        }
+    }
+
+    fn store(&self, place: Place, v: Value) -> VmResult<()> {
+        match place {
+            Place::Slot(s) => {
+                *s.lock() = v;
+                Ok(())
+            }
+            Place::ElemF(a, i) => a.set(i, v.as_float()?),
+            Place::ElemI(a, i) => a.set(i, v.as_int()?),
+        }
+    }
+
+    fn eval_call(&self, frame: &mut Frame, node: &Node) -> VmResult<Value> {
+        let ast = &self.program.ast;
+        // Resolve the callee as a dotted path of identifiers if possible.
+        let path = callee_path(ast, node.lhs);
+        let arg_ids = ast.call_args(node).to_vec();
+        let mut args = Vec::with_capacity(arg_ids.len());
+        for a in arg_ids {
+            args.push(self.eval(frame, a)?);
+        }
+        match path.as_deref() {
+            Some(["print"]) => {
+                let line = args.iter().map(|v| v.render()).collect::<Vec<_>>().join(" ");
+                if self.echo {
+                    println!("{line}");
+                }
+                self.output.lock().push(line);
+                Ok(Value::Void)
+            }
+            Some(["omp", rest @ ..]) if !rest.is_empty() => builtins::call(self, rest, args),
+            Some([name]) if self.program.functions.contains_key(*name) => {
+                self.call_function(name, args)
+            }
+            _ => {
+                // Fall back: callee evaluates to a function value.
+                let callee = self.eval(frame, node.lhs)?;
+                match callee {
+                    Value::Fn(name) => self.call_function(&name, args),
+                    other => err(format!("{} is not callable", other.type_name())),
+                }
+            }
+        }
+    }
+
+    fn eval_builtin(&self, frame: &mut Frame, node: &Node) -> VmResult<Value> {
+        let ast = &self.program.ast;
+        let name = ast.token_text(node.main_token);
+        let arg_ids = ast.extra(node.lhs, node.rhs).to_vec();
+        let mut args = Vec::with_capacity(arg_ids.len());
+        for a in arg_ids {
+            args.push(self.eval(frame, a)?);
+        }
+        match (name, args.as_slice()) {
+            ("@intToFloat", [Value::Int(v)]) => Ok(Value::Float(*v as f64)),
+            ("@floatToInt", [Value::Float(v)]) => Ok(Value::Int(*v as i64)),
+            ("@sqrt", [Value::Float(v)]) => Ok(Value::Float(v.sqrt())),
+            ("@log", [Value::Float(v)]) => Ok(Value::Float(v.ln())),
+            ("@exp", [Value::Float(v)]) => Ok(Value::Float(v.exp())),
+            ("@sin", [Value::Float(v)]) => Ok(Value::Float(v.sin())),
+            ("@cos", [Value::Float(v)]) => Ok(Value::Float(v.cos())),
+            ("@pow", [Value::Float(a), Value::Float(b)]) => Ok(Value::Float(a.powf(*b))),
+            ("@abs", [Value::Float(v)]) => Ok(Value::Float(v.abs())),
+            ("@abs", [Value::Int(v)]) => Ok(Value::Int(v.abs())),
+            ("@max", [Value::Float(a), Value::Float(b)]) => Ok(Value::Float(a.max(*b))),
+            ("@max", [Value::Int(a), Value::Int(b)]) => Ok(Value::Int(*a.max(b))),
+            ("@min", [Value::Float(a), Value::Float(b)]) => Ok(Value::Float(a.min(*b))),
+            ("@min", [Value::Int(a), Value::Int(b)]) => Ok(Value::Int(*a.min(b))),
+            ("@allocF", [Value::Int(n)]) => Ok(Value::ArrF(Arc::new(ArrF::new(*n as usize)))),
+            ("@allocI", [Value::Int(n)]) => Ok(Value::ArrI(Arc::new(ArrI::new(*n as usize)))),
+            ("@len", [Value::ArrF(a)]) => Ok(Value::Int(a.len() as i64)),
+            ("@len", [Value::ArrI(a)]) => Ok(Value::Int(a.len() as i64)),
+            (other, args) => err(format!(
+                "unknown builtin {other} for ({})",
+                args.iter().map(|a| a.type_name()).collect::<Vec<_>>().join(", ")
+            )),
+        }
+    }
+}
+
+/// Extract a dotted identifier path from a callee expression
+/// (`omp.internal.fork_call` → `["omp", "internal", "fork_call"]`).
+fn callee_path(ast: &Ast, mut id: NodeId) -> Option<Vec<&str>> {
+    let mut rev = Vec::new();
+    loop {
+        let node = ast.node(id);
+        match node.tag {
+            N::Member => {
+                rev.push(ast.token_text(node.main_token));
+                id = node.lhs;
+            }
+            N::Ident => {
+                rev.push(ast.token_text(node.main_token));
+                rev.reverse();
+                return Some(rev);
+            }
+            _ => return None,
+        }
+    }
+}
+
+fn compound_op(op: T) -> VmResult<T> {
+    Ok(match op {
+        T::PlusEq => T::Plus,
+        T::MinusEq => T::Minus,
+        T::StarEq => T::Star,
+        T::SlashEq => T::Slash,
+        other => return err(format!("bad compound operator {other:?}")),
+    })
+}
+
+fn binop_arith(op: T, a: &Value, b: &Value) -> VmResult<Value> {
+    match (a, b) {
+        (Value::Int(a), Value::Int(b)) => Ok(Value::Int(match op {
+            T::Plus => a.wrapping_add(*b),
+            T::Minus => a.wrapping_sub(*b),
+            T::Star => a.wrapping_mul(*b),
+            T::Slash => {
+                if *b == 0 {
+                    return err("integer division by zero");
+                }
+                a / b
+            }
+            T::Percent => {
+                if *b == 0 {
+                    return err("remainder by zero");
+                }
+                a % b
+            }
+            other => return err(format!("bad arithmetic operator {other:?}")),
+        })),
+        (Value::Float(a), Value::Float(b)) => Ok(Value::Float(match op {
+            T::Plus => a + b,
+            T::Minus => a - b,
+            T::Star => a * b,
+            T::Slash => a / b,
+            T::Percent => a % b,
+            other => return err(format!("bad arithmetic operator {other:?}")),
+        })),
+        _ => err(format!(
+            "type mismatch: {} {op:?} {} (use @intToFloat/@floatToInt)",
+            a.type_name(),
+            b.type_name()
+        )),
+    }
+}
+
+fn binop(op: T, a: &Value, b: &Value) -> VmResult<Value> {
+    match op {
+        T::Plus | T::Minus | T::Star | T::Slash | T::Percent => binop_arith(op, a, b),
+        T::EqEq | T::BangEq => {
+            let eq = match (a, b) {
+                (Value::Int(x), Value::Int(y)) => x == y,
+                (Value::Float(x), Value::Float(y)) => x == y,
+                (Value::Bool(x), Value::Bool(y)) => x == y,
+                (Value::Str(x), Value::Str(y)) => x == y,
+                _ => {
+                    return err(format!(
+                        "cannot compare {} and {}",
+                        a.type_name(),
+                        b.type_name()
+                    ))
+                }
+            };
+            Ok(Value::Bool(if op == T::EqEq { eq } else { !eq }))
+        }
+        T::Lt | T::LtEq | T::Gt | T::GtEq => {
+            let ord = match (a, b) {
+                (Value::Int(x), Value::Int(y)) => x.partial_cmp(y),
+                (Value::Float(x), Value::Float(y)) => x.partial_cmp(y),
+                _ => {
+                    return err(format!(
+                        "cannot order {} and {}",
+                        a.type_name(),
+                        b.type_name()
+                    ))
+                }
+            };
+            let Some(ord) = ord else {
+                return Ok(Value::Bool(false)); // NaN comparisons
+            };
+            Ok(Value::Bool(match op {
+                T::Lt => ord.is_lt(),
+                T::LtEq => ord.is_le(),
+                T::Gt => ord.is_gt(),
+                _ => ord.is_ge(),
+            }))
+        }
+        other => err(format!("bad binary operator {other:?}")),
+    }
+}

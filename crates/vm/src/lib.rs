@@ -1,0 +1,34 @@
+//! # zomp-vm — executing pragma-annotated Zag programs on real threads
+//!
+//! The final stage of the paper's pipeline: the `zomp-front` preprocessor
+//! lowers OpenMP pragmas to `omp.internal.*` calls, and this crate's
+//! tree-walking interpreter binds those calls to the real [`zomp`] runtime.
+//! `omp.internal.fork_call` runs the outlined function on an actual worker
+//! team; worksharing drivers pull chunks from the same schedule machinery
+//! the Rust-native kernels use; reductions go through the same atomic
+//! cells, CAS loops included.
+//!
+//! ```
+//! let out = zomp_vm::Vm::run(r#"
+//! fn main() void {
+//!     var total: i64 = 0;
+//!     //$omp parallel num_threads(4) reduction(+: total)
+//!     {
+//!         var i: i64 = 0;
+//!         //$omp while schedule(static)
+//!         while (i < 1000) : (i += 1) {
+//!             total += 1;
+//!         }
+//!     }
+//!     print(total);
+//! }
+//! "#).unwrap();
+//! assert_eq!(out, vec!["1000"]);
+//! ```
+
+pub mod builtins;
+pub mod interp;
+pub mod value;
+
+pub use interp::{compile, Program, Vm};
+pub use value::{Value, VmError};

@@ -1,0 +1,388 @@
+//! Runtime values of the Zag VM.
+//!
+//! Zag is statically annotated but the VM is dynamically typed — the
+//! preprocessor has "no semantic context" (§III-B3), so generated code uses
+//! `any`-typed parameters and the types meet again only at runtime, which
+//! is where the paper's `?*anyopaque` casts happen in Zig.
+//!
+//! Shared mutability follows the OpenMP contract: scalar variables live in
+//! `Arc<Mutex<Value>>` slots (shared scalars are passed as [`Value::Ptr`]
+//! after the preprocessor's pointer rewriting), and arrays are
+//! [`ArrF`]/[`ArrI`] — `UnsafeCell` element storage with Zig-style
+//! bounds-checking controlled by [`zomp::safety::SafetyMode`]
+//! (debug = checked, production = unchecked).
+
+use std::cell::UnsafeCell;
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+use zomp::reduction::{RedCell, RedOp};
+use zomp::safety::{safety_mode, SafetyMode};
+use zomp::team::{ConstructToken, WsDispatch};
+
+/// A variable slot: scalar variables, shareable across threads through
+/// [`Value::Ptr`].
+pub type Slot = Arc<Mutex<Value>>;
+
+/// A VM error: message plus an optional source-byte offset.
+#[derive(Debug, Clone)]
+pub struct VmError(pub String);
+
+impl std::fmt::Display for VmError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "runtime error: {}", self.0)
+    }
+}
+
+impl std::error::Error for VmError {}
+
+pub type VmResult<T> = Result<T, VmError>;
+
+pub fn err<T>(msg: impl Into<String>) -> VmResult<T> {
+    Err(VmError(msg.into()))
+}
+
+macro_rules! shared_array {
+    ($name:ident, $elem:ty, $zero:expr) => {
+        /// A shared numeric array. Element reads/writes are raw under the
+        /// OpenMP no-data-race contract; bounds are checked unless the
+        /// safety mode is `Production` (Zig's debug/release duality).
+        pub struct $name {
+            data: Box<[UnsafeCell<$elem>]>,
+            checked: bool,
+        }
+
+        // SAFETY: cross-thread element access is governed by the OpenMP
+        // disjoint-writes contract, exactly as for zomp::shared::SharedSlice.
+        unsafe impl Sync for $name {}
+        unsafe impl Send for $name {}
+
+        impl $name {
+            pub fn new(n: usize) -> Self {
+                let data = (0..n).map(|_| UnsafeCell::new($zero)).collect();
+                Self {
+                    data,
+                    checked: safety_mode() != SafetyMode::Production,
+                }
+            }
+
+            pub fn len(&self) -> usize {
+                self.data.len()
+            }
+
+            pub fn is_empty(&self) -> bool {
+                self.data.is_empty()
+            }
+
+            #[inline]
+            fn check(&self, i: i64) -> VmResult<usize> {
+                if self.checked && (i < 0 || i as usize >= self.data.len()) {
+                    return err(format!(
+                        "index {} out of bounds (len {})",
+                        i,
+                        self.data.len()
+                    ));
+                }
+                Ok(i as usize)
+            }
+
+            #[inline]
+            pub fn get(&self, i: i64) -> VmResult<$elem> {
+                let i = self.check(i)?;
+                // SAFETY: bounds validated (or contractually valid in
+                // production mode); no concurrent writer per OpenMP rules.
+                Ok(unsafe { *self.data.get_unchecked(i).get() })
+            }
+
+            #[inline]
+            pub fn set(&self, i: i64, v: $elem) -> VmResult<()> {
+                let i = self.check(i)?;
+                // SAFETY: as for `get`.
+                unsafe { *self.data.get_unchecked(i).get() = v };
+                Ok(())
+            }
+
+            /// Snapshot for verification/tests.
+            pub fn to_vec(&self) -> Vec<$elem> {
+                (0..self.data.len() as i64)
+                    .map(|i| self.get(i).unwrap())
+                    .collect()
+            }
+        }
+    };
+}
+
+shared_array!(ArrF, f64, 0.0);
+shared_array!(ArrI, i64, 0);
+
+/// Type-erased reduction cell (the runtime meeting point of the paper's
+/// `?*anyopaque` reduction group). Shared across a team via
+/// `ThreadCtx::construct_shared` for loop reductions.
+pub enum RedCellAny {
+    I(RedCell<i64>),
+    F(RedCell<f64>),
+    B(RedCell<bool>),
+}
+
+impl RedCellAny {
+    pub fn new(op: RedOp, seed: &Value) -> VmResult<RedCellAny> {
+        Ok(match seed {
+            Value::Int(v) => RedCellAny::I(RedCell::new(op, *v)),
+            Value::Float(v) => RedCellAny::F(RedCell::new(op, *v)),
+            Value::Bool(v) => RedCellAny::B(RedCell::new(op, *v)),
+            other => return err(format!("cannot reduce over {}", other.type_name())),
+        })
+    }
+
+    pub fn identity(&self) -> Value {
+        match self {
+            RedCellAny::I(c) => Value::Int(c.identity()),
+            RedCellAny::F(c) => Value::Float(c.identity()),
+            RedCellAny::B(c) => Value::Bool(c.identity()),
+        }
+    }
+
+    pub fn combine(&self, v: &Value) -> VmResult<()> {
+        match (self, v) {
+            (RedCellAny::I(c), Value::Int(v)) => c.combine(*v),
+            (RedCellAny::F(c), Value::Float(v)) => c.combine(*v),
+            (RedCellAny::B(c), Value::Bool(v)) => c.combine(*v),
+            (_, other) => {
+                return err(format!(
+                    "reduction partial of type {} does not match the cell",
+                    other.type_name()
+                ))
+            }
+        }
+        Ok(())
+    }
+
+    pub fn get(&self) -> Value {
+        match self {
+            RedCellAny::I(c) => Value::Int(c.get()),
+            RedCellAny::F(c) => Value::Float(c.get()),
+            RedCellAny::B(c) => Value::Bool(c.get()),
+        }
+    }
+}
+
+/// A per-thread reduction handle: the (team-shared) cell plus, for
+/// worksharing-loop reductions, this thread's construct token to release at
+/// `red_loop_end`.
+pub struct RedHandle {
+    pub cell: Arc<RedCellAny>,
+    pub token: Mutex<Option<ConstructToken>>,
+}
+
+impl RedHandle {
+    /// A region-level (fork-site) reduction cell: no construct token.
+    pub fn new_local(op: RedOp, seed: &Value) -> VmResult<Arc<RedHandle>> {
+        Ok(Arc::new(RedHandle {
+            cell: Arc::new(RedCellAny::new(op, seed)?),
+            token: Mutex::new(None),
+        }))
+    }
+
+    pub fn identity(&self) -> Value {
+        self.cell.identity()
+    }
+
+    pub fn combine(&self, v: &Value) -> VmResult<()> {
+        self.cell.combine(v)
+    }
+
+    pub fn get(&self) -> Value {
+        self.cell.get()
+    }
+}
+
+/// Worksharing-loop iterator state (the VM object behind the
+/// `omp.internal.ws_*` generic wrapper family).
+pub struct WsIter {
+    pub state: Mutex<WsState>,
+}
+
+pub struct WsState {
+    /// Denormalisation: source value of iteration 0 and the stride.
+    pub lb: i64,
+    pub incr: i64,
+    pub mode: WsMode,
+    /// Current chunk in source-variable units: (first value, exclusive
+    /// directional bound).
+    pub cur: Option<(i64, i64)>,
+    pub finished: bool,
+}
+
+pub enum WsMode {
+    /// Single static block (already computed); `None` once consumed.
+    StaticBlock(Option<std::ops::Range<u64>>),
+    /// Round-robin static chunks.
+    StaticChunked(zomp::schedule::StaticChunked),
+    /// Team dispatch (dynamic/guided/runtime inside a region).
+    Dispatch(WsDispatch),
+    /// Serial fallback dispatch (dynamic/guided outside any region).
+    Local(zomp::schedule::DynamicDispatch),
+}
+
+/// A Zag runtime value.
+#[derive(Clone)]
+pub enum Value {
+    Void,
+    Undefined,
+    Int(i64),
+    Float(f64),
+    Bool(bool),
+    Str(Arc<str>),
+    ArrF(Arc<ArrF>),
+    ArrI(Arc<ArrI>),
+    /// Pointer to a scalar variable slot (`&x` / shared rewriting).
+    Ptr(Slot),
+    /// Pointer to a float array element (`&a[i]`).
+    ElemPtrF(Arc<ArrF>, i64),
+    /// Pointer to an int array element.
+    ElemPtrI(Arc<ArrI>, i64),
+    /// A function reference by name.
+    Fn(Arc<str>),
+    Red(Arc<RedHandle>),
+    Ws(Arc<WsIter>),
+}
+
+impl Value {
+    pub fn type_name(&self) -> &'static str {
+        match self {
+            Value::Void => "void",
+            Value::Undefined => "undefined",
+            Value::Int(_) => "i64",
+            Value::Float(_) => "f64",
+            Value::Bool(_) => "bool",
+            Value::Str(_) => "str",
+            Value::ArrF(_) => "[]f64",
+            Value::ArrI(_) => "[]i64",
+            Value::Ptr(_) => "*any",
+            Value::ElemPtrF(..) => "*f64",
+            Value::ElemPtrI(..) => "*i64",
+            Value::Fn(_) => "fn",
+            Value::Red(_) => "reduction cell",
+            Value::Ws(_) => "worksharing iterator",
+        }
+    }
+
+    pub fn as_int(&self) -> VmResult<i64> {
+        match self {
+            Value::Int(v) => Ok(*v),
+            other => err(format!("expected i64, got {}", other.type_name())),
+        }
+    }
+
+    pub fn as_float(&self) -> VmResult<f64> {
+        match self {
+            Value::Float(v) => Ok(*v),
+            other => err(format!("expected f64, got {}", other.type_name())),
+        }
+    }
+
+    pub fn as_bool(&self) -> VmResult<bool> {
+        match self {
+            Value::Bool(v) => Ok(*v),
+            other => err(format!("expected bool, got {}", other.type_name())),
+        }
+    }
+
+    pub fn truthy(&self) -> VmResult<bool> {
+        match self {
+            Value::Bool(v) => Ok(*v),
+            Value::Int(v) => Ok(*v != 0),
+            other => err(format!("{} is not a condition", other.type_name())),
+        }
+    }
+
+    /// Display form used by `print`.
+    pub fn render(&self) -> String {
+        match self {
+            Value::Void => "void".into(),
+            Value::Undefined => "undefined".into(),
+            Value::Int(v) => v.to_string(),
+            Value::Float(v) => {
+                if v.fract() == 0.0 && v.abs() < 1e15 {
+                    format!("{v:.1}")
+                } else {
+                    format!("{v}")
+                }
+            }
+            Value::Bool(v) => v.to_string(),
+            Value::Str(s) => s.to_string(),
+            Value::ArrF(a) => format!("[]f64(len {})", a.len()),
+            Value::ArrI(a) => format!("[]i64(len {})", a.len()),
+            Value::Ptr(p) => format!("*({})", p.lock().render()),
+            Value::ElemPtrF(..) | Value::ElemPtrI(..) => "*elem".into(),
+            Value::Fn(name) => format!("fn {name}"),
+            Value::Red(_) => "reduction cell".into(),
+            Value::Ws(_) => "ws iterator".into(),
+        }
+    }
+}
+
+impl std::fmt::Debug for Value {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.render())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arrays_bounds_check_in_debug_mode() {
+        zomp::safety::with_safety_mode(SafetyMode::Debug, || {
+            let a = ArrF::new(4);
+            assert!(a.set(3, 1.5).is_ok());
+            assert_eq!(a.get(3).unwrap(), 1.5);
+            assert!(a.get(4).is_err());
+            assert!(a.set(-1, 0.0).is_err());
+        });
+    }
+
+    #[test]
+    fn arrays_share_across_threads() {
+        let a = Arc::new(ArrI::new(100));
+        std::thread::scope(|s| {
+            for t in 0..4i64 {
+                let a = Arc::clone(&a);
+                s.spawn(move || {
+                    for i in (t..100).step_by(4) {
+                        a.set(i, i * 2).unwrap();
+                    }
+                });
+            }
+        });
+        for i in 0..100 {
+            assert_eq!(a.get(i).unwrap(), i * 2);
+        }
+    }
+
+    #[test]
+    fn red_handle_int_add() {
+        let h = RedHandle::new_local(RedOp::Add, &Value::Int(5)).unwrap();
+        assert_eq!(h.identity().as_int().unwrap(), 0);
+        h.combine(&Value::Int(3)).unwrap();
+        h.combine(&Value::Int(4)).unwrap();
+        assert_eq!(h.get().as_int().unwrap(), 12);
+    }
+
+    #[test]
+    fn red_handle_rejects_mismatched_partial() {
+        let h = RedHandle::new_local(RedOp::Add, &Value::Float(0.0)).unwrap();
+        assert!(h.combine(&Value::Int(1)).is_err());
+    }
+
+    #[test]
+    fn value_conversions() {
+        assert_eq!(Value::Int(3).as_int().unwrap(), 3);
+        assert!(Value::Float(1.0).as_int().is_err());
+        assert!(Value::Int(1).truthy().unwrap());
+        assert!(!Value::Int(0).truthy().unwrap());
+        assert_eq!(Value::Float(2.0).render(), "2.0");
+        assert_eq!(Value::Float(2.5).render(), "2.5");
+    }
+}

@@ -1,0 +1,76 @@
+//! Golden tests over the shipped Zag example programs: every `.zag` file in
+//! `examples/zag/` must compile, preprocess to a pragma-free fixed point,
+//! and execute successfully.
+
+use std::path::PathBuf;
+
+fn zag_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../examples/zag")
+}
+
+fn all_programs() -> Vec<(String, String)> {
+    let mut out = Vec::new();
+    for entry in std::fs::read_dir(zag_dir()).expect("examples/zag exists") {
+        let path = entry.unwrap().path();
+        if path.extension().is_some_and(|e| e == "zag") {
+            let name = path.file_name().unwrap().to_string_lossy().to_string();
+            out.push((name, std::fs::read_to_string(&path).unwrap()));
+        }
+    }
+    assert!(out.len() >= 3, "expected the shipped sample programs");
+    out
+}
+
+#[test]
+fn every_sample_program_preprocesses_cleanly() {
+    for (name, src) in all_programs() {
+        let out = zomp_front::preprocess(&src)
+            .map_err(|e| panic!("{name}: {}", e.render(&src)))
+            .unwrap();
+        let ast = zomp_front::parse(&out).unwrap();
+        assert!(!ast.has_pragmas(), "{name}: pragmas left");
+    }
+}
+
+#[test]
+fn every_sample_program_runs() {
+    for (name, src) in all_programs() {
+        let out = zomp_vm::Vm::run(&src)
+            .map_err(|e| panic!("{name}: {e}"))
+            .unwrap();
+        assert!(!out.is_empty(), "{name}: expected output");
+    }
+}
+
+#[test]
+fn pi_program_is_accurate() {
+    let src = std::fs::read_to_string(zag_dir().join("pi.zag")).unwrap();
+    let out = zomp_vm::Vm::run(&src).unwrap();
+    let pi: f64 = out[0].rsplit(' ').next().unwrap().parse().unwrap();
+    assert!((pi - std::f64::consts::PI).abs() < 1e-6, "pi = {pi}");
+}
+
+#[test]
+fn sample_programs_survive_the_formatter() {
+    // format -> parse -> same structure, for real programs.
+    for (name, src) in all_programs() {
+        let a1 = zomp_front::parse(&src).unwrap();
+        let formatted = zomp_front::fmt::format(&a1);
+        let a2 = zomp_front::parse(&formatted)
+            .map_err(|e| panic!("{name}: {}\n{formatted}", e.render(&formatted)))
+            .unwrap();
+        let tags = |a: &zomp_front::Ast| a.nodes.iter().map(|n| n.tag).collect::<Vec<_>>();
+        assert_eq!(tags(&a1), tags(&a2), "{name} changed under formatting");
+    }
+}
+
+#[test]
+fn formatted_sample_programs_still_run() {
+    for (name, src) in all_programs() {
+        let formatted = zomp_front::fmt::format(&zomp_front::parse(&src).unwrap());
+        let out = zomp_vm::Vm::run(&formatted)
+            .map_err(|e| panic!("{name} (formatted): {e}\n{formatted}"))
+            .unwrap();
+        assert!(!out.is_empty(), "{name}: formatted program silent");
+    }
+}

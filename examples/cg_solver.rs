@@ -1,0 +1,74 @@
+//! The paper's headline workload: NPB Conjugate Gradient, run for real on
+//! this host (class S/W, serial vs zomp-parallel, with official NPB
+//! verification) and then projected onto the ARCHER2 model at class C —
+//! regenerating the Table I / Figure 3 story.
+//!
+//! Run with: `cargo run --release -p zomp-examples --bin cg_solver [class]`
+
+use archer_sim::lang::{profile, Kernel, Lang};
+use archer_sim::{Machine, ScalingCurve};
+use npb::cg::{self, Mode};
+use npb::class::CgParams;
+use npb::model::{cg_model, estimate_nnz};
+use npb::Class;
+
+fn main() {
+    let class = std::env::args()
+        .nth(1)
+        .and_then(|s| Class::parse(&s))
+        .unwrap_or(Class::S);
+    let params = CgParams::for_class(class);
+    println!(
+        "NPB CG class {class}: na = {}, nonzer = {}, niter = {}, shift = {}",
+        params.na, params.nonzer, params.niter, params.shift
+    );
+
+    println!("generating matrix (makea)...");
+    let t0 = std::time::Instant::now();
+    let mat = cg::makea::makea(&params);
+    println!("  {} nonzeros in {:.2?}", mat.nnz(), t0.elapsed());
+
+    let t0 = std::time::Instant::now();
+    let serial = cg::run_with_matrix(&params, &mat, Mode::Serial);
+    let t_serial = t0.elapsed();
+    println!(
+        "serial:      zeta = {:.13}, rnorm = {:.3e}, {:?} — {}",
+        serial.zeta,
+        serial.rnorm,
+        t_serial,
+        serial.verify(&params)
+    );
+
+    for threads in [2, 4] {
+        let t0 = std::time::Instant::now();
+        let par = cg::run_with_matrix(&params, &mat, Mode::Parallel(threads));
+        println!(
+            "{threads} threads:   zeta = {:.13}, rnorm = {:.3e}, {:?} — {}",
+            par.zeta,
+            par.rnorm,
+            t0.elapsed(),
+            par.verify(&params)
+        );
+    }
+
+    println!("\nprojected class C strong scaling on one ARCHER2 node (Fig. 3 / Table I):");
+    let c = CgParams::for_class(Class::C);
+    let model = cg_model(&c, estimate_nnz(&c));
+    let machine = Machine::archer2();
+    for lang in [Lang::Zig, Lang::Fortran] {
+        let curve = ScalingCurve::run(
+            format!("CG/{}", lang.name()),
+            &model,
+            &machine,
+            &profile(lang, Kernel::Cg),
+            &archer_sim::report::PAPER_THREADS,
+        );
+        println!("  {}:", curve.label);
+        for p in &curve.points {
+            println!(
+                "    {:>3} threads: {:>8.2} s  (speedup {:>6.1}x)",
+                p.threads, p.seconds, p.speedup
+            );
+        }
+    }
+}
