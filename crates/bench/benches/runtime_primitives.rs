@@ -116,6 +116,128 @@ fn bench_reductions(c: &mut Criterion) {
     g.finish();
 }
 
+/// Work-stealing decks vs the legacy shared cursor: drain the same loop
+/// through both dispatchers, solo and with 4 contending threads.
+fn bench_dispatch_impls(c: &mut Criterion) {
+    use zomp::schedule::{legacy::SharedCursorDispatch, DynamicDispatch};
+    const N: u64 = 1 << 15;
+    let mut g = c.benchmark_group("dispatch_next");
+    g.sample_size(20).measurement_time(Duration::from_secs(2));
+    g.bench_function("steal_deck_solo", |b| {
+        b.iter(|| {
+            let d = DynamicDispatch::new(N, 1, Some(1));
+            while let Some(r) = d.next(0) {
+                black_box(r);
+            }
+        });
+    });
+    g.bench_function("shared_cursor_solo", |b| {
+        b.iter(|| {
+            let d = SharedCursorDispatch::new(N, 1);
+            while let Some(r) = d.next() {
+                black_box(r);
+            }
+        });
+    });
+    g.bench_function("steal_deck_4way", |b| {
+        b.iter(|| {
+            let d = DynamicDispatch::new(N, 4, Some(1));
+            std::thread::scope(|s| {
+                for tid in 0..4 {
+                    let d = &d;
+                    s.spawn(move || {
+                        while let Some(r) = d.next(tid) {
+                            black_box(r);
+                        }
+                    });
+                }
+            });
+        });
+    });
+    g.bench_function("shared_cursor_4way", |b| {
+        b.iter(|| {
+            let d = SharedCursorDispatch::new(N, 1);
+            std::thread::scope(|s| {
+                for _ in 0..4 {
+                    let d = &d;
+                    s.spawn(move || {
+                        while let Some(r) = d.next() {
+                            black_box(r);
+                        }
+                    });
+                }
+            });
+        });
+    });
+    g.finish();
+}
+
+/// Central vs combining-tree barrier at the same team size (the production
+/// selector switches at 8; this pins each implementation explicitly).
+fn bench_barrier_impls(c: &mut Criterion) {
+    use zomp::barrier::Barrier;
+    const CYCLES: usize = 64;
+    let mut g = c.benchmark_group("barrier_impl");
+    g.sample_size(10).measurement_time(Duration::from_secs(2));
+    for (name, make) in [
+        ("central_8", Barrier::new_central as fn(usize) -> Barrier),
+        ("tree_8", Barrier::new_tree),
+    ] {
+        g.bench_function(name, |b| {
+            b.iter(|| {
+                let bar = make(8);
+                std::thread::scope(|s| {
+                    for tid in 0..8 {
+                        let bar = &bar;
+                        s.spawn(move || {
+                            for _ in 0..CYCLES {
+                                black_box(bar.wait_as(tid));
+                            }
+                        });
+                    }
+                });
+            });
+        });
+    }
+    g.finish();
+}
+
+/// Flat atomic combine (every thread CASes one cell) vs the padded combining
+/// tree (one CAS total, log-depth folds).
+fn bench_reduction_impls(c: &mut Criterion) {
+    use zomp::reduction::ReduceTree;
+    const NTH: usize = 4;
+    let mut g = c.benchmark_group("reduction_impl");
+    g.sample_size(10).measurement_time(Duration::from_secs(2));
+    g.bench_function("flat_atomic_4way", |b| {
+        b.iter(|| {
+            let cell = RedCell::<f64>::new(RedOp::Add, 0.0);
+            std::thread::scope(|s| {
+                for tid in 0..NTH {
+                    let cell = &cell;
+                    s.spawn(move || cell.combine(tid as f64));
+                }
+            });
+            black_box(cell.get())
+        });
+    });
+    g.bench_function("tree_4way", |b| {
+        b.iter(|| {
+            let cell = RedCell::<f64>::new(RedOp::Add, 0.0);
+            let tree = ReduceTree::<f64>::new(RedOp::Add, NTH);
+            std::thread::scope(|s| {
+                for tid in 0..NTH {
+                    let cell = &cell;
+                    let tree = &tree;
+                    s.spawn(move || tree.merge(tid, tid as f64, cell));
+                }
+            });
+            black_box(cell.get())
+        });
+    });
+    g.finish();
+}
+
 fn bench_worksharing_nowait(c: &mut Criterion) {
     const N: i64 = 1 << 12;
     let mut g = c.benchmark_group("nowait_vs_barrier");
@@ -143,6 +265,9 @@ criterion_group!(
     bench_barrier,
     bench_schedules,
     bench_reductions,
+    bench_dispatch_impls,
+    bench_barrier_impls,
+    bench_reduction_impls,
     bench_worksharing_nowait
 );
 criterion_main!(benches);

@@ -12,7 +12,9 @@
 //! next to the modelled ones so shape agreement (who wins, by what factor,
 //! where the curves bend) can be read off directly.
 
-use zomp_bench::experiments::{all_experiments, cg_experiment, ep_experiment, is_experiment, Experiment};
+use zomp_bench::experiments::{
+    all_experiments, cg_experiment, ep_experiment, is_experiment, Experiment,
+};
 use zomp_bench::format::{render_figure, render_table};
 
 fn usage() -> ! {
@@ -61,7 +63,10 @@ fn main() {
     }
 
     if args[0] == "breakdown" {
-        let kernel = args.get(1).map(|s| s.to_ascii_lowercase()).unwrap_or_else(|| usage());
+        let kernel = args
+            .get(1)
+            .map(|s| s.to_ascii_lowercase())
+            .unwrap_or_else(|| usage());
         let threads: usize = args
             .get(2)
             .and_then(|v| v.parse().ok())

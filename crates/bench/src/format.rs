@@ -59,11 +59,7 @@ pub fn render_figure(e: &Experiment) -> String {
     for (i, &t) in e.threads.iter().enumerate() {
         let zm = e.zig_model.points[i].speedup;
         let rm = e.reference_model.points[i].speedup;
-        out.push_str(&format!(
-            "{t:>4} Zig model {:>6.1}x |{}\n",
-            zm,
-            bar(zm)
-        ));
+        out.push_str(&format!("{t:>4} Zig model {:>6.1}x |{}\n", zm, bar(zm)));
         out.push_str(&format!(
             "{:>4} {:<3} model {:>6.1}x |{}\n",
             "",
@@ -98,8 +94,11 @@ mod tests {
         let e = ep_experiment();
         let t = render_table(&e);
         for threads in [1, 2, 16, 32, 64, 96, 128] {
-            assert!(t.contains(&format!("\n{threads:>8} |")) || t.starts_with(&format!("{threads:>8} |")),
-                "missing row {threads} in:\n{t}");
+            assert!(
+                t.contains(&format!("\n{threads:>8} |"))
+                    || t.starts_with(&format!("{threads:>8} |")),
+                "missing row {threads} in:\n{t}"
+            );
         }
     }
 

@@ -82,8 +82,12 @@ macro_rules! atomic_float {
                 let prev_bits = rmw_cas_loop(
                     || self.bits.load(Ordering::Acquire),
                     |old, new| {
-                        self.bits
-                            .compare_exchange_weak(old, new, Ordering::AcqRel, Ordering::Acquire)
+                        self.bits.compare_exchange_weak(
+                            old,
+                            new,
+                            Ordering::AcqRel,
+                            Ordering::Acquire,
+                        )
                     },
                     |old: $bits| op(<$float>::from_bits(old)).to_bits(),
                 );

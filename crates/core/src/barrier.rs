@@ -2,41 +2,102 @@
 //!
 //! Every parallel region carries an implicit barrier at its end, every
 //! worksharing loop without `nowait` carries one too, and the programmer can
-//! insert explicit ones (`omp barrier`). The implementation is a
-//! generation-counting central barrier (equivalent to the classic
-//! sense-reversing design, with the generation counter playing the role of
-//! the sense flag) that spins briefly and then blocks on a condition
-//! variable — appropriate both for dedicated cores (spin wins) and for the
-//! oversubscribed case (blocking avoids burning the timeslice).
+//! insert explicit ones (`omp barrier`).
+//!
+//! Two implementations sit behind [`Barrier`], selected by team size:
+//!
+//! * **Central** (small teams): a generation-counting central barrier
+//!   (equivalent to the classic sense-reversing design, with the generation
+//!   counter playing the role of the sense flag). All arrivals hit one
+//!   atomic counter — cheapest possible at low thread counts.
+//! * **Tree** (teams above [`TREE_THRESHOLD`]): a combining tree with fan-in
+//!   [`TREE_FANIN`] and cache-line-padded per-node arrival counters. Each
+//!   thread contends only with its ≤ 4 siblings instead of the whole team,
+//!   turning the O(n)-contention central counter into O(log₄ n) quiet
+//!   levels.
+//!
+//! Both spin briefly and then block on a condition variable — appropriate
+//! for dedicated cores (spin wins) and for the oversubscribed case
+//! (blocking avoids burning the timeslice).
 
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 
 use parking_lot::{Condvar, Mutex};
+
+use crate::pad::CachePadded;
 
 /// How many pause/yield rounds to spin before blocking. Kept deliberately
 /// small: on an oversubscribed host (more threads than cores) long spins are
 /// pure waste.
 const SPIN_ROUNDS: usize = 64;
 
+/// Combining-tree fan-in: each node accepts at most this many arrivals.
+/// 4 keeps the tree shallow (log₄) while each node's counter stays
+/// low-contention; libomp's hyper barrier uses branching factors in the
+/// same 2–8 range.
+const TREE_FANIN: usize = 4;
+
+/// Teams up to this size use the central barrier: with few threads the
+/// single counter is both cheaper and simpler, and a tree of ≤ 2 levels
+/// would add pure overhead.
+const TREE_THRESHOLD: usize = 8;
+
 /// A reusable barrier for a fixed-size team.
+///
+/// [`Barrier::wait_as`] is the hot entry point (the caller supplies its team
+/// id, letting the tree route it to its leaf without shared state);
+/// [`Barrier::wait`] keeps the id-less API by handing out arrival tickets
+/// from one extra atomic.
 #[derive(Debug)]
 pub struct Barrier {
     n: usize,
-    arrived: AtomicUsize,
-    generation: AtomicU64,
-    mutex: Mutex<()>,
-    cvar: Condvar,
+    /// Ticket dispenser for the id-less [`Barrier::wait`] entry point.
+    tickets: AtomicU64,
+    core: BarrierCore,
+}
+
+#[derive(Debug)]
+enum BarrierCore {
+    Central(CentralBarrier),
+    Tree(TreeBarrier),
 }
 
 impl Barrier {
-    /// Barrier for `n` threads. `n == 0` is treated as 1.
+    /// Barrier for `n` threads. `n == 0` is treated as 1. Teams larger than
+    /// [`TREE_THRESHOLD`] get the combining-tree implementation.
     pub fn new(n: usize) -> Self {
+        let n = n.max(1);
+        let core = if n <= TREE_THRESHOLD {
+            BarrierCore::Central(CentralBarrier::new(n))
+        } else {
+            BarrierCore::Tree(TreeBarrier::new(n))
+        };
         Barrier {
-            n: n.max(1),
-            arrived: AtomicUsize::new(0),
-            generation: AtomicU64::new(0),
-            mutex: Mutex::new(()),
-            cvar: Condvar::new(),
+            n,
+            tickets: AtomicU64::new(0),
+            core,
+        }
+    }
+
+    /// Force the central implementation regardless of team size — for
+    /// benchmarking the crossover; [`Barrier::new`] is the production entry.
+    pub fn new_central(n: usize) -> Self {
+        let n = n.max(1);
+        Barrier {
+            n,
+            tickets: AtomicU64::new(0),
+            core: BarrierCore::Central(CentralBarrier::new(n)),
+        }
+    }
+
+    /// Force the combining-tree implementation regardless of team size —
+    /// for benchmarking the crossover.
+    pub fn new_tree(n: usize) -> Self {
+        let n = n.max(1);
+        Barrier {
+            n,
+            tickets: AtomicU64::new(0),
+            core: BarrierCore::Tree(TreeBarrier::new(n)),
         }
     }
 
@@ -45,14 +106,59 @@ impl Barrier {
         self.n
     }
 
-    /// Block until all `n` threads have arrived. Returns `true` in exactly
-    /// one thread per cycle (the last arriver), mirroring
+    /// Block until all `n` threads have arrived, as team thread `tid`
+    /// (`tid < n`, each id arriving exactly once per cycle). Returns `true`
+    /// in exactly one thread per cycle (the overall last arriver), mirroring
     /// `std::sync::Barrier`'s leader flag.
+    pub fn wait_as(&self, tid: usize) -> bool {
+        if self.n == 1 {
+            return true;
+        }
+        match &self.core {
+            BarrierCore::Central(c) => c.wait(),
+            BarrierCore::Tree(t) => t.wait(tid),
+        }
+    }
+
+    /// Id-less [`Barrier::wait_as`]: derives a per-cycle id from an arrival
+    /// ticket. Tickets can't tangle across cycles — a thread cannot start
+    /// cycle `k+1` before all `n` tickets of cycle `k` were claimed.
     pub fn wait(&self) -> bool {
         if self.n == 1 {
             return true;
         }
+        // Relaxed: the ticket value itself is the only payload, and the
+        // barrier's own acquire/release edges order everything else.
+        let ticket = self.tickets.fetch_add(1, Ordering::Relaxed) as usize % self.n;
+        self.wait_as(ticket)
+    }
+}
+
+/// Generation-counting central barrier (one shared arrival counter).
+#[derive(Debug)]
+struct CentralBarrier {
+    n: usize,
+    arrived: AtomicUsize,
+    generation: AtomicU64,
+    mutex: Mutex<()>,
+    cvar: Condvar,
+}
+
+impl CentralBarrier {
+    fn new(n: usize) -> Self {
+        CentralBarrier {
+            n,
+            arrived: AtomicUsize::new(0),
+            generation: AtomicU64::new(0),
+            mutex: Mutex::new(()),
+            cvar: Condvar::new(),
+        }
+    }
+
+    fn wait(&self) -> bool {
         let gen = self.generation.load(Ordering::Acquire);
+        // AcqRel: the last arriver's read end of this RMW pulls in every
+        // earlier thread's pre-barrier writes; the write end publishes ours.
         let pos = self.arrived.fetch_add(1, Ordering::AcqRel) + 1;
         if pos == self.n {
             // Last arriver: reset the counter for the next cycle *before*
@@ -60,23 +166,136 @@ impl Barrier {
             // generation advances).
             self.arrived.store(0, Ordering::Release);
             let _g = self.mutex.lock();
+            // Release: publishes the whole cycle (including the reset) to
+            // the waiters' acquire loads below.
             self.generation.fetch_add(1, Ordering::Release);
             self.cvar.notify_all();
             true
         } else {
-            for _ in 0..SPIN_ROUNDS {
-                if self.generation.load(Ordering::Acquire) != gen {
-                    return false;
-                }
-                std::hint::spin_loop();
-                std::thread::yield_now();
-            }
-            let mut g = self.mutex.lock();
-            while self.generation.load(Ordering::Acquire) == gen {
-                self.cvar.wait(&mut g);
-            }
+            spin_then_park(&self.mutex, &self.cvar, || {
+                self.generation.load(Ordering::Acquire) != gen
+            });
             false
         }
+    }
+}
+
+/// One combining-tree node: an arrival counter expecting `expect` children
+/// (threads at leaves, child nodes above), padded to its own cache line so
+/// sibling nodes never false-share.
+#[derive(Debug)]
+struct TreeNode {
+    arrived: AtomicUsize,
+    expect: usize,
+    /// Parent node index, or `None` for the root.
+    parent: Option<usize>,
+}
+
+/// Combining-tree barrier: leaves fan threads in groups of [`TREE_FANIN`];
+/// the last arriver of each node resets it and ascends. The root's last
+/// arriver bumps the (single) generation word that all waiters watch.
+///
+/// Waiting on one global generation instead of per-node flags keeps the
+/// release broadcast a single store + notify; the contention win of the
+/// tree is on the *arrival* side, which is where every thread writes.
+#[derive(Debug)]
+struct TreeBarrier {
+    nodes: Box<[CachePadded<TreeNode>]>,
+    /// Leaf node index of each team thread.
+    leaf_of: Box<[usize]>,
+    generation: AtomicU64,
+    mutex: Mutex<()>,
+    cvar: Condvar,
+}
+
+impl TreeBarrier {
+    fn new(n: usize) -> Self {
+        debug_assert!(n > 1);
+        // Build level by level: level 0 nodes group threads, higher levels
+        // group the nodes below. `widths[l]` = element count entering level l.
+        let mut nodes: Vec<CachePadded<TreeNode>> = Vec::new();
+        let mut level_start = Vec::new(); // first node index of each level
+        let mut width = n; // elements feeding the current level
+        while width > 1 {
+            level_start.push(nodes.len());
+            let groups = width.div_ceil(TREE_FANIN);
+            for g in 0..groups {
+                let expect = TREE_FANIN.min(width - g * TREE_FANIN);
+                nodes.push(CachePadded::new(TreeNode {
+                    arrived: AtomicUsize::new(0),
+                    expect,
+                    parent: None, // patched below
+                }));
+            }
+            width = groups;
+        }
+        // Patch parents: node `g` of level `l` is child `g % FANIN` of node
+        // `g / FANIN` in level `l + 1`.
+        for l in 0..level_start.len().saturating_sub(1) {
+            let (start, next) = (level_start[l], level_start[l + 1]);
+            let count = next - start;
+            for g in 0..count {
+                nodes[start + g].parent = Some(next + g / TREE_FANIN);
+            }
+        }
+        let leaf_of = (0..n).map(|tid| tid / TREE_FANIN).collect();
+        TreeBarrier {
+            nodes: nodes.into_boxed_slice(),
+            leaf_of,
+            generation: AtomicU64::new(0),
+            mutex: Mutex::new(()),
+            cvar: Condvar::new(),
+        }
+    }
+
+    fn wait(&self, tid: usize) -> bool {
+        let gen = self.generation.load(Ordering::Acquire);
+        let mut node = self.leaf_of[tid];
+        loop {
+            let nd = &self.nodes[node];
+            // AcqRel: the node's last arriver reads (acquires) every
+            // sibling's pre-barrier writes through this counter's release
+            // sequence, then carries them upward with its own write end.
+            let pos = nd.arrived.fetch_add(1, Ordering::AcqRel) + 1;
+            if pos < nd.expect {
+                // Not last at this node: wait for the root release.
+                spin_then_park(&self.mutex, &self.cvar, || {
+                    self.generation.load(Ordering::Acquire) != gen
+                });
+                return false;
+            }
+            // Last arriver: reset for the next cycle, then ascend. Relaxed
+            // is enough — the reset is published to next-cycle arrivers by
+            // the release chain through the parent counters and the
+            // generation word (no thread re-arrives before acquiring those).
+            nd.arrived.store(0, Ordering::Relaxed);
+            match nd.parent {
+                Some(p) => node = p,
+                None => {
+                    let _g = self.mutex.lock();
+                    // Release: publishes the whole team's cycle to the
+                    // waiters' acquire loads.
+                    self.generation.fetch_add(1, Ordering::Release);
+                    self.cvar.notify_all();
+                    return true;
+                }
+            }
+        }
+    }
+}
+
+/// Spin for [`SPIN_ROUNDS`], then block on the condvar until `done()`.
+fn spin_then_park(mutex: &Mutex<()>, cvar: &Condvar, done: impl Fn() -> bool) {
+    for _ in 0..SPIN_ROUNDS {
+        if done() {
+            return;
+        }
+        std::hint::spin_loop();
+        std::thread::yield_now();
+    }
+    let mut g = mutex.lock();
+    while !done() {
+        cvar.wait(&mut g);
     }
 }
 
@@ -100,6 +319,8 @@ impl Latch {
 
     /// Signal one completion.
     pub fn count_down(&self) {
+        // AcqRel: the final count-down collects every worker's writes so
+        // the waiter's acquire load sees the fully joined region.
         if self.remaining.fetch_sub(1, Ordering::AcqRel) == 1 {
             let _g = self.mutex.lock();
             self.cvar.notify_all();
@@ -135,21 +356,45 @@ mod tests {
     }
 
     #[test]
-    fn barrier_synchronises_phases() {
-        // Each thread increments a phase counter; after the barrier, every
-        // thread must observe the full count of the previous phase.
-        const N: usize = 4;
-        const PHASES: usize = 20;
-        let b = Barrier::new(N);
-        let counters: Vec<AtomicUsize> = (0..PHASES).map(|_| AtomicUsize::new(0)).collect();
+    fn small_teams_use_central_large_use_tree() {
+        assert!(matches!(Barrier::new(8).core, BarrierCore::Central(_)));
+        assert!(matches!(Barrier::new(9).core, BarrierCore::Tree(_)));
+    }
+
+    #[test]
+    fn tree_shape_fan_in_4() {
+        // 16 threads: 4 leaves + 1 root.
+        let t = TreeBarrier::new(16);
+        assert_eq!(t.nodes.len(), 5);
+        assert!(t.nodes[..4].iter().all(|n| n.expect == 4));
+        assert_eq!(t.nodes[4].expect, 4);
+        assert!(t.nodes[4].parent.is_none());
+        assert!(t.nodes[..4].iter().all(|n| n.parent == Some(4)));
+        // 13 threads: leaves expect 4,4,4,1; root expects 4.
+        let t = TreeBarrier::new(13);
+        assert_eq!(t.nodes.len(), 5);
+        assert_eq!(
+            t.nodes[..4].iter().map(|n| n.expect).collect::<Vec<_>>(),
+            vec![4, 4, 4, 1]
+        );
+        // 100 threads: 25 leaves, 7 mid nodes, 2 upper, 1 root.
+        let t = TreeBarrier::new(100);
+        assert_eq!(t.nodes.len(), 25 + 7 + 2 + 1);
+    }
+
+    fn exercise_barrier(n: usize, phases: usize) {
+        let b = Barrier::new(n);
+        let counters: Vec<AtomicUsize> = (0..phases).map(|_| AtomicUsize::new(0)).collect();
         std::thread::scope(|s| {
-            for _ in 0..N {
-                s.spawn(|| {
-                    for counter in counters.iter().take(PHASES) {
+            for tid in 0..n {
+                let b = &b;
+                let counters = &counters;
+                s.spawn(move || {
+                    for counter in counters.iter() {
                         counter.fetch_add(1, Ordering::SeqCst);
-                        b.wait();
-                        assert_eq!(counter.load(Ordering::SeqCst), N);
-                        b.wait();
+                        b.wait_as(tid);
+                        assert_eq!(counter.load(Ordering::SeqCst), n);
+                        b.wait_as(tid);
                     }
                 });
             }
@@ -157,23 +402,65 @@ mod tests {
     }
 
     #[test]
-    fn exactly_one_leader_per_cycle() {
-        const N: usize = 8;
-        const CYCLES: usize = 50;
-        let b = Barrier::new(N);
+    fn barrier_synchronises_phases() {
+        exercise_barrier(4, 20);
+    }
+
+    #[test]
+    fn tree_barrier_synchronises_phases() {
+        // Above TREE_THRESHOLD: exercises multi-level arrival and reset.
+        exercise_barrier(16, 10);
+        exercise_barrier(13, 10);
+    }
+
+    fn count_leaders(n: usize, cycles: usize) -> usize {
+        let b = Barrier::new(n);
         let leaders = AtomicUsize::new(0);
         std::thread::scope(|s| {
-            for _ in 0..N {
-                s.spawn(|| {
-                    for _ in 0..CYCLES {
-                        if b.wait() {
+            for tid in 0..n {
+                let b = &b;
+                let leaders = &leaders;
+                s.spawn(move || {
+                    for _ in 0..cycles {
+                        if b.wait_as(tid) {
                             leaders.fetch_add(1, Ordering::SeqCst);
                         }
                     }
                 });
             }
         });
-        assert_eq!(leaders.load(Ordering::SeqCst), CYCLES);
+        leaders.load(Ordering::SeqCst)
+    }
+
+    #[test]
+    fn exactly_one_leader_per_cycle() {
+        assert_eq!(count_leaders(8, 50), 50);
+    }
+
+    #[test]
+    fn tree_exactly_one_leader_per_cycle() {
+        assert_eq!(count_leaders(12, 30), 30);
+    }
+
+    #[test]
+    fn ticketed_wait_still_works() {
+        // The id-less entry point on a tree-sized team.
+        const N: usize = 10;
+        let b = Barrier::new(N);
+        let hits = AtomicUsize::new(0);
+        std::thread::scope(|s| {
+            for _ in 0..N {
+                let b = &b;
+                let hits = &hits;
+                s.spawn(move || {
+                    for _ in 0..5 {
+                        hits.fetch_add(1, Ordering::SeqCst);
+                        b.wait();
+                    }
+                });
+            }
+        });
+        assert_eq!(hits.load(Ordering::SeqCst), N * 5);
     }
 
     #[test]

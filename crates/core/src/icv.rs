@@ -23,7 +23,9 @@ pub const MAX_THREADS_LIMIT: usize = 512;
 ///
 /// All fields are atomics so that the `omp_set_*` API can be called from any
 /// thread without locking, mirroring libomp's global ICV handling for the
-/// host device.
+/// host device. All accesses are `Relaxed`: each ICV is an independent
+/// scalar consulted at construct entry, with no data published through it —
+/// the fork that reads it already synchronises the team.
 pub struct Icvs {
     /// `nthreads-var`: team size used when a `parallel` region does not carry
     /// a `num_threads` clause.

@@ -101,7 +101,7 @@ pub fn dispatch_init<'a, 'b>(
     let nth = ctx.num_threads();
     let dispatcher = ctx.slot_dispatcher(slot, || match sched.kind {
         ScheduleKind::Guided => Dispatcher::Guided(GuidedDispatch::new(trip, nth, sched.chunk)),
-        _ => Dispatcher::Dynamic(DynamicDispatch::new(trip, sched.chunk)),
+        _ => Dispatcher::Dynamic(DynamicDispatch::new(trip, nth, sched.chunk)),
     });
     DispatchHandle {
         ctx,
@@ -120,7 +120,7 @@ impl DispatchHandle<'_, '_> {
         if self.finished {
             return None;
         }
-        match self.dispatcher.next() {
+        match self.dispatcher.next(self.ctx.thread_num()) {
             Some(r) => Some(r),
             None => {
                 self.finish();
@@ -255,7 +255,13 @@ mod tests {
             }
             ctx.barrier();
             // A later construct on the same ring must still work.
-            dispatch_loop(ctx, LoopBounds::upto(0, 8), Schedule::dynamic(None), false, |_| {});
+            dispatch_loop(
+                ctx,
+                LoopBounds::upto(0, 8),
+                Schedule::dynamic(None),
+                false,
+                |_| {},
+            );
         });
     }
 }

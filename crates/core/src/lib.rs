@@ -53,6 +53,7 @@ pub mod atomic;
 pub mod barrier;
 pub mod icv;
 pub mod kmpc;
+pub mod pad;
 pub mod profile;
 pub mod reduction;
 pub mod safety;

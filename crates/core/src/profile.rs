@@ -26,6 +26,8 @@ use std::time::Duration;
 
 use parking_lot::Mutex;
 
+// Relaxed everywhere: an independent on/off flag; recorded data is guarded
+// by the registry mutex, not by this atomic.
 static ENABLED: AtomicBool = AtomicBool::new(false);
 
 #[derive(Debug, Clone, Default)]
@@ -102,9 +104,8 @@ pub fn report() -> Vec<RegionStat> {
 
 /// Render the flat profile as a table.
 pub fn render_report() -> String {
-    let mut s = String::from(
-        "region                          calls   total (ms)     max (ms)  threads\n",
-    );
+    let mut s =
+        String::from("region                          calls   total (ms)     max (ms)  threads\n");
     for r in report() {
         s.push_str(&format!(
             "{:<30} {:>6} {:>12.3} {:>12.3} {:>8.1}\n",

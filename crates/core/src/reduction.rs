@@ -14,9 +14,14 @@
 //! [`RedCell`] packages steps 1 and 3; [`crate::workshare::parallel_reduce`]
 //! and the VM's `.omp.internal` bindings drive the whole protocol.
 
-use std::sync::atomic::{AtomicBool, AtomicI32, AtomicI64, AtomicU32, AtomicU64, Ordering};
+use std::cell::UnsafeCell;
+use std::ops::Range;
+use std::sync::atomic::{
+    AtomicBool, AtomicI32, AtomicI64, AtomicU32, AtomicU64, AtomicUsize, Ordering,
+};
 
 use crate::atomic::{rmw_cas_loop, AtomicF32, AtomicF64};
+use crate::pad::CachePadded;
 
 /// Reduction operators accepted by the `reduction` clause.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -314,6 +319,180 @@ impl<T: Reduce> RedCell<T> {
     }
 }
 
+/// Combining-tree fan-in for [`ReduceTree`], matching the barrier tree's
+/// shape so a team's reduction merge climbs the same‑depth hierarchy.
+const RTREE_FANIN: usize = 4;
+
+/// What a tree node folds: a group of per-thread input slots (leaf level)
+/// or a group of lower tree nodes.
+#[derive(Debug, Clone)]
+enum RChildren {
+    Inputs(Range<usize>),
+    Nodes(Range<usize>),
+}
+
+/// One combining node: an arrival counter plus the folded partial of its
+/// subtree, written by the node's last arriver before it ascends.
+struct RNode<T> {
+    arrived: AtomicUsize,
+    expect: usize,
+    parent: Option<usize>,
+    children: RChildren,
+    /// Written exactly once, by the node's last arriver; read exactly once,
+    /// by the parent's last arriver (ordered through the arrival counters).
+    partial: UnsafeCell<Option<T>>,
+}
+
+// SAFETY: `partial` is written by the node's last arriver before its
+// release-arrival at the parent, and read by the parent's last arriver
+// after its acquire-arrival — never concurrently.
+unsafe impl<T: Send> Sync for RNode<T> {}
+
+/// Single-shot padded tree reduction for one worksharing construct.
+///
+/// The contended single-cell merge (`nth` CAS loops on one line) is replaced
+/// by: each thread publishes its partial in a cache-line-padded slot, then
+/// arrives at its leaf node; the last arriver of each node folds its
+/// children *sequentially* and ascends, so partials combine in a log₄(nth)
+/// tree. Only the root performs one [`RedCell::combine`] — the paper's
+/// Listing 6 CAS-loop leaf combiner — keeping entry-point semantics (cell
+/// seeded with the original value, result read after the barrier) intact.
+///
+/// No thread ever waits here: non-last arrivers return immediately and the
+/// construct's closing barrier (or region join) orders the root fold before
+/// any [`RedCell::get`].
+pub struct ReduceTree<T: Reduce> {
+    op: RedOp,
+    /// Per-thread partial inputs, padded so publication stores never
+    /// false-share.
+    inputs: Box<[CachePadded<UnsafeCell<Option<T>>>]>,
+    nodes: Box<[CachePadded<RNode<T>>]>,
+    leaf_of: Box<[usize]>,
+}
+
+// SAFETY: each `inputs[tid]` cell is written only by team thread `tid`
+// before its leaf arrival and read only by the leaf's last arriver after
+// acquiring that arrival.
+unsafe impl<T: Reduce> Sync for ReduceTree<T> {}
+
+impl<T: Reduce> ReduceTree<T> {
+    /// Tree for a team of `nth` threads reducing with `op`.
+    pub fn new(op: RedOp, nth: usize) -> Self {
+        let nth = nth.max(1);
+        let mut nodes: Vec<CachePadded<RNode<T>>> = Vec::new();
+        let mut level_start = Vec::new();
+        let mut width = nth;
+        let mut leaf_level = true;
+        while width > 1 {
+            level_start.push(nodes.len());
+            let groups = width.div_ceil(RTREE_FANIN);
+            let prev_start = if leaf_level {
+                0
+            } else {
+                level_start[level_start.len() - 2]
+            };
+            for g in 0..groups {
+                let lo = g * RTREE_FANIN;
+                let hi = (lo + RTREE_FANIN).min(width);
+                let children = if leaf_level {
+                    RChildren::Inputs(lo..hi)
+                } else {
+                    RChildren::Nodes(prev_start + lo..prev_start + hi)
+                };
+                nodes.push(CachePadded::new(RNode {
+                    arrived: AtomicUsize::new(0),
+                    expect: hi - lo,
+                    parent: None, // patched below
+                    children,
+                    partial: UnsafeCell::new(None),
+                }));
+            }
+            width = groups;
+            leaf_level = false;
+        }
+        for l in 0..level_start.len().saturating_sub(1) {
+            let (start, next) = (level_start[l], level_start[l + 1]);
+            for g in 0..next - start {
+                nodes[start + g].parent = Some(next + g / RTREE_FANIN);
+            }
+        }
+        ReduceTree {
+            op,
+            inputs: (0..nth)
+                .map(|_| CachePadded::new(UnsafeCell::new(None)))
+                .collect(),
+            nodes: nodes.into_boxed_slice(),
+            leaf_of: (0..nth).map(|tid| tid / RTREE_FANIN).collect(),
+        }
+    }
+
+    /// Merge thread `tid`'s partial. Every team thread must call this
+    /// exactly once; the overall last arriver folds into `cell`.
+    pub fn merge(&self, tid: usize, partial: T, cell: &RedCell<T>) {
+        if self.nodes.is_empty() {
+            // Team of one: no tree to climb.
+            cell.combine(partial);
+            return;
+        }
+        // SAFETY: only thread `tid` writes its input slot, before its leaf
+        // arrival below publishes it.
+        unsafe { *self.inputs[tid].get() = Some(partial) };
+        let mut node = self.leaf_of[tid];
+        loop {
+            let nd = &self.nodes[node];
+            // AcqRel: the write end publishes this thread's partial (and,
+            // for interior nodes, the subtree fold); the read end of the
+            // *last* arrival pulls in every sibling's published partial
+            // through the counter's release sequence.
+            let pos = nd.arrived.fetch_add(1, Ordering::AcqRel) + 1;
+            if pos < nd.expect {
+                return;
+            }
+            // Last arriver: fold this node's children sequentially.
+            let folded = self.fold_children(nd);
+            match nd.parent {
+                Some(p) => {
+                    // SAFETY: we are the node's unique last arriver; the
+                    // parent's last arriver reads this only after acquiring
+                    // our arrival there.
+                    unsafe { *nd.partial.get() = Some(folded) };
+                    node = p;
+                }
+                None => {
+                    // Root: one contended merge total, via the CAS-loop /
+                    // native-RMW leaf combiner (the paper's Listing 6).
+                    cell.combine(folded);
+                    return;
+                }
+            }
+        }
+    }
+
+    fn fold_children(&self, nd: &RNode<T>) -> T {
+        let mut acc = T::identity(self.op);
+        match &nd.children {
+            RChildren::Inputs(r) => {
+                for i in r.clone() {
+                    // SAFETY: published by thread `i` before its arrival,
+                    // which we have acquired.
+                    let v = unsafe { (*self.inputs[i].get()).expect("input partial missing") };
+                    acc = T::combine(self.op, acc, v);
+                }
+            }
+            RChildren::Nodes(r) => {
+                for i in r.clone() {
+                    // SAFETY: written by the child node's last arriver
+                    // before its arrival here, which we have acquired.
+                    let v =
+                        unsafe { (*self.nodes[i].partial.get()).expect("child partial missing") };
+                    acc = T::combine(self.op, acc, v);
+                }
+            }
+        }
+        acc
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -428,5 +607,70 @@ mod tests {
         c.combine(0b1100);
         c.combine(0b1010);
         assert_eq!(c.get(), 0b0110);
+    }
+
+    #[test]
+    fn reduce_tree_shape() {
+        // 16 threads: 4 leaves + 1 root; leaves fold input groups of 4.
+        let t = ReduceTree::<i64>::new(RedOp::Add, 16);
+        assert_eq!(t.nodes.len(), 5);
+        assert!(matches!(t.nodes[0].children, RChildren::Inputs(_)));
+        assert!(matches!(t.nodes[4].children, RChildren::Nodes(_)));
+        assert!(t.nodes[4].parent.is_none());
+        // 1 thread: no tree at all.
+        assert!(ReduceTree::<i64>::new(RedOp::Add, 1).nodes.is_empty());
+        // 21 threads: 6 leaves + 2 mid + 1 root.
+        assert_eq!(ReduceTree::<i64>::new(RedOp::Add, 21).nodes.len(), 9);
+    }
+
+    #[test]
+    fn reduce_tree_single_thread_folds_directly() {
+        let cell = RedCell::<i64>::new(RedOp::Add, 5);
+        ReduceTree::<i64>::new(RedOp::Add, 1).merge(0, 7, &cell);
+        assert_eq!(cell.get(), 12);
+    }
+
+    fn tree_sum(nth: usize) -> i64 {
+        let cell = RedCell::<i64>::new(RedOp::Add, 100);
+        let tree = ReduceTree::<i64>::new(RedOp::Add, nth);
+        std::thread::scope(|s| {
+            for tid in 0..nth {
+                let (tree, cell) = (&tree, &cell);
+                s.spawn(move || tree.merge(tid, tid as i64 + 1, cell));
+            }
+        });
+        cell.get()
+    }
+
+    #[test]
+    fn reduce_tree_concurrent_sum_matches_serial() {
+        // seed 100 + sum(1..=nth), across team sizes spanning 1–3 levels.
+        for nth in [2usize, 4, 5, 8, 13, 16, 21] {
+            let want = 100 + (nth * (nth + 1) / 2) as i64;
+            assert_eq!(tree_sum(nth), want, "nth={nth}");
+        }
+    }
+
+    #[test]
+    fn reduce_tree_mul_and_float() {
+        let cell = RedCell::<f64>::new(RedOp::Mul, 2.0);
+        let tree = ReduceTree::<f64>::new(RedOp::Mul, 6);
+        std::thread::scope(|s| {
+            for tid in 0..6 {
+                let (tree, cell) = (&tree, &cell);
+                s.spawn(move || tree.merge(tid, 2.0, cell));
+            }
+        });
+        assert_eq!(cell.get(), 2.0 * 64.0);
+
+        let cell = RedCell::<i64>::new(RedOp::Min, i64::MAX);
+        let tree = ReduceTree::<i64>::new(RedOp::Min, 9);
+        std::thread::scope(|s| {
+            for tid in 0..9 {
+                let (tree, cell) = (&tree, &cell);
+                s.spawn(move || tree.merge(tid, 50 - tid as i64, cell));
+            }
+        });
+        assert_eq!(cell.get(), 42);
     }
 }

@@ -28,6 +28,8 @@ pub enum SafetyMode {
     Paranoid = 2,
 }
 
+// Relaxed everywhere: a standalone mode byte read at accessor creation; no
+// other data is published through it.
 static MODE: AtomicU8 = AtomicU8::new(SafetyMode::Debug as u8);
 
 /// Read the current process-wide safety mode.

@@ -49,7 +49,11 @@ impl<'a, T: Copy> SharedSlice<'a, T> {
         // SAFETY: `&mut [T]` -> `&[UnsafeCell<T>]` is the sanctioned cast
         // for introducing interior mutability over exclusive data.
         let data = unsafe { &*(slice as *mut [T] as *const [UnsafeCell<T>]) };
-        SharedSlice { data, tags, checked }
+        SharedSlice {
+            data,
+            tags,
+            checked,
+        }
     }
 
     /// Element count.
@@ -92,6 +96,8 @@ impl<'a, T: Copy> SharedSlice<'a, T> {
             let me = crate::team::current_region()
                 .map(|(tid, _)| tid as u32 + 1)
                 .unwrap_or(u32::MAX);
+            // Relaxed: tags only detect racing writers; any interleaving of
+            // two unsynchronised writes is already the bug being reported.
             let prev = tags[i].swap(me, Ordering::Relaxed);
             if prev != 0 && prev != me {
                 panic!(
@@ -157,7 +163,9 @@ unsafe impl<T: Send> Send for SharedCell<T> {}
 
 impl<T: Copy> SharedCell<T> {
     pub fn new(v: T) -> Self {
-        SharedCell { v: UnsafeCell::new(v) }
+        SharedCell {
+            v: UnsafeCell::new(v),
+        }
     }
 
     /// Read the cell. Must not race with a concurrent `set`.

@@ -58,7 +58,9 @@ impl std::fmt::Debug for OmpLock {
 
 impl Default for OmpLock {
     fn default() -> Self {
-        OmpLock { raw: RawMutex::INIT }
+        OmpLock {
+            raw: RawMutex::INIT,
+        }
     }
 }
 
@@ -146,7 +148,11 @@ impl OmpNestLock {
     pub fn unset(&self) {
         let me = std::thread::current().id();
         let mut st = self.state.lock();
-        assert_eq!(st.owner, Some(me), "unset of a nest lock not owned by this thread");
+        assert_eq!(
+            st.owner,
+            Some(me),
+            "unset of a nest lock not owned by this thread"
+        );
         st.depth -= 1;
         if st.depth == 0 {
             st.owner = None;
@@ -269,7 +275,11 @@ mod tests {
         l.set();
         std::thread::scope(|s| {
             let h = s.spawn(|| l.test());
-            assert_eq!(h.join().unwrap(), 0, "other thread cannot take held nest lock");
+            assert_eq!(
+                h.join().unwrap(),
+                0,
+                "other thread cannot take held nest lock"
+            );
         });
         l.unset();
     }

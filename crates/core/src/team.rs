@@ -39,10 +39,12 @@ pub(crate) enum Dispatcher {
 }
 
 impl Dispatcher {
-    pub(crate) fn next(&self) -> Option<std::ops::Range<u64>> {
+    /// Claim the next chunk for team thread `tid` (the work-stealing decks
+    /// key per-thread state by team id, so callers pass their own).
+    pub(crate) fn next(&self, tid: usize) -> Option<std::ops::Range<u64>> {
         match self {
-            Dispatcher::Dynamic(d) => d.next(),
-            Dispatcher::Guided(g) => g.next(),
+            Dispatcher::Dynamic(d) => d.next(tid),
+            Dispatcher::Guided(g) => g.next(tid),
         }
     }
 }
@@ -110,10 +112,11 @@ impl TeamShared {
         self.nthreads
     }
 
-
     /// Wait until the ring slot for construct `c` is available and return it.
     fn acquire_slot(&self, c: u64) -> &ConstructSlot {
         let slot = &self.slots[(c as usize) % NUM_CONSTRUCT_SLOTS];
+        // Acquire: pairs with the Release `gen` bump in `release_slot` so the
+        // recycled slot's cleared state is visible before we reuse it.
         while slot.gen.load(Ordering::Acquire) != c {
             std::hint::spin_loop();
             std::thread::yield_now();
@@ -124,7 +127,12 @@ impl TeamShared {
     /// Mark the calling thread done with `slot`; the last finisher recycles
     /// it for the construct `N` positions later.
     fn release_slot(&self, slot: &ConstructSlot) {
+        // AcqRel: Release publishes this thread's use of the slot payload;
+        // Acquire lets the last finisher observe every earlier finisher's use
+        // before it wipes the slot.
         if slot.finished.fetch_add(1, Ordering::AcqRel) + 1 == self.nthreads {
+            // Release (with the `gen` bump below): the reset counter and
+            // cleared state must be visible to whoever Acquires the new gen.
             slot.finished.store(0, Ordering::Release);
             {
                 let mut st = slot.state.lock();
@@ -185,7 +193,9 @@ impl<'a> ThreadCtx<'a> {
 
     /// Explicit `omp barrier`.
     pub fn barrier(&self) {
-        self.team.barrier.wait();
+        // `wait_as` routes this thread straight to its tree leaf without
+        // consuming an arrival ticket.
+        self.team.barrier.wait_as(self.tid);
     }
 
     /// `omp master`: run `f` on thread 0 only. No implied barrier.
@@ -218,10 +228,11 @@ impl<'a> ThreadCtx<'a> {
     /// (each runs exactly once). Implied barrier unless `nowait`.
     pub fn sections(&self, nowait: bool, sections: &[&(dyn Fn() + Sync)]) {
         let (slot, _c) = self.enter_construct();
+        let nth = self.num_threads();
         let dispatcher = self.slot_dispatcher(slot, || {
-            Dispatcher::Dynamic(DynamicDispatch::new(sections.len() as u64, Some(1)))
+            Dispatcher::Dynamic(DynamicDispatch::new(sections.len() as u64, nth, Some(1)))
         });
-        while let Some(r) = dispatcher.next() {
+        while let Some(r) = dispatcher.next(self.thread_num()) {
             for s in r {
                 sections[s as usize]();
             }
@@ -283,7 +294,6 @@ impl<'a> ThreadCtx<'a> {
         self.team.release_slot(slot);
     }
 
-
     // -- Split-phase construct APIs ----------------------------------------
     //
     // The closure-based `single`/`for_loop` APIs cannot serve a lowering
@@ -308,7 +318,7 @@ impl<'a> ThreadCtx<'a> {
         let nth = self.num_threads();
         let dispatcher = self.slot_dispatcher(slot, || match sched.kind {
             ScheduleKind::Guided => Dispatcher::Guided(GuidedDispatch::new(trip, nth, sched.chunk)),
-            _ => Dispatcher::Dynamic(DynamicDispatch::new(trip, sched.chunk)),
+            _ => Dispatcher::Dynamic(DynamicDispatch::new(trip, nth, sched.chunk)),
         });
         WsDispatch {
             construct: c,
@@ -323,7 +333,7 @@ impl<'a> ThreadCtx<'a> {
         if d.finished.get() {
             return None;
         }
-        match d.dispatcher.next() {
+        match d.dispatcher.next(self.thread_num()) {
             Some(r) => Some(r),
             None => {
                 self.dispatch_end(d);
@@ -479,6 +489,8 @@ impl Pool {
         };
         while out.len() < n {
             let slot = Arc::new(WorkerSlot::default());
+            // Relaxed: the counter only names worker threads; no data rides
+            // on it.
             let id = self.spawned.fetch_add(1, Ordering::Relaxed);
             let s = Arc::clone(&slot);
             std::thread::Builder::new()

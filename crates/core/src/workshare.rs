@@ -15,7 +15,7 @@
 //! [`parallel_for`] / [`parallel_reduce`] fuse a `parallel` region with a
 //! single loop — the `parallel while` combined construct.
 
-use crate::reduction::{RedCell, RedOp, Reduce};
+use crate::reduction::{RedCell, RedOp, Reduce, ReduceTree};
 use crate::schedule::{
     static_block, DynamicDispatch, GuidedDispatch, LoopBounds, Schedule, ScheduleKind,
     StaticChunked,
@@ -69,10 +69,12 @@ where
             let (slot, _c) = ctx.enter_construct();
             let nth = ctx.num_threads();
             let dispatcher = ctx.slot_dispatcher(slot, || match sched.kind {
-                ScheduleKind::Dynamic => Dispatcher::Dynamic(DynamicDispatch::new(trip, sched.chunk)),
+                ScheduleKind::Dynamic => {
+                    Dispatcher::Dynamic(DynamicDispatch::new(trip, nth, sched.chunk))
+                }
                 _ => Dispatcher::Guided(GuidedDispatch::new(trip, nth, sched.chunk)),
             });
-            while let Some(r) = dispatcher.next() {
+            while let Some(r) = dispatcher.next(ctx.thread_num()) {
                 for i in r {
                     f(bounds.iter_value(i));
                 }
@@ -91,9 +93,11 @@ where
 /// Worksharing loop with a `reduction` clause.
 ///
 /// Each thread accumulates into a private partial initialised to the
-/// operator identity; at loop end the partial is combined into `cell`
-/// atomically. The (non-`nowait`) barrier then makes the combined value safe
-/// to read via [`RedCell::get`].
+/// operator identity. At loop end the partials are merged through a
+/// construct-scoped [`ReduceTree`]: padded per-thread slots combined up a
+/// log₄(nth) tree, with a single [`RedCell::combine`] at the root instead of
+/// `nth` threads CAS-ing one cell. The (non-`nowait`) barrier then makes the
+/// combined value safe to read via [`RedCell::get`].
 pub fn for_reduce<B, T, F>(
     ctx: &ThreadCtx<'_>,
     sched: Schedule,
@@ -108,7 +112,19 @@ pub fn for_reduce<B, T, F>(
 {
     let mut local = cell.identity();
     for_loop(ctx, sched, bounds, true, |i| f(i, &mut local));
-    cell.combine(local);
+    let nth = ctx.num_threads();
+    if nth == 1 {
+        cell.combine(local);
+    } else {
+        let op = cell.op();
+        let (payload, token) =
+            ctx.construct_shared(|| std::sync::Arc::new(ReduceTree::<T>::new(op, nth)));
+        let tree = payload
+            .downcast::<ReduceTree<T>>()
+            .expect("construct payload is this loop's reduction tree");
+        tree.merge(ctx.thread_num(), local, cell);
+        ctx.construct_done(token);
+    }
     if !nowait {
         ctx.barrier();
     }

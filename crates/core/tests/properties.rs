@@ -46,12 +46,19 @@ proptest! {
         prop_assert!(seen.iter().all(|&c| c == 1));
     }
 
-    /// dynamic dispatch covers exactly once regardless of chunk.
+    /// dynamic work-stealing dispatch covers exactly once regardless of
+    /// chunk, deck width, and which single thread drains it (the drain-all
+    /// caller exercises the steal path against every other slot).
     #[test]
-    fn dynamic_dispatch_partitions(trip in 0u64..5_000, chunk in proptest::option::of(1i64..300)) {
-        let d = DynamicDispatch::new(trip, chunk);
+    fn dynamic_dispatch_partitions(trip in 0u64..5_000, nth in 1usize..9,
+                                   chunk in proptest::option::of(1i64..300),
+                                   drainer in 0usize..8) {
+        let d = DynamicDispatch::new(trip, nth, chunk);
+        let tid = drainer % nth;
+        let max_chunk = chunk.unwrap_or(1) as u64;
         let mut seen = vec![0u8; trip as usize];
-        while let Some(r) = d.next() {
+        while let Some(r) = d.next(tid) {
+            prop_assert!(r.end - r.start <= max_chunk);
             for i in r {
                 seen[i as usize] += 1;
             }
@@ -59,18 +66,57 @@ proptest! {
         prop_assert!(seen.iter().all(|&c| c == 1));
     }
 
-    /// guided dispatch covers exactly once, chunks never grow.
+    /// guided work-stealing dispatch covers exactly once; every claim
+    /// honours the minimum chunk unless it finishes off a remainder
+    /// smaller than the minimum.
     #[test]
-    fn guided_dispatch_partitions(trip in 0u64..5_000, nth in 1usize..65,
-                                  min_chunk in proptest::option::of(1i64..50)) {
+    fn guided_dispatch_partitions(trip in 0u64..5_000, nth in 1usize..9,
+                                  min_chunk in proptest::option::of(1i64..50),
+                                  drainer in 0usize..8) {
         let g = GuidedDispatch::new(trip, nth, min_chunk);
+        let tid = drainer % nth;
+        let min = min_chunk.unwrap_or(1) as u64;
+        let mut seen = vec![0u8; trip as usize];
+        let mut sub_min = 0usize;
+        while let Some(r) = g.next(tid) {
+            let size = r.end - r.start;
+            prop_assert!(size >= 1);
+            // A sub-minimum claim is only legal when it exhausts a range
+            // fragment; fragments are bounded by slots plus steal splits.
+            if size < min {
+                sub_min += 1;
+            }
+            for i in r {
+                seen[i as usize] += 1;
+            }
+        }
+        // Each fragment (slot or steal split, O(nth·log2 trip) of them) can
+        // end with at most one sub-minimum tail claim.
+        prop_assert!(sub_min <= nth * 16 + 8, "too many sub-minimum claims: {sub_min}");
+        prop_assert!(seen.iter().all(|&c| c == 1));
+    }
+
+    /// The legacy shared-cursor protocols (huge-trip fallback and bench
+    /// baseline) keep their original sequential-chunk behaviour.
+    #[test]
+    fn legacy_dispatch_partitions(trip in 0u64..5_000, nth in 1usize..65,
+                                  chunk in 1u64..300) {
+        let d = zomp::schedule::legacy::SharedCursorDispatch::new(trip, chunk);
+        let mut covered = 0u64;
+        while let Some(r) = d.next() {
+            prop_assert_eq!(r.start, covered);
+            covered = r.end;
+        }
+        prop_assert_eq!(covered, trip);
+
+        let g = zomp::schedule::legacy::SharedGuidedDispatch::new(trip, nth, None);
         let mut covered = 0u64;
         let mut last = u64::MAX;
         while let Some(r) = g.next() {
             prop_assert_eq!(r.start, covered);
             let size = r.end - r.start;
             prop_assert!(size <= last);
-            last = last.min(size).max(min_chunk.unwrap_or(1) as u64);
+            last = size.max(1);
             covered = r.end;
         }
         prop_assert_eq!(covered, trip);

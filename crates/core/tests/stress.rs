@@ -154,15 +154,96 @@ fn wide_team_reduction() {
     assert_eq!(got, 100_000i64 * 99_999 / 2);
 }
 
+/// Cross-schedule coverage matrix: every iteration must land exactly once
+/// under every schedule kind, for 2-4 real threads and adversarial chunk
+/// sizes — chunk 1 (maximum dispatch pressure), primes that leave ragged
+/// tails, chunk = trip - 1 (one full chunk plus a single-iteration remnant),
+/// and chunk > trip (one thread takes everything). Dynamic and guided run on
+/// the work-stealing decks; static and static-chunked on the closed-form
+/// partitioners.
+#[test]
+fn cross_schedule_exactly_once() {
+    const TRIPS: &[i64] = &[1, 2, 97, 1000];
+    for &nth in &[2usize, 3, 4] {
+        for &trip in TRIPS {
+            let chunks: Vec<Option<i64>> = vec![
+                None,
+                Some(1),
+                Some(3),
+                Some(13),
+                Some((trip - 1).max(1)),
+                Some(trip + 5),
+            ];
+            for &chunk in &chunks {
+                let schedules = [
+                    Schedule::static_default(),
+                    chunk.map_or(Schedule::static_default(), Schedule::static_chunked),
+                    Schedule::dynamic(chunk),
+                    Schedule::guided(chunk),
+                ];
+                for sched in schedules {
+                    let hits: Vec<AtomicUsize> = (0..trip).map(|_| AtomicUsize::new(0)).collect();
+                    fork_call(Parallel::new().num_threads(nth), |ctx| {
+                        for_loop(ctx, sched, 0..trip, false, |i| {
+                            hits[i as usize].fetch_add(1, Ordering::Relaxed);
+                        });
+                    });
+                    for (i, h) in hits.iter().enumerate() {
+                        assert_eq!(
+                            h.load(Ordering::Relaxed),
+                            1,
+                            "iter {i} of {trip} hit wrong count: {sched:?} x{nth}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Skewed per-iteration cost forces the fast threads to steal from the slow
+/// one's deck mid-loop; coverage and the reduction value must survive.
+#[test]
+fn skewed_work_forces_steals() {
+    const N: i64 = 2_000;
+    for sched in [Schedule::dynamic(Some(2)), Schedule::guided(Some(2))] {
+        let hits: Vec<AtomicUsize> = (0..N).map(|_| AtomicUsize::new(0)).collect();
+        let sum = AtomicI64::new(0);
+        fork_call(Parallel::new().num_threads(4), |ctx| {
+            for_loop(ctx, sched, 0..N, false, |i| {
+                // Iterations in the first quarter (thread 0's initial deck)
+                // are ~100x heavier than the rest.
+                if i < N / 4 {
+                    std::hint::black_box((0..400).fold(0u64, |a, b| a.wrapping_add(b)));
+                }
+                hits[i as usize].fetch_add(1, Ordering::Relaxed);
+                sum.fetch_add(i, Ordering::Relaxed);
+            });
+        });
+        assert!(
+            hits.iter().all(|h| h.load(Ordering::Relaxed) == 1),
+            "{sched:?}"
+        );
+        assert_eq!(sum.load(Ordering::Relaxed), N * (N - 1) / 2, "{sched:?}");
+    }
+}
+
 /// for_reduce with nowait still produces the right value once the caller
 /// synchronises manually.
 #[test]
 fn nowait_reduction_then_manual_barrier() {
     let cell = RedCell::<i64>::new(RedOp::Add, 0);
     fork_call(Parallel::new().num_threads(4), |ctx| {
-        for_reduce(ctx, Schedule::static_default(), 0..1000, true, &cell, |i, acc| {
-            *acc += i;
-        });
+        for_reduce(
+            ctx,
+            Schedule::static_default(),
+            0..1000,
+            true,
+            &cell,
+            |i, acc| {
+                *acc += i;
+            },
+        );
         ctx.barrier();
         assert_eq!(cell.get(), 499_500);
     });

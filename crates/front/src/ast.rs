@@ -258,7 +258,11 @@ pub struct PackedFlags {
 
 impl PackedFlags {
     pub fn encode(self) -> u32 {
-        assert!(self.collapse < 16, "collapse {} exceeds 4 bits", self.collapse);
+        assert!(
+            self.collapse < 16,
+            "collapse {} exceeds 4 bits",
+            self.collapse
+        );
         (self.default as u32)
             | ((self.nowait as u32) << 2)
             | ((self.collapse as u32) << 3)
@@ -463,7 +467,11 @@ mod tests {
 
     #[test]
     fn flags_packing_roundtrips() {
-        for default in [DefaultKind::NotSpecified, DefaultKind::Shared, DefaultKind::None] {
+        for default in [
+            DefaultKind::NotSpecified,
+            DefaultKind::Shared,
+            DefaultKind::None,
+        ] {
             for nowait in [false, true] {
                 for collapse in [0u8, 1, 15] {
                     let f = PackedFlags {
@@ -511,7 +519,10 @@ mod tests {
         assert_eq!(back.private, vec![10, 11, 12]);
         assert_eq!(back.firstprivate, vec![20]);
         assert_eq!(back.shared, vec![30, 31]);
-        assert_eq!(back.reduction, vec![(RedOpCode::Add, 40), (RedOpCode::Mul, 41)]);
+        assert_eq!(
+            back.reduction,
+            vec![(RedOpCode::Add, 40), (RedOpCode::Mul, 41)]
+        );
     }
 
     #[test]

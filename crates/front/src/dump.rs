@@ -145,14 +145,14 @@ pub fn dump_clauses(ast: &Ast, base: u32) -> String {
         flags.collapse,
         flags.has_num_threads
     ));
-    out.push_str(&format!("  [+2] num_threads expr node = {}\n", extra[b + 2]));
+    out.push_str(&format!(
+        "  [+2] num_threads expr node = {}\n",
+        extra[b + 2]
+    ));
     out.push_str(&format!("  [+3] if expr node = {}\n", extra[b + 3]));
     let list = |name: &str, at: usize, out: &mut String| {
         let (s, e) = (extra[b + at] as usize, extra[b + at + 1] as usize);
-        let toks: Vec<&str> = extra[s..e]
-            .iter()
-            .map(|&t| ast.token_text(t))
-            .collect();
+        let toks: Vec<&str> = extra[s..e].iter().map(|&t| ast.token_text(t)).collect();
         out.push_str(&format!(
             "  [+{at}..+{}] {name}: slice [{s}, {e}) = {toks:?}\n",
             at + 1

@@ -55,7 +55,11 @@ fn fmt_stmt(ast: &Ast, id: NodeId, depth: usize, out: &mut String) {
         }
         Tag::VarDecl | Tag::ConstDecl => {
             indent(depth, out);
-            let kw = if node.tag == Tag::VarDecl { "var" } else { "const" };
+            let kw = if node.tag == Tag::VarDecl {
+                "var"
+            } else {
+                "const"
+            };
             out.push_str(&format!("{kw} {}", ast.token_text(node.main_token)));
             if node.lhs > 0 {
                 out.push_str(&format!(": {}", ast.token_text(node.lhs - 1)));
@@ -288,7 +292,10 @@ fn fmt_directive(ast: &Ast, id: NodeId, depth: usize, out: &mut String) {
         if !toks.is_empty() {
             out.push_str(&format!(
                 " {name}({})",
-                toks.iter().map(|&t| place(t)).collect::<Vec<_>>().join(", ")
+                toks.iter()
+                    .map(|&t| place(t))
+                    .collect::<Vec<_>>()
+                    .join(", ")
             ));
         }
     };
@@ -314,7 +321,11 @@ fn fmt_directive(ast: &Ast, id: NodeId, depth: usize, out: &mut String) {
             .map(|&(_, t)| place(t))
             .collect();
         if !vars.is_empty() {
-            out.push_str(&format!(" reduction({}: {})", red_op_text(op), vars.join(", ")));
+            out.push_str(&format!(
+                " reduction({}: {})",
+                red_op_text(op),
+                vars.join(", ")
+            ));
         }
     }
     if c.flags.default == DefaultKind::Shared {
@@ -479,6 +490,9 @@ mod tests {
     fn formatted_pragma_line_reconstructs_clauses() {
         let src = "fn f() void {\nvar i: i64 = 0;\n//$omp while schedule(guided, 9) nowait\nwhile (i < 5) : (i += 1) { }\n}";
         let formatted = format(&parse(src).unwrap());
-        assert!(formatted.contains("//$omp while schedule(guided, 9) nowait"), "{formatted}");
+        assert!(
+            formatted.contains("//$omp while schedule(guided, 9) nowait"),
+            "{formatted}"
+        );
     }
 }

@@ -6,7 +6,10 @@
 //! text resolves through the keyword hash map (§III-A). Directive nodes
 //! store their clause block in `extra_data` via [`crate::ast::Clauses`].
 
-use crate::ast::{Ast, Clauses, DefaultKind, Node, NodeId, PackedSchedule, RedOpCode, SchedKind, Tag as N, TokenId};
+use crate::ast::{
+    Ast, Clauses, DefaultKind, Node, NodeId, PackedSchedule, RedOpCode, SchedKind, Tag as N,
+    TokenId,
+};
 use crate::omp_kw::{lookup, OmpKw};
 use crate::token::{tokenize, Tag as T, Token};
 use crate::FrontError;
@@ -108,7 +111,14 @@ impl<'s> Parser<'s> {
 
     /// Create a node. `start` is its first token; its last token is the
     /// one just consumed (every node is created after its tokens).
-    fn add_at(&mut self, tag: N, main_token: TokenId, start: TokenId, lhs: u32, rhs: u32) -> NodeId {
+    fn add_at(
+        &mut self,
+        tag: N,
+        main_token: TokenId,
+        start: TokenId,
+        lhs: u32,
+        rhs: u32,
+    ) -> NodeId {
         self.nodes.push(Node {
             tag,
             main_token,
@@ -298,7 +308,13 @@ impl<'s> Parser<'s> {
                 let rhs = self.parse_expr()?;
                 Ok(self.add_at(N::CompoundAssign, tok, self.node_start(lhs), lhs, rhs))
             }
-            _ => Ok(self.add_at(N::ExprStmt, self.nodes[lhs as usize].main_token, self.node_start(lhs), lhs, 0)),
+            _ => Ok(self.add_at(
+                N::ExprStmt,
+                self.nodes[lhs as usize].main_token,
+                self.node_start(lhs),
+                lhs,
+                0,
+            )),
         }
     }
 
@@ -580,8 +596,9 @@ impl<'s> Parser<'s> {
                 self.expect(T::PragmaEnd, "end of pragma line")?;
                 let stmt = self.parse_assign_or_expr_stmt()?;
                 if self.nodes[stmt as usize].tag != N::CompoundAssign {
-                    return self
-                        .err("'omp atomic' must be followed by a compound assignment (x op= expr)");
+                    return self.err(
+                        "'omp atomic' must be followed by a compound assignment (x op= expr)",
+                    );
                 }
                 let base = Clauses::default().write(&mut self.extra);
                 Ok(self.add_at(N::OmpAtomic, sentinel, sentinel, base, stmt))
@@ -759,9 +776,7 @@ mod tests {
 
     #[test]
     fn parses_zig_style_while() {
-        let ast = parse_ok(
-            "fn f() void { var i: i64 = 0; while (i < 10) : (i += 1) { i = i; } }",
-        );
+        let ast = parse_ok("fn f() void { var i: i64 = 0; while (i < 10) : (i += 1) { i = i; } }");
         let whiles = find(&ast, Tag::While);
         assert_eq!(whiles.len(), 1);
         let w = ast.node(whiles[0]);
@@ -841,7 +856,11 @@ mod tests {
         assert_eq!(find(&ast, Tag::OmpMaster).len(), 1);
         let single = find(&ast, Tag::OmpSingle);
         assert_eq!(single.len(), 1);
-        assert!(Clauses::read(&ast.extra_data, ast.node(single[0]).lhs).flags.nowait);
+        assert!(
+            Clauses::read(&ast.extra_data, ast.node(single[0]).lhs)
+                .flags
+                .nowait
+        );
         assert_eq!(find(&ast, Tag::OmpAtomic).len(), 1);
     }
 
@@ -861,9 +880,8 @@ mod tests {
 
     #[test]
     fn member_calls_and_builtins() {
-        let ast = parse_ok(
-            "fn f() void { var x: f64 = @intToFloat(omp.internal.get_tid()); x = x; }",
-        );
+        let ast =
+            parse_ok("fn f() void { var x: f64 = @intToFloat(omp.internal.get_tid()); x = x; }");
         assert_eq!(find(&ast, Tag::BuiltinCall).len(), 1);
         assert!(find(&ast, Tag::Member).len() >= 2);
     }

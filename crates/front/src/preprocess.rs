@@ -22,9 +22,7 @@
 //! outlined body — including inside nested pragma lines, whose clause
 //! grammar therefore accepts dereferenced places.
 
-use crate::ast::{
-    Ast, Clauses, Node, NodeId, RedOpCode, SchedKind, Tag as N, TokenId,
-};
+use crate::ast::{Ast, Clauses, Node, NodeId, RedOpCode, SchedKind, Tag as N, TokenId};
 use crate::parser::parse;
 use crate::token::Tag as T;
 use crate::FrontError;
@@ -199,9 +197,7 @@ fn rewrite_ident(snippet: &str, from: &str, to: &str, strip_deref: bool) -> Stri
                 out.push_str(&snippet[cursor..t.start as usize]);
                 out.push_str(to);
                 cursor = t.end as usize;
-                if strip_deref
-                    && tokens.get(i + 1).is_some_and(|n| n.tag == T::DotStar)
-                {
+                if strip_deref && tokens.get(i + 1).is_some_and(|n| n.tag == T::DotStar) {
                     cursor = tokens[i + 1].end as usize;
                     i += 1;
                 }
@@ -284,14 +280,8 @@ fn replace_parallel(
             "var {} : any = omp.internal.red_identity({cell});\n",
             p.ident
         ));
-        epilogue.push_str(&format!(
-            "omp.internal.red_combine({cell}, {});\n",
-            p.ident
-        ));
-        post_call.push_str(&format!(
-            "{} = omp.internal.red_get({cell});\n",
-            p.access()
-        ));
+        epilogue.push_str(&format!("omp.internal.red_combine({cell}, {});\n", p.ident));
+        post_call.push_str(&format!("{} = omp.internal.red_get({cell});\n", p.access()));
     }
     for &tok in &clauses.private {
         let p = place_of(ast, tok);
@@ -303,8 +293,13 @@ fn replace_parallel(
         (Some(e), None) => ast.node_text(e).to_string(),
         (None, None) => "0".to_string(),
         (nt, Some(cond)) => {
-            let nt_text = nt.map(|e| ast.node_text(e).to_string()).unwrap_or("0".into());
-            format!("omp.internal.if_threads({}, {nt_text})", ast.node_text(cond))
+            let nt_text = nt
+                .map(|e| ast.node_text(e).to_string())
+                .unwrap_or("0".into());
+            format!(
+                "omp.internal.if_threads({}, {nt_text})",
+                ast.node_text(cond)
+            )
         }
     };
 
@@ -521,7 +516,8 @@ fn replace_while(
     } else {
         0
     };
-    let text = format!(
+    let text =
+        format!(
         "{{\n{pre}const {ws} = omp.internal.ws_begin({kind_code}, {chunk}, {var}, {}, {}, {});\n\
          while (omp.internal.ws_next({ws})) {{\n\
          {var} = omp.internal.ws_lb({ws});\n\
@@ -649,7 +645,11 @@ fn replace_while_collapse2(
     let idx = format!("__idx_{k}");
     let idxub = format!("__idxub_{k}");
     let ovar = &outer.var;
-    let nowait_flag = if clauses.flags.nowait && !has_reduction { 1 } else { 0 };
+    let nowait_flag = if clauses.flags.nowait && !has_reduction {
+        1
+    } else {
+        0
+    };
 
     let text = format!(
         "{{\n{pre}         const {lba} = {ovar};\n         const {lbb} = {inner_lb};\n         const {ta} = omp.internal.trip_count({lba}, {uba}, {inca}, {cmpa});\n         const {tb} = omp.internal.trip_count({lbb}, {ubb}, {incb}, {cmpb});\n         const {ws} = omp.internal.ws_begin({kind_code}, {chunk}, 0, {ta} * {tb}, 1, 0);\n         while (omp.internal.ws_next({ws})) {{\n         var {idx}: i64 = omp.internal.ws_lb({ws});\n         const {idxub} = omp.internal.ws_ub({ws});\n         while ({idx} < {idxub}) : ({idx} += 1) {{\n         {ovar} = {lba} + ({idx} / {tb}) * ({inca});\n         var {ivar}: any = {lbb} + ({idx} % {tb}) * ({incb});\n         {body}\n         _ = {ivar};\n         }}\n         }}\n         omp.internal.ws_fini({ws}, {nowait_flag});\n{post}}}",
@@ -745,7 +745,9 @@ mod tests {
     use super::*;
 
     fn pp(src: &str) -> String {
-        preprocess(src).map_err(|e| panic!("{}", e.render(src))).unwrap()
+        preprocess(src)
+            .map_err(|e| panic!("{}", e.render(src)))
+            .unwrap()
     }
 
     #[test]
@@ -763,7 +765,10 @@ mod tests {
                    }";
         let out = pp(src);
         assert!(out.contains("fn __omp_outlined_0"), "{out}");
-        assert!(out.contains("omp.internal.fork_call(4, __omp_outlined_0, &s)"), "{out}");
+        assert!(
+            out.contains("omp.internal.fork_call(4, __omp_outlined_0, &s)"),
+            "{out}"
+        );
         // Shared access rewritten to a pointer access inside the outline.
         assert!(out.contains("__shr_s.* = 1;"), "{out}");
         // Result parses cleanly with no pragmas left.
@@ -808,7 +813,10 @@ mod tests {
                    while (i < 100) : (i += 1) {\n _ = i;\n }\n\
                    }";
         let out = pp(src);
-        assert!(out.contains("omp.internal.ws_begin(1, 8, i, 100, 1, 0)"), "{out}");
+        assert!(
+            out.contains("omp.internal.ws_begin(1, 8, i, 100, 1, 0)"),
+            "{out}"
+        );
         assert!(out.contains("omp.internal.ws_next"), "{out}");
         assert!(out.contains("omp.internal.ws_fini(__ws_0, 1)"), "{out}");
         parse(&out).unwrap();
@@ -855,10 +863,17 @@ mod tests {
         let (out, trace) = preprocess_trace(src).unwrap();
         assert!(trace.len() >= 2, "two passes minimum");
         // After pass 1 the inner pragma mentions the rewritten place.
-        assert!(trace[0].contains("reduction(+: __shr_rho.*)"), "{}", trace[0]);
+        assert!(
+            trace[0].contains("reduction(+: __shr_rho.*)"),
+            "{}",
+            trace[0]
+        );
         // Final output reduces into the pointer access.
         assert!(out.contains("red_loop_begin(0, __shr_rho.*)"), "{out}");
-        assert!(out.contains("__shr_rho.* = omp.internal.red_loop_end"), "{out}");
+        assert!(
+            out.contains("__shr_rho.* = omp.internal.red_loop_end"),
+            "{out}"
+        );
         let ast = parse(&out).unwrap();
         assert!(!ast.has_pragmas());
     }

@@ -352,9 +352,19 @@ mod tests {
     fn deref_and_compound_ops() {
         assert_eq!(
             tags("p.* += 2;"),
-            vec![Tag::Ident, Tag::DotStar, Tag::PlusEq, Tag::IntLit, Tag::Semicolon, Tag::Eof]
+            vec![
+                Tag::Ident,
+                Tag::DotStar,
+                Tag::PlusEq,
+                Tag::IntLit,
+                Tag::Semicolon,
+                Tag::Eof
+            ]
         );
-        assert_eq!(tags("a <= b"), vec![Tag::Ident, Tag::LtEq, Tag::Ident, Tag::Eof]);
+        assert_eq!(
+            tags("a <= b"),
+            vec![Tag::Ident, Tag::LtEq, Tag::Ident, Tag::Eof]
+        );
     }
 
     #[test]
@@ -397,7 +407,14 @@ mod tests {
         // design in the paper.
         assert_eq!(
             tags("var parallel = 1;"),
-            vec![Tag::KwVar, Tag::Ident, Tag::Eq, Tag::IntLit, Tag::Semicolon, Tag::Eof]
+            vec![
+                Tag::KwVar,
+                Tag::Ident,
+                Tag::Eq,
+                Tag::IntLit,
+                Tag::Semicolon,
+                Tag::Eof
+            ]
         );
     }
 

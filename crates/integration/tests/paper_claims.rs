@@ -40,7 +40,10 @@ fn ep_average_ratio() {
 fn is_crossover_closes() {
     let e = is_experiment();
     let serial_gap = e.zig_model.points[0].seconds - e.reference_model.points[0].seconds;
-    assert!(serial_gap > 1.0, "C must win serially by seconds: {serial_gap:.2}");
+    assert!(
+        serial_gap > 1.0,
+        "C must win serially by seconds: {serial_gap:.2}"
+    );
     let p128_zig = e.zig_model.at(128).unwrap().seconds;
     let p128_c = e.reference_model.at(128).unwrap().seconds;
     assert!(
@@ -57,7 +60,11 @@ fn cg_fig3_shape() {
     for curve in [&e.zig_model, &e.reference_model] {
         let s64 = curve.at(64).unwrap().speedup;
         let s128 = curve.at(128).unwrap().speedup;
-        assert!(s64 < 35.0, "{}: 64-thread speedup {s64:.1} (paper ~26)", curve.label);
+        assert!(
+            s64 < 35.0,
+            "{}: 64-thread speedup {s64:.1} (paper ~26)",
+            curve.label
+        );
         assert!(
             s128 / s64 > 2.0,
             "{}: the 64->128 jump is missing ({s64:.1} -> {s128:.1})",
@@ -95,7 +102,10 @@ fn is_fig5_shape() {
         );
     }
     let s128 = pts.last().unwrap().speedup;
-    assert!((20.0..70.0).contains(&s128), "IS 128-thread speedup {s128:.1} (paper 44)");
+    assert!(
+        (20.0..70.0).contains(&s128),
+        "IS 128-thread speedup {s128:.1} (paper 44)"
+    );
 }
 
 /// Every modelled runtime is within 50 % of the paper's measurement at
@@ -126,6 +136,10 @@ fn absolute_envelope() {
 #[test]
 fn serial_winners() {
     for e in all_experiments() {
-        assert!(e.serial_winner_matches(), "{} serial winner flipped", e.table_id);
+        assert!(
+            e.serial_winner_matches(),
+            "{} serial winner flipped",
+            e.table_id
+        );
     }
 }

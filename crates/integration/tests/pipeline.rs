@@ -237,8 +237,9 @@ fn histogram_zag_vs_rust() {
     const N: i64 = 4000;
 
     // Native Rust with atomics.
-    let cells: Vec<zomp::atomic::AtomicF64> =
-        (0..BUCKETS).map(|_| zomp::atomic::AtomicF64::new(0.0)).collect();
+    let cells: Vec<zomp::atomic::AtomicF64> = (0..BUCKETS)
+        .map(|_| zomp::atomic::AtomicF64::new(0.0))
+        .collect();
     parallel_for(
         Parallel::new().num_threads(4),
         Schedule::dynamic(Some(64)),

@@ -49,7 +49,9 @@ fn parse_args() -> Args {
             "--serial-check" => serial_check = true,
             "--help" | "-h" => usage(),
             other if kernel.is_none() => kernel = Some(other.to_ascii_lowercase()),
-            other if class.is_none() => class = Class::parse(other).map(Some).unwrap_or_else(|| usage()),
+            other if class.is_none() => {
+                class = Class::parse(other).map(Some).unwrap_or_else(|| usage())
+            }
             _ => usage(),
         }
     }
@@ -62,8 +64,16 @@ fn parse_args() -> Args {
 }
 
 #[allow(clippy::too_many_arguments)] // mirrors the NPB c_print_results signature
-fn report(name: &str, class: Class, size: String, niter: usize, secs: f64, mops: f64,
-          threads: usize, status: VerifyStatus) {
+fn report(
+    name: &str,
+    class: Class,
+    size: String,
+    niter: usize,
+    secs: f64,
+    mops: f64,
+    threads: usize,
+    status: VerifyStatus,
+) {
     println!("\n NAS Parallel Benchmarks (zomp Rust reproduction) - {name} Benchmark\n");
     println!(" Class           = {class}");
     println!(" Size            = {size}");
@@ -84,8 +94,8 @@ fn run_cg(class: Class, threads: Option<usize>, serial_check: bool) {
     let result = run_with_matrix(&params, &mat, mode);
     let secs = t0.elapsed().as_secs_f64();
     // NPB CG Mop count: per the reference, ~ niter*(2*nnz*(25+1) + vector ops).
-    let flops = params.niter as f64
-        * (2.0 * mat.nnz() as f64 * 26.0 + 12.0 * params.na as f64 * 25.0);
+    let flops =
+        params.niter as f64 * (2.0 * mat.nnz() as f64 * 26.0 + 12.0 * params.na as f64 * 25.0);
     let status = result.verify(&params);
     if serial_check && mode != Mode::Serial {
         let s = run_with_matrix(&params, &mat, Mode::Serial);
@@ -155,7 +165,10 @@ fn run_is(class: Class, threads: Option<usize>, serial_check: bool) {
     report(
         "IS",
         class,
-        format!("2^{} keys, 2^{} max key", params.total_keys_log2, params.max_key_log2),
+        format!(
+            "2^{} keys, 2^{} max key",
+            params.total_keys_log2, params.max_key_log2
+        ),
         IsParams::MAX_ITERATIONS,
         secs,
         (params.num_keys() * IsParams::MAX_ITERATIONS) as f64 / secs / 1e6,

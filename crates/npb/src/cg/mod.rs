@@ -159,9 +159,15 @@ mod tests {
         let h = &result.zeta_history;
         let last = h[h.len() - 1];
         let prev = h[h.len() - 2];
-        assert!((last - prev).abs() < 1e-11, "zeta history not settled: {prev} -> {last}");
+        assert!(
+            (last - prev).abs() < 1e-11,
+            "zeta history not settled: {prev} -> {last}"
+        );
         // The shifted spectrum puts zeta between 0 and the shift.
-        assert!(last > 0.0 && last < params.shift, "zeta {last} outside (0, shift)");
+        assert!(
+            last > 0.0 && last < params.shift,
+            "zeta {last} outside (0, shift)"
+        );
     }
 
     #[test]

@@ -282,7 +282,12 @@ mod tests {
         let mut az = vec![0.0; m.n];
         m.spmv(&ws.z, &mut az);
         for j in 0..m.n {
-            assert!((az[j] - x[j]).abs() < 1e-7, "row {j}: {} vs {}", az[j], x[j]);
+            assert!(
+                (az[j] - x[j]).abs() < 1e-7,
+                "row {j}: {} vs {}",
+                az[j],
+                x[j]
+            );
         }
     }
 

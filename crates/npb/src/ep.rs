@@ -227,7 +227,10 @@ mod tests {
         let r = run_serial(&p);
         // Polar method acceptance rate is π/4 ≈ 0.785.
         let rate = r.gc / r.pairs as f64;
-        assert!((rate - std::f64::consts::FRAC_PI_4).abs() < 0.01, "rate {rate}");
+        assert!(
+            (rate - std::f64::consts::FRAC_PI_4).abs() < 0.01,
+            "rate {rate}"
+        );
         // Nearly all deviates land in the first few annuli.
         assert!(r.q[0] > r.q[3]);
         assert_eq!(r.gc, r.q.iter().sum::<f64>());
@@ -239,7 +242,10 @@ mod tests {
         let s = run_serial(&p);
         for threads in [1, 2, 4] {
             let par = run_parallel(&p, threads);
-            assert_eq!(par.q, s.q, "annulus counts must be exact at {threads} threads");
+            assert_eq!(
+                par.q, s.q,
+                "annulus counts must be exact at {threads} threads"
+            );
             assert_eq!(par.gc, s.gc);
             assert!(close(par.sx, s.sx, 1e-12), "sx {} vs {}", par.sx, s.sx);
             assert!(close(par.sy, s.sy, 1e-12));

@@ -149,36 +149,30 @@ pub fn rank_parallel(keys: &[Key], params: &IsParams, threads: usize) -> Vec<u32
 
             // Phase 4: rank each bucket independently; schedule(static, 1)
             // cycles buckets over threads to balance skew.
-            for_loop(
-                ctx,
-                Schedule::static_chunked(1),
-                0..nb as i64,
-                true,
-                |b| {
-                    let b = b as usize;
-                    let key_lo = b << shift;
-                    let key_hi = (b + 1) << shift;
-                    let start = starts.get(b);
-                    let end = starts.get(b + 1);
-                    // Zero this bucket's key range.
-                    for k in key_lo..key_hi {
-                        ranks_sh.set(k, 0);
-                    }
-                    // Count.
-                    for i in start..end {
-                        let k = out.get(i) as usize;
-                        ranks_sh.set(k, ranks_sh.get(k) + 1);
-                    }
-                    // Cumulative within the bucket, offset by the keys in
-                    // all earlier buckets (== start, since buckets partition
-                    // the key space in order).
-                    let mut acc = start as u32;
-                    for k in key_lo..key_hi {
-                        acc += ranks_sh.get(k);
-                        ranks_sh.set(k, acc);
-                    }
-                },
-            );
+            for_loop(ctx, Schedule::static_chunked(1), 0..nb as i64, true, |b| {
+                let b = b as usize;
+                let key_lo = b << shift;
+                let key_hi = (b + 1) << shift;
+                let start = starts.get(b);
+                let end = starts.get(b + 1);
+                // Zero this bucket's key range.
+                for k in key_lo..key_hi {
+                    ranks_sh.set(k, 0);
+                }
+                // Count.
+                for i in start..end {
+                    let k = out.get(i) as usize;
+                    ranks_sh.set(k, ranks_sh.get(k) + 1);
+                }
+                // Cumulative within the bucket, offset by the keys in
+                // all earlier buckets (== start, since buckets partition
+                // the key space in order).
+                let mut acc = start as u32;
+                for k in key_lo..key_hi {
+                    acc += ranks_sh.get(k);
+                    ranks_sh.set(k, acc);
+                }
+            });
         });
     }
 

@@ -62,9 +62,14 @@ pub enum Step {
     /// Explicit barrier.
     Barrier,
     /// Redundant per-thread scalar work (e.g. alpha/beta updates).
-    PerThread { flops: f64 },
+    PerThread {
+        flops: f64,
+    },
     /// Repeat a subsequence (the CG inner iteration).
-    Repeat { times: u32, body: Vec<Step> },
+    Repeat {
+        times: u32,
+        body: Vec<Step>,
+    },
 }
 
 /// A parallel region: fork, steps, join.
@@ -80,10 +85,16 @@ pub struct RegionModel {
 #[derive(Debug, Clone)]
 pub enum TimedStep {
     /// Master-only serial work between regions.
-    Serial { flops: f64, bytes: f64 },
+    Serial {
+        flops: f64,
+        bytes: f64,
+    },
     Region(RegionModel),
     /// Repeat a subsequence (the benchmark outer iteration).
-    Repeat { times: u32, body: Vec<TimedStep> },
+    Repeat {
+        times: u32,
+        body: Vec<TimedStep>,
+    },
 }
 
 /// The full timed section of one benchmark.
@@ -205,8 +216,7 @@ pub fn cg_model(params: &CgParams, nnz: u64) -> KernelModel {
 /// embarrassingly parallel.
 pub fn ep_model(params: &EpParams) -> KernelModel {
     let nk = params.batch_pairs() as f64;
-    let flops_per_batch =
-        2.0 * nk * 18.0 + nk * (9.0 + std::f64::consts::FRAC_PI_4 * 40.0);
+    let flops_per_batch = 2.0 * nk * 18.0 + nk * (9.0 + std::f64::consts::FRAC_PI_4 * 40.0);
     KernelModel {
         name: format!("EP class {}", params.class),
         timed: vec![TimedStep::Region(RegionModel {
@@ -334,7 +344,10 @@ mod tests {
         let a = CgParams::for_class(Class::A);
         let fs = total_flops(&cg_model(&s, estimate_nnz(&s)));
         let fa = total_flops(&cg_model(&a, estimate_nnz(&a)));
-        assert!(fa > 10.0 * fs, "class A ({fa:e}) must dwarf class S ({fs:e})");
+        assert!(
+            fa > 10.0 * fs,
+            "class A ({fa:e}) must dwarf class S ({fs:e})"
+        );
     }
 
     #[test]
@@ -363,6 +376,9 @@ mod tests {
         let p = CgParams::for_class(Class::S);
         let measured = crate::cg::makea::makea(&p).nnz() as f64;
         let est = estimate_nnz(&p) as f64;
-        assert!((est - measured).abs() / measured < 0.05, "est {est} measured {measured}");
+        assert!(
+            (est - measured).abs() / measured < 0.05,
+            "est {est} measured {measured}"
+        );
     }
 }

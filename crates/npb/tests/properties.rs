@@ -7,7 +7,7 @@
 use proptest::prelude::*;
 
 use npb::cg::makea::makea;
-use npb::class::{Class, CgParams};
+use npb::class::{CgParams, Class};
 use npb::is::{full_verify, rank_parallel, rank_serial};
 use npb::randlc::{lcg_jump, randlc, DEFAULT_MULT, DEFAULT_SEED};
 

@@ -90,8 +90,7 @@ mod tests {
         // At 64 threads IS's scatter phase sits on the fabric ceiling; with
         // the ceiling removed the phase drops under its compute bound.
         let t64_with = simulate(&model, &Machine::archer2(), &zig, 64).seconds;
-        let t64_without =
-            simulate(&model, &Machine::archer2().without_ccx_cap(), &zig, 64).seconds;
+        let t64_without = simulate(&model, &Machine::archer2().without_ccx_cap(), &zig, 64).seconds;
         assert!(
             t64_without < t64_with * 0.85,
             "removing the fabric ceiling must speed up the mid-range: {t64_without:.3} vs {t64_with:.3}"
@@ -108,7 +107,10 @@ mod tests {
         let speedup = t1 / t16;
         // The paper measures 6.8x at 16 threads; without contention the
         // model exceeds 12x — the contention curve carries that result.
-        assert!(speedup > 12.0, "no-contention CG speedup at 16: {speedup:.1}");
+        assert!(
+            speedup > 12.0,
+            "no-contention CG speedup at 16: {speedup:.1}"
+        );
     }
 
     #[test]

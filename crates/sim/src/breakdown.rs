@@ -49,8 +49,14 @@ impl Breakdown {
     pub fn render(&self) -> String {
         let mut s = format!(
             "total {:.3}s  (serial {:.4}s, sync {:.4}s)\n{:<24} {:>10} {:>8} {:>9} {:>8}\n",
-            self.total_seconds, self.serial_seconds, self.sync_seconds,
-            "loop", "seconds", "share", "calls", "bound",
+            self.total_seconds,
+            self.serial_seconds,
+            self.sync_seconds,
+            "loop",
+            "seconds",
+            "share",
+            "calls",
+            "bound",
         );
         for l in &self.loops {
             s.push_str(&format!(
@@ -119,7 +125,11 @@ fn loop_time(l: &LoopModel, machine: &Machine, prof: &LangProfile, t: usize) -> 
         }
         if dt > worst {
             worst = dt;
-            bound = if tm > tc { Bound::Memory } else { Bound::Compute };
+            bound = if tm > tc {
+                Bound::Memory
+            } else {
+                Bound::Compute
+            };
         }
     }
     if l.reduction {
@@ -233,7 +243,11 @@ mod tests {
             let bd = simulate_breakdown(&model, &m, &prof, t);
             let sim = simulate(&model, &m, &prof, t).seconds;
             let rel = ((bd.total_seconds - sim) / sim).abs();
-            assert!(rel < 0.02, "breakdown {:.2}s vs sim {sim:.2}s at {t} threads", bd.total_seconds);
+            assert!(
+                rel < 0.02,
+                "breakdown {:.2}s vs sim {sim:.2}s at {t} threads",
+                bd.total_seconds
+            );
         }
     }
 

@@ -12,7 +12,7 @@ use npb::model::{KernelModel, LoopModel, Step, TimedStep};
 use zomp::schedule::{static_block, ScheduleKind, StaticChunked};
 
 use crate::lang::LangProfile;
-use crate::machine::Machine;
+use crate::machine::{DispatchImpl, Machine};
 
 /// Result of one simulated run.
 #[derive(Debug, Clone, Copy)]
@@ -27,6 +27,7 @@ struct Ctx<'a> {
     machine: &'a Machine,
     prof: &'a LangProfile,
     threads: usize,
+    dispatch: DispatchImpl,
     clocks: Vec<f64>,
     sync: f64,
 }
@@ -50,8 +51,10 @@ impl Ctx<'_> {
 
     fn do_loop(&mut self, l: &LoopModel) {
         let t = self.threads;
-        let bw =
-            self.machine.per_thread_bw(t, l.working_set_bytes, l.access, l.reused) * self.prof.mem_eff;
+        let bw = self
+            .machine
+            .per_thread_bw(t, l.working_set_bytes, l.access, l.reused)
+            * self.prof.mem_eff;
         let frate = self.flop_rate();
 
         // Assigned iterations (and dispatch overhead events) per thread,
@@ -94,7 +97,7 @@ impl Ctx<'_> {
             let t_memory = n * l.bytes_per_iter / bw;
             let mut dt = t_compute.max(t_memory);
             if matches!(sched.kind, ScheduleKind::Dynamic | ScheduleKind::Guided) {
-                dt += chunks as f64 * self.machine.dispatch_chunk_s;
+                dt += self.machine.dispatch_cost(self.dispatch, t, chunks);
             }
             if l.reduction {
                 // Atomic combine: worst-case serialised across the team.
@@ -134,6 +137,7 @@ fn run_timed(
     machine: &Machine,
     prof: &LangProfile,
     threads: usize,
+    dispatch: DispatchImpl,
     sync_total: &mut f64,
 ) -> f64 {
     let mut total = 0.0;
@@ -151,6 +155,7 @@ fn run_timed(
                     machine,
                     prof,
                     threads,
+                    dispatch,
                     clocks: vec![0.0; threads],
                     sync: 0.0,
                 };
@@ -163,7 +168,7 @@ fn run_timed(
             }
             TimedStep::Repeat { times, body } => {
                 for _ in 0..*times {
-                    total += run_timed(body, machine, prof, threads, sync_total);
+                    total += run_timed(body, machine, prof, threads, dispatch, sync_total);
                 }
             }
         }
@@ -171,20 +176,34 @@ fn run_timed(
     total
 }
 
+/// Simulate `model` on `machine` for `threads` threads compiled as `prof`,
+/// with the dynamic-dispatch implementation chosen explicitly — use this to
+/// compare the work-stealing decks against the shared-cursor baseline.
+pub fn simulate_with(
+    model: &KernelModel,
+    machine: &Machine,
+    prof: &LangProfile,
+    threads: usize,
+    dispatch: DispatchImpl,
+) -> SimResult {
+    assert!(threads >= 1 && threads <= machine.cores());
+    let mut sync = 0.0;
+    let seconds = run_timed(&model.timed, machine, prof, threads, dispatch, &mut sync);
+    SimResult {
+        seconds,
+        sync_seconds: sync,
+    }
+}
+
 /// Simulate `model` on `machine` for `threads` threads compiled as `prof`.
+/// Models the shipped runtime: work-stealing dynamic dispatch.
 pub fn simulate(
     model: &KernelModel,
     machine: &Machine,
     prof: &LangProfile,
     threads: usize,
 ) -> SimResult {
-    assert!(threads >= 1 && threads <= machine.cores());
-    let mut sync = 0.0;
-    let seconds = run_timed(&model.timed, machine, prof, threads, &mut sync);
-    SimResult {
-        seconds,
-        sync_seconds: sync,
-    }
+    simulate_with(model, machine, prof, threads, DispatchImpl::WorkStealing)
 }
 
 #[cfg(test)]
@@ -298,14 +317,65 @@ mod tests {
         let fc = simulate(&cg, &m, &profile(Lang::Fortran, Kernel::Cg), 1).seconds;
         // Paper: Fortran/Zig = 1.139 on CG.
         let ratio = fc / zc;
-        assert!((1.05..1.30).contains(&ratio), "CG Fortran/Zig ratio {ratio}");
+        assert!(
+            (1.05..1.30).contains(&ratio),
+            "CG Fortran/Zig ratio {ratio}"
+        );
 
         let ep = ep_model(&EpParams::for_class(Class::C));
         let ze = simulate(&ep, &m, &zig(Kernel::Ep), 1).seconds;
         let fe = simulate(&ep, &m, &profile(Lang::Fortran, Kernel::Ep), 1).seconds;
         let ratio = fe / ze;
         // Paper: 185.26/147.66 = 1.255.
-        assert!((1.15..1.35).contains(&ratio), "EP Fortran/Zig ratio {ratio}");
+        assert!(
+            (1.15..1.35).contains(&ratio),
+            "EP Fortran/Zig ratio {ratio}"
+        );
+    }
+
+    #[test]
+    fn work_stealing_dispatch_speeds_up_fine_grained_dynamic_loops() {
+        // A fine-grained `schedule(dynamic)` loop (chunk 1, cheap body) is
+        // exactly where the shared cursor serialises the team. The same
+        // model must run faster under the work-stealing decks, and the gap
+        // must widen with the team. Static-schedule kernels (all of the
+        // paper's NPB models) are unaffected by construction: the dispatch
+        // term only applies to dynamic/guided loops.
+        use npb::model::{KernelModel, LoopModel, RegionModel, Step, TimedStep};
+        let model = KernelModel {
+            name: "dyn-micro".into(),
+            timed: vec![TimedStep::Region(RegionModel {
+                name: "dyn",
+                steps: vec![Step::Loop(LoopModel {
+                    name: "fine-dynamic",
+                    trip: 100_000,
+                    flops_per_iter: 10.0,
+                    bytes_per_iter: 0.0,
+                    access: npb::model::Access::Streaming,
+                    working_set_bytes: 0.0,
+                    sched: zomp::schedule::Schedule::dynamic(Some(1)),
+                    nowait: false,
+                    reduction: false,
+                    reused: false,
+                })],
+                private_bytes_per_thread: 0.0,
+            })],
+        };
+        let m = Machine::archer2();
+        let p = zig(Kernel::Cg);
+        for t in [4usize, 32] {
+            let legacy = simulate_with(&model, &m, &p, t, DispatchImpl::SharedCursor).seconds;
+            let steal = simulate_with(&model, &m, &p, t, DispatchImpl::WorkStealing).seconds;
+            assert!(
+                steal < legacy,
+                "stealing not faster at {t} threads: {steal} vs {legacy}"
+            );
+        }
+        let gap4 = simulate_with(&model, &m, &p, 4, DispatchImpl::SharedCursor).seconds
+            / simulate_with(&model, &m, &p, 4, DispatchImpl::WorkStealing).seconds;
+        let gap32 = simulate_with(&model, &m, &p, 32, DispatchImpl::SharedCursor).seconds
+            / simulate_with(&model, &m, &p, 32, DispatchImpl::WorkStealing).seconds;
+        assert!(gap32 > gap4, "gap must widen: {gap4} -> {gap32}");
     }
 
     #[test]

@@ -30,7 +30,7 @@ pub mod lang;
 pub mod machine;
 pub mod report;
 
-pub use exec::simulate;
+pub use exec::{simulate, simulate_with};
 pub use lang::{Lang, LangProfile};
-pub use machine::Machine;
+pub use machine::{DispatchImpl, Machine};
 pub use report::{ScalingCurve, ScalingPoint};

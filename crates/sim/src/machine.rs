@@ -13,6 +13,21 @@
 
 use npb::model::Access;
 
+/// Which dynamic-dispatch implementation the simulated runtime uses. The
+/// live runtime ships the work-stealing deck ([`zomp::schedule::StealDeck`]
+/// semantics); the shared cursor is kept as the contention baseline so the
+/// model can quantify what the refactor bought.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DispatchImpl {
+    /// Legacy shared cursor: every chunk grab is an atomic RMW on one
+    /// global cache line, so all contending threads serialise on it.
+    SharedCursor,
+    /// Work-stealing per-thread decks: chunk grabs hit a thread-local
+    /// padded word (uncontended), one atomic per [`zomp::schedule::STEAL_BATCH`]
+    /// chunks; cross-thread traffic is a handful of steals near the tail.
+    WorkStealing,
+}
+
 /// A shared-memory node for the analytic model.
 #[derive(Debug, Clone)]
 pub struct Machine {
@@ -249,6 +264,31 @@ impl Machine {
             self.barrier_base_s + self.barrier_log_s * (t as f64).log2()
         }
     }
+
+    /// Total dispatch overhead one thread pays to claim `chunks` chunks of
+    /// a dynamic/guided loop shared with `t` threads (s).
+    ///
+    /// * Shared cursor: each grab RMWs the one global cursor line, and on
+    ///   average queues behind the other `t - 1` threads doing the same —
+    ///   the per-grab cost grows linearly with the team, which is exactly
+    ///   the contention the work-stealing refactor removes.
+    /// * Work stealing: grabs are served from an owner-private cache
+    ///   refilled by one uncontended atomic per [`zomp::schedule::STEAL_BATCH`]
+    ///   chunks, plus ~log2(t) contended steal CASes over the whole loop as
+    ///   the tail drains.
+    pub fn dispatch_cost(&self, imp: DispatchImpl, t: usize, chunks: u64) -> f64 {
+        let n = chunks as f64;
+        match imp {
+            DispatchImpl::SharedCursor => {
+                n * (self.dispatch_chunk_s + self.atomic_op_s * t.saturating_sub(1) as f64)
+            }
+            DispatchImpl::WorkStealing => {
+                let refills = n / zomp::schedule::STEAL_BATCH as f64;
+                let steals = if t > 1 { (t as f64).log2() } else { 0.0 };
+                refills * self.dispatch_chunk_s + steals * 2.0 * self.atomic_op_s
+            }
+        }
+    }
 }
 
 #[cfg(test)]
@@ -344,5 +384,34 @@ mod tests {
         assert_eq!(m.fork_cost(1), 0.0);
         assert!(m.fork_cost(128) > m.fork_cost(2));
         assert!(m.barrier_cost(128) > m.barrier_cost(2));
+    }
+
+    #[test]
+    fn shared_cursor_dispatch_degrades_with_contention() {
+        let m = Machine::archer2();
+        let c1 = m.dispatch_cost(DispatchImpl::SharedCursor, 1, 1000);
+        let c4 = m.dispatch_cost(DispatchImpl::SharedCursor, 4, 1000);
+        let c128 = m.dispatch_cost(DispatchImpl::SharedCursor, 128, 1000);
+        assert!(c4 > c1);
+        assert!(c128 > 10.0 * c4, "c128 = {c128:e} vs c4 = {c4:e}");
+    }
+
+    #[test]
+    fn work_stealing_dispatch_stays_near_flat() {
+        let m = Machine::archer2();
+        let s1 = m.dispatch_cost(DispatchImpl::WorkStealing, 1, 1000);
+        let s128 = m.dispatch_cost(DispatchImpl::WorkStealing, 128, 1000);
+        // Team size adds only the tail-steal term, not a per-chunk factor.
+        assert!(s128 < 1.1 * s1, "s128 = {s128:e} vs s1 = {s1:e}");
+    }
+
+    #[test]
+    fn work_stealing_dispatch_at_least_twice_as_cheap_at_four_threads() {
+        // Mirrors the runtime acceptance target: >= 2x chunk throughput at
+        // 4 threads over the shared cursor.
+        let m = Machine::archer2();
+        let legacy = m.dispatch_cost(DispatchImpl::SharedCursor, 4, 1000);
+        let steal = m.dispatch_cost(DispatchImpl::WorkStealing, 4, 1000);
+        assert!(legacy > 2.0 * steal, "legacy {legacy:e} vs steal {steal:e}");
     }
 }

@@ -19,9 +19,7 @@ use zomp::sync::OmpLock;
 use zomp::team::{Parallel, SingleToken, ThreadCtx};
 
 use crate::interp::Vm;
-use crate::value::{
-    err, RedCellAny, RedHandle, Value, VmResult, WsIter, WsMode, WsState,
-};
+use crate::value::{err, RedCellAny, RedHandle, Value, VmResult, WsIter, WsMode, WsState};
 
 // ---------------------------------------------------------------------------
 // Thread-current region context
@@ -212,21 +210,20 @@ fn internal(vm: &Vm, name: &str, #[allow(unused_mut)] mut args: Vec<Value>) -> V
             with_ctx(|ctx| match ctx {
                 Some(ctx) => {
                     let mut make_err = None;
-                    let (payload, token) = ctx.construct_shared(|| {
-                        match RedCellAny::new(op, &seed) {
+                    let (payload, token) =
+                        ctx.construct_shared(|| match RedCellAny::new(op, &seed) {
                             Ok(cell) => Arc::new(cell),
                             Err(e) => {
                                 make_err = Some(e);
                                 Arc::new(RedCellAny::I(zomp::reduction::RedCell::new(op, 0)))
                             }
-                        }
-                    });
+                        });
                     if let Some(e) = make_err {
                         return Err(e);
                     }
-                    let cell = payload
-                        .downcast::<RedCellAny>()
-                        .map_err(|_| crate::value::VmError("reduction slot type confusion".into()))?;
+                    let cell = payload.downcast::<RedCellAny>().map_err(|_| {
+                        crate::value::VmError("reduction slot type confusion".into())
+                    })?;
                     Ok(Value::Red(Arc::new(RedHandle {
                         cell,
                         token: Mutex::new(Some(token)),
@@ -368,7 +365,10 @@ fn atomic_rmw(args: Vec<Value>) -> VmResult<Value> {
             arr.set(*i, new)?;
             Ok(Value::Void)
         }
-        other => err(format!("atomic target must be a pointer, got {}", other.type_name())),
+        other => err(format!(
+            "atomic target must be a pointer, got {}",
+            other.type_name()
+        )),
     }
 }
 
@@ -420,7 +420,8 @@ fn ws_begin(args: Vec<Value>) -> VmResult<Value> {
             },
             _ => match ctx {
                 Some(ctx) => WsMode::Dispatch(ctx.dispatch_begin(sched, trip)),
-                None => WsMode::Local(DynamicDispatch::new(trip, sched.chunk)),
+                // Serial fallback: a 1-thread deck claimed as tid 0.
+                None => WsMode::Local(DynamicDispatch::new(trip, 1, sched.chunk)),
             },
         }
     });
@@ -439,7 +440,10 @@ fn ws_begin(args: Vec<Value>) -> VmResult<Value> {
 fn as_ws(v: &Value) -> VmResult<&Arc<WsIter>> {
     match v {
         Value::Ws(w) => Ok(w),
-        other => err(format!("expected a worksharing iterator, got {}", other.type_name())),
+        other => err(format!(
+            "expected a worksharing iterator, got {}",
+            other.type_name()
+        )),
     }
 }
 
@@ -453,7 +457,7 @@ fn ws_next(args: Vec<Value>) -> VmResult<Value> {
             Some(ctx) => ctx.dispatch_next(d),
             None => None,
         }),
-        WsMode::Local(d) => d.next(),
+        WsMode::Local(d) => d.next(0),
     };
     match logical {
         Some(r) => {

@@ -82,10 +82,7 @@ impl Frame {
     }
 
     fn lookup(&self, name: &str) -> Option<Slot> {
-        self.scopes
-            .iter()
-            .rev()
-            .find_map(|s| s.get(name).cloned())
+        self.scopes.iter().rev().find_map(|s| s.get(name).cloned())
     }
 }
 
@@ -418,7 +415,11 @@ impl Vm {
         }
         match path.as_deref() {
             Some(["print"]) => {
-                let line = args.iter().map(|v| v.render()).collect::<Vec<_>>().join(" ");
+                let line = args
+                    .iter()
+                    .map(|v| v.render())
+                    .collect::<Vec<_>>()
+                    .join(" ");
                 if self.echo {
                     println!("{line}");
                 }
@@ -469,7 +470,10 @@ impl Vm {
             ("@len", [Value::ArrI(a)]) => Ok(Value::Int(a.len() as i64)),
             (other, args) => err(format!(
                 "unknown builtin {other} for ({})",
-                args.iter().map(|a| a.type_name()).collect::<Vec<_>>().join(", ")
+                args.iter()
+                    .map(|a| a.type_name())
+                    .collect::<Vec<_>>()
+                    .join(", ")
             )),
         }
     }

@@ -5,7 +5,9 @@
 use zomp_vm::Vm;
 
 fn run(src: &str) -> Vec<String> {
-    Vm::run(src).map_err(|e| panic!("{e}\n--- source ---\n{src}")).unwrap()
+    Vm::run(src)
+        .map_err(|e| panic!("{e}\n--- source ---\n{src}"))
+        .unwrap()
 }
 
 // -- sequential language basics ----------------------------------------------

@@ -13,7 +13,10 @@ use zomp::workshare::{for_loop, for_reduce};
 
 fn main() {
     let threads = 4;
-    println!("zomp quickstart on {threads} threads (host has {} procs)", omp::get_num_procs());
+    println!(
+        "zomp quickstart on {threads} threads (host has {} procs)",
+        omp::get_num_procs()
+    );
 
     // 1. A combined parallel-for: square every element.
     let n = 1 << 16;

@@ -1,0 +1,231 @@
+//! Offline stand-in for `criterion`. Provides the API subset the workspace's
+//! bench targets use — `Criterion`, `benchmark_group` with chained
+//! `sample_size`/`measurement_time`, `bench_function`/`bench_with_input`,
+//! `BenchmarkId`, `Bencher::iter`, and the `criterion_group!`/
+//! `criterion_main!` macros — backed by a plain wall-clock sampling loop
+//! that prints median/mean per benchmark instead of criterion's full
+//! statistical report.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Top-level harness handle, created by `criterion_main!`.
+pub struct Criterion {
+    default_sample_size: usize,
+    default_measurement: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            default_sample_size: 10,
+            // Far below real criterion's 5 s: keeps a full `cargo bench`
+            // tractable on the small CI hosts this repo targets.
+            default_measurement: Duration::from_millis(300),
+        }
+    }
+}
+
+impl Criterion {
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _parent: self,
+            name: name.into(),
+            sample_size: 10,
+            measurement: Duration::from_millis(300),
+        }
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F)
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let stats = run_bench(self.default_sample_size, self.default_measurement, &mut f);
+        report(&id.into().label, &stats);
+    }
+}
+
+/// A named group of related benchmarks; settings chain like criterion's.
+pub struct BenchmarkGroup<'a> {
+    _parent: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+    measurement: Duration,
+}
+
+impl<'a> BenchmarkGroup<'a> {
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        // Cap so a full suite of 2–5 s groups stays minutes, not hours,
+        // on the 1–2 core hosts this repo is built on.
+        self.measurement = d.min(Duration::from_millis(500));
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let stats = run_bench(self.sample_size, self.measurement, &mut f);
+        report(&format!("{}/{}", self.name, id.into().label), &stats);
+        self
+    }
+
+    pub fn bench_with_input<I, F>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        self.bench_function(id, |b| f(b, input))
+    }
+
+    pub fn finish(self) {}
+}
+
+/// Benchmark identifier: `new("parallel", 4)` -> `parallel/4`,
+/// `from_parameter(4)` -> `4`.
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    pub fn new(name: impl std::fmt::Display, param: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            label: format!("{name}/{param}"),
+        }
+    }
+
+    pub fn from_parameter(param: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            label: param.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId { label: s.into() }
+    }
+}
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId { label: s }
+    }
+}
+
+/// Per-benchmark timing driver handed to the closure.
+pub struct Bencher {
+    sample_size: usize,
+    measurement: Duration,
+    /// ns-per-iteration samples recorded by `iter`.
+    samples: Vec<f64>,
+}
+
+impl Bencher {
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // Warm-up + single-iteration estimate to size the batches.
+        black_box(f());
+        let t0 = Instant::now();
+        black_box(f());
+        let est = t0.elapsed().as_secs_f64().max(1e-9);
+
+        let per_sample = self.measurement.as_secs_f64() / self.sample_size as f64;
+        let iters = ((per_sample / est).floor() as u64).clamp(1, 10_000_000);
+        for _ in 0..self.sample_size {
+            let t = Instant::now();
+            for _ in 0..iters {
+                black_box(f());
+            }
+            self.samples
+                .push(t.elapsed().as_nanos() as f64 / iters as f64);
+        }
+    }
+}
+
+struct Stats {
+    median_ns: f64,
+    mean_ns: f64,
+    n: usize,
+}
+
+fn run_bench<F: FnMut(&mut Bencher)>(
+    sample_size: usize,
+    measurement: Duration,
+    f: &mut F,
+) -> Stats {
+    let mut b = Bencher {
+        sample_size,
+        measurement,
+        samples: Vec::new(),
+    };
+    f(&mut b);
+    let mut s = b.samples;
+    if s.is_empty() {
+        return Stats {
+            median_ns: f64::NAN,
+            mean_ns: f64::NAN,
+            n: 0,
+        };
+    }
+    s.sort_by(|a, b| a.total_cmp(b));
+    Stats {
+        median_ns: s[s.len() / 2],
+        mean_ns: s.iter().sum::<f64>() / s.len() as f64,
+        n: s.len(),
+    }
+}
+
+fn report(label: &str, stats: &Stats) {
+    println!(
+        "{label:<40} median {:>12.1} ns   mean {:>12.1} ns   ({} samples)",
+        stats.median_ns, stats.mean_ns, stats.n
+    );
+}
+
+/// `criterion_group!(benches, f1, f2, ...)` — simple form only.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// `criterion_main!(benches, ...)` — emits `main`, ignoring harness CLI args.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_runs_and_collects_samples() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("g");
+        g.sample_size(3)
+            .measurement_time(Duration::from_millis(5))
+            .bench_function("id", |b| b.iter(|| black_box(1 + 1)))
+            .bench_with_input(BenchmarkId::new("with", 2), &2, |b, &x| {
+                b.iter(|| black_box(x * 2))
+            });
+        g.finish();
+    }
+}

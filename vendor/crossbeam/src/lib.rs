@@ -1,0 +1,70 @@
+//! Offline stand-in for the `crossbeam` crate: just `crossbeam::scope`,
+//! implemented on `std::thread::scope` (stable since 1.63).
+//!
+//! Matches the crossbeam calling convention the workspace uses: the scope
+//! closure and every spawned closure receive the scope handle, and `spawn`
+//! returns a handle whose `join()` yields `std::thread::Result<T>`.
+
+/// Scope handle passed to the closure given to [`scope`] and to each spawned
+/// thread's closure (crossbeam passes the scope so children can spawn too).
+pub struct Scope<'scope, 'env: 'scope> {
+    inner: &'scope std::thread::Scope<'scope, 'env>,
+}
+
+impl<'scope, 'env> Clone for Scope<'scope, 'env> {
+    fn clone(&self) -> Self {
+        *self
+    }
+}
+impl<'scope, 'env> Copy for Scope<'scope, 'env> {}
+
+impl<'scope, 'env> Scope<'scope, 'env> {
+    pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+    where
+        F: FnOnce(Scope<'scope, 'env>) -> T + Send + 'scope,
+        T: Send + 'scope,
+    {
+        let handle = *self;
+        ScopedJoinHandle {
+            inner: self.inner.spawn(move || f(handle)),
+        }
+    }
+}
+
+/// Join handle for a scoped thread; `join()` returns the thread's result or
+/// its panic payload, as in crossbeam.
+pub struct ScopedJoinHandle<'scope, T> {
+    inner: std::thread::ScopedJoinHandle<'scope, T>,
+}
+
+impl<'scope, T> ScopedJoinHandle<'scope, T> {
+    pub fn join(self) -> std::thread::Result<T> {
+        self.inner.join()
+    }
+}
+
+/// Run `f` with a scope that joins all spawned threads before returning.
+/// Always returns `Ok`: panics from joined-and-unwrapped children propagate
+/// as panics (the same observable behaviour as crossbeam in the success and
+/// explicit-join paths this workspace exercises).
+pub fn scope<'env, F, R>(f: F) -> std::thread::Result<R>
+where
+    F: for<'scope> FnOnce(Scope<'scope, 'env>) -> R,
+{
+    Ok(std::thread::scope(|s| f(Scope { inner: s })))
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn scope_joins_and_returns() {
+        let data = vec![1, 2, 3];
+        let sum = super::scope(|s| {
+            let h1 = s.spawn(|_| data.iter().sum::<i32>());
+            let h2 = s.spawn(|inner| inner.spawn(|_| 10).join().unwrap());
+            h1.join().unwrap() + h2.join().unwrap()
+        })
+        .unwrap();
+        assert_eq!(sum, 16);
+    }
+}

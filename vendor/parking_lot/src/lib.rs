@@ -1,0 +1,237 @@
+//! Offline stand-in for the `parking_lot` crate, backed by `std::sync`.
+//!
+//! The build environment has no network access, so the workspace vendors the
+//! small API subset it actually uses: `Mutex`/`MutexGuard` (non-poisoning,
+//! guard returned directly from `lock()`), `Condvar` with the
+//! `wait(&mut MutexGuard)` signature, and a `RawMutex` implementing the
+//! `lock_api::RawMutex` trait with a `const INIT`.
+//!
+//! Semantics match parking_lot where the workspace depends on them:
+//! no poisoning (a panic while holding a lock simply releases it), and
+//! `into_inner()` returns the value directly rather than a `Result`.
+
+use std::fmt;
+use std::ops::{Deref, DerefMut};
+use std::sync::atomic::{AtomicBool, Ordering};
+
+/// The `lock_api` facade: just the `RawMutex` trait surface the workspace
+/// imports (`parking_lot::lock_api::RawMutex as _`).
+pub mod lock_api {
+    /// A raw (guardless) mutex: `const INIT`, `lock`, `try_lock`, `unlock`.
+    pub trait RawMutex {
+        /// An unlocked mutex, usable in `const` position.
+        const INIT: Self;
+        fn lock(&self);
+        fn try_lock(&self) -> bool;
+        /// # Safety
+        /// Must only be called by the owner of the lock.
+        unsafe fn unlock(&self);
+    }
+}
+
+/// Spin-then-yield raw mutex. Adequate for the coarse-grained OMP lock API
+/// built on top of it; fairness is best-effort like parking_lot's.
+pub struct RawMutex {
+    locked: AtomicBool,
+}
+
+impl lock_api::RawMutex for RawMutex {
+    const INIT: RawMutex = RawMutex {
+        locked: AtomicBool::new(false),
+    };
+
+    fn lock(&self) {
+        let mut spins = 0u32;
+        // Acquire on success pairs with the Release in unlock so the
+        // protected data is visible to the new owner.
+        while self
+            .locked
+            .compare_exchange_weak(false, true, Ordering::Acquire, Ordering::Relaxed)
+            .is_err()
+        {
+            spins += 1;
+            if spins < 64 {
+                std::hint::spin_loop();
+            } else {
+                std::thread::yield_now();
+            }
+        }
+    }
+
+    fn try_lock(&self) -> bool {
+        self.locked
+            .compare_exchange(false, true, Ordering::Acquire, Ordering::Relaxed)
+            .is_ok()
+    }
+
+    unsafe fn unlock(&self) {
+        self.locked.store(false, Ordering::Release);
+    }
+}
+
+/// Non-poisoning mutex: `lock()` returns the guard directly.
+pub struct Mutex<T: ?Sized> {
+    inner: std::sync::Mutex<T>,
+}
+
+impl<T> Mutex<T> {
+    pub const fn new(value: T) -> Self {
+        Mutex {
+            inner: std::sync::Mutex::new(value),
+        }
+    }
+
+    pub fn into_inner(self) -> T {
+        match self.inner.into_inner() {
+            Ok(v) => v,
+            Err(p) => p.into_inner(),
+        }
+    }
+}
+
+impl<T: ?Sized> Mutex<T> {
+    pub fn lock(&self) -> MutexGuard<'_, T> {
+        MutexGuard {
+            inner: Some(match self.inner.lock() {
+                Ok(g) => g,
+                Err(p) => p.into_inner(),
+            }),
+        }
+    }
+
+    pub fn try_lock(&self) -> Option<MutexGuard<'_, T>> {
+        match self.inner.try_lock() {
+            Ok(g) => Some(MutexGuard { inner: Some(g) }),
+            Err(std::sync::TryLockError::Poisoned(p)) => Some(MutexGuard {
+                inner: Some(p.into_inner()),
+            }),
+            Err(std::sync::TryLockError::WouldBlock) => None,
+        }
+    }
+
+    pub fn get_mut(&mut self) -> &mut T {
+        match self.inner.get_mut() {
+            Ok(v) => v,
+            Err(p) => p.into_inner(),
+        }
+    }
+}
+
+impl<T: Default> Default for Mutex<T> {
+    fn default() -> Self {
+        Mutex::new(T::default())
+    }
+}
+
+impl<T: ?Sized + fmt::Debug> fmt::Debug for Mutex<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.try_lock() {
+            Some(g) => f.debug_struct("Mutex").field("data", &&*g).finish(),
+            None => f.write_str("Mutex { <locked> }"),
+        }
+    }
+}
+
+/// Guard for [`Mutex`]. Holds the std guard in an `Option` so `Condvar::wait`
+/// can temporarily take it, block on the std condvar, and put it back.
+pub struct MutexGuard<'a, T: ?Sized> {
+    inner: Option<std::sync::MutexGuard<'a, T>>,
+}
+
+impl<T: ?Sized> Deref for MutexGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        self.inner.as_ref().expect("guard taken")
+    }
+}
+
+impl<T: ?Sized> DerefMut for MutexGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        self.inner.as_mut().expect("guard taken")
+    }
+}
+
+/// Condition variable with parking_lot's `wait(&mut MutexGuard)` signature.
+pub struct Condvar {
+    inner: std::sync::Condvar,
+}
+
+impl Condvar {
+    pub const fn new() -> Self {
+        Condvar {
+            inner: std::sync::Condvar::new(),
+        }
+    }
+
+    pub fn wait<T>(&self, guard: &mut MutexGuard<'_, T>) {
+        let g = guard.inner.take().expect("guard taken");
+        guard.inner = Some(match self.inner.wait(g) {
+            Ok(g) => g,
+            Err(p) => p.into_inner(),
+        });
+    }
+
+    pub fn notify_one(&self) {
+        self.inner.notify_one();
+    }
+
+    pub fn notify_all(&self) {
+        self.inner.notify_all();
+    }
+}
+
+impl Default for Condvar {
+    fn default() -> Self {
+        Condvar::new()
+    }
+}
+
+impl fmt::Debug for Condvar {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("Condvar { .. }")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::lock_api::RawMutex as _;
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn mutex_guard_roundtrip() {
+        let m = Mutex::new(1);
+        *m.lock() += 1;
+        assert_eq!(*m.lock(), 2);
+        assert_eq!(m.into_inner(), 2);
+    }
+
+    #[test]
+    fn condvar_wakes_waiter() {
+        let pair = Arc::new((Mutex::new(false), Condvar::new()));
+        let p2 = Arc::clone(&pair);
+        let h = std::thread::spawn(move || {
+            let (m, cv) = &*p2;
+            let mut g = m.lock();
+            while !*g {
+                cv.wait(&mut g);
+            }
+        });
+        {
+            let (m, cv) = &*pair;
+            *m.lock() = true;
+            cv.notify_all();
+        }
+        h.join().unwrap();
+    }
+
+    #[test]
+    fn raw_mutex_excludes() {
+        let raw = RawMutex::INIT;
+        raw.lock();
+        assert!(!raw.try_lock());
+        unsafe { raw.unlock() };
+        assert!(raw.try_lock());
+        unsafe { raw.unlock() };
+    }
+}

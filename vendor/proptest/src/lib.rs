@@ -1,0 +1,667 @@
+//! Offline stand-in for `proptest`.
+//!
+//! Implements the subset the workspace's property tests use, with the same
+//! paths and macro grammar: `proptest!` (fn form with optional
+//! `#![proptest_config(..)]`, and closure form), `prop_assert!`/
+//! `prop_assert_eq!`, `prop_oneof!`, `Just`, `any::<bool>()`,
+//! `Strategy::{prop_map,new_tree}`, `strategy::ValueTree`,
+//! `test_runner::TestRunner::deterministic`, `collection::vec`,
+//! `option::of`, `bool::ANY`, integer/float range strategies, and a
+//! mini-regex generator for `&str` patterns (`\PC`, char classes, `*`,
+//! `{m,n}`).
+//!
+//! Differences from real proptest: inputs are drawn from a fixed-seed
+//! deterministic RNG (still varied per case), there is no shrinking, and
+//! failure reports print the case number instead of a minimised input.
+//! Regression files (`*.proptest-regressions`) are ignored.
+
+/// Deterministic xorshift64* RNG; fixed seed so test runs are reproducible.
+pub struct Rng {
+    state: u64,
+}
+
+impl Rng {
+    fn new(seed: u64) -> Self {
+        Rng {
+            state: seed | 1, // xorshift state must be non-zero
+        }
+    }
+
+    pub fn next_u64(&mut self) -> u64 {
+        let mut x = self.state;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.state = x;
+        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+
+    /// Uniform in `0..n` (n > 0). Modulo bias is irrelevant at test scale.
+    pub fn below(&mut self, n: u64) -> u64 {
+        debug_assert!(n > 0);
+        self.next_u64() % n
+    }
+
+    /// Uniform in `[0, 1)`.
+    pub fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+}
+
+pub mod test_runner {
+    use super::Rng;
+    use std::fmt;
+
+    /// Drives input generation. Only the deterministic constructor is
+    /// provided; every `proptest!` expansion uses it.
+    pub struct TestRunner {
+        rng: Rng,
+    }
+
+    impl TestRunner {
+        pub fn deterministic() -> Self {
+            TestRunner {
+                rng: Rng::new(0x9E37_79B9_7F4A_7C15),
+            }
+        }
+
+        pub fn rng_mut(&mut self) -> &mut Rng {
+            &mut self.rng
+        }
+    }
+
+    /// A failed test case (no shrinking: carries the message only).
+    #[derive(Debug)]
+    pub struct TestCaseError(String);
+
+    impl TestCaseError {
+        pub fn fail(reason: impl Into<String>) -> Self {
+            TestCaseError(reason.into())
+        }
+    }
+
+    impl fmt::Display for TestCaseError {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.write_str(&self.0)
+        }
+    }
+
+    /// Runner configuration; only `cases` is honoured.
+    #[derive(Debug, Clone)]
+    pub struct Config {
+        pub cases: u32,
+    }
+
+    impl Config {
+        pub fn with_cases(cases: u32) -> Self {
+            Config { cases }
+        }
+    }
+
+    impl Default for Config {
+        fn default() -> Self {
+            Config { cases: 64 }
+        }
+    }
+}
+
+pub mod strategy {
+    use super::test_runner::TestRunner;
+    use super::Rng;
+    use std::ops::{Range, RangeInclusive};
+
+    /// Generates values of `Self::Value`. Object-safe through `generate`;
+    /// the combinators require `Sized`.
+    pub trait Strategy {
+        type Value;
+
+        fn generate(&self, rng: &mut Rng) -> Self::Value;
+
+        fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> O,
+        {
+            Map { inner: self, f }
+        }
+
+        fn boxed(self) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+        {
+            Box::new(self)
+        }
+
+        /// Real proptest returns a shrinkable tree; here the "tree" is just
+        /// the generated value.
+        fn new_tree(&self, runner: &mut TestRunner) -> Result<JustValueTree<Self::Value>, String>
+        where
+            Self: Sized,
+        {
+            Ok(JustValueTree {
+                value: self.generate(runner.rng_mut()),
+            })
+        }
+    }
+
+    pub type BoxedStrategy<T> = Box<dyn Strategy<Value = T>>;
+
+    impl<T> Strategy for BoxedStrategy<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut Rng) -> T {
+            (**self).generate(rng)
+        }
+    }
+
+    /// The current value of a generated (non-shrinking) case.
+    pub trait ValueTree {
+        type Value;
+        fn current(&self) -> Self::Value;
+    }
+
+    /// Degenerate value tree: holds exactly the generated value.
+    pub struct JustValueTree<T> {
+        value: T,
+    }
+
+    impl<T: Clone> ValueTree for JustValueTree<T> {
+        type Value = T;
+        fn current(&self) -> T {
+            self.value.clone()
+        }
+    }
+
+    /// `Just(v)`: always yields a clone of `v`.
+    #[derive(Clone, Copy, Debug)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+        fn generate(&self, _rng: &mut Rng) -> T {
+            self.0.clone()
+        }
+    }
+
+    pub struct Map<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+        type Value = O;
+        fn generate(&self, rng: &mut Rng) -> O {
+            (self.f)(self.inner.generate(rng))
+        }
+    }
+
+    /// Uniform choice between boxed alternatives (`prop_oneof!`).
+    pub struct Union<T> {
+        arms: Vec<BoxedStrategy<T>>,
+    }
+
+    impl<T> Union<T> {
+        pub fn new(arms: Vec<BoxedStrategy<T>>) -> Self {
+            assert!(!arms.is_empty(), "prop_oneof! needs at least one arm");
+            Union { arms }
+        }
+    }
+
+    impl<T> Strategy for Union<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut Rng) -> T {
+            let k = rng.below(self.arms.len() as u64) as usize;
+            self.arms[k].generate(rng)
+        }
+    }
+
+    macro_rules! int_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for Range<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut Rng) -> $t {
+                    assert!(self.start < self.end, "empty range strategy");
+                    let span = (self.end as i128 - self.start as i128) as u128;
+                    let v = (rng.next_u64() as u128) % span;
+                    (self.start as i128 + v as i128) as $t
+                }
+            }
+            impl Strategy for RangeInclusive<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut Rng) -> $t {
+                    let (lo, hi) = (*self.start(), *self.end());
+                    assert!(lo <= hi, "empty range strategy");
+                    let span = (hi as i128 - lo as i128 + 1) as u128;
+                    let v = (rng.next_u64() as u128) % span;
+                    (lo as i128 + v as i128) as $t
+                }
+            }
+        )*};
+    }
+    int_range_strategy!(i8, i16, i32, i64, isize, u8, u16, u32, u64, usize);
+
+    impl Strategy for Range<f64> {
+        type Value = f64;
+        fn generate(&self, rng: &mut Rng) -> f64 {
+            self.start + rng.unit_f64() * (self.end - self.start)
+        }
+    }
+    impl Strategy for Range<f32> {
+        type Value = f32;
+        fn generate(&self, rng: &mut Rng) -> f32 {
+            self.start + (rng.unit_f64() as f32) * (self.end - self.start)
+        }
+    }
+
+    macro_rules! tuple_strategy {
+        ($(($($S:ident . $idx:tt),+);)*) => {$(
+            impl<$($S: Strategy),+> Strategy for ($($S,)+) {
+                type Value = ($($S::Value,)+);
+                fn generate(&self, rng: &mut Rng) -> Self::Value {
+                    ($(self.$idx.generate(rng),)+)
+                }
+            }
+        )*};
+    }
+    tuple_strategy! {
+        (A.0, B.1);
+        (A.0, B.1, C.2);
+        (A.0, B.1, C.2, D.3);
+        (A.0, B.1, C.2, D.3, E.4);
+        (A.0, B.1, C.2, D.3, E.4, F.5);
+        (A.0, B.1, C.2, D.3, E.4, F.5, G.6);
+    }
+
+    /// Mini-regex string strategy for `&'static str` patterns. Supports the
+    /// forms the workspace uses: `\PC` (any printable char), literal chars,
+    /// escaped chars, `[...]` classes with ranges and escapes, and the
+    /// quantifiers `*`, `+`, `?`, `{n}`, `{m,n}`.
+    impl Strategy for &'static str {
+        type Value = String;
+        fn generate(&self, rng: &mut Rng) -> String {
+            let atoms = parse_pattern(self);
+            let mut out = String::new();
+            for (atom, lo, hi) in &atoms {
+                let n = *lo + rng.below((*hi - *lo + 1) as u64) as usize;
+                for _ in 0..n {
+                    out.push(atom.sample(rng));
+                }
+            }
+            out
+        }
+    }
+
+    enum Atom {
+        /// `\PC`: any printable (non-control) char; mostly ASCII with a few
+        /// multi-byte chars to exercise UTF-8 paths.
+        Printable,
+        Lit(char),
+        Class(Vec<(char, char)>),
+    }
+
+    impl Atom {
+        fn sample(&self, rng: &mut Rng) -> char {
+            const EXOTIC: [char; 6] = ['é', 'λ', '中', '¬', '€', 'Ω'];
+            match self {
+                Atom::Printable => {
+                    if rng.below(16) == 0 {
+                        EXOTIC[rng.below(EXOTIC.len() as u64) as usize]
+                    } else {
+                        (b' ' + rng.below(95) as u8) as char
+                    }
+                }
+                Atom::Lit(c) => *c,
+                Atom::Class(ranges) => {
+                    let total: u64 = ranges.iter().map(|(a, b)| *b as u64 - *a as u64 + 1).sum();
+                    let mut k = rng.below(total);
+                    for (a, b) in ranges {
+                        let len = *b as u64 - *a as u64 + 1;
+                        if k < len {
+                            return char::from_u32(*a as u32 + k as u32).unwrap();
+                        }
+                        k -= len;
+                    }
+                    unreachable!()
+                }
+            }
+        }
+    }
+
+    /// Parse into (atom, min_reps, max_reps) triples.
+    fn parse_pattern(pat: &str) -> Vec<(Atom, usize, usize)> {
+        let chars: Vec<char> = pat.chars().collect();
+        let mut i = 0;
+        let mut out = Vec::new();
+        while i < chars.len() {
+            let atom = match chars[i] {
+                '\\' => {
+                    i += 1;
+                    match chars.get(i) {
+                        Some('P') => {
+                            // `\PC`: consume the category letter too.
+                            i += 1;
+                            Atom::Printable
+                        }
+                        Some('n') => Atom::Lit('\n'),
+                        Some('t') => Atom::Lit('\t'),
+                        Some('r') => Atom::Lit('\r'),
+                        Some(&c) => Atom::Lit(c),
+                        None => break,
+                    }
+                }
+                '[' => {
+                    i += 1;
+                    let mut ranges = Vec::new();
+                    while i < chars.len() && chars[i] != ']' {
+                        let c = if chars[i] == '\\' {
+                            i += 1;
+                            match chars[i] {
+                                'n' => '\n',
+                                't' => '\t',
+                                'r' => '\r',
+                                c => c,
+                            }
+                        } else {
+                            chars[i]
+                        };
+                        // `a-z` range (a lone trailing `-` is a literal).
+                        if chars.get(i + 1) == Some(&'-')
+                            && chars.get(i + 2).is_some_and(|&e| e != ']')
+                        {
+                            let hi = chars[i + 2];
+                            ranges.push((c, hi));
+                            i += 3;
+                        } else {
+                            ranges.push((c, c));
+                            i += 1;
+                        }
+                    }
+                    Atom::Class(ranges)
+                }
+                c => Atom::Lit(c),
+            };
+            i += 1;
+            // Quantifier.
+            let (lo, hi) = match chars.get(i) {
+                Some('*') => {
+                    i += 1;
+                    (0, 32)
+                }
+                Some('+') => {
+                    i += 1;
+                    (1, 32)
+                }
+                Some('?') => {
+                    i += 1;
+                    (0, 1)
+                }
+                Some('{') => {
+                    let close = chars[i..].iter().position(|&c| c == '}').unwrap() + i;
+                    let body: String = chars[i + 1..close].iter().collect();
+                    i = close + 1;
+                    match body.split_once(',') {
+                        Some((m, n)) => (m.trim().parse().unwrap(), n.trim().parse().unwrap()),
+                        None => {
+                            let n: usize = body.trim().parse().unwrap();
+                            (n, n)
+                        }
+                    }
+                }
+                _ => (1, 1),
+            };
+            out.push((atom, lo, hi));
+        }
+        out
+    }
+
+    /// `any::<T>()` support; only the types the workspace asks for.
+    pub trait Arbitrary {
+        type Strategy: Strategy<Value = Self>;
+        fn arbitrary() -> Self::Strategy;
+    }
+
+    #[derive(Clone, Copy)]
+    pub struct AnyBool;
+
+    impl Strategy for AnyBool {
+        type Value = bool;
+        fn generate(&self, rng: &mut Rng) -> bool {
+            rng.below(2) == 1
+        }
+    }
+
+    impl Arbitrary for bool {
+        type Strategy = AnyBool;
+        fn arbitrary() -> AnyBool {
+            AnyBool
+        }
+    }
+
+    pub struct VecStrategy<S> {
+        element: S,
+        size: Range<usize>,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut Rng) -> Vec<S::Value> {
+            let span = (self.size.end - self.size.start).max(1);
+            let n = self.size.start + rng.below(span as u64) as usize;
+            (0..n).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+
+    pub(crate) fn vec_strategy<S: Strategy>(element: S, size: Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, size }
+    }
+
+    pub struct OptionStrategy<S> {
+        inner: S,
+    }
+
+    impl<S: Strategy> Strategy for OptionStrategy<S> {
+        type Value = Option<S::Value>;
+        fn generate(&self, rng: &mut Rng) -> Option<S::Value> {
+            // Bias toward Some, as real proptest does (3:1).
+            if rng.below(4) == 0 {
+                None
+            } else {
+                Some(self.inner.generate(rng))
+            }
+        }
+    }
+
+    pub(crate) fn option_strategy<S: Strategy>(inner: S) -> OptionStrategy<S> {
+        OptionStrategy { inner }
+    }
+}
+
+pub mod collection {
+    use super::strategy::{vec_strategy, Strategy, VecStrategy};
+    use std::ops::Range;
+
+    pub fn vec<S: Strategy>(element: S, size: Range<usize>) -> VecStrategy<S> {
+        vec_strategy(element, size)
+    }
+}
+
+pub mod option {
+    use super::strategy::{option_strategy, OptionStrategy, Strategy};
+
+    pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+        option_strategy(inner)
+    }
+}
+
+pub mod bool {
+    use super::strategy::AnyBool;
+
+    pub const ANY: AnyBool = AnyBool;
+}
+
+pub mod prelude {
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::{Config as ProptestConfig, TestCaseError, TestRunner};
+    pub use crate::{prop_assert, prop_assert_eq, prop_oneof, proptest};
+
+    /// `any::<T>()` — only types with an [`crate::strategy::Arbitrary`]
+    /// impl (currently `bool`).
+    pub fn any<T: crate::strategy::Arbitrary>() -> T::Strategy {
+        T::arbitrary()
+    }
+}
+
+/// Fn form (with optional `#![proptest_config(..)]`) and closure form.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { @cfg ($cfg) $($rest)* }
+    };
+    (|($($pat:pat in $strat:expr),+ $(,)?)| $body:block) => {{
+        let config = <$crate::test_runner::Config as ::core::default::Default>::default();
+        let mut runner = $crate::test_runner::TestRunner::deterministic();
+        for case in 0..config.cases {
+            $(let $pat = $crate::strategy::Strategy::generate(&($strat), runner.rng_mut());)+
+            let result: ::core::result::Result<(), $crate::test_runner::TestCaseError> =
+                (move || {
+                    { $body };
+                    ::core::result::Result::Ok(())
+                })();
+            if let ::core::result::Result::Err(e) = result {
+                panic!("proptest case {}/{} failed: {}", case + 1, config.cases, e);
+            }
+        }
+    }};
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! {
+            @cfg (<$crate::test_runner::Config as ::core::default::Default>::default())
+            $($rest)*
+        }
+    };
+}
+
+#[macro_export]
+#[doc(hidden)]
+macro_rules! __proptest_impl {
+    (@cfg ($cfg:expr) $(
+        $(#[$meta:meta])*
+        fn $name:ident($($pat:pat in $strat:expr),+ $(,)?) $body:block
+    )*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let config = $cfg;
+            let mut runner = $crate::test_runner::TestRunner::deterministic();
+            for case in 0..config.cases {
+                $(let $pat = $crate::strategy::Strategy::generate(&($strat), runner.rng_mut());)+
+                let result: ::core::result::Result<(), $crate::test_runner::TestCaseError> =
+                    (move || {
+                        { $body };
+                        ::core::result::Result::Ok(())
+                    })();
+                if let ::core::result::Result::Err(e) = result {
+                    panic!(
+                        "proptest '{}' case {}/{} failed: {}",
+                        stringify!($name), case + 1, config.cases, e
+                    );
+                }
+            }
+        }
+    )*};
+}
+
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        if !($cond) {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                concat!("assertion failed: ", stringify!($cond)),
+            ));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!($($fmt)+),
+            ));
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        if !(*l == *r) {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!("assertion failed: `{:?} == {:?}`", l, r),
+            ));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (l, r) = (&$left, &$right);
+        if !(*l == *r) {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!("assertion failed: `{:?} == {:?}`: {}", l, r, format!($($fmt)+)),
+            ));
+        }
+    }};
+}
+
+/// Uniform choice between strategies yielding the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($arm:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::Strategy::boxed($arm)),+
+        ])
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        #[test]
+        fn ranges_stay_in_bounds(a in -50i64..50, b in 1usize..9, x in 0.0f64..1.0) {
+            prop_assert!((-50..50).contains(&a));
+            prop_assert!((1..9).contains(&b));
+            prop_assert!((0.0..1.0).contains(&x), "x = {x}");
+        }
+
+        #[test]
+        fn combinators_compose(v in crate::collection::vec(0u32..10, 0..5),
+                               o in crate::option::of(1i64..4),
+                               f in crate::bool::ANY) {
+            prop_assert!(v.len() < 5);
+            if let Some(x) = o { prop_assert!((1..4).contains(&x)); }
+            prop_assert!(f || !f);
+        }
+    }
+
+    #[test]
+    fn closure_form_and_regex() {
+        proptest!(|(s in "[a-c]{2,4}")| {
+            prop_assert!(s.len() >= 2 && s.len() <= 4);
+            prop_assert!(s.chars().all(|c| ('a'..='c').contains(&c)));
+        });
+        proptest!(|(s in "\\PC*")| {
+            prop_assert!(s.chars().all(|c| !c.is_control()));
+        });
+    }
+
+    #[test]
+    fn oneof_map_and_value_tree() {
+        use crate::strategy::ValueTree;
+        let strat = prop_oneof![
+            Just("x".to_string()),
+            (1u32..5).prop_map(|n| format!("n{n}")),
+        ];
+        let mut runner = TestRunner::deterministic();
+        for _ in 0..8 {
+            let v = Strategy::new_tree(&strat, &mut runner).unwrap().current();
+            assert!(v == "x" || v.starts_with('n'));
+        }
+    }
+}

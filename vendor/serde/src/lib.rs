@@ -1,0 +1,130 @@
+//! Offline stand-in for `serde`'s serialisation half.
+//!
+//! Instead of serde's visitor-based `Serializer` machinery, `Serialize` here
+//! converts a value into an owned [`Json`] tree which the companion
+//! `serde_json` stub renders. This is enough for the workspace's usage:
+//! `#[derive(Serialize)]` on named-field structs and unit enums, serialised
+//! with `serde_json::to_string{,_pretty}`. Output is byte-compatible with
+//! real serde_json for those shapes (compact `{"k":v}` / pretty 2-space).
+
+pub use serde_derive::Serialize;
+
+/// Owned JSON tree produced by [`Serialize::to_json`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    Null,
+    Bool(bool),
+    /// Finite integers stored separately from floats so integer fields render
+    /// without a decimal point, as serde_json does.
+    I64(i64),
+    U64(u64),
+    F64(f64),
+    Str(String),
+    Arr(Vec<Json>),
+    /// Insertion-ordered object (serde_json preserves struct field order).
+    Obj(Vec<(String, Json)>),
+}
+
+/// Convert a value into a [`Json`] tree.
+pub trait Serialize {
+    fn to_json(&self) -> Json;
+}
+
+impl Serialize for Json {
+    fn to_json(&self) -> Json {
+        self.clone()
+    }
+}
+
+impl Serialize for bool {
+    fn to_json(&self) -> Json {
+        Json::Bool(*self)
+    }
+}
+
+macro_rules! ser_signed {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_json(&self) -> Json { Json::I64(*self as i64) }
+        }
+    )*};
+}
+macro_rules! ser_unsigned {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_json(&self) -> Json { Json::U64(*self as u64) }
+        }
+    )*};
+}
+ser_signed!(i8, i16, i32, i64, isize);
+ser_unsigned!(u8, u16, u32, u64, usize);
+
+impl Serialize for f64 {
+    fn to_json(&self) -> Json {
+        Json::F64(*self)
+    }
+}
+impl Serialize for f32 {
+    fn to_json(&self) -> Json {
+        Json::F64(*self as f64)
+    }
+}
+
+impl Serialize for str {
+    fn to_json(&self) -> Json {
+        Json::Str(self.to_string())
+    }
+}
+impl Serialize for String {
+    fn to_json(&self) -> Json {
+        Json::Str(self.clone())
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_json(&self) -> Json {
+        (**self).to_json()
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_json(&self) -> Json {
+        Json::Arr(self.iter().map(Serialize::to_json).collect())
+    }
+}
+impl<T: Serialize> Serialize for [T] {
+    fn to_json(&self) -> Json {
+        Json::Arr(self.iter().map(Serialize::to_json).collect())
+    }
+}
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn to_json(&self) -> Json {
+        Json::Arr(self.iter().map(Serialize::to_json).collect())
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_json(&self) -> Json {
+        match self {
+            Some(v) => v.to_json(),
+            None => Json::Null,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_map_to_expected_variants() {
+        assert_eq!(3usize.to_json(), Json::U64(3));
+        assert_eq!((-3i64).to_json(), Json::I64(-3));
+        assert_eq!("x".to_json(), Json::Str("x".into()));
+        assert_eq!(None::<u8>.to_json(), Json::Null);
+        assert_eq!(
+            vec![1u8, 2].to_json(),
+            Json::Arr(vec![Json::U64(1), Json::U64(2)])
+        );
+    }
+}

@@ -1,0 +1,205 @@
+//! Offline stand-in for `serde_derive`. Parses the item token stream by hand
+//! (no `syn`/`quote` available offline) and emits a `serde::Serialize` impl.
+//!
+//! Supported item shapes — exactly what the workspace derives on:
+//! * structs with named fields  -> `Json::Obj` in declaration order
+//! * enums with unit variants   -> `Json::Str(variant_name)`
+//!
+//! Anything else (tuple structs, data-carrying variants, generics) produces
+//! a compile error naming the limitation.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    match expand(input) {
+        Ok(code) => code
+            .parse()
+            .expect("serde_derive stub emitted invalid Rust"),
+        Err(msg) => format!("compile_error!({msg:?});").parse().unwrap(),
+    }
+}
+
+fn expand(input: TokenStream) -> Result<String, String> {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+    skip_attrs_and_vis(&tokens, &mut i);
+
+    let kind = match &tokens.get(i) {
+        Some(TokenTree::Ident(id)) if id.to_string() == "struct" => "struct",
+        Some(TokenTree::Ident(id)) if id.to_string() == "enum" => "enum",
+        other => {
+            return Err(format!(
+                "derive(Serialize) stub: expected struct/enum, got {other:?}"
+            ))
+        }
+    };
+    i += 1;
+
+    let name = match &tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => {
+            return Err(format!(
+                "derive(Serialize) stub: expected item name, got {other:?}"
+            ))
+        }
+    };
+    i += 1;
+
+    if matches!(&tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        return Err(format!(
+            "derive(Serialize) stub: generic item `{name}` is not supported"
+        ));
+    }
+
+    let body = tokens
+        .get(i)
+        .and_then(|t| match t {
+            TokenTree::Group(g) if g.delimiter() == Delimiter::Brace => Some(g.stream()),
+            _ => None,
+        })
+        .ok_or_else(|| {
+            format!("derive(Serialize) stub: `{name}` must have a brace-delimited body")
+        })?;
+
+    if kind == "struct" {
+        let fields = parse_named_fields(body)?;
+        let pushes: Vec<String> = fields
+            .iter()
+            .map(|f| {
+                format!(
+                    "(::std::string::String::from({f:?}), ::serde::Serialize::to_json(&self.{f}))"
+                )
+            })
+            .collect();
+        Ok(format!(
+            "impl ::serde::Serialize for {name} {{\n\
+             fn to_json(&self) -> ::serde::Json {{\n\
+             ::serde::Json::Obj(::std::vec![{}])\n}}\n}}",
+            pushes.join(", ")
+        ))
+    } else {
+        let variants = parse_unit_variants(body, &name)?;
+        let arms: Vec<String> = variants
+            .iter()
+            .map(|v| {
+                format!("{name}::{v} => ::serde::Json::Str(::std::string::String::from({v:?}))")
+            })
+            .collect();
+        Ok(format!(
+            "impl ::serde::Serialize for {name} {{\n\
+             fn to_json(&self) -> ::serde::Json {{\n\
+             match self {{ {} }}\n}}\n}}",
+            arms.join(", ")
+        ))
+    }
+}
+
+/// Advance past `#[...]` attributes, doc comments, and `pub`/`pub(...)`.
+fn skip_attrs_and_vis(tokens: &[TokenTree], i: &mut usize) {
+    loop {
+        match tokens.get(*i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                *i += 1; // '#'
+                if matches!(tokens.get(*i), Some(TokenTree::Group(_))) {
+                    *i += 1; // '[...]'
+                }
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                *i += 1;
+                if matches!(tokens.get(*i), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+                {
+                    *i += 1; // '(crate)' etc.
+                }
+            }
+            _ => return,
+        }
+    }
+}
+
+/// `a: T, b: U<V, W>, ...` -> ["a", "b", ...]
+fn parse_named_fields(body: TokenStream) -> Result<Vec<String>, String> {
+    let tokens: Vec<TokenTree> = body.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        skip_attrs_and_vis(&tokens, &mut i);
+        if i >= tokens.len() {
+            break;
+        }
+        let name = match &tokens[i] {
+            TokenTree::Ident(id) => id.to_string(),
+            other => return Err(format!("derive(Serialize) stub: expected field name, got {other:?} (tuple structs unsupported)")),
+        };
+        i += 1;
+        match &tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => i += 1,
+            other => {
+                return Err(format!(
+                    "derive(Serialize) stub: expected `:` after field `{name}`, got {other:?}"
+                ))
+            }
+        }
+        // Skip the type: commas nested in angle brackets belong to the type.
+        let mut angle = 0i32;
+        while i < tokens.len() {
+            match &tokens[i] {
+                TokenTree::Punct(p) if p.as_char() == '<' => angle += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => angle -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && angle == 0 => {
+                    i += 1;
+                    break;
+                }
+                _ => {}
+            }
+            i += 1;
+        }
+        fields.push(name);
+    }
+    Ok(fields)
+}
+
+/// `A, B, C` (unit variants only) -> ["A", "B", "C"]
+fn parse_unit_variants(body: TokenStream, enum_name: &str) -> Result<Vec<String>, String> {
+    let tokens: Vec<TokenTree> = body.into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        skip_attrs_and_vis(&tokens, &mut i);
+        if i >= tokens.len() {
+            break;
+        }
+        let name = match &tokens[i] {
+            TokenTree::Ident(id) => id.to_string(),
+            other => {
+                return Err(format!(
+                    "derive(Serialize) stub: expected variant in `{enum_name}`, got {other:?}"
+                ))
+            }
+        };
+        i += 1;
+        match tokens.get(i) {
+            Some(TokenTree::Group(_)) => {
+                return Err(format!(
+                    "derive(Serialize) stub: variant `{enum_name}::{name}` carries data; only unit variants are supported"
+                ))
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ',' => i += 1,
+            None => {}
+            Some(TokenTree::Punct(p)) if p.as_char() == '=' => {
+                // Explicit discriminant: skip to the next top-level comma.
+                i += 1;
+                while i < tokens.len() {
+                    if matches!(&tokens[i], TokenTree::Punct(p) if p.as_char() == ',') {
+                        i += 1;
+                        break;
+                    }
+                    i += 1;
+                }
+            }
+            other => return Err(format!("derive(Serialize) stub: unexpected token after `{enum_name}::{name}`: {other:?}")),
+        }
+        variants.push(name);
+    }
+    Ok(variants)
+}

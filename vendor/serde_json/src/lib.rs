@@ -1,0 +1,168 @@
+//! Offline stand-in for `serde_json`: renders the [`serde::Json`] tree built
+//! by the serde stub. Output matches real serde_json for the shapes the
+//! workspace serialises: compact `{"k":v}` with no spaces, pretty with
+//! 2-space indent, floats via shortest-roundtrip `{:?}` (keeps the `.0`),
+//! non-finite floats as `null`.
+
+use serde::{Json, Serialize};
+use std::fmt;
+
+/// Serialisation error. The stub's tree rendering is total, so this is never
+/// actually produced; it exists so call sites can keep `Result` plumbing.
+#[derive(Debug)]
+pub struct Error(String);
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+pub fn to_string<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    write_compact(&value.to_json(), &mut out);
+    Ok(out)
+}
+
+pub fn to_string_pretty<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    write_pretty(&value.to_json(), 0, &mut out);
+    Ok(out)
+}
+
+fn write_compact(v: &Json, out: &mut String) {
+    match v {
+        Json::Null => out.push_str("null"),
+        Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+        Json::I64(n) => out.push_str(&n.to_string()),
+        Json::U64(n) => out.push_str(&n.to_string()),
+        Json::F64(x) => write_f64(*x, out),
+        Json::Str(s) => write_escaped(s, out),
+        Json::Arr(items) => {
+            out.push('[');
+            for (k, item) in items.iter().enumerate() {
+                if k > 0 {
+                    out.push(',');
+                }
+                write_compact(item, out);
+            }
+            out.push(']');
+        }
+        Json::Obj(fields) => {
+            out.push('{');
+            for (k, (key, val)) in fields.iter().enumerate() {
+                if k > 0 {
+                    out.push(',');
+                }
+                write_escaped(key, out);
+                out.push(':');
+                write_compact(val, out);
+            }
+            out.push('}');
+        }
+    }
+}
+
+fn write_pretty(v: &Json, depth: usize, out: &mut String) {
+    match v {
+        Json::Arr(items) if !items.is_empty() => {
+            out.push('[');
+            for (k, item) in items.iter().enumerate() {
+                if k > 0 {
+                    out.push(',');
+                }
+                out.push('\n');
+                indent(depth + 1, out);
+                write_pretty(item, depth + 1, out);
+            }
+            out.push('\n');
+            indent(depth, out);
+            out.push(']');
+        }
+        Json::Obj(fields) if !fields.is_empty() => {
+            out.push('{');
+            for (k, (key, val)) in fields.iter().enumerate() {
+                if k > 0 {
+                    out.push(',');
+                }
+                out.push('\n');
+                indent(depth + 1, out);
+                write_escaped(key, out);
+                out.push_str(": ");
+                write_pretty(val, depth + 1, out);
+            }
+            out.push('\n');
+            indent(depth, out);
+            out.push('}');
+        }
+        other => write_compact(other, out),
+    }
+}
+
+fn indent(depth: usize, out: &mut String) {
+    for _ in 0..depth {
+        out.push_str("  ");
+    }
+}
+
+fn write_f64(x: f64, out: &mut String) {
+    if x.is_finite() {
+        // `{:?}` is shortest-roundtrip and keeps a trailing `.0`, matching
+        // serde_json's ryu output for the values this workspace emits.
+        out.push_str(&format!("{x:?}"));
+    } else {
+        out.push_str("null");
+    }
+}
+
+fn write_escaped(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn compact_matches_serde_json_shape() {
+        let v = Json::Obj(vec![
+            ("threads".into(), Json::U64(2)),
+            ("seconds".into(), Json::F64(1.5)),
+            ("label".into(), Json::Str("EP/Zig".into())),
+            ("pts".into(), Json::Arr(vec![Json::I64(-1), Json::Null])),
+        ]);
+        assert_eq!(
+            to_string(&v).unwrap(),
+            r#"{"threads":2,"seconds":1.5,"label":"EP/Zig","pts":[-1,null]}"#
+        );
+    }
+
+    #[test]
+    fn floats_keep_decimal_point() {
+        assert_eq!(to_string(&1.0f64).unwrap(), "1.0");
+        assert_eq!(to_string(&f64::NAN).unwrap(), "null");
+    }
+
+    #[test]
+    fn pretty_indents_two_spaces() {
+        let v = Json::Obj(vec![("a".into(), Json::Arr(vec![Json::U64(1)]))]);
+        assert_eq!(
+            to_string_pretty(&v).unwrap(),
+            "{\n  \"a\": [\n    1\n  ]\n}"
+        );
+    }
+}
