@@ -109,8 +109,8 @@ fn bench_reduction_tree() -> f64 {
             for tid in 0..THREADS {
                 let (cells, trees, bar) = (&cells, &trees, &bar);
                 s.spawn(move || {
-                    for r in 0..ROUNDS {
-                        trees[r].merge(tid, tid as f64, &cells[r]);
+                    for (tree, cell) in trees.iter().zip(cells.iter()) {
+                        tree.merge(tid, tid as f64, cell);
                         bar.wait();
                     }
                 });
@@ -130,8 +130,8 @@ fn bench_reduction_flat() -> f64 {
             for tid in 0..THREADS {
                 let (cells, bar) = (&cells, &bar);
                 s.spawn(move || {
-                    for r in 0..ROUNDS {
-                        cells[r].combine(tid as f64);
+                    for cell in cells.iter() {
+                        cell.combine(tid as f64);
                         bar.wait();
                     }
                 });

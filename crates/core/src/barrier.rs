@@ -114,10 +114,13 @@ impl Barrier {
         if self.n == 1 {
             return true;
         }
-        match &self.core {
+        let t0 = crate::trace::barrier_begin();
+        let (leader, parked) = match &self.core {
             BarrierCore::Central(c) => c.wait(),
             BarrierCore::Tree(t) => t.wait(tid),
-        }
+        };
+        crate::trace::barrier_end(t0, parked);
+        leader
     }
 
     /// Id-less [`Barrier::wait_as`]: derives a per-cycle id from an arrival
@@ -155,7 +158,9 @@ impl CentralBarrier {
         }
     }
 
-    fn wait(&self) -> bool {
+    /// Returns `(leader, parked)`: whether this arrival was the releasing
+    /// last arriver, and whether its wait fell through to a condvar park.
+    fn wait(&self) -> (bool, bool) {
         let gen = self.generation.load(Ordering::Acquire);
         // AcqRel: the last arriver's read end of this RMW pulls in every
         // earlier thread's pre-barrier writes; the write end publishes ours.
@@ -170,12 +175,12 @@ impl CentralBarrier {
             // the waiters' acquire loads below.
             self.generation.fetch_add(1, Ordering::Release);
             self.cvar.notify_all();
-            true
+            (true, false)
         } else {
-            spin_then_park(&self.mutex, &self.cvar, || {
+            let parked = spin_then_park(&self.mutex, &self.cvar, || {
                 self.generation.load(Ordering::Acquire) != gen
             });
-            false
+            (false, parked)
         }
     }
 }
@@ -248,7 +253,8 @@ impl TreeBarrier {
         }
     }
 
-    fn wait(&self, tid: usize) -> bool {
+    /// Returns `(leader, parked)` — see [`CentralBarrier::wait`].
+    fn wait(&self, tid: usize) -> (bool, bool) {
         let gen = self.generation.load(Ordering::Acquire);
         let mut node = self.leaf_of[tid];
         loop {
@@ -259,10 +265,10 @@ impl TreeBarrier {
             let pos = nd.arrived.fetch_add(1, Ordering::AcqRel) + 1;
             if pos < nd.expect {
                 // Not last at this node: wait for the root release.
-                spin_then_park(&self.mutex, &self.cvar, || {
+                let parked = spin_then_park(&self.mutex, &self.cvar, || {
                     self.generation.load(Ordering::Acquire) != gen
                 });
-                return false;
+                return (false, parked);
             }
             // Last arriver: reset for the next cycle, then ascend. Relaxed
             // is enough — the reset is published to next-cycle arrivers by
@@ -277,7 +283,7 @@ impl TreeBarrier {
                     // waiters' acquire loads.
                     self.generation.fetch_add(1, Ordering::Release);
                     self.cvar.notify_all();
-                    return true;
+                    return (true, false);
                 }
             }
         }
@@ -285,10 +291,12 @@ impl TreeBarrier {
 }
 
 /// Spin for [`SPIN_ROUNDS`], then block on the condvar until `done()`.
-fn spin_then_park(mutex: &Mutex<()>, cvar: &Condvar, done: impl Fn() -> bool) {
+/// Returns `true` if the wait gave up spinning and parked — the
+/// spin-vs-park transition the observability counters report.
+fn spin_then_park(mutex: &Mutex<()>, cvar: &Condvar, done: impl Fn() -> bool) -> bool {
     for _ in 0..SPIN_ROUNDS {
         if done() {
-            return;
+            return false;
         }
         std::hint::spin_loop();
         std::thread::yield_now();
@@ -297,6 +305,7 @@ fn spin_then_park(mutex: &Mutex<()>, cvar: &Condvar, done: impl Fn() -> bool) {
     while !done() {
         cvar.wait(&mut g);
     }
+    true
 }
 
 /// A one-shot countdown latch used for region join: the master waits until

@@ -28,10 +28,11 @@ use std::ops::Range;
 use std::sync::Arc;
 
 use crate::schedule::{
-    static_block, DynamicDispatch, GuidedDispatch, LoopBounds, Schedule, ScheduleKind,
+    static_block, ChunkOrigin, DynamicDispatch, GuidedDispatch, LoopBounds, Schedule, ScheduleKind,
     StaticChunked,
 };
 use crate::team::{Dispatcher, ThreadCtx};
+use crate::trace;
 
 pub use crate::team::fork_call;
 
@@ -80,6 +81,13 @@ pub struct DispatchHandle<'a, 'b> {
     slot: &'a crate::team::ConstructSlot,
     dispatcher: Arc<Dispatcher>,
     finished: bool,
+    /// Trace state: construct-entry timestamp, trip/label for the
+    /// `LoopDispatch` span, and the claimed-but-unclosed chunk whose body
+    /// runs between `next` calls.
+    t0: u64,
+    trip: u64,
+    label: &'static str,
+    pending: Option<(ChunkOrigin, u64, u64, u64)>,
 }
 
 /// `__kmpc_dispatch_init`: enter a dynamic/guided/runtime worksharing loop.
@@ -99,6 +107,7 @@ pub fn dispatch_init<'a, 'b>(
     };
     let (slot, _c) = ctx.enter_construct();
     let nth = ctx.num_threads();
+    let t0 = trace::dispatch_begin_ts(true);
     let dispatcher = ctx.slot_dispatcher(slot, || match sched.kind {
         ScheduleKind::Guided => Dispatcher::Guided(GuidedDispatch::new(trip, nth, sched.chunk)),
         _ => Dispatcher::Dynamic(DynamicDispatch::new(trip, nth, sched.chunk)),
@@ -108,6 +117,13 @@ pub fn dispatch_init<'a, 'b>(
         slot,
         dispatcher,
         finished: false,
+        t0,
+        trip,
+        label: match sched.kind {
+            ScheduleKind::Guided => "guided",
+            _ => "dynamic",
+        },
+        pending: None,
     }
 }
 
@@ -120,8 +136,19 @@ impl DispatchHandle<'_, '_> {
         if self.finished {
             return None;
         }
-        match self.dispatcher.next(self.ctx.thread_num()) {
-            Some(r) => Some(r),
+        // The previous chunk's body ran between `next` calls: close its
+        // trace span before claiming the next one.
+        if let Some((origin, start, len, t0)) = self.pending.take() {
+            trace::chunk(origin, start, len, t0);
+        }
+        match self.dispatcher.next_with_origin(self.ctx.thread_num()) {
+            Some((r, origin)) => {
+                if trace::active() {
+                    self.pending =
+                        Some((origin, r.start, r.end - r.start, trace::chunk_begin_ts()));
+                }
+                Some(r)
+            }
             None => {
                 self.finish();
                 None
@@ -132,6 +159,10 @@ impl DispatchHandle<'_, '_> {
     fn finish(&mut self) {
         if !self.finished {
             self.finished = true;
+            if let Some((origin, start, len, t0)) = self.pending.take() {
+                trace::chunk(origin, start, len, t0);
+            }
+            trace::dispatch_end(self.label, self.trip, true, self.t0);
             self.ctx.finish_construct(self.slot);
         }
     }
@@ -168,11 +199,19 @@ pub fn static_loop<F: FnMut(i64)>(
     mut body: F,
 ) {
     let trip = bounds.trip_count();
+    let t_construct = trace::dispatch_begin_ts(false);
     for r in for_static_init(ctx.thread_num(), ctx.num_threads(), trip, chunk) {
+        if r.is_empty() {
+            continue;
+        }
+        let t0 = trace::chunk_begin_ts();
+        let (start, len) = (r.start, r.end - r.start);
         for i in r {
             body(bounds.iter_value(i));
         }
+        trace::chunk(ChunkOrigin::Owned, start, len, t0);
     }
+    trace::dispatch_end("static", trip, false, t_construct);
     for_static_fini(ctx, nowait);
 }
 

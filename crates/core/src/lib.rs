@@ -62,11 +62,13 @@ pub mod shared;
 pub mod sync;
 pub mod team;
 pub mod threadprivate;
+pub mod trace;
 pub mod workshare;
 
 pub use reduction::RedOp;
 pub use schedule::{LoopBounds, Schedule, ScheduleKind};
 pub use team::{fork_call, Parallel, ThreadCtx};
+pub use trace::MetricsSnapshot;
 pub use workshare::{parallel_for, parallel_reduce};
 
 /// Commonly used items, for glob import.

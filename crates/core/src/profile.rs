@@ -1,12 +1,23 @@
-//! Region profiling — the paper's future work, implemented.
+//! Region profiling — the paper's future work, implemented on the event
+//! stream.
 //!
 //! §VI proposes "modifying the compiler to automatically instrument
 //! applications" with profiling calls, "providing functionality similar to
-//! that of gprof". Here the *runtime* provides it: when profiling is
-//! enabled, every parallel region records its wall-clock duration and team
-//! size under a label (set with [`crate::team::Parallel::label`], or the
-//! default `<parallel>`), with zero overhead on the hot path when disabled
-//! (one relaxed atomic load).
+//! that of gprof". Here the *runtime* provides it, as a reporting layer
+//! over [`crate::trace`]: enabling profiling turns on the per-thread event
+//! rings, and [`report`] / [`breakdown`] fold the recorded spans into
+//! gprof-style tables. There is no profiling-specific hot path any more —
+//! the old implementation took a global registry mutex on every region
+//! exit; regions now write one event into their thread's lock-free ring,
+//! and aggregation happens once, at report time.
+//!
+//! [`report`] is the flat profile (per-label invocation counts and wall
+//! time, one entry per region). [`breakdown`] goes below the region: using
+//! the nested loop/chunk/barrier/reduction spans it splits each region's
+//! per-thread busy time into *compute*, *dispatch overhead* (worksharing
+//! protocol time not spent in loop bodies), *barrier wait*, *reduction*,
+//! and the master's *join* wait — the decomposition that explains where a
+//! schedule's time actually goes.
 //!
 //! ```
 //! use zomp::prelude::*;
@@ -20,60 +31,46 @@
 //! ```
 
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::OnceLock;
 use std::time::Duration;
 
-use parking_lot::Mutex;
+use crate::trace::{self, Event, EventKind};
 
-// Relaxed everywhere: an independent on/off flag; recorded data is guarded
-// by the registry mutex, not by this atomic.
-static ENABLED: AtomicBool = AtomicBool::new(false);
-
-#[derive(Debug, Clone, Default)]
-struct Accum {
-    invocations: u64,
-    total: Duration,
-    max: Duration,
-    threads_sum: u64,
-}
-
-fn registry() -> &'static Mutex<HashMap<String, Accum>> {
-    static REG: OnceLock<Mutex<HashMap<String, Accum>>> = OnceLock::new();
-    REG.get_or_init(|| Mutex::new(HashMap::new()))
-}
-
-/// Turn region instrumentation on.
+/// Turn region instrumentation on (event rings + counters).
 pub fn enable() {
-    ENABLED.store(true, Ordering::Relaxed);
+    trace::enable_events();
+    trace::enable_counters();
 }
 
 /// Turn region instrumentation off (recorded data is kept).
 pub fn disable() {
-    ENABLED.store(false, Ordering::Relaxed);
+    trace::disable(trace::EVENTS | trace::COUNTERS);
 }
 
 /// Is instrumentation currently on?
 #[inline]
 pub fn enabled() -> bool {
-    ENABLED.load(Ordering::Relaxed)
+    trace::mode() & trace::EVENTS != 0
 }
 
 /// Drop all recorded data.
 pub fn reset() {
-    registry().lock().clear();
+    trace::reset();
 }
 
-pub(crate) fn record(label: &str, threads: usize, elapsed: Duration) {
-    let mut reg = registry().lock();
-    let a = reg.entry(label.to_string()).or_default();
-    a.invocations += 1;
-    a.total += elapsed;
-    a.max = a.max.max(elapsed);
-    a.threads_sum += threads as u64;
+/// Display label for regions recorded without one (tracing enabled
+/// mid-region, or a hand-built `Parallel` in a context with no caller
+/// location).
+const UNLABELLED: &str = "<parallel>";
+
+fn display_label(ev: &Event) -> &str {
+    if ev.label.is_empty() {
+        UNLABELLED
+    } else {
+        ev.label
+    }
 }
 
-/// One profiled region label.
+/// One profiled region label (flat profile entry).
 #[derive(Debug, Clone)]
 pub struct RegionStat {
     pub label: String,
@@ -85,20 +82,142 @@ pub struct RegionStat {
 }
 
 /// Snapshot of all recorded regions, sorted by total time descending
-/// (gprof-style "flat profile").
+/// (gprof-style "flat profile"). Folds the master-side `Parallel` spans,
+/// so invocation counts match [`crate::team::fork_call`] calls regardless
+/// of team size.
 pub fn report() -> Vec<RegionStat> {
-    let reg = registry().lock();
-    let mut out: Vec<RegionStat> = reg
-        .iter()
+    #[derive(Default)]
+    struct Accum {
+        invocations: u64,
+        total_ns: u64,
+        max_ns: u64,
+        threads_sum: u64,
+    }
+    let mut acc: HashMap<String, Accum> = HashMap::new();
+    for (_seq, _name, events) in trace::all_events() {
+        for ev in events {
+            if ev.kind != EventKind::Parallel {
+                continue;
+            }
+            let a = acc.entry(display_label(&ev).to_string()).or_default();
+            a.invocations += 1;
+            a.total_ns += ev.dur_ns;
+            a.max_ns = a.max_ns.max(ev.dur_ns);
+            a.threads_sum += ev.a;
+        }
+    }
+    let mut out: Vec<RegionStat> = acc
+        .into_iter()
         .map(|(label, a)| RegionStat {
-            label: label.clone(),
+            label,
             invocations: a.invocations,
-            total: a.total,
-            max: a.max,
+            total: Duration::from_nanos(a.total_ns),
+            max: Duration::from_nanos(a.max_ns),
             mean_threads: a.threads_sum as f64 / a.invocations.max(1) as f64,
         })
         .collect();
     out.sort_by_key(|r| std::cmp::Reverse(r.total));
+    out
+}
+
+/// Per-construct time breakdown of one region label, summed over every
+/// participating thread's span (so durations are CPU time across the team,
+/// not wall clock).
+#[derive(Debug, Clone)]
+pub struct BreakdownStat {
+    pub label: String,
+    /// Region invocations (master spans).
+    pub invocations: u64,
+    /// Per-thread busy time inside the region's spans.
+    pub busy: Duration,
+    /// Busy time minus everything attributed below: loop bodies plus any
+    /// serial code in the region.
+    pub compute: Duration,
+    /// Worksharing protocol overhead: loop-construct time not spent
+    /// executing claimed chunks (dispatch init, claim/steal traffic).
+    pub dispatch: Duration,
+    /// Time waiting in barriers.
+    pub barrier: Duration,
+    /// Time in reduction combines.
+    pub reduction: Duration,
+    /// The master's join wait on the worker latch.
+    pub join: Duration,
+}
+
+/// Fold the event stream into a per-region-label breakdown of where
+/// thread time went: compute vs dispatch overhead vs barrier wait vs
+/// reduction vs join. Sorted by busy time descending.
+pub fn breakdown() -> Vec<BreakdownStat> {
+    #[derive(Default)]
+    struct Accum {
+        invocations: u64,
+        busy_ns: u64,
+        loops_ns: u64,
+        chunks_ns: u64,
+        barrier_ns: u64,
+        reduction_ns: u64,
+        join_ns: u64,
+    }
+    let contains = |outer: &Event, inner: &Event| {
+        inner.t_ns >= outer.t_ns && inner.t_ns + inner.dur_ns <= outer.t_ns + outer.dur_ns
+    };
+    let mut acc: HashMap<String, Accum> = HashMap::new();
+    for (_seq, _name, events) in trace::all_events() {
+        let regions: Vec<&Event> = events
+            .iter()
+            .filter(|e| matches!(e.kind, EventKind::Parallel | EventKind::Implicit))
+            .collect();
+        for ev in &events {
+            // Attribute each sub-span to the innermost enclosing region
+            // span on the same thread (max start among those containing
+            // it — regions nest, they never partially overlap).
+            let region = regions
+                .iter()
+                .filter(|r| !std::ptr::eq(**r, ev) && contains(r, ev))
+                .max_by_key(|r| r.t_ns);
+            match ev.kind {
+                EventKind::Parallel | EventKind::Implicit => {
+                    let a = acc.entry(display_label(ev).to_string()).or_default();
+                    if ev.kind == EventKind::Parallel {
+                        a.invocations += 1;
+                    }
+                    a.busy_ns += ev.dur_ns;
+                }
+                _ => {
+                    let Some(region) = region else { continue };
+                    let a = acc.entry(display_label(region).to_string()).or_default();
+                    match ev.kind {
+                        EventKind::LoopDispatch => a.loops_ns += ev.dur_ns,
+                        EventKind::ChunkOwned | EventKind::ChunkStolen => a.chunks_ns += ev.dur_ns,
+                        EventKind::BarrierWait => a.barrier_ns += ev.dur_ns,
+                        EventKind::ReductionCombine => a.reduction_ns += ev.dur_ns,
+                        EventKind::TaskWait => a.join_ns += ev.dur_ns,
+                        EventKind::Parallel | EventKind::Implicit => unreachable!(),
+                    }
+                }
+            }
+        }
+    }
+    let mut out: Vec<BreakdownStat> = acc
+        .into_iter()
+        .map(|(label, a)| {
+            let dispatch_ns = a.loops_ns.saturating_sub(a.chunks_ns);
+            let compute_ns = a
+                .busy_ns
+                .saturating_sub(dispatch_ns + a.barrier_ns + a.reduction_ns + a.join_ns);
+            BreakdownStat {
+                label,
+                invocations: a.invocations,
+                busy: Duration::from_nanos(a.busy_ns),
+                compute: Duration::from_nanos(compute_ns),
+                dispatch: Duration::from_nanos(dispatch_ns),
+                barrier: Duration::from_nanos(a.barrier_ns),
+                reduction: Duration::from_nanos(a.reduction_ns),
+                join: Duration::from_nanos(a.join_ns),
+            }
+        })
+        .collect();
+    out.sort_by_key(|r| std::cmp::Reverse(r.busy));
     out
 }
 
@@ -119,13 +238,38 @@ pub fn render_report() -> String {
     s
 }
 
+/// Render the per-construct breakdown as a table (all columns in
+/// milliseconds of summed per-thread time).
+pub fn render_breakdown() -> String {
+    let ms = |d: Duration| d.as_secs_f64() * 1e3;
+    let mut s = String::from(
+        "region                          calls    busy (ms) compute (ms) dispatch (ms) barrier (ms)  reduce (ms)    join (ms)\n",
+    );
+    for r in breakdown() {
+        s.push_str(&format!(
+            "{:<30} {:>6} {:>12.3} {:>12.3} {:>13.3} {:>12.3} {:>12.3} {:>12.3}\n",
+            r.label,
+            r.invocations,
+            ms(r.busy),
+            ms(r.compute),
+            ms(r.dispatch),
+            ms(r.barrier),
+            ms(r.reduction),
+            ms(r.join),
+        ));
+    }
+    s
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::team::{fork_call, Parallel};
+    use crate::trace::test_serial;
 
     #[test]
     fn records_labelled_regions() {
+        let _g = test_serial();
         reset();
         enable();
         for _ in 0..3 {
@@ -147,6 +291,7 @@ mod tests {
 
     #[test]
     fn disabled_profiling_records_nothing() {
+        let _g = test_serial();
         reset();
         disable();
         fork_call(Parallel::new().num_threads(2).label("ghost"), |_| {});
@@ -155,6 +300,7 @@ mod tests {
 
     #[test]
     fn render_contains_header_and_rows() {
+        let _g = test_serial();
         reset();
         enable();
         fork_call(Parallel::new().num_threads(2).label("rendered"), |_| {});
@@ -162,5 +308,51 @@ mod tests {
         let table = render_report();
         assert!(table.contains("region"));
         assert!(table.contains("rendered"));
+    }
+
+    #[test]
+    fn unlabelled_regions_get_caller_location() {
+        let _g = test_serial();
+        reset();
+        enable();
+        fork_call(Parallel::new().num_threads(2), |_| {});
+        disable();
+        // #[track_caller] auto-label: this file's name, some line.
+        assert!(
+            report().iter().any(|r| r.label.contains("profile.rs")),
+            "expected a file:line auto-label, got {:?}",
+            report().iter().map(|r| r.label.clone()).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn breakdown_decomposes_a_loop_region() {
+        let _g = test_serial();
+        reset();
+        enable();
+        fork_call(Parallel::new().num_threads(4).label("bd"), |ctx| {
+            crate::workshare::for_loop(
+                ctx,
+                crate::schedule::Schedule::dynamic(Some(8)),
+                0..4096i64,
+                false,
+                |i| {
+                    std::hint::black_box(i);
+                },
+            );
+        });
+        disable();
+        let bd = breakdown();
+        let r = bd.iter().find(|r| r.label == "bd").expect("region present");
+        assert_eq!(r.invocations, 1);
+        assert!(r.busy > Duration::ZERO);
+        // The pieces never exceed the busy total.
+        assert!(
+            r.compute + r.dispatch + r.barrier + r.reduction + r.join
+                <= r.busy + Duration::from_micros(1)
+        );
+        // A dispatched loop must show some loop-protocol activity
+        // (dispatch overhead can round to ~0, but chunks ran: compute > 0).
+        assert!(r.compute > Duration::ZERO);
     }
 }

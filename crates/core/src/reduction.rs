@@ -309,8 +309,18 @@ impl<T: Reduce> RedCell<T> {
     }
 
     /// Atomically merge a thread's partial result.
+    ///
+    /// This is the single funnel every reduction construct drains through
+    /// (tree merges fold partials privately and the root calls here once),
+    /// so it is where [`crate::trace`] observes `ReductionCombine`.
     pub fn combine(&self, partial: T) {
+        let t0 = if crate::trace::mode() == 0 {
+            0
+        } else {
+            crate::trace::now_ns()
+        };
         T::atomic_combine(&self.cell, self.op, partial);
+        crate::trace::reduction_combine(t0);
     }
 
     /// Read the combined value (call after the region barrier).

@@ -284,6 +284,20 @@ impl Iterator for StaticChunked {
 /// OpenMP spec mandates 1).
 pub const DYNAMIC_DEFAULT_CHUNK: u64 = 1;
 
+/// How a dispatched chunk was obtained — the claim-path provenance reported
+/// to [`crate::trace`] (`ompt_dispatch_ws_loop_chunk`-style event payload).
+///
+/// `Owned` covers claims served from the calling thread's own deck slot or
+/// owner-private batch cache (including remainders a previous steal
+/// published there — the *claim* itself was local and uncontended), plus
+/// every static-schedule chunk and the legacy shared-cursor protocols.
+/// `Stolen` marks claims that CAS-carved a range out of a victim's slot.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ChunkOrigin {
+    Owned,
+    Stolen,
+}
+
 /// Largest trip count the work-stealing deck handles: ranges are packed as
 /// two `u32` halves into one `AtomicU64`, and the owner's fetch-add claims
 /// need headroom in the low half (see [`StealSlot::range`]). Loops longer
@@ -322,10 +336,11 @@ struct StealSlot {
     /// batches capped at [`STEAL_BATCH_CAP`] the low half never carries into
     /// the high half.
     range: AtomicU64,
-    /// Owner-private cache of one claimed batch `(lo, hi)`, drained
-    /// chunk-by-chunk without touching shared state. Never read or written by
-    /// other threads (see the `Sync` impl note).
-    local: UnsafeCell<(u32, u32)>,
+    /// Owner-private cache of one claimed batch `(lo, hi, stolen)`, drained
+    /// chunk-by-chunk without touching shared state; `stolen` remembers the
+    /// batch's [`ChunkOrigin`] for tracing. Never read or written by other
+    /// threads (see the `Sync` impl note).
+    local: UnsafeCell<(u32, u32, bool)>,
 }
 
 // SAFETY: `local` is only ever accessed by the slot's owning thread — the
@@ -359,7 +374,7 @@ impl StealDeck {
                 let r = static_block(tid, nth, trip);
                 CachePadded::new(StealSlot {
                     range: AtomicU64::new(pack(r.start as u32, r.end as u32)),
-                    local: UnsafeCell::new((0, 0)),
+                    local: UnsafeCell::new((0, 0, false)),
                 })
             })
             .collect();
@@ -423,6 +438,9 @@ impl StealDeck {
                 }
             }
         }
+        // Exhaustion probe: every victim scanned, nothing left to take.
+        // Off the claim hot path — reached once per thread per construct.
+        crate::trace::steal_failure();
         None
     }
 
@@ -436,7 +454,7 @@ impl StealDeck {
     /// `schedule(dynamic)` claim protocol: fixed `chunk`-sized pieces, with
     /// owner claims batched [`STEAL_BATCH`] chunks at a time.
     #[inline]
-    fn next_dynamic(&self, tid: usize, chunk: u64) -> Option<Range<u64>> {
+    fn next_dynamic(&self, tid: usize, chunk: u64) -> Option<(Range<u64>, ChunkOrigin)> {
         let slot = &self.slots[tid];
         // SAFETY: `local` is owner-private per the `next(tid)` contract.
         let cache = unsafe { &mut *slot.local.get() };
@@ -445,18 +463,23 @@ impl StealDeck {
                 let lo = cache.0;
                 let hi = ((lo as u64 + chunk).min(cache.1 as u64)) as u32;
                 cache.0 = hi;
-                return Some(lo as u64..hi as u64);
+                let origin = if cache.2 {
+                    ChunkOrigin::Stolen
+                } else {
+                    ChunkOrigin::Owned
+                };
+                return Some((lo as u64..hi as u64, origin));
             }
             let batch = (chunk.saturating_mul(STEAL_BATCH)).min(STEAL_BATCH_CAP);
-            if let Some(claimed) = self.claim_local(tid, batch) {
-                *cache = claimed;
+            if let Some((lo, hi)) = self.claim_local(tid, batch) {
+                *cache = (lo, hi, false);
                 continue;
             }
             match self.steal(tid, 1) {
                 Some((lo, hi)) => {
                     // Keep one batch for ourselves, publish the rest.
                     let take = ((lo as u64 + batch).min(hi as u64)) as u32;
-                    *cache = (lo, take);
+                    *cache = (lo, take, true);
                     if take < hi {
                         self.install(tid, take, hi);
                     }
@@ -471,7 +494,7 @@ impl StealDeck {
     /// with `~trip/nth` iterations, the first chunk is `~trip/(2*nth)` —
     /// the same decay shape as the classic global formula
     /// `ceil(remaining / (2 * nth))`, without the shared CAS hot spot.
-    fn next_guided(&self, tid: usize, min_chunk: u64) -> Option<Range<u64>> {
+    fn next_guided(&self, tid: usize, min_chunk: u64) -> Option<(Range<u64>, ChunkOrigin)> {
         // A claim never leaves a remnant below `min_chunk` behind: the spec
         // allows only final-remainder chunks below the clause minimum.
         let sized = |rem: u64| {
@@ -498,7 +521,7 @@ impl StealDeck {
                     )
                     .is_ok()
                 {
-                    return Some(lo as u64..lo as u64 + take);
+                    return Some((lo as u64..lo as u64 + take, ChunkOrigin::Owned));
                 }
                 // Raced with a thief; re-read and retry.
                 continue;
@@ -510,7 +533,7 @@ impl StealDeck {
                     if split < shi {
                         self.install(tid, split, shi);
                     }
-                    return Some(slo as u64..split as u64);
+                    return Some((slo as u64..split as u64, ChunkOrigin::Stolen));
                 }
                 None => return None,
             }
@@ -577,9 +600,16 @@ impl DynamicDispatch {
     /// `tid` is accessed without locks.
     #[inline]
     pub fn next(&self, tid: usize) -> Option<Range<u64>> {
+        self.next_with_origin(tid).map(|(r, _)| r)
+    }
+
+    /// [`next`](Self::next) plus the chunk's claim-path provenance, for the
+    /// observability layer.
+    #[inline]
+    pub fn next_with_origin(&self, tid: usize) -> Option<(Range<u64>, ChunkOrigin)> {
         match &self.core {
             DynCore::Steal(deck) => deck.next_dynamic(tid, self.chunk),
-            DynCore::Legacy(d) => d.next(),
+            DynCore::Legacy(d) => d.next().map(|r| (r, ChunkOrigin::Owned)),
         }
     }
 
@@ -623,9 +653,16 @@ impl GuidedDispatch {
     /// as [`DynamicDispatch::next`].
     #[inline]
     pub fn next(&self, tid: usize) -> Option<Range<u64>> {
+        self.next_with_origin(tid).map(|(r, _)| r)
+    }
+
+    /// [`next`](Self::next) plus the chunk's claim-path provenance, for the
+    /// observability layer.
+    #[inline]
+    pub fn next_with_origin(&self, tid: usize) -> Option<(Range<u64>, ChunkOrigin)> {
         match &self.core {
             GuidedCore::Steal(deck) => deck.next_guided(tid, self.min_chunk),
-            GuidedCore::Legacy(g) => g.next(),
+            GuidedCore::Legacy(g) => g.next().map(|r| (r, ChunkOrigin::Owned)),
         }
     }
 }
@@ -878,6 +915,28 @@ mod tests {
             }
         });
         assert!(hits.iter().all(|h| h.load(Ordering::Relaxed) == 1));
+    }
+
+    #[test]
+    fn origins_distinguish_owned_and_stolen() {
+        // Thread 0 draining a 4-way deck alone must claim its own block
+        // (Owned) and reach the other blocks through steals (Stolen).
+        let d = DynamicDispatch::new(1000, 4, Some(7));
+        let (mut owned, mut stolen) = (0u64, 0u64);
+        let mut total = 0u64;
+        while let Some((r, o)) = d.next_with_origin(0) {
+            total += r.end - r.start;
+            match o {
+                ChunkOrigin::Owned => owned += 1,
+                ChunkOrigin::Stolen => stolen += 1,
+            }
+        }
+        assert_eq!(total, 1000);
+        assert!(owned > 0, "own block must be claimed locally");
+        assert!(stolen > 0, "other blocks must be reached by stealing");
+        // Legacy fallback reports everything as Owned.
+        let d = DynamicDispatch::new(STEAL_MAX_TRIP + 10, 4, Some(1 << 20));
+        assert_eq!(d.next_with_origin(2).unwrap().1, ChunkOrigin::Owned);
     }
 
     #[test]

@@ -23,7 +23,8 @@ use parking_lot::{Condvar, Mutex};
 
 use crate::barrier::{Barrier, Latch};
 use crate::icv::Icvs;
-use crate::schedule::{DynamicDispatch, GuidedDispatch};
+use crate::schedule::{ChunkOrigin, DynamicDispatch, GuidedDispatch};
+use crate::trace;
 
 /// Number of in-flight worksharing-construct buffers per team. Threads may
 /// drift up to this many `nowait` constructs apart without blocking; libomp
@@ -39,12 +40,16 @@ pub(crate) enum Dispatcher {
 }
 
 impl Dispatcher {
-    /// Claim the next chunk for team thread `tid` (the work-stealing decks
-    /// key per-thread state by team id, so callers pass their own).
-    pub(crate) fn next(&self, tid: usize) -> Option<std::ops::Range<u64>> {
+    /// Claim the next chunk for team thread `tid`, plus claim-path
+    /// provenance for the observability layer (the work-stealing decks key
+    /// per-thread state by team id, so callers pass their own).
+    pub(crate) fn next_with_origin(
+        &self,
+        tid: usize,
+    ) -> Option<(std::ops::Range<u64>, ChunkOrigin)> {
         match self {
-            Dispatcher::Dynamic(d) => d.next(tid),
-            Dispatcher::Guided(g) => g.next(tid),
+            Dispatcher::Dynamic(d) => d.next_with_origin(tid),
+            Dispatcher::Guided(g) => g.next_with_origin(tid),
         }
     }
 }
@@ -87,12 +92,15 @@ pub struct TeamShared {
     nthreads: usize,
     barrier: Barrier,
     slots: Box<[ConstructSlot]>,
+    /// Region label (pragma `file:line` or `.label()`), carried so worker
+    /// threads can tag their implicit-task trace spans.
+    label: &'static str,
     /// First panic payload raised inside the region, re-thrown by the master.
     panic_payload: Mutex<Option<Box<dyn std::any::Any + Send>>>,
 }
 
 impl TeamShared {
-    fn new(nthreads: usize) -> Self {
+    fn new(nthreads: usize, label: &'static str) -> Self {
         let slots = (0..NUM_CONSTRUCT_SLOTS)
             .map(|k| ConstructSlot {
                 gen: AtomicU64::new(k as u64),
@@ -104,6 +112,7 @@ impl TeamShared {
             nthreads,
             barrier: Barrier::new(nthreads),
             slots,
+            label,
             panic_payload: Mutex::new(None),
         }
     }
@@ -229,15 +238,19 @@ impl<'a> ThreadCtx<'a> {
     pub fn sections(&self, nowait: bool, sections: &[&(dyn Fn() + Sync)]) {
         let (slot, _c) = self.enter_construct();
         let nth = self.num_threads();
+        let t_construct = trace::dispatch_begin_ts(true);
         let dispatcher = self.slot_dispatcher(slot, || {
             Dispatcher::Dynamic(DynamicDispatch::new(sections.len() as u64, nth, Some(1)))
         });
-        while let Some(r) = dispatcher.next(self.thread_num()) {
-            for s in r {
+        while let Some((r, origin)) = dispatcher.next_with_origin(self.thread_num()) {
+            let t0 = trace::chunk_begin_ts();
+            for s in r.clone() {
                 sections[s as usize]();
             }
+            trace::chunk(origin, r.start, r.end - r.start, t0);
         }
         drop(dispatcher);
+        trace::dispatch_end("sections", sections.len() as u64, true, t_construct);
         self.team.release_slot(slot);
         if !nowait {
             self.barrier();
@@ -316,6 +329,11 @@ impl<'a> ThreadCtx<'a> {
         };
         let (slot, c) = self.enter_construct();
         let nth = self.num_threads();
+        let t0 = trace::dispatch_begin_ts(true);
+        let label = match sched.kind {
+            ScheduleKind::Guided => "guided",
+            _ => "dynamic",
+        };
         let dispatcher = self.slot_dispatcher(slot, || match sched.kind {
             ScheduleKind::Guided => Dispatcher::Guided(GuidedDispatch::new(trip, nth, sched.chunk)),
             _ => Dispatcher::Dynamic(DynamicDispatch::new(trip, nth, sched.chunk)),
@@ -324,17 +342,38 @@ impl<'a> ThreadCtx<'a> {
             construct: c,
             dispatcher,
             finished: std::cell::Cell::new(false),
+            trip,
+            label,
+            t0,
+            pending: std::cell::Cell::new(None),
         }
     }
 
     /// Claim the next chunk from a split-phase dispatch; releases the
     /// construct slot on exhaustion. Returns normalised iteration bounds.
+    ///
+    /// A split-phase claim's body runs *between* `dispatch_next` calls, so
+    /// each call closes out the previous chunk's trace span before opening
+    /// the next one (the handle's `pending` cell carries it over).
     pub fn dispatch_next(&self, d: &WsDispatch) -> Option<std::ops::Range<u64>> {
         if d.finished.get() {
             return None;
         }
-        match d.dispatcher.next(self.thread_num()) {
-            Some(r) => Some(r),
+        if let Some(p) = d.pending.take() {
+            trace::chunk(p.origin, p.start, p.len, p.t0);
+        }
+        match d.dispatcher.next_with_origin(self.thread_num()) {
+            Some((r, origin)) => {
+                if trace::active() {
+                    d.pending.set(Some(PendingChunk {
+                        origin,
+                        start: r.start,
+                        len: r.end - r.start,
+                        t0: trace::chunk_begin_ts(),
+                    }));
+                }
+                Some(r)
+            }
             None => {
                 self.dispatch_end(d);
                 None
@@ -346,6 +385,10 @@ impl<'a> ThreadCtx<'a> {
     pub fn dispatch_end(&self, d: &WsDispatch) {
         if !d.finished.get() {
             d.finished.set(true);
+            if let Some(p) = d.pending.take() {
+                trace::chunk(p.origin, p.start, p.len, p.t0);
+            }
+            trace::dispatch_end(d.label, d.trip, true, d.t0);
             let slot = &self.team.slots[(d.construct as usize) % NUM_CONSTRUCT_SLOTS];
             self.team.release_slot(slot);
         }
@@ -380,12 +423,29 @@ impl<'a> ThreadCtx<'a> {
     }
 }
 
+/// A claimed-but-unclosed chunk carried between split-phase
+/// `dispatch_next` calls so its body execution can be spanned.
+#[derive(Clone, Copy)]
+struct PendingChunk {
+    origin: ChunkOrigin,
+    start: u64,
+    len: u64,
+    t0: u64,
+}
+
 /// Split-phase dispatch handle for pragma-lowered worksharing loops. See
 /// [`ThreadCtx::dispatch_begin`].
 pub struct WsDispatch {
     construct: u64,
     dispatcher: Arc<Dispatcher>,
     finished: std::cell::Cell<bool>,
+    /// Trip count and schedule label, reported on the construct's
+    /// `LoopDispatch` trace span.
+    trip: u64,
+    label: &'static str,
+    /// Construct-entry timestamp (0 when tracing was off at entry).
+    t0: u64,
+    pending: std::cell::Cell<Option<PendingChunk>>,
 }
 
 /// Token of a split-phase `single` construct. See
@@ -453,10 +513,13 @@ fn worker_loop(slot: Arc<WorkerSlot>) {
         let result = panic::catch_unwind(AssertUnwindSafe(|| {
             let ctx = ThreadCtx::new(job.tid, &job.team);
             with_region_state(job.tid, job.team.nthreads, || {
+                let t0 = trace::stamp();
                 // SAFETY: the master blocks on `job.latch` until we count
                 // down, so the closure behind the raw pointer is alive.
                 let f = unsafe { &*job.task.0 };
                 f(&ctx);
+                // Implicit-task span: this worker's slice of the region.
+                trace::region_end(job.team.label, job.team.nthreads, false, t0);
             });
         }));
         if let Err(payload) = result {
@@ -603,42 +666,54 @@ impl Parallel {
 ///
 /// Panics raised inside the region are captured and re-raised on the master
 /// once all threads have joined.
+///
+/// When observability is on ([`crate::trace`]) and the region has no
+/// explicit [`Parallel::label`], it is auto-labelled with the caller's
+/// `file:line` (`#[track_caller]`) — the Rust-side equivalent of the
+/// front end stamping outlined regions with their pragma location.
+#[track_caller]
 pub fn fork_call<F>(par: Parallel, f: F)
 where
     F: for<'x> Fn(&ThreadCtx<'x>) + Sync,
 {
+    let caller = std::panic::Location::caller();
+    trace::init_from_env();
     let nested = current_region().is_some();
     let n = if nested { 1 } else { par.resolve_team_size() };
 
     // Region instrumentation (the paper's proposed profiling support):
-    // one relaxed load when disabled.
-    let prof_start = crate::profile::enabled().then(std::time::Instant::now);
-    struct ProfGuard {
-        start: Option<std::time::Instant>,
+    // one relaxed load when disabled, label resolution only when on.
+    let label = match par.label {
+        Some(l) => l,
+        None if trace::active() => trace::location_label(caller),
+        None => "",
+    };
+    // Close the master's region span on every exit path (incl. panic
+    // propagation after join); it covers the body *and* the join wait.
+    struct RegionGuard {
         label: &'static str,
         threads: usize,
+        t0: u64,
     }
-    impl Drop for ProfGuard {
+    impl Drop for RegionGuard {
         fn drop(&mut self) {
-            if let Some(start) = self.start {
-                crate::profile::record(self.label, self.threads, start.elapsed());
-            }
+            trace::region_end(self.label, self.threads, true, self.t0);
         }
     }
-    let _prof = ProfGuard {
-        start: prof_start,
-        label: par.label.unwrap_or("<parallel>"),
+    let _region = RegionGuard {
+        label,
         threads: n,
+        t0: trace::region_begin(label, n),
     };
 
     if n == 1 {
-        let team = TeamShared::new(1);
+        let team = TeamShared::new(1, label);
         let ctx = ThreadCtx::new(0, &team);
         with_region_state(0, 1, || f(&ctx));
         return;
     }
 
-    let team = Arc::new(TeamShared::new(n));
+    let team = Arc::new(TeamShared::new(n, label));
     let latch = Arc::new(Latch::new(n - 1));
     let fref: &(dyn for<'x> Fn(&ThreadCtx<'x>) + Sync) = &f;
     // SAFETY: we erase the lifetime, then guarantee liveness by not
@@ -665,7 +740,9 @@ where
         with_region_state(0, n, || f(&ctx));
     }));
 
+    let t_join = trace::stamp();
     latch.wait();
+    trace::task_wait(t_join);
     Pool::global().checkin(workers);
 
     if let Err(payload) = master_result {

@@ -17,10 +17,11 @@
 
 use crate::reduction::{RedCell, RedOp, Reduce, ReduceTree};
 use crate::schedule::{
-    static_block, DynamicDispatch, GuidedDispatch, LoopBounds, Schedule, ScheduleKind,
+    static_block, ChunkOrigin, DynamicDispatch, GuidedDispatch, LoopBounds, Schedule, ScheduleKind,
     StaticChunked,
 };
 use crate::team::{fork_call, Dispatcher, Parallel, ThreadCtx};
+use crate::trace;
 
 /// Resolve `schedule(runtime)` against the ICVs at loop entry.
 fn resolve_schedule(sched: Schedule) -> Schedule {
@@ -47,39 +48,63 @@ where
     let sched = resolve_schedule(sched);
 
     match sched.kind {
-        ScheduleKind::Static => match sched.chunk {
-            None => {
-                // __kmpc_for_static_init with kmp_sch_static.
-                let r = static_block(ctx.thread_num(), ctx.num_threads(), trip);
-                for i in r {
-                    f(bounds.iter_value(i));
+        ScheduleKind::Static => {
+            // Static partitioning has no dispatcher to initialise, but the
+            // construct still gets a LoopDispatch trace span with its
+            // (all-Owned) chunk spans nested inside.
+            let t_construct = trace::dispatch_begin_ts(false);
+            match sched.chunk {
+                None => {
+                    // __kmpc_for_static_init with kmp_sch_static.
+                    let r = static_block(ctx.thread_num(), ctx.num_threads(), trip);
+                    if !r.is_empty() {
+                        let t0 = trace::chunk_begin_ts();
+                        let (start, len) = (r.start, r.end - r.start);
+                        for i in r {
+                            f(bounds.iter_value(i));
+                        }
+                        trace::chunk(ChunkOrigin::Owned, start, len, t0);
+                    }
                 }
-            }
-            Some(chunk) => {
-                // kmp_sch_static_chunked: stride = chunk * nthreads.
-                for r in StaticChunked::new(ctx.thread_num(), ctx.num_threads(), trip, chunk) {
-                    for i in r {
-                        f(bounds.iter_value(i));
+                Some(chunk) => {
+                    // kmp_sch_static_chunked: stride = chunk * nthreads.
+                    for r in StaticChunked::new(ctx.thread_num(), ctx.num_threads(), trip, chunk) {
+                        let t0 = trace::chunk_begin_ts();
+                        let (start, len) = (r.start, r.end - r.start);
+                        for i in r {
+                            f(bounds.iter_value(i));
+                        }
+                        trace::chunk(ChunkOrigin::Owned, start, len, t0);
                     }
                 }
             }
-        },
+            trace::dispatch_end("static", trip, false, t_construct);
+        }
         ScheduleKind::Dynamic | ScheduleKind::Guided => {
             // __kmpc_dispatch_init / __kmpc_dispatch_next.
             let (slot, _c) = ctx.enter_construct();
             let nth = ctx.num_threads();
+            let t_construct = trace::dispatch_begin_ts(true);
+            let label = match sched.kind {
+                ScheduleKind::Dynamic => "dynamic",
+                _ => "guided",
+            };
             let dispatcher = ctx.slot_dispatcher(slot, || match sched.kind {
                 ScheduleKind::Dynamic => {
                     Dispatcher::Dynamic(DynamicDispatch::new(trip, nth, sched.chunk))
                 }
                 _ => Dispatcher::Guided(GuidedDispatch::new(trip, nth, sched.chunk)),
             });
-            while let Some(r) = dispatcher.next(ctx.thread_num()) {
+            while let Some((r, origin)) = dispatcher.next_with_origin(ctx.thread_num()) {
+                let t0 = trace::chunk_begin_ts();
+                let (start, len) = (r.start, r.end - r.start);
                 for i in r {
                     f(bounds.iter_value(i));
                 }
+                trace::chunk(origin, start, len, t0);
             }
             drop(dispatcher);
+            trace::dispatch_end(label, trip, true, t_construct);
             ctx.finish_construct(slot);
         }
         ScheduleKind::Runtime => unreachable!("resolved above"),
@@ -132,6 +157,7 @@ pub fn for_reduce<B, T, F>(
 
 /// Combined `parallel while` construct: fork a team and run one worksharing
 /// loop over `bounds`.
+#[track_caller]
 pub fn parallel_for<B, F>(par: Parallel, sched: Schedule, bounds: B, f: F)
 where
     B: Into<LoopBounds>,
@@ -147,6 +173,7 @@ where
 /// Combined `parallel while reduction(op: acc)` construct. Returns the
 /// reduced value (seeded with `init`, per OpenMP semantics where the
 /// original variable's value participates in the reduction).
+#[track_caller]
 pub fn parallel_reduce<B, T, F>(
     par: Parallel,
     sched: Schedule,
@@ -381,6 +408,7 @@ mod tests {
 
 /// Combined `parallel sections` construct: fork a team and distribute the
 /// given section bodies, each running exactly once.
+#[track_caller]
 pub fn parallel_sections(par: Parallel, sections: &[&(dyn Fn() + Sync)]) {
     fork_call(par, |ctx| {
         ctx.sections(true, sections);

@@ -30,12 +30,25 @@ use crate::FrontError;
 /// Preprocess until no pragmas remain; returns the final pragma-free
 /// source.
 pub fn preprocess(source: &str) -> Result<String, FrontError> {
-    Ok(preprocess_trace(source)?.0)
+    Ok(preprocess_inner(source, None)?.0)
+}
+
+/// [`preprocess`] with a compilation-unit name (normally the source file
+/// path). Each lowered parallel region then carries its pragma's
+/// `unit:line` as a leading string argument of `fork_call`, which the
+/// runtime's observability layer uses to label the region — trace slices
+/// and profile rows point back at the pragma instead of at the VM.
+pub fn preprocess_named(source: &str, unit: &str) -> Result<String, FrontError> {
+    Ok(preprocess_inner(source, Some(unit))?.0)
 }
 
 /// Like [`preprocess`], but also returns each intermediate pass output (for
 /// tests and for showing the pipeline in examples).
 pub fn preprocess_trace(source: &str) -> Result<(String, Vec<String>), FrontError> {
+    preprocess_inner(source, None)
+}
+
+fn preprocess_inner(source: &str, unit: Option<&str>) -> Result<(String, Vec<String>), FrontError> {
     let mut src = source.to_string();
     let mut trace = Vec::new();
     let mut counter = 0usize;
@@ -52,7 +65,7 @@ pub fn preprocess_trace(source: &str) -> Result<(String, Vec<String>), FrontErro
         } else {
             Step::Simple
         };
-        src = run_pass(&ast, step, &mut counter)?;
+        src = run_pass(&ast, step, &mut counter, unit)?;
         trace.push(src.clone());
     }
     Err(FrontError::new(0, "preprocessor did not converge"))
@@ -77,7 +90,12 @@ struct Payload {
     appendix: String,
 }
 
-fn run_pass(ast: &Ast, step: Step, counter: &mut usize) -> Result<String, FrontError> {
+fn run_pass(
+    ast: &Ast,
+    step: Step,
+    counter: &mut usize,
+    unit: Option<&str>,
+) -> Result<String, FrontError> {
     // Collect the directive nodes of this step, outermost-first: nodes
     // nested inside another selected node are left for a later iteration.
     let wanted: Vec<NodeId> = (0..ast.nodes.len() as u32)
@@ -115,7 +133,7 @@ fn run_pass(ast: &Ast, step: Step, counter: &mut usize) -> Result<String, FrontE
     for id in outermost {
         let node = *ast.node(id);
         let payload = match node.tag {
-            N::OmpParallel => replace_parallel(ast, id, &node, counter)?,
+            N::OmpParallel => replace_parallel(ast, id, &node, counter, unit)?,
             N::OmpWhile => replace_while(ast, id, &node, counter)?,
             _ => replace_simple(ast, id, &node)?,
         };
@@ -233,11 +251,20 @@ fn replace_parallel(
     id: NodeId,
     node: &Node,
     counter: &mut usize,
+    unit: Option<&str>,
 ) -> Result<Payload, FrontError> {
     let clauses = Clauses::read(&ast.extra_data, node.lhs);
     let region = *counter;
     *counter += 1;
     let fname = format!("__omp_outlined_{region}");
+    // Region label for the observability layer: the pragma's `unit:line`
+    // in the *current pass* source (for top-level pragmas this is the
+    // original line; outlined nested regions shift with the splices).
+    let label = unit.map(|u| {
+        let (start, _) = ast.byte_span(id);
+        let line = ast.source[..start].matches('\n').count() + 1;
+        format!("\"{u}:{line}\", ")
+    });
 
     let mut body = block_inner(ast, node.rhs)?.to_string();
 
@@ -304,7 +331,8 @@ fn replace_parallel(
     };
 
     let call = format!(
-        "{{\n{pre_call}omp.internal.fork_call({nt}, {fname}{}{});\n{post_call}}}",
+        "{{\n{pre_call}omp.internal.fork_call({}{nt}, {fname}{}{});\n{post_call}}}",
+        label.as_deref().unwrap_or(""),
         if args.is_empty() { "" } else { ", " },
         args.join(", ")
     );
@@ -774,6 +802,24 @@ mod tests {
         // Result parses cleanly with no pragmas left.
         let ast = parse(&out).unwrap();
         assert!(!ast.has_pragmas());
+    }
+
+    #[test]
+    fn named_units_label_fork_call_with_pragma_line() {
+        let src = "fn main() void {\n\
+                   var s: i64 = 0;\n\
+                   //$omp parallel shared(s) num_threads(4)\n\
+                   {\n s = 1;\n }\n\
+                   }";
+        let out = preprocess_named(src, "demo.zag").unwrap();
+        // The pragma sits on line 3; the label rides as the first argument.
+        assert!(
+            out.contains("omp.internal.fork_call(\"demo.zag:3\", 4, __omp_outlined_0, &s)"),
+            "{out}"
+        );
+        parse(&out).unwrap();
+        // The unnamed path stays byte-identical (no label argument).
+        assert!(!pp(src).contains("demo.zag"), "unnamed must not label");
     }
 
     #[test]

@@ -4,6 +4,8 @@
 //! npb-run cg S              # serial CG, class S, NPB-style report
 //! npb-run ep A --threads 4  # parallel EP, class A, 4 threads
 //! npb-run is W --threads 2 --serial-check
+//! npb-run cg A --threads 4 --trace trace.json   # chrome://tracing events
+//! npb-run ep A --threads 4 --metrics m.json     # aggregated counters
 //! ```
 //!
 //! Prints a report shaped like the reference implementations': class,
@@ -24,9 +26,12 @@ struct Args {
 fn usage() -> ! {
     eprintln!(
         "usage: npb-run <cg|ep|is> <S|W|A|B|C> [--threads N] [--serial-check]\n\
+         \t\t[--trace FILE] [--metrics FILE]\n\
          \n\
          --threads N      run the zomp-parallel implementation on N threads\n\
-         --serial-check   also run serially and cross-check the results"
+         --serial-check   also run serially and cross-check the results\n\
+         --trace FILE     write a chrome://tracing JSON event file\n\
+         --metrics FILE   write aggregated runtime counters as JSON"
     );
     std::process::exit(2);
 }
@@ -47,6 +52,14 @@ fn parse_args() -> Args {
                 )
             }
             "--serial-check" => serial_check = true,
+            "--trace" => {
+                let f = it.next().unwrap_or_else(|| usage());
+                zomp::trace::set_trace_path(&f);
+            }
+            "--metrics" => {
+                let f = it.next().unwrap_or_else(|| usage());
+                zomp::trace::set_metrics_path(&f);
+            }
             "--help" | "-h" => usage(),
             other if kernel.is_none() => kernel = Some(other.to_ascii_lowercase()),
             other if class.is_none() => {
@@ -184,5 +197,16 @@ fn main() {
         "ep" => run_ep(args.class, args.threads, args.serial_check),
         "is" => run_is(args.class, args.threads, args.serial_check),
         _ => usage(),
+    }
+    match zomp::trace::finish() {
+        Ok(written) => {
+            for p in written {
+                eprintln!("wrote {p}");
+            }
+        }
+        Err(e) => {
+            eprintln!("npb-run: could not write trace output: {e}");
+            std::process::exit(1);
+        }
     }
 }

@@ -6,6 +6,8 @@
 //! zag --trace-passes p.zag        # print every preprocessor pass, then run
 //! zag --threads 8 p.zag           # set the default team size (nthreads-var)
 //! zag --safety production p.zag   # Zig-style build mode for shared arrays
+//! zag --trace out.json p.zag      # write a chrome://tracing event file
+//! zag --metrics m.json p.zag      # write aggregated runtime counters
 //! ```
 
 use zomp::safety::SafetyMode;
@@ -14,7 +16,8 @@ use zomp_vm::Vm;
 fn usage() -> ! {
     eprintln!(
         "usage: zag [--emit-preprocessed] [--trace-passes] [--dump-ast] [--threads N] \
-         [--safety debug|production|paranoid] [--profile] <program.zag>"
+         [--safety debug|production|paranoid] [--profile] [--trace FILE] [--metrics FILE] \
+         <program.zag>"
     );
     std::process::exit(2);
 }
@@ -32,6 +35,14 @@ fn main() {
             "--trace-passes" => trace = true,
             "--dump-ast" => dump_ast = true,
             "--profile" => profile = true,
+            "--trace" => {
+                let f = args.next().unwrap_or_else(|| usage());
+                zomp::trace::set_trace_path(&f);
+            }
+            "--metrics" => {
+                let f = args.next().unwrap_or_else(|| usage());
+                zomp::trace::set_metrics_path(&f);
+            }
             "--threads" => {
                 let n: usize = args
                     .next()
@@ -103,7 +114,7 @@ fn main() {
         zomp::profile::enable();
     }
 
-    let vm = match Vm::new(&source) {
+    let vm = match Vm::with_unit(&source, &path) {
         Ok(vm) => Vm { echo: true, ..vm },
         Err(e) => {
             eprintln!("zag: {path}:{}", e.render(&source));
@@ -119,5 +130,18 @@ fn main() {
         zomp::profile::disable();
         eprintln!("\n--- region profile (gprof-style) ---");
         eprint!("{}", zomp::profile::render_report());
+        eprintln!("\n--- per-construct breakdown ---");
+        eprint!("{}", zomp::profile::render_breakdown());
+    }
+    match zomp::trace::finish() {
+        Ok(written) => {
+            for p in written {
+                eprintln!("zag: wrote {p}");
+            }
+        }
+        Err(e) => {
+            eprintln!("zag: could not write trace output: {e}");
+            std::process::exit(1);
+        }
     }
 }

@@ -274,22 +274,31 @@ fn internal(vm: &Vm, name: &str, #[allow(unused_mut)] mut args: Vec<Value>) -> V
 // ---------------------------------------------------------------------------
 
 fn fork_call(vm: &Vm, args: Vec<Value>) -> VmResult<Value> {
-    if args.len() < 2 {
-        return err("fork_call needs (num_threads, fn, args...)");
+    // An optional leading string is the region label (`unit:line` of the
+    // pragma, emitted by `preprocess_named`). The label is always set
+    // explicitly — even when empty — so the runtime's `#[track_caller]`
+    // fallback never points at this VM-internal call site.
+    let (label, base) = match args.first() {
+        Some(Value::Str(s)) => (zomp::trace::intern(s), 1usize),
+        _ => ("", 0usize),
+    };
+    if args.len() < base + 2 {
+        return err("fork_call needs ([label,] num_threads, fn, args...)");
     }
-    let nt = args[0].as_int()?;
-    let Value::Fn(fname) = &args[1] else {
+    let nt = args[base].as_int()?;
+    let Value::Fn(fname) = &args[base + 1] else {
         return err(format!(
             "fork_call expects an outlined function, got {}",
-            args[1].type_name()
+            args[base + 1].type_name()
         ));
     };
-    let rest: Vec<Value> = args[2..].to_vec();
+    let rest: Vec<Value> = args[base + 2..].to_vec();
     let par = if nt > 0 {
         Parallel::new().num_threads(nt as usize)
     } else {
         Parallel::new()
     };
+    let par = par.label(label);
     let failure: Mutex<Option<crate::value::VmError>> = Mutex::new(None);
     zomp::fork_call(par, |ctx| {
         let _guard = CtxGuard::push(ctx);

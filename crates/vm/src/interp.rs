@@ -27,7 +27,21 @@ pub struct Program {
 
 /// Compile Zag source: preprocess pragmas away, parse, index functions.
 pub fn compile(source: &str) -> Result<Program, zomp_front::FrontError> {
-    let final_source = zomp_front::preprocess(source)?;
+    compile_inner(source, None)
+}
+
+/// [`compile`] with a compilation-unit name (normally the source path):
+/// parallel regions are labelled `unit:line` of their pragma, so runtime
+/// traces and profiles point back at the directive.
+pub fn compile_named(source: &str, unit: &str) -> Result<Program, zomp_front::FrontError> {
+    compile_inner(source, Some(unit))
+}
+
+fn compile_inner(source: &str, unit: Option<&str>) -> Result<Program, zomp_front::FrontError> {
+    let final_source = match unit {
+        Some(u) => zomp_front::preprocess::preprocess_named(source, u)?,
+        None => zomp_front::preprocess(source)?,
+    };
     let ast = zomp_front::parse(&final_source)?;
     let mut functions = HashMap::new();
     let root = *ast.node(ast.root);
@@ -106,6 +120,16 @@ impl Vm {
     pub fn new(source: &str) -> Result<Vm, zomp_front::FrontError> {
         Ok(Vm {
             program: Arc::new(compile(source)?),
+            output: Mutex::new(Vec::new()),
+            echo: false,
+        })
+    }
+
+    /// [`Vm::new`] with a compilation-unit name: region trace/profile
+    /// labels become the pragma's `unit:line`.
+    pub fn with_unit(source: &str, unit: &str) -> Result<Vm, zomp_front::FrontError> {
+        Ok(Vm {
+            program: Arc::new(compile_named(source, unit)?),
             output: Mutex::new(Vec::new()),
             echo: false,
         })
