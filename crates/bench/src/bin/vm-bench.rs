@@ -1,0 +1,530 @@
+//! Emit `BENCH_vm.json`: median nanoseconds per kernel iteration for the
+//! three NPB-derived Zag kernels, run through both execution backends
+//! (`ast` tree-walker oracle vs `bytecode` register VM) at 1 and 4 threads.
+//!
+//! Kernels (the same ports the integration suite validates bit-for-bit):
+//!   - `cg_matvec_dynamic` — CSR sparse matvec over an NPB `makea` matrix
+//!     with `schedule(dynamic, 64)`; ops = nonzeros touched.
+//!   - `ep_batch` — the 46-bit LCG Gaussian-pair batches with a `static`
+//!     worksharing loop and region reductions; ops = pairs generated.
+//!   - `is_histogram` — the bucketed counting rank (private histograms,
+//!     `single` prefix sum, scatter, `static,1` bucket ranking); ops = keys.
+//!
+//! Usage: `cargo run --release -p zomp-bench --bin vm-bench [-- OUT]`
+//! (default output path `BENCH_vm.json` in the current directory), or
+//! `-- --smoke` for the CI guard: a fast single-thread CG matvec run that
+//! exits nonzero unless the bytecode backend is at least 2x the tree-walker.
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use npb::cg::makea::makea;
+use npb::class::{CgParams, Class};
+use zomp_vm::value::{ArrF, ArrI, Value};
+use zomp_vm::{Backend, Vm};
+
+/// Samples per configuration; the median damps scheduler noise.
+const SAMPLES: usize = 7;
+/// Team sizes measured for every kernel/backend pair.
+const THREADS: [i64; 2] = [1, 4];
+
+/// Repeated matvec sweeps inside one parallel region, so the fork cost is
+/// amortised and the dynamic worksharing loop dominates the measurement.
+const MATVEC_REPS: i64 = 3;
+
+const ZAG_MATVEC: &str = r#"
+fn matvec(n: i64, rowstr: []i64, colidx: []i64, a: []f64, p: []f64, q: []f64,
+          reps: i64, nthreads: i64) void {
+    //$omp parallel num_threads(nthreads) shared(rowstr, colidx, a, p, q) firstprivate(n, reps)
+    {
+        var rep: i64 = 0;
+        while (rep < reps) : (rep += 1) {
+            var j: i64 = 0;
+            //$omp while schedule(dynamic, 64) private(k, s)
+            while (j < n) : (j += 1) {
+                s = 0.0;
+                k = rowstr[j];
+                while (k < rowstr[j + 1]) : (k += 1) {
+                    s = s + a[k] * p[colidx[k]];
+                }
+                q[j] = s;
+            }
+        }
+    }
+}
+"#;
+
+const ZAG_EP: &str = r#"
+fn randlc(x: *f64, a: f64) f64 {
+    var r23: f64 = 0.00000011920928955078125;
+    var t23: f64 = 8388608.0;
+    var r46: f64 = r23 * r23;
+    var t46: f64 = t23 * t23;
+
+    var t1: f64 = r23 * a;
+    var a1: f64 = @intToFloat(@floatToInt(t1));
+    var a2: f64 = a - t23 * a1;
+
+    t1 = r23 * x.*;
+    var x1: f64 = @intToFloat(@floatToInt(t1));
+    var x2: f64 = x.* - t23 * x1;
+    t1 = a1 * x2 + a2 * x1;
+    var t2: f64 = @intToFloat(@floatToInt(r23 * t1));
+    var zz: f64 = t1 - t23 * t2;
+    var t3: f64 = t23 * zz + a2 * x2;
+    var t4: f64 = @intToFloat(@floatToInt(r46 * t3));
+    x.* = t3 - t46 * t4;
+    return r46 * x.*;
+}
+
+fn compute_an(a: f64, mk: i64) f64 {
+    var t1: f64 = a;
+    var i: i64 = 0;
+    while (i < mk + 1) : (i += 1) {
+        var t: f64 = t1;
+        _ = randlc(&t1, t);
+    }
+    return t1;
+}
+
+fn batch_seed(s: f64, an: f64, kk0: i64) f64 {
+    var t1: f64 = s;
+    var t2: f64 = an;
+    var kk: i64 = kk0;
+    var i: i64 = 0;
+    while (i < 100) : (i += 1) {
+        var ik: i64 = kk / 2;
+        if (2 * ik != kk) {
+            _ = randlc(&t1, t2);
+        }
+        if (ik == 0) {
+            break;
+        }
+        var t: f64 = t2;
+        _ = randlc(&t2, t);
+        kk = ik;
+    }
+    return t1;
+}
+
+fn ep(m: i64, mk: i64, nthreads: i64, q: []f64) f64 {
+    var a: f64 = 1220703125.0;
+    var s: f64 = 271828183.0;
+    var nk: i64 = 1;
+    var i0: i64 = 0;
+    while (i0 < mk) : (i0 += 1) {
+        nk = nk * 2;
+    }
+    var batches: i64 = 1;
+    var i1: i64 = 0;
+    while (i1 < m - mk) : (i1 += 1) {
+        batches = batches * 2;
+    }
+    var an: f64 = compute_an(a, mk);
+
+    var sx: f64 = 0.0;
+    var sy: f64 = 0.0;
+
+    //$omp parallel num_threads(nthreads) shared(q) firstprivate(a, s, an, nk, batches) reduction(+: sx, sy)
+    {
+        var x: []f64 = @allocF(2 * nk);
+        var qq: []f64 = @allocF(10);
+
+        var k: i64 = 0;
+        //$omp while schedule(static)
+        while (k < batches) : (k += 1) {
+            var t1: f64 = batch_seed(s, an, k);
+            var j: i64 = 0;
+            while (j < 2 * nk) : (j += 1) {
+                x[j] = randlc(&t1, a);
+            }
+            var i: i64 = 0;
+            while (i < nk) : (i += 1) {
+                var x1: f64 = 2.0 * x[2 * i] - 1.0;
+                var x2: f64 = 2.0 * x[2 * i + 1] - 1.0;
+                var tt: f64 = x1 * x1 + x2 * x2;
+                if (tt <= 1.0) {
+                    var t2: f64 = @sqrt(-2.0 * @log(tt) / tt);
+                    var t3: f64 = x1 * t2;
+                    var t4: f64 = x2 * t2;
+                    var l: i64 = @floatToInt(@max(@abs(t3), @abs(t4)));
+                    qq[l] = qq[l] + 1.0;
+                    sx = sx + t3;
+                    sy = sy + t4;
+                }
+            }
+        }
+
+        var b: i64 = 0;
+        while (b < 10) : (b += 1) {
+            //$omp atomic
+            q[b] += qq[b];
+        }
+    }
+    return sx * 1000000.0 + sy;
+}
+"#;
+
+const ZAG_RANK: &str = r#"
+fn rank(keys: []i64, nkeys: i64, maxlog: i64, nblog: i64,
+        counts: []i64, starts: []i64, buff2: []i64, ranks: []i64,
+        nthreads: i64) void {
+    var nb: i64 = 1;
+    var b0: i64 = 0;
+    while (b0 < nblog) : (b0 += 1) {
+        nb = nb * 2;
+    }
+    var shiftbits: i64 = maxlog - nblog;
+    var shiftdiv: i64 = 1;
+    var s0: i64 = 0;
+    while (s0 < shiftbits) : (s0 += 1) {
+        shiftdiv = shiftdiv * 2;
+    }
+
+    //$omp parallel num_threads(nthreads) shared(keys, counts, starts, buff2, ranks) firstprivate(nkeys, nb, shiftdiv)
+    {
+        var tid: i64 = omp.get_thread_num();
+        var nth: i64 = omp.get_num_threads();
+
+        var local: []i64 = @allocI(nb);
+        var i: i64 = 0;
+        //$omp while schedule(static) nowait
+        while (i < nkeys) : (i += 1) {
+            var b: i64 = keys[i] / shiftdiv;
+            local[b] = local[b] + 1;
+        }
+        var c: i64 = 0;
+        while (c < nb) : (c += 1) {
+            counts[tid * nb + c] = local[c];
+        }
+        //$omp barrier
+
+        //$omp single
+        {
+            var acc: i64 = 0;
+            var b1: i64 = 0;
+            while (b1 < nb) : (b1 += 1) {
+                starts[b1] = acc;
+                var t: i64 = 0;
+                while (t < nth) : (t += 1) {
+                    acc = acc + counts[t * nb + b1];
+                }
+            }
+            starts[nb] = acc;
+        }
+        var cursor: []i64 = @allocI(nb);
+        var b2: i64 = 0;
+        while (b2 < nb) : (b2 += 1) {
+            var at: i64 = starts[b2];
+            var t2: i64 = 0;
+            while (t2 < tid) : (t2 += 1) {
+                at = at + counts[t2 * nb + b2];
+            }
+            cursor[b2] = at;
+        }
+
+        var i2: i64 = 0;
+        //$omp while schedule(static)
+        while (i2 < nkeys) : (i2 += 1) {
+            var key: i64 = keys[i2];
+            var b3: i64 = key / shiftdiv;
+            buff2[cursor[b3]] = key;
+            cursor[b3] = cursor[b3] + 1;
+        }
+
+        var b4: i64 = 0;
+        //$omp while schedule(static, 1) nowait
+        while (b4 < nb) : (b4 += 1) {
+            var keylo: i64 = b4 * shiftdiv;
+            var keyhi: i64 = (b4 + 1) * shiftdiv;
+            var st: i64 = starts[b4];
+            var en: i64 = starts[b4 + 1];
+            var k: i64 = keylo;
+            while (k < keyhi) : (k += 1) {
+                ranks[k] = 0;
+            }
+            var p: i64 = st;
+            while (p < en) : (p += 1) {
+                ranks[buff2[p]] = ranks[buff2[p]] + 1;
+            }
+            var acc2: i64 = st;
+            var k2: i64 = keylo;
+            while (k2 < keyhi) : (k2 += 1) {
+                acc2 = acc2 + ranks[k2];
+                ranks[k2] = acc2;
+            }
+        }
+    }
+}
+"#;
+
+fn to_arr_f(v: &[f64]) -> Arc<ArrF> {
+    let a = Arc::new(ArrF::new(v.len()));
+    for (i, &x) in v.iter().enumerate() {
+        a.set(i as i64, x).unwrap();
+    }
+    a
+}
+
+fn to_arr_i(v: &[i64]) -> Arc<ArrI> {
+    let a = Arc::new(ArrI::new(v.len()));
+    for (i, &x) in v.iter().enumerate() {
+        a.set(i as i64, x).unwrap();
+    }
+    a
+}
+
+/// Median ns/op over `SAMPLES` runs of `f`, where each run performs `ops`
+/// operations. One untimed warmup populates the hot team and caches.
+fn median_ns_per_op(samples: usize, ops: u64, mut f: impl FnMut()) -> f64 {
+    f();
+    let mut ns: Vec<f64> = (0..samples)
+        .map(|_| {
+            let t0 = Instant::now();
+            f();
+            t0.elapsed().as_nanos() as f64 / ops as f64
+        })
+        .collect();
+    ns.sort_by(|a, b| a.total_cmp(b));
+    ns[ns.len() / 2]
+}
+
+/// Per-kernel results: `ns[backend][thread_config]` in `THREADS` order.
+struct KernelResult {
+    name: &'static str,
+    ops_per_call: u64,
+    ast_ns: Vec<f64>,
+    bytecode_ns: Vec<f64>,
+}
+
+impl KernelResult {
+    /// Bytecode speedup over the tree-walker, single thread.
+    fn speedup_1t(&self) -> f64 {
+        self.ast_ns[0] / self.bytecode_ns[0]
+    }
+    /// Thread-scaling ratio t(1)/t(4) per backend (higher is better).
+    fn scaling(&self, ns: &[f64]) -> f64 {
+        ns[0] / ns[ns.len() - 1]
+    }
+}
+
+/// The NPB matrix used for the matvec measurements (and the smoke guard).
+fn bench_matrix(na: usize, nonzer: usize) -> npb::cg::makea::SparseMatrix {
+    let params = CgParams {
+        class: Class::S,
+        na,
+        nonzer,
+        niter: 1,
+        shift: 7.0,
+        zeta_verify: f64::NAN,
+    };
+    makea(&params)
+}
+
+fn run_matvec(mat: &npb::cg::makea::SparseMatrix, samples: usize, threads: &[i64]) -> KernelResult {
+    let n = mat.n;
+    let nnz = mat.rowstr[n] as u64;
+    let rowstr = to_arr_i(&mat.rowstr.iter().map(|&v| v as i64).collect::<Vec<_>>());
+    let colidx = to_arr_i(&mat.colidx.iter().map(|&v| v as i64).collect::<Vec<_>>());
+    let a = to_arr_f(&mat.a);
+    let p = to_arr_f(&vec![1.0f64; n]);
+    let q = Arc::new(ArrF::new(n));
+
+    let mut result = KernelResult {
+        name: "cg_matvec_dynamic",
+        ops_per_call: MATVEC_REPS as u64 * nnz,
+        ast_ns: Vec::new(),
+        bytecode_ns: Vec::new(),
+    };
+    for backend in [Backend::Ast, Backend::Bytecode] {
+        let vm = Vm::with_backend(ZAG_MATVEC, backend).expect("compile matvec");
+        for &nth in threads {
+            eprintln!("  matvec {backend:?} x{nth}...");
+            let ns = median_ns_per_op(samples, result.ops_per_call, || {
+                vm.call_function(
+                    "matvec",
+                    vec![
+                        Value::Int(n as i64),
+                        Value::ArrI(Arc::clone(&rowstr)),
+                        Value::ArrI(Arc::clone(&colidx)),
+                        Value::ArrF(Arc::clone(&a)),
+                        Value::ArrF(Arc::clone(&p)),
+                        Value::ArrF(Arc::clone(&q)),
+                        Value::Int(MATVEC_REPS),
+                        Value::Int(nth),
+                    ],
+                )
+                .expect("run matvec");
+            });
+            match backend {
+                Backend::Ast => result.ast_ns.push(ns),
+                Backend::Bytecode => result.bytecode_ns.push(ns),
+            }
+        }
+    }
+    result
+}
+
+fn run_ep(samples: usize, threads: &[i64]) -> KernelResult {
+    // 2^13 Gaussian-candidate pairs in 8 batches of 2^10.
+    let m = 13i64;
+    let mk = 10i64;
+    let pairs = 1u64 << m;
+    let mut result = KernelResult {
+        name: "ep_batch",
+        ops_per_call: pairs,
+        ast_ns: Vec::new(),
+        bytecode_ns: Vec::new(),
+    };
+    for backend in [Backend::Ast, Backend::Bytecode] {
+        let vm = Vm::with_backend(ZAG_EP, backend).expect("compile ep");
+        for &nth in threads {
+            eprintln!("  ep {backend:?} x{nth}...");
+            let q = Arc::new(ArrF::new(10));
+            let ns = median_ns_per_op(samples, pairs, || {
+                vm.call_function(
+                    "ep",
+                    vec![
+                        Value::Int(m),
+                        Value::Int(mk),
+                        Value::Int(nth),
+                        Value::ArrF(Arc::clone(&q)),
+                    ],
+                )
+                .expect("run ep");
+            });
+            match backend {
+                Backend::Ast => result.ast_ns.push(ns),
+                Backend::Bytecode => result.bytecode_ns.push(ns),
+            }
+        }
+    }
+    result
+}
+
+fn run_is(samples: usize, threads: &[i64]) -> KernelResult {
+    // 2^14 keys in [0, 2^11), 2^5 buckets.
+    let maxlog = 11u32;
+    let nblog = 5u32;
+    let params = npb::is::custom_params(14, maxlog, nblog);
+    let keys: Vec<i64> = npb::is::create_seq(&params)
+        .iter()
+        .map(|&k| k as i64)
+        .collect();
+    let nkeys = keys.len();
+    let nb = 1usize << nblog;
+    let keys_arr = to_arr_i(&keys);
+
+    let mut result = KernelResult {
+        name: "is_histogram",
+        ops_per_call: nkeys as u64,
+        ast_ns: Vec::new(),
+        bytecode_ns: Vec::new(),
+    };
+    for backend in [Backend::Ast, Backend::Bytecode] {
+        let vm = Vm::with_backend(ZAG_RANK, backend).expect("compile rank");
+        for &nth in threads {
+            eprintln!("  is {backend:?} x{nth}...");
+            let counts = Arc::new(ArrI::new(nth as usize * nb));
+            let starts = Arc::new(ArrI::new(nb + 1));
+            let buff2 = Arc::new(ArrI::new(nkeys));
+            let ranks = Arc::new(ArrI::new(1usize << maxlog));
+            let ns = median_ns_per_op(samples, nkeys as u64, || {
+                vm.call_function(
+                    "rank",
+                    vec![
+                        Value::ArrI(Arc::clone(&keys_arr)),
+                        Value::Int(nkeys as i64),
+                        Value::Int(maxlog as i64),
+                        Value::Int(nblog as i64),
+                        Value::ArrI(Arc::clone(&counts)),
+                        Value::ArrI(Arc::clone(&starts)),
+                        Value::ArrI(Arc::clone(&buff2)),
+                        Value::ArrI(Arc::clone(&ranks)),
+                        Value::Int(nth),
+                    ],
+                )
+                .expect("run rank");
+            });
+            match backend {
+                Backend::Ast => result.ast_ns.push(ns),
+                Backend::Bytecode => result.bytecode_ns.push(ns),
+            }
+        }
+    }
+    result
+}
+
+/// CI guard: single-thread CG matvec on a small matrix; fail unless the
+/// bytecode backend is at least `MIN_SPEEDUP`x the tree-walker.
+fn smoke() -> ! {
+    const MIN_SPEEDUP: f64 = 2.0;
+    let mat = bench_matrix(400, 5);
+    let r = run_matvec(&mat, 3, &[1]);
+    let speedup = r.speedup_1t();
+    eprintln!(
+        "smoke: cg_matvec 1 thread: ast {:.1} ns/nz, bytecode {:.1} ns/nz -> {speedup:.2}x",
+        r.ast_ns[0], r.bytecode_ns[0]
+    );
+    if speedup < MIN_SPEEDUP {
+        eprintln!("FAIL: bytecode backend under {MIN_SPEEDUP}x the tree-walker on CG matvec");
+        std::process::exit(1);
+    }
+    eprintln!("PASS (threshold {MIN_SPEEDUP}x)");
+    std::process::exit(0);
+}
+
+fn json_list(ns: &[f64]) -> String {
+    let items: Vec<String> = ns.iter().map(|v| format!("{v:.1}")).collect();
+    format!("[{}]", items.join(", "))
+}
+
+fn main() {
+    let arg = std::env::args().nth(1);
+    if arg.as_deref() == Some("--smoke") {
+        smoke();
+    }
+    let out = arg.unwrap_or_else(|| "BENCH_vm.json".into());
+
+    eprintln!("cg_matvec_dynamic (NPB makea CSR, schedule(dynamic, 64))...");
+    let mat = bench_matrix(1400, 7);
+    let cg = run_matvec(&mat, SAMPLES, &THREADS);
+    eprintln!("ep_batch (LCG Gaussian pairs, schedule(static) + reductions)...");
+    let ep = run_ep(SAMPLES, &THREADS);
+    eprintln!("is_histogram (bucketed rank, static/static,1 phases)...");
+    let is = run_is(SAMPLES, &THREADS);
+
+    let mut kernels = String::new();
+    for (i, k) in [&cg, &ep, &is].iter().enumerate() {
+        let sep = if i == 0 { "" } else { ",\n" };
+        kernels.push_str(&format!(
+            "{sep}    \"{}\": {{\n      \
+             \"ops_per_call\": {},\n      \
+             \"ns_per_op\": {{\"ast\": {}, \"bytecode\": {}}},\n      \
+             \"bytecode_speedup_1t\": {:.2},\n      \
+             \"scaling_4t_over_1t\": {{\"ast\": {:.2}, \"bytecode\": {:.2}}}\n    }}",
+            k.name,
+            k.ops_per_call,
+            json_list(&k.ast_ns),
+            json_list(&k.bytecode_ns),
+            k.speedup_1t(),
+            k.scaling(&k.ast_ns),
+            k.scaling(&k.bytecode_ns),
+        ));
+    }
+    // Thread-scaling ratios only mean something relative to the host's
+    // core count (on a one-core box both backends pin near 1.0).
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let json = format!(
+        "{{\n  \"threads\": [1, 4],\n  \"samples\": {SAMPLES},\n  \"host_cores\": {cores},\n  \
+         \"kernels\": {{\n{kernels}\n  }}\n}}\n"
+    );
+    std::fs::write(&out, &json).expect("write BENCH_vm.json");
+    print!("{json}");
+    eprintln!(
+        "single-thread bytecode speedups: cg {:.2}x, ep {:.2}x, is {:.2}x -> {out}",
+        cg.speedup_1t(),
+        ep.speedup_1t(),
+        is.speedup_1t()
+    );
+}

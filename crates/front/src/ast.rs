@@ -155,6 +155,32 @@ impl Ast {
         self.extra(lo, hi)
     }
 
+    /// Decompose a `FnDecl` node: (parameter node ids, body block id).
+    /// The name is `token_text(node.main_token)`.
+    pub fn fn_parts(&self, node: &Node) -> (&[u32], NodeId) {
+        debug_assert_eq!(node.tag, Tag::FnDecl);
+        let nparams = node.rhs as usize;
+        let params = self.extra(node.lhs, node.lhs + nparams as u32);
+        let body = self.extra_data[node.lhs as usize + nparams];
+        (params, body)
+    }
+
+    /// Decompose a `While` node: (condition, body, optional continue stmt).
+    pub fn while_parts(&self, node: &Node) -> (NodeId, NodeId, Option<NodeId>) {
+        debug_assert_eq!(node.tag, Tag::While);
+        let body = self.extra_data[node.rhs as usize];
+        let cont = self.extra_data[node.rhs as usize + 1];
+        (node.lhs, body, (cont > 0).then(|| cont - 1))
+    }
+
+    /// Decompose an `If` node: (condition, then stmt, optional else stmt).
+    pub fn if_parts(&self, node: &Node) -> (NodeId, NodeId, Option<NodeId>) {
+        debug_assert_eq!(node.tag, Tag::If);
+        let then = self.extra_data[node.rhs as usize];
+        let els = self.extra_data[node.rhs as usize + 1];
+        (node.lhs, then, (els > 0).then(|| els - 1))
+    }
+
     /// Does the AST still contain any OpenMP directive node?
     pub fn has_pragmas(&self) -> bool {
         self.nodes.iter().any(|n| {

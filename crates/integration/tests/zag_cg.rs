@@ -14,7 +14,7 @@ use npb::cg::makea::makea;
 use npb::cg::solve::{conj_grad_serial, CgWorkspace};
 use npb::class::{CgParams, Class};
 use zomp_vm::value::{ArrF, ArrI, Value};
-use zomp_vm::Vm;
+use zomp_vm::{Backend, Vm};
 
 /// conj_grad in Zag. Structure follows cg.f: init, rho = r.r, then
 /// CGITMAX iterations of { q = A p; d = p.q; z/r update with fused rho
@@ -157,52 +157,56 @@ fn zag_conj_grad_matches_rust_solver() {
     let mut ws = CgWorkspace::new(n);
     let rnorm_rust = conj_grad_serial(&mat, &x, &mut ws);
 
-    // Zag through the full pipeline, at several team sizes.
-    let vm = Vm::new(ZAG_CONJ_GRAD).expect("compile Zag conj_grad");
-    for threads in [1i64, 2, 4] {
-        let z = Arc::new(ArrF::new(n));
-        let p = Arc::new(ArrF::new(n));
-        let q = Arc::new(ArrF::new(n));
-        let r = Arc::new(ArrF::new(n));
-        let result = vm
-            .call_function(
-                "conj_grad",
-                vec![
-                    Value::Int(n as i64),
-                    Value::ArrI(to_arr_i(&mat.rowstr)),
-                    Value::ArrI(to_arr_i(&mat.colidx)),
-                    Value::ArrF(to_arr_f(&mat.a)),
-                    Value::ArrF(to_arr_f(&x)),
-                    Value::ArrF(Arc::clone(&z)),
-                    Value::ArrF(Arc::clone(&p)),
-                    Value::ArrF(Arc::clone(&q)),
-                    Value::ArrF(Arc::clone(&r)),
-                    Value::Int(CgParams::CGITMAX as i64),
-                    Value::Int(threads),
-                ],
-            )
-            .expect("run Zag conj_grad")
-            .as_float()
-            .unwrap();
+    // Zag through the full pipeline, on both execution backends and at
+    // several team sizes — the bytecode VM must reproduce the oracle (and
+    // the native solver) exactly as the tree-walker does.
+    for backend in [Backend::Bytecode, Backend::Ast] {
+        let vm = Vm::with_backend(ZAG_CONJ_GRAD, backend).expect("compile Zag conj_grad");
+        for threads in [1i64, 2, 4] {
+            let z = Arc::new(ArrF::new(n));
+            let p = Arc::new(ArrF::new(n));
+            let q = Arc::new(ArrF::new(n));
+            let r = Arc::new(ArrF::new(n));
+            let result = vm
+                .call_function(
+                    "conj_grad",
+                    vec![
+                        Value::Int(n as i64),
+                        Value::ArrI(to_arr_i(&mat.rowstr)),
+                        Value::ArrI(to_arr_i(&mat.colidx)),
+                        Value::ArrF(to_arr_f(&mat.a)),
+                        Value::ArrF(to_arr_f(&x)),
+                        Value::ArrF(Arc::clone(&z)),
+                        Value::ArrF(Arc::clone(&p)),
+                        Value::ArrF(Arc::clone(&q)),
+                        Value::ArrF(Arc::clone(&r)),
+                        Value::Int(CgParams::CGITMAX as i64),
+                        Value::Int(threads),
+                    ],
+                )
+                .expect("run Zag conj_grad")
+                .as_float()
+                .unwrap();
 
-        assert!(
-            (result - rnorm_rust).abs() < 1e-10,
-            "rnorm: Zag {result:e} vs Rust {rnorm_rust:e} at {threads} threads"
-        );
-        // The solution vector itself must match.
-        for j in 0..n {
-            let zj = z.get(j as i64).unwrap();
             assert!(
-                (zj - ws.z[j]).abs() < 1e-9,
-                "z[{j}]: Zag {zj} vs Rust {} at {threads} threads",
-                ws.z[j]
+                (result - rnorm_rust).abs() < 1e-10,
+                "rnorm: Zag {result:e} vs Rust {rnorm_rust:e} at {threads} threads ({backend:?})"
             );
-        }
-        // And it must actually solve the system: A z ≈ x.
-        let mut az = vec![0.0; n];
-        mat.spmv(&z.to_vec(), &mut az);
-        for j in 0..n {
-            assert!((az[j] - x[j]).abs() < 1e-6, "residual at row {j}");
+            // The solution vector itself must match.
+            for j in 0..n {
+                let zj = z.get(j as i64).unwrap();
+                assert!(
+                    (zj - ws.z[j]).abs() < 1e-9,
+                    "z[{j}]: Zag {zj} vs Rust {} at {threads} threads ({backend:?})",
+                    ws.z[j]
+                );
+            }
+            // And it must actually solve the system: A z ≈ x.
+            let mut az = vec![0.0; n];
+            mat.spmv(&z.to_vec(), &mut az);
+            for j in 0..n {
+                assert!((az[j] - x[j]).abs() < 1e-6, "residual at row {j}");
+            }
         }
     }
 }

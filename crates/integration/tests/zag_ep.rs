@@ -182,42 +182,44 @@ fn zag_ep_matches_rust_ep() {
         (sx, sy, q)
     };
 
-    // Zag through the pipeline at several team sizes.
-    let vm = Vm::new(ZAG_EP).expect("compile Zag EP");
-    for threads in [1i64, 2, 4] {
-        use std::sync::Arc;
-        use zomp_vm::value::{ArrF, Value};
-        let q = Arc::new(ArrF::new(10));
-        let packed = vm
-            .call_function(
-                "ep",
-                vec![
-                    Value::Int(m),
-                    Value::Int(mk),
-                    Value::Int(threads),
-                    Value::ArrF(Arc::clone(&q)),
-                ],
-            )
-            .expect("run Zag EP")
-            .as_float()
-            .unwrap();
-        let sy = packed % 1.0e6_f64; // not used for comparison; unpack below
-        let _ = sy;
-        // Compare annulus counts exactly.
-        for b in 0..10 {
-            assert_eq!(
-                q.get(b).unwrap(),
-                rust.2[b as usize],
-                "annulus {b} at {threads} threads"
+    // Zag through the pipeline, on both backends and at several team sizes.
+    for backend in [zomp_vm::Backend::Bytecode, zomp_vm::Backend::Ast] {
+        let vm = Vm::with_backend(ZAG_EP, backend).expect("compile Zag EP");
+        for threads in [1i64, 2, 4] {
+            use std::sync::Arc;
+            use zomp_vm::value::{ArrF, Value};
+            let q = Arc::new(ArrF::new(10));
+            let packed = vm
+                .call_function(
+                    "ep",
+                    vec![
+                        Value::Int(m),
+                        Value::Int(mk),
+                        Value::Int(threads),
+                        Value::ArrF(Arc::clone(&q)),
+                    ],
+                )
+                .expect("run Zag EP")
+                .as_float()
+                .unwrap();
+            let sy = packed % 1.0e6_f64; // not used for comparison; unpack below
+            let _ = sy;
+            // Compare annulus counts exactly.
+            for b in 0..10 {
+                assert_eq!(
+                    q.get(b).unwrap(),
+                    rust.2[b as usize],
+                    "annulus {b} at {threads} threads ({backend:?})"
+                );
+            }
+            // Compare sums via the packed return (sx*1e6 + sy): reconstruct.
+            let sx_zag = ((packed - rust.1) / 1.0e6_f64).round() * 1.0e6 / 1.0e6;
+            let _ = sx_zag;
+            let expected_packed = rust.0 * 1.0e6 + rust.1;
+            assert!(
+                ((packed - expected_packed) / expected_packed).abs() < 1e-9,
+                "packed sums: Zag {packed} vs Rust {expected_packed} at {threads} threads ({backend:?})"
             );
         }
-        // Compare sums via the packed return (sx*1e6 + sy): reconstruct.
-        let sx_zag = ((packed - rust.1) / 1.0e6_f64).round() * 1.0e6 / 1.0e6;
-        let _ = sx_zag;
-        let expected_packed = rust.0 * 1.0e6 + rust.1;
-        assert!(
-            ((packed - expected_packed) / expected_packed).abs() < 1e-9,
-            "packed sums: Zag {packed} vs Rust {expected_packed} at {threads} threads"
-        );
     }
 }

@@ -131,38 +131,46 @@ fn zag_rank_matches_rust_serial() {
     let keys_i: Vec<i64> = keys.iter().map(|&k| k as i64).collect();
     let want = rank_serial(&keys, &params);
 
-    let vm = Vm::new(ZAG_RANK).expect("compile Zag rank");
-    for threads in [1i64, 2, 4] {
-        let nb = 1usize << nblog;
-        let counts = Arc::new(ArrI::new(threads as usize * nb));
-        let starts = Arc::new(ArrI::new(nb + 1));
-        let buff2 = Arc::new(ArrI::new(keys.len()));
-        let ranks = Arc::new(ArrI::new(1 << maxlog));
-        vm.call_function(
-            "rank",
-            vec![
-                Value::ArrI(to_arr(&keys_i)),
-                Value::Int(keys.len() as i64),
-                Value::Int(maxlog as i64),
-                Value::Int(nblog as i64),
-                Value::ArrI(Arc::clone(&counts)),
-                Value::ArrI(Arc::clone(&starts)),
-                Value::ArrI(Arc::clone(&buff2)),
-                Value::ArrI(Arc::clone(&ranks)),
-                Value::Int(threads),
-            ],
-        )
-        .expect("run Zag rank");
+    for backend in [zomp_vm::Backend::Bytecode, zomp_vm::Backend::Ast] {
+        let vm = Vm::with_backend(ZAG_RANK, backend).expect("compile Zag rank");
+        for threads in [1i64, 2, 4] {
+            let nb = 1usize << nblog;
+            let counts = Arc::new(ArrI::new(threads as usize * nb));
+            let starts = Arc::new(ArrI::new(nb + 1));
+            let buff2 = Arc::new(ArrI::new(keys.len()));
+            let ranks = Arc::new(ArrI::new(1 << maxlog));
+            vm.call_function(
+                "rank",
+                vec![
+                    Value::ArrI(to_arr(&keys_i)),
+                    Value::Int(keys.len() as i64),
+                    Value::Int(maxlog as i64),
+                    Value::Int(nblog as i64),
+                    Value::ArrI(Arc::clone(&counts)),
+                    Value::ArrI(Arc::clone(&starts)),
+                    Value::ArrI(Arc::clone(&buff2)),
+                    Value::ArrI(Arc::clone(&ranks)),
+                    Value::Int(threads),
+                ],
+            )
+            .expect("run Zag rank");
 
-        let got: Vec<u32> = ranks.to_vec().iter().map(|&v| v as u32).collect();
-        assert_eq!(got, want, "rank mismatch at {threads} threads");
-        // buff2 holds a bucket-sorted permutation of the keys.
-        let mut sorted_input = keys_i.clone();
-        sorted_input.sort_unstable();
-        let mut buff = buff2.to_vec();
-        // Within buckets order varies by thread interleaving; sorting
-        // recovers the multiset.
-        buff.sort_unstable();
-        assert_eq!(buff, sorted_input, "scatter lost keys at {threads} threads");
+            let got: Vec<u32> = ranks.to_vec().iter().map(|&v| v as u32).collect();
+            assert_eq!(
+                got, want,
+                "rank mismatch at {threads} threads ({backend:?})"
+            );
+            // buff2 holds a bucket-sorted permutation of the keys.
+            let mut sorted_input = keys_i.clone();
+            sorted_input.sort_unstable();
+            let mut buff = buff2.to_vec();
+            // Within buckets order varies by thread interleaving; sorting
+            // recovers the multiset.
+            buff.sort_unstable();
+            assert_eq!(
+                buff, sorted_input,
+                "scatter lost keys at {threads} threads ({backend:?})"
+            );
+        }
     }
 }

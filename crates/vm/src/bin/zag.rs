@@ -8,14 +8,17 @@
 //! zag --safety production p.zag   # Zig-style build mode for shared arrays
 //! zag --trace out.json p.zag      # write a chrome://tracing event file
 //! zag --metrics m.json p.zag      # write aggregated runtime counters
+//! zag --backend ast p.zag         # run on the tree-walking oracle
+//! zag --dump-bytecode p.zag       # print the compiled instruction stream
 //! ```
 
 use zomp::safety::SafetyMode;
-use zomp_vm::Vm;
+use zomp_vm::{Backend, Vm};
 
 fn usage() -> ! {
     eprintln!(
-        "usage: zag [--emit-preprocessed] [--trace-passes] [--dump-ast] [--threads N] \
+        "usage: zag [--emit-preprocessed] [--trace-passes] [--dump-ast] [--dump-bytecode] \
+         [--backend ast|bytecode] [--threads N] \
          [--safety debug|production|paranoid] [--profile] [--trace FILE] [--metrics FILE] \
          <program.zag>"
     );
@@ -26,7 +29,9 @@ fn main() {
     let mut emit = false;
     let mut trace = false;
     let mut dump_ast = false;
+    let mut dump_bytecode = false;
     let mut profile = false;
+    let mut backend = Backend::default();
     let mut path: Option<String> = None;
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
@@ -34,6 +39,17 @@ fn main() {
             "--emit-preprocessed" => emit = true,
             "--trace-passes" => trace = true,
             "--dump-ast" => dump_ast = true,
+            "--dump-bytecode" => dump_bytecode = true,
+            "--backend" => {
+                backend = args
+                    .next()
+                    .as_deref()
+                    .and_then(Backend::parse)
+                    .unwrap_or_else(|| usage());
+            }
+            _ if a.starts_with("--backend=") => {
+                backend = Backend::parse(&a["--backend=".len()..]).unwrap_or_else(|| usage());
+            }
             "--profile" => profile = true,
             "--trace" => {
                 let f = args.next().unwrap_or_else(|| usage());
@@ -115,12 +131,21 @@ fn main() {
     }
 
     let vm = match Vm::with_unit(&source, &path) {
-        Ok(vm) => Vm { echo: true, ..vm },
+        Ok(vm) => Vm {
+            echo: true,
+            backend,
+            ..vm
+        },
         Err(e) => {
             eprintln!("zag: {path}:{}", e.render(&source));
             std::process::exit(1);
         }
     };
+
+    if dump_bytecode {
+        print!("{}", zomp_vm::bytecode::disasm(&vm.program.code));
+        return;
+    }
     if let Err(e) = vm.call_function("main", Vec::new()) {
         eprintln!("zag: {e}");
         std::process::exit(1);

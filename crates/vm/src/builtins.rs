@@ -19,7 +19,43 @@ use zomp::sync::OmpLock;
 use zomp::team::{Parallel, SingleToken, ThreadCtx};
 
 use crate::interp::Vm;
-use crate::value::{err, RedCellAny, RedHandle, Value, VmResult, WsIter, WsMode, WsState};
+use crate::value::{
+    err, ArrF, ArrI, RedCellAny, RedHandle, Value, VmResult, WsIter, WsMode, WsState,
+};
+
+/// The `@builtin` math/alloc table, shared by both backends so a mismatch
+/// produces the identical `unknown builtin ...` message. The bytecode
+/// executor short-circuits the common typed shapes and only lands here for
+/// unusual argument types (or builtins with no dedicated opcode).
+pub(crate) fn math_builtin(name: &str, args: &[Value]) -> VmResult<Value> {
+    match (name, args) {
+        ("@intToFloat", [Value::Int(v)]) => Ok(Value::Float(*v as f64)),
+        ("@floatToInt", [Value::Float(v)]) => Ok(Value::Int(*v as i64)),
+        ("@sqrt", [Value::Float(v)]) => Ok(Value::Float(v.sqrt())),
+        ("@log", [Value::Float(v)]) => Ok(Value::Float(v.ln())),
+        ("@exp", [Value::Float(v)]) => Ok(Value::Float(v.exp())),
+        ("@sin", [Value::Float(v)]) => Ok(Value::Float(v.sin())),
+        ("@cos", [Value::Float(v)]) => Ok(Value::Float(v.cos())),
+        ("@pow", [Value::Float(a), Value::Float(b)]) => Ok(Value::Float(a.powf(*b))),
+        ("@abs", [Value::Float(v)]) => Ok(Value::Float(v.abs())),
+        ("@abs", [Value::Int(v)]) => Ok(Value::Int(v.abs())),
+        ("@max", [Value::Float(a), Value::Float(b)]) => Ok(Value::Float(a.max(*b))),
+        ("@max", [Value::Int(a), Value::Int(b)]) => Ok(Value::Int(*a.max(b))),
+        ("@min", [Value::Float(a), Value::Float(b)]) => Ok(Value::Float(a.min(*b))),
+        ("@min", [Value::Int(a), Value::Int(b)]) => Ok(Value::Int(*a.min(b))),
+        ("@allocF", [Value::Int(n)]) => Ok(Value::ArrF(Arc::new(ArrF::new(*n as usize)))),
+        ("@allocI", [Value::Int(n)]) => Ok(Value::ArrI(Arc::new(ArrI::new(*n as usize)))),
+        ("@len", [Value::ArrF(a)]) => Ok(Value::Int(a.len() as i64)),
+        ("@len", [Value::ArrI(a)]) => Ok(Value::Int(a.len() as i64)),
+        (other, args) => err(format!(
+            "unknown builtin {other} for ({})",
+            args.iter()
+                .map(|a| a.type_name())
+                .collect::<Vec<_>>()
+                .join(", ")
+        )),
+    }
+}
 
 // ---------------------------------------------------------------------------
 // Thread-current region context

@@ -1,0 +1,425 @@
+//! The register-bytecode instruction set and its disassembler.
+//!
+//! Each Zag function compiles once (at program load) into a flat
+//! [`CompiledFn`]: a `Vec<Insn>` over a dense register file plus a constant
+//! pool. Registers are `u16` indices into a per-activation `Vec<Value>` —
+//! locals get fixed slots resolved at compile time (no name lookup, no
+//! `Arc<Mutex>` unless the local's address is taken), temporaries are
+//! stack-disciplined slots above the locals.
+//!
+//! The hot shapes the preprocessor emits get fused opcodes:
+//!
+//! * [`Insn::CmpJumpFalse`] — a comparison guard branch with no
+//!   materialised boolean (`while (i < n)`, `if (a == b)`).
+//! * [`Insn::IncCmpJump`] — the induction-variable back-edge
+//!   `i += step; if (i < limit) goto body` of `while (i < n) : (i += 1)`
+//!   loops, one instruction per iteration of the driver loops that
+//!   dominate worksharing bodies.
+//! * [`Insn::Index`]/[`Insn::IndexSet`] — unboxed `f64`/`i64` array
+//!   element access with the bounds policy inlined.
+
+use std::collections::HashMap;
+
+use crate::value::Value;
+
+/// A register index into the activation frame.
+pub type Reg = u16;
+
+/// Arithmetic instruction kinds (mirrors the token-level operators the
+/// tree-walker dispatches on).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ArithOp {
+    Add,
+    Sub,
+    Mul,
+    Div,
+    Rem,
+}
+
+/// Comparison instruction kinds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CmpOp {
+    Lt,
+    Le,
+    Gt,
+    Ge,
+    Eq,
+    Ne,
+}
+
+/// Builtin operations resolved at compile time. `Dyn` keeps the
+/// tree-walker's behaviour for names unknown at compile time: the error
+/// surfaces only if the call executes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BuiltinOp {
+    IntToFloat,
+    FloatToInt,
+    Sqrt,
+    Log,
+    Exp,
+    Sin,
+    Cos,
+    Pow,
+    Abs,
+    Max,
+    Min,
+    AllocF,
+    AllocI,
+    Len,
+    Dyn,
+}
+
+impl BuiltinOp {
+    pub fn from_name(name: &str) -> BuiltinOp {
+        match name {
+            "@intToFloat" => BuiltinOp::IntToFloat,
+            "@floatToInt" => BuiltinOp::FloatToInt,
+            "@sqrt" => BuiltinOp::Sqrt,
+            "@log" => BuiltinOp::Log,
+            "@exp" => BuiltinOp::Exp,
+            "@sin" => BuiltinOp::Sin,
+            "@cos" => BuiltinOp::Cos,
+            "@pow" => BuiltinOp::Pow,
+            "@abs" => BuiltinOp::Abs,
+            "@max" => BuiltinOp::Max,
+            "@min" => BuiltinOp::Min,
+            "@allocF" => BuiltinOp::AllocF,
+            "@allocI" => BuiltinOp::AllocI,
+            "@len" => BuiltinOp::Len,
+            _ => BuiltinOp::Dyn,
+        }
+    }
+}
+
+/// One bytecode instruction. Calls pass arguments in a contiguous register
+/// range `[base, base + n)` so no argument vector is built until the
+/// callee boundary requires one.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Insn {
+    /// `r[dst] = consts[k]`
+    Const {
+        dst: Reg,
+        k: u16,
+    },
+    /// `r[dst] = r[src]`
+    Move {
+        dst: Reg,
+        src: Reg,
+    },
+    /// `r[dst] = Ptr(fresh cell seeded with r[src])` — declaration of an
+    /// address-taken local; a fresh cell per execution of the declaration,
+    /// matching the tree-walker's per-iteration `declare`.
+    NewCell {
+        dst: Reg,
+        src: Reg,
+    },
+    /// `r[dst] = *cell` where `r[cell]` is the `Ptr` of a boxed local.
+    CellGet {
+        dst: Reg,
+        cell: Reg,
+    },
+    /// `*cell = r[src]`.
+    CellSet {
+        cell: Reg,
+        src: Reg,
+    },
+    /// `r[dst] = r[ptr].*` for any pointer value (`Ptr`, `ElemPtrF/I`).
+    Deref {
+        dst: Reg,
+        ptr: Reg,
+    },
+    /// `r[ptr].* = r[src]`.
+    StorePtr {
+        ptr: Reg,
+        src: Reg,
+    },
+    /// `r[dst] = &r[arr][r[idx]]` (an `ElemPtrF`/`ElemPtrI`).
+    ElemAddr {
+        dst: Reg,
+        arr: Reg,
+        idx: Reg,
+    },
+    /// `r[dst] = &(r[src].*)` — identity on pointer values, error otherwise.
+    AddrDeref {
+        dst: Reg,
+        src: Reg,
+    },
+    /// `r[dst] = r[arr][r[idx]]`, unboxed fast path for `ArrF`/`ArrI`.
+    Index {
+        dst: Reg,
+        arr: Reg,
+        idx: Reg,
+    },
+    /// `r[arr][r[idx]] = r[src]`.
+    IndexSet {
+        arr: Reg,
+        idx: Reg,
+        src: Reg,
+    },
+    /// `r[dst] = r[a] op r[b]` (typed fast paths, tree-walker fallback).
+    Arith {
+        op: ArithOp,
+        dst: Reg,
+        a: Reg,
+        b: Reg,
+    },
+    /// `r[dst] = Bool(r[a] cmp r[b])`.
+    Cmp {
+        op: CmpOp,
+        dst: Reg,
+        a: Reg,
+        b: Reg,
+    },
+    /// `r[dst] = -r[src]`.
+    Neg {
+        dst: Reg,
+        src: Reg,
+    },
+    /// `r[dst] = !truthy(r[src])`.
+    Not {
+        dst: Reg,
+        src: Reg,
+    },
+    /// `r[dst] = Bool(truthy(r[src]))` (logical-operator result coercion).
+    Truthy {
+        dst: Reg,
+        src: Reg,
+    },
+    Jump {
+        to: u32,
+    },
+    /// Branch if `truthy(r[cond])` is false.
+    JumpIfFalse {
+        cond: Reg,
+        to: u32,
+    },
+    /// Branch if `truthy(r[cond])` is true.
+    JumpIfTrue {
+        cond: Reg,
+        to: u32,
+    },
+    /// Fused guard: branch to `to` when `r[a] cmp r[b]` is false.
+    CmpJumpFalse {
+        op: CmpOp,
+        a: Reg,
+        b: Reg,
+        to: u32,
+    },
+    /// Fused induction back-edge: `r[var] += step; if r[var] cmp r[limit]
+    /// jump to` (the loop body head). Integer fast path; generic fallback
+    /// reproduces the tree-walker's compound-assign + compare semantics.
+    IncCmpJump {
+        var: Reg,
+        step: i32,
+        limit: Reg,
+        op: CmpOp,
+        to: u32,
+    },
+    /// Direct call of program function `func` (compile-time resolved).
+    Call {
+        dst: Reg,
+        func: u16,
+        base: Reg,
+        n: u16,
+    },
+    /// Indirect call through a `Fn` value in `r[callee]`.
+    CallValue {
+        dst: Reg,
+        callee: Reg,
+        base: Reg,
+        n: u16,
+    },
+    /// Call into the `omp.*` namespace: `syms[sym]` is the dotted path
+    /// after `omp`, dispatched through `builtins::call` so the runtime
+    /// bindings keep their existing signatures.
+    OmpCall {
+        dst: Reg,
+        sym: u16,
+        base: Reg,
+        n: u16,
+    },
+    /// `@name(...)` with the operation resolved at compile time; `name_k`
+    /// is the name string in the pool, for `Dyn` dispatch and error text.
+    Builtin {
+        dst: Reg,
+        op: BuiltinOp,
+        name_k: u16,
+        base: Reg,
+        n: u16,
+    },
+    /// `print(...)` — render, capture, optionally echo.
+    Print {
+        base: Reg,
+        n: u16,
+    },
+    /// Unconditional runtime error with the pooled message (compile-time
+    /// detected failures that the tree-walker would only raise when the
+    /// offending node executes).
+    Trap {
+        msg: u16,
+    },
+    Ret {
+        src: Reg,
+    },
+    RetVoid,
+}
+
+/// One compiled function.
+pub struct CompiledFn {
+    pub name: String,
+    pub nparams: usize,
+    /// Register-file size: params, locals, then temporaries.
+    pub nregs: usize,
+    pub code: Vec<Insn>,
+    pub consts: Vec<Value>,
+    /// Dotted `omp.` call paths referenced by [`Insn::OmpCall`].
+    pub omp_syms: Vec<Vec<String>>,
+    /// Debug names of named registers (params and locals), in allocation
+    /// order: (register, name, address-taken?).
+    pub locals: Vec<(Reg, String, bool)>,
+}
+
+/// A whole program's compiled image, functions in declaration order.
+pub struct Image {
+    pub funcs: Vec<CompiledFn>,
+    pub by_name: HashMap<String, usize>,
+}
+
+impl Image {
+    pub fn get(&self, name: &str) -> Option<&CompiledFn> {
+        self.by_name.get(name).map(|&i| &self.funcs[i])
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Disassembler (the `--dump-bytecode` surface; golden-tested)
+// ---------------------------------------------------------------------------
+
+fn const_text(v: &Value) -> String {
+    match v {
+        Value::Str(s) => format!("{s:?}"),
+        Value::Fn(name) => format!("fn {name}"),
+        other => other.render(),
+    }
+}
+
+fn cmp_text(op: CmpOp) -> &'static str {
+    match op {
+        CmpOp::Lt => "<",
+        CmpOp::Le => "<=",
+        CmpOp::Gt => ">",
+        CmpOp::Ge => ">=",
+        CmpOp::Eq => "==",
+        CmpOp::Ne => "!=",
+    }
+}
+
+fn arith_text(op: ArithOp) -> &'static str {
+    match op {
+        ArithOp::Add => "add",
+        ArithOp::Sub => "sub",
+        ArithOp::Mul => "mul",
+        ArithOp::Div => "div",
+        ArithOp::Rem => "rem",
+    }
+}
+
+/// Render one function's bytecode as stable, diffable text.
+pub fn disasm_fn(f: &CompiledFn) -> String {
+    use std::fmt::Write;
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "fn {} (params {}, regs {})",
+        f.name, f.nparams, f.nregs
+    );
+    if !f.locals.is_empty() {
+        let names: Vec<String> = f
+            .locals
+            .iter()
+            .map(|(r, n, boxed)| format!("r{r}={}{n}", if *boxed { "&" } else { "" }))
+            .collect();
+        let _ = writeln!(out, "  locals: {}", names.join(" "));
+    }
+    for (i, k) in f.consts.iter().enumerate() {
+        let _ = writeln!(out, "  k{i} = {}", const_text(k));
+    }
+    for (i, s) in f.omp_syms.iter().enumerate() {
+        let _ = writeln!(out, "  s{i} = omp.{}", s.join("."));
+    }
+    for (pc, insn) in f.code.iter().enumerate() {
+        let text = match insn {
+            Insn::Const { dst, k } => format!("const      r{dst}, k{k}"),
+            Insn::Move { dst, src } => format!("move       r{dst}, r{src}"),
+            Insn::NewCell { dst, src } => format!("newcell    r{dst}, r{src}"),
+            Insn::CellGet { dst, cell } => format!("cellget    r{dst}, r{cell}"),
+            Insn::CellSet { cell, src } => format!("cellset    r{cell}, r{src}"),
+            Insn::Deref { dst, ptr } => format!("deref      r{dst}, r{ptr}"),
+            Insn::StorePtr { ptr, src } => format!("storeptr   r{ptr}, r{src}"),
+            Insn::ElemAddr { dst, arr, idx } => format!("elemaddr   r{dst}, r{arr}[r{idx}]"),
+            Insn::AddrDeref { dst, src } => format!("addrderef  r{dst}, r{src}"),
+            Insn::Index { dst, arr, idx } => format!("index      r{dst}, r{arr}[r{idx}]"),
+            Insn::IndexSet { arr, idx, src } => format!("indexset   r{arr}[r{idx}], r{src}"),
+            Insn::Arith { op, dst, a, b } => {
+                format!("{:<10} r{dst}, r{a}, r{b}", arith_text(*op))
+            }
+            Insn::Cmp { op, dst, a, b } => {
+                format!("cmp        r{dst}, r{a} {} r{b}", cmp_text(*op))
+            }
+            Insn::Neg { dst, src } => format!("neg        r{dst}, r{src}"),
+            Insn::Not { dst, src } => format!("not        r{dst}, r{src}"),
+            Insn::Truthy { dst, src } => format!("truthy     r{dst}, r{src}"),
+            Insn::Jump { to } => format!("jump       -> {to}"),
+            Insn::JumpIfFalse { cond, to } => format!("jfalse     r{cond} -> {to}"),
+            Insn::JumpIfTrue { cond, to } => format!("jtrue      r{cond} -> {to}"),
+            Insn::CmpJumpFalse { op, a, b, to } => {
+                format!("cjfalse    r{a} {} r{b} -> {to}", cmp_text(*op))
+            }
+            Insn::IncCmpJump {
+                var,
+                step,
+                limit,
+                op,
+                to,
+            } => format!(
+                "inccmpj    r{var} += {step}; r{var} {} r{limit} -> {to}",
+                cmp_text(*op)
+            ),
+            Insn::Call { dst, func, base, n } => {
+                format!("call       r{dst}, f{func}, r{base}..{n}")
+            }
+            Insn::CallValue {
+                dst,
+                callee,
+                base,
+                n,
+            } => format!("callv      r{dst}, r{callee}, r{base}..{n}"),
+            Insn::OmpCall { dst, sym, base, n } => {
+                format!("ompcall    r{dst}, s{sym}, r{base}..{n}")
+            }
+            Insn::Builtin {
+                dst,
+                op,
+                name_k,
+                base,
+                n,
+            } => format!("builtin    r{dst}, {op:?}(k{name_k}), r{base}..{n}"),
+            Insn::Print { base, n } => format!("print      r{base}..{n}"),
+            Insn::Trap { msg } => format!("trap       k{msg}"),
+            Insn::Ret { src } => format!("ret        r{src}"),
+            Insn::RetVoid => "retvoid".to_string(),
+        };
+        let _ = writeln!(out, "  {pc:>4}  {text}");
+    }
+    out
+}
+
+/// Render the whole image, functions in declaration order.
+pub fn disasm(image: &Image) -> String {
+    let mut out = String::new();
+    for f in &image.funcs {
+        out.push_str(&disasm_fn(f));
+        out.push('\n');
+    }
+    out
+}

@@ -1,9 +1,18 @@
-//! The tree-walking interpreter.
+//! Program loading and the two execution backends.
 //!
-//! Executes the *preprocessed* (pragma-free) AST. All parallelism enters
-//! through `omp.internal.fork_call`, which runs the outlined function on a
-//! real `zomp` team — so a pragma-annotated Zag program ends up executing
-//! on actual threads, completing the paper's pipeline end to end.
+//! Both backends execute the *preprocessed* (pragma-free) program. All
+//! parallelism enters through `omp.internal.fork_call`, which runs the
+//! outlined function on a real `zomp` team — so a pragma-annotated Zag
+//! program ends up executing on actual threads, completing the paper's
+//! pipeline end to end.
+//!
+//! The default backend is the register-bytecode VM ([`Backend::Bytecode`]):
+//! functions are lowered once by [`crate::compile`] and executed by
+//! [`Vm::run_bytecode`] with a dense `match` dispatch over flat
+//! instructions and unboxed register frames. The original tree-walker is
+//! kept behind [`Backend::Ast`] as the differential-testing oracle; the
+//! two are required to produce byte-identical output (including error
+//! messages), which `crates/vm/tests/differential.rs` enforces.
 
 use std::collections::HashMap;
 use std::sync::Arc;
@@ -13,12 +22,37 @@ use zomp_front::ast::{Ast, Node, NodeId, Tag as N};
 use zomp_front::token::Tag as T;
 
 use crate::builtins;
+use crate::bytecode::{ArithOp, BuiltinOp, CmpOp, Image, Insn};
 use crate::value::{err, ArrF, ArrI, Slot, Value, VmError, VmResult};
 
-/// A compiled (preprocessed + parsed) program.
+/// Which execution engine runs function bodies.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum Backend {
+    /// Flat register-bytecode VM (default).
+    #[default]
+    Bytecode,
+    /// Original tree-walking interpreter, kept as the semantic oracle.
+    Ast,
+}
+
+impl Backend {
+    /// Parse a CLI/ENV spelling (`ast` | `bytecode`).
+    pub fn parse(s: &str) -> Option<Backend> {
+        match s {
+            "ast" => Some(Backend::Ast),
+            "bytecode" => Some(Backend::Bytecode),
+            _ => None,
+        }
+    }
+}
+
+/// A compiled (preprocessed + parsed + lowered) program.
 pub struct Program {
     pub ast: Ast,
     pub functions: HashMap<String, NodeId>,
+    /// The bytecode image: every function lowered to a flat instruction
+    /// stream with resolved register slots.
+    pub code: Image,
     /// The source before preprocessing, kept for display/teaching.
     pub original_source: String,
     /// The pragma-free source actually executed.
@@ -51,9 +85,11 @@ fn compile_inner(source: &str, unit: Option<&str>) -> Result<Program, zomp_front
             functions.insert(ast.token_text(node.main_token).to_string(), decl);
         }
     }
+    let code = crate::compile::compile_image(&ast);
     Ok(Program {
         ast,
         functions,
+        code,
         original_source: source.to_string(),
         final_source,
     })
@@ -66,6 +102,8 @@ pub struct Vm {
     pub output: Mutex<Vec<String>>,
     /// Echo `print` output to stdout as well.
     pub echo: bool,
+    /// Execution engine for function bodies (bytecode by default).
+    pub backend: Backend,
 }
 
 /// Lexical environment of one function activation.
@@ -122,6 +160,7 @@ impl Vm {
             program: Arc::new(compile(source)?),
             output: Mutex::new(Vec::new()),
             echo: false,
+            backend: Backend::default(),
         })
     }
 
@@ -132,6 +171,15 @@ impl Vm {
             program: Arc::new(compile_named(source, unit)?),
             output: Mutex::new(Vec::new()),
             echo: false,
+            backend: Backend::default(),
+        })
+    }
+
+    /// [`Vm::new`] with an explicit execution backend.
+    pub fn with_backend(source: &str, backend: Backend) -> Result<Vm, zomp_front::FrontError> {
+        Ok(Vm {
+            backend,
+            ..Vm::new(source)?
         })
     }
 
@@ -142,8 +190,24 @@ impl Vm {
         Ok(vm.output.into_inner())
     }
 
-    /// Call a function by name.
+    /// Call a function by name on the configured backend.
     pub fn call_function(&self, name: &str, args: Vec<Value>) -> VmResult<Value> {
+        match self.backend {
+            Backend::Bytecode => {
+                let &fi = self
+                    .program
+                    .code
+                    .by_name
+                    .get(name)
+                    .ok_or_else(|| VmError(format!("unknown function `{name}`")))?;
+                self.run_bytecode(fi, args)
+            }
+            Backend::Ast => self.call_function_ast(name, args),
+        }
+    }
+
+    /// Tree-walker entry: the original interpreter, kept as the oracle.
+    fn call_function_ast(&self, name: &str, args: Vec<Value>) -> VmResult<Value> {
         let ast = &self.program.ast;
         let &decl = self
             .program
@@ -467,45 +531,386 @@ impl Vm {
 
     fn eval_builtin(&self, frame: &mut Frame, node: &Node) -> VmResult<Value> {
         let ast = &self.program.ast;
-        let name = ast.token_text(node.main_token);
+        let name = ast.token_text(node.main_token).to_string();
         let arg_ids = ast.extra(node.lhs, node.rhs).to_vec();
         let mut args = Vec::with_capacity(arg_ids.len());
         for a in arg_ids {
             args.push(self.eval(frame, a)?);
         }
-        match (name, args.as_slice()) {
-            ("@intToFloat", [Value::Int(v)]) => Ok(Value::Float(*v as f64)),
-            ("@floatToInt", [Value::Float(v)]) => Ok(Value::Int(*v as i64)),
-            ("@sqrt", [Value::Float(v)]) => Ok(Value::Float(v.sqrt())),
-            ("@log", [Value::Float(v)]) => Ok(Value::Float(v.ln())),
-            ("@exp", [Value::Float(v)]) => Ok(Value::Float(v.exp())),
-            ("@sin", [Value::Float(v)]) => Ok(Value::Float(v.sin())),
-            ("@cos", [Value::Float(v)]) => Ok(Value::Float(v.cos())),
-            ("@pow", [Value::Float(a), Value::Float(b)]) => Ok(Value::Float(a.powf(*b))),
-            ("@abs", [Value::Float(v)]) => Ok(Value::Float(v.abs())),
-            ("@abs", [Value::Int(v)]) => Ok(Value::Int(v.abs())),
-            ("@max", [Value::Float(a), Value::Float(b)]) => Ok(Value::Float(a.max(*b))),
-            ("@max", [Value::Int(a), Value::Int(b)]) => Ok(Value::Int(*a.max(b))),
-            ("@min", [Value::Float(a), Value::Float(b)]) => Ok(Value::Float(a.min(*b))),
-            ("@min", [Value::Int(a), Value::Int(b)]) => Ok(Value::Int(*a.min(b))),
-            ("@allocF", [Value::Int(n)]) => Ok(Value::ArrF(Arc::new(ArrF::new(*n as usize)))),
-            ("@allocI", [Value::Int(n)]) => Ok(Value::ArrI(Arc::new(ArrI::new(*n as usize)))),
-            ("@len", [Value::ArrF(a)]) => Ok(Value::Int(a.len() as i64)),
-            ("@len", [Value::ArrI(a)]) => Ok(Value::Int(a.len() as i64)),
-            (other, args) => err(format!(
-                "unknown builtin {other} for ({})",
-                args.iter()
-                    .map(|a| a.type_name())
-                    .collect::<Vec<_>>()
-                    .join(", ")
-            )),
+        builtins::math_builtin(&name, &args)
+    }
+
+    // -- bytecode executor --------------------------------------------------
+
+    /// Execute one compiled function on a fresh register frame.
+    ///
+    /// Registers hold [`Value`]s directly — no per-local `Arc<Mutex<_>>`
+    /// and no name lookups; only address-taken locals go through heap
+    /// cells. The loop is a single dense `match` over [`Insn`].
+    fn run_bytecode(&self, fi: usize, mut args: Vec<Value>) -> VmResult<Value> {
+        let f = &self.program.code.funcs[fi];
+        if args.len() != f.nparams {
+            return err(format!(
+                "`{}` expects {} arguments, got {}",
+                f.name,
+                f.nparams,
+                args.len()
+            ));
         }
+        args.resize(f.nregs.max(f.nparams), Value::Undefined);
+        let mut regs = args;
+        let code = &f.code[..];
+        let consts = &f.consts[..];
+        let mut pc = 0usize;
+        loop {
+            let insn = code[pc];
+            pc += 1;
+            match insn {
+                Insn::Const { dst, k } => regs[dst as usize] = consts[k as usize].clone(),
+                Insn::Move { dst, src } => regs[dst as usize] = regs[src as usize].clone(),
+                Insn::NewCell { dst, src } => {
+                    let v = regs[src as usize].clone();
+                    regs[dst as usize] = Value::Ptr(Arc::new(Mutex::new(v)));
+                }
+                Insn::CellGet { dst, cell } => match &regs[cell as usize] {
+                    Value::Ptr(slot) => {
+                        let v = slot.lock().clone();
+                        regs[dst as usize] = v;
+                    }
+                    other => return err(format!("cannot dereference {}", other.type_name())),
+                },
+                Insn::CellSet { cell, src } => match &regs[cell as usize] {
+                    Value::Ptr(slot) => {
+                        let slot = slot.clone();
+                        *slot.lock() = regs[src as usize].clone();
+                    }
+                    other => return err(format!("cannot store through {}", other.type_name())),
+                },
+                Insn::Deref { dst, ptr } => {
+                    let v = match &regs[ptr as usize] {
+                        Value::Ptr(slot) => slot.lock().clone(),
+                        Value::ElemPtrF(a, i) => Value::Float(a.get(*i)?),
+                        Value::ElemPtrI(a, i) => Value::Int(a.get(*i)?),
+                        other => return err(format!("cannot dereference {}", other.type_name())),
+                    };
+                    regs[dst as usize] = v;
+                }
+                Insn::StorePtr { ptr, src } => match &regs[ptr as usize] {
+                    Value::Ptr(slot) => {
+                        let slot = slot.clone();
+                        *slot.lock() = regs[src as usize].clone();
+                    }
+                    Value::ElemPtrF(a, i) => a.set(*i, regs[src as usize].as_float()?)?,
+                    Value::ElemPtrI(a, i) => a.set(*i, regs[src as usize].as_int()?)?,
+                    other => return err(format!("cannot store through {}", other.type_name())),
+                },
+                Insn::ElemAddr { dst, arr, idx } => {
+                    let i = regs[idx as usize].as_int()?;
+                    let v = match &regs[arr as usize] {
+                        Value::ArrF(a) => Value::ElemPtrF(a.clone(), i),
+                        Value::ArrI(a) => Value::ElemPtrI(a.clone(), i),
+                        other => return err(format!("cannot index {}", other.type_name())),
+                    };
+                    regs[dst as usize] = v;
+                }
+                Insn::AddrDeref { dst, src } => {
+                    let v = match &regs[src as usize] {
+                        p @ (Value::Ptr(_) | Value::ElemPtrF(..) | Value::ElemPtrI(..)) => {
+                            p.clone()
+                        }
+                        other => return err(format!("cannot store through {}", other.type_name())),
+                    };
+                    regs[dst as usize] = v;
+                }
+                Insn::Index { dst, arr, idx } => {
+                    let i = regs[idx as usize].as_int()?;
+                    let v = match &regs[arr as usize] {
+                        Value::ArrF(a) => Value::Float(a.get(i)?),
+                        Value::ArrI(a) => Value::Int(a.get(i)?),
+                        other => return err(format!("cannot index {}", other.type_name())),
+                    };
+                    regs[dst as usize] = v;
+                }
+                Insn::IndexSet { arr, idx, src } => {
+                    let i = regs[idx as usize].as_int()?;
+                    match &regs[arr as usize] {
+                        Value::ArrF(a) => a.set(i, regs[src as usize].as_float()?)?,
+                        Value::ArrI(a) => a.set(i, regs[src as usize].as_int()?)?,
+                        other => return err(format!("cannot index {}", other.type_name())),
+                    }
+                }
+                Insn::Arith { op, dst, a, b } => {
+                    let v = match (&regs[a as usize], &regs[b as usize]) {
+                        (Value::Float(x), Value::Float(y)) => {
+                            let (x, y) = (*x, *y);
+                            Value::Float(match op {
+                                ArithOp::Add => x + y,
+                                ArithOp::Sub => x - y,
+                                ArithOp::Mul => x * y,
+                                ArithOp::Div => x / y,
+                                ArithOp::Rem => x % y,
+                            })
+                        }
+                        (Value::Int(x), Value::Int(y)) => {
+                            let (x, y) = (*x, *y);
+                            match op {
+                                ArithOp::Add => Value::Int(x.wrapping_add(y)),
+                                ArithOp::Sub => Value::Int(x.wrapping_sub(y)),
+                                ArithOp::Mul => Value::Int(x.wrapping_mul(y)),
+                                ArithOp::Div => {
+                                    if y == 0 {
+                                        return err("integer division by zero");
+                                    }
+                                    Value::Int(x / y)
+                                }
+                                ArithOp::Rem => {
+                                    if y == 0 {
+                                        return err("remainder by zero");
+                                    }
+                                    Value::Int(x % y)
+                                }
+                            }
+                        }
+                        (x, y) => binop_arith(arith_token(op), x, y)?,
+                    };
+                    regs[dst as usize] = v;
+                }
+                Insn::Cmp { op, dst, a, b } => {
+                    let v = match (&regs[a as usize], &regs[b as usize]) {
+                        (Value::Int(x), Value::Int(y)) => Value::Bool(cmp_int(op, *x, *y)),
+                        (Value::Float(x), Value::Float(y)) => Value::Bool(cmp_float(op, *x, *y)),
+                        (x, y) => binop(cmp_token(op), x, y)?,
+                    };
+                    regs[dst as usize] = v;
+                }
+                Insn::Neg { dst, src } => {
+                    let v = match &regs[src as usize] {
+                        Value::Int(v) => Value::Int(-v),
+                        Value::Float(v) => Value::Float(-v),
+                        other => return err(format!("cannot negate {}", other.type_name())),
+                    };
+                    regs[dst as usize] = v;
+                }
+                Insn::Not { dst, src } => {
+                    let v = Value::Bool(!regs[src as usize].truthy()?);
+                    regs[dst as usize] = v;
+                }
+                Insn::Truthy { dst, src } => {
+                    let v = Value::Bool(regs[src as usize].truthy()?);
+                    regs[dst as usize] = v;
+                }
+                Insn::Jump { to } => pc = to as usize,
+                Insn::JumpIfFalse { cond, to } => {
+                    if !regs[cond as usize].truthy()? {
+                        pc = to as usize;
+                    }
+                }
+                Insn::JumpIfTrue { cond, to } => {
+                    if regs[cond as usize].truthy()? {
+                        pc = to as usize;
+                    }
+                }
+                Insn::CmpJumpFalse { op, a, b, to } => {
+                    let taken = match (&regs[a as usize], &regs[b as usize]) {
+                        (Value::Int(x), Value::Int(y)) => cmp_int(op, *x, *y),
+                        (Value::Float(x), Value::Float(y)) => cmp_float(op, *x, *y),
+                        (x, y) => binop(cmp_token(op), x, y)?.truthy()?,
+                    };
+                    if !taken {
+                        pc = to as usize;
+                    }
+                }
+                Insn::IncCmpJump {
+                    var,
+                    step,
+                    limit,
+                    op,
+                    to,
+                } => match (&regs[var as usize], &regs[limit as usize]) {
+                    (Value::Int(v), Value::Int(l)) => {
+                        let next = v.wrapping_add(step as i64);
+                        let l = *l;
+                        regs[var as usize] = Value::Int(next);
+                        if cmp_int(op, next, l) {
+                            pc = to as usize;
+                        }
+                    }
+                    _ => {
+                        // Slow path mirrors the walker: `v ±= k` through
+                        // `binop_arith`, then the condition through `binop`.
+                        let (tok, k) = if step >= 0 {
+                            (T::Plus, step as i64)
+                        } else {
+                            (T::Minus, -(step as i64))
+                        };
+                        let next = binop_arith(tok, &regs[var as usize], &Value::Int(k))?;
+                        regs[var as usize] = next;
+                        let taken =
+                            binop(cmp_token(op), &regs[var as usize], &regs[limit as usize])?
+                                .truthy()?;
+                        if taken {
+                            pc = to as usize;
+                        }
+                    }
+                },
+                Insn::Call { dst, func, base, n } => {
+                    let call_args = take_args(&mut regs, base, n);
+                    let v = self.run_bytecode(func as usize, call_args)?;
+                    regs[dst as usize] = v;
+                }
+                Insn::CallValue {
+                    dst,
+                    callee,
+                    base,
+                    n,
+                } => {
+                    let v = match &regs[callee as usize] {
+                        Value::Fn(name) => {
+                            let name = name.clone();
+                            let call_args = take_args(&mut regs, base, n);
+                            match self.program.code.by_name.get(name.as_ref()) {
+                                Some(&fi) => self.run_bytecode(fi, call_args)?,
+                                None => return err(format!("unknown function `{name}`")),
+                            }
+                        }
+                        other => return err(format!("{} is not callable", other.type_name())),
+                    };
+                    regs[dst as usize] = v;
+                }
+                Insn::OmpCall { dst, sym, base, n } => {
+                    let call_args = take_args(&mut regs, base, n);
+                    let parts: Vec<&str> = f.omp_syms[sym as usize]
+                        .iter()
+                        .map(String::as_str)
+                        .collect();
+                    let v = builtins::call(self, &parts, call_args)?;
+                    regs[dst as usize] = v;
+                }
+                Insn::Builtin {
+                    dst,
+                    op,
+                    name_k,
+                    base,
+                    n,
+                } => {
+                    let v = {
+                        let bargs = &regs[base as usize..(base + n) as usize];
+                        match (op, bargs) {
+                            (BuiltinOp::IntToFloat, [Value::Int(v)]) => Value::Float(*v as f64),
+                            (BuiltinOp::FloatToInt, [Value::Float(v)]) => Value::Int(*v as i64),
+                            (BuiltinOp::Sqrt, [Value::Float(v)]) => Value::Float(v.sqrt()),
+                            (BuiltinOp::Log, [Value::Float(v)]) => Value::Float(v.ln()),
+                            (BuiltinOp::Exp, [Value::Float(v)]) => Value::Float(v.exp()),
+                            (BuiltinOp::Sin, [Value::Float(v)]) => Value::Float(v.sin()),
+                            (BuiltinOp::Cos, [Value::Float(v)]) => Value::Float(v.cos()),
+                            (BuiltinOp::Pow, [Value::Float(a), Value::Float(b)]) => {
+                                Value::Float(a.powf(*b))
+                            }
+                            (BuiltinOp::Abs, [Value::Float(v)]) => Value::Float(v.abs()),
+                            (BuiltinOp::Abs, [Value::Int(v)]) => Value::Int(v.abs()),
+                            (BuiltinOp::Max, [Value::Float(a), Value::Float(b)]) => {
+                                Value::Float(a.max(*b))
+                            }
+                            (BuiltinOp::Max, [Value::Int(a), Value::Int(b)]) => {
+                                Value::Int(*a.max(b))
+                            }
+                            (BuiltinOp::Min, [Value::Float(a), Value::Float(b)]) => {
+                                Value::Float(a.min(*b))
+                            }
+                            (BuiltinOp::Min, [Value::Int(a), Value::Int(b)]) => {
+                                Value::Int(*a.min(b))
+                            }
+                            _ => {
+                                let name = match &consts[name_k as usize] {
+                                    Value::Str(s) => s.clone(),
+                                    _ => unreachable!("builtin name constant is not a string"),
+                                };
+                                builtins::math_builtin(&name, bargs)?
+                            }
+                        }
+                    };
+                    regs[dst as usize] = v;
+                }
+                Insn::Print { base, n } => {
+                    let line = regs[base as usize..(base + n) as usize]
+                        .iter()
+                        .map(|v| v.render())
+                        .collect::<Vec<_>>()
+                        .join(" ");
+                    if self.echo {
+                        println!("{line}");
+                    }
+                    self.output.lock().push(line);
+                }
+                Insn::Trap { msg } => match &consts[msg as usize] {
+                    Value::Str(s) => return Err(VmError(s.to_string())),
+                    _ => unreachable!("trap message constant is not a string"),
+                },
+                Insn::Ret { src } => return Ok(regs[src as usize].clone()),
+                Insn::RetVoid => return Ok(Value::Void),
+            }
+        }
+    }
+}
+
+/// Move a contiguous argument block out of the caller's registers. Argument
+/// slots are always freshly-written temporaries, so stealing them (instead
+/// of cloning) is safe and avoids `Arc` traffic on hot call paths.
+fn take_args(regs: &mut [Value], base: u16, n: u16) -> Vec<Value> {
+    regs[base as usize..(base + n) as usize]
+        .iter_mut()
+        .map(|slot| std::mem::replace(slot, Value::Undefined))
+        .collect()
+}
+
+fn cmp_int(op: CmpOp, a: i64, b: i64) -> bool {
+    match op {
+        CmpOp::Lt => a < b,
+        CmpOp::Le => a <= b,
+        CmpOp::Gt => a > b,
+        CmpOp::Ge => a >= b,
+        CmpOp::Eq => a == b,
+        CmpOp::Ne => a != b,
+    }
+}
+
+/// Float comparison with the walker's NaN behaviour: ordering operators on
+/// NaN are false (`partial_cmp` → `None`), `!=` on NaN is true.
+fn cmp_float(op: CmpOp, a: f64, b: f64) -> bool {
+    match op {
+        CmpOp::Lt => a < b,
+        CmpOp::Le => a <= b,
+        CmpOp::Gt => a > b,
+        CmpOp::Ge => a >= b,
+        CmpOp::Eq => a == b,
+        CmpOp::Ne => a != b,
+    }
+}
+
+fn arith_token(op: ArithOp) -> T {
+    match op {
+        ArithOp::Add => T::Plus,
+        ArithOp::Sub => T::Minus,
+        ArithOp::Mul => T::Star,
+        ArithOp::Div => T::Slash,
+        ArithOp::Rem => T::Percent,
+    }
+}
+
+fn cmp_token(op: CmpOp) -> T {
+    match op {
+        CmpOp::Lt => T::Lt,
+        CmpOp::Le => T::LtEq,
+        CmpOp::Gt => T::Gt,
+        CmpOp::Ge => T::GtEq,
+        CmpOp::Eq => T::EqEq,
+        CmpOp::Ne => T::BangEq,
     }
 }
 
 /// Extract a dotted identifier path from a callee expression
 /// (`omp.internal.fork_call` → `["omp", "internal", "fork_call"]`).
-fn callee_path(ast: &Ast, mut id: NodeId) -> Option<Vec<&str>> {
+pub(crate) fn callee_path(ast: &Ast, mut id: NodeId) -> Option<Vec<&str>> {
     let mut rev = Vec::new();
     loop {
         let node = ast.node(id);
@@ -534,7 +939,7 @@ fn compound_op(op: T) -> VmResult<T> {
     })
 }
 
-fn binop_arith(op: T, a: &Value, b: &Value) -> VmResult<Value> {
+pub(crate) fn binop_arith(op: T, a: &Value, b: &Value) -> VmResult<Value> {
     match (a, b) {
         (Value::Int(a), Value::Int(b)) => Ok(Value::Int(match op {
             T::Plus => a.wrapping_add(*b),
@@ -570,7 +975,7 @@ fn binop_arith(op: T, a: &Value, b: &Value) -> VmResult<Value> {
     }
 }
 
-fn binop(op: T, a: &Value, b: &Value) -> VmResult<Value> {
+pub(crate) fn binop(op: T, a: &Value, b: &Value) -> VmResult<Value> {
     match op {
         T::Plus | T::Minus | T::Star | T::Slash | T::Percent => binop_arith(op, a, b),
         T::EqEq | T::BangEq => {

@@ -1,12 +1,17 @@
 //! # zomp-vm — executing pragma-annotated Zag programs on real threads
 //!
 //! The final stage of the paper's pipeline: the `zomp-front` preprocessor
-//! lowers OpenMP pragmas to `omp.internal.*` calls, and this crate's
-//! tree-walking interpreter binds those calls to the real [`zomp`] runtime.
-//! `omp.internal.fork_call` runs the outlined function on an actual worker
-//! team; worksharing drivers pull chunks from the same schedule machinery
-//! the Rust-native kernels use; reductions go through the same atomic
-//! cells, CAS loops included.
+//! lowers OpenMP pragmas to `omp.internal.*` calls, and this crate binds
+//! those calls to the real [`zomp`] runtime. `omp.internal.fork_call` runs
+//! the outlined function on an actual worker team; worksharing drivers
+//! pull chunks from the same schedule machinery the Rust-native kernels
+//! use; reductions go through the same atomic cells, CAS loops included.
+//!
+//! Function bodies execute on one of two backends ([`interp::Backend`]):
+//! the default register-bytecode VM ([`bytecode`], [`compile`]) — a flat
+//! instruction stream with compile-time slot resolution and fused loop
+//! opcodes — or the original tree-walking interpreter, kept as the
+//! differential-testing oracle (`--backend=ast` on the `zag` CLI).
 //!
 //! ```
 //! let out = zomp_vm::Vm::run(r#"
@@ -27,8 +32,10 @@
 //! ```
 
 pub mod builtins;
+pub mod bytecode;
+pub mod compile;
 pub mod interp;
 pub mod value;
 
-pub use interp::{compile, Program, Vm};
+pub use interp::{compile, compile_named, Backend, Program, Vm};
 pub use value::{Value, VmError};

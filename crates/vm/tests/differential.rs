@@ -1,0 +1,423 @@
+//! Differential testing: the bytecode VM against the tree-walking oracle.
+//!
+//! Every program here runs on both backends; outputs (or error messages)
+//! must match exactly. The corner programs are deterministic by
+//! construction — parallel ones only print aggregates that do not depend
+//! on scheduling. The shipped example programs may print genuinely racy
+//! values (e.g. which thread won a `single`), so for those we compare the
+//! lines proven stable under a single backend across repeated runs.
+
+use zomp_vm::{Backend, Value, Vm};
+
+fn run_on(src: &str, backend: Backend) -> Result<Vec<String>, String> {
+    let vm = Vm::with_backend(src, backend).unwrap_or_else(|e| panic!("{}", e.render(src)));
+    match vm.call_function("main", Vec::new()) {
+        Ok(_) => Ok(vm.output.into_inner()),
+        Err(e) => Err(e.to_string()),
+    }
+}
+
+/// Both backends must agree on output lines *and* on error messages.
+fn assert_backends_agree(name: &str, src: &str) {
+    let bc = run_on(src, Backend::Bytecode);
+    let ast = run_on(src, Backend::Ast);
+    assert_eq!(bc, ast, "{name}: backends diverged");
+}
+
+#[test]
+fn serial_language_corners() {
+    for (name, src) in [
+        (
+            "arith_and_precedence",
+            r#"fn main() void {
+    var i: i64 = 7;
+    var f: f64 = 2.5;
+    print(i + 2 * 3, i % 3, i / 2, -i);
+    print(f * 2.0, f - 0.5, f / 0.5, -f);
+    print(1 < 2, 2 <= 2, 3 > 4, 4 >= 5, 1 == 1, 1 != 1);
+    print("a" == "a", "a" != "b", true == true);
+}"#,
+        ),
+        (
+            "nan_comparisons",
+            r#"fn main() void {
+    var nan: f64 = 0.0 / 0.0;
+    print(nan < 1.0, nan <= 1.0, nan > 1.0, nan >= 1.0);
+    print(nan == nan, nan != nan);
+}"#,
+        ),
+        (
+            "short_circuit_side_effects",
+            r#"fn side(x: i64) bool {
+    print("side", x);
+    return x > 0;
+}
+fn main() void {
+    print(side(1) and side(-1));
+    print(side(-2) and side(2));
+    print(side(3) or side(4));
+    print(side(-5) or side(5));
+    print(!side(6));
+}"#,
+        ),
+        (
+            "pointers_and_aliasing",
+            r#"fn bump(p: *i64) void { p.* += 1; }
+fn main() void {
+    var x: i64 = 10;
+    var p: *i64 = &x;
+    bump(p);
+    bump(&x);
+    p.* = p.* * 2;
+    print(x, p.*);
+}"#,
+        ),
+        (
+            "arrays_and_compound_assign",
+            r#"fn main() void {
+    var a: f64 = @allocF(4);
+    var n: i64 = @allocI(4);
+    var i: i64 = 0;
+    while (i < 4) : (i += 1) {
+        a[i] = @intToFloat(i);
+        n[i] = i * i;
+    }
+    a[2] += 10.0;
+    a[2] *= 2.0;
+    n[3] -= 5;
+    var p: *f64 = &a[1];
+    p.* += 100.0;
+    print(a[0], a[1], a[2], a[3], @len(a));
+    print(n[0], n[1], n[2], n[3], @len(n));
+}"#,
+        ),
+        (
+            "shadowing_and_scopes",
+            r#"fn main() void {
+    var x: i64 = 1;
+    {
+        var x: i64 = x + 10;
+        print(x);
+        {
+            var x: i64 = x * 2;
+            print(x);
+        }
+        print(x);
+    }
+    print(x);
+}"#,
+        ),
+        (
+            "break_continue_nested",
+            r#"fn main() void {
+    var total: i64 = 0;
+    var i: i64 = 0;
+    while (i < 10) : (i += 1) {
+        if (i == 7) { break; }
+        var j: i64 = 0;
+        while (j < 10) : (j += 1) {
+            if (j == 3) { continue; }
+            if (j > 5) { break; }
+            total += i * 10 + j;
+        }
+    }
+    print(total, i);
+}"#,
+        ),
+        (
+            "downward_and_strided_loops",
+            r#"fn main() void {
+    var s: i64 = 0;
+    var i: i64 = 10;
+    while (i > 0) : (i -= 2) { s += i; }
+    var j: i64 = 0;
+    while (j < 20) : (j += 3) { s += 1; }
+    print(s, i, j);
+}"#,
+        ),
+        (
+            "recursion_and_function_values",
+            r#"fn fib(n: i64) i64 {
+    if (n < 2) { return n; }
+    return fib(n - 1) + fib(n - 2);
+}
+fn main() void {
+    print(fib(15));
+    const f = fib;
+    print(f(10));
+}"#,
+        ),
+        (
+            "builtins_typed_and_mixed",
+            r#"fn main() void {
+    print(@sqrt(2.0), @log(@exp(1.0)), @sin(0.0), @cos(0.0));
+    print(@pow(2.0, 10.0), @abs(-3.5), @abs(-7));
+    print(@max(2.0, 3.0), @max(9, 4), @min(2.0, 3.0), @min(9, 4));
+    print(@floatToInt(3.9), @intToFloat(4));
+}"#,
+        ),
+        (
+            "string_escapes_and_print",
+            r#"fn main() void {
+    print("quote: \" and newline:\nend");
+    print("a", 1, 2.5, true, "b");
+}"#,
+        ),
+        (
+            "var_decl_without_init",
+            r#"fn main() void {
+    var x: any = undefined;
+    x = 41;
+    x += 1;
+    print(x);
+}"#,
+        ),
+        (
+            "condition_shapes",
+            r#"fn main() void {
+    var i: i64 = 3;
+    if (i > 1 and i < 10) { print("band"); }
+    if (i > 5 or i == 3) { print("bor"); }
+    if (!(i == 4)) { print("bnot"); }
+    var b: bool = i > 2;
+    if (b) { print("bval"); }
+    while (b) { b = false; print("bloop"); }
+}"#,
+        ),
+    ] {
+        assert_backends_agree(name, src);
+    }
+}
+
+#[test]
+fn runtime_errors_match_exactly() {
+    for (name, src) in [
+        (
+            "division_by_zero",
+            r#"fn main() void { var z: i64 = 0; print(1 / z); }"#,
+        ),
+        (
+            "remainder_by_zero",
+            r#"fn main() void { var z: i64 = 0; print(1 % z); }"#,
+        ),
+        ("unknown_variable", r#"fn main() void { print(nope); }"#),
+        ("unknown_variable_assign", r#"fn main() void { nope = 3; }"#),
+        (
+            "index_out_of_bounds",
+            r#"fn main() void { var a: f64 = @allocF(2); print(a[5]); }"#,
+        ),
+        (
+            "type_mismatch_arith",
+            r#"fn main() void { print(1 + 2.0); }"#,
+        ),
+        (
+            "type_mismatch_compound",
+            r#"fn main() void { var x: i64 = 1; x += 2.0; print(x); }"#,
+        ),
+        ("cannot_compare", r#"fn main() void { print("a" < "b"); }"#),
+        (
+            "not_callable",
+            r#"fn main() void { var x: i64 = 3; x(1); }"#,
+        ),
+        ("unknown_builtin", r#"fn main() void { print(@sqrt(4)); }"#),
+        ("cannot_negate", r#"fn main() void { print(-"s"); }"#),
+        (
+            "cannot_deref",
+            r#"fn main() void { var x: i64 = 1; print(x.*); }"#,
+        ),
+        (
+            "cannot_index",
+            r#"fn main() void { var x: i64 = 1; print(x[0]); }"#,
+        ),
+        (
+            "not_a_condition",
+            r#"fn main() void { if ("s") { print(1); } }"#,
+        ),
+        (
+            "arity_mismatch",
+            r#"fn f(a: i64) void { print(a); }
+fn main() void { f(1, 2); }"#,
+        ),
+        (
+            "error_after_output",
+            r#"fn main() void {
+    print("before");
+    var z: i64 = 0;
+    print(1 / z);
+    print("after");
+}"#,
+        ),
+    ] {
+        let bc = run_on(src, Backend::Bytecode);
+        let ast = run_on(src, Backend::Ast);
+        assert_eq!(bc, ast, "{name}: backends diverged");
+        assert!(bc.is_err(), "{name}: expected a runtime error");
+    }
+}
+
+#[test]
+fn parallel_aggregates_agree() {
+    for (name, src) in [
+        (
+            "static_reduction",
+            r#"fn main() void {
+    var total: i64 = 0;
+    //$omp parallel num_threads(4) reduction(+: total)
+    {
+        var i: i64 = 0;
+        //$omp while schedule(static)
+        while (i < 10000) : (i += 1) { total += i; }
+    }
+    print(total);
+}"#,
+        ),
+        (
+            "dynamic_schedule_exactly_once",
+            r#"fn main() void {
+    var hits: i64 = @allocI(1000);
+    //$omp parallel num_threads(4)
+    {
+        var i: i64 = 0;
+        //$omp while schedule(dynamic, 7)
+        while (i < 1000) : (i += 1) {
+            //$omp atomic
+            hits[i] += 1;
+        }
+    }
+    var bad: i64 = 0;
+    var j: i64 = 0;
+    while (j < 1000) : (j += 1) {
+        if (hits[j] != 1) { bad += 1; }
+    }
+    print(bad);
+}"#,
+        ),
+        (
+            "firstprivate_and_barriers",
+            r#"fn main() void {
+    var base: i64 = 5;
+    var total: i64 = 0;
+    //$omp parallel num_threads(3) firstprivate(base) reduction(+: total)
+    {
+        base += omp.get_thread_num();
+        omp.internal.barrier();
+        total += base;
+    }
+    print(total);
+}"#,
+        ),
+        (
+            "pi_quadrature",
+            r#"fn main() void {
+    const n: i64 = 100000;
+    var pi: f64 = 0.0;
+    const w: f64 = 1.0 / @intToFloat(n);
+    //$omp parallel num_threads(4) reduction(+: pi)
+    {
+        var i: i64 = 0;
+        //$omp while schedule(static)
+        while (i < n) : (i += 1) {
+            const x: f64 = (@intToFloat(i) + 0.5) * w;
+            pi += 4.0 / (1.0 + x * x);
+        }
+    }
+    pi = pi * w;
+    print(pi > 3.14159, pi < 3.14160);
+}"#,
+        ),
+    ] {
+        assert_backends_agree(name, src);
+    }
+}
+
+/// Tokenwise equality with a relative tolerance for floats: reduction
+/// combine order depends on thread arrival, so float sums jitter in the
+/// last bits run-to-run on *both* backends.
+fn lines_equivalent(a: &str, b: &str) -> bool {
+    if a == b {
+        return true;
+    }
+    let (ta, tb): (Vec<&str>, Vec<&str>) = (a.split(' ').collect(), b.split(' ').collect());
+    ta.len() == tb.len()
+        && ta.iter().zip(&tb).all(|(x, y)| {
+            x == y
+                || matches!((x.parse::<f64>(), y.parse::<f64>()), (Ok(fx), Ok(fy))
+                    if (fx - fy).abs() <= 1e-9 * fx.abs().max(fy.abs()))
+        })
+}
+
+/// Example programs may print racy values (which thread won `single`): a
+/// line is only compared when two runs of the *same* backend produce it
+/// identically, and float tokens get reduction-order tolerance.
+#[test]
+fn example_programs_stable_lines_agree() {
+    let dir = std::path::PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../examples/zag");
+    let mut seen = 0;
+    for entry in std::fs::read_dir(dir).expect("examples/zag exists") {
+        let path = entry.unwrap().path();
+        if path.extension().is_none_or(|e| e != "zag") {
+            continue;
+        }
+        seen += 1;
+        let name = path.file_name().unwrap().to_string_lossy().to_string();
+        let src = std::fs::read_to_string(&path).unwrap();
+        let bc1 = run_on(&src, Backend::Bytecode).unwrap_or_else(|e| panic!("{name}: {e}"));
+        let bc2 = run_on(&src, Backend::Bytecode).unwrap();
+        let ast1 = run_on(&src, Backend::Ast).unwrap_or_else(|e| panic!("{name}: {e}"));
+        let ast2 = run_on(&src, Backend::Ast).unwrap();
+        assert_eq!(bc1.len(), ast1.len(), "{name}: line counts diverged");
+        for (i, line) in bc1.iter().enumerate() {
+            let stable = lines_equivalent(line, &bc2[i]) && lines_equivalent(&ast1[i], &ast2[i]);
+            if stable {
+                assert!(
+                    lines_equivalent(line, &ast1[i]),
+                    "{name}: line {i} diverged between backends:\n  bytecode: {line}\n  ast:      {}",
+                    ast1[i]
+                );
+            }
+        }
+    }
+    assert!(seen >= 3, "expected the shipped sample programs");
+}
+
+/// PR 2's pragma labels (`unit:line` from `preprocess_named`) must reach
+/// the runtime's `ParallelBegin` probe when regions are entered through
+/// compiled bytecode, so Chrome traces keep source-pragma names.
+#[test]
+fn bytecode_fork_call_keeps_pragma_labels() {
+    use std::sync::{Mutex, OnceLock};
+    static LABELS: OnceLock<Mutex<Vec<String>>> = OnceLock::new();
+    let labels = LABELS.get_or_init(|| Mutex::new(Vec::new()));
+    zomp::trace::register_callback(|probe| {
+        if let zomp::trace::Probe::ParallelBegin { label, .. } = probe {
+            LABELS
+                .get()
+                .unwrap()
+                .lock()
+                .unwrap()
+                .push(label.to_string());
+        }
+    });
+    let src = r#"fn main() void {
+    var s: i64 = 0;
+    //$omp parallel num_threads(2) reduction(+: s)
+    {
+        s += 1;
+    }
+    print(s);
+}"#;
+    let vm = Vm {
+        backend: Backend::Bytecode,
+        ..Vm::with_unit(src, "label_demo.zag").unwrap()
+    };
+    assert!(matches!(
+        vm.call_function("main", Vec::new()).unwrap(),
+        Value::Void
+    ));
+    assert_eq!(vm.output.into_inner(), vec!["2"]);
+    let got = labels.lock().unwrap();
+    assert!(
+        got.iter().any(|l| l == "label_demo.zag:3"),
+        "pragma label missing from ParallelBegin probes: {got:?}"
+    );
+}

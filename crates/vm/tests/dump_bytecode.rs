@@ -1,0 +1,43 @@
+//! Golden-file test for the bytecode disassembly of a small loop program.
+//!
+//! Codegen changes (new fusion rules, different register assignment,
+//! constant-pool ordering) show up as a readable diff against
+//! `tests/golden/loop.disasm`. To accept a new golden output:
+//!
+//! ```text
+//! UPDATE_GOLDEN=1 cargo test -p zomp-vm --test dump_bytecode
+//! ```
+
+use zomp_vm::bytecode::disasm;
+
+const PROGRAM: &str = r#"fn main() void {
+    var total: i64 = 0;
+    //$omp parallel num_threads(2) reduction(+: total)
+    {
+        var i: i64 = 0;
+        //$omp while schedule(static)
+        while (i < 1000) : (i += 1) {
+            total += 1;
+        }
+    }
+    print(total);
+}
+"#;
+
+#[test]
+fn loop_program_disassembly_matches_golden() {
+    let program = zomp_vm::compile_named(PROGRAM, "golden.zag").expect("compile");
+    let got = disasm(&program.code);
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/tests/golden/loop.disasm");
+    if std::env::var_os("UPDATE_GOLDEN").is_some() {
+        std::fs::write(path, &got).expect("write golden");
+        return;
+    }
+    let want = std::fs::read_to_string(path)
+        .expect("golden file missing — run with UPDATE_GOLDEN=1 to create it");
+    assert_eq!(
+        got, want,
+        "bytecode disassembly drifted from tests/golden/loop.disasm; \
+         review the diff and re-bless with UPDATE_GOLDEN=1 if intended"
+    );
+}
