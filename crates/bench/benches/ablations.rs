@@ -18,7 +18,7 @@ use zomp::prelude::*;
 use zomp::safety::{with_safety_mode, SafetyMode};
 
 fn team_size() -> usize {
-    zomp::api::get_num_procs().clamp(1, 4)
+    zomp::omp::get_num_procs().clamp(1, 4)
 }
 
 fn bench_safety_modes(c: &mut Criterion) {

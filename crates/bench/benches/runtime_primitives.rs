@@ -15,7 +15,7 @@ use zomp::workshare::for_loop;
 
 fn team_size() -> usize {
     // Oversubscription past the core count only adds scheduler noise.
-    zomp::api::get_num_procs().clamp(1, 4)
+    zomp::omp::get_num_procs().clamp(1, 4)
 }
 
 fn bench_fork(c: &mut Criterion) {

@@ -1,138 +1,74 @@
-//! The user-facing `omp_*` API (the paper's `std.omp` namespace).
+//! Deprecated: the user-facing API moved to [`crate::omp`].
 //!
-//! The paper re-exports the OpenMP runtime-library routines into a Zig
-//! namespace with the redundant `omp_` prefix stripped (§III-C, Listing 7):
-//!
-//! ```text
-//! const omp = @import("std").omp;
-//! const thread_id = omp.get_thread_num();
-//! ```
-//!
-//! This module is the same surface for Rust: `use zomp::api as omp;` then
-//! `omp::get_thread_num()`. Functions follow the OpenMP 5.2 definitions;
-//! outside a parallel region the querying functions return the sequential
-//! values (thread 0 of a team of 1).
+//! `zomp::api` was the original home of the paper's `std.omp` namespace
+//! (§III-C, Listing 7). The canonical module is now [`crate::omp`], which
+//! also re-exports [`Schedule`](crate::schedule::Schedule); every function
+//! here is a thin `#[deprecated]` wrapper kept so existing embedders keep
+//! compiling. Migrate `zomp::api::f()` to `zomp::omp::f()`.
 
-use std::sync::OnceLock;
-use std::time::Instant;
-
-use crate::icv::Icvs;
 use crate::schedule::Schedule;
-use crate::team;
 
-/// `omp_get_thread_num`: this thread's id within the innermost team.
+#[deprecated(note = "use zomp::omp::get_thread_num")]
 pub fn get_thread_num() -> usize {
-    team::current_region().map(|(tid, _)| tid).unwrap_or(0)
+    crate::omp::get_thread_num()
 }
 
-/// `omp_get_num_threads`: size of the innermost team (1 outside regions).
+#[deprecated(note = "use zomp::omp::get_num_threads")]
 pub fn get_num_threads() -> usize {
-    team::current_region().map(|(_, n)| n).unwrap_or(1)
+    crate::omp::get_num_threads()
 }
 
-/// `omp_get_max_threads`: team size the next region would get.
+#[deprecated(note = "use zomp::omp::get_max_threads")]
 pub fn get_max_threads() -> usize {
-    Icvs::global().num_threads()
+    crate::omp::get_max_threads()
 }
 
-/// `omp_set_num_threads`.
+#[deprecated(note = "use zomp::omp::set_num_threads")]
 pub fn set_num_threads(n: usize) {
-    Icvs::global().set_num_threads(n);
+    crate::omp::set_num_threads(n)
 }
 
-/// `omp_get_num_procs`.
+#[deprecated(note = "use zomp::omp::get_num_procs")]
 pub fn get_num_procs() -> usize {
-    Icvs::global().num_procs()
+    crate::omp::get_num_procs()
 }
 
-/// `omp_in_parallel`.
+#[deprecated(note = "use zomp::omp::in_parallel")]
 pub fn in_parallel() -> bool {
-    team::current_region().map(|(_, n)| n > 1).unwrap_or(false)
+    crate::omp::in_parallel()
 }
 
-/// `omp_get_level`: nesting depth of active regions.
+#[deprecated(note = "use zomp::omp::get_level")]
 pub fn get_level() -> usize {
-    team::region_level()
+    crate::omp::get_level()
 }
 
-/// `omp_get_dynamic`.
+#[deprecated(note = "use zomp::omp::get_dynamic")]
 pub fn get_dynamic() -> bool {
-    Icvs::global().dynamic()
+    crate::omp::get_dynamic()
 }
 
-/// `omp_set_dynamic`.
+#[deprecated(note = "use zomp::omp::set_dynamic")]
 pub fn set_dynamic(v: bool) {
-    Icvs::global().set_dynamic(v);
+    crate::omp::set_dynamic(v)
 }
 
-/// `omp_get_schedule`: the `run-sched-var` consulted by `schedule(runtime)`.
+#[deprecated(note = "use zomp::omp::get_schedule")]
 pub fn get_schedule() -> Schedule {
-    Icvs::global().run_schedule()
+    crate::omp::get_schedule()
 }
 
-/// `omp_set_schedule`.
+#[deprecated(note = "use zomp::omp::set_schedule")]
 pub fn set_schedule(s: Schedule) {
-    Icvs::global().set_run_schedule(s);
+    crate::omp::set_schedule(s)
 }
 
-fn epoch() -> Instant {
-    static EPOCH: OnceLock<Instant> = OnceLock::new();
-    *EPOCH.get_or_init(Instant::now)
-}
-
-/// `omp_get_wtime`: elapsed wall-clock seconds since an arbitrary fixed
-/// point (first call in this process).
+#[deprecated(note = "use zomp::omp::get_wtime")]
 pub fn get_wtime() -> f64 {
-    epoch().elapsed().as_secs_f64()
+    crate::omp::get_wtime()
 }
 
-/// `omp_get_wtick`: timer resolution in seconds.
+#[deprecated(note = "use zomp::omp::get_wtick")]
 pub fn get_wtick() -> f64 {
-    // Instant is nanosecond-granular on the platforms we target.
-    1e-9
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-    use crate::team::{fork_call, Parallel};
-    use std::sync::atomic::{AtomicUsize, Ordering};
-
-    #[test]
-    fn sequential_defaults() {
-        assert_eq!(get_thread_num(), 0);
-        assert_eq!(get_num_threads(), 1);
-        assert!(!in_parallel());
-        assert_eq!(get_level(), 0);
-    }
-
-    #[test]
-    fn queries_track_region() {
-        let checks = AtomicUsize::new(0);
-        fork_call(Parallel::new().num_threads(3), |ctx| {
-            assert_eq!(get_thread_num(), ctx.thread_num());
-            assert_eq!(get_num_threads(), 3);
-            assert!(in_parallel());
-            assert_eq!(get_level(), 1);
-            checks.fetch_add(1, Ordering::SeqCst);
-        });
-        assert_eq!(checks.load(Ordering::SeqCst), 3);
-        assert_eq!(get_level(), 0);
-    }
-
-    #[test]
-    fn wtime_is_monotonic() {
-        let t0 = get_wtime();
-        let t1 = get_wtime();
-        assert!(t1 >= t0);
-        assert!(get_wtick() > 0.0);
-    }
-
-    #[test]
-    fn max_threads_roundtrip() {
-        let prev = get_max_threads();
-        set_num_threads(5);
-        assert_eq!(get_max_threads(), 5);
-        set_num_threads(prev);
-    }
+    crate::omp::get_wtick()
 }

@@ -6,7 +6,7 @@
 //! (`run-sched-var`), whether the implementation may adjust team sizes
 //! (`dyn-var`), and so on. They are seeded from the environment
 //! (`OMP_NUM_THREADS`, `OMP_SCHEDULE`, `OMP_DYNAMIC`) exactly once, and can
-//! subsequently be modified through the [`crate::api`] functions
+//! subsequently be modified through the [`crate::omp`] functions
 //! (`set_num_threads`, `set_schedule`, ...).
 
 use std::sync::atomic::{AtomicBool, AtomicI64, AtomicUsize, Ordering};

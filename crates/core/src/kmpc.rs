@@ -28,8 +28,8 @@ use std::ops::Range;
 use std::sync::Arc;
 
 use crate::schedule::{
-    static_block, ChunkOrigin, DynamicDispatch, GuidedDispatch, LoopBounds, Schedule, ScheduleKind,
-    StaticChunked,
+    static_block, ChunkOrigin, DynamicDispatch, GuidedDispatch, LoopBounds, Schedule,
+    ScheduleError, ScheduleKind, StaticChunked,
 };
 use crate::team::{Dispatcher, ThreadCtx};
 use crate::trace;
@@ -58,12 +58,21 @@ impl Iterator for StaticIter {
 
 /// `__kmpc_for_static_init`: compute the calling thread's share of a
 /// statically scheduled loop. Pure — no team state is touched, exactly as in
-/// libomp.
-pub fn for_static_init(tid: usize, nth: usize, trip: u64, chunk: Option<i64>) -> StaticIter {
-    match chunk {
-        None => StaticIter::Block(std::iter::once(static_block(tid, nth, trip))),
-        Some(c) => StaticIter::Chunked(StaticChunked::new(tid, nth, trip, c)),
+/// libomp. Returns a typed [`ScheduleError`] on a non-positive chunk or an
+/// invalid `tid`/`nth` pair instead of panicking.
+pub fn for_static_init(
+    tid: usize,
+    nth: usize,
+    trip: u64,
+    chunk: Option<i64>,
+) -> Result<StaticIter, ScheduleError> {
+    if nth < 1 || tid >= nth {
+        return Err(ScheduleError::BadThread { tid, nth });
     }
+    Ok(match chunk {
+        None => StaticIter::Block(std::iter::once(static_block(tid, nth, trip))),
+        Some(c) => StaticIter::Chunked(StaticChunked::try_new(tid, nth, trip, c)?),
+    })
 }
 
 /// `__kmpc_for_static_fini` (+ the loop's implicit barrier unless `nowait`).
@@ -94,17 +103,24 @@ pub struct DispatchHandle<'a, 'b> {
 ///
 /// The schedule kind maps to libomp's `kmp_sch_dynamic_chunked`,
 /// `kmp_sch_guided_chunked` and `kmp_sch_runtime` respectively; `runtime` is
-/// resolved against the ICVs here, at loop entry.
+/// resolved against the ICVs here, at loop entry. A non-positive chunk is a
+/// typed [`ScheduleError`] — validated before any team state is touched, so
+/// an `Err` leaves no construct slot to release.
 pub fn dispatch_init<'a, 'b>(
     ctx: &'b ThreadCtx<'a>,
     sched: Schedule,
     trip: u64,
-) -> DispatchHandle<'a, 'b> {
+) -> Result<DispatchHandle<'a, 'b>, ScheduleError> {
     let sched = if sched.kind == ScheduleKind::Runtime {
         crate::icv::Icvs::global().run_schedule()
     } else {
         sched
     };
+    if let Some(c) = sched.chunk {
+        if c < 1 {
+            return Err(ScheduleError::NonPositiveChunk(c));
+        }
+    }
     let (slot, _c) = ctx.enter_construct();
     let nth = ctx.num_threads();
     let t0 = trace::dispatch_begin_ts(true);
@@ -112,7 +128,7 @@ pub fn dispatch_init<'a, 'b>(
         ScheduleKind::Guided => Dispatcher::Guided(GuidedDispatch::new(trip, nth, sched.chunk)),
         _ => Dispatcher::Dynamic(DynamicDispatch::new(trip, nth, sched.chunk)),
     });
-    DispatchHandle {
+    Ok(DispatchHandle {
         ctx,
         slot,
         dispatcher,
@@ -124,7 +140,7 @@ pub fn dispatch_init<'a, 'b>(
             _ => "dynamic",
         },
         pending: None,
-    }
+    })
 }
 
 #[allow(clippy::should_implement_trait)] // deliberately named after __kmpc_dispatch_next
@@ -200,7 +216,9 @@ pub fn static_loop<F: FnMut(i64)>(
 ) {
     let trip = bounds.trip_count();
     let t_construct = trace::dispatch_begin_ts(false);
-    for r in for_static_init(ctx.thread_num(), ctx.num_threads(), trip, chunk) {
+    let iter = for_static_init(ctx.thread_num(), ctx.num_threads(), trip, chunk)
+        .unwrap_or_else(|e| panic!("{e}"));
+    for r in iter {
         if r.is_empty() {
             continue;
         }
@@ -225,7 +243,7 @@ pub fn dispatch_loop<F: FnMut(i64)>(
     mut body: F,
 ) {
     let trip = bounds.trip_count();
-    let mut h = dispatch_init(ctx, sched, trip);
+    let mut h = dispatch_init(ctx, sched, trip).unwrap_or_else(|e| panic!("{e}"));
     while let Some(r) = h.next() {
         for i in r {
             body(bounds.iter_value(i));
@@ -242,14 +260,16 @@ mod tests {
 
     #[test]
     fn static_init_block_matches_schedule_module() {
-        let mut it = for_static_init(1, 4, 100, None);
+        let mut it = for_static_init(1, 4, 100, None).expect("valid static init");
         assert_eq!(it.next(), Some(25..50));
         assert_eq!(it.next(), None);
     }
 
     #[test]
     fn static_init_chunked_round_robins() {
-        let ranges: Vec<_> = for_static_init(0, 2, 10, Some(3)).collect();
+        let ranges: Vec<_> = for_static_init(0, 2, 10, Some(3))
+            .expect("valid static init")
+            .collect();
         assert_eq!(ranges, vec![0..3, 6..9]);
     }
 
@@ -283,12 +303,44 @@ mod tests {
     }
 
     #[test]
+    fn invalid_static_init_parameters_are_typed_errors() {
+        use crate::schedule::ScheduleError;
+        assert_eq!(
+            for_static_init(4, 4, 10, None).err(),
+            Some(ScheduleError::BadThread { tid: 4, nth: 4 })
+        );
+        assert_eq!(
+            for_static_init(0, 2, 10, Some(0)).err(),
+            Some(ScheduleError::NonPositiveChunk(0))
+        );
+    }
+
+    #[test]
+    fn invalid_dispatch_chunk_is_a_typed_error_and_releases_nothing() {
+        use crate::schedule::ScheduleError;
+        fork_call(Parallel::new().num_threads(2), |ctx| {
+            let err = dispatch_init(ctx, Schedule::dynamic(Some(-3)), 10).err();
+            assert_eq!(err, Some(ScheduleError::NonPositiveChunk(-3)));
+            ctx.barrier();
+            // The team must be fully usable afterwards.
+            dispatch_loop(
+                ctx,
+                LoopBounds::upto(0, 8),
+                Schedule::dynamic(None),
+                false,
+                |_| {},
+            );
+        });
+    }
+
+    #[test]
     fn abandoned_dispatch_handle_releases_slot() {
         // A thread taking only the first chunk then dropping the handle must
         // not wedge subsequent constructs.
         fork_call(Parallel::new().num_threads(2), |ctx| {
             {
-                let mut h = dispatch_init(ctx, Schedule::dynamic(Some(1)), 4);
+                let mut h =
+                    dispatch_init(ctx, Schedule::dynamic(Some(1)), 4).expect("valid dispatch");
                 let _ = h.next();
                 // handle dropped here without exhaustion
             }

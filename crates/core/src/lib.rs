@@ -53,6 +53,7 @@ pub mod atomic;
 pub mod barrier;
 pub mod icv;
 pub mod kmpc;
+pub mod omp;
 pub mod pad;
 pub mod profile;
 pub mod reduction;
@@ -73,8 +74,8 @@ pub use workshare::{parallel_for, parallel_reduce};
 
 /// Commonly used items, for glob import.
 pub mod prelude {
-    pub use crate::api as omp;
     pub use crate::atomic::{AtomicF32, AtomicF64};
+    pub use crate::omp;
     pub use crate::reduction::{RedCell, RedOp};
     pub use crate::safety::SafetyMode;
     pub use crate::schedule::{LoopBounds, Schedule};

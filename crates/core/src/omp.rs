@@ -1,0 +1,143 @@
+//! The `omp` facade: the paper's `std.omp` namespace for Rust embedders.
+//!
+//! The paper re-exports the OpenMP runtime-library routines into a Zig
+//! namespace with the redundant `omp_` prefix stripped (§III-C, Listing 7):
+//!
+//! ```text
+//! const omp = @import("std").omp;
+//! const thread_id = omp.get_thread_num();
+//! ```
+//!
+//! This module is the same surface for Rust: `zomp::omp::get_thread_num()`,
+//! plus the user-facing [`Schedule`] type so `omp::set_schedule(
+//! omp::Schedule::dynamic(Some(4)))` needs one import. Functions follow
+//! the OpenMP 5.2 definitions; outside a parallel region the querying
+//! functions return the sequential values (thread 0 of a team of 1).
+//!
+//! The former home of these functions, [`crate::api`], remains as
+//! `#[deprecated]` delegating wrappers.
+
+use std::sync::OnceLock;
+use std::time::Instant;
+
+use crate::icv::Icvs;
+use crate::team;
+
+pub use crate::schedule::{Schedule, ScheduleKind};
+
+/// `omp_get_thread_num`: this thread's id within the innermost team.
+pub fn get_thread_num() -> usize {
+    team::current_region().map(|(tid, _)| tid).unwrap_or(0)
+}
+
+/// `omp_get_num_threads`: size of the innermost team (1 outside regions).
+pub fn get_num_threads() -> usize {
+    team::current_region().map(|(_, n)| n).unwrap_or(1)
+}
+
+/// `omp_get_max_threads`: team size the next region would get.
+pub fn get_max_threads() -> usize {
+    Icvs::global().num_threads()
+}
+
+/// `omp_set_num_threads`.
+pub fn set_num_threads(n: usize) {
+    Icvs::global().set_num_threads(n);
+}
+
+/// `omp_get_num_procs`.
+pub fn get_num_procs() -> usize {
+    Icvs::global().num_procs()
+}
+
+/// `omp_in_parallel`.
+pub fn in_parallel() -> bool {
+    team::current_region().map(|(_, n)| n > 1).unwrap_or(false)
+}
+
+/// `omp_get_level`: nesting depth of active regions.
+pub fn get_level() -> usize {
+    team::region_level()
+}
+
+/// `omp_get_dynamic`.
+pub fn get_dynamic() -> bool {
+    Icvs::global().dynamic()
+}
+
+/// `omp_set_dynamic`.
+pub fn set_dynamic(v: bool) {
+    Icvs::global().set_dynamic(v);
+}
+
+/// `omp_get_schedule`: the `run-sched-var` consulted by `schedule(runtime)`.
+pub fn get_schedule() -> Schedule {
+    Icvs::global().run_schedule()
+}
+
+/// `omp_set_schedule`.
+pub fn set_schedule(s: Schedule) {
+    Icvs::global().set_run_schedule(s);
+}
+
+fn epoch() -> Instant {
+    static EPOCH: OnceLock<Instant> = OnceLock::new();
+    *EPOCH.get_or_init(Instant::now)
+}
+
+/// `omp_get_wtime`: elapsed wall-clock seconds since an arbitrary fixed
+/// point (first call in this process).
+pub fn get_wtime() -> f64 {
+    epoch().elapsed().as_secs_f64()
+}
+
+/// `omp_get_wtick`: timer resolution in seconds.
+pub fn get_wtick() -> f64 {
+    // Instant is nanosecond-granular on the platforms we target.
+    1e-9
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::team::{fork_call, Parallel};
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn sequential_defaults() {
+        assert_eq!(get_thread_num(), 0);
+        assert_eq!(get_num_threads(), 1);
+        assert!(!in_parallel());
+        assert_eq!(get_level(), 0);
+    }
+
+    #[test]
+    fn queries_track_region() {
+        let checks = AtomicUsize::new(0);
+        fork_call(Parallel::new().num_threads(3), |ctx| {
+            assert_eq!(get_thread_num(), ctx.thread_num());
+            assert_eq!(get_num_threads(), 3);
+            assert!(in_parallel());
+            assert_eq!(get_level(), 1);
+            checks.fetch_add(1, Ordering::SeqCst);
+        });
+        assert_eq!(checks.load(Ordering::SeqCst), 3);
+        assert_eq!(get_level(), 0);
+    }
+
+    #[test]
+    fn wtime_is_monotonic() {
+        let t0 = get_wtime();
+        let t1 = get_wtime();
+        assert!(t1 >= t0);
+        assert!(get_wtick() > 0.0);
+    }
+
+    #[test]
+    fn max_threads_roundtrip() {
+        let prev = get_max_threads();
+        set_num_threads(5);
+        assert_eq!(get_max_threads(), 5);
+        set_num_threads(prev);
+    }
+}

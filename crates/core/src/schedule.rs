@@ -133,6 +133,53 @@ pub struct LoopBounds {
     pub cmp: LoopCmp,
 }
 
+/// Typed error for non-conforming loop/schedule parameters.
+///
+/// Returned by the fallible entry points ([`LoopBounds::try_trip_count`],
+/// [`StaticChunked::try_new`], [`crate::kmpc::for_static_init`],
+/// [`crate::kmpc::dispatch_init`]); the panicking convenience wrappers
+/// panic with exactly this error's `Display` text, so both surfaces report
+/// identical messages.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ScheduleError {
+    /// The loop increment is 0: the loop cannot make progress.
+    ZeroIncrement,
+    /// The increment's sign cannot reach the bound (e.g. a `<` loop with a
+    /// negative step).
+    WrongDirection { cmp: LoopCmp },
+    /// An inclusive bound at the integer domain edge overflowed.
+    BoundOverflow,
+    /// A chunk size below 1.
+    NonPositiveChunk(i64),
+    /// `tid`/`nth` do not describe a valid team member.
+    BadThread { tid: usize, nth: usize },
+}
+
+impl std::fmt::Display for ScheduleError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ScheduleError::ZeroIncrement => {
+                write!(f, "worksharing loop increment must be nonzero")
+            }
+            ScheduleError::WrongDirection { cmp } => match cmp {
+                LoopCmp::Lt | LoopCmp::Le => {
+                    write!(f, "upward loop ({cmp:?}) needs a positive increment")
+                }
+                LoopCmp::Gt | LoopCmp::Ge => {
+                    write!(f, "downward loop ({cmp:?}) needs a negative increment")
+                }
+            },
+            ScheduleError::BoundOverflow => write!(f, "loop bound overflow"),
+            ScheduleError::NonPositiveChunk(_) => write!(f, "chunk sizes must be positive"),
+            ScheduleError::BadThread { tid, nth } => {
+                write!(f, "thread id {tid} is not valid for a team of {nth}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ScheduleError {}
+
 impl LoopBounds {
     /// An upward, exclusive loop `for i in lb..ub` with unit stride.
     pub const fn upto(lb: i64, ub: i64) -> Self {
@@ -158,45 +205,51 @@ impl LoopBounds {
     ///
     /// Returns 0 for loops whose condition is false on entry. Panics on a
     /// zero increment or an increment whose sign cannot make progress (those
-    /// are non-conforming loops the compiler would reject).
+    /// are non-conforming loops the compiler would reject); the panic text
+    /// is [`ScheduleError`]'s `Display`. Use [`LoopBounds::try_trip_count`]
+    /// for the fallible form.
     pub fn trip_count(&self) -> u64 {
-        assert!(self.incr != 0, "worksharing loop increment must be nonzero");
+        self.try_trip_count().unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible [`LoopBounds::trip_count`]: returns the typed
+    /// [`ScheduleError`] instead of panicking on non-conforming loops.
+    pub fn try_trip_count(&self) -> Result<u64, ScheduleError> {
+        if self.incr == 0 {
+            return Err(ScheduleError::ZeroIncrement);
+        }
         match self.cmp {
             LoopCmp::Lt | LoopCmp::Le => {
-                assert!(
-                    self.incr > 0,
-                    "upward loop ({:?}) needs a positive increment",
-                    self.cmp
-                );
+                if self.incr < 0 {
+                    return Err(ScheduleError::WrongDirection { cmp: self.cmp });
+                }
                 let ub = if self.cmp == LoopCmp::Le {
-                    self.ub.checked_add(1).expect("loop bound overflow")
+                    self.ub.checked_add(1).ok_or(ScheduleError::BoundOverflow)?
                 } else {
                     self.ub
                 };
                 if self.lb >= ub {
-                    0
+                    Ok(0)
                 } else {
                     let span = (ub as i128) - (self.lb as i128);
-                    ((span + self.incr as i128 - 1) / self.incr as i128) as u64
+                    Ok(((span + self.incr as i128 - 1) / self.incr as i128) as u64)
                 }
             }
             LoopCmp::Gt | LoopCmp::Ge => {
-                assert!(
-                    self.incr < 0,
-                    "downward loop ({:?}) needs a negative increment",
-                    self.cmp
-                );
+                if self.incr > 0 {
+                    return Err(ScheduleError::WrongDirection { cmp: self.cmp });
+                }
                 let ub = if self.cmp == LoopCmp::Ge {
-                    self.ub.checked_sub(1).expect("loop bound overflow")
+                    self.ub.checked_sub(1).ok_or(ScheduleError::BoundOverflow)?
                 } else {
                     self.ub
                 };
                 if self.lb <= ub {
-                    0
+                    Ok(0)
                 } else {
                     let span = (self.lb as i128) - (ub as i128);
                     let step = -(self.incr as i128);
-                    ((span + step - 1) / step) as u64
+                    Ok(((span + step - 1) / step) as u64)
                 }
             }
         }
@@ -250,16 +303,28 @@ pub struct StaticChunked {
 }
 
 impl StaticChunked {
+    /// Panicking constructor; the panic text is [`ScheduleError`]'s
+    /// `Display`. Use [`StaticChunked::try_new`] for the fallible form.
     pub fn new(tid: usize, nth: usize, trip: u64, chunk: i64) -> Self {
-        assert!(chunk >= 1, "chunk sizes must be positive");
-        assert!(nth >= 1 && tid < nth);
+        Self::try_new(tid, nth, trip, chunk).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible constructor: rejects non-positive chunks and invalid
+    /// `tid`/`nth` with a typed [`ScheduleError`].
+    pub fn try_new(tid: usize, nth: usize, trip: u64, chunk: i64) -> Result<Self, ScheduleError> {
+        if chunk < 1 {
+            return Err(ScheduleError::NonPositiveChunk(chunk));
+        }
+        if nth < 1 || tid >= nth {
+            return Err(ScheduleError::BadThread { tid, nth });
+        }
         let chunk = chunk as u64;
-        StaticChunked {
+        Ok(StaticChunked {
             next_start: tid as u64 * chunk,
             stride: chunk * nth as u64,
             chunk,
             trip,
-        }
+        })
     }
 }
 

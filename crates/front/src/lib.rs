@@ -23,12 +23,19 @@
 //!   then the simple directives; source offsets are adjusted after each
 //!   replacement, and shared scalars are rewritten to pointer accesses
 //!   (§III-B3) using only the AST.
+//! * [`analyze`] — the post-parse data-sharing lint: classifies every
+//!   variable of each `parallel`/worksharing region into its sharing class
+//!   and reports probable races and clause misuse as structured [`Diag`]
+//!   warnings (`zag --check`).
+//! * [`diag`] — the one diagnostics type every stage above emits.
 //!
 //! The output of preprocessing is pragma-free Zag source whose
 //! `omp.internal.*` calls the `zomp-vm` crate binds to the real `zomp`
 //! runtime — pragmas in, threads out.
 
+pub mod analyze;
 pub mod ast;
+pub mod diag;
 pub mod dump;
 pub mod fmt;
 pub mod omp_kw;
@@ -36,38 +43,14 @@ pub mod parser;
 pub mod preprocess;
 pub mod token;
 
+pub use analyze::analyze;
 pub use ast::Ast;
+pub use diag::{Diag, Severity};
 pub use parser::parse;
 pub use preprocess::preprocess;
 
-/// A front-end error with a byte offset into the offending source.
-#[derive(Debug, Clone)]
-pub struct FrontError {
-    pub offset: usize,
-    pub message: String,
-}
-
-impl std::fmt::Display for FrontError {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "error at byte {}: {}", self.offset, self.message)
-    }
-}
-
-impl std::error::Error for FrontError {}
-
-impl FrontError {
-    pub fn new(offset: usize, message: impl Into<String>) -> Self {
-        FrontError {
-            offset,
-            message: message.into(),
-        }
-    }
-
-    /// Render with line/column context against the source.
-    pub fn render(&self, source: &str) -> String {
-        let upto = &source[..self.offset.min(source.len())];
-        let line = upto.matches('\n').count() + 1;
-        let col = self.offset - upto.rfind('\n').map(|p| p + 1).unwrap_or(0) + 1;
-        format!("{}:{}: {}", line, col, self.message)
-    }
-}
+/// The historical name of the front-end error type, kept so downstream
+/// code written against `FrontError` keeps compiling. All pipeline stages
+/// now produce [`Diag`].
+#[deprecated(note = "use zomp_front::Diag")]
+pub type FrontError = Diag;

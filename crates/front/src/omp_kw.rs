@@ -89,6 +89,47 @@ pub fn lookup(ident: &str) -> Option<OmpKw> {
     map().get(ident).copied()
 }
 
+/// Every `(spelling, keyword)` pair of the map, sorted by spelling.
+///
+/// Exposed so the keyword↔parser agreement test can iterate the map
+/// instead of hard-coding a copy that would drift.
+pub fn entries() -> Vec<(&'static str, OmpKw)> {
+    let mut all: Vec<(&'static str, OmpKw)> = map().iter().map(|(&s, &k)| (s, k)).collect();
+    all.sort_unstable_by_key(|&(s, _)| s);
+    all
+}
+
+/// Every [`OmpKw`] variant, for coverage assertions: adding a variant
+/// without a spelling in the map (or here) is a test failure.
+pub const VARIANTS: &[OmpKw] = &[
+    OmpKw::Parallel,
+    OmpKw::While,
+    OmpKw::Barrier,
+    OmpKw::Critical,
+    OmpKw::Master,
+    OmpKw::Single,
+    OmpKw::Atomic,
+    OmpKw::Threadprivate,
+    OmpKw::Private,
+    OmpKw::Firstprivate,
+    OmpKw::Shared,
+    OmpKw::Reduction,
+    OmpKw::Schedule,
+    OmpKw::Nowait,
+    OmpKw::Default,
+    OmpKw::NumThreads,
+    OmpKw::Collapse,
+    OmpKw::If,
+    OmpKw::Static,
+    OmpKw::Dynamic,
+    OmpKw::Guided,
+    OmpKw::Runtime,
+    OmpKw::Auto,
+    OmpKw::None,
+    OmpKw::Min,
+    OmpKw::Max,
+];
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -12,7 +12,7 @@ use crate::ast::{
 };
 use crate::omp_kw::{lookup, OmpKw};
 use crate::token::{tokenize, Tag as T, Token};
-use crate::FrontError;
+use crate::Diag;
 
 pub struct Parser<'s> {
     source: &'s str,
@@ -25,7 +25,7 @@ pub struct Parser<'s> {
     spans: Vec<(TokenId, TokenId)>,
 }
 
-type PResult<T> = Result<T, FrontError>;
+type PResult<T> = Result<T, Diag>;
 
 /// Parse a full source file.
 pub fn parse(source: &str) -> PResult<Ast> {
@@ -63,7 +63,7 @@ impl<'s> Parser<'s> {
     }
 
     fn err<R>(&self, msg: impl Into<String>) -> PResult<R> {
-        Err(FrontError::new(self.here(), msg))
+        Err(Diag::parse(self.here(), msg))
     }
 
     /// The Zig-style `eatToken`: if the next token matches, consume and
@@ -106,7 +106,7 @@ impl<'s> Parser<'s> {
 
     fn expect(&mut self, tag: T, what: &str) -> PResult<TokenId> {
         self.eat_token(tag)
-            .ok_or_else(|| FrontError::new(self.here(), format!("expected {what}")))
+            .ok_or_else(|| Diag::parse(self.here(), format!("expected {what}")))
     }
 
     /// Create a node. `start` is its first token; its last token is the
@@ -537,7 +537,7 @@ impl<'s> Parser<'s> {
         let sentinel = self.expect(T::PragmaSentinel, "pragma sentinel")?;
         let kw = self
             .peek_omp_keyword()
-            .ok_or_else(|| FrontError::new(self.here(), "expected an OpenMP directive name"))?;
+            .ok_or_else(|| Diag::parse(self.here(), "expected an OpenMP directive name"))?;
         self.pos += 1;
 
         match kw {
@@ -680,7 +680,7 @@ impl<'s> Parser<'s> {
                         let v: u32 = self.tokens[lit as usize]
                             .text(self.source)
                             .parse()
-                            .map_err(|_| FrontError::new(self.here(), "bad chunk size"))?;
+                            .map_err(|_| Diag::parse(self.here(), "bad chunk size"))?;
                         if v == 0 {
                             return self.err("chunk size must be greater than 0");
                         }
@@ -714,7 +714,7 @@ impl<'s> Parser<'s> {
                     let v: u8 = self.tokens[lit as usize]
                         .text(self.source)
                         .parse()
-                        .map_err(|_| FrontError::new(self.here(), "bad collapse depth"))?;
+                        .map_err(|_| Diag::parse(self.here(), "bad collapse depth"))?;
                     if v == 0 || v >= 16 {
                         return self.err("collapse depth must be in 1..16");
                     }

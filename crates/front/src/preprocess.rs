@@ -25,11 +25,11 @@
 use crate::ast::{Ast, Clauses, Node, NodeId, RedOpCode, SchedKind, Tag as N, TokenId};
 use crate::parser::parse;
 use crate::token::Tag as T;
-use crate::FrontError;
+use crate::Diag;
 
 /// Preprocess until no pragmas remain; returns the final pragma-free
 /// source.
-pub fn preprocess(source: &str) -> Result<String, FrontError> {
+pub fn preprocess(source: &str) -> Result<String, Diag> {
     Ok(preprocess_inner(source, None)?.0)
 }
 
@@ -38,17 +38,17 @@ pub fn preprocess(source: &str) -> Result<String, FrontError> {
 /// `unit:line` as a leading string argument of `fork_call`, which the
 /// runtime's observability layer uses to label the region — trace slices
 /// and profile rows point back at the pragma instead of at the VM.
-pub fn preprocess_named(source: &str, unit: &str) -> Result<String, FrontError> {
+pub fn preprocess_named(source: &str, unit: &str) -> Result<String, Diag> {
     Ok(preprocess_inner(source, Some(unit))?.0)
 }
 
 /// Like [`preprocess`], but also returns each intermediate pass output (for
 /// tests and for showing the pipeline in examples).
-pub fn preprocess_trace(source: &str) -> Result<(String, Vec<String>), FrontError> {
+pub fn preprocess_trace(source: &str) -> Result<(String, Vec<String>), Diag> {
     preprocess_inner(source, None)
 }
 
-fn preprocess_inner(source: &str, unit: Option<&str>) -> Result<(String, Vec<String>), FrontError> {
+fn preprocess_inner(source: &str, unit: Option<&str>) -> Result<(String, Vec<String>), Diag> {
     let mut src = source.to_string();
     let mut trace = Vec::new();
     let mut counter = 0usize;
@@ -68,7 +68,7 @@ fn preprocess_inner(source: &str, unit: Option<&str>) -> Result<(String, Vec<Str
         src = run_pass(&ast, step, &mut counter, unit)?;
         trace.push(src.clone());
     }
-    Err(FrontError::new(0, "preprocessor did not converge"))
+    Err(Diag::preprocess(0, "preprocessor did not converge"))
 }
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -95,7 +95,7 @@ fn run_pass(
     step: Step,
     counter: &mut usize,
     unit: Option<&str>,
-) -> Result<String, FrontError> {
+) -> Result<String, Diag> {
     // Collect the directive nodes of this step, outermost-first: nodes
     // nested inside another selected node are left for a later iteration.
     let wanted: Vec<NodeId> = (0..ast.nodes.len() as u32)
@@ -228,11 +228,11 @@ fn rewrite_ident(snippet: &str, from: &str, to: &str, strip_deref: bool) -> Stri
 }
 
 /// The inner text of a block (without its braces).
-fn block_inner(ast: &Ast, block: NodeId) -> Result<&str, FrontError> {
+fn block_inner(ast: &Ast, block: NodeId) -> Result<&str, Diag> {
     let node = ast.node(block);
     if node.tag != N::Block {
         let (s, _) = ast.byte_span(block);
-        return Err(FrontError::new(s, "directive body must be a block"));
+        return Err(Diag::preprocess(s, "directive body must be a block"));
     }
     let (s, e) = ast.byte_span(block);
     Ok(&ast.source[s + 1..e - 1])
@@ -252,7 +252,7 @@ fn replace_parallel(
     node: &Node,
     counter: &mut usize,
     unit: Option<&str>,
-) -> Result<Payload, FrontError> {
+) -> Result<Payload, Diag> {
     let clauses = Clauses::read(&ast.extra_data, node.lhs);
     let region = *counter;
     *counter += 1;
@@ -356,25 +356,25 @@ fn replace_parallel(
 /// attached while loop, the way §III-B2 describes: comparison operator from
 /// the condition, upper bound from its right-hand side, increment from the
 /// continuation expression.
-struct LoopShape {
-    var: String,
-    cmp_code: u32,
-    ub_text: String,
-    incr_text: String,
-    cont_text: String,
-    body: NodeId,
+pub(crate) struct LoopShape {
+    pub(crate) var: String,
+    pub(crate) cmp_code: u32,
+    pub(crate) ub_text: String,
+    pub(crate) incr_text: String,
+    pub(crate) cont_text: String,
+    pub(crate) body: NodeId,
 }
 
-fn loop_shape(ast: &Ast, while_id: NodeId) -> Result<LoopShape, FrontError> {
+pub(crate) fn loop_shape(ast: &Ast, while_id: NodeId) -> Result<LoopShape, Diag> {
     loop_shape_inner(ast, while_id)
 }
 
-fn loop_shape_inner(ast: &Ast, while_id: NodeId) -> Result<LoopShape, FrontError> {
+fn loop_shape_inner(ast: &Ast, while_id: NodeId) -> Result<LoopShape, Diag> {
     let w = ast.node(while_id);
     let (wstart, _) = ast.byte_span(while_id);
     let cond = ast.node(w.lhs);
     if cond.tag != N::BinOp {
-        return Err(FrontError::new(
+        return Err(Diag::preprocess(
             wstart,
             "worksharing loop condition must be `var <cmp> bound`",
         ));
@@ -386,7 +386,7 @@ fn loop_shape_inner(ast: &Ast, while_id: NodeId) -> Result<LoopShape, FrontError
         T::Gt => 2,
         T::GtEq => 3,
         _ => {
-            return Err(FrontError::new(
+            return Err(Diag::preprocess(
                 wstart,
                 "worksharing loop comparison must be one of < <= > >=",
             ))
@@ -394,7 +394,7 @@ fn loop_shape_inner(ast: &Ast, while_id: NodeId) -> Result<LoopShape, FrontError
     };
     let var_node = ast.node(cond.lhs);
     if var_node.tag != N::Ident {
-        return Err(FrontError::new(
+        return Err(Diag::preprocess(
             wstart,
             "worksharing loop condition must compare the loop variable",
         ));
@@ -405,7 +405,7 @@ fn loop_shape_inner(ast: &Ast, while_id: NodeId) -> Result<LoopShape, FrontError
     let body = ast.extra_data[w.rhs as usize];
     let cont = ast.extra_data[w.rhs as usize + 1];
     if cont == 0 {
-        return Err(FrontError::new(
+        return Err(Diag::preprocess(
             wstart,
             "worksharing loops need a `: (i += step)` continuation",
         ));
@@ -413,14 +413,14 @@ fn loop_shape_inner(ast: &Ast, while_id: NodeId) -> Result<LoopShape, FrontError
     let cont_id = cont - 1;
     let cont_node = ast.node(cont_id);
     if cont_node.tag != N::CompoundAssign {
-        return Err(FrontError::new(
+        return Err(Diag::preprocess(
             wstart,
             "worksharing loop continuation must be `i += step` or `i -= step`",
         ));
     }
     let lhs = ast.node(cont_node.lhs);
     if lhs.tag != N::Ident || ast.token_text(lhs.main_token) != var {
-        return Err(FrontError::new(
+        return Err(Diag::preprocess(
             wstart,
             "loop continuation must update the loop variable",
         ));
@@ -430,7 +430,7 @@ fn loop_shape_inner(ast: &Ast, while_id: NodeId) -> Result<LoopShape, FrontError
         T::PlusEq => step_text,
         T::MinusEq => format!("-({step_text})"),
         _ => {
-            return Err(FrontError::new(
+            return Err(Diag::preprocess(
                 wstart,
                 "loop continuation must use += or -=",
             ))
@@ -447,19 +447,14 @@ fn loop_shape_inner(ast: &Ast, while_id: NodeId) -> Result<LoopShape, FrontError
     })
 }
 
-fn replace_while(
-    ast: &Ast,
-    id: NodeId,
-    node: &Node,
-    counter: &mut usize,
-) -> Result<Payload, FrontError> {
+fn replace_while(ast: &Ast, id: NodeId, node: &Node, counter: &mut usize) -> Result<Payload, Diag> {
     let clauses = Clauses::read(&ast.extra_data, node.lhs);
     let k = *counter;
     *counter += 1;
 
     if clauses.flags.collapse > 2 {
         let (s, _) = ast.byte_span(id);
-        return Err(FrontError::new(
+        return Err(Diag::preprocess(
             s,
             "collapse depths greater than 2 are parsed and stored but not lowered",
         ));
@@ -585,21 +580,21 @@ fn replace_while_collapse2(
     node: &Node,
     clauses: &Clauses,
     k: usize,
-) -> Result<Payload, FrontError> {
+) -> Result<Payload, Diag> {
     let (start, _) = ast.byte_span(id);
     let outer = loop_shape(ast, node.rhs)?;
 
     // The outer body: [VarDecl inner-counter, While inner].
     let body_node = ast.node(outer.body);
     if body_node.tag != N::Block {
-        return Err(FrontError::new(start, "collapse(2) needs a block body"));
+        return Err(Diag::preprocess(start, "collapse(2) needs a block body"));
     }
     let stmts = ast.range(body_node).to_vec();
     if stmts.len() != 2
         || ast.node(stmts[0]).tag != N::VarDecl
         || ast.node(stmts[1]).tag != N::While
     {
-        return Err(FrontError::new(
+        return Err(Diag::preprocess(
             start,
             "collapse(2) requires the outer body to be exactly `var j = ...; while (...) : (...) { }`",
         ));
@@ -607,12 +602,15 @@ fn replace_while_collapse2(
     let decl = ast.node(stmts[0]);
     let inner_var = ast.token_text(decl.main_token).to_string();
     if decl.rhs == 0 {
-        return Err(FrontError::new(start, "inner counter needs an initializer"));
+        return Err(Diag::preprocess(
+            start,
+            "inner counter needs an initializer",
+        ));
     }
     let inner_lb_text = ast.node_text(decl.rhs - 1).to_string();
     let inner = loop_shape_of_while(ast, stmts[1])?;
     if inner.var != inner_var {
-        return Err(FrontError::new(
+        return Err(Diag::preprocess(
             start,
             "the declared counter must drive the inner loop",
         ));
@@ -699,7 +697,7 @@ fn replace_while_collapse2(
 }
 
 /// [`loop_shape`] for a bare `While` node (not a directive's rhs).
-fn loop_shape_of_while(ast: &Ast, while_id: NodeId) -> Result<LoopShape, FrontError> {
+fn loop_shape_of_while(ast: &Ast, while_id: NodeId) -> Result<LoopShape, Diag> {
     loop_shape_inner(ast, while_id)
 }
 
@@ -711,7 +709,7 @@ fn sanitize(ident: &str) -> String {
 // Pass 3: simple directives
 // ---------------------------------------------------------------------------
 
-fn replace_simple(ast: &Ast, id: NodeId, node: &Node) -> Result<Payload, FrontError> {
+fn replace_simple(ast: &Ast, id: NodeId, node: &Node) -> Result<Payload, Diag> {
     let span = ast.byte_span(id);
     let text = match node.tag {
         N::OmpBarrier => "omp.internal.barrier();".to_string(),
@@ -753,7 +751,7 @@ fn replace_simple(ast: &Ast, id: NodeId, node: &Node) -> Result<Payload, FrontEr
             format!("omp.internal.atomic_rmw(&({lhs_text}), {op}, {rhs_text});")
         }
         N::OmpThreadprivate => {
-            return Err(FrontError::new(
+            return Err(Diag::preprocess(
                 span.0,
                 "threadprivate requires global variables, which Zag does not have; \
                  use the zomp runtime's ThreadPrivate<T> from Rust instead",

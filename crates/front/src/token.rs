@@ -119,7 +119,7 @@ fn keyword_tag(s: &str) -> Option<Tag> {
 /// Tokenize the whole source. Never fails: unknown bytes become an error at
 /// parse time by producing no valid token sequence — the tokenizer reports
 /// them via `Err` with the byte offset.
-pub fn tokenize(source: &str) -> Result<Vec<Token>, crate::FrontError> {
+pub fn tokenize(source: &str) -> Result<Vec<Token>, crate::Diag> {
     let b = source.as_bytes();
     let mut toks = Vec::with_capacity(source.len() / 4);
     let mut i = 0usize;
@@ -164,7 +164,7 @@ pub fn tokenize(source: &str) -> Result<Vec<Token>, crate::FrontError> {
                     i += 1;
                 }
                 if i == start + 1 {
-                    return Err(crate::FrontError::new(start, "lone '@'"));
+                    return Err(crate::Diag::lex(start, "lone '@'"));
                 }
                 push!(Tag::Builtin, start, i);
             }
@@ -217,7 +217,7 @@ pub fn tokenize(source: &str) -> Result<Vec<Token>, crate::FrontError> {
                     i += 1;
                 }
                 if i >= b.len() {
-                    return Err(crate::FrontError::new(start, "unterminated string"));
+                    return Err(crate::Diag::lex(start, "unterminated string"));
                 }
                 i += 1;
                 push!(Tag::StrLit, start, i);
@@ -259,7 +259,7 @@ pub fn tokenize(source: &str) -> Result<Vec<Token>, crate::FrontError> {
                         b'<' => (Tag::Lt, 1),
                         b'>' => (Tag::Gt, 1),
                         other => {
-                            return Err(crate::FrontError::new(
+                            return Err(crate::Diag::lex(
                                 start,
                                 format!("unexpected character {:?}", other as char),
                             ))

@@ -1,0 +1,120 @@
+//! Keyword map ↔ parser agreement.
+//!
+//! `omp_kw::lookup` is the §III-A "hash map of strings to keyword tokens";
+//! the parser consumes those tokens in directive and clause positions. The
+//! two must stay in sync: every spelling in the map has to be *usable* in
+//! at least one pragma the parser accepts, and every `OmpKw` variant has
+//! to be reachable from some spelling. These tests fail when one side is
+//! extended without the other.
+
+use zomp_front::omp_kw;
+
+/// A minimal program exercising the given keyword spelling in a pragma
+/// position the parser accepts.
+fn program_using(spelling: &str) -> String {
+    let pragma_stmt = |pragma: &str| {
+        format!(
+            "fn main() void {{\n    var n: i64 = 8;\n    var x: i64 = 0;\n    \
+             //$omp parallel shared(x) firstprivate(n)\n    {{\n        \
+             var i: i64 = 0;\n        {pragma}\n        \
+             while (i < n) : (i += 1) {{\n            x = x + 0;\n        }}\n    }}\n}}\n"
+        )
+    };
+    match spelling {
+        // Directives.
+        "parallel" => "fn main() void {\n    //$omp parallel\n    { }\n}\n".to_string(),
+        "while" | "for" => pragma_stmt(&format!("//$omp {spelling}")),
+        "barrier" => {
+            "fn main() void {\n    //$omp parallel\n    {\n        //$omp barrier\n    }\n}\n"
+                .to_string()
+        }
+        "critical" => {
+            "fn main() void {\n    //$omp parallel\n    {\n        //$omp critical\n        { }\n    }\n}\n"
+                .to_string()
+        }
+        "master" => {
+            "fn main() void {\n    //$omp parallel\n    {\n        //$omp master\n        { }\n    }\n}\n"
+                .to_string()
+        }
+        "single" => {
+            "fn main() void {\n    //$omp parallel\n    {\n        //$omp single\n        { }\n    }\n}\n"
+                .to_string()
+        }
+        "atomic" => {
+            "fn main() void {\n    var x: i64 = 0;\n    //$omp parallel shared(x)\n    {\n        \
+             //$omp atomic\n        x += 1;\n    }\n}\n"
+                .to_string()
+        }
+        // Parses at top level; the preprocessor rejects it later, but the
+        // keyword itself must be recognised.
+        "threadprivate" => {
+            "//$omp threadprivate(g)\nfn main() void {\n    var g: i64 = 0;\n    g = g + 1;\n}\n"
+                .to_string()
+        }
+        // Clauses on a worksharing loop.
+        "private" => pragma_stmt("//$omp while private(x)"),
+        "firstprivate" => pragma_stmt("//$omp while firstprivate(x)"),
+        "shared" => "fn main() void {\n    var x: i64 = 0;\n    //$omp parallel shared(x)\n    { }\n}\n"
+            .to_string(),
+        "reduction" => pragma_stmt("//$omp while reduction(+: x)"),
+        "schedule" | "static" => pragma_stmt("//$omp while schedule(static)"),
+        "dynamic" => pragma_stmt("//$omp while schedule(dynamic, 4)"),
+        "guided" => pragma_stmt("//$omp while schedule(guided)"),
+        "runtime" => pragma_stmt("//$omp while schedule(runtime)"),
+        "auto" => pragma_stmt("//$omp while schedule(auto)"),
+        "nowait" => pragma_stmt("//$omp while nowait reduction(+: x)"),
+        "default" | "none" => {
+            "fn main() void {\n    //$omp parallel default(none)\n    { }\n}\n".to_string()
+        }
+        "num_threads" => {
+            "fn main() void {\n    //$omp parallel num_threads(4)\n    { }\n}\n".to_string()
+        }
+        "collapse" => {
+            "fn main() void {\n    var n: i64 = 4;\n    //$omp parallel firstprivate(n)\n    {\n        \
+             var i: i64 = 0;\n        //$omp while collapse(2)\n        \
+             while (i < n) : (i += 1) {\n            var j: i64 = 0;\n            \
+             while (j < n) : (j += 1) {\n                print(i, j);\n            }\n        }\n    }\n}\n"
+                .to_string()
+        }
+        "if" => "fn main() void {\n    //$omp parallel if(1)\n    { }\n}\n".to_string(),
+        "min" => pragma_stmt("//$omp while reduction(min: x)"),
+        "max" => pragma_stmt("//$omp while reduction(max: x)"),
+        other => panic!("keyword map grew a spelling the agreement test does not cover: {other:?}"),
+    }
+}
+
+#[test]
+fn every_map_spelling_is_accepted_by_the_parser() {
+    for (spelling, kw) in omp_kw::entries() {
+        let program = program_using(spelling);
+        if let Err(e) = zomp_front::parse(&program) {
+            panic!(
+                "spelling {spelling:?} ({kw:?}) is in the keyword map but the parser \
+                 rejected a pragma using it: {}\nprogram:\n{program}",
+                e.render(&program)
+            );
+        }
+    }
+}
+
+#[test]
+fn every_variant_has_a_spelling_in_the_map() {
+    for &variant in omp_kw::VARIANTS {
+        assert!(
+            omp_kw::entries().iter().any(|&(_, k)| k == variant),
+            "OmpKw::{variant:?} has no spelling in the keyword map"
+        );
+    }
+}
+
+#[test]
+fn variant_list_is_exhaustive() {
+    // Defensive: every keyword the map can produce must be in VARIANTS,
+    // so the coverage test above cannot silently skip a variant.
+    for (spelling, kw) in omp_kw::entries() {
+        assert!(
+            omp_kw::VARIANTS.contains(&kw),
+            "map spelling {spelling:?} resolves to {kw:?}, which VARIANTS omits"
+        );
+    }
+}

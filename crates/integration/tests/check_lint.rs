@@ -1,0 +1,121 @@
+//! The racy corpus: one fixture per lint rule, plus clean controls.
+//!
+//! Each file under `fixtures/racy/` is named after the diagnostic id it
+//! must trigger (`race-shared-write.zag` → code `race-shared-write`).
+//! Every file under `fixtures/clean/` and every shipped example under
+//! `examples/zag/` must lint clean — the analysis is only useful if it
+//! stays quiet on correct programs.
+
+use std::path::{Path, PathBuf};
+
+fn fixtures(sub: &str) -> Vec<PathBuf> {
+    let dir = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("fixtures")
+        .join(sub);
+    let mut files: Vec<PathBuf> = std::fs::read_dir(&dir)
+        .unwrap_or_else(|e| panic!("cannot read {}: {e}", dir.display()))
+        .map(|entry| entry.expect("dir entry").path())
+        .filter(|p| p.extension().is_some_and(|x| x == "zag"))
+        .collect();
+    files.sort();
+    files
+}
+
+fn lint(path: &Path) -> (String, Vec<zomp_front::Diag>) {
+    let source = std::fs::read_to_string(path).expect("fixture is readable");
+    let ast = zomp_front::parse(&source)
+        .unwrap_or_else(|e| panic!("{} does not parse: {}", path.display(), e.render(&source)));
+    let diags = zomp_front::analyze(&ast, &path.display().to_string());
+    (source, diags)
+}
+
+#[test]
+fn racy_corpus_covers_every_rule() {
+    // One fixture per rule keeps the corpus honest: a rule without a
+    // fixture here has no end-to-end evidence it fires.
+    let expected = [
+        "clause-conflict",
+        "collapse-imperfect",
+        "collapse-nonrect",
+        "default-none-unlisted",
+        "induction-in-clause",
+        "nowait-unsynced-read",
+        "race-shared-write",
+        "reduction-outside-combine",
+    ];
+    let stems: Vec<String> = fixtures("racy")
+        .iter()
+        .map(|p| p.file_stem().unwrap().to_string_lossy().into_owned())
+        .collect();
+    assert_eq!(
+        stems, expected,
+        "racy fixture set drifted from the rule list"
+    );
+}
+
+#[test]
+fn each_racy_fixture_triggers_its_named_rule() {
+    for path in fixtures("racy") {
+        let rule = path.file_stem().unwrap().to_string_lossy().into_owned();
+        let (source, diags) = lint(&path);
+        let rendered: Vec<String> = diags.iter().map(|d| d.render(&source)).collect();
+        assert!(
+            diags.iter().any(|d| d.code == rule),
+            "{} did not trigger `{rule}`; findings: {rendered:#?}",
+            path.display()
+        );
+        // Every finding must carry a pragma label of the form `unit:line`.
+        for d in &diags {
+            let label = d.label.as_deref().unwrap_or_else(|| {
+                panic!(
+                    "{}: finding `{}` has no pragma label",
+                    path.display(),
+                    d.code
+                )
+            });
+            let line = label.rsplit(':').next().unwrap();
+            assert!(
+                label.contains(".zag:") && line.parse::<usize>().is_ok(),
+                "{}: label {label:?} is not `unit:line`",
+                path.display()
+            );
+        }
+    }
+}
+
+#[test]
+fn clean_fixtures_have_no_findings() {
+    for path in fixtures("clean") {
+        let (source, diags) = lint(&path);
+        let rendered: Vec<String> = diags.iter().map(|d| d.render(&source)).collect();
+        assert!(
+            diags.is_empty(),
+            "{} should lint clean, got: {rendered:#?}",
+            path.display()
+        );
+    }
+}
+
+#[test]
+fn shipped_examples_lint_clean() {
+    let dir = Path::new(env!("CARGO_MANIFEST_DIR")).join("../../examples/zag");
+    let mut checked = 0;
+    for entry in std::fs::read_dir(&dir).expect("examples/zag exists") {
+        let path = entry.expect("dir entry").path();
+        if path.extension().is_none_or(|x| x != "zag") {
+            continue;
+        }
+        let (source, diags) = lint(&path);
+        let rendered: Vec<String> = diags.iter().map(|d| d.render(&source)).collect();
+        assert!(
+            diags.is_empty(),
+            "{} should lint clean, got: {rendered:#?}",
+            path.display()
+        );
+        checked += 1;
+    }
+    assert!(
+        checked >= 3,
+        "expected the shipped examples, found {checked}"
+    );
+}

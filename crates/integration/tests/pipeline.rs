@@ -74,7 +74,7 @@ fn dot(x: []f64, y: []f64, n: i64) f64 {
 /// API drives `schedule(runtime)` loops inside Zag.
 #[test]
 fn runtime_schedule_icv_crosses_layers() {
-    zomp::api::set_schedule(Schedule::dynamic(Some(3)));
+    zomp::omp::set_schedule(Schedule::dynamic(Some(3)));
     let out = Vm::run(
         r#"
 fn main() void {
@@ -93,7 +93,7 @@ fn main() void {
     )
     .unwrap();
     assert_eq!(out, vec!["4950"]);
-    zomp::api::set_schedule(Schedule::static_default());
+    zomp::omp::set_schedule(Schedule::static_default());
 }
 
 /// Profiling instruments regions created by the VM's fork_call too.

@@ -236,3 +236,16 @@ fn main() void {
     .unwrap();
     assert_eq!(out, vec!["90"]);
 }
+
+#[test]
+fn port_passes_data_sharing_check() {
+    // The port is a known-clean program: the `zag --check` lint must not
+    // flag it (acceptance criterion of the analysis pass).
+    let ast = zomp_front::parse(ZAG_CONJ_GRAD).expect("port parses");
+    let findings = zomp_front::analyze(&ast, "zag_cg");
+    let rendered: Vec<String> = findings.iter().map(|d| d.render(ZAG_CONJ_GRAD)).collect();
+    assert!(
+        rendered.is_empty(),
+        "lint findings on clean port: {rendered:#?}"
+    );
+}

@@ -223,3 +223,16 @@ fn zag_ep_matches_rust_ep() {
         }
     }
 }
+
+#[test]
+fn port_passes_data_sharing_check() {
+    // The port is a known-clean program: the `zag --check` lint must not
+    // flag it (acceptance criterion of the analysis pass).
+    let ast = zomp_front::parse(ZAG_EP).expect("port parses");
+    let findings = zomp_front::analyze(&ast, "zag_ep");
+    let rendered: Vec<String> = findings.iter().map(|d| d.render(ZAG_EP)).collect();
+    assert!(
+        rendered.is_empty(),
+        "lint findings on clean port: {rendered:#?}"
+    );
+}

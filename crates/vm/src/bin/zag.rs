@@ -2,6 +2,8 @@
 //!
 //! ```text
 //! zag program.zag                 # preprocess + execute main()
+//! zag --check p.zag               # data-sharing lint report, no execution
+//! zag --check=deny p.zag          # lint; non-zero exit on any finding
 //! zag --emit-preprocessed p.zag   # print the pragma-free source and exit
 //! zag --trace-passes p.zag        # print every preprocessor pass, then run
 //! zag --threads 8 p.zag           # set the default team size (nthreads-var)
@@ -13,16 +15,40 @@
 //! ```
 
 use zomp::safety::SafetyMode;
+use zomp_front::Diag;
 use zomp_vm::{Backend, Vm};
 
 fn usage() -> ! {
     eprintln!(
-        "usage: zag [--emit-preprocessed] [--trace-passes] [--dump-ast] [--dump-bytecode] \
-         [--backend ast|bytecode] [--threads N] \
+        "usage: zag [--check[=deny]] [--emit-preprocessed] [--trace-passes] [--dump-ast] \
+         [--dump-bytecode] [--backend ast|bytecode] [--threads N] \
          [--safety debug|production|paranoid] [--profile] [--trace FILE] [--metrics FILE] \
          <program.zag>"
     );
     std::process::exit(2);
+}
+
+/// How `--check` findings gate execution.
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum CheckMode {
+    /// Default run mode: print findings as warnings, then execute.
+    Warn,
+    /// `--check`: report findings and exit without executing.
+    Report,
+    /// `--check=deny`: report findings; any finding refuses compilation
+    /// with a non-zero exit.
+    Deny,
+}
+
+/// The single diagnostic formatter: every front-end error and every
+/// analyze finding goes through here.
+fn render_diag(path: &str, source: &str, diag: &Diag) -> String {
+    format!("zag: {path}:{}", diag.render(source))
+}
+
+fn fail(path: &str, source: &str, diag: &Diag) -> ! {
+    eprintln!("{}", render_diag(path, source, diag));
+    std::process::exit(1);
 }
 
 fn main() {
@@ -31,6 +57,7 @@ fn main() {
     let mut dump_ast = false;
     let mut dump_bytecode = false;
     let mut profile = false;
+    let mut check = CheckMode::Warn;
     let mut backend = Backend::default();
     let mut path: Option<String> = None;
     let mut args = std::env::args().skip(1);
@@ -40,6 +67,8 @@ fn main() {
             "--trace-passes" => trace = true,
             "--dump-ast" => dump_ast = true,
             "--dump-bytecode" => dump_bytecode = true,
+            "--check" => check = CheckMode::Report,
+            "--check=deny" => check = CheckMode::Deny,
             "--backend" => {
                 backend = args
                     .next()
@@ -64,7 +93,7 @@ fn main() {
                     .next()
                     .and_then(|v| v.parse().ok())
                     .unwrap_or_else(|| usage());
-                zomp::api::set_num_threads(n);
+                zomp::omp::set_num_threads(n);
             }
             "--safety" => {
                 let mode = match args.next().as_deref() {
@@ -86,16 +115,36 @@ fn main() {
         std::process::exit(1);
     });
 
+    if check != CheckMode::Warn {
+        // Lint-only modes: parse the pragma'd source and run the
+        // data-sharing analysis, nothing else.
+        let ast = match zomp_front::parse(&source) {
+            Ok(ast) => ast,
+            Err(e) => fail(&path, &source, &e),
+        };
+        let findings = zomp_front::analyze(&ast, &path);
+        for d in &findings {
+            eprintln!("{}", render_diag(&path, &source, d));
+        }
+        if findings.is_empty() {
+            eprintln!("zag: {path}: check clean");
+        } else if check == CheckMode::Deny {
+            eprintln!(
+                "zag: {path}: {} finding(s); refusing to compile (--check=deny)",
+                findings.len()
+            );
+            std::process::exit(1);
+        }
+        return;
+    }
+
     if dump_ast {
         match zomp_front::parse(&source) {
             Ok(ast) => {
                 println!("{}", zomp_front::dump::dump_tree(&ast));
                 return;
             }
-            Err(e) => {
-                eprintln!("zag: {path}:{}", e.render(&source));
-                std::process::exit(1);
-            }
+            Err(e) => fail(&path, &source, &e),
         }
     }
 
@@ -106,10 +155,7 @@ fn main() {
                     println!("=== pass {} ===\n{p}", i + 1);
                 }
             }
-            Err(e) => {
-                eprintln!("zag: {path}:{}", e.render(&source));
-                std::process::exit(1);
-            }
+            Err(e) => fail(&path, &source, &e),
         }
     }
 
@@ -119,10 +165,7 @@ fn main() {
                 println!("{out}");
                 return;
             }
-            Err(e) => {
-                eprintln!("zag: {path}:{}", e.render(&source));
-                std::process::exit(1);
-            }
+            Err(e) => fail(&path, &source, &e),
         }
     }
 
@@ -136,11 +179,13 @@ fn main() {
             backend,
             ..vm
         },
-        Err(e) => {
-            eprintln!("zag: {path}:{}", e.render(&source));
-            std::process::exit(1);
-        }
+        Err(e) => fail(&path, &source, &e),
     };
+
+    // The lint runs as a default warning pass before execution.
+    for d in &vm.program.diags {
+        eprintln!("{}", render_diag(&path, &source, d));
+    }
 
     if dump_bytecode {
         print!("{}", zomp_vm::bytecode::disasm(&vm.program.code));

@@ -136,15 +136,15 @@ pub(crate) fn call(vm: &Vm, path: &[&str], args: Vec<Value>) -> VmResult<Value> 
         ["internal", name] => internal(vm, name, args),
         // The user-facing API with the redundant `omp_` prefix removed
         // (paper Listing 7).
-        ["get_thread_num"] => Ok(Value::Int(zomp::api::get_thread_num() as i64)),
-        ["get_num_threads"] => Ok(Value::Int(zomp::api::get_num_threads() as i64)),
-        ["get_max_threads"] => Ok(Value::Int(zomp::api::get_max_threads() as i64)),
-        ["get_num_procs"] => Ok(Value::Int(zomp::api::get_num_procs() as i64)),
-        ["in_parallel"] => Ok(Value::Bool(zomp::api::in_parallel())),
-        ["get_level"] => Ok(Value::Int(zomp::api::get_level() as i64)),
-        ["get_wtime"] => Ok(Value::Float(zomp::api::get_wtime())),
+        ["get_thread_num"] => Ok(Value::Int(zomp::omp::get_thread_num() as i64)),
+        ["get_num_threads"] => Ok(Value::Int(zomp::omp::get_num_threads() as i64)),
+        ["get_max_threads"] => Ok(Value::Int(zomp::omp::get_max_threads() as i64)),
+        ["get_num_procs"] => Ok(Value::Int(zomp::omp::get_num_procs() as i64)),
+        ["in_parallel"] => Ok(Value::Bool(zomp::omp::in_parallel())),
+        ["get_level"] => Ok(Value::Int(zomp::omp::get_level() as i64)),
+        ["get_wtime"] => Ok(Value::Float(zomp::omp::get_wtime())),
         ["set_num_threads"] => {
-            zomp::api::set_num_threads(args[0].as_int()?.max(1) as usize);
+            zomp::omp::set_num_threads(args[0].as_int()?.max(1) as usize);
             Ok(Value::Void)
         }
         other => err(format!("unknown omp function omp.{}", other.join("."))),
@@ -293,7 +293,10 @@ fn internal(vm: &Vm, name: &str, #[allow(unused_mut)] mut args: Vec<Value>) -> V
                 incr: args[2].as_int()?,
                 cmp: cmp_from_code(args[3].as_int()?)?,
             };
-            Ok(Value::Int(bounds.trip_count() as i64))
+            let trip = bounds
+                .try_trip_count()
+                .map_err(|e| crate::value::VmError(e.to_string()))?;
+            Ok(Value::Int(trip as i64))
         }
         "ws_begin" => ws_begin(args),
         "ws_next" => ws_next(args),
@@ -441,35 +444,42 @@ fn ws_begin(args: Vec<Value>) -> VmResult<Value> {
     let chunk = (chunk_raw > 0).then_some(chunk_raw);
 
     let bounds = LoopBounds { lb, ub, incr, cmp };
-    let trip = bounds.trip_count();
+    // Non-conforming loops surface as `Trap`s with the `ScheduleError`
+    // text — identical on both backends, since builtins are shared.
+    let trip = bounds
+        .try_trip_count()
+        .map_err(|e| crate::value::VmError(e.to_string()))?;
 
     // `runtime` resolves against the ICVs at loop entry (§III-B2).
     let sched = match kind_code {
         1 => Schedule::dynamic(chunk),
         2 => Schedule::guided(chunk),
-        3 => zomp::api::get_schedule(),
+        3 => zomp::omp::get_schedule(),
         _ => Schedule {
             kind: ScheduleKind::Static,
             chunk,
         },
     };
 
-    let mode = with_ctx(|ctx| {
+    let mode = with_ctx(|ctx| -> VmResult<WsMode> {
         let (tid, nth) = ctx
             .map(|c| (c.thread_num(), c.num_threads()))
             .unwrap_or((0, 1));
-        match sched.kind {
+        Ok(match sched.kind {
             ScheduleKind::Static => match sched.chunk {
                 None => WsMode::StaticBlock(Some(static_block(tid, nth, trip))),
-                Some(c) => WsMode::StaticChunked(StaticChunked::new(tid, nth, trip, c)),
+                Some(c) => WsMode::StaticChunked(
+                    StaticChunked::try_new(tid, nth, trip, c)
+                        .map_err(|e| crate::value::VmError(e.to_string()))?,
+                ),
             },
             _ => match ctx {
                 Some(ctx) => WsMode::Dispatch(ctx.dispatch_begin(sched, trip)),
                 // Serial fallback: a 1-thread deck claimed as tid 0.
                 None => WsMode::Local(DynamicDispatch::new(trip, 1, sched.chunk)),
             },
-        }
-    });
+        })
+    })?;
 
     Ok(Value::Ws(Arc::new(WsIter {
         state: Mutex::new(WsState {

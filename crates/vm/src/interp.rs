@@ -57,21 +57,29 @@ pub struct Program {
     pub original_source: String,
     /// The pragma-free source actually executed.
     pub final_source: String,
+    /// Data-sharing lint findings from `zomp_front::analyze`, produced
+    /// against `original_source`. Warnings only — the embedder decides
+    /// whether to surface or deny them (`zag` prints them by default).
+    pub diags: Vec<zomp_front::Diag>,
 }
 
 /// Compile Zag source: preprocess pragmas away, parse, index functions.
-pub fn compile(source: &str) -> Result<Program, zomp_front::FrontError> {
+pub fn compile(source: &str) -> Result<Program, zomp_front::Diag> {
     compile_inner(source, None)
 }
 
 /// [`compile`] with a compilation-unit name (normally the source path):
 /// parallel regions are labelled `unit:line` of their pragma, so runtime
 /// traces and profiles point back at the directive.
-pub fn compile_named(source: &str, unit: &str) -> Result<Program, zomp_front::FrontError> {
+pub fn compile_named(source: &str, unit: &str) -> Result<Program, zomp_front::Diag> {
     compile_inner(source, Some(unit))
 }
 
-fn compile_inner(source: &str, unit: Option<&str>) -> Result<Program, zomp_front::FrontError> {
+fn compile_inner(source: &str, unit: Option<&str>) -> Result<Program, zomp_front::Diag> {
+    // The data-sharing lint runs on the original, still-pragma'd parse so
+    // its diagnostics point at the user's directives, not the rewritten
+    // driver loops.
+    let diags = zomp_front::analyze(&zomp_front::parse(source)?, unit.unwrap_or("<input>"));
     let final_source = match unit {
         Some(u) => zomp_front::preprocess::preprocess_named(source, u)?,
         None => zomp_front::preprocess(source)?,
@@ -92,6 +100,7 @@ fn compile_inner(source: &str, unit: Option<&str>) -> Result<Program, zomp_front
         code,
         original_source: source.to_string(),
         final_source,
+        diags,
     })
 }
 
@@ -155,7 +164,7 @@ enum Place {
 
 impl Vm {
     /// Compile and wrap a program.
-    pub fn new(source: &str) -> Result<Vm, zomp_front::FrontError> {
+    pub fn new(source: &str) -> Result<Vm, zomp_front::Diag> {
         Ok(Vm {
             program: Arc::new(compile(source)?),
             output: Mutex::new(Vec::new()),
@@ -166,7 +175,7 @@ impl Vm {
 
     /// [`Vm::new`] with a compilation-unit name: region trace/profile
     /// labels become the pragma's `unit:line`.
-    pub fn with_unit(source: &str, unit: &str) -> Result<Vm, zomp_front::FrontError> {
+    pub fn with_unit(source: &str, unit: &str) -> Result<Vm, zomp_front::Diag> {
         Ok(Vm {
             program: Arc::new(compile_named(source, unit)?),
             output: Mutex::new(Vec::new()),
@@ -176,7 +185,7 @@ impl Vm {
     }
 
     /// [`Vm::new`] with an explicit execution backend.
-    pub fn with_backend(source: &str, backend: Backend) -> Result<Vm, zomp_front::FrontError> {
+    pub fn with_backend(source: &str, backend: Backend) -> Result<Vm, zomp_front::Diag> {
         Ok(Vm {
             backend,
             ..Vm::new(source)?

@@ -1,0 +1,81 @@
+//! `zag --check` / `--check=deny` end-to-end through the real binary.
+
+use std::path::Path;
+use std::process::{Command, Output};
+
+fn zag(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_zag"))
+        .args(args)
+        .output()
+        .expect("zag runs")
+}
+
+fn repo(rel: &str) -> String {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .join(rel)
+        .display()
+        .to_string()
+}
+
+#[test]
+fn check_on_clean_example_exits_zero_and_reports_clean() {
+    let path = repo("examples/zag/pi.zag");
+    let out = zag(&["--check", &path]);
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(out.status.success(), "stderr: {stderr}");
+    assert!(stderr.contains("check clean"), "stderr: {stderr}");
+}
+
+#[test]
+fn check_reports_findings_but_exits_zero() {
+    let path = repo("crates/integration/fixtures/racy/race-shared-write.zag");
+    let out = zag(&["--check", &path]);
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(out.status.success(), "stderr: {stderr}");
+    assert!(stderr.contains("race-shared-write"), "stderr: {stderr}");
+    assert!(stderr.contains("pragma at"), "stderr: {stderr}");
+}
+
+#[test]
+fn check_deny_refuses_racy_input() {
+    let path = repo("crates/integration/fixtures/racy/race-shared-write.zag");
+    let out = zag(&["--check=deny", &path]);
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert_eq!(out.status.code(), Some(1), "stderr: {stderr}");
+    assert!(stderr.contains("race-shared-write"), "stderr: {stderr}");
+    assert!(stderr.contains("refusing to compile"), "stderr: {stderr}");
+}
+
+#[test]
+fn check_deny_passes_clean_input() {
+    let path = repo("crates/integration/fixtures/clean/reduction-pi.zag");
+    let out = zag(&["--check=deny", &path]);
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(out.status.success(), "stderr: {stderr}");
+    assert!(stderr.contains("check clean"), "stderr: {stderr}");
+}
+
+#[test]
+fn default_run_prints_lint_warnings_but_still_executes() {
+    let path = repo("crates/integration/fixtures/racy/clause-conflict.zag");
+    let out = zag(&[&path]);
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    // The clause conflict is a warning, not an error: the program runs.
+    assert!(out.status.success(), "stderr: {stderr}");
+    assert!(stderr.contains("clause-conflict"), "stderr: {stderr}");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains('0'), "stdout: {stdout}");
+}
+
+#[test]
+fn front_end_errors_render_through_the_same_formatter() {
+    let dir = std::env::temp_dir().join("zag_check_cli_bad.zag");
+    std::fs::write(&dir, "fn main() void {\n    var x i64 = 0;\n}\n").unwrap();
+    let out = zag(&[dir.to_str().unwrap()]);
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert_eq!(out.status.code(), Some(1), "stderr: {stderr}");
+    // `zag: <path>:<line>:<col>: <message>` — the unified Diag rendering.
+    assert!(stderr.contains("zag: "), "stderr: {stderr}");
+    assert!(stderr.contains(":2:"), "stderr: {stderr}");
+}
