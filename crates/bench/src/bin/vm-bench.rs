@@ -1,6 +1,9 @@
 //! Emit `BENCH_vm.json`: median nanoseconds per kernel iteration for the
-//! three NPB-derived Zag kernels, run through both execution backends
-//! (`ast` tree-walker oracle vs `bytecode` register VM) at 1 and 4 threads.
+//! three NPB-derived Zag kernels, run through both execution backends at
+//! 1 and 4 threads — the `ast` tree-walker oracle plus the register VM at
+//! every optimization level (`bytecode_o0` raw, `bytecode_o1`
+//! fold/copy-prop/DSE + frame arena, `bytecode_o2` + superinstruction
+//! fusion and quickening).
 //!
 //! Kernels (the same ports the integration suite validates bit-for-bit):
 //!   - `cg_matvec_dynamic` — CSR sparse matvec over an NPB `makea` matrix
@@ -13,7 +16,8 @@
 //! Usage: `cargo run --release -p zomp-bench --bin vm-bench [-- OUT]`
 //! (default output path `BENCH_vm.json` in the current directory), or
 //! `-- --smoke` for the CI guard: a fast single-thread CG matvec run that
-//! exits nonzero unless the bytecode backend is at least 2x the tree-walker.
+//! exits nonzero unless `--opt=2` bytecode is at least 2x the tree-walker
+//! *and* at least 2x the unoptimized (`--opt=0`, PR 3) bytecode.
 
 use std::sync::Arc;
 use std::time::Instant;
@@ -21,10 +25,18 @@ use std::time::Instant;
 use npb::cg::makea::makea;
 use npb::class::{CgParams, Class};
 use zomp_vm::value::{ArrF, ArrI, Value};
-use zomp_vm::{Backend, Vm};
+use zomp_vm::{Backend, OptLevel, Vm};
 
 /// Samples per configuration; the median damps scheduler noise.
 const SAMPLES: usize = 7;
+/// Execution configurations measured for every kernel: the tree-walking
+/// oracle, then the bytecode VM at each optimization level.
+const CONFIGS: [(&str, Backend, OptLevel); 4] = [
+    ("ast", Backend::Ast, OptLevel::O0),
+    ("bytecode_o0", Backend::Bytecode, OptLevel::O0),
+    ("bytecode_o1", Backend::Bytecode, OptLevel::O1),
+    ("bytecode_o2", Backend::Bytecode, OptLevel::O2),
+];
 /// Team sizes measured for every kernel/backend pair.
 const THREADS: [i64; 2] = [1, 4];
 
@@ -289,20 +301,28 @@ fn median_ns_per_op(samples: usize, ops: u64, mut f: impl FnMut()) -> f64 {
     ns[ns.len() / 2]
 }
 
-/// Per-kernel results: `ns[backend][thread_config]` in `THREADS` order.
+/// Per-kernel results: `ns[config][thread_config]`, `CONFIGS` x `THREADS`
+/// order.
 struct KernelResult {
     name: &'static str,
     ops_per_call: u64,
-    ast_ns: Vec<f64>,
-    bytecode_ns: Vec<f64>,
+    ns: Vec<Vec<f64>>,
 }
 
 impl KernelResult {
-    /// Bytecode speedup over the tree-walker, single thread.
-    fn speedup_1t(&self) -> f64 {
-        self.ast_ns[0] / self.bytecode_ns[0]
+    fn config_ns(&self, label: &str) -> &[f64] {
+        let i = CONFIGS.iter().position(|(l, _, _)| *l == label).unwrap();
+        &self.ns[i]
     }
-    /// Thread-scaling ratio t(1)/t(4) per backend (higher is better).
+    /// Default-level bytecode speedup over the tree-walker, single thread.
+    fn speedup_1t(&self) -> f64 {
+        self.config_ns("ast")[0] / self.config_ns("bytecode_o2")[0]
+    }
+    /// `--opt=2` speedup over the raw (PR 3) bytecode, single thread.
+    fn opt_speedup_1t(&self) -> f64 {
+        self.config_ns("bytecode_o0")[0] / self.config_ns("bytecode_o2")[0]
+    }
+    /// Thread-scaling ratio t(1)/t(4) per configuration (higher is better).
     fn scaling(&self, ns: &[f64]) -> f64 {
         ns[0] / ns[ns.len() - 1]
     }
@@ -333,13 +353,13 @@ fn run_matvec(mat: &npb::cg::makea::SparseMatrix, samples: usize, threads: &[i64
     let mut result = KernelResult {
         name: "cg_matvec_dynamic",
         ops_per_call: MATVEC_REPS as u64 * nnz,
-        ast_ns: Vec::new(),
-        bytecode_ns: Vec::new(),
+        ns: Vec::new(),
     };
-    for backend in [Backend::Ast, Backend::Bytecode] {
-        let vm = Vm::with_backend(ZAG_MATVEC, backend).expect("compile matvec");
+    for (label, backend, opt) in CONFIGS {
+        let vm = Vm::build(ZAG_MATVEC, None, backend, opt).expect("compile matvec");
+        let mut cfg = Vec::new();
         for &nth in threads {
-            eprintln!("  matvec {backend:?} x{nth}...");
+            eprintln!("  matvec {label} x{nth}...");
             let ns = median_ns_per_op(samples, result.ops_per_call, || {
                 vm.call_function(
                     "matvec",
@@ -356,11 +376,9 @@ fn run_matvec(mat: &npb::cg::makea::SparseMatrix, samples: usize, threads: &[i64
                 )
                 .expect("run matvec");
             });
-            match backend {
-                Backend::Ast => result.ast_ns.push(ns),
-                Backend::Bytecode => result.bytecode_ns.push(ns),
-            }
+            cfg.push(ns);
         }
+        result.ns.push(cfg);
     }
     result
 }
@@ -373,13 +391,13 @@ fn run_ep(samples: usize, threads: &[i64]) -> KernelResult {
     let mut result = KernelResult {
         name: "ep_batch",
         ops_per_call: pairs,
-        ast_ns: Vec::new(),
-        bytecode_ns: Vec::new(),
+        ns: Vec::new(),
     };
-    for backend in [Backend::Ast, Backend::Bytecode] {
-        let vm = Vm::with_backend(ZAG_EP, backend).expect("compile ep");
+    for (label, backend, opt) in CONFIGS {
+        let vm = Vm::build(ZAG_EP, None, backend, opt).expect("compile ep");
+        let mut cfg = Vec::new();
         for &nth in threads {
-            eprintln!("  ep {backend:?} x{nth}...");
+            eprintln!("  ep {label} x{nth}...");
             let q = Arc::new(ArrF::new(10));
             let ns = median_ns_per_op(samples, pairs, || {
                 vm.call_function(
@@ -393,11 +411,9 @@ fn run_ep(samples: usize, threads: &[i64]) -> KernelResult {
                 )
                 .expect("run ep");
             });
-            match backend {
-                Backend::Ast => result.ast_ns.push(ns),
-                Backend::Bytecode => result.bytecode_ns.push(ns),
-            }
+            cfg.push(ns);
         }
+        result.ns.push(cfg);
     }
     result
 }
@@ -418,13 +434,13 @@ fn run_is(samples: usize, threads: &[i64]) -> KernelResult {
     let mut result = KernelResult {
         name: "is_histogram",
         ops_per_call: nkeys as u64,
-        ast_ns: Vec::new(),
-        bytecode_ns: Vec::new(),
+        ns: Vec::new(),
     };
-    for backend in [Backend::Ast, Backend::Bytecode] {
-        let vm = Vm::with_backend(ZAG_RANK, backend).expect("compile rank");
+    for (label, backend, opt) in CONFIGS {
+        let vm = Vm::build(ZAG_RANK, None, backend, opt).expect("compile rank");
+        let mut cfg = Vec::new();
         for &nth in threads {
-            eprintln!("  is {backend:?} x{nth}...");
+            eprintln!("  is {label} x{nth}...");
             let counts = Arc::new(ArrI::new(nth as usize * nb));
             let starts = Arc::new(ArrI::new(nb + 1));
             let buff2 = Arc::new(ArrI::new(nkeys));
@@ -446,31 +462,39 @@ fn run_is(samples: usize, threads: &[i64]) -> KernelResult {
                 )
                 .expect("run rank");
             });
-            match backend {
-                Backend::Ast => result.ast_ns.push(ns),
-                Backend::Bytecode => result.bytecode_ns.push(ns),
-            }
+            cfg.push(ns);
         }
+        result.ns.push(cfg);
     }
     result
 }
 
-/// CI guard: single-thread CG matvec on a small matrix; fail unless the
-/// bytecode backend is at least `MIN_SPEEDUP`x the tree-walker.
+/// CI guard: single-thread CG matvec on a small matrix; fail unless
+/// `--opt=2` bytecode is at least `MIN_SPEEDUP`x the tree-walker *and* at
+/// least `MIN_OPT_SPEEDUP`x the raw `--opt=0` (PR 3 baseline) bytecode.
 fn smoke() -> ! {
     const MIN_SPEEDUP: f64 = 2.0;
+    const MIN_OPT_SPEEDUP: f64 = 2.0;
     let mat = bench_matrix(400, 5);
     let r = run_matvec(&mat, 3, &[1]);
     let speedup = r.speedup_1t();
+    let opt_speedup = r.opt_speedup_1t();
     eprintln!(
-        "smoke: cg_matvec 1 thread: ast {:.1} ns/nz, bytecode {:.1} ns/nz -> {speedup:.2}x",
-        r.ast_ns[0], r.bytecode_ns[0]
+        "smoke: cg_matvec 1 thread: ast {:.1} ns/nz, bytecode o0 {:.1} ns/nz, o2 {:.1} ns/nz \
+         -> {speedup:.2}x over ast, {opt_speedup:.2}x over o0",
+        r.config_ns("ast")[0],
+        r.config_ns("bytecode_o0")[0],
+        r.config_ns("bytecode_o2")[0]
     );
     if speedup < MIN_SPEEDUP {
-        eprintln!("FAIL: bytecode backend under {MIN_SPEEDUP}x the tree-walker on CG matvec");
+        eprintln!("FAIL: --opt=2 bytecode under {MIN_SPEEDUP}x the tree-walker on CG matvec");
         std::process::exit(1);
     }
-    eprintln!("PASS (threshold {MIN_SPEEDUP}x)");
+    if opt_speedup < MIN_OPT_SPEEDUP {
+        eprintln!("FAIL: --opt=2 under {MIN_OPT_SPEEDUP}x the --opt=0 baseline on CG matvec");
+        std::process::exit(1);
+    }
+    eprintln!("PASS (thresholds {MIN_SPEEDUP}x over ast, {MIN_OPT_SPEEDUP}x over o0)");
     std::process::exit(0);
 }
 
@@ -497,19 +521,29 @@ fn main() {
     let mut kernels = String::new();
     for (i, k) in [&cg, &ep, &is].iter().enumerate() {
         let sep = if i == 0 { "" } else { ",\n" };
+        let ns_fields: Vec<String> = CONFIGS
+            .iter()
+            .zip(&k.ns)
+            .map(|((label, _, _), ns)| format!("\"{label}\": {}", json_list(ns)))
+            .collect();
+        let scaling_fields: Vec<String> = CONFIGS
+            .iter()
+            .zip(&k.ns)
+            .map(|((label, _, _), ns)| format!("\"{label}\": {:.2}", k.scaling(ns)))
+            .collect();
         kernels.push_str(&format!(
             "{sep}    \"{}\": {{\n      \
              \"ops_per_call\": {},\n      \
-             \"ns_per_op\": {{\"ast\": {}, \"bytecode\": {}}},\n      \
+             \"ns_per_op\": {{{}}},\n      \
              \"bytecode_speedup_1t\": {:.2},\n      \
-             \"scaling_4t_over_1t\": {{\"ast\": {:.2}, \"bytecode\": {:.2}}}\n    }}",
+             \"opt_speedup_1t\": {:.2},\n      \
+             \"scaling_4t_over_1t\": {{{}}}\n    }}",
             k.name,
             k.ops_per_call,
-            json_list(&k.ast_ns),
-            json_list(&k.bytecode_ns),
+            ns_fields.join(", "),
             k.speedup_1t(),
-            k.scaling(&k.ast_ns),
-            k.scaling(&k.bytecode_ns),
+            k.opt_speedup_1t(),
+            scaling_fields.join(", "),
         ));
     }
     // Thread-scaling ratios only mean something relative to the host's
@@ -522,9 +556,13 @@ fn main() {
     std::fs::write(&out, &json).expect("write BENCH_vm.json");
     print!("{json}");
     eprintln!(
-        "single-thread bytecode speedups: cg {:.2}x, ep {:.2}x, is {:.2}x -> {out}",
+        "single-thread speedups over ast: cg {:.2}x, ep {:.2}x, is {:.2}x; \
+         --opt=2 over --opt=0: cg {:.2}x, ep {:.2}x, is {:.2}x -> {out}",
         cg.speedup_1t(),
         ep.speedup_1t(),
-        is.speedup_1t()
+        is.speedup_1t(),
+        cg.opt_speedup_1t(),
+        ep.opt_speedup_1t(),
+        is.opt_speedup_1t()
     );
 }

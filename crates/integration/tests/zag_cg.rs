@@ -157,11 +157,17 @@ fn zag_conj_grad_matches_rust_solver() {
     let mut ws = CgWorkspace::new(n);
     let rnorm_rust = conj_grad_serial(&mat, &x, &mut ws);
 
-    // Zag through the full pipeline, on both execution backends and at
-    // several team sizes — the bytecode VM must reproduce the oracle (and
-    // the native solver) exactly as the tree-walker does.
-    for backend in [Backend::Bytecode, Backend::Ast] {
-        let vm = Vm::with_backend(ZAG_CONJ_GRAD, backend).expect("compile Zag conj_grad");
+    // Zag through the full pipeline, on both execution backends, at every
+    // bytecode optimization level, and at several team sizes — the VM
+    // must reproduce the oracle (and the native solver) exactly as the
+    // tree-walker does.
+    for (backend, opt) in [
+        (Backend::Bytecode, zomp_vm::OptLevel::O0),
+        (Backend::Bytecode, zomp_vm::OptLevel::O1),
+        (Backend::Bytecode, zomp_vm::OptLevel::O2),
+        (Backend::Ast, zomp_vm::OptLevel::O0),
+    ] {
+        let vm = Vm::build(ZAG_CONJ_GRAD, None, backend, opt).expect("compile Zag conj_grad");
         for threads in [1i64, 2, 4] {
             let z = Arc::new(ArrF::new(n));
             let p = Arc::new(ArrF::new(n));

@@ -182,9 +182,15 @@ fn zag_ep_matches_rust_ep() {
         (sx, sy, q)
     };
 
-    // Zag through the pipeline, on both backends and at several team sizes.
-    for backend in [zomp_vm::Backend::Bytecode, zomp_vm::Backend::Ast] {
-        let vm = Vm::with_backend(ZAG_EP, backend).expect("compile Zag EP");
+    // Zag through the pipeline, on both backends, at every bytecode opt
+    // level, and at several team sizes.
+    for (backend, opt) in [
+        (zomp_vm::Backend::Bytecode, zomp_vm::OptLevel::O0),
+        (zomp_vm::Backend::Bytecode, zomp_vm::OptLevel::O1),
+        (zomp_vm::Backend::Bytecode, zomp_vm::OptLevel::O2),
+        (zomp_vm::Backend::Ast, zomp_vm::OptLevel::O0),
+    ] {
+        let vm = Vm::build(ZAG_EP, None, backend, opt).expect("compile Zag EP");
         for threads in [1i64, 2, 4] {
             use std::sync::Arc;
             use zomp_vm::value::{ArrF, Value};

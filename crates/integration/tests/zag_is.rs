@@ -131,8 +131,13 @@ fn zag_rank_matches_rust_serial() {
     let keys_i: Vec<i64> = keys.iter().map(|&k| k as i64).collect();
     let want = rank_serial(&keys, &params);
 
-    for backend in [zomp_vm::Backend::Bytecode, zomp_vm::Backend::Ast] {
-        let vm = Vm::with_backend(ZAG_RANK, backend).expect("compile Zag rank");
+    for (backend, opt) in [
+        (zomp_vm::Backend::Bytecode, zomp_vm::OptLevel::O0),
+        (zomp_vm::Backend::Bytecode, zomp_vm::OptLevel::O1),
+        (zomp_vm::Backend::Bytecode, zomp_vm::OptLevel::O2),
+        (zomp_vm::Backend::Ast, zomp_vm::OptLevel::O0),
+    ] {
+        let vm = Vm::build(ZAG_RANK, None, backend, opt).expect("compile Zag rank");
         for threads in [1i64, 2, 4] {
             let nb = 1usize << nblog;
             let counts = Arc::new(ArrI::new(threads as usize * nb));

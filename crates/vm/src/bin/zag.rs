@@ -11,17 +11,18 @@
 //! zag --trace out.json p.zag      # write a chrome://tracing event file
 //! zag --metrics m.json p.zag      # write aggregated runtime counters
 //! zag --backend ast p.zag         # run on the tree-walking oracle
-//! zag --dump-bytecode p.zag       # print the compiled instruction stream
+//! zag --opt 0 p.zag               # bytecode optimization level (0|1|2)
+//! zag --dump-bytecode p.zag       # print pre- and post-opt streams
 //! ```
 
 use zomp::safety::SafetyMode;
 use zomp_front::Diag;
-use zomp_vm::{Backend, Vm};
+use zomp_vm::{Backend, OptLevel, Vm};
 
 fn usage() -> ! {
     eprintln!(
         "usage: zag [--check[=deny]] [--emit-preprocessed] [--trace-passes] [--dump-ast] \
-         [--dump-bytecode] [--backend ast|bytecode] [--threads N] \
+         [--dump-bytecode] [--backend ast|bytecode] [--opt 0|1|2] [--threads N] \
          [--safety debug|production|paranoid] [--profile] [--trace FILE] [--metrics FILE] \
          <program.zag>"
     );
@@ -59,6 +60,7 @@ fn main() {
     let mut profile = false;
     let mut check = CheckMode::Warn;
     let mut backend = Backend::default();
+    let mut opt = OptLevel::default();
     let mut path: Option<String> = None;
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
@@ -78,6 +80,16 @@ fn main() {
             }
             _ if a.starts_with("--backend=") => {
                 backend = Backend::parse(&a["--backend=".len()..]).unwrap_or_else(|| usage());
+            }
+            "--opt" => {
+                opt = args
+                    .next()
+                    .as_deref()
+                    .and_then(OptLevel::parse)
+                    .unwrap_or_else(|| usage());
+            }
+            _ if a.starts_with("--opt=") => {
+                opt = OptLevel::parse(&a["--opt=".len()..]).unwrap_or_else(|| usage());
             }
             "--profile" => profile = true,
             "--trace" => {
@@ -173,12 +185,8 @@ fn main() {
         zomp::profile::enable();
     }
 
-    let vm = match Vm::with_unit(&source, &path) {
-        Ok(vm) => Vm {
-            echo: true,
-            backend,
-            ..vm
-        },
+    let vm = match Vm::build(&source, Some(&path), backend, opt) {
+        Ok(vm) => Vm { echo: true, ..vm },
         Err(e) => fail(&path, &source, &e),
     };
 
@@ -188,7 +196,7 @@ fn main() {
     }
 
     if dump_bytecode {
-        print!("{}", zomp_vm::bytecode::disasm(&vm.program.code));
+        print!("{}", zomp_vm::bytecode::disasm_stages(&vm.program.code));
         return;
     }
     if let Err(e) = vm.call_function("main", Vec::new()) {

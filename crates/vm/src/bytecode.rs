@@ -17,6 +17,29 @@
 //!   dominate worksharing bodies.
 //! * [`Insn::Index`]/[`Insn::IndexSet`] — unboxed `f64`/`i64` array
 //!   element access with the bounds policy inlined.
+//!
+//! On top of those, two more instruction families exist (see
+//! [`crate::optimize`]):
+//!
+//! * **Superinstructions** emitted by the `--opt≥2` peephole fuser:
+//!   constant-operand arithmetic ([`Insn::ArithK`]/[`Insn::ArithKL`] — the
+//!   "AddSlots" family that removes the const-reload register shuffle),
+//!   load-op ([`Insn::IndexArith`]), op-store ([`Insn::ArithStore`]),
+//!   element increment ([`Insn::IncElemK`] — IS histogram body), the CG
+//!   matvec accumulate chain ([`Insn::FmaIdx`]), offset indexing
+//!   ([`Insn::IndexOff`] — `rowstr[j + 1]`), the unconditional
+//!   increment back-edge ([`Insn::IncJump`]), and the deref-fused family
+//!   ([`Insn::DerefIndex`], [`Insn::DerefIndexOff`], [`Insn::DerefIndexSet`],
+//!   [`Insn::DerefIncElemK`], [`Insn::DerefFmaIdx`]) that accesses
+//!   `shared(...)` arrays under a single cell lock without cloning the
+//!   array value into a register.
+//! * **Quickened instructions**, only ever written *at runtime* by the
+//!   interpreter's per-thread quickening cache (never by the compiler or
+//!   optimizer): generic `Arith`/`Cmp`/`Index`/`IndexSet`/`CmpJumpFalse`
+//!   rewrite themselves to type-specialised forms on first execution
+//!   ([`Insn::ArithII`] is the AddII/SubII/MulII… family, [`Insn::ArithFF`]
+//!   the AddFF/MulFF… family, [`Insn::IndexF`], …) and deopt back to the
+//!   generic form when a slot changes type mid-loop.
 
 use std::collections::HashMap;
 
@@ -215,6 +238,212 @@ pub enum Insn {
         op: CmpOp,
         to: u32,
     },
+    /// `r[dst] = r[a] op consts[k]` — fused constant right operand
+    /// (`--opt=2` peephole; "AddSlots" family: the `const` reload and its
+    /// temporary register disappear).
+    ArithK {
+        op: ArithOp,
+        dst: Reg,
+        a: Reg,
+        k: u16,
+    },
+    /// `r[dst] = consts[k] op r[b]` — fused constant left operand. A
+    /// separate opcode from [`Insn::ArithK`] so type-mismatch error
+    /// messages keep the original operand order.
+    ArithKL {
+        op: ArithOp,
+        dst: Reg,
+        k: u16,
+        b: Reg,
+    },
+    /// `r[dst] = r[arr][r[idx]] op r[rhs]` — fused load-op (indexed left
+    /// operand only, again to preserve error-message operand order).
+    IndexArith {
+        op: ArithOp,
+        dst: Reg,
+        arr: Reg,
+        idx: Reg,
+        rhs: Reg,
+    },
+    /// `r[arr][r[idx]] = r[a] op r[b]` — fused op-store.
+    ArithStore {
+        op: ArithOp,
+        arr: Reg,
+        idx: Reg,
+        a: Reg,
+        b: Reg,
+    },
+    /// `r[arr][r[idx]] = r[arr][r[idx]] op consts[k]` — fused element
+    /// increment (the IS histogram body `counts[b] += 1`).
+    IncElemK {
+        op: ArithOp,
+        arr: Reg,
+        idx: Reg,
+        k: u16,
+    },
+    /// `r[dst] = r[dst] + r[x] * r[arr][r[idx]]` — the CG matvec
+    /// accumulate chain (`s = s + a[k] * p[colidx[k]]`) as one dispatch.
+    /// The float fast path still evaluates mul-then-add (no hardware fma)
+    /// so results stay bit-identical with the unfused stream.
+    FmaIdx {
+        dst: Reg,
+        x: Reg,
+        arr: Reg,
+        idx: Reg,
+    },
+    /// `r[dst] = r[arr][r[idx] + off]` — offset indexing (`rowstr[j + 1]`).
+    /// `off >= 0` came from a `+ k` source form, `off < 0` from `- k`; the
+    /// generic fallback reconstructs the matching operator for error text.
+    IndexOff {
+        dst: Reg,
+        arr: Reg,
+        idx: Reg,
+        off: i32,
+    },
+    /// `r[var] += step; jump to` — the unconditional loop back-edge of
+    /// `continue`-expression loops whose guard sits at the head.
+    IncJump {
+        var: Reg,
+        step: i32,
+        to: u32,
+    },
+    /// `r[dst] = (*r[cell])[r[idx]]` — deref-fused indexing of a shared
+    /// array. The cell (`shared(...)` variables are `Ptr` slots) is locked
+    /// once and the element read under the guard, so the array `Value`
+    /// never round-trips through a register (no `Arc` clone, no overwrite
+    /// drop). Evaluation and error order match the unfused
+    /// `Deref`-then-`Index` pair exactly.
+    DerefIndex {
+        dst: Reg,
+        cell: Reg,
+        idx: Reg,
+    },
+    /// `r[dst] = (*r[cell])[r[idx] + off]` — deref-fused [`Insn::IndexOff`]
+    /// (the CG row-bound load `rowstr[j + 1]` on a shared array).
+    DerefIndexOff {
+        dst: Reg,
+        cell: Reg,
+        idx: Reg,
+        off: i32,
+    },
+    /// `(*r[cell])[r[idx]] = r[src]` — deref-fused [`Insn::IndexSet`].
+    DerefIndexSet {
+        cell: Reg,
+        idx: Reg,
+        src: Reg,
+    },
+    /// `(*r[cell])[r[idx]] op= consts[k]` — deref-fused
+    /// [`Insn::IncElemK`] (the IS ranking body `ranks[b] += 1` on a shared
+    /// array): one lock covers the whole read-modify-write.
+    DerefIncElemK {
+        op: ArithOp,
+        cell: Reg,
+        idx: Reg,
+        k: u16,
+    },
+    /// `r[dst] = r[dst] + r[x] * (*r[cell])[r[idx]]` — [`Insn::FmaIdx`]
+    /// with the array operand read through a shared cell under one lock
+    /// (the CG dot-product body `d = d + p[j] * q[j]`).
+    DerefFmaIdx {
+        dst: Reg,
+        x: Reg,
+        cell: Reg,
+        idx: Reg,
+    },
+    /// `r[dst] = r[dst] + r[x] * (*r[acell])[(*r[icell])[r[idx]]]` — the
+    /// whole CG matvec gather (`s = s + a[k] * p[colidx[k]]` with `p` and
+    /// `colidx` both shared) as one dispatch. The `acell` pointer check
+    /// happens first (unfused `Deref` position); its *read* is deferred to
+    /// after the `icell` gather, which is unobservable because dereferencing
+    /// a checked `Ptr` cannot fail.
+    FmaIdxCC {
+        dst: Reg,
+        x: Reg,
+        acell: Reg,
+        icell: Reg,
+        idx: Reg,
+    },
+    /// `r[dst] += (*r[xcell])[r[idx]] * (*r[acell])[(*r[icell])[r[idx]]]`
+    /// — [`Insn::FmaIdxCC`] with the multiplier itself gathered from a
+    /// shared array at the same index: the complete matvec body
+    /// `s = s + a[k] * p[colidx[k]]` with `a`, `p`, `colidx` all shared,
+    /// one dispatch per nonzero.
+    FmaGather {
+        dst: Reg,
+        xcell: Reg,
+        acell: Reg,
+        icell: Reg,
+        idx: Reg,
+    },
+    /// Quickened [`Insn::Arith`]: both operands observed `i64`. Runtime
+    /// only — written by the interpreter's per-thread quickening cache,
+    /// never by the compiler/optimizer. Deopts back to `Arith` (and
+    /// re-executes the generic arm) when a slot changes type.
+    ArithII {
+        op: ArithOp,
+        dst: Reg,
+        a: Reg,
+        b: Reg,
+    },
+    /// Quickened [`Insn::Arith`]: both operands observed `f64`.
+    ArithFF {
+        op: ArithOp,
+        dst: Reg,
+        a: Reg,
+        b: Reg,
+    },
+    /// Quickened [`Insn::Cmp`]: both operands observed `i64`.
+    CmpII {
+        op: CmpOp,
+        dst: Reg,
+        a: Reg,
+        b: Reg,
+    },
+    /// Quickened [`Insn::Cmp`]: both operands observed `f64`.
+    CmpFF {
+        op: CmpOp,
+        dst: Reg,
+        a: Reg,
+        b: Reg,
+    },
+    /// Quickened [`Insn::CmpJumpFalse`]: both operands observed `i64`.
+    CmpJumpFalseII {
+        op: CmpOp,
+        a: Reg,
+        b: Reg,
+        to: u32,
+    },
+    /// Quickened [`Insn::CmpJumpFalse`]: both operands observed `f64`.
+    CmpJumpFalseFF {
+        op: CmpOp,
+        a: Reg,
+        b: Reg,
+        to: u32,
+    },
+    /// Quickened [`Insn::Index`]: array observed `ArrF`.
+    IndexF {
+        dst: Reg,
+        arr: Reg,
+        idx: Reg,
+    },
+    /// Quickened [`Insn::Index`]: array observed `ArrI`.
+    IndexI {
+        dst: Reg,
+        arr: Reg,
+        idx: Reg,
+    },
+    /// Quickened [`Insn::IndexSet`]: `ArrF` target, `f64` source observed.
+    IndexSetF {
+        arr: Reg,
+        idx: Reg,
+        src: Reg,
+    },
+    /// Quickened [`Insn::IndexSet`]: `ArrI` target, `i64` source observed.
+    IndexSetI {
+        arr: Reg,
+        idx: Reg,
+        src: Reg,
+    },
     /// Direct call of program function `func` (compile-time resolved).
     Call {
         dst: Reg,
@@ -264,6 +493,15 @@ pub enum Insn {
     RetVoid,
 }
 
+/// The pre-optimization instruction stream, kept on [`CompiledFn`] when
+/// the optimizer changed anything so `--dump-bytecode` can show both
+/// stages. `nconsts` is the pool length before optimization (folding only
+/// ever appends constants, so pre-opt indices stay valid).
+pub struct PreOpt {
+    pub code: Vec<Insn>,
+    pub nconsts: usize,
+}
+
 /// One compiled function.
 pub struct CompiledFn {
     pub name: String,
@@ -277,6 +515,8 @@ pub struct CompiledFn {
     /// Debug names of named registers (params and locals), in allocation
     /// order: (register, name, address-taken?).
     pub locals: Vec<(Reg, String, bool)>,
+    /// `Some` iff the optimizer rewrote `code` (see [`PreOpt`]).
+    pub pre_opt: Option<PreOpt>,
 }
 
 /// A whole program's compiled image, functions in declaration order.
@@ -326,11 +566,17 @@ fn arith_text(op: ArithOp) -> &'static str {
 
 /// Render one function's bytecode as stable, diffable text.
 pub fn disasm_fn(f: &CompiledFn) -> String {
+    disasm_fn_code(f, &f.code, f.consts.len(), "")
+}
+
+/// Render one function with an explicit instruction stream / pool length
+/// (the `--dump-bytecode` pre/post-optimization view).
+fn disasm_fn_code(f: &CompiledFn, code: &[Insn], nconsts: usize, tag: &str) -> String {
     use std::fmt::Write;
     let mut out = String::new();
     let _ = writeln!(
         out,
-        "fn {} (params {}, regs {})",
+        "fn {}{tag} (params {}, regs {})",
         f.name, f.nparams, f.nregs
     );
     if !f.locals.is_empty() {
@@ -341,13 +587,13 @@ pub fn disasm_fn(f: &CompiledFn) -> String {
             .collect();
         let _ = writeln!(out, "  locals: {}", names.join(" "));
     }
-    for (i, k) in f.consts.iter().enumerate() {
+    for (i, k) in f.consts.iter().take(nconsts).enumerate() {
         let _ = writeln!(out, "  k{i} = {}", const_text(k));
     }
     for (i, s) in f.omp_syms.iter().enumerate() {
         let _ = writeln!(out, "  s{i} = omp.{}", s.join("."));
     }
-    for (pc, insn) in f.code.iter().enumerate() {
+    for (pc, insn) in code.iter().enumerate() {
         let text = match insn {
             Insn::Const { dst, k } => format!("const      r{dst}, k{k}"),
             Insn::Move { dst, src } => format!("move       r{dst}, r{src}"),
@@ -385,6 +631,101 @@ pub fn disasm_fn(f: &CompiledFn) -> String {
                 "inccmpj    r{var} += {step}; r{var} {} r{limit} -> {to}",
                 cmp_text(*op)
             ),
+            Insn::ArithK { op, dst, a, k } => {
+                format!("{:<10} r{dst}, r{a}, k{k}", format!("{}k", arith_text(*op)))
+            }
+            Insn::ArithKL { op, dst, k, b } => {
+                format!("{:<10} r{dst}, k{k}, r{b}", format!("k{}", arith_text(*op)))
+            }
+            Insn::IndexArith {
+                op,
+                dst,
+                arr,
+                idx,
+                rhs,
+            } => format!("idx{:<7} r{dst}, r{arr}[r{idx}], r{rhs}", arith_text(*op)),
+            Insn::ArithStore { op, arr, idx, a, b } => format!(
+                "{:<10} r{arr}[r{idx}], r{a}, r{b}",
+                format!("{}st", arith_text(*op))
+            ),
+            Insn::IncElemK { op, arr, idx, k } => {
+                format!("incelem    r{arr}[r{idx}] {}= k{k}", arith_text(*op))
+            }
+            Insn::FmaIdx { dst, x, arr, idx } => {
+                format!("fmaidx     r{dst} += r{x} * r{arr}[r{idx}]")
+            }
+            Insn::IndexOff { dst, arr, idx, off } => {
+                format!("indexoff   r{dst}, r{arr}[r{idx}{off:+}]")
+            }
+            Insn::IncJump { var, step, to } => {
+                format!("incjump    r{var} += {step} -> {to}")
+            }
+            Insn::DerefIndex { dst, cell, idx } => {
+                format!("dindex     r{dst}, (r{cell})[r{idx}]")
+            }
+            Insn::DerefIndexOff {
+                dst,
+                cell,
+                idx,
+                off,
+            } => {
+                format!("dindexoff  r{dst}, (r{cell})[r{idx}{off:+}]")
+            }
+            Insn::DerefIndexSet { cell, idx, src } => {
+                format!("dindexset  (r{cell})[r{idx}], r{src}")
+            }
+            Insn::DerefIncElemK { op, cell, idx, k } => {
+                format!("dincelem   (r{cell})[r{idx}] {}= k{k}", arith_text(*op))
+            }
+            Insn::DerefFmaIdx { dst, x, cell, idx } => {
+                format!("dfmaidx    r{dst} += r{x} * (r{cell})[r{idx}]")
+            }
+            Insn::FmaIdxCC {
+                dst,
+                x,
+                acell,
+                icell,
+                idx,
+            } => {
+                format!("fmacc      r{dst} += r{x} * (r{acell})[(r{icell})[r{idx}]]")
+            }
+            Insn::FmaGather {
+                dst,
+                xcell,
+                acell,
+                icell,
+                idx,
+            } => {
+                format!("fmagather  r{dst} += (r{xcell})[r{idx}] * (r{acell})[(r{icell})[r{idx}]]")
+            }
+            Insn::ArithII { op, dst, a, b } => {
+                format!(
+                    "{:<10} r{dst}, r{a}, r{b}",
+                    format!("{}ii", arith_text(*op))
+                )
+            }
+            Insn::ArithFF { op, dst, a, b } => {
+                format!(
+                    "{:<10} r{dst}, r{a}, r{b}",
+                    format!("{}ff", arith_text(*op))
+                )
+            }
+            Insn::CmpII { op, dst, a, b } => {
+                format!("cmpii      r{dst}, r{a} {} r{b}", cmp_text(*op))
+            }
+            Insn::CmpFF { op, dst, a, b } => {
+                format!("cmpff      r{dst}, r{a} {} r{b}", cmp_text(*op))
+            }
+            Insn::CmpJumpFalseII { op, a, b, to } => {
+                format!("cjfii      r{a} {} r{b} -> {to}", cmp_text(*op))
+            }
+            Insn::CmpJumpFalseFF { op, a, b, to } => {
+                format!("cjfff      r{a} {} r{b} -> {to}", cmp_text(*op))
+            }
+            Insn::IndexF { dst, arr, idx } => format!("indexf     r{dst}, r{arr}[r{idx}]"),
+            Insn::IndexI { dst, arr, idx } => format!("indexi     r{dst}, r{arr}[r{idx}]"),
+            Insn::IndexSetF { arr, idx, src } => format!("indexsetf  r{arr}[r{idx}], r{src}"),
+            Insn::IndexSetI { arr, idx, src } => format!("indexseti  r{arr}[r{idx}], r{src}"),
             Insn::Call { dst, func, base, n } => {
                 format!("call       r{dst}, f{func}, r{base}..{n}")
             }
@@ -419,6 +760,24 @@ pub fn disasm(image: &Image) -> String {
     let mut out = String::new();
     for f in &image.funcs {
         out.push_str(&disasm_fn(f));
+        out.push('\n');
+    }
+    out
+}
+
+/// Render the whole image showing both optimization stages: for every
+/// function the optimizer rewrote, the pre-optimization stream first,
+/// then the optimized one (`--dump-bytecode` under `--opt>=1`).
+pub fn disasm_stages(image: &Image) -> String {
+    let mut out = String::new();
+    for f in &image.funcs {
+        if let Some(pre) = &f.pre_opt {
+            out.push_str(&disasm_fn_code(f, &pre.code, pre.nconsts, " [pre-opt]"));
+            out.push('\n');
+            out.push_str(&disasm_fn_code(f, &f.code, f.consts.len(), " [optimized]"));
+        } else {
+            out.push_str(&disasm_fn(f));
+        }
         out.push('\n');
     }
     out

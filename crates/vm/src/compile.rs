@@ -51,11 +51,29 @@ pub fn compile_image(ast: &Ast) -> Image {
             decls.push(decl);
         }
     }
-    let funcs = decls
+    let funcs: Vec<CompiledFn> = decls
         .iter()
         .map(|&decl| FnCx::new(ast, &by_name).compile_fn(decl))
         .collect();
+    for f in &funcs {
+        if let Err(e) = crate::optimize::verify_fn(f, funcs.len()) {
+            panic!("compiler produced invalid bytecode: {e}");
+        }
+    }
     Image { funcs, by_name }
+}
+
+/// Compile and then run the bytecode optimizer at the given level.
+/// `OptLevel::O0` returns the raw stream unchanged.
+pub fn compile_image_opt(ast: &Ast, opt: crate::optimize::OptLevel) -> Image {
+    let mut image = compile_image(ast);
+    if opt > crate::optimize::OptLevel::O0 {
+        let nfuncs = image.funcs.len();
+        for f in &mut image.funcs {
+            crate::optimize::optimize_fn(f, opt, nfuncs);
+        }
+    }
+    image
 }
 
 /// Constant-pool key (floats by bit pattern so `-0.0`/`0.0` stay distinct).
@@ -147,6 +165,7 @@ impl<'a> FnCx<'a> {
             consts: self.consts,
             omp_syms: self.omp_syms,
             locals: self.locals_debug,
+            pre_opt: None,
         }
     }
 

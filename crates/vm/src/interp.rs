@@ -14,15 +14,18 @@
 //! two are required to produce byte-identical output (including error
 //! messages), which `crates/vm/tests/differential.rs` enforces.
 
+use std::cell::{Cell, RefCell};
 use std::collections::HashMap;
-use std::sync::Arc;
+use std::rc::Rc;
+use std::sync::{Arc, Weak};
 
 use parking_lot::Mutex;
 use zomp_front::ast::{Ast, Node, NodeId, Tag as N};
 use zomp_front::token::Tag as T;
 
 use crate::builtins;
-use crate::bytecode::{ArithOp, BuiltinOp, CmpOp, Image, Insn};
+use crate::bytecode::{ArithOp, BuiltinOp, CmpOp, Image, Insn, Reg};
+use crate::optimize::OptLevel;
 use crate::value::{err, ArrF, ArrI, Slot, Value, VmError, VmResult};
 
 /// Which execution engine runs function bodies.
@@ -61,21 +64,37 @@ pub struct Program {
     /// against `original_source`. Warnings only — the embedder decides
     /// whether to surface or deny them (`zag` prints them by default).
     pub diags: Vec<zomp_front::Diag>,
+    /// Optimization level the image was compiled at. Also gates the
+    /// runtime tiers: the call-frame arena needs `>= O1`, quickening `O2`.
+    pub opt: OptLevel,
 }
 
 /// Compile Zag source: preprocess pragmas away, parse, index functions.
 pub fn compile(source: &str) -> Result<Program, zomp_front::Diag> {
-    compile_inner(source, None)
+    compile_inner(source, None, OptLevel::default())
 }
 
 /// [`compile`] with a compilation-unit name (normally the source path):
 /// parallel regions are labelled `unit:line` of their pragma, so runtime
 /// traces and profiles point back at the directive.
 pub fn compile_named(source: &str, unit: &str) -> Result<Program, zomp_front::Diag> {
-    compile_inner(source, Some(unit))
+    compile_inner(source, Some(unit), OptLevel::default())
 }
 
-fn compile_inner(source: &str, unit: Option<&str>) -> Result<Program, zomp_front::Diag> {
+/// [`compile`] at an explicit optimization level (`zag --opt=N`).
+pub fn compile_opt(
+    source: &str,
+    unit: Option<&str>,
+    opt: OptLevel,
+) -> Result<Program, zomp_front::Diag> {
+    compile_inner(source, unit, opt)
+}
+
+fn compile_inner(
+    source: &str,
+    unit: Option<&str>,
+    opt: OptLevel,
+) -> Result<Program, zomp_front::Diag> {
     // The data-sharing lint runs on the original, still-pragma'd parse so
     // its diagnostics point at the user's directives, not the rewritten
     // driver loops.
@@ -93,7 +112,7 @@ fn compile_inner(source: &str, unit: Option<&str>) -> Result<Program, zomp_front
             functions.insert(ast.token_text(node.main_token).to_string(), decl);
         }
     }
-    let code = crate::compile::compile_image(&ast);
+    let code = crate::compile::compile_image_opt(&ast, opt);
     Ok(Program {
         ast,
         functions,
@@ -101,6 +120,7 @@ fn compile_inner(source: &str, unit: Option<&str>) -> Result<Program, zomp_front
         original_source: source.to_string(),
         final_source,
         diags,
+        opt,
     })
 }
 
@@ -189,6 +209,22 @@ impl Vm {
         Ok(Vm {
             backend,
             ..Vm::new(source)?
+        })
+    }
+
+    /// Fully-explicit constructor: compilation unit (for pragma `unit:line`
+    /// labels), backend, and optimization level.
+    pub fn build(
+        source: &str,
+        unit: Option<&str>,
+        backend: Backend,
+        opt: OptLevel,
+    ) -> Result<Vm, zomp_front::Diag> {
+        Ok(Vm {
+            program: Arc::new(compile_opt(source, unit, opt)?),
+            output: Mutex::new(Vec::new()),
+            echo: false,
+            backend,
         })
     }
 
@@ -551,11 +587,9 @@ impl Vm {
 
     // -- bytecode executor --------------------------------------------------
 
-    /// Execute one compiled function on a fresh register frame.
-    ///
-    /// Registers hold [`Value`]s directly — no per-local `Arc<Mutex<_>>`
-    /// and no name lookups; only address-taken locals go through heap
-    /// cells. The loop is a single dense `match` over [`Insn`].
+    /// Bytecode entry point for external callers (API calls, `fork_call`
+    /// team workers): arguments arrive as a `Vec`, the frame comes from
+    /// the per-thread arena at `--opt>=1`.
     fn run_bytecode(&self, fi: usize, mut args: Vec<Value>) -> VmResult<Value> {
         let f = &self.program.code.funcs[fi];
         if args.len() != f.nparams {
@@ -566,180 +600,761 @@ impl Vm {
                 args.len()
             ));
         }
-        args.resize(f.nregs.max(f.nparams), Value::Undefined);
-        let mut regs = args;
-        let code = &f.code[..];
+        let want = f.nregs.max(f.nparams);
+        if self.program.opt >= OptLevel::O1 {
+            let mut regs = acquire_frame(want);
+            for (slot, arg) in regs.iter_mut().zip(args) {
+                *slot = arg;
+            }
+            let r = self.exec_frame(fi, &mut regs);
+            release_frame(regs);
+            r
+        } else {
+            args.resize(want, Value::Undefined);
+            self.exec_frame(fi, &mut args)
+        }
+    }
+
+    /// Internal `Call`/`CallValue` path: arity-check, then move the
+    /// argument block straight from the caller's registers into a pooled
+    /// frame — no `Vec` allocation, no `Arc` traffic.
+    fn call_fn(&self, fi: usize, regs: &mut [Value], base: Reg, n: u16) -> VmResult<Value> {
+        if self.program.opt >= OptLevel::O1 {
+            let f = &self.program.code.funcs[fi];
+            if n as usize != f.nparams {
+                return err(format!(
+                    "`{}` expects {} arguments, got {n}",
+                    f.name, f.nparams
+                ));
+            }
+            let mut frame = acquire_frame(f.nregs.max(f.nparams));
+            for i in 0..n as usize {
+                frame[i] = std::mem::replace(&mut regs[base as usize + i], Value::Undefined);
+            }
+            let r = self.exec_frame(fi, &mut frame);
+            release_frame(frame);
+            r
+        } else {
+            let call_args = take_args(regs, base, n);
+            self.run_bytecode(fi, call_args)
+        }
+    }
+
+    /// Run one activation. At `--opt=2` the function executes from the
+    /// calling thread's quickening cache (a `Cell<Insn>` copy of the
+    /// verified stream that type-specializes itself in place); below that,
+    /// straight from the shared image.
+    fn exec_frame(&self, fi: usize, regs: &mut [Value]) -> VmResult<Value> {
+        if self.program.opt == OptLevel::O2 {
+            let qf = quick_fn(&self.program, fi);
+            self.dispatch(fi, regs, &QuickCode(&qf.code))
+        } else {
+            let code: &[Insn] = &self.program.code.funcs[fi].code;
+            self.dispatch(fi, regs, &FixedCode(code))
+        }
+    }
+
+    /// The dispatch loop, monomorphized once per [`CodeStream`] (fixed
+    /// stream for `--opt<=1`, self-quickening stream for `--opt=2`).
+    ///
+    /// Register and constant accesses go through [`rg`]/[`rg_mut`]/[`kc`],
+    /// which skip bounds checks. The safety argument lives on those
+    /// helpers: every instruction stream that reaches this loop passed
+    /// `optimize::verify_fn` at compile time, and quickened rewrites
+    /// preserve operands verbatim.
+    fn dispatch<C: CodeStream>(&self, fi: usize, regs: &mut [Value], code: &C) -> VmResult<Value> {
+        let f = &self.program.code.funcs[fi];
         let consts = &f.consts[..];
         let mut pc = 0usize;
         loop {
-            let insn = code[pc];
+            let insn = code.fetch(pc);
             pc += 1;
             match insn {
-                Insn::Const { dst, k } => regs[dst as usize] = consts[k as usize].clone(),
-                Insn::Move { dst, src } => regs[dst as usize] = regs[src as usize].clone(),
-                Insn::NewCell { dst, src } => {
-                    let v = regs[src as usize].clone();
-                    regs[dst as usize] = Value::Ptr(Arc::new(Mutex::new(v)));
+                Insn::Const { dst, k } => {
+                    let v = kc(consts, k).dup();
+                    set(regs, dst, v);
                 }
-                Insn::CellGet { dst, cell } => match &regs[cell as usize] {
+                Insn::Move { dst, src } => {
+                    let v = rg(regs, src).dup();
+                    set(regs, dst, v);
+                }
+                Insn::NewCell { dst, src } => {
+                    let v = rg(regs, src).clone();
+                    set(regs, dst, Value::Ptr(Arc::new(Mutex::new(v))));
+                }
+                Insn::CellGet { dst, cell } => match rg(regs, cell) {
                     Value::Ptr(slot) => {
                         let v = slot.lock().clone();
-                        regs[dst as usize] = v;
+                        set(regs, dst, v);
                     }
                     other => return err(format!("cannot dereference {}", other.type_name())),
                 },
-                Insn::CellSet { cell, src } => match &regs[cell as usize] {
+                Insn::CellSet { cell, src } => match rg(regs, cell) {
                     Value::Ptr(slot) => {
                         let slot = slot.clone();
-                        *slot.lock() = regs[src as usize].clone();
+                        *slot.lock() = rg(regs, src).clone();
                     }
                     other => return err(format!("cannot store through {}", other.type_name())),
                 },
                 Insn::Deref { dst, ptr } => {
-                    let v = match &regs[ptr as usize] {
+                    let v = match rg(regs, ptr) {
                         Value::Ptr(slot) => slot.lock().clone(),
                         Value::ElemPtrF(a, i) => Value::Float(a.get(*i)?),
                         Value::ElemPtrI(a, i) => Value::Int(a.get(*i)?),
                         other => return err(format!("cannot dereference {}", other.type_name())),
                     };
-                    regs[dst as usize] = v;
+                    set(regs, dst, v);
                 }
-                Insn::StorePtr { ptr, src } => match &regs[ptr as usize] {
+                Insn::StorePtr { ptr, src } => match rg(regs, ptr) {
                     Value::Ptr(slot) => {
                         let slot = slot.clone();
-                        *slot.lock() = regs[src as usize].clone();
+                        *slot.lock() = rg(regs, src).clone();
                     }
-                    Value::ElemPtrF(a, i) => a.set(*i, regs[src as usize].as_float()?)?,
-                    Value::ElemPtrI(a, i) => a.set(*i, regs[src as usize].as_int()?)?,
+                    Value::ElemPtrF(a, i) => a.set(*i, rg(regs, src).as_float()?)?,
+                    Value::ElemPtrI(a, i) => a.set(*i, rg(regs, src).as_int()?)?,
                     other => return err(format!("cannot store through {}", other.type_name())),
                 },
                 Insn::ElemAddr { dst, arr, idx } => {
-                    let i = regs[idx as usize].as_int()?;
-                    let v = match &regs[arr as usize] {
+                    let i = rg(regs, idx).as_int()?;
+                    let v = match rg(regs, arr) {
                         Value::ArrF(a) => Value::ElemPtrF(a.clone(), i),
                         Value::ArrI(a) => Value::ElemPtrI(a.clone(), i),
                         other => return err(format!("cannot index {}", other.type_name())),
                     };
-                    regs[dst as usize] = v;
+                    set(regs, dst, v);
                 }
                 Insn::AddrDeref { dst, src } => {
-                    let v = match &regs[src as usize] {
+                    let v = match rg(regs, src) {
                         p @ (Value::Ptr(_) | Value::ElemPtrF(..) | Value::ElemPtrI(..)) => {
                             p.clone()
                         }
                         other => return err(format!("cannot store through {}", other.type_name())),
                     };
-                    regs[dst as usize] = v;
+                    set(regs, dst, v);
                 }
                 Insn::Index { dst, arr, idx } => {
-                    let i = regs[idx as usize].as_int()?;
-                    let v = match &regs[arr as usize] {
+                    let i = rg(regs, idx).as_int()?;
+                    let v = match rg(regs, arr) {
+                        Value::ArrF(a) => {
+                            if C::QUICKENS {
+                                code.quicken(pc - 1, Insn::IndexF { dst, arr, idx });
+                            }
+                            Value::Float(a.get(i)?)
+                        }
+                        Value::ArrI(a) => {
+                            if C::QUICKENS {
+                                code.quicken(pc - 1, Insn::IndexI { dst, arr, idx });
+                            }
+                            Value::Int(a.get(i)?)
+                        }
+                        other => return err(format!("cannot index {}", other.type_name())),
+                    };
+                    set(regs, dst, v);
+                }
+                Insn::IndexF { dst, arr, idx } => match (rg(regs, arr), rg(regs, idx)) {
+                    (Value::ArrF(a), Value::Int(i)) => {
+                        let v = Value::Float(a.get(*i)?);
+                        set(regs, dst, v);
+                    }
+                    _ => {
+                        code.quicken(pc - 1, Insn::Index { dst, arr, idx });
+                        pc -= 1;
+                        continue;
+                    }
+                },
+                Insn::IndexI { dst, arr, idx } => match (rg(regs, arr), rg(regs, idx)) {
+                    (Value::ArrI(a), Value::Int(i)) => {
+                        let v = Value::Int(a.get(*i)?);
+                        set(regs, dst, v);
+                    }
+                    _ => {
+                        code.quicken(pc - 1, Insn::Index { dst, arr, idx });
+                        pc -= 1;
+                        continue;
+                    }
+                },
+                Insn::IndexSet { arr, idx, src } => {
+                    let i = rg(regs, idx).as_int()?;
+                    match rg(regs, arr) {
+                        Value::ArrF(a) => {
+                            let v = rg(regs, src).as_float()?;
+                            if C::QUICKENS {
+                                code.quicken(pc - 1, Insn::IndexSetF { arr, idx, src });
+                            }
+                            a.set(i, v)?;
+                        }
+                        Value::ArrI(a) => {
+                            let v = rg(regs, src).as_int()?;
+                            if C::QUICKENS {
+                                code.quicken(pc - 1, Insn::IndexSetI { arr, idx, src });
+                            }
+                            a.set(i, v)?;
+                        }
+                        other => return err(format!("cannot index {}", other.type_name())),
+                    }
+                }
+                Insn::IndexSetF { arr, idx, src } => {
+                    match (rg(regs, arr), rg(regs, idx), rg(regs, src)) {
+                        (Value::ArrF(a), Value::Int(i), Value::Float(v)) => a.set(*i, *v)?,
+                        _ => {
+                            code.quicken(pc - 1, Insn::IndexSet { arr, idx, src });
+                            pc -= 1;
+                            continue;
+                        }
+                    }
+                }
+                Insn::IndexSetI { arr, idx, src } => {
+                    match (rg(regs, arr), rg(regs, idx), rg(regs, src)) {
+                        (Value::ArrI(a), Value::Int(i), Value::Int(v)) => a.set(*i, *v)?,
+                        _ => {
+                            code.quicken(pc - 1, Insn::IndexSet { arr, idx, src });
+                            pc -= 1;
+                            continue;
+                        }
+                    }
+                }
+                Insn::Arith { op, dst, a, b } => {
+                    let v = match (rg(regs, a), rg(regs, b)) {
+                        (Value::Float(x), Value::Float(y)) => {
+                            if C::QUICKENS {
+                                code.quicken(pc - 1, Insn::ArithFF { op, dst, a, b });
+                            }
+                            Value::Float(float_arith(op, *x, *y))
+                        }
+                        (Value::Int(x), Value::Int(y)) => {
+                            if C::QUICKENS {
+                                code.quicken(pc - 1, Insn::ArithII { op, dst, a, b });
+                            }
+                            Value::Int(int_arith(op, *x, *y)?)
+                        }
+                        (x, y) => binop_arith(arith_token(op), x, y)?,
+                    };
+                    set(regs, dst, v);
+                }
+                Insn::ArithII { op, dst, a, b } => match (rg(regs, a), rg(regs, b)) {
+                    (Value::Int(x), Value::Int(y)) => {
+                        let v = Value::Int(int_arith(op, *x, *y)?);
+                        set(regs, dst, v);
+                    }
+                    _ => {
+                        code.quicken(pc - 1, Insn::Arith { op, dst, a, b });
+                        pc -= 1;
+                        continue;
+                    }
+                },
+                Insn::ArithFF { op, dst, a, b } => match (rg(regs, a), rg(regs, b)) {
+                    (Value::Float(x), Value::Float(y)) => {
+                        let v = Value::Float(float_arith(op, *x, *y));
+                        set(regs, dst, v);
+                    }
+                    _ => {
+                        code.quicken(pc - 1, Insn::Arith { op, dst, a, b });
+                        pc -= 1;
+                        continue;
+                    }
+                },
+                Insn::ArithK { op, dst, a, k } => {
+                    let v = match (rg(regs, a), kc(consts, k)) {
+                        (Value::Float(x), Value::Float(y)) => Value::Float(float_arith(op, *x, *y)),
+                        (Value::Int(x), Value::Int(y)) => Value::Int(int_arith(op, *x, *y)?),
+                        (x, y) => binop_arith(arith_token(op), x, y)?,
+                    };
+                    set(regs, dst, v);
+                }
+                Insn::ArithKL { op, dst, k, b } => {
+                    let v = match (kc(consts, k), rg(regs, b)) {
+                        (Value::Float(x), Value::Float(y)) => Value::Float(float_arith(op, *x, *y)),
+                        (Value::Int(x), Value::Int(y)) => Value::Int(int_arith(op, *x, *y)?),
+                        (x, y) => binop_arith(arith_token(op), x, y)?,
+                    };
+                    set(regs, dst, v);
+                }
+                Insn::IndexArith {
+                    op,
+                    dst,
+                    arr,
+                    idx,
+                    rhs,
+                } => {
+                    // Same evaluation (and error) order as the unfused
+                    // Index-then-Arith pair.
+                    let i = rg(regs, idx).as_int()?;
+                    let elem = match rg(regs, arr) {
                         Value::ArrF(a) => Value::Float(a.get(i)?),
                         Value::ArrI(a) => Value::Int(a.get(i)?),
                         other => return err(format!("cannot index {}", other.type_name())),
                     };
-                    regs[dst as usize] = v;
+                    let v = match (&elem, rg(regs, rhs)) {
+                        (Value::Float(x), Value::Float(y)) => Value::Float(float_arith(op, *x, *y)),
+                        (Value::Int(x), Value::Int(y)) => Value::Int(int_arith(op, *x, *y)?),
+                        (x, y) => binop_arith(arith_token(op), x, y)?,
+                    };
+                    set(regs, dst, v);
                 }
-                Insn::IndexSet { arr, idx, src } => {
-                    let i = regs[idx as usize].as_int()?;
-                    match &regs[arr as usize] {
-                        Value::ArrF(a) => a.set(i, regs[src as usize].as_float()?)?,
-                        Value::ArrI(a) => a.set(i, regs[src as usize].as_int()?)?,
+                Insn::ArithStore { op, arr, idx, a, b } => {
+                    // Arith first, then the IndexSet steps — unfused order.
+                    let v = match (rg(regs, a), rg(regs, b)) {
+                        (Value::Float(x), Value::Float(y)) => Value::Float(float_arith(op, *x, *y)),
+                        (Value::Int(x), Value::Int(y)) => Value::Int(int_arith(op, *x, *y)?),
+                        (x, y) => binop_arith(arith_token(op), x, y)?,
+                    };
+                    let i = rg(regs, idx).as_int()?;
+                    match rg(regs, arr) {
+                        Value::ArrF(arr) => arr.set(i, v.as_float()?)?,
+                        Value::ArrI(arr) => arr.set(i, v.as_int()?)?,
                         other => return err(format!("cannot index {}", other.type_name())),
                     }
                 }
-                Insn::Arith { op, dst, a, b } => {
-                    let v = match (&regs[a as usize], &regs[b as usize]) {
-                        (Value::Float(x), Value::Float(y)) => {
-                            let (x, y) = (*x, *y);
-                            Value::Float(match op {
-                                ArithOp::Add => x + y,
-                                ArithOp::Sub => x - y,
-                                ArithOp::Mul => x * y,
-                                ArithOp::Div => x / y,
-                                ArithOp::Rem => x % y,
-                            })
+                Insn::IncElemK { op, arr, idx, k } => {
+                    // Unfused order: Index (idx, arr, bounds) → Arith with
+                    // the constant → IndexSet.
+                    let i = rg(regs, idx).as_int()?;
+                    match (rg(regs, arr), kc(consts, k)) {
+                        (Value::ArrF(a), Value::Float(c)) => {
+                            let x = a.get(i)?;
+                            a.set(i, float_arith(op, x, *c))?;
                         }
-                        (Value::Int(x), Value::Int(y)) => {
-                            let (x, y) = (*x, *y);
-                            match op {
-                                ArithOp::Add => Value::Int(x.wrapping_add(y)),
-                                ArithOp::Sub => Value::Int(x.wrapping_sub(y)),
-                                ArithOp::Mul => Value::Int(x.wrapping_mul(y)),
-                                ArithOp::Div => {
-                                    if y == 0 {
-                                        return err("integer division by zero");
-                                    }
-                                    Value::Int(x / y)
-                                }
-                                ArithOp::Rem => {
-                                    if y == 0 {
-                                        return err("remainder by zero");
-                                    }
-                                    Value::Int(x % y)
+                        (Value::ArrI(a), Value::Int(c)) => {
+                            let x = a.get(i)?;
+                            a.set(i, int_arith(op, x, *c)?)?;
+                        }
+                        (other, c) => {
+                            let elem = match other {
+                                Value::ArrF(a) => Value::Float(a.get(i)?),
+                                Value::ArrI(a) => Value::Int(a.get(i)?),
+                                o => return err(format!("cannot index {}", o.type_name())),
+                            };
+                            let nv = binop_arith(arith_token(op), &elem, c)?;
+                            match other {
+                                Value::ArrF(a) => a.set(i, nv.as_float()?)?,
+                                Value::ArrI(a) => a.set(i, nv.as_int()?)?,
+                                _ => unreachable!(),
+                            }
+                        }
+                    }
+                }
+                Insn::FmaIdx { dst, x, arr, idx } => {
+                    match (rg(regs, arr), rg(regs, idx), rg(regs, x), rg(regs, dst)) {
+                        (Value::ArrF(a), Value::Int(i), Value::Float(xv), Value::Float(acc)) => {
+                            // Mul then add, separately — bit-identical to
+                            // the unfused pair (no hardware fma).
+                            let v = Value::Float(*acc + *xv * a.get(*i)?);
+                            set(regs, dst, v);
+                        }
+                        _ => {
+                            // Unfused order: Index; Mul; Add.
+                            let i = rg(regs, idx).as_int()?;
+                            let elem = match rg(regs, arr) {
+                                Value::ArrF(a) => Value::Float(a.get(i)?),
+                                Value::ArrI(a) => Value::Int(a.get(i)?),
+                                other => return err(format!("cannot index {}", other.type_name())),
+                            };
+                            let prod = binop_arith(T::Star, rg(regs, x), &elem)?;
+                            let v = binop_arith(T::Plus, rg(regs, dst), &prod)?;
+                            set(regs, dst, v);
+                        }
+                    }
+                }
+                Insn::IndexOff { dst, arr, idx, off } => {
+                    let i = index_off(rg(regs, idx), off)?;
+                    let v = match rg(regs, arr) {
+                        Value::ArrF(a) => Value::Float(a.get(i)?),
+                        Value::ArrI(a) => Value::Int(a.get(i)?),
+                        other => return err(format!("cannot index {}", other.type_name())),
+                    };
+                    set(regs, dst, v);
+                }
+                Insn::DerefIndex { dst, cell, idx } => {
+                    let v = deref_index(regs, cell, idx)?;
+                    set(regs, dst, v);
+                }
+                Insn::DerefIndexOff {
+                    dst,
+                    cell,
+                    idx,
+                    off,
+                } => {
+                    // Unfused order: Deref, then IndexOff (index arithmetic
+                    // before the array type check).
+                    let v = match rg(regs, cell) {
+                        Value::Ptr(slot) => {
+                            let i = index_off(rg(regs, idx), off)?;
+                            let g = slot.lock();
+                            match &*g {
+                                Value::ArrF(a) => Value::Float(a.get(i)?),
+                                Value::ArrI(a) => Value::Int(a.get(i)?),
+                                other => return err(format!("cannot index {}", other.type_name())),
+                            }
+                        }
+                        Value::ElemPtrF(a, i2) => {
+                            let elem = Value::Float(a.get(*i2)?);
+                            index_off(rg(regs, idx), off)?;
+                            return err(format!("cannot index {}", elem.type_name()));
+                        }
+                        Value::ElemPtrI(a, i2) => {
+                            let elem = Value::Int(a.get(*i2)?);
+                            index_off(rg(regs, idx), off)?;
+                            return err(format!("cannot index {}", elem.type_name()));
+                        }
+                        other => return err(format!("cannot dereference {}", other.type_name())),
+                    };
+                    set(regs, dst, v);
+                }
+                Insn::DerefIndexSet { cell, idx, src } => match rg(regs, cell) {
+                    Value::Ptr(slot) => {
+                        let i = rg(regs, idx).as_int()?;
+                        let g = slot.lock();
+                        match &*g {
+                            Value::ArrF(a) => {
+                                let v = rg(regs, src).as_float()?;
+                                a.set(i, v)?;
+                            }
+                            Value::ArrI(a) => {
+                                let v = rg(regs, src).as_int()?;
+                                a.set(i, v)?;
+                            }
+                            other => return err(format!("cannot index {}", other.type_name())),
+                        }
+                    }
+                    Value::ElemPtrF(a, i2) => {
+                        let elem = Value::Float(a.get(*i2)?);
+                        rg(regs, idx).as_int()?;
+                        return err(format!("cannot index {}", elem.type_name()));
+                    }
+                    Value::ElemPtrI(a, i2) => {
+                        let elem = Value::Int(a.get(*i2)?);
+                        rg(regs, idx).as_int()?;
+                        return err(format!("cannot index {}", elem.type_name()));
+                    }
+                    other => return err(format!("cannot store through {}", other.type_name())),
+                },
+                Insn::DerefIncElemK { op, cell, idx, k } => match rg(regs, cell) {
+                    Value::Ptr(slot) => {
+                        // Unfused chain: DerefIndex → ArithK → DerefIndexSet
+                        // on the same cell register; one lock covers the
+                        // read-modify-write (the unfused pair re-derefs the
+                        // same unchanged register, so collapsing the two
+                        // locks is only observable to racy rebinds of the
+                        // cell, which are unspecified).
+                        let i = rg(regs, idx).as_int()?;
+                        let g = slot.lock();
+                        match (&*g, kc(consts, k)) {
+                            (Value::ArrI(a), Value::Int(c)) => {
+                                let x = a.get(i)?;
+                                a.set(i, int_arith(op, x, *c)?)?;
+                            }
+                            (Value::ArrF(a), Value::Float(c)) => {
+                                let x = a.get(i)?;
+                                a.set(i, float_arith(op, x, *c))?;
+                            }
+                            (other, c) => {
+                                let elem = match other {
+                                    Value::ArrF(a) => Value::Float(a.get(i)?),
+                                    Value::ArrI(a) => Value::Int(a.get(i)?),
+                                    o => return err(format!("cannot index {}", o.type_name())),
+                                };
+                                let nv = binop_arith(arith_token(op), &elem, c)?;
+                                match other {
+                                    Value::ArrF(a) => a.set(i, nv.as_float()?)?,
+                                    Value::ArrI(a) => a.set(i, nv.as_int()?)?,
+                                    _ => unreachable!(),
                                 }
                             }
                         }
-                        (x, y) => binop_arith(arith_token(op), x, y)?,
-                    };
-                    regs[dst as usize] = v;
+                    }
+                    Value::ElemPtrF(a, i2) => {
+                        let elem = Value::Float(a.get(*i2)?);
+                        rg(regs, idx).as_int()?;
+                        return err(format!("cannot index {}", elem.type_name()));
+                    }
+                    Value::ElemPtrI(a, i2) => {
+                        let elem = Value::Int(a.get(*i2)?);
+                        rg(regs, idx).as_int()?;
+                        return err(format!("cannot index {}", elem.type_name()));
+                    }
+                    other => return err(format!("cannot dereference {}", other.type_name())),
+                },
+                Insn::DerefFmaIdx { dst, x, cell, idx } => match rg(regs, cell) {
+                    Value::Ptr(slot) => {
+                        let g = slot.lock();
+                        let v = match (&*g, rg(regs, idx), rg(regs, x), rg(regs, dst)) {
+                            (
+                                Value::ArrF(a),
+                                Value::Int(i),
+                                Value::Float(xv),
+                                Value::Float(acc),
+                            ) => {
+                                // Mul then add, as the unfused pair.
+                                Value::Float(*acc + *xv * a.get(*i)?)
+                            }
+                            _ => {
+                                // Unfused order: Index; Mul; Add.
+                                let i = rg(regs, idx).as_int()?;
+                                let elem = match &*g {
+                                    Value::ArrF(a) => Value::Float(a.get(i)?),
+                                    Value::ArrI(a) => Value::Int(a.get(i)?),
+                                    other => {
+                                        return err(format!("cannot index {}", other.type_name()))
+                                    }
+                                };
+                                let prod = binop_arith(T::Star, rg(regs, x), &elem)?;
+                                binop_arith(T::Plus, rg(regs, dst), &prod)?
+                            }
+                        };
+                        drop(g);
+                        set(regs, dst, v);
+                    }
+                    Value::ElemPtrF(a, i2) => {
+                        let elem = Value::Float(a.get(*i2)?);
+                        rg(regs, idx).as_int()?;
+                        return err(format!("cannot index {}", elem.type_name()));
+                    }
+                    Value::ElemPtrI(a, i2) => {
+                        let elem = Value::Int(a.get(*i2)?);
+                        rg(regs, idx).as_int()?;
+                        return err(format!("cannot index {}", elem.type_name()));
+                    }
+                    other => return err(format!("cannot dereference {}", other.type_name())),
+                },
+                Insn::FmaIdxCC {
+                    dst,
+                    x,
+                    acell,
+                    icell,
+                    idx,
+                } => match rg(regs, acell) {
+                    Value::Ptr(ps) => {
+                        // Unfused order: Deref(acell) ran first — for a live
+                        // `Ptr` it cannot fail, so only the pointer *check*
+                        // stays in place and the read is deferred past the
+                        // index gather (observable only to racy rebinds of
+                        // the cell itself, which are unspecified).
+                        let iv = deref_index(regs, icell, idx)?;
+                        let g = ps.lock();
+                        let v = match (&*g, &iv, rg(regs, x), rg(regs, dst)) {
+                            (
+                                Value::ArrF(a),
+                                Value::Int(i),
+                                Value::Float(xv),
+                                Value::Float(acc),
+                            ) => {
+                                // Mul then add, as the unfused pair.
+                                Value::Float(*acc + *xv * a.get(*i)?)
+                            }
+                            _ => {
+                                // Unfused FmaIdx order: Index; Mul; Add.
+                                let i = iv.as_int()?;
+                                let elem = match &*g {
+                                    Value::ArrF(a) => Value::Float(a.get(i)?),
+                                    Value::ArrI(a) => Value::Int(a.get(i)?),
+                                    other => {
+                                        return err(format!("cannot index {}", other.type_name()))
+                                    }
+                                };
+                                let prod = binop_arith(T::Star, rg(regs, x), &elem)?;
+                                binop_arith(T::Plus, rg(regs, dst), &prod)?
+                            }
+                        };
+                        drop(g);
+                        set(regs, dst, v);
+                    }
+                    Value::ElemPtrF(a, i2) => {
+                        // Deref yields a scalar; the gather still runs, then
+                        // the FmaIdx slow path rejects the non-array operand.
+                        let elem_a = Value::Float(a.get(*i2)?);
+                        let iv = deref_index(regs, icell, idx)?;
+                        iv.as_int()?;
+                        return err(format!("cannot index {}", elem_a.type_name()));
+                    }
+                    Value::ElemPtrI(a, i2) => {
+                        let elem_a = Value::Int(a.get(*i2)?);
+                        let iv = deref_index(regs, icell, idx)?;
+                        iv.as_int()?;
+                        return err(format!("cannot index {}", elem_a.type_name()));
+                    }
+                    other => return err(format!("cannot dereference {}", other.type_name())),
+                },
+                Insn::FmaGather {
+                    dst,
+                    xcell,
+                    acell,
+                    icell,
+                    idx,
+                } => {
+                    // Unfused order: DerefIndex(xcell)[idx] produced the
+                    // multiplier first, then the FmaIdxCC chain ran.
+                    let xv = deref_index(regs, xcell, idx)?;
+                    match rg(regs, acell) {
+                        Value::Ptr(ps) => {
+                            let iv = deref_index(regs, icell, idx)?;
+                            let g = ps.lock();
+                            let v = match (&*g, &iv, &xv, rg(regs, dst)) {
+                                (
+                                    Value::ArrF(a),
+                                    Value::Int(i),
+                                    Value::Float(xf),
+                                    Value::Float(acc),
+                                ) => {
+                                    // Mul then add, as the unfused pair.
+                                    Value::Float(*acc + *xf * a.get(*i)?)
+                                }
+                                _ => {
+                                    // Unfused FmaIdx order: Index; Mul; Add.
+                                    let i = iv.as_int()?;
+                                    let elem = match &*g {
+                                        Value::ArrF(a) => Value::Float(a.get(i)?),
+                                        Value::ArrI(a) => Value::Int(a.get(i)?),
+                                        other => {
+                                            return err(format!(
+                                                "cannot index {}",
+                                                other.type_name()
+                                            ))
+                                        }
+                                    };
+                                    let prod = binop_arith(T::Star, &xv, &elem)?;
+                                    binop_arith(T::Plus, rg(regs, dst), &prod)?
+                                }
+                            };
+                            drop(g);
+                            set(regs, dst, v);
+                        }
+                        Value::ElemPtrF(a, i2) => {
+                            let elem_a = Value::Float(a.get(*i2)?);
+                            let iv = deref_index(regs, icell, idx)?;
+                            iv.as_int()?;
+                            return err(format!("cannot index {}", elem_a.type_name()));
+                        }
+                        Value::ElemPtrI(a, i2) => {
+                            let elem_a = Value::Int(a.get(*i2)?);
+                            let iv = deref_index(regs, icell, idx)?;
+                            iv.as_int()?;
+                            return err(format!("cannot index {}", elem_a.type_name()));
+                        }
+                        other => return err(format!("cannot dereference {}", other.type_name())),
+                    }
                 }
                 Insn::Cmp { op, dst, a, b } => {
-                    let v = match (&regs[a as usize], &regs[b as usize]) {
-                        (Value::Int(x), Value::Int(y)) => Value::Bool(cmp_int(op, *x, *y)),
-                        (Value::Float(x), Value::Float(y)) => Value::Bool(cmp_float(op, *x, *y)),
+                    let v = match (rg(regs, a), rg(regs, b)) {
+                        (Value::Int(x), Value::Int(y)) => {
+                            if C::QUICKENS {
+                                code.quicken(pc - 1, Insn::CmpII { op, dst, a, b });
+                            }
+                            Value::Bool(cmp_int(op, *x, *y))
+                        }
+                        (Value::Float(x), Value::Float(y)) => {
+                            if C::QUICKENS {
+                                code.quicken(pc - 1, Insn::CmpFF { op, dst, a, b });
+                            }
+                            Value::Bool(cmp_float(op, *x, *y))
+                        }
                         (x, y) => binop(cmp_token(op), x, y)?,
                     };
-                    regs[dst as usize] = v;
+                    set(regs, dst, v);
                 }
+                Insn::CmpII { op, dst, a, b } => match (rg(regs, a), rg(regs, b)) {
+                    (Value::Int(x), Value::Int(y)) => {
+                        let v = Value::Bool(cmp_int(op, *x, *y));
+                        set(regs, dst, v);
+                    }
+                    _ => {
+                        code.quicken(pc - 1, Insn::Cmp { op, dst, a, b });
+                        pc -= 1;
+                        continue;
+                    }
+                },
+                Insn::CmpFF { op, dst, a, b } => match (rg(regs, a), rg(regs, b)) {
+                    (Value::Float(x), Value::Float(y)) => {
+                        let v = Value::Bool(cmp_float(op, *x, *y));
+                        set(regs, dst, v);
+                    }
+                    _ => {
+                        code.quicken(pc - 1, Insn::Cmp { op, dst, a, b });
+                        pc -= 1;
+                        continue;
+                    }
+                },
                 Insn::Neg { dst, src } => {
-                    let v = match &regs[src as usize] {
+                    let v = match rg(regs, src) {
                         Value::Int(v) => Value::Int(-v),
                         Value::Float(v) => Value::Float(-v),
                         other => return err(format!("cannot negate {}", other.type_name())),
                     };
-                    regs[dst as usize] = v;
+                    set(regs, dst, v);
                 }
                 Insn::Not { dst, src } => {
-                    let v = Value::Bool(!regs[src as usize].truthy()?);
-                    regs[dst as usize] = v;
+                    let v = Value::Bool(!rg(regs, src).truthy()?);
+                    set(regs, dst, v);
                 }
                 Insn::Truthy { dst, src } => {
-                    let v = Value::Bool(regs[src as usize].truthy()?);
-                    regs[dst as usize] = v;
+                    let v = Value::Bool(rg(regs, src).truthy()?);
+                    set(regs, dst, v);
                 }
                 Insn::Jump { to } => pc = to as usize,
                 Insn::JumpIfFalse { cond, to } => {
-                    if !regs[cond as usize].truthy()? {
+                    if !rg(regs, cond).truthy()? {
                         pc = to as usize;
                     }
                 }
                 Insn::JumpIfTrue { cond, to } => {
-                    if regs[cond as usize].truthy()? {
+                    if rg(regs, cond).truthy()? {
                         pc = to as usize;
                     }
                 }
                 Insn::CmpJumpFalse { op, a, b, to } => {
-                    let taken = match (&regs[a as usize], &regs[b as usize]) {
-                        (Value::Int(x), Value::Int(y)) => cmp_int(op, *x, *y),
-                        (Value::Float(x), Value::Float(y)) => cmp_float(op, *x, *y),
+                    let taken = match (rg(regs, a), rg(regs, b)) {
+                        (Value::Int(x), Value::Int(y)) => {
+                            if C::QUICKENS {
+                                code.quicken(pc - 1, Insn::CmpJumpFalseII { op, a, b, to });
+                            }
+                            cmp_int(op, *x, *y)
+                        }
+                        (Value::Float(x), Value::Float(y)) => {
+                            if C::QUICKENS {
+                                code.quicken(pc - 1, Insn::CmpJumpFalseFF { op, a, b, to });
+                            }
+                            cmp_float(op, *x, *y)
+                        }
                         (x, y) => binop(cmp_token(op), x, y)?.truthy()?,
                     };
                     if !taken {
                         pc = to as usize;
                     }
                 }
+                Insn::CmpJumpFalseII { op, a, b, to } => match (rg(regs, a), rg(regs, b)) {
+                    (Value::Int(x), Value::Int(y)) => {
+                        if !cmp_int(op, *x, *y) {
+                            pc = to as usize;
+                        }
+                    }
+                    _ => {
+                        code.quicken(pc - 1, Insn::CmpJumpFalse { op, a, b, to });
+                        pc -= 1;
+                        continue;
+                    }
+                },
+                Insn::CmpJumpFalseFF { op, a, b, to } => match (rg(regs, a), rg(regs, b)) {
+                    (Value::Float(x), Value::Float(y)) => {
+                        if !cmp_float(op, *x, *y) {
+                            pc = to as usize;
+                        }
+                    }
+                    _ => {
+                        code.quicken(pc - 1, Insn::CmpJumpFalse { op, a, b, to });
+                        pc -= 1;
+                        continue;
+                    }
+                },
                 Insn::IncCmpJump {
                     var,
                     step,
                     limit,
                     op,
                     to,
-                } => match (&regs[var as usize], &regs[limit as usize]) {
+                } => match (rg(regs, var), rg(regs, limit)) {
                     (Value::Int(v), Value::Int(l)) => {
                         let next = v.wrapping_add(step as i64);
                         let l = *l;
-                        regs[var as usize] = Value::Int(next);
+                        set(regs, var, Value::Int(next));
                         if cmp_int(op, next, l) {
                             pc = to as usize;
                         }
@@ -752,20 +1367,37 @@ impl Vm {
                         } else {
                             (T::Minus, -(step as i64))
                         };
-                        let next = binop_arith(tok, &regs[var as usize], &Value::Int(k))?;
-                        regs[var as usize] = next;
+                        let next = binop_arith(tok, rg(regs, var), &Value::Int(k))?;
+                        set(regs, var, next);
                         let taken =
-                            binop(cmp_token(op), &regs[var as usize], &regs[limit as usize])?
-                                .truthy()?;
+                            binop(cmp_token(op), rg(regs, var), rg(regs, limit))?.truthy()?;
                         if taken {
                             pc = to as usize;
                         }
                     }
                 },
+                Insn::IncJump { var, step, to } => {
+                    match rg(regs, var) {
+                        Value::Int(v) => {
+                            let next = Value::Int(v.wrapping_add(step as i64));
+                            set(regs, var, next);
+                        }
+                        other => {
+                            // Same slow path as IncCmpJump's.
+                            let (tok, kv) = if step >= 0 {
+                                (T::Plus, step as i64)
+                            } else {
+                                (T::Minus, -(step as i64))
+                            };
+                            let next = binop_arith(tok, other, &Value::Int(kv))?;
+                            set(regs, var, next);
+                        }
+                    }
+                    pc = to as usize;
+                }
                 Insn::Call { dst, func, base, n } => {
-                    let call_args = take_args(&mut regs, base, n);
-                    let v = self.run_bytecode(func as usize, call_args)?;
-                    regs[dst as usize] = v;
+                    let v = self.call_fn(func as usize, regs, base, n)?;
+                    set(regs, dst, v);
                 }
                 Insn::CallValue {
                     dst,
@@ -773,27 +1405,24 @@ impl Vm {
                     base,
                     n,
                 } => {
-                    let v = match &regs[callee as usize] {
-                        Value::Fn(name) => {
-                            let name = name.clone();
-                            let call_args = take_args(&mut regs, base, n);
-                            match self.program.code.by_name.get(name.as_ref()) {
-                                Some(&fi) => self.run_bytecode(fi, call_args)?,
-                                None => return err(format!("unknown function `{name}`")),
-                            }
-                        }
+                    let target = match rg(regs, callee) {
+                        Value::Fn(name) => match self.program.code.by_name.get(name.as_ref()) {
+                            Some(&target) => target,
+                            None => return err(format!("unknown function `{name}`")),
+                        },
                         other => return err(format!("{} is not callable", other.type_name())),
                     };
-                    regs[dst as usize] = v;
+                    let v = self.call_fn(target, regs, base, n)?;
+                    set(regs, dst, v);
                 }
                 Insn::OmpCall { dst, sym, base, n } => {
-                    let call_args = take_args(&mut regs, base, n);
+                    let call_args = take_args(regs, base, n);
                     let parts: Vec<&str> = f.omp_syms[sym as usize]
                         .iter()
                         .map(String::as_str)
                         .collect();
                     let v = builtins::call(self, &parts, call_args)?;
-                    regs[dst as usize] = v;
+                    set(regs, dst, v);
                 }
                 Insn::Builtin {
                     dst,
@@ -830,7 +1459,7 @@ impl Vm {
                                 Value::Int(*a.min(b))
                             }
                             _ => {
-                                let name = match &consts[name_k as usize] {
+                                let name = match kc(consts, name_k) {
                                     Value::Str(s) => s.clone(),
                                     _ => unreachable!("builtin name constant is not a string"),
                                 };
@@ -838,7 +1467,7 @@ impl Vm {
                             }
                         }
                     };
-                    regs[dst as usize] = v;
+                    set(regs, dst, v);
                 }
                 Insn::Print { base, n } => {
                     let line = regs[base as usize..(base + n) as usize]
@@ -851,14 +1480,260 @@ impl Vm {
                     }
                     self.output.lock().push(line);
                 }
-                Insn::Trap { msg } => match &consts[msg as usize] {
+                Insn::Trap { msg } => match kc(consts, msg) {
                     Value::Str(s) => return Err(VmError(s.to_string())),
                     _ => unreachable!("trap message constant is not a string"),
                 },
-                Insn::Ret { src } => return Ok(regs[src as usize].clone()),
+                Insn::Ret { src } => {
+                    // The frame is dead after this; stealing the value
+                    // avoids an Arc clone when returning arrays/strings.
+                    return Ok(std::mem::replace(rg_mut(regs, src), Value::Undefined));
+                }
                 Insn::RetVoid => return Ok(Value::Void),
             }
         }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Execution-tier machinery: frame arena, quickening cache, register access
+// ---------------------------------------------------------------------------
+
+/// Cap on pooled frames per thread; beyond this, frames just drop.
+const FRAME_POOL_CAP: usize = 64;
+
+thread_local! {
+    /// Per-thread arena of register frames (`--opt>=1`). Frames are
+    /// cleared on release, so acquire only pays one fill.
+    static FRAME_POOL: RefCell<Vec<Vec<Value>>> = const { RefCell::new(Vec::new()) };
+    /// Per-thread quickening cache (`--opt=2`): one `Cell<Insn>` copy of
+    /// each executed function, keyed to the owning program by weak pointer.
+    static QUICK: RefCell<QuickCache> = const {
+        RefCell::new(QuickCache {
+            program: Weak::new(),
+            fns: Vec::new(),
+        })
+    };
+}
+
+fn acquire_frame(n: usize) -> Vec<Value> {
+    let mut v = FRAME_POOL
+        .with(|p| p.borrow_mut().pop())
+        .unwrap_or_default();
+    v.resize(n, Value::Undefined);
+    v
+}
+
+fn release_frame(mut v: Vec<Value>) {
+    v.clear();
+    // `try_with` so frames dropped during thread teardown don't panic.
+    let _ = FRAME_POOL.try_with(|p| {
+        let mut p = p.borrow_mut();
+        if p.len() < FRAME_POOL_CAP {
+            p.push(v);
+        }
+    });
+}
+
+/// A function's thread-private, self-modifying instruction stream.
+struct QuickFn {
+    code: Box<[Cell<Insn>]>,
+}
+
+struct QuickCache {
+    /// Weak so a cached program can die; `upgrade` + `ptr_eq` guards
+    /// against a new program reusing the allocation (ABA).
+    program: Weak<Program>,
+    fns: Vec<Option<Rc<QuickFn>>>,
+}
+
+/// Get (building on first use) the calling thread's quickenable copy of
+/// function `fi`. The copy starts as the verified optimized stream;
+/// rewrites stay invisible to other threads.
+fn quick_fn(program: &Arc<Program>, fi: usize) -> Rc<QuickFn> {
+    QUICK.with(|q| {
+        let mut q = q.borrow_mut();
+        let same = q
+            .program
+            .upgrade()
+            .is_some_and(|p| Arc::ptr_eq(&p, program));
+        if !same {
+            q.program = Arc::downgrade(program);
+            q.fns.clear();
+            q.fns.resize(program.code.funcs.len(), None);
+        }
+        if let Some(qf) = &q.fns[fi] {
+            return Rc::clone(qf);
+        }
+        let code: Box<[Cell<Insn>]> = program.code.funcs[fi]
+            .code
+            .iter()
+            .copied()
+            .map(Cell::new)
+            .collect();
+        let qf = Rc::new(QuickFn { code });
+        q.fns[fi] = Some(Rc::clone(&qf));
+        qf
+    })
+}
+
+/// How the dispatch loop reads instructions. Two impls: a plain slice
+/// (`--opt<=1`) and the per-thread quickening cache (`--opt=2`).
+trait CodeStream {
+    /// Whether `quicken` persists (lets the fixed-stream monomorphization
+    /// drop all quickening branches).
+    const QUICKENS: bool;
+    fn fetch(&self, pc: usize) -> Insn;
+    fn quicken(&self, pc: usize, insn: Insn);
+}
+
+struct FixedCode<'a>(&'a [Insn]);
+
+impl CodeStream for FixedCode<'_> {
+    const QUICKENS: bool = false;
+    #[inline(always)]
+    fn fetch(&self, pc: usize) -> Insn {
+        self.0[pc]
+    }
+    #[inline(always)]
+    fn quicken(&self, _pc: usize, _insn: Insn) {}
+}
+
+struct QuickCode<'a>(&'a [Cell<Insn>]);
+
+impl CodeStream for QuickCode<'_> {
+    const QUICKENS: bool = true;
+    #[inline(always)]
+    fn fetch(&self, pc: usize) -> Insn {
+        self.0[pc].get()
+    }
+    #[inline(always)]
+    fn quicken(&self, pc: usize, insn: Insn) {
+        // Single-threaded interior mutability: this stream is owned by the
+        // calling thread, and every rewrite is semantically equivalent to
+        // the instruction it replaces (specialize on observed types, or
+        // deopt back to the generic form).
+        self.0[pc].set(insn);
+    }
+}
+
+/// Unchecked register read.
+///
+/// SAFETY contract for `rg`/`rg_mut`/`set`/`kc`: every instruction stream
+/// the dispatch loop executes passed `optimize::verify_fn` at compile
+/// time, which proves every register operand `< nregs` and every constant
+/// index `< consts.len()`; frames are allocated at exactly
+/// `nregs.max(nparams)` slots, and runtime quickening copies operands
+/// verbatim from verified instructions.
+#[inline(always)]
+fn rg(regs: &[Value], r: Reg) -> &Value {
+    debug_assert!((r as usize) < regs.len());
+    // SAFETY: see the function doc — r < nregs == regs.len() by verify_fn.
+    unsafe { regs.get_unchecked(r as usize) }
+}
+
+/// Unchecked register write access (see [`rg`] for the safety contract).
+#[inline(always)]
+fn rg_mut(regs: &mut [Value], r: Reg) -> &mut Value {
+    debug_assert!((r as usize) < regs.len());
+    // SAFETY: see `rg` — r < nregs == regs.len() by verify_fn.
+    unsafe { regs.get_unchecked_mut(r as usize) }
+}
+
+#[inline(always)]
+fn set(regs: &mut [Value], r: Reg, v: Value) {
+    *rg_mut(regs, r) = v;
+}
+
+/// Unchecked constant-pool read (see [`rg`] for the safety contract).
+#[inline(always)]
+fn kc(consts: &[Value], k: u16) -> &Value {
+    debug_assert!((k as usize) < consts.len());
+    // SAFETY: see `rg` — k < consts.len() by verify_fn.
+    unsafe { consts.get_unchecked(k as usize) }
+}
+
+/// The `DerefIndex` computation: dereference the cell register and index
+/// the result, with the element read under the cell guard on the `Ptr`
+/// path (no array `Value` clone). Evaluation and error order match the
+/// unfused `Deref`-then-`Index` pair: the deref completes first (its only
+/// error is a non-pointer operand — the `ElemPtr` paths replay the `Index`
+/// arm on the scalar for the exact unfused error), then the index
+/// coercion, then the array type check and bounds check.
+#[inline(always)]
+fn deref_index(regs: &[Value], cell: Reg, idx: Reg) -> VmResult<Value> {
+    match rg(regs, cell) {
+        Value::Ptr(slot) => {
+            let i = rg(regs, idx).as_int()?;
+            let g = slot.lock();
+            match &*g {
+                Value::ArrF(a) => Ok(Value::Float(a.get(i)?)),
+                Value::ArrI(a) => Ok(Value::Int(a.get(i)?)),
+                other => err(format!("cannot index {}", other.type_name())),
+            }
+        }
+        Value::ElemPtrF(a, i2) => {
+            let elem = Value::Float(a.get(*i2)?);
+            rg(regs, idx).as_int()?;
+            err(format!("cannot index {}", elem.type_name()))
+        }
+        Value::ElemPtrI(a, i2) => {
+            let elem = Value::Int(a.get(*i2)?);
+            rg(regs, idx).as_int()?;
+            err(format!("cannot index {}", elem.type_name()))
+        }
+        other => err(format!("cannot dereference {}", other.type_name())),
+    }
+}
+
+/// The `IndexOff`/`DerefIndexOff` index computation: integer fast path,
+/// with the non-int fallback reconstructing the unfused `j + k` / `j - k`
+/// arithmetic error (the offset's sign encodes the source operator).
+#[inline(always)]
+fn index_off(v: &Value, off: i32) -> VmResult<i64> {
+    match v {
+        Value::Int(j) => Ok(j.wrapping_add(off as i64)),
+        other => {
+            let (tok, kv) = if off >= 0 {
+                (T::Plus, off as i64)
+            } else {
+                (T::Minus, -(off as i64))
+            };
+            binop_arith(tok, other, &Value::Int(kv))?.as_int()
+        }
+    }
+}
+
+/// Integer arithmetic with the walker's wrapping/division semantics.
+#[inline(always)]
+fn int_arith(op: ArithOp, x: i64, y: i64) -> VmResult<i64> {
+    Ok(match op {
+        ArithOp::Add => x.wrapping_add(y),
+        ArithOp::Sub => x.wrapping_sub(y),
+        ArithOp::Mul => x.wrapping_mul(y),
+        ArithOp::Div => {
+            if y == 0 {
+                return err("integer division by zero");
+            }
+            x / y
+        }
+        ArithOp::Rem => {
+            if y == 0 {
+                return err("remainder by zero");
+            }
+            x % y
+        }
+    })
+}
+
+#[inline(always)]
+fn float_arith(op: ArithOp, x: f64, y: f64) -> f64 {
+    match op {
+        ArithOp::Add => x + y,
+        ArithOp::Sub => x - y,
+        ArithOp::Mul => x * y,
+        ArithOp::Div => x / y,
+        ArithOp::Rem => x % y,
     }
 }
 
@@ -896,7 +1771,7 @@ fn cmp_float(op: CmpOp, a: f64, b: f64) -> bool {
     }
 }
 
-fn arith_token(op: ArithOp) -> T {
+pub(crate) fn arith_token(op: ArithOp) -> T {
     match op {
         ArithOp::Add => T::Plus,
         ArithOp::Sub => T::Minus,
@@ -906,7 +1781,7 @@ fn arith_token(op: ArithOp) -> T {
     }
 }
 
-fn cmp_token(op: CmpOp) -> T {
+pub(crate) fn cmp_token(op: CmpOp) -> T {
     match op {
         CmpOp::Lt => T::Lt,
         CmpOp::Le => T::LtEq,

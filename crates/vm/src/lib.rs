@@ -10,8 +10,11 @@
 //! Function bodies execute on one of two backends ([`interp::Backend`]):
 //! the default register-bytecode VM ([`bytecode`], [`compile`]) — a flat
 //! instruction stream with compile-time slot resolution and fused loop
-//! opcodes — or the original tree-walking interpreter, kept as the
-//! differential-testing oracle (`--backend=ast` on the `zag` CLI).
+//! opcodes, post-processed by the [`optimize`] pipeline (constant
+//! folding, dead-store elimination, superinstruction fusion; `--opt=0|1|2`
+//! on the CLI) and executed with runtime quickening plus a pooled
+//! call-frame arena — or the original tree-walking interpreter, kept as
+//! the differential-testing oracle (`--backend=ast` on the `zag` CLI).
 //!
 //! ```
 //! let out = zomp_vm::Vm::run(r#"
@@ -35,7 +38,9 @@ pub mod builtins;
 pub mod bytecode;
 pub mod compile;
 pub mod interp;
+pub mod optimize;
 pub mod value;
 
-pub use interp::{compile, compile_named, Backend, Program, Vm};
+pub use interp::{compile, compile_named, compile_opt, Backend, Program, Vm};
+pub use optimize::OptLevel;
 pub use value::{Value, VmError};

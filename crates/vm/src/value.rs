@@ -248,6 +248,35 @@ pub enum Value {
 }
 
 impl Value {
+    /// Duplicate a value into another register slot.
+    ///
+    /// The dispatch loop's `Const`/`Move` arms (and the frame-arena
+    /// argument shuffle) call this instead of `Clone::clone`: the
+    /// `Copy`-able scalar variants — the only things that flow through the
+    /// NPB inner loops — take an early inlined path with no refcount
+    /// traffic, while the `Arc`-carrying variants fall through to an
+    /// outlined `#[cold]` clone so the hot path stays branch-predictable
+    /// and small.
+    #[inline(always)]
+    pub fn dup(&self) -> Value {
+        match self {
+            Value::Void => Value::Void,
+            Value::Undefined => Value::Undefined,
+            Value::Int(v) => Value::Int(*v),
+            Value::Float(v) => Value::Float(*v),
+            Value::Bool(v) => Value::Bool(*v),
+            other => other.dup_slow(),
+        }
+    }
+
+    /// The `Arc`-bumping tail of [`Value::dup`], kept out of the
+    /// interpreter's hot path.
+    #[cold]
+    #[inline(never)]
+    fn dup_slow(&self) -> Value {
+        self.clone()
+    }
+
     pub fn type_name(&self) -> &'static str {
         match self {
             Value::Void => "void",

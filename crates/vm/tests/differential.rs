@@ -7,21 +7,44 @@
 //! values (e.g. which thread won a `single`), so for those we compare the
 //! lines proven stable under a single backend across repeated runs.
 
-use zomp_vm::{Backend, Value, Vm};
+use zomp_vm::{Backend, OptLevel, Value, Vm};
 
-fn run_on(src: &str, backend: Backend) -> Result<Vec<String>, String> {
-    let vm = Vm::with_backend(src, backend).unwrap_or_else(|e| panic!("{}", e.render(src)));
+/// Every optimization level the bytecode backend must stay faithful at:
+/// `O0` is the raw stream, `O1` adds folding/copy-prop/DSE, `O2` adds
+/// superinstruction fusion and runtime quickening.
+const OPT_LEVELS: [OptLevel; 3] = [OptLevel::O0, OptLevel::O1, OptLevel::O2];
+
+/// The opt levels this process actually exercises: all of [`OPT_LEVELS`]
+/// by default, or just the one named by `ZAG_TEST_OPT=0|1|2` — the hook
+/// the CI opt-level matrix uses to run each level as a separate step with
+/// its own pass/fail line.
+fn opt_levels() -> Vec<OptLevel> {
+    match std::env::var("ZAG_TEST_OPT") {
+        Ok(s) => {
+            let opt = OptLevel::parse(&s)
+                .unwrap_or_else(|| panic!("ZAG_TEST_OPT must be 0|1|2, got {s:?}"));
+            vec![opt]
+        }
+        Err(_) => OPT_LEVELS.to_vec(),
+    }
+}
+
+fn run_on(src: &str, backend: Backend, opt: OptLevel) -> Result<Vec<String>, String> {
+    let vm = Vm::build(src, None, backend, opt).unwrap_or_else(|e| panic!("{}", e.render(src)));
     match vm.call_function("main", Vec::new()) {
         Ok(_) => Ok(vm.output.into_inner()),
         Err(e) => Err(e.to_string()),
     }
 }
 
-/// Both backends must agree on output lines *and* on error messages.
+/// The bytecode backend, at every opt level, must agree with the
+/// tree-walking oracle on output lines *and* on error messages.
 fn assert_backends_agree(name: &str, src: &str) {
-    let bc = run_on(src, Backend::Bytecode);
-    let ast = run_on(src, Backend::Ast);
-    assert_eq!(bc, ast, "{name}: backends diverged");
+    let ast = run_on(src, Backend::Ast, OptLevel::O0);
+    for opt in opt_levels() {
+        let bc = run_on(src, Backend::Bytecode, opt);
+        assert_eq!(bc, ast, "{name}: backends diverged at --opt={opt}");
+    }
 }
 
 #[test]
@@ -248,10 +271,163 @@ fn main() void { f(1, 2); }"#,
 }"#,
         ),
     ] {
-        let bc = run_on(src, Backend::Bytecode);
-        let ast = run_on(src, Backend::Ast);
-        assert_eq!(bc, ast, "{name}: backends diverged");
-        assert!(bc.is_err(), "{name}: expected a runtime error");
+        let ast = run_on(src, Backend::Ast, OptLevel::O0);
+        assert!(ast.is_err(), "{name}: expected a runtime error");
+        for opt in opt_levels() {
+            let bc = run_on(src, Backend::Bytecode, opt);
+            assert_eq!(bc, ast, "{name}: backends diverged at --opt={opt}");
+        }
+    }
+}
+
+/// Error corners aimed at the optimizer itself: each program's hot shape
+/// gets fused or quickened at `--opt=2`, and the fused/quickened arm's
+/// slow path must reproduce the walker's error text and ordering.
+#[test]
+fn fused_and_quickened_errors_match_exactly() {
+    for (name, src) in [
+        (
+            // `a[k] * p[...]` with an i64 array: the FmaIdx chain must
+            // fail with the walker's multiply type-mismatch text.
+            "fma_chain_type_mismatch",
+            r#"fn main() void {
+    var a: i64 = @allocI(4);
+    var p: f64 = @allocF(4);
+    var s: f64 = 0.0;
+    var k: i64 = 0;
+    while (k < 4) : (k += 1) {
+        s = s + a[k] * p[k];
+    }
+    print(s);
+}"#,
+        ),
+        (
+            // `h[i] = h[i] + 1` fuses to IncElemK; the OOB index must
+            // report the walker's bounds text.
+            "incelem_out_of_bounds",
+            r#"fn main() void {
+    var h: i64 = @allocI(4);
+    var i: i64 = 2;
+    h[i + 3] = h[i + 3] + 1;
+    print(h[0]);
+}"#,
+        ),
+        (
+            // `rowstr[j + 1]` fuses to IndexOff; out-of-bounds offset.
+            "indexoff_out_of_bounds",
+            r#"fn main() void {
+    var rowstr: i64 = @allocI(4);
+    var j: i64 = 3;
+    print(rowstr[j + 1]);
+}"#,
+        ),
+        (
+            // Arith+IndexSet fuses to ArithStore; the division error must
+            // fire before any store is observable.
+            "arithstore_div_by_zero",
+            r#"fn main() void {
+    var a: i64 = @allocI(2);
+    var z: i64 = 0;
+    var i: i64 = 0;
+    a[i] = 7 / z;
+    print(a[0]);
+}"#,
+        ),
+        (
+            // Mixed-type element update: IncElemK's slow path must load,
+            // fail in the arithmetic, and leave the walker's message.
+            "incelem_type_mismatch",
+            r#"fn main() void {
+    var h: f64 = @allocF(2);
+    var i: i64 = 0;
+    h[i] = h[i] + 1;
+    print(h[0]);
+}"#,
+        ),
+        (
+            // Constant folding must refuse to evaluate an erroring op.
+            "const_div_zero_not_folded",
+            r#"fn main() void { print(1 / 0); }"#,
+        ),
+        (
+            // IndexOff with a *negative* offset spelled as subtraction:
+            // the slow path reconstructs `j - 1` for the error text.
+            "indexoff_negative_oob",
+            r#"fn main() void {
+    var a: i64 = @allocI(4);
+    var j: i64 = 0;
+    print(a[j - 1]);
+}"#,
+        ),
+    ] {
+        let ast = run_on(src, Backend::Ast, OptLevel::O0);
+        assert!(ast.is_err(), "{name}: expected a runtime error");
+        for opt in opt_levels() {
+            let bc = run_on(src, Backend::Bytecode, opt);
+            assert_eq!(bc, ast, "{name}: backends diverged at --opt={opt}");
+        }
+    }
+}
+
+/// Quickening specializes `Arith`/`Cmp`/`Index` on first execution; these
+/// programs flip a slot's type mid-loop so the specialized instruction
+/// must deopt back to the generic form and keep producing oracle output.
+#[test]
+fn quickening_deopt_agrees() {
+    for (name, src) in [
+        (
+            "scalar_int_to_float_flip",
+            r#"fn main() void {
+    var x: any = undefined;
+    x = 1;
+    var i: i64 = 0;
+    while (i < 6) : (i += 1) {
+        x = x + x;
+        if (i == 2) {
+            x = 0.5;
+        }
+    }
+    print(x);
+}"#,
+        ),
+        (
+            "cmp_operand_type_flip",
+            r#"fn main() void {
+    var x: any = undefined;
+    var y: any = undefined;
+    x = 1;
+    y = 10;
+    var i: i64 = 0;
+    var hits: i64 = 0;
+    while (i < 8) : (i += 1) {
+        if (x < y) { hits += 1; }
+        if (i == 3) { x = 0.5; y = 2.5; }
+    }
+    print(hits);
+}"#,
+        ),
+        (
+            "array_int_to_float_swap",
+            r#"fn main() void {
+    var a: any = undefined;
+    a = @allocI(3);
+    var total: f64 = 0.0;
+    var i: i64 = 0;
+    while (i < 6) : (i += 1) {
+        var j: i64 = 0;
+        while (j < 3) : (j += 1) {
+            a[j] = a[j];
+        }
+        if (i == 2) {
+            a = @allocF(3);
+            a[0] = 1.5;
+        }
+    }
+    print(a[0], total);
+}"#,
+        ),
+    ] {
+        assert_backends_agree(name, src);
     }
 }
 
@@ -361,19 +537,28 @@ fn example_programs_stable_lines_agree() {
         seen += 1;
         let name = path.file_name().unwrap().to_string_lossy().to_string();
         let src = std::fs::read_to_string(&path).unwrap();
-        let bc1 = run_on(&src, Backend::Bytecode).unwrap_or_else(|e| panic!("{name}: {e}"));
-        let bc2 = run_on(&src, Backend::Bytecode).unwrap();
-        let ast1 = run_on(&src, Backend::Ast).unwrap_or_else(|e| panic!("{name}: {e}"));
-        let ast2 = run_on(&src, Backend::Ast).unwrap();
-        assert_eq!(bc1.len(), ast1.len(), "{name}: line counts diverged");
-        for (i, line) in bc1.iter().enumerate() {
-            let stable = lines_equivalent(line, &bc2[i]) && lines_equivalent(&ast1[i], &ast2[i]);
-            if stable {
-                assert!(
-                    lines_equivalent(line, &ast1[i]),
-                    "{name}: line {i} diverged between backends:\n  bytecode: {line}\n  ast:      {}",
-                    ast1[i]
-                );
+        let ast1 =
+            run_on(&src, Backend::Ast, OptLevel::O0).unwrap_or_else(|e| panic!("{name}: {e}"));
+        let ast2 = run_on(&src, Backend::Ast, OptLevel::O0).unwrap();
+        for opt in opt_levels() {
+            let bc1 = run_on(&src, Backend::Bytecode, opt)
+                .unwrap_or_else(|e| panic!("{name} at --opt={opt}: {e}"));
+            let bc2 = run_on(&src, Backend::Bytecode, opt).unwrap();
+            assert_eq!(
+                bc1.len(),
+                ast1.len(),
+                "{name}: line counts diverged at --opt={opt}"
+            );
+            for (i, line) in bc1.iter().enumerate() {
+                let stable =
+                    lines_equivalent(line, &bc2[i]) && lines_equivalent(&ast1[i], &ast2[i]);
+                if stable {
+                    assert!(
+                        lines_equivalent(line, &ast1[i]),
+                        "{name}: line {i} diverged at --opt={opt}:\n  bytecode: {line}\n  ast:      {}",
+                        ast1[i]
+                    );
+                }
             }
         }
     }
@@ -406,18 +591,18 @@ fn bytecode_fork_call_keeps_pragma_labels() {
     }
     print(s);
 }"#;
-    let vm = Vm {
-        backend: Backend::Bytecode,
-        ..Vm::with_unit(src, "label_demo.zag").unwrap()
-    };
-    assert!(matches!(
-        vm.call_function("main", Vec::new()).unwrap(),
-        Value::Void
-    ));
-    assert_eq!(vm.output.into_inner(), vec!["2"]);
-    let got = labels.lock().unwrap();
-    assert!(
-        got.iter().any(|l| l == "label_demo.zag:3"),
-        "pragma label missing from ParallelBegin probes: {got:?}"
-    );
+    for opt in opt_levels() {
+        labels.lock().unwrap().clear();
+        let vm = Vm::build(src, Some("label_demo.zag"), Backend::Bytecode, opt).unwrap();
+        assert!(matches!(
+            vm.call_function("main", Vec::new()).unwrap(),
+            Value::Void
+        ));
+        assert_eq!(vm.output.into_inner(), vec!["2"]);
+        let got = labels.lock().unwrap();
+        assert!(
+            got.iter().any(|l| l == "label_demo.zag:3"),
+            "pragma label missing from ParallelBegin probes at --opt={opt}: {got:?}"
+        );
+    }
 }

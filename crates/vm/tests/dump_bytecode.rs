@@ -1,14 +1,19 @@
-//! Golden-file test for the bytecode disassembly of a small loop program.
+//! Golden-file test for the bytecode disassembly of a small loop program,
+//! at every optimization level.
 //!
 //! Codegen changes (new fusion rules, different register assignment,
 //! constant-pool ordering) show up as a readable diff against
-//! `tests/golden/loop.disasm`. To accept a new golden output:
+//! `tests/golden/loop.disasm` (the raw `--opt=0` stream) and
+//! `tests/golden/loop.opt{1,2}.disasm` (the `--dump-bytecode` pre/post
+//! view, so fusion regressions are visible as instruction-level diffs).
+//! To accept a new golden output:
 //!
 //! ```text
 //! UPDATE_GOLDEN=1 cargo test -p zomp-vm --test dump_bytecode
 //! ```
 
-use zomp_vm::bytecode::disasm;
+use zomp_vm::bytecode::{disasm, disasm_stages};
+use zomp_vm::OptLevel;
 
 const PROGRAM: &str = r#"fn main() void {
     var total: i64 = 0;
@@ -24,20 +29,40 @@ const PROGRAM: &str = r#"fn main() void {
 }
 "#;
 
-#[test]
-fn loop_program_disassembly_matches_golden() {
-    let program = zomp_vm::compile_named(PROGRAM, "golden.zag").expect("compile");
-    let got = disasm(&program.code);
-    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/tests/golden/loop.disasm");
+fn check(opt: OptLevel, golden: &str) {
+    let program = zomp_vm::compile_opt(PROGRAM, Some("golden.zag"), opt).expect("compile");
+    // O0 keeps the historical single-stage golden; optimized levels use
+    // the pre/post `--dump-bytecode` rendering.
+    let got = if opt == OptLevel::O0 {
+        disasm(&program.code)
+    } else {
+        disasm_stages(&program.code)
+    };
+    let path = format!("{}/tests/golden/{golden}", env!("CARGO_MANIFEST_DIR"));
     if std::env::var_os("UPDATE_GOLDEN").is_some() {
-        std::fs::write(path, &got).expect("write golden");
+        std::fs::write(&path, &got).expect("write golden");
         return;
     }
-    let want = std::fs::read_to_string(path)
+    let want = std::fs::read_to_string(&path)
         .expect("golden file missing — run with UPDATE_GOLDEN=1 to create it");
     assert_eq!(
         got, want,
-        "bytecode disassembly drifted from tests/golden/loop.disasm; \
+        "bytecode disassembly drifted from tests/golden/{golden}; \
          review the diff and re-bless with UPDATE_GOLDEN=1 if intended"
     );
+}
+
+#[test]
+fn loop_program_disassembly_matches_golden() {
+    check(OptLevel::O0, "loop.disasm");
+}
+
+#[test]
+fn loop_program_opt1_disassembly_matches_golden() {
+    check(OptLevel::O1, "loop.opt1.disasm");
+}
+
+#[test]
+fn loop_program_opt2_disassembly_matches_golden() {
+    check(OptLevel::O2, "loop.opt2.disasm");
 }
