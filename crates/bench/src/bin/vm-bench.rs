@@ -3,7 +3,10 @@
 //! 1 and 4 threads — the `ast` tree-walker oracle plus the register VM at
 //! every optimization level (`bytecode_o0` raw, `bytecode_o1`
 //! fold/copy-prop/DSE + frame arena, `bytecode_o2` + superinstruction
-//! fusion and quickening).
+//! fusion, static type specialization and quickening, `native` the
+//! `--opt=3` bulk-kernel tier) — and, as the reference ceiling, the
+//! hand-written Rust kernels from `crates/npb` (`npb_ns_per_op`, with
+//! each tier's fraction of that throughput in `npb_throughput_frac_1t`).
 //!
 //! Kernels (the same ports the integration suite validates bit-for-bit):
 //!   - `cg_matvec_dynamic` — CSR sparse matvec over an NPB `makea` matrix
@@ -16,8 +19,9 @@
 //! Usage: `cargo run --release -p zomp-bench --bin vm-bench [-- OUT]`
 //! (default output path `BENCH_vm.json` in the current directory), or
 //! `-- --smoke` for the CI guard: a fast single-thread CG matvec run that
-//! exits nonzero unless `--opt=2` bytecode is at least 2x the tree-walker
-//! *and* at least 2x the unoptimized (`--opt=0`, PR 3) bytecode.
+//! exits nonzero unless `--opt=2` bytecode is at least 2x the tree-walker,
+//! at least 2x the unoptimized (`--opt=0`, PR 3) bytecode, *and* the
+//! native tier is at least 1.5x the `--opt=2` bytecode.
 
 use std::sync::Arc;
 use std::time::Instant;
@@ -31,11 +35,12 @@ use zomp_vm::{Backend, OptLevel, Vm};
 const SAMPLES: usize = 7;
 /// Execution configurations measured for every kernel: the tree-walking
 /// oracle, then the bytecode VM at each optimization level.
-const CONFIGS: [(&str, Backend, OptLevel); 4] = [
+const CONFIGS: [(&str, Backend, OptLevel); 5] = [
     ("ast", Backend::Ast, OptLevel::O0),
     ("bytecode_o0", Backend::Bytecode, OptLevel::O0),
     ("bytecode_o1", Backend::Bytecode, OptLevel::O1),
     ("bytecode_o2", Backend::Bytecode, OptLevel::O2),
+    ("native", Backend::Native, OptLevel::O3),
 ];
 /// Team sizes measured for every kernel/backend pair.
 const THREADS: [i64; 2] = [1, 4];
@@ -302,11 +307,14 @@ fn median_ns_per_op(samples: usize, ops: u64, mut f: impl FnMut()) -> f64 {
 }
 
 /// Per-kernel results: `ns[config][thread_config]`, `CONFIGS` x `THREADS`
-/// order.
+/// order, plus the single-thread `crates/npb` hand-written Rust reference.
 struct KernelResult {
     name: &'static str,
     ops_per_call: u64,
     ns: Vec<Vec<f64>>,
+    /// Single-thread ns/op of the corresponding `crates/npb` Rust kernel
+    /// — the throughput ceiling the VM tiers are measured against.
+    npb_ns: f64,
 }
 
 impl KernelResult {
@@ -321,6 +329,15 @@ impl KernelResult {
     /// `--opt=2` speedup over the raw (PR 3) bytecode, single thread.
     fn opt_speedup_1t(&self) -> f64 {
         self.config_ns("bytecode_o0")[0] / self.config_ns("bytecode_o2")[0]
+    }
+    /// Native-tier speedup over the `--opt=2` bytecode, single thread.
+    fn native_speedup_1t(&self) -> f64 {
+        self.config_ns("bytecode_o2")[0] / self.config_ns("native")[0]
+    }
+    /// Fraction of the `crates/npb` Rust kernel's throughput a tier
+    /// reaches single-thread (1.0 = parity with hand-written Rust).
+    fn npb_frac(&self, label: &str) -> f64 {
+        self.npb_ns / self.config_ns(label)[0]
     }
     /// Thread-scaling ratio t(1)/t(4) per configuration (higher is better).
     fn scaling(&self, ns: &[f64]) -> f64 {
@@ -341,6 +358,28 @@ fn bench_matrix(na: usize, nonzer: usize) -> npb::cg::makea::SparseMatrix {
     makea(&params)
 }
 
+/// Single-thread ns/nonzero of the hand-written CSR matvec — the same
+/// inner loop `crates/npb`'s `conj_grad_serial` runs (solve.rs), timed in
+/// isolation so the VM tiers compare against exactly the work they do.
+fn npb_matvec_ns(mat: &npb::cg::makea::SparseMatrix, samples: usize) -> f64 {
+    let n = mat.n;
+    let p = vec![1.0f64; n];
+    let mut q = vec![0.0f64; n];
+    let nnz = mat.rowstr[n] as u64;
+    median_ns_per_op(samples, MATVEC_REPS as u64 * nnz, || {
+        for _ in 0..MATVEC_REPS {
+            for (j, qj) in q.iter_mut().enumerate().take(n) {
+                let mut s = 0.0;
+                for k in mat.rowstr[j]..mat.rowstr[j + 1] {
+                    s += mat.a[k] * p[mat.colidx[k]];
+                }
+                *qj = s;
+            }
+        }
+        std::hint::black_box(&mut q);
+    })
+}
+
 fn run_matvec(mat: &npb::cg::makea::SparseMatrix, samples: usize, threads: &[i64]) -> KernelResult {
     let n = mat.n;
     let nnz = mat.rowstr[n] as u64;
@@ -354,6 +393,7 @@ fn run_matvec(mat: &npb::cg::makea::SparseMatrix, samples: usize, threads: &[i64
         name: "cg_matvec_dynamic",
         ops_per_call: MATVEC_REPS as u64 * nnz,
         ns: Vec::new(),
+        npb_ns: npb_matvec_ns(mat, samples),
     };
     for (label, backend, opt) in CONFIGS {
         let vm = Vm::build(ZAG_MATVEC, None, backend, opt).expect("compile matvec");
@@ -392,6 +432,12 @@ fn run_ep(samples: usize, threads: &[i64]) -> KernelResult {
         name: "ep_batch",
         ops_per_call: pairs,
         ns: Vec::new(),
+        npb_ns: {
+            let params = npb::ep::custom_params(m as u32);
+            median_ns_per_op(samples, pairs, || {
+                std::hint::black_box(npb::ep::run_serial(&params));
+            })
+        },
     };
     for (label, backend, opt) in CONFIGS {
         let vm = Vm::build(ZAG_EP, None, backend, opt).expect("compile ep");
@@ -435,6 +481,12 @@ fn run_is(samples: usize, threads: &[i64]) -> KernelResult {
         name: "is_histogram",
         ops_per_call: nkeys as u64,
         ns: Vec::new(),
+        npb_ns: {
+            let ref_keys: Vec<npb::is::Key> = npb::is::create_seq(&params);
+            median_ns_per_op(samples, nkeys as u64, || {
+                std::hint::black_box(npb::is::rank_serial(&ref_keys, &params));
+            })
+        },
     };
     for (label, backend, opt) in CONFIGS {
         let vm = Vm::build(ZAG_RANK, None, backend, opt).expect("compile rank");
@@ -475,16 +527,22 @@ fn run_is(samples: usize, threads: &[i64]) -> KernelResult {
 fn smoke() -> ! {
     const MIN_SPEEDUP: f64 = 2.0;
     const MIN_OPT_SPEEDUP: f64 = 2.0;
+    const MIN_NATIVE_SPEEDUP: f64 = 1.5;
     let mat = bench_matrix(400, 5);
     let r = run_matvec(&mat, 3, &[1]);
     let speedup = r.speedup_1t();
     let opt_speedup = r.opt_speedup_1t();
+    let native_speedup = r.native_speedup_1t();
     eprintln!(
-        "smoke: cg_matvec 1 thread: ast {:.1} ns/nz, bytecode o0 {:.1} ns/nz, o2 {:.1} ns/nz \
-         -> {speedup:.2}x over ast, {opt_speedup:.2}x over o0",
+        "smoke: cg_matvec 1 thread: ast {:.1} ns/nz, bytecode o0 {:.1} ns/nz, o2 {:.1} ns/nz, \
+         native {:.1} ns/nz, npb {:.1} ns/nz -> {speedup:.2}x over ast, {opt_speedup:.2}x over \
+         o0, native {native_speedup:.2}x over o2 ({:.0}% of npb)",
         r.config_ns("ast")[0],
         r.config_ns("bytecode_o0")[0],
-        r.config_ns("bytecode_o2")[0]
+        r.config_ns("bytecode_o2")[0],
+        r.config_ns("native")[0],
+        r.npb_ns,
+        100.0 * r.npb_frac("native"),
     );
     if speedup < MIN_SPEEDUP {
         eprintln!("FAIL: --opt=2 bytecode under {MIN_SPEEDUP}x the tree-walker on CG matvec");
@@ -494,7 +552,16 @@ fn smoke() -> ! {
         eprintln!("FAIL: --opt=2 under {MIN_OPT_SPEEDUP}x the --opt=0 baseline on CG matvec");
         std::process::exit(1);
     }
-    eprintln!("PASS (thresholds {MIN_SPEEDUP}x over ast, {MIN_OPT_SPEEDUP}x over o0)");
+    if native_speedup < MIN_NATIVE_SPEEDUP {
+        eprintln!(
+            "FAIL: native tier under {MIN_NATIVE_SPEEDUP}x the --opt=2 bytecode on CG matvec"
+        );
+        std::process::exit(1);
+    }
+    eprintln!(
+        "PASS (thresholds {MIN_SPEEDUP}x over ast, {MIN_OPT_SPEEDUP}x over o0, \
+         {MIN_NATIVE_SPEEDUP}x native over o2)"
+    );
     std::process::exit(0);
 }
 
@@ -531,18 +598,30 @@ fn main() {
             .zip(&k.ns)
             .map(|((label, _, _), ns)| format!("\"{label}\": {:.2}", k.scaling(ns)))
             .collect();
+        // Fraction of the crates/npb Rust kernel's single-thread
+        // throughput each tier reaches — the npb-relative gap.
+        let npb_fields: Vec<String> = CONFIGS
+            .iter()
+            .map(|(label, _, _)| format!("\"{label}\": {:.3}", k.npb_frac(label)))
+            .collect();
         kernels.push_str(&format!(
             "{sep}    \"{}\": {{\n      \
              \"ops_per_call\": {},\n      \
              \"ns_per_op\": {{{}}},\n      \
+             \"npb_ns_per_op\": {:.1},\n      \
+             \"npb_throughput_frac_1t\": {{{}}},\n      \
              \"bytecode_speedup_1t\": {:.2},\n      \
              \"opt_speedup_1t\": {:.2},\n      \
+             \"native_speedup_1t\": {:.2},\n      \
              \"scaling_4t_over_1t\": {{{}}}\n    }}",
             k.name,
             k.ops_per_call,
             ns_fields.join(", "),
+            k.npb_ns,
+            npb_fields.join(", "),
             k.speedup_1t(),
             k.opt_speedup_1t(),
+            k.native_speedup_1t(),
             scaling_fields.join(", "),
         ));
     }
@@ -557,12 +636,20 @@ fn main() {
     print!("{json}");
     eprintln!(
         "single-thread speedups over ast: cg {:.2}x, ep {:.2}x, is {:.2}x; \
-         --opt=2 over --opt=0: cg {:.2}x, ep {:.2}x, is {:.2}x -> {out}",
+         --opt=2 over --opt=0: cg {:.2}x, ep {:.2}x, is {:.2}x; \
+         native over --opt=2: cg {:.2}x, ep {:.2}x, is {:.2}x; \
+         fraction of npb: cg {:.0}%, ep {:.0}%, is {:.0}% -> {out}",
         cg.speedup_1t(),
         ep.speedup_1t(),
         is.speedup_1t(),
         cg.opt_speedup_1t(),
         ep.opt_speedup_1t(),
-        is.opt_speedup_1t()
+        is.opt_speedup_1t(),
+        cg.native_speedup_1t(),
+        ep.native_speedup_1t(),
+        is.native_speedup_1t(),
+        100.0 * cg.npb_frac("native"),
+        100.0 * ep.npb_frac("native"),
+        100.0 * is.npb_frac("native"),
     );
 }

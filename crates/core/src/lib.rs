@@ -20,7 +20,7 @@
 //!   `single`, `atomic` helpers, and the `omp_*` lock API.
 //! * **ICVs** and environment handling (`OMP_NUM_THREADS`, `OMP_SCHEDULE`,
 //!   `OMP_DYNAMIC`).
-//! * The user-facing **`omp` namespace** ([`api`]) mirroring
+//! * The user-facing **`omp` namespace** ([`omp`]) mirroring
 //!   `omp_get_thread_num`, `omp_get_wtime`, and friends, as re-exported by the
 //!   paper's `std.omp` Zig namespace.
 //!
@@ -48,7 +48,6 @@
 //! assert_eq!(dot, 2.0 * n as f64);
 //! ```
 
-pub mod api;
 pub mod atomic;
 pub mod barrier;
 pub mod icv;

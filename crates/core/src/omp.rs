@@ -13,9 +13,6 @@
 //! omp::Schedule::dynamic(Some(4)))` needs one import. Functions follow
 //! the OpenMP 5.2 definitions; outside a parallel region the querying
 //! functions return the sequential values (thread 0 of a team of 1).
-//!
-//! The former home of these functions, [`crate::api`], remains as
-//! `#[deprecated]` delegating wrappers.
 
 use std::sync::OnceLock;
 use std::time::Instant;

@@ -54,8 +54,7 @@ impl std::fmt::Display for Diag {
 impl std::error::Error for Diag {}
 
 impl Diag {
-    /// Plain error with the generic code (kept for API compatibility with
-    /// the old `FrontError::new`).
+    /// Plain error with the generic code.
     pub fn new(offset: usize, message: impl Into<String>) -> Diag {
         Diag::error("error", offset, message)
     }

@@ -48,9 +48,3 @@ pub use ast::Ast;
 pub use diag::{Diag, Severity};
 pub use parser::parse;
 pub use preprocess::preprocess;
-
-/// The historical name of the front-end error type, kept so downstream
-/// code written against `FrontError` keeps compiling. All pipeline stages
-/// now produce [`Diag`].
-#[deprecated(note = "use zomp_front::Diag")]
-pub type FrontError = Diag;

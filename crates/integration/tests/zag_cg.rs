@@ -165,6 +165,8 @@ fn zag_conj_grad_matches_rust_solver() {
         (Backend::Bytecode, zomp_vm::OptLevel::O0),
         (Backend::Bytecode, zomp_vm::OptLevel::O1),
         (Backend::Bytecode, zomp_vm::OptLevel::O2),
+        (Backend::Bytecode, zomp_vm::OptLevel::O3),
+        (Backend::Native, zomp_vm::OptLevel::O2),
         (Backend::Ast, zomp_vm::OptLevel::O0),
     ] {
         let vm = Vm::build(ZAG_CONJ_GRAD, None, backend, opt).expect("compile Zag conj_grad");

@@ -188,6 +188,8 @@ fn zag_ep_matches_rust_ep() {
         (zomp_vm::Backend::Bytecode, zomp_vm::OptLevel::O0),
         (zomp_vm::Backend::Bytecode, zomp_vm::OptLevel::O1),
         (zomp_vm::Backend::Bytecode, zomp_vm::OptLevel::O2),
+        (zomp_vm::Backend::Bytecode, zomp_vm::OptLevel::O3),
+        (zomp_vm::Backend::Native, zomp_vm::OptLevel::O2),
         (zomp_vm::Backend::Ast, zomp_vm::OptLevel::O0),
     ] {
         let vm = Vm::build(ZAG_EP, None, backend, opt).expect("compile Zag EP");

@@ -135,6 +135,8 @@ fn zag_rank_matches_rust_serial() {
         (zomp_vm::Backend::Bytecode, zomp_vm::OptLevel::O0),
         (zomp_vm::Backend::Bytecode, zomp_vm::OptLevel::O1),
         (zomp_vm::Backend::Bytecode, zomp_vm::OptLevel::O2),
+        (zomp_vm::Backend::Bytecode, zomp_vm::OptLevel::O3),
+        (zomp_vm::Backend::Native, zomp_vm::OptLevel::O2),
         (zomp_vm::Backend::Ast, zomp_vm::OptLevel::O0),
     ] {
         let vm = Vm::build(ZAG_RANK, None, backend, opt).expect("compile Zag rank");

@@ -11,8 +11,10 @@
 //! zag --trace out.json p.zag      # write a chrome://tracing event file
 //! zag --metrics m.json p.zag      # write aggregated runtime counters
 //! zag --backend ast p.zag         # run on the tree-walking oracle
-//! zag --opt 0 p.zag               # bytecode optimization level (0|1|2)
+//! zag --backend native p.zag      # bytecode + native bulk kernels (--opt=3)
+//! zag --opt 0 p.zag               # bytecode optimization level (0|1|2|3)
 //! zag --dump-bytecode p.zag       # print pre- and post-opt streams
+//! zag --dump-ir p.zag             # print the typed block-structured IR
 //! ```
 
 use zomp::safety::SafetyMode;
@@ -22,9 +24,9 @@ use zomp_vm::{Backend, OptLevel, Vm};
 fn usage() -> ! {
     eprintln!(
         "usage: zag [--check[=deny]] [--emit-preprocessed] [--trace-passes] [--dump-ast] \
-         [--dump-bytecode] [--backend ast|bytecode] [--opt 0|1|2] [--threads N] \
-         [--safety debug|production|paranoid] [--profile] [--trace FILE] [--metrics FILE] \
-         <program.zag>"
+         [--dump-bytecode] [--dump-ir] [--backend ast|bytecode|native] [--opt 0|1|2|3] \
+         [--threads N] [--safety debug|production|paranoid] [--profile] [--trace FILE] \
+         [--metrics FILE] <program.zag>"
     );
     std::process::exit(2);
 }
@@ -57,6 +59,7 @@ fn main() {
     let mut trace = false;
     let mut dump_ast = false;
     let mut dump_bytecode = false;
+    let mut dump_ir = false;
     let mut profile = false;
     let mut check = CheckMode::Warn;
     let mut backend = Backend::default();
@@ -69,6 +72,7 @@ fn main() {
             "--trace-passes" => trace = true,
             "--dump-ast" => dump_ast = true,
             "--dump-bytecode" => dump_bytecode = true,
+            "--dump-ir" => dump_ir = true,
             "--check" => check = CheckMode::Report,
             "--check=deny" => check = CheckMode::Deny,
             "--backend" => {
@@ -197,6 +201,10 @@ fn main() {
 
     if dump_bytecode {
         print!("{}", zomp_vm::bytecode::disasm_stages(&vm.program.code));
+        return;
+    }
+    if dump_ir {
+        print!("{}", zomp_vm::ir::dump(&vm.program.code));
         return;
     }
     if let Err(e) = vm.call_function("main", Vec::new()) {

@@ -33,13 +33,20 @@
 //!   [`Insn::DerefIncElemK`], [`Insn::DerefFmaIdx`]) that accesses
 //!   `shared(...)` arrays under a single cell lock without cloning the
 //!   array value into a register.
-//! * **Quickened instructions**, only ever written *at runtime* by the
-//!   interpreter's per-thread quickening cache (never by the compiler or
-//!   optimizer): generic `Arith`/`Cmp`/`Index`/`IndexSet`/`CmpJumpFalse`
-//!   rewrite themselves to type-specialised forms on first execution
-//!   ([`Insn::ArithII`] is the AddII/SubII/MulII… family, [`Insn::ArithFF`]
-//!   the AddFF/MulFF… family, [`Insn::IndexF`], …) and deopt back to the
-//!   generic form when a slot changes type mid-loop.
+//! * **Type-specialised instructions** — generic
+//!   `Arith`/`Cmp`/`Index`/`IndexSet`/`CmpJumpFalse` have `i64`/`f64`
+//!   forms ([`Insn::ArithII`] is the AddII/SubII/MulII… family,
+//!   [`Insn::ArithFF`] the AddFF/MulFF… family, [`Insn::IndexF`], …).
+//!   At `--opt>=2` the typed-IR pass ([`crate::typeck`]) emits them
+//!   statically wherever forward type inference proves the operand types;
+//!   slots inference leaves `Dynamic` still specialise *at runtime*
+//!   through the interpreter's per-thread quickening cache, and both
+//!   kinds deopt back to the generic form when a slot changes type
+//!   mid-loop.
+//! * [`Insn::BulkLoop`] — the `--opt=3` native tier ([`crate::kernels`]):
+//!   a recognised hot loop shape replaced by one dispatch into a
+//!   precompiled slice kernel, with the original loop-head instruction
+//!   kept in the kernel descriptor as the deopt target.
 
 use std::collections::HashMap;
 
@@ -481,6 +488,18 @@ pub enum Insn {
         base: Reg,
         n: u16,
     },
+    /// Native bulk-kernel dispatch (`--opt=3` only, installed by
+    /// [`crate::kernels`] after every other pass): replaces the head
+    /// instruction of a recognised hot loop. `kidx` indexes
+    /// [`CompiledFn::kernels`]; the descriptor carries the bound
+    /// registers, the exit pc, and the replaced original instruction.
+    /// On a type-precheck failure (or a data-dependent mid-loop bail)
+    /// the interpreter quickens this instruction back to the original
+    /// and resumes the interpreted loop at the exact iteration, so the
+    /// kernel is semantically transparent.
+    BulkLoop {
+        kidx: u16,
+    },
     /// Unconditional runtime error with the pooled message (compile-time
     /// detected failures that the tree-walker would only raise when the
     /// offending node executes).
@@ -517,6 +536,9 @@ pub struct CompiledFn {
     pub locals: Vec<(Reg, String, bool)>,
     /// `Some` iff the optimizer rewrote `code` (see [`PreOpt`]).
     pub pre_opt: Option<PreOpt>,
+    /// Native bulk-kernel descriptors referenced by [`Insn::BulkLoop`]
+    /// (`--opt=3` only; empty below that).
+    pub kernels: Vec<crate::kernels::KernelDesc>,
 }
 
 /// A whole program's compiled image, functions in declaration order.
@@ -594,165 +616,178 @@ fn disasm_fn_code(f: &CompiledFn, code: &[Insn], nconsts: usize, tag: &str) -> S
         let _ = writeln!(out, "  s{i} = omp.{}", s.join("."));
     }
     for (pc, insn) in code.iter().enumerate() {
-        let text = match insn {
-            Insn::Const { dst, k } => format!("const      r{dst}, k{k}"),
-            Insn::Move { dst, src } => format!("move       r{dst}, r{src}"),
-            Insn::NewCell { dst, src } => format!("newcell    r{dst}, r{src}"),
-            Insn::CellGet { dst, cell } => format!("cellget    r{dst}, r{cell}"),
-            Insn::CellSet { cell, src } => format!("cellset    r{cell}, r{src}"),
-            Insn::Deref { dst, ptr } => format!("deref      r{dst}, r{ptr}"),
-            Insn::StorePtr { ptr, src } => format!("storeptr   r{ptr}, r{src}"),
-            Insn::ElemAddr { dst, arr, idx } => format!("elemaddr   r{dst}, r{arr}[r{idx}]"),
-            Insn::AddrDeref { dst, src } => format!("addrderef  r{dst}, r{src}"),
-            Insn::Index { dst, arr, idx } => format!("index      r{dst}, r{arr}[r{idx}]"),
-            Insn::IndexSet { arr, idx, src } => format!("indexset   r{arr}[r{idx}], r{src}"),
-            Insn::Arith { op, dst, a, b } => {
-                format!("{:<10} r{dst}, r{a}, r{b}", arith_text(*op))
-            }
-            Insn::Cmp { op, dst, a, b } => {
-                format!("cmp        r{dst}, r{a} {} r{b}", cmp_text(*op))
-            }
-            Insn::Neg { dst, src } => format!("neg        r{dst}, r{src}"),
-            Insn::Not { dst, src } => format!("not        r{dst}, r{src}"),
-            Insn::Truthy { dst, src } => format!("truthy     r{dst}, r{src}"),
-            Insn::Jump { to } => format!("jump       -> {to}"),
-            Insn::JumpIfFalse { cond, to } => format!("jfalse     r{cond} -> {to}"),
-            Insn::JumpIfTrue { cond, to } => format!("jtrue      r{cond} -> {to}"),
-            Insn::CmpJumpFalse { op, a, b, to } => {
-                format!("cjfalse    r{a} {} r{b} -> {to}", cmp_text(*op))
-            }
-            Insn::IncCmpJump {
-                var,
-                step,
-                limit,
-                op,
-                to,
-            } => format!(
-                "inccmpj    r{var} += {step}; r{var} {} r{limit} -> {to}",
-                cmp_text(*op)
-            ),
-            Insn::ArithK { op, dst, a, k } => {
-                format!("{:<10} r{dst}, r{a}, k{k}", format!("{}k", arith_text(*op)))
-            }
-            Insn::ArithKL { op, dst, k, b } => {
-                format!("{:<10} r{dst}, k{k}, r{b}", format!("k{}", arith_text(*op)))
-            }
-            Insn::IndexArith {
-                op,
-                dst,
-                arr,
-                idx,
-                rhs,
-            } => format!("idx{:<7} r{dst}, r{arr}[r{idx}], r{rhs}", arith_text(*op)),
-            Insn::ArithStore { op, arr, idx, a, b } => format!(
-                "{:<10} r{arr}[r{idx}], r{a}, r{b}",
-                format!("{}st", arith_text(*op))
-            ),
-            Insn::IncElemK { op, arr, idx, k } => {
-                format!("incelem    r{arr}[r{idx}] {}= k{k}", arith_text(*op))
-            }
-            Insn::FmaIdx { dst, x, arr, idx } => {
-                format!("fmaidx     r{dst} += r{x} * r{arr}[r{idx}]")
-            }
-            Insn::IndexOff { dst, arr, idx, off } => {
-                format!("indexoff   r{dst}, r{arr}[r{idx}{off:+}]")
-            }
-            Insn::IncJump { var, step, to } => {
-                format!("incjump    r{var} += {step} -> {to}")
-            }
-            Insn::DerefIndex { dst, cell, idx } => {
-                format!("dindex     r{dst}, (r{cell})[r{idx}]")
-            }
-            Insn::DerefIndexOff {
-                dst,
-                cell,
-                idx,
-                off,
-            } => {
-                format!("dindexoff  r{dst}, (r{cell})[r{idx}{off:+}]")
-            }
-            Insn::DerefIndexSet { cell, idx, src } => {
-                format!("dindexset  (r{cell})[r{idx}], r{src}")
-            }
-            Insn::DerefIncElemK { op, cell, idx, k } => {
-                format!("dincelem   (r{cell})[r{idx}] {}= k{k}", arith_text(*op))
-            }
-            Insn::DerefFmaIdx { dst, x, cell, idx } => {
-                format!("dfmaidx    r{dst} += r{x} * (r{cell})[r{idx}]")
-            }
-            Insn::FmaIdxCC {
-                dst,
-                x,
-                acell,
-                icell,
-                idx,
-            } => {
-                format!("fmacc      r{dst} += r{x} * (r{acell})[(r{icell})[r{idx}]]")
-            }
-            Insn::FmaGather {
-                dst,
-                xcell,
-                acell,
-                icell,
-                idx,
-            } => {
-                format!("fmagather  r{dst} += (r{xcell})[r{idx}] * (r{acell})[(r{icell})[r{idx}]]")
-            }
-            Insn::ArithII { op, dst, a, b } => {
-                format!(
-                    "{:<10} r{dst}, r{a}, r{b}",
-                    format!("{}ii", arith_text(*op))
-                )
-            }
-            Insn::ArithFF { op, dst, a, b } => {
-                format!(
-                    "{:<10} r{dst}, r{a}, r{b}",
-                    format!("{}ff", arith_text(*op))
-                )
-            }
-            Insn::CmpII { op, dst, a, b } => {
-                format!("cmpii      r{dst}, r{a} {} r{b}", cmp_text(*op))
-            }
-            Insn::CmpFF { op, dst, a, b } => {
-                format!("cmpff      r{dst}, r{a} {} r{b}", cmp_text(*op))
-            }
-            Insn::CmpJumpFalseII { op, a, b, to } => {
-                format!("cjfii      r{a} {} r{b} -> {to}", cmp_text(*op))
-            }
-            Insn::CmpJumpFalseFF { op, a, b, to } => {
-                format!("cjfff      r{a} {} r{b} -> {to}", cmp_text(*op))
-            }
-            Insn::IndexF { dst, arr, idx } => format!("indexf     r{dst}, r{arr}[r{idx}]"),
-            Insn::IndexI { dst, arr, idx } => format!("indexi     r{dst}, r{arr}[r{idx}]"),
-            Insn::IndexSetF { arr, idx, src } => format!("indexsetf  r{arr}[r{idx}], r{src}"),
-            Insn::IndexSetI { arr, idx, src } => format!("indexseti  r{arr}[r{idx}], r{src}"),
-            Insn::Call { dst, func, base, n } => {
-                format!("call       r{dst}, f{func}, r{base}..{n}")
-            }
-            Insn::CallValue {
-                dst,
-                callee,
-                base,
-                n,
-            } => format!("callv      r{dst}, r{callee}, r{base}..{n}"),
-            Insn::OmpCall { dst, sym, base, n } => {
-                format!("ompcall    r{dst}, s{sym}, r{base}..{n}")
-            }
-            Insn::Builtin {
-                dst,
-                op,
-                name_k,
-                base,
-                n,
-            } => format!("builtin    r{dst}, {op:?}(k{name_k}), r{base}..{n}"),
-            Insn::Print { base, n } => format!("print      r{base}..{n}"),
-            Insn::Trap { msg } => format!("trap       k{msg}"),
-            Insn::Ret { src } => format!("ret        r{src}"),
-            Insn::RetVoid => "retvoid".to_string(),
-        };
-        let _ = writeln!(out, "  {pc:>4}  {text}");
+        let _ = writeln!(out, "  {pc:>4}  {}", insn_text(f, insn));
     }
     out
+}
+
+/// Render one instruction as the stable mnemonic text shared by
+/// `--dump-bytecode` and the typed-IR dump (`--dump-ir`).
+pub(crate) fn insn_text(f: &CompiledFn, insn: &Insn) -> String {
+    match insn {
+        Insn::Const { dst, k } => format!("const      r{dst}, k{k}"),
+        Insn::Move { dst, src } => format!("move       r{dst}, r{src}"),
+        Insn::NewCell { dst, src } => format!("newcell    r{dst}, r{src}"),
+        Insn::CellGet { dst, cell } => format!("cellget    r{dst}, r{cell}"),
+        Insn::CellSet { cell, src } => format!("cellset    r{cell}, r{src}"),
+        Insn::Deref { dst, ptr } => format!("deref      r{dst}, r{ptr}"),
+        Insn::StorePtr { ptr, src } => format!("storeptr   r{ptr}, r{src}"),
+        Insn::ElemAddr { dst, arr, idx } => format!("elemaddr   r{dst}, r{arr}[r{idx}]"),
+        Insn::AddrDeref { dst, src } => format!("addrderef  r{dst}, r{src}"),
+        Insn::Index { dst, arr, idx } => format!("index      r{dst}, r{arr}[r{idx}]"),
+        Insn::IndexSet { arr, idx, src } => format!("indexset   r{arr}[r{idx}], r{src}"),
+        Insn::Arith { op, dst, a, b } => {
+            format!("{:<10} r{dst}, r{a}, r{b}", arith_text(*op))
+        }
+        Insn::Cmp { op, dst, a, b } => {
+            format!("cmp        r{dst}, r{a} {} r{b}", cmp_text(*op))
+        }
+        Insn::Neg { dst, src } => format!("neg        r{dst}, r{src}"),
+        Insn::Not { dst, src } => format!("not        r{dst}, r{src}"),
+        Insn::Truthy { dst, src } => format!("truthy     r{dst}, r{src}"),
+        Insn::Jump { to } => format!("jump       -> {to}"),
+        Insn::JumpIfFalse { cond, to } => format!("jfalse     r{cond} -> {to}"),
+        Insn::JumpIfTrue { cond, to } => format!("jtrue      r{cond} -> {to}"),
+        Insn::CmpJumpFalse { op, a, b, to } => {
+            format!("cjfalse    r{a} {} r{b} -> {to}", cmp_text(*op))
+        }
+        Insn::IncCmpJump {
+            var,
+            step,
+            limit,
+            op,
+            to,
+        } => format!(
+            "inccmpj    r{var} += {step}; r{var} {} r{limit} -> {to}",
+            cmp_text(*op)
+        ),
+        Insn::ArithK { op, dst, a, k } => {
+            format!("{:<10} r{dst}, r{a}, k{k}", format!("{}k", arith_text(*op)))
+        }
+        Insn::ArithKL { op, dst, k, b } => {
+            format!("{:<10} r{dst}, k{k}, r{b}", format!("k{}", arith_text(*op)))
+        }
+        Insn::IndexArith {
+            op,
+            dst,
+            arr,
+            idx,
+            rhs,
+        } => format!("idx{:<7} r{dst}, r{arr}[r{idx}], r{rhs}", arith_text(*op)),
+        Insn::ArithStore { op, arr, idx, a, b } => format!(
+            "{:<10} r{arr}[r{idx}], r{a}, r{b}",
+            format!("{}st", arith_text(*op))
+        ),
+        Insn::IncElemK { op, arr, idx, k } => {
+            format!("incelem    r{arr}[r{idx}] {}= k{k}", arith_text(*op))
+        }
+        Insn::FmaIdx { dst, x, arr, idx } => {
+            format!("fmaidx     r{dst} += r{x} * r{arr}[r{idx}]")
+        }
+        Insn::IndexOff { dst, arr, idx, off } => {
+            format!("indexoff   r{dst}, r{arr}[r{idx}{off:+}]")
+        }
+        Insn::IncJump { var, step, to } => {
+            format!("incjump    r{var} += {step} -> {to}")
+        }
+        Insn::DerefIndex { dst, cell, idx } => {
+            format!("dindex     r{dst}, (r{cell})[r{idx}]")
+        }
+        Insn::DerefIndexOff {
+            dst,
+            cell,
+            idx,
+            off,
+        } => {
+            format!("dindexoff  r{dst}, (r{cell})[r{idx}{off:+}]")
+        }
+        Insn::DerefIndexSet { cell, idx, src } => {
+            format!("dindexset  (r{cell})[r{idx}], r{src}")
+        }
+        Insn::DerefIncElemK { op, cell, idx, k } => {
+            format!("dincelem   (r{cell})[r{idx}] {}= k{k}", arith_text(*op))
+        }
+        Insn::DerefFmaIdx { dst, x, cell, idx } => {
+            format!("dfmaidx    r{dst} += r{x} * (r{cell})[r{idx}]")
+        }
+        Insn::FmaIdxCC {
+            dst,
+            x,
+            acell,
+            icell,
+            idx,
+        } => {
+            format!("fmacc      r{dst} += r{x} * (r{acell})[(r{icell})[r{idx}]]")
+        }
+        Insn::FmaGather {
+            dst,
+            xcell,
+            acell,
+            icell,
+            idx,
+        } => {
+            format!("fmagather  r{dst} += (r{xcell})[r{idx}] * (r{acell})[(r{icell})[r{idx}]]")
+        }
+        Insn::ArithII { op, dst, a, b } => {
+            format!(
+                "{:<10} r{dst}, r{a}, r{b}",
+                format!("{}ii", arith_text(*op))
+            )
+        }
+        Insn::ArithFF { op, dst, a, b } => {
+            format!(
+                "{:<10} r{dst}, r{a}, r{b}",
+                format!("{}ff", arith_text(*op))
+            )
+        }
+        Insn::CmpII { op, dst, a, b } => {
+            format!("cmpii      r{dst}, r{a} {} r{b}", cmp_text(*op))
+        }
+        Insn::CmpFF { op, dst, a, b } => {
+            format!("cmpff      r{dst}, r{a} {} r{b}", cmp_text(*op))
+        }
+        Insn::CmpJumpFalseII { op, a, b, to } => {
+            format!("cjfii      r{a} {} r{b} -> {to}", cmp_text(*op))
+        }
+        Insn::CmpJumpFalseFF { op, a, b, to } => {
+            format!("cjfff      r{a} {} r{b} -> {to}", cmp_text(*op))
+        }
+        Insn::IndexF { dst, arr, idx } => format!("indexf     r{dst}, r{arr}[r{idx}]"),
+        Insn::IndexI { dst, arr, idx } => format!("indexi     r{dst}, r{arr}[r{idx}]"),
+        Insn::IndexSetF { arr, idx, src } => format!("indexsetf  r{arr}[r{idx}], r{src}"),
+        Insn::IndexSetI { arr, idx, src } => format!("indexseti  r{arr}[r{idx}], r{src}"),
+        Insn::Call { dst, func, base, n } => {
+            format!("call       r{dst}, f{func}, r{base}..{n}")
+        }
+        Insn::CallValue {
+            dst,
+            callee,
+            base,
+            n,
+        } => format!("callv      r{dst}, r{callee}, r{base}..{n}"),
+        Insn::OmpCall { dst, sym, base, n } => {
+            format!("ompcall    r{dst}, s{sym}, r{base}..{n}")
+        }
+        Insn::Builtin {
+            dst,
+            op,
+            name_k,
+            base,
+            n,
+        } => format!("builtin    r{dst}, {op:?}(k{name_k}), r{base}..{n}"),
+        Insn::Print { base, n } => format!("print      r{base}..{n}"),
+        Insn::BulkLoop { kidx } => {
+            let what = f
+                .kernels
+                .get(*kidx as usize)
+                .map(|d| d.kind.name())
+                .unwrap_or("?");
+            format!("bulkloop   kernel{kidx} ({what})")
+        }
+        Insn::Trap { msg } => format!("trap       k{msg}"),
+        Insn::Ret { src } => format!("ret        r{src}"),
+        Insn::RetVoid => "retvoid".to_string(),
+    }
 }
 
 /// Render the whole image, functions in declaration order.

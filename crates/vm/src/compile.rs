@@ -63,14 +63,24 @@ pub fn compile_image(ast: &Ast) -> Image {
     Image { funcs, by_name }
 }
 
-/// Compile and then run the bytecode optimizer at the given level.
-/// `OptLevel::O0` returns the raw stream unchanged.
+/// Compile and then run the optimization pipeline at the given
+/// level. `OptLevel::O0` returns the raw stream unchanged; `O1`/`O2`
+/// run the per-function rewrite fixpoint; `O2` additionally emits
+/// static Int/Float specializations from whole-image type inference
+/// ([`crate::typeck`]); `O3` finally installs the native bulk kernels
+/// ([`crate::kernels`]) on the fully-rewritten stream.
 pub fn compile_image_opt(ast: &Ast, opt: crate::optimize::OptLevel) -> Image {
     let mut image = compile_image(ast);
     if opt > crate::optimize::OptLevel::O0 {
         let nfuncs = image.funcs.len();
         for f in &mut image.funcs {
             crate::optimize::optimize_fn(f, opt, nfuncs);
+        }
+        if opt >= crate::optimize::OptLevel::O2 {
+            crate::typeck::specialize_image(&mut image);
+        }
+        if opt >= crate::optimize::OptLevel::O3 {
+            crate::kernels::install_image(&mut image);
         }
     }
     image
@@ -166,6 +176,7 @@ impl<'a> FnCx<'a> {
             omp_syms: self.omp_syms,
             locals: self.locals_debug,
             pre_opt: None,
+            kernels: Vec::new(),
         }
     }
 

@@ -36,14 +36,19 @@ pub enum Backend {
     Bytecode,
     /// Original tree-walking interpreter, kept as the semantic oracle.
     Ast,
+    /// Bytecode VM with the native bulk-kernel tier: shorthand that
+    /// forces the image to `--opt=3` so recognised hot loops run as
+    /// precompiled slice kernels ([`crate::kernels`]).
+    Native,
 }
 
 impl Backend {
-    /// Parse a CLI/ENV spelling (`ast` | `bytecode`).
+    /// Parse a CLI/ENV spelling (`ast` | `bytecode` | `native`).
     pub fn parse(s: &str) -> Option<Backend> {
         match s {
             "ast" => Some(Backend::Ast),
             "bytecode" => Some(Backend::Bytecode),
+            "native" => Some(Backend::Native),
             _ => None,
         }
     }
@@ -220,6 +225,12 @@ impl Vm {
         backend: Backend,
         opt: OptLevel,
     ) -> Result<Vm, zomp_front::Diag> {
+        // The native backend is the bulk-kernel tier by definition.
+        let opt = if backend == Backend::Native {
+            OptLevel::O3
+        } else {
+            opt
+        };
         Ok(Vm {
             program: Arc::new(compile_opt(source, unit, opt)?),
             output: Mutex::new(Vec::new()),
@@ -238,7 +249,7 @@ impl Vm {
     /// Call a function by name on the configured backend.
     pub fn call_function(&self, name: &str, args: Vec<Value>) -> VmResult<Value> {
         match self.backend {
-            Backend::Bytecode => {
+            Backend::Bytecode | Backend::Native => {
                 let &fi = self
                     .program
                     .code
@@ -640,12 +651,15 @@ impl Vm {
         }
     }
 
-    /// Run one activation. At `--opt=2` the function executes from the
+    /// Run one activation. At `--opt>=2` the function executes from the
     /// calling thread's quickening cache (a `Cell<Insn>` copy of the
     /// verified stream that type-specializes itself in place); below that,
-    /// straight from the shared image.
+    /// straight from the shared image. Statically specialized opcodes and
+    /// `BulkLoop` deopts rely on the quickening cache to rewrite
+    /// themselves back, so `--opt>=2` streams must never run on the fixed
+    /// path.
     fn exec_frame(&self, fi: usize, regs: &mut [Value]) -> VmResult<Value> {
-        if self.program.opt == OptLevel::O2 {
+        if self.program.opt >= OptLevel::O2 {
             let qf = quick_fn(&self.program, fi);
             self.dispatch(fi, regs, &QuickCode(&qf.code))
         } else {
@@ -1480,6 +1494,24 @@ impl Vm {
                     }
                     self.output.lock().push(line);
                 }
+                Insn::BulkLoop { kidx } => {
+                    // Native tier (`--opt=3` only, hence always under
+                    // QuickCode): run the whole recognised loop as a
+                    // precompiled slice kernel. On success the kernel has
+                    // written back every register the loop defines; on any
+                    // precheck/bounds failure it wrote back the loop-carried
+                    // state it advanced, and deopting to the original head
+                    // instruction replays the failing iteration interpreted
+                    // (raising the exact error the interpreter would).
+                    let desc = &f.kernels[kidx as usize];
+                    if crate::kernels::run(desc, regs, consts) {
+                        pc = desc.exit as usize;
+                    } else {
+                        code.quicken(pc - 1, desc.orig);
+                        pc -= 1;
+                        continue;
+                    }
+                }
                 Insn::Trap { msg } => match kc(consts, msg) {
                     Value::Str(s) => return Err(VmError(s.to_string())),
                     _ => unreachable!("trap message constant is not a string"),
@@ -1506,7 +1538,7 @@ thread_local! {
     /// Per-thread arena of register frames (`--opt>=1`). Frames are
     /// cleared on release, so acquire only pays one fill.
     static FRAME_POOL: RefCell<Vec<Vec<Value>>> = const { RefCell::new(Vec::new()) };
-    /// Per-thread quickening cache (`--opt=2`): one `Cell<Insn>` copy of
+    /// Per-thread quickening cache (`--opt>=2`): one `Cell<Insn>` copy of
     /// each executed function, keyed to the owning program by weak pointer.
     static QUICK: RefCell<QuickCache> = const {
         RefCell::new(QuickCache {

@@ -1,0 +1,1405 @@
+//! Native bulk-kernel tier (`--opt=3` / `Backend::Native`).
+//!
+//! The bytecode interpreter at `--opt=2` already fuses and
+//! type-specialises the NPB inner loops, but every iteration still
+//! pays instruction dispatch and `Value` boxing per element. This
+//! module closes the rest of the gap to hand-written Rust for the
+//! hottest loop *shapes*: after every other pass has run, the
+//! installer pattern-matches single-block loops in the final
+//! instruction stream and replaces the loop-head instruction with
+//! [`Insn::BulkLoop`], whose descriptor names a precompiled Rust loop
+//! over the raw `f64`/`i64` element storage of the involved arrays
+//! (borrowed via `ArrF::cells`/`ArrI::cells`, no copies). Because
+//! only the per-chunk inner loops are replaced, the surrounding
+//! work-sharing protocol (`omp.internal.ws_*`), schedules, reductions
+//! and tracing all keep working unchanged.
+//!
+//! Correctness contract, mirroring runtime quickening:
+//!
+//! - A kernel only runs while its type/bounds prechecks hold. On
+//!   *any* violation — wrong runtime types, index out of bounds,
+//!   division by zero — it writes back the loop-carried registers it
+//!   has updated (induction variable, accumulators) and deopts: the
+//!   dispatch loop re-quickens the `BulkLoop` back to the original
+//!   head instruction and resumes interpretation at the loop head, so
+//!   the failing iteration replays in the interpreter and raises the
+//!   exact same error text at the exact same point (or simply keeps
+//!   running interpreted if the shape was merely untypical).
+//! - On normal exit every register the loop body defines is written
+//!   back with its final-iteration value, so code after the loop
+//!   observes the same frame state as interpretation.
+//! - Loads and stores happen in interpreter order within an
+//!   iteration (re-loading after potentially aliasing stores), so
+//!   kernels are exact even when two names refer to one array.
+//!
+//! Matchers run on the *final* stream (constant folding, fusion and
+//! static specialization have already happened), which is what makes
+//! the shapes short and stable enough to match insn-by-insn.
+
+use crate::bytecode::{ArithOp, CmpOp, CompiledFn, Image, Insn, PreOpt, Reg};
+use crate::optimize::verify_fn;
+use crate::value::{ArrF, ArrI, Value};
+use std::sync::Arc;
+
+/// Descriptor for one installed kernel, stored in
+/// [`CompiledFn::kernels`] and referenced by [`Insn::BulkLoop`].
+#[derive(Debug, Clone, Copy)]
+pub struct KernelDesc {
+    /// The loop-head instruction the `BulkLoop` replaced; deopt
+    /// target (the dispatch loop re-quickens to this and replays).
+    pub orig: Insn,
+    /// pc to resume at after a normal kernel exit.
+    pub exit: u32,
+    pub kind: KernelKind,
+}
+
+/// The recognised loop shapes. Register fields are bound by the
+/// matcher; `visit_regs` reports all of them for verification.
+#[derive(Debug, Clone, Copy)]
+pub enum KernelKind {
+    /// CG sparse matvec over a whole worksharing chunk of rows:
+    /// `do { s = 0.0; k = rowstr[j]; while (k < rowstr[j+1]) {
+    /// s += a[k] * p[colidx[k]]; k += 1 } q[j] = s; j += 1 }
+    /// while (j < ub)`. Subsumes [`KernelKind::MatvecGather`]: one
+    /// dispatch amortises the slot locks and descriptor decode over
+    /// the entire chunk.
+    MatvecRows {
+        rowcell: Reg,
+        j: Reg,
+        k: Reg,
+        bound: Reg,
+        acc: Reg,
+        xcell: Reg,
+        acell: Reg,
+        icell: Reg,
+        qcell: Reg,
+        ub: Reg,
+        /// const-pool index of the accumulator seed (Float).
+        sk: u16,
+    },
+    /// CG sparse matvec inner loop:
+    /// `while (k < rowstr[j+1]) { s += a[k] * p[colidx[k]]; k += 1 }`
+    /// (`DerefIndexOff` / `CmpJumpFalse` / `FmaGather` / `IncJump`).
+    MatvecGather {
+        rowcell: Reg,
+        j: Reg,
+        k: Reg,
+        bound: Reg,
+        acc: Reg,
+        xcell: Reg,
+        acell: Reg,
+        icell: Reg,
+    },
+    /// IS bucket-count loop:
+    /// `do { b = keys[i] / sd; local[b] += c; i += 1 } while (i < ub)`.
+    Histogram {
+        keys: Reg,
+        i: Reg,
+        t: Reg,
+        b: Reg,
+        sd: Reg,
+        local: Reg,
+        ub: Reg,
+        /// const-pool index of the increment (Int).
+        k: u16,
+    },
+    /// Constant fill: `do { a[i] = k; i += 1 } while (i < lim)`.
+    FillConst {
+        arr: Reg,
+        i: Reg,
+        c: Reg,
+        lim: Reg,
+        k: u16,
+    },
+    /// Integer prefix sum:
+    /// `do { acc += a[i]; a[i] = acc; i += 1 } while (i < lim)`.
+    PrefixSum {
+        arr: Reg,
+        i: Reg,
+        t: Reg,
+        acc: Reg,
+        lim: Reg,
+    },
+    /// IS rank-increment: `do { rk[b[q]] += c; q += 1 } while (q < lim)`
+    /// with the cell-held `rk` dereferenced twice per iteration.
+    RankInc {
+        rkcell: Reg,
+        bcell: Reg,
+        q: Reg,
+        ra: Reg,
+        v: Reg,
+        x: Reg,
+        y: Reg,
+        rb: Reg,
+        v2: Reg,
+        lim: Reg,
+        k: u16,
+    },
+    /// IS permutation scatter:
+    /// `do { t = keys[i]; d = t/sd; out[cur[d]] = t; cur[d] += c; i += 1 }
+    ///  while (i < lim)`.
+    Scatter {
+        keys: Reg,
+        i: Reg,
+        t: Reg,
+        t2: Reg,
+        sd: Reg,
+        bcell: Reg,
+        b2: Reg,
+        cur: Reg,
+        c: Reg,
+        lim: Reg,
+        k: u16,
+    },
+}
+
+impl KernelKind {
+    /// Short stable name for disassembly (`bulkloop kernel0 (matvec)`).
+    pub fn name(&self) -> &'static str {
+        match self {
+            KernelKind::MatvecRows { .. } => "matvec-rows",
+            KernelKind::MatvecGather { .. } => "matvec-gather",
+            KernelKind::Histogram { .. } => "histogram",
+            KernelKind::FillConst { .. } => "fill-const",
+            KernelKind::PrefixSum { .. } => "prefix-sum",
+            KernelKind::RankInc { .. } => "rank-inc",
+            KernelKind::Scatter { .. } => "scatter",
+        }
+    }
+}
+
+impl KernelDesc {
+    /// Report every register the kernel touches (for `verify_fn`).
+    pub fn visit_regs(&self, mut f: impl FnMut(Reg)) {
+        match self.kind {
+            KernelKind::MatvecRows {
+                rowcell,
+                j,
+                k,
+                bound,
+                acc,
+                xcell,
+                acell,
+                icell,
+                qcell,
+                ub,
+                sk: _,
+            } => {
+                for r in [rowcell, j, k, bound, acc, xcell, acell, icell, qcell, ub] {
+                    f(r);
+                }
+            }
+            KernelKind::MatvecGather {
+                rowcell,
+                j,
+                k,
+                bound,
+                acc,
+                xcell,
+                acell,
+                icell,
+            } => {
+                for r in [rowcell, j, k, bound, acc, xcell, acell, icell] {
+                    f(r);
+                }
+            }
+            KernelKind::Histogram {
+                keys,
+                i,
+                t,
+                b,
+                sd,
+                local,
+                ub,
+                k: _,
+            } => {
+                for r in [keys, i, t, b, sd, local, ub] {
+                    f(r);
+                }
+            }
+            KernelKind::FillConst {
+                arr,
+                i,
+                c,
+                lim,
+                k: _,
+            } => {
+                for r in [arr, i, c, lim] {
+                    f(r);
+                }
+            }
+            KernelKind::PrefixSum {
+                arr,
+                i,
+                t,
+                acc,
+                lim,
+            } => {
+                for r in [arr, i, t, acc, lim] {
+                    f(r);
+                }
+            }
+            KernelKind::RankInc {
+                rkcell,
+                bcell,
+                q,
+                ra,
+                v,
+                x,
+                y,
+                rb,
+                v2,
+                lim,
+                k: _,
+            } => {
+                for r in [rkcell, bcell, q, ra, v, x, y, rb, v2, lim] {
+                    f(r);
+                }
+            }
+            KernelKind::Scatter {
+                keys,
+                i,
+                t,
+                t2,
+                sd,
+                bcell,
+                b2,
+                cur,
+                c,
+                lim,
+                k: _,
+            } => {
+                for r in [keys, i, t, t2, sd, bcell, b2, cur, c, lim] {
+                    f(r);
+                }
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Installation (pattern matching on the final instruction stream)
+// ---------------------------------------------------------------------------
+
+/// Install bulk kernels in every function (`--opt=3` only; runs after
+/// optimization and static specialization).
+pub fn install_image(image: &mut Image) {
+    let nfuncs = image.funcs.len();
+    for f in &mut image.funcs {
+        install_fn(f, nfuncs);
+    }
+}
+
+fn install_fn(f: &mut CompiledFn, nfuncs: usize) {
+    let orig = if f.pre_opt.is_none() {
+        Some(f.code.clone())
+    } else {
+        None
+    };
+    let mut installed = false;
+    for pc in 0..f.code.len() {
+        if f.kernels.len() >= u16::MAX as usize {
+            break;
+        }
+        let Some((kind, exit)) = match_at(f, pc) else {
+            continue;
+        };
+        let kidx = f.kernels.len() as u16;
+        f.kernels.push(KernelDesc {
+            orig: f.code[pc],
+            exit,
+            kind,
+        });
+        f.code[pc] = Insn::BulkLoop { kidx };
+        installed = true;
+    }
+    if installed {
+        if let Some(code) = orig {
+            f.pre_opt = Some(PreOpt {
+                code,
+                nconsts: f.consts.len(),
+            });
+        }
+        if let Err(e) = verify_fn(f, nfuncs) {
+            panic!("kernel installation produced invalid bytecode: {e}");
+        }
+    }
+}
+
+fn all_distinct(rs: &[Reg]) -> bool {
+    for (i, a) in rs.iter().enumerate() {
+        if rs[i + 1..].contains(a) {
+            return false;
+        }
+    }
+    true
+}
+
+/// The loop must only write `writes`; every other bound register has
+/// to stay loop-invariant for the cached-operand kernel to be exact.
+fn disciplined(writes: &[Reg], invariant: &[Reg]) -> bool {
+    all_distinct(writes) && invariant.iter().all(|r| !writes.contains(r))
+}
+
+fn const_int(f: &CompiledFn, k: u16) -> Option<i64> {
+    match f.consts.get(k as usize)? {
+        Value::Int(v) => Some(*v),
+        _ => None,
+    }
+}
+
+fn match_at(f: &CompiledFn, pc: usize) -> Option<(KernelKind, u32)> {
+    match_matvec_rows(f, pc)
+        .or_else(|| match_matvec(f, pc))
+        .or_else(|| match_histogram(f, pc))
+        .or_else(|| match_fill(f, pc))
+        .or_else(|| match_prefix(f, pc))
+        .or_else(|| match_rank_inc(f, pc))
+        .or_else(|| match_scatter(f, pc))
+}
+
+fn match_matvec_rows(f: &CompiledFn, pc: usize) -> Option<(KernelKind, u32)> {
+    let code = &f.code;
+    let (acc, sk) = match *code.get(pc)? {
+        Insn::Const { dst, k } => {
+            // The seed must be a Float constant (the `s = 0.0` reset).
+            match f.consts.get(k as usize)? {
+                Value::Float(_) => (dst, k),
+                _ => return None,
+            }
+        }
+        _ => return None,
+    };
+    let (k, rowcell, j) = match *code.get(pc + 1)? {
+        Insn::DerefIndex { dst, cell, idx } => (dst, cell, idx),
+        _ => return None,
+    };
+    let bound = match *code.get(pc + 2)? {
+        Insn::DerefIndexOff {
+            dst,
+            cell,
+            idx,
+            off: 1,
+        } if cell == rowcell && idx == j => dst,
+        _ => return None,
+    };
+    match *code.get(pc + 3)? {
+        Insn::CmpJumpFalse {
+            op: CmpOp::Lt,
+            a,
+            b,
+            to,
+        } if a == k && b == bound && to as usize == pc + 6 => {}
+        _ => return None,
+    }
+    let (xcell, acell, icell) = match *code.get(pc + 4)? {
+        Insn::FmaGather {
+            dst,
+            xcell,
+            acell,
+            icell,
+            idx,
+        } if dst == acc && idx == k => (xcell, acell, icell),
+        _ => return None,
+    };
+    match *code.get(pc + 5)? {
+        Insn::IncJump { var, step: 1, to } if var == k && to as usize == pc + 2 => {}
+        _ => return None,
+    }
+    let qcell = match *code.get(pc + 6)? {
+        Insn::DerefIndexSet { cell, idx, src } if idx == j && src == acc => cell,
+        _ => return None,
+    };
+    let (ub, exit) = match *code.get(pc + 7)? {
+        Insn::IncCmpJump {
+            var,
+            step: 1,
+            limit,
+            op: CmpOp::Lt,
+            to,
+        } if var == j && to as usize == pc => (limit, pc as u32 + 8),
+        _ => return None,
+    };
+    if !disciplined(
+        &[acc, k, bound, j],
+        &[rowcell, xcell, acell, icell, qcell, ub],
+    ) {
+        return None;
+    }
+    Some((
+        KernelKind::MatvecRows {
+            rowcell,
+            j,
+            k,
+            bound,
+            acc,
+            xcell,
+            acell,
+            icell,
+            qcell,
+            ub,
+            sk,
+        },
+        exit,
+    ))
+}
+
+fn match_matvec(f: &CompiledFn, pc: usize) -> Option<(KernelKind, u32)> {
+    let code = &f.code;
+    let (bound, rowcell, j) = match *code.get(pc)? {
+        Insn::DerefIndexOff {
+            dst,
+            cell,
+            idx,
+            off: 1,
+        } => (dst, cell, idx),
+        _ => return None,
+    };
+    let (k, exit) = match *code.get(pc + 1)? {
+        Insn::CmpJumpFalse {
+            op: CmpOp::Lt,
+            a,
+            b,
+            to,
+        } if b == bound => (a, to),
+        _ => return None,
+    };
+    let (acc, xcell, acell, icell) = match *code.get(pc + 2)? {
+        Insn::FmaGather {
+            dst,
+            xcell,
+            acell,
+            icell,
+            idx,
+        } if idx == k => (dst, xcell, acell, icell),
+        _ => return None,
+    };
+    match *code.get(pc + 3)? {
+        Insn::IncJump { var, step: 1, to } if var == k && to as usize == pc => {}
+        _ => return None,
+    }
+    if !disciplined(&[bound, k, acc], &[j, rowcell, xcell, acell, icell]) {
+        return None;
+    }
+    Some((
+        KernelKind::MatvecGather {
+            rowcell,
+            j,
+            k,
+            bound,
+            acc,
+            xcell,
+            acell,
+            icell,
+        },
+        exit,
+    ))
+}
+
+fn match_histogram(f: &CompiledFn, pc: usize) -> Option<(KernelKind, u32)> {
+    let code = &f.code;
+    let (t, keys, i) = match *code.get(pc)? {
+        Insn::DerefIndex { dst, cell, idx } => (dst, cell, idx),
+        _ => return None,
+    };
+    let (b, sd) = match *code.get(pc + 1)? {
+        Insn::Arith {
+            op: ArithOp::Div,
+            dst,
+            a,
+            b,
+        } if a == t => (dst, b),
+        _ => return None,
+    };
+    let (local, kidx) = match *code.get(pc + 2)? {
+        Insn::IncElemK {
+            op: ArithOp::Add,
+            arr,
+            idx,
+            k,
+        } if idx == b => {
+            const_int(f, k)?;
+            (arr, k)
+        }
+        _ => return None,
+    };
+    let (ub, exit) = match *code.get(pc + 3)? {
+        Insn::IncCmpJump {
+            var,
+            step: 1,
+            limit,
+            op: CmpOp::Lt,
+            to,
+        } if var == i && to as usize == pc => (limit, pc as u32 + 4),
+        _ => return None,
+    };
+    if !disciplined(&[t, b, i], &[keys, sd, local, ub]) {
+        return None;
+    }
+    Some((
+        KernelKind::Histogram {
+            keys,
+            i,
+            t,
+            b,
+            sd,
+            local,
+            ub,
+            k: kidx,
+        },
+        exit,
+    ))
+}
+
+fn match_fill(f: &CompiledFn, pc: usize) -> Option<(KernelKind, u32)> {
+    let code = &f.code;
+    let (c, k) = match *code.get(pc)? {
+        Insn::Const { dst, k } => (dst, k),
+        _ => return None,
+    };
+    let (arr, i) = match *code.get(pc + 1)? {
+        Insn::DerefIndexSet { cell, idx, src } if src == c => (cell, idx),
+        _ => return None,
+    };
+    let (lim, exit) = match *code.get(pc + 2)? {
+        Insn::IncCmpJump {
+            var,
+            step: 1,
+            limit,
+            op: CmpOp::Lt,
+            to,
+        } if var == i && to as usize == pc => (limit, pc as u32 + 3),
+        _ => return None,
+    };
+    if !disciplined(&[c, i], &[arr, lim]) {
+        return None;
+    }
+    Some((KernelKind::FillConst { arr, i, c, lim, k }, exit))
+}
+
+fn match_prefix(f: &CompiledFn, pc: usize) -> Option<(KernelKind, u32)> {
+    let code = &f.code;
+    let (t, arr, i) = match *code.get(pc)? {
+        Insn::DerefIndex { dst, cell, idx } => (dst, cell, idx),
+        _ => return None,
+    };
+    let acc = match *code.get(pc + 1)? {
+        Insn::Arith {
+            op: ArithOp::Add,
+            dst,
+            a,
+            b,
+        } if a == dst && b == t => dst,
+        _ => return None,
+    };
+    match *code.get(pc + 2)? {
+        Insn::DerefIndexSet { cell, idx, src } if cell == arr && idx == i && src == acc => {}
+        _ => return None,
+    }
+    let (lim, exit) = match *code.get(pc + 3)? {
+        Insn::IncCmpJump {
+            var,
+            step: 1,
+            limit,
+            op: CmpOp::Lt,
+            to,
+        } if var == i && to as usize == pc => (limit, pc as u32 + 4),
+        _ => return None,
+    };
+    if !disciplined(&[t, acc, i], &[arr, lim]) {
+        return None;
+    }
+    Some((
+        KernelKind::PrefixSum {
+            arr,
+            i,
+            t,
+            acc,
+            lim,
+        },
+        exit,
+    ))
+}
+
+fn match_rank_inc(f: &CompiledFn, pc: usize) -> Option<(KernelKind, u32)> {
+    let code = &f.code;
+    let (ra, rkcell) = match *code.get(pc)? {
+        Insn::Deref { dst, ptr } => (dst, ptr),
+        _ => return None,
+    };
+    let (v, bcell, q) = match *code.get(pc + 1)? {
+        Insn::DerefIndex { dst, cell, idx } => (dst, cell, idx),
+        _ => return None,
+    };
+    let x = match *code.get(pc + 2)? {
+        Insn::Index { dst, arr, idx } if arr == ra && idx == v => dst,
+        _ => return None,
+    };
+    let (y, k) = match *code.get(pc + 3)? {
+        Insn::ArithK {
+            op: ArithOp::Add,
+            dst,
+            a,
+            k,
+        } if a == x => {
+            const_int(f, k)?;
+            (dst, k)
+        }
+        _ => return None,
+    };
+    let rb = match *code.get(pc + 4)? {
+        Insn::Deref { dst, ptr } if ptr == rkcell => dst,
+        _ => return None,
+    };
+    let v2 = match *code.get(pc + 5)? {
+        Insn::DerefIndex { dst, cell, idx } if cell == bcell && idx == q => dst,
+        _ => return None,
+    };
+    match *code.get(pc + 6)? {
+        Insn::IndexSet { arr, idx, src } if arr == rb && idx == v2 && src == y => {}
+        _ => return None,
+    }
+    let (lim, exit) = match *code.get(pc + 7)? {
+        Insn::IncCmpJump {
+            var,
+            step: 1,
+            limit,
+            op: CmpOp::Lt,
+            to,
+        } if var == q && to as usize == pc => (limit, pc as u32 + 8),
+        _ => return None,
+    };
+    if !disciplined(&[ra, v, x, y, rb, v2, q], &[rkcell, bcell, lim]) {
+        return None;
+    }
+    Some((
+        KernelKind::RankInc {
+            rkcell,
+            bcell,
+            q,
+            ra,
+            v,
+            x,
+            y,
+            rb,
+            v2,
+            lim,
+            k,
+        },
+        exit,
+    ))
+}
+
+fn match_scatter(f: &CompiledFn, pc: usize) -> Option<(KernelKind, u32)> {
+    let code = &f.code;
+    let (t, keys, i) = match *code.get(pc)? {
+        Insn::DerefIndex { dst, cell, idx } => (dst, cell, idx),
+        _ => return None,
+    };
+    let t2 = match *code.get(pc + 1)? {
+        Insn::Move { dst, src } if src == t => dst,
+        _ => return None,
+    };
+    let sd = match *code.get(pc + 2)? {
+        Insn::Arith {
+            op: ArithOp::Div,
+            dst,
+            a,
+            b,
+        } if dst == t && a == t => b,
+        _ => return None,
+    };
+    let (b2, bcell) = match *code.get(pc + 3)? {
+        Insn::Deref { dst, ptr } => (dst, ptr),
+        _ => return None,
+    };
+    let (c, cur) = match *code.get(pc + 4)? {
+        Insn::Index { dst, arr, idx } if idx == t => (dst, arr),
+        _ => return None,
+    };
+    match *code.get(pc + 5)? {
+        Insn::IndexSet { arr, idx, src } if arr == b2 && idx == c && src == t2 => {}
+        _ => return None,
+    }
+    let k = match *code.get(pc + 6)? {
+        Insn::IncElemK {
+            op: ArithOp::Add,
+            arr,
+            idx,
+            k,
+        } if arr == cur && idx == t => {
+            const_int(f, k)?;
+            k
+        }
+        _ => return None,
+    };
+    let (lim, exit) = match *code.get(pc + 7)? {
+        Insn::IncCmpJump {
+            var,
+            step: 1,
+            limit,
+            op: CmpOp::Lt,
+            to,
+        } if var == i && to as usize == pc => (limit, pc as u32 + 8),
+        _ => return None,
+    };
+    if !disciplined(&[t, t2, b2, c, i], &[keys, sd, bcell, cur, lim]) {
+        return None;
+    }
+    Some((
+        KernelKind::Scatter {
+            keys,
+            i,
+            t,
+            t2,
+            sd,
+            bcell,
+            b2,
+            cur,
+            c,
+            lim,
+            k,
+        },
+        exit,
+    ))
+}
+
+// ---------------------------------------------------------------------------
+// Runtime
+// ---------------------------------------------------------------------------
+
+/// Run one kernel against the current frame. `true` = the loop
+/// completed and all defined registers were written back (jump to
+/// `desc.exit`); `false` = deopt (replay `desc.orig` interpreted).
+pub(crate) fn run(desc: &KernelDesc, regs: &mut [Value], consts: &[Value]) -> bool {
+    match desc.kind {
+        KernelKind::MatvecRows { .. } => run_matvec_rows(&desc.kind, regs, consts),
+        KernelKind::MatvecGather { .. } => run_matvec(&desc.kind, regs),
+        KernelKind::Histogram { .. } => run_histogram(&desc.kind, regs, consts),
+        KernelKind::FillConst { .. } => run_fill(&desc.kind, regs, consts),
+        KernelKind::PrefixSum { .. } => run_prefix(&desc.kind, regs),
+        KernelKind::RankInc { .. } => run_rank_inc(&desc.kind, regs, consts),
+        KernelKind::Scatter { .. } => run_scatter(&desc.kind, regs, consts),
+    }
+}
+
+fn cell_arrf(regs: &[Value], r: Reg) -> Option<Arc<ArrF>> {
+    match &regs[r as usize] {
+        Value::Ptr(slot) => match &*slot.lock() {
+            Value::ArrF(a) => Some(a.clone()),
+            _ => None,
+        },
+        _ => None,
+    }
+}
+
+fn cell_arri(regs: &[Value], r: Reg) -> Option<Arc<ArrI>> {
+    match &regs[r as usize] {
+        Value::Ptr(slot) => match &*slot.lock() {
+            Value::ArrI(a) => Some(a.clone()),
+            _ => None,
+        },
+        _ => None,
+    }
+}
+
+fn reg_arri(regs: &[Value], r: Reg) -> Option<Arc<ArrI>> {
+    match &regs[r as usize] {
+        Value::ArrI(a) => Some(a.clone()),
+        _ => None,
+    }
+}
+
+fn reg_int(regs: &[Value], r: Reg) -> Option<i64> {
+    match regs[r as usize] {
+        Value::Int(v) => Some(v),
+        _ => None,
+    }
+}
+
+fn reg_float(regs: &[Value], r: Reg) -> Option<f64> {
+    match regs[r as usize] {
+        Value::Float(v) => Some(v),
+        _ => None,
+    }
+}
+
+/// `i64::MIN / -1` overflows (a panic in the interpreter's checked
+/// division as well); treat it as a deopt so the interpreter owns it.
+fn div_ok(x: i64, y: i64) -> bool {
+    y != 0 && !(y == -1 && x == i64::MIN)
+}
+
+fn run_matvec_rows(kind: &KernelKind, regs: &mut [Value], consts: &[Value]) -> bool {
+    let KernelKind::MatvecRows {
+        rowcell,
+        j,
+        k,
+        bound,
+        acc,
+        xcell,
+        acell,
+        icell,
+        qcell,
+        ub,
+        sk,
+    } = *kind
+    else {
+        return false;
+    };
+    let (Some(rows), Some(xv), Some(av), Some(ic), Some(qv)) = (
+        cell_arri(regs, rowcell),
+        cell_arrf(regs, xcell),
+        cell_arrf(regs, acell),
+        cell_arri(regs, icell),
+        cell_arrf(regs, qcell),
+    ) else {
+        return false;
+    };
+    let (Some(mut jv), Some(ubv)) = (reg_int(regs, j), reg_int(regs, ub)) else {
+        return false;
+    };
+    let Some(Value::Float(seed)) = consts.get(sk as usize) else {
+        return false;
+    };
+    let seed = *seed;
+    let rc = rows.cells();
+    let xc = xv.cells();
+    let ac = av.cells();
+    let icc = ic.cells();
+    let qc = qv.cells();
+    let xn = xc.len() as i64;
+    let an = ac.len() as i64;
+    let icn = icc.len() as i64;
+    let qn = qc.len() as i64;
+    // Final inner-loop state of the last *completed* row: on a mid-row
+    // bail the interpreter replays the failing row from the head, so the
+    // registers must look exactly as they did when that row started.
+    let mut last: Option<(i64, i64, f64)> = None;
+    let bail = |regs: &mut [Value], jv: i64, last: Option<(i64, i64, f64)>| {
+        regs[j as usize] = Value::Int(jv);
+        if let Some((kv, bv, s)) = last {
+            regs[k as usize] = Value::Int(kv);
+            regs[bound as usize] = Value::Int(bv);
+            regs[acc as usize] = Value::Float(s);
+        }
+        false
+    };
+    // do-while: any jump to the head runs at least one row.
+    loop {
+        let Some(jo) = jv.checked_add(1) else {
+            return bail(regs, jv, last);
+        };
+        if jv < 0 || jo as usize >= rc.len() {
+            return bail(regs, jv, last);
+        }
+        // SAFETY: jv and jo bounds-checked just above; OpenMP
+        // no-data-race contract for the elements themselves.
+        let mut kv = unsafe { *rc.get_unchecked(jv as usize).get() };
+        let bv = unsafe { *rc.get_unchecked(jo as usize).get() };
+        let mut s = seed;
+        if kv >= 0 && bv <= xn && bv <= icn {
+            // Hot path: the k-range is provably in bounds, only the
+            // gathered index needs a per-element check.
+            while kv < bv {
+                // SAFETY: 0 <= kv < bv <= len for both arrays.
+                let xe = unsafe { *xc.get_unchecked(kv as usize).get() };
+                let ie = unsafe { *icc.get_unchecked(kv as usize).get() };
+                if ie < 0 || ie >= an {
+                    return bail(regs, jv, last);
+                }
+                // SAFETY: ie bounds-checked just above.
+                let ae = unsafe { *ac.get_unchecked(ie as usize).get() };
+                // Mul then add, matching the interpreter's FmaGather
+                // exactly (no fused multiply-add: rounding must agree).
+                s += xe * ae;
+                kv = kv.wrapping_add(1);
+            }
+        } else {
+            while kv < bv {
+                if kv < 0 || kv >= xn || kv >= icn {
+                    return bail(regs, jv, last);
+                }
+                // SAFETY: kv bounds-checked just above.
+                let xe = unsafe { *xc.get_unchecked(kv as usize).get() };
+                let ie = unsafe { *icc.get_unchecked(kv as usize).get() };
+                if ie < 0 || ie >= an {
+                    return bail(regs, jv, last);
+                }
+                // SAFETY: ie bounds-checked just above.
+                let ae = unsafe { *ac.get_unchecked(ie as usize).get() };
+                s += xe * ae;
+                kv = kv.wrapping_add(1);
+            }
+        }
+        if jv >= qn {
+            // `q[j] = s` would be out of bounds (jv >= 0 held above).
+            return bail(regs, jv, last);
+        }
+        // SAFETY: jv bounds-checked against qn just above.
+        unsafe { *qc.get_unchecked(jv as usize).get() = s };
+        last = Some((kv, bv, s));
+        jv = jv.wrapping_add(1);
+        if jv >= ubv {
+            regs[j as usize] = Value::Int(jv);
+            regs[k as usize] = Value::Int(kv);
+            regs[bound as usize] = Value::Int(bv);
+            regs[acc as usize] = Value::Float(s);
+            return true;
+        }
+    }
+}
+
+fn run_matvec(kind: &KernelKind, regs: &mut [Value]) -> bool {
+    let KernelKind::MatvecGather {
+        rowcell,
+        j,
+        k,
+        bound,
+        acc,
+        xcell,
+        acell,
+        icell,
+    } = *kind
+    else {
+        return false;
+    };
+    let (Some(rows), Some(xv), Some(av), Some(ic)) = (
+        cell_arri(regs, rowcell),
+        cell_arrf(regs, xcell),
+        cell_arrf(regs, acell),
+        cell_arri(regs, icell),
+    ) else {
+        return false;
+    };
+    let (Some(jv), Some(mut kv), Some(mut s)) =
+        (reg_int(regs, j), reg_int(regs, k), reg_float(regs, acc))
+    else {
+        return false;
+    };
+    let rc = rows.cells();
+    let Some(jo) = jv.checked_add(1) else {
+        return false;
+    };
+    if jv < 0 || jo as usize >= rc.len() {
+        // The head load itself would be out of bounds (or the row
+        // array is checked and rejects it) — replay with no effects.
+        return false;
+    }
+    // SAFETY: jo bounds-checked just above; OpenMP no-data-race
+    // contract for the element itself.
+    let lt = unsafe { *rc.get_unchecked(jo as usize).get() };
+    let xc = xv.cells();
+    let ac = av.cells();
+    let icc = ic.cells();
+    let xn = xc.len() as i64;
+    let an = ac.len() as i64;
+    let icn = icc.len() as i64;
+    let writeback = |regs: &mut [Value], kv: i64, s: f64| {
+        regs[k as usize] = Value::Int(kv);
+        regs[acc as usize] = Value::Float(s);
+        regs[bound as usize] = Value::Int(lt);
+    };
+    if kv >= 0 && lt <= xn && lt <= icn {
+        // Hot path: the k-range is provably in bounds, only the
+        // gathered index needs a per-element check.
+        while kv < lt {
+            // SAFETY: 0 <= kv < lt <= len for both arrays.
+            let xe = unsafe { *xc.get_unchecked(kv as usize).get() };
+            let ie = unsafe { *icc.get_unchecked(kv as usize).get() };
+            if ie < 0 || ie >= an {
+                writeback(regs, kv, s);
+                return false;
+            }
+            // SAFETY: ie bounds-checked just above.
+            let ae = unsafe { *ac.get_unchecked(ie as usize).get() };
+            // Mul then add, matching the interpreter's FmaGather
+            // exactly (no fused multiply-add: rounding must agree).
+            s += xe * ae;
+            kv = kv.wrapping_add(1);
+        }
+    } else {
+        while kv < lt {
+            if kv < 0 || kv >= xn || kv >= icn {
+                writeback(regs, kv, s);
+                return false;
+            }
+            // SAFETY: kv bounds-checked just above.
+            let xe = unsafe { *xc.get_unchecked(kv as usize).get() };
+            let ie = unsafe { *icc.get_unchecked(kv as usize).get() };
+            if ie < 0 || ie >= an {
+                writeback(regs, kv, s);
+                return false;
+            }
+            // SAFETY: ie bounds-checked just above.
+            let ae = unsafe { *ac.get_unchecked(ie as usize).get() };
+            // Mul then add, matching the interpreter's FmaGather
+            // exactly (no fused multiply-add: rounding must agree).
+            s += xe * ae;
+            kv = kv.wrapping_add(1);
+        }
+    }
+    writeback(regs, kv, s);
+    true
+}
+
+fn run_histogram(kind: &KernelKind, regs: &mut [Value], consts: &[Value]) -> bool {
+    let KernelKind::Histogram {
+        keys,
+        i,
+        t,
+        b,
+        sd,
+        local,
+        ub,
+        k,
+    } = *kind
+    else {
+        return false;
+    };
+    let (Some(ka), Some(la)) = (cell_arri(regs, keys), reg_arri(regs, local)) else {
+        return false;
+    };
+    let (Some(mut iv), Some(sdv), Some(ubv)) =
+        (reg_int(regs, i), reg_int(regs, sd), reg_int(regs, ub))
+    else {
+        return false;
+    };
+    let Some(Value::Int(c)) = consts.get(k as usize) else {
+        return false;
+    };
+    let c = *c;
+    let kc = ka.cells();
+    let lc = la.cells();
+    let kn = kc.len() as i64;
+    let ln = lc.len() as i64;
+    // do-while: the body always runs at least once.
+    loop {
+        if iv < 0 || iv >= kn {
+            regs[i as usize] = Value::Int(iv);
+            return false;
+        }
+        // SAFETY: iv bounds-checked just above.
+        let tv = unsafe { *kc.get_unchecked(iv as usize).get() };
+        if !div_ok(tv, sdv) {
+            regs[i as usize] = Value::Int(iv);
+            return false;
+        }
+        let bv = tv / sdv;
+        if bv < 0 || bv >= ln {
+            regs[i as usize] = Value::Int(iv);
+            return false;
+        }
+        // SAFETY: bv bounds-checked just above.
+        unsafe {
+            let p = lc.get_unchecked(bv as usize).get();
+            *p = (*p).wrapping_add(c);
+        }
+        iv = iv.wrapping_add(1);
+        if iv >= ubv {
+            regs[i as usize] = Value::Int(iv);
+            regs[t as usize] = Value::Int(tv);
+            regs[b as usize] = Value::Int(bv);
+            return true;
+        }
+    }
+}
+
+/// Shared fill body: do-while stores of `v` at `i0..max(i0+1, lim)`.
+/// `true` = completed with final induction value in `*iv_out`;
+/// `false` = some store would be out of bounds (deopt; `*iv_out`
+/// holds the failing index for write-back).
+fn fill_elems<T: Copy>(
+    cells: &[std::cell::UnsafeCell<T>],
+    iv_out: &mut i64,
+    lim: i64,
+    v: T,
+) -> bool {
+    let n = cells.len() as i64;
+    let i0 = *iv_out;
+    // do-while: the final induction value is max(i0 + 1, lim).
+    let end = if lim > i0 { lim } else { i0.wrapping_add(1) };
+    if i0 >= 0 && i0 < end && end <= n {
+        // SAFETY: the whole store range was bounds-checked above;
+        // this is the tight loop LLVM turns into a memset/vector fill.
+        for idx in i0..end {
+            unsafe { *cells.get_unchecked(idx as usize).get() = v };
+        }
+        *iv_out = end;
+        return true;
+    }
+    // Degenerate ranges (overflowing induction, oversized limit):
+    // replicate the do-while store by store until the bounds break.
+    let mut iv = i0;
+    loop {
+        if iv < 0 || iv >= n {
+            *iv_out = iv;
+            return false;
+        }
+        // SAFETY: iv bounds-checked just above.
+        unsafe { *cells.get_unchecked(iv as usize).get() = v };
+        iv = iv.wrapping_add(1);
+        if iv >= lim {
+            *iv_out = iv;
+            return true;
+        }
+    }
+}
+
+fn run_fill(kind: &KernelKind, regs: &mut [Value], consts: &[Value]) -> bool {
+    let KernelKind::FillConst { arr, i, c, lim, k } = *kind else {
+        return false;
+    };
+    let (Some(mut iv), Some(limv)) = (reg_int(regs, i), reg_int(regs, lim)) else {
+        return false;
+    };
+    let done = match consts.get(k as usize) {
+        Some(Value::Int(v)) => {
+            let Some(a) = cell_arri(regs, arr) else {
+                return false;
+            };
+            let done = fill_elems(a.cells(), &mut iv, limv, *v);
+            if done {
+                regs[c as usize] = Value::Int(*v);
+            }
+            done
+        }
+        Some(Value::Float(v)) => {
+            let Some(a) = cell_arrf(regs, arr) else {
+                return false;
+            };
+            let done = fill_elems(a.cells(), &mut iv, limv, *v);
+            if done {
+                regs[c as usize] = Value::Float(*v);
+            }
+            done
+        }
+        _ => return false,
+    };
+    regs[i as usize] = Value::Int(iv);
+    done
+}
+
+fn run_prefix(kind: &KernelKind, regs: &mut [Value]) -> bool {
+    let KernelKind::PrefixSum {
+        arr,
+        i,
+        t,
+        acc,
+        lim,
+    } = *kind
+    else {
+        return false;
+    };
+    let (Some(mut iv), Some(limv)) = (reg_int(regs, i), reg_int(regs, lim)) else {
+        return false;
+    };
+    if let Some(a) = cell_arri(regs, arr) {
+        let Some(mut accv) = reg_int(regs, acc) else {
+            return false;
+        };
+        let cells = a.cells();
+        let n = cells.len() as i64;
+        let mut tv;
+        loop {
+            if iv < 0 || iv >= n {
+                regs[i as usize] = Value::Int(iv);
+                regs[acc as usize] = Value::Int(accv);
+                return false;
+            }
+            // SAFETY: iv bounds-checked just above.
+            unsafe {
+                let p = cells.get_unchecked(iv as usize).get();
+                tv = *p;
+                accv = accv.wrapping_add(tv);
+                *p = accv;
+            }
+            iv = iv.wrapping_add(1);
+            if iv >= limv {
+                regs[i as usize] = Value::Int(iv);
+                regs[acc as usize] = Value::Int(accv);
+                regs[t as usize] = Value::Int(tv);
+                return true;
+            }
+        }
+    }
+    if let Some(a) = cell_arrf(regs, arr) {
+        let Some(mut accv) = reg_float(regs, acc) else {
+            return false;
+        };
+        let cells = a.cells();
+        let n = cells.len() as i64;
+        let mut tv;
+        loop {
+            if iv < 0 || iv >= n {
+                regs[i as usize] = Value::Int(iv);
+                regs[acc as usize] = Value::Float(accv);
+                return false;
+            }
+            // SAFETY: iv bounds-checked just above.
+            unsafe {
+                let p = cells.get_unchecked(iv as usize).get();
+                tv = *p;
+                accv += tv;
+                *p = accv;
+            }
+            iv = iv.wrapping_add(1);
+            if iv >= limv {
+                regs[i as usize] = Value::Int(iv);
+                regs[acc as usize] = Value::Float(accv);
+                regs[t as usize] = Value::Float(tv);
+                return true;
+            }
+        }
+    }
+    false
+}
+
+fn run_rank_inc(kind: &KernelKind, regs: &mut [Value], consts: &[Value]) -> bool {
+    let KernelKind::RankInc {
+        rkcell,
+        bcell,
+        q,
+        ra,
+        v,
+        x,
+        y,
+        rb,
+        v2,
+        lim,
+        k,
+    } = *kind
+    else {
+        return false;
+    };
+    let (Some(rk), Some(ba)) = (cell_arri(regs, rkcell), cell_arri(regs, bcell)) else {
+        return false;
+    };
+    let (Some(mut qv), Some(limv)) = (reg_int(regs, q), reg_int(regs, lim)) else {
+        return false;
+    };
+    let Some(Value::Int(c)) = consts.get(k as usize) else {
+        return false;
+    };
+    let c = *c;
+    let bc = ba.cells();
+    let rc = rk.cells();
+    let bn = bc.len() as i64;
+    let rn = rc.len() as i64;
+    loop {
+        if qv < 0 || qv >= bn {
+            regs[q as usize] = Value::Int(qv);
+            return false;
+        }
+        // SAFETY: qv bounds-checked just above.
+        let vv = unsafe { *bc.get_unchecked(qv as usize).get() };
+        if vv < 0 || vv >= rn {
+            regs[q as usize] = Value::Int(qv);
+            return false;
+        }
+        // SAFETY: vv bounds-checked just above. The second b[q] load
+        // of the interpreted body reads the same element before any
+        // store this iteration, so reusing `vv` is exact even if the
+        // arrays alias.
+        let (xv, yv) = unsafe {
+            let p = rc.get_unchecked(vv as usize).get();
+            let xv = *p;
+            let yv = xv.wrapping_add(c);
+            *p = yv;
+            (xv, yv)
+        };
+        qv = qv.wrapping_add(1);
+        if qv >= limv {
+            regs[q as usize] = Value::Int(qv);
+            regs[ra as usize] = Value::ArrI(rk.clone());
+            regs[rb as usize] = Value::ArrI(rk.clone());
+            regs[v as usize] = Value::Int(vv);
+            regs[v2 as usize] = Value::Int(vv);
+            regs[x as usize] = Value::Int(xv);
+            regs[y as usize] = Value::Int(yv);
+            return true;
+        }
+    }
+}
+
+fn run_scatter(kind: &KernelKind, regs: &mut [Value], consts: &[Value]) -> bool {
+    let KernelKind::Scatter {
+        keys,
+        i,
+        t,
+        t2,
+        sd,
+        bcell,
+        b2,
+        cur,
+        c,
+        lim,
+        k,
+    } = *kind
+    else {
+        return false;
+    };
+    let (Some(ka), Some(ba), Some(ca)) = (
+        cell_arri(regs, keys),
+        cell_arri(regs, bcell),
+        reg_arri(regs, cur),
+    ) else {
+        return false;
+    };
+    let (Some(mut iv), Some(sdv), Some(limv)) =
+        (reg_int(regs, i), reg_int(regs, sd), reg_int(regs, lim))
+    else {
+        return false;
+    };
+    let Some(Value::Int(inc)) = consts.get(k as usize) else {
+        return false;
+    };
+    let inc = *inc;
+    let kc = ka.cells();
+    let bc = ba.cells();
+    let cc = ca.cells();
+    let kn = kc.len() as i64;
+    let bn = bc.len() as i64;
+    let cn = cc.len() as i64;
+    loop {
+        if iv < 0 || iv >= kn {
+            regs[i as usize] = Value::Int(iv);
+            return false;
+        }
+        // SAFETY: iv bounds-checked just above.
+        let tv = unsafe { *kc.get_unchecked(iv as usize).get() };
+        if !div_ok(tv, sdv) {
+            regs[i as usize] = Value::Int(iv);
+            return false;
+        }
+        let dv = tv / sdv;
+        if dv < 0 || dv >= cn {
+            regs[i as usize] = Value::Int(iv);
+            return false;
+        }
+        // SAFETY: dv bounds-checked just above.
+        let cv = unsafe { *cc.get_unchecked(dv as usize).get() };
+        if cv < 0 || cv >= bn {
+            regs[i as usize] = Value::Int(iv);
+            return false;
+        }
+        // SAFETY: cv bounds-checked just above.
+        unsafe { *bc.get_unchecked(cv as usize).get() = tv };
+        // Interpreter order: the cursor increment re-loads cur[dv]
+        // after the store above (exact under aliasing).
+        // SAFETY: dv bounds-checked above.
+        unsafe {
+            let p = cc.get_unchecked(dv as usize).get();
+            *p = (*p).wrapping_add(inc);
+        }
+        iv = iv.wrapping_add(1);
+        if iv >= limv {
+            regs[i as usize] = Value::Int(iv);
+            regs[t as usize] = Value::Int(dv);
+            regs[t2 as usize] = Value::Int(tv);
+            regs[b2 as usize] = Value::ArrI(ba.clone());
+            regs[c as usize] = Value::Int(cv);
+            return true;
+        }
+    }
+}

@@ -11,10 +11,16 @@
 //! the default register-bytecode VM ([`bytecode`], [`compile`]) — a flat
 //! instruction stream with compile-time slot resolution and fused loop
 //! opcodes, post-processed by the [`optimize`] pipeline (constant
-//! folding, dead-store elimination, superinstruction fusion; `--opt=0|1|2`
-//! on the CLI) and executed with runtime quickening plus a pooled
-//! call-frame arena — or the original tree-walking interpreter, kept as
-//! the differential-testing oracle (`--backend=ast` on the `zag` CLI).
+//! folding, dead-store elimination, superinstruction fusion;
+//! `--opt=0|1|2|3` on the CLI), statically type-specialised from the
+//! block-structured [`ir`] by [`typeck`] (`--opt>=2`), and executed with
+//! runtime quickening plus a pooled call-frame arena — or the original
+//! tree-walking interpreter, kept as the differential-testing oracle
+//! (`--backend=ast` on the `zag` CLI). At `--opt=3`
+//! (`--backend=native`), recognised hot loop shapes additionally run as
+//! precompiled slice-level bulk kernels ([`kernels`]) over the raw
+//! `f64`/`i64` array storage, dispatched through the same work-sharing
+//! runtime.
 //!
 //! ```
 //! let out = zomp_vm::Vm::run(r#"
@@ -38,7 +44,10 @@ pub mod builtins;
 pub mod bytecode;
 pub mod compile;
 pub mod interp;
+pub mod ir;
+pub mod kernels;
 pub mod optimize;
+pub mod typeck;
 pub mod value;
 
 pub use interp::{compile, compile_named, compile_opt, Backend, Program, Vm};

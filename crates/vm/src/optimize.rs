@@ -63,18 +63,23 @@ pub enum OptLevel {
     /// Constant folding, copy propagation, dead-store elimination, plus
     /// the runtime call-frame arena.
     O1,
-    /// `O1` + superinstruction fusion and runtime quickening (default).
+    /// `O1` + superinstruction fusion, static type specialization from
+    /// the typed IR ([`crate::typeck`]), and runtime quickening (default).
     #[default]
     O2,
+    /// `O2` + the native bulk-kernel tier ([`crate::kernels`]): hot typed
+    /// loop shapes lower to precompiled slice kernels.
+    O3,
 }
 
 impl OptLevel {
-    /// Parse a CLI spelling (`0` | `1` | `2`).
+    /// Parse a CLI spelling (`0` | `1` | `2` | `3`).
     pub fn parse(s: &str) -> Option<OptLevel> {
         match s {
             "0" => Some(OptLevel::O0),
             "1" => Some(OptLevel::O1),
             "2" => Some(OptLevel::O2),
+            "3" => Some(OptLevel::O3),
             _ => None,
         }
     }
@@ -86,6 +91,7 @@ impl fmt::Display for OptLevel {
             OptLevel::O0 => "0",
             OptLevel::O1 => "1",
             OptLevel::O2 => "2",
+            OptLevel::O3 => "3",
         })
     }
 }
@@ -97,9 +103,16 @@ impl fmt::Display for OptLevel {
 /// Visit every register an instruction *reads*. Call-style instructions
 /// read their whole argument block; `FmaIdx` reads its accumulator;
 /// `IncCmpJump`/`IncJump` read the induction register they update.
-fn visit_uses(insn: &Insn, mut f: impl FnMut(Reg)) {
+/// `BulkLoop` reports nothing: kernels are installed after every
+/// rewriting pass has run, and their registers are range-checked through
+/// the kernel descriptor in [`verify_fn`].
+pub(crate) fn visit_uses(insn: &Insn, mut f: impl FnMut(Reg)) {
     match *insn {
-        Insn::Const { .. } | Insn::Jump { .. } | Insn::Trap { .. } | Insn::RetVoid => {}
+        Insn::Const { .. }
+        | Insn::Jump { .. }
+        | Insn::Trap { .. }
+        | Insn::BulkLoop { .. }
+        | Insn::RetVoid => {}
         Insn::Move { src, .. }
         | Insn::NewCell { src, .. }
         | Insn::AddrDeref { src, .. }
@@ -237,7 +250,7 @@ fn visit_uses(insn: &Insn, mut f: impl FnMut(Reg)) {
 /// Visit every register an instruction *writes*. Call argument blocks
 /// count as defs: the interpreter moves them out (`take_args` /
 /// `call_fn`) and leaves `Undefined` behind.
-fn visit_defs(insn: &Insn, mut f: impl FnMut(Reg)) {
+pub(crate) fn visit_defs(insn: &Insn, mut f: impl FnMut(Reg)) {
     match *insn {
         Insn::Const { dst, .. }
         | Insn::Move { dst, .. }
@@ -299,12 +312,13 @@ fn visit_defs(insn: &Insn, mut f: impl FnMut(Reg)) {
         | Insn::CmpJumpFalseFF { .. }
         | Insn::Print { .. }
         | Insn::Trap { .. }
+        | Insn::BulkLoop { .. }
         | Insn::Ret { .. }
         | Insn::RetVoid => {}
     }
 }
 
-fn jump_target(insn: &Insn) -> Option<u32> {
+pub(crate) fn jump_target(insn: &Insn) -> Option<u32> {
     match *insn {
         Insn::Jump { to }
         | Insn::JumpIfFalse { to, .. }
@@ -334,7 +348,7 @@ fn retarget(insn: &mut Insn, map: &[u32]) {
 }
 
 /// Whether control can fall through to the next instruction.
-fn falls_through(insn: &Insn) -> bool {
+pub(crate) fn falls_through(insn: &Insn) -> bool {
     !matches!(
         insn,
         Insn::Jump { .. }
@@ -347,7 +361,7 @@ fn falls_through(insn: &Insn) -> bool {
 
 /// Basic-block leader marks: entry, every jump target, and every
 /// instruction after a branch/terminator.
-fn leaders(code: &[Insn]) -> Vec<bool> {
+pub(crate) fn leaders(code: &[Insn]) -> Vec<bool> {
     let mut l = vec![false; code.len()];
     if let Some(first) = l.first_mut() {
         *first = true;
@@ -437,6 +451,28 @@ pub fn verify_fn(f: &CompiledFn, nfuncs: usize) -> Result<(), String> {
                 return bad(pc, format!("jump target {t} out of range"));
             }
         }
+        // BulkLoop carries its registers and exit pc in the kernel
+        // descriptor (the instruction itself reports no operands).
+        if let Insn::BulkLoop { kidx } = *insn {
+            let Some(desc) = f.kernels.get(kidx as usize) else {
+                return bad(pc, format!("kernel index {kidx} out of range"));
+            };
+            let mut reg_err = None;
+            desc.visit_regs(|r| {
+                if (r as usize) >= f.nregs && reg_err.is_none() {
+                    reg_err = Some(r);
+                }
+            });
+            if let Some(r) = reg_err {
+                return bad(
+                    pc,
+                    format!("kernel register r{r} out of range (nregs {})", f.nregs),
+                );
+            }
+            if desc.exit as usize >= n {
+                return bad(pc, format!("kernel exit pc {} out of range", desc.exit));
+            }
+        }
     }
     if falls_through(&f.code[n - 1]) {
         return bad(n - 1, "stream does not end in a terminator".into());
@@ -486,7 +522,7 @@ impl BitSet {
 }
 
 /// Successor instruction indices of the block-ending instruction at `end`.
-fn succs(code: &[Insn], end: usize, out: &mut Vec<usize>) {
+pub(crate) fn succs(code: &[Insn], end: usize, out: &mut Vec<usize>) {
     out.clear();
     if let Some(t) = jump_target(&code[end]) {
         out.push(t as usize);

@@ -1,0 +1,494 @@
+//! Static type inference over the block-structured IR and the
+//! Int/Float specialization pass driven by it (`--opt>=2`).
+//!
+//! The interpreter historically discovered slot types at runtime:
+//! the first execution of a generic [`Insn::Arith`] inspects its
+//! operands and quickens itself into [`Insn::ArithII`] /
+//! [`Insn::ArithFF`]. That works, but every hot loop pays one generic
+//! dispatch per site per thread, and the bytecode stream the native
+//! tier ([`crate::kernels`]) wants to pattern-match is only in its
+//! final shape after warm-up. This pass computes the same facts
+//! *statically*: a forward dataflow over [`crate::ir`] basic blocks
+//! assigns every register a lattice type per block entry, and every
+//! Arith/Cmp/Index/IndexSet site whose operands are provably
+//! Int/Float gets its specialized opcode emitted directly. Runtime
+//! quickening remains in place for the slots inference leaves
+//! [`Ty::Dynamic`] — and for the (sound but conservative) case where
+//! inference is wrong about nothing: the specialized opcodes keep
+//! their deopt arms, so a mis-specialized site falls back to the
+//! generic instruction instead of misbehaving.
+//!
+//! The lattice is deliberately flat: `Bottom < {Int, Float, Bool, …}
+//! < Dynamic`. Joining two different concrete types goes straight to
+//! `Dynamic`; there is no subtyping. Calls are handled with an
+//! interprocedural return-type summary computed to fixpoint across
+//! the image (parameters are always `Dynamic` — `fork_call` and
+//! `CallValue` can pass anything).
+
+use crate::bytecode::{BuiltinOp, CompiledFn, Image, Insn, PreOpt, Reg};
+use crate::ir;
+use crate::optimize::verify_fn;
+use crate::value::Value;
+
+/// Static type of a register slot. One variant per runtime
+/// [`Value`] shape the specializer cares about, plus the two lattice
+/// extremes.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Ty {
+    /// Dataflow ⊥: no path has defined this slot yet. Never appears
+    /// in the entry environment of a reachable block.
+    Bottom,
+    Int,
+    Float,
+    Bool,
+    Str,
+    /// `[]f64` shared array.
+    ArrF,
+    /// `[]i64` shared array.
+    ArrI,
+    /// Boxed scalar cell (`Value::Ptr`).
+    Ptr,
+    /// Element pointer into a `[]f64` (`&a[i]`).
+    ElemPtrF,
+    /// Element pointer into a `[]i64`.
+    ElemPtrI,
+    /// First-class function reference.
+    FnRef,
+    Void,
+    /// Slot not yet initialised at runtime (`Value::Undefined`).
+    Undef,
+    /// Reduction handle.
+    Red,
+    /// Work-sharing iterator handle.
+    Ws,
+    /// Dataflow ⊤: statically unknown; runtime quickening owns it.
+    Dynamic,
+}
+
+impl Ty {
+    /// Lattice join: `⊥ ∨ t = t`, `t ∨ t = t`, anything else is
+    /// `Dynamic`.
+    pub fn join(self, other: Ty) -> Ty {
+        match (self, other) {
+            (Ty::Bottom, t) | (t, Ty::Bottom) => t,
+            (a, b) if a == b => a,
+            _ => Ty::Dynamic,
+        }
+    }
+
+    /// Short stable name used by the `--dump-ir` pretty-printer.
+    pub fn name(self) -> &'static str {
+        match self {
+            Ty::Bottom => "none",
+            Ty::Int => "i64",
+            Ty::Float => "f64",
+            Ty::Bool => "bool",
+            Ty::Str => "str",
+            Ty::ArrF => "[]f64",
+            Ty::ArrI => "[]i64",
+            Ty::Ptr => "*any",
+            Ty::ElemPtrF => "*f64",
+            Ty::ElemPtrI => "*i64",
+            Ty::FnRef => "fn",
+            Ty::Void => "void",
+            Ty::Undef => "undef",
+            Ty::Red => "red",
+            Ty::Ws => "ws",
+            Ty::Dynamic => "dyn",
+        }
+    }
+
+    fn of_const(v: &Value) -> Ty {
+        match v {
+            Value::Int(_) => Ty::Int,
+            Value::Float(_) => Ty::Float,
+            Value::Bool(_) => Ty::Bool,
+            Value::Str(_) => Ty::Str,
+            Value::Fn(_) => Ty::FnRef,
+            Value::Void => Ty::Void,
+            Value::Undefined => Ty::Undef,
+            _ => Ty::Dynamic,
+        }
+    }
+}
+
+/// Inference result for one function.
+pub struct FnTypes {
+    /// Register types at each block entry; `None` = block is
+    /// statically unreachable.
+    pub entry: Vec<Option<Vec<Ty>>>,
+    /// Join of all reachable `ret` sources (`Bottom` if the function
+    /// never returns normally).
+    pub ret: Ty,
+}
+
+/// Inference result for a whole image.
+pub struct ImageTypes {
+    /// Per-function block-entry environments, indexed like
+    /// `image.funcs`.
+    pub fns: Vec<FnTypes>,
+    /// Per-function return-type summaries (the fixpoint the `fns`
+    /// environments were computed against).
+    pub rets: Vec<Ty>,
+}
+
+/// Run type inference over every function, iterating the
+/// interprocedural return summaries to fixpoint.
+pub fn infer_image(image: &Image) -> ImageTypes {
+    let firs: Vec<ir::FnIr> = image.funcs.iter().map(ir::lift).collect();
+    let mut rets = vec![Ty::Bottom; image.funcs.len()];
+    loop {
+        let mut fns = Vec::with_capacity(image.funcs.len());
+        let mut changed = false;
+        for (i, f) in image.funcs.iter().enumerate() {
+            let ft = infer_fn(f, &firs[i], &rets);
+            let joined = rets[i].join(ft.ret);
+            if joined != rets[i] {
+                rets[i] = joined;
+                changed = true;
+            }
+            fns.push(ft);
+        }
+        // The summaries only ever move up the (two-level) lattice, so
+        // this converges in a handful of rounds; the environments
+        // returned are the ones computed against the final summaries.
+        if !changed {
+            return ImageTypes { fns, rets };
+        }
+    }
+}
+
+/// Forward dataflow over one function's blocks.
+fn infer_fn(f: &CompiledFn, fir: &ir::FnIr, rets: &[Ty]) -> FnTypes {
+    let nb = fir.blocks.len();
+    let mut entry: Vec<Option<Vec<Ty>>> = vec![None; nb];
+    // Runtime truth at function entry: parameters hold caller values
+    // (anything), every other slot is Value::Undefined.
+    let mut env0 = vec![Ty::Undef; f.nregs];
+    for t in env0.iter_mut().take(f.nparams) {
+        *t = Ty::Dynamic;
+    }
+    entry[0] = Some(env0);
+    let mut work = vec![0usize];
+    while let Some(b) = work.pop() {
+        let mut env = entry[b].clone().expect("worklist block has env");
+        let blk = &fir.blocks[b];
+        for insn in &f.code[blk.start..=blk.end] {
+            transfer(insn, &mut env, f, rets);
+        }
+        for &s in &blk.succs {
+            match &mut entry[s] {
+                Some(e) => {
+                    let mut widened = false;
+                    for (old, new) in e.iter_mut().zip(&env) {
+                        let j = old.join(*new);
+                        if j != *old {
+                            *old = j;
+                            widened = true;
+                        }
+                    }
+                    if widened && !work.contains(&s) {
+                        work.push(s);
+                    }
+                }
+                None => {
+                    entry[s] = Some(env.clone());
+                    work.push(s);
+                }
+            }
+        }
+    }
+    // Collect the return summary in a final deterministic pass now
+    // that the environments have converged.
+    let mut ret = Ty::Bottom;
+    for (b, e) in entry.iter().enumerate() {
+        let Some(e) = e else { continue };
+        let mut env = e.clone();
+        let blk = &fir.blocks[b];
+        for insn in &f.code[blk.start..=blk.end] {
+            match insn {
+                Insn::Ret { src } => ret = ret.join(env[*src as usize]),
+                Insn::RetVoid => ret = ret.join(Ty::Void),
+                _ => {}
+            }
+            transfer(insn, &mut env, f, rets);
+        }
+    }
+    FnTypes { entry, ret }
+}
+
+/// Result type of a binary arithmetic op given operand types. Mixed
+/// or non-numeric operands raise at runtime, so `Dynamic` (the dst is
+/// then never observed) is sound.
+fn arith_ty(a: Ty, b: Ty) -> Ty {
+    match (a, b) {
+        (Ty::Int, Ty::Int) => Ty::Int,
+        (Ty::Float, Ty::Float) => Ty::Float,
+        _ => Ty::Dynamic,
+    }
+}
+
+/// Element type of an indexed array.
+fn elem_ty(arr: Ty) -> Ty {
+    match arr {
+        Ty::ArrF => Ty::Float,
+        Ty::ArrI => Ty::Int,
+        _ => Ty::Dynamic,
+    }
+}
+
+/// Return type of an `omp.*` runtime call, by symbol path.
+fn omp_ret_ty(path: &[String]) -> Ty {
+    let parts: Vec<&str> = path.iter().map(|s| s.as_str()).collect();
+    match parts.as_slice() {
+        ["internal", name] => match *name {
+            "ws_next" | "is_master" | "single_begin" => Ty::Bool,
+            "ws_lb" | "ws_ub" | "trip_count" | "if_threads" => Ty::Int,
+            "ws_begin" => Ty::Ws,
+            "red_cell" | "red_loop_begin" => Ty::Red,
+            "ws_fini" | "barrier" | "single_end" | "critical_enter" | "critical_exit"
+            | "atomic_rmw" | "red_combine" | "fork_call" => Ty::Void,
+            _ => Ty::Dynamic,
+        },
+        [name] => match *name {
+            "get_thread_num" | "get_num_threads" | "get_max_threads" | "get_num_procs"
+            | "get_level" => Ty::Int,
+            "in_parallel" => Ty::Bool,
+            "get_wtime" => Ty::Float,
+            "set_num_threads" => Ty::Void,
+            _ => Ty::Dynamic,
+        },
+        _ => Ty::Dynamic,
+    }
+}
+
+/// Apply one instruction's effect to the environment. Must
+/// over-approximate the interpreter (including every quickened
+/// variant, which share the generic semantics).
+fn transfer(insn: &Insn, env: &mut [Ty], f: &CompiledFn, rets: &[Ty]) {
+    let get = |env: &[Ty], r: Reg| env[r as usize];
+    let set = |env: &mut [Ty], r: Reg, t: Ty| env[r as usize] = t;
+    // Argument windows are consumed by take_args, leaving Undefined.
+    let clear_args = |env: &mut [Ty], base: Reg, n: u16| {
+        for r in base..base + n as Reg {
+            env[r as usize] = Ty::Undef;
+        }
+    };
+    match *insn {
+        Insn::Const { dst, k } => set(env, dst, Ty::of_const(&f.consts[k as usize])),
+        Insn::Move { dst, src } => set(env, dst, get(env, src)),
+        Insn::NewCell { dst, .. } => set(env, dst, Ty::Ptr),
+        Insn::CellGet { dst, .. } => set(env, dst, Ty::Dynamic),
+        Insn::CellSet { .. } | Insn::StorePtr { .. } => {}
+        Insn::Deref { dst, ptr } => {
+            let t = match get(env, ptr) {
+                Ty::ElemPtrF => Ty::Float,
+                Ty::ElemPtrI => Ty::Int,
+                _ => Ty::Dynamic,
+            };
+            set(env, dst, t);
+        }
+        Insn::ElemAddr { dst, arr, .. } => {
+            let t = match get(env, arr) {
+                Ty::ArrF => Ty::ElemPtrF,
+                Ty::ArrI => Ty::ElemPtrI,
+                _ => Ty::Dynamic,
+            };
+            set(env, dst, t);
+        }
+        Insn::AddrDeref { dst, src } => {
+            let t = match get(env, src) {
+                t @ (Ty::Ptr | Ty::ElemPtrF | Ty::ElemPtrI) => t,
+                _ => Ty::Dynamic,
+            };
+            set(env, dst, t);
+        }
+        Insn::Index { dst, arr, .. } | Insn::IndexOff { dst, arr, .. } => {
+            let t = elem_ty(get(env, arr));
+            set(env, dst, t);
+        }
+        Insn::IndexF { dst, .. } => set(env, dst, Ty::Float),
+        Insn::IndexI { dst, .. } => set(env, dst, Ty::Int),
+        Insn::IndexSet { .. } | Insn::IndexSetF { .. } | Insn::IndexSetI { .. } => {}
+        Insn::Arith { op: _, dst, a, b }
+        | Insn::ArithII { op: _, dst, a, b }
+        | Insn::ArithFF { op: _, dst, a, b } => {
+            let t = arith_ty(get(env, a), get(env, b));
+            set(env, dst, t);
+        }
+        Insn::ArithK { op: _, dst, a, k } => {
+            let t = arith_ty(get(env, a), Ty::of_const(&f.consts[k as usize]));
+            set(env, dst, t);
+        }
+        Insn::ArithKL { op: _, dst, k, b } => {
+            let t = arith_ty(Ty::of_const(&f.consts[k as usize]), get(env, b));
+            set(env, dst, t);
+        }
+        Insn::IndexArith { dst, arr, rhs, .. } => {
+            let t = arith_ty(elem_ty(get(env, arr)), get(env, rhs));
+            set(env, dst, t);
+        }
+        Insn::ArithStore { .. } | Insn::IncElemK { .. } | Insn::DerefIncElemK { .. } => {}
+        Insn::FmaIdx { dst, x, arr, .. } => {
+            let prod = arith_ty(get(env, x), elem_ty(get(env, arr)));
+            let t = arith_ty(get(env, dst), prod);
+            set(env, dst, t);
+        }
+        Insn::DerefFmaIdx { dst, .. }
+        | Insn::FmaIdxCC { dst, .. }
+        | Insn::FmaGather { dst, .. } => {
+            // Element types behind cells are not tracked.
+            set(env, dst, Ty::Dynamic);
+        }
+        Insn::DerefIndex { dst, .. } | Insn::DerefIndexOff { dst, .. } => {
+            set(env, dst, Ty::Dynamic)
+        }
+        Insn::DerefIndexSet { .. } => {}
+        Insn::Cmp { dst, .. } | Insn::CmpII { dst, .. } | Insn::CmpFF { dst, .. } => {
+            set(env, dst, Ty::Bool)
+        }
+        Insn::Neg { dst, src } => {
+            let t = match get(env, src) {
+                t @ (Ty::Int | Ty::Float) => t,
+                _ => Ty::Dynamic,
+            };
+            set(env, dst, t);
+        }
+        Insn::Not { dst, .. } | Insn::Truthy { dst, .. } => set(env, dst, Ty::Bool),
+        Insn::Jump { .. }
+        | Insn::JumpIfFalse { .. }
+        | Insn::JumpIfTrue { .. }
+        | Insn::CmpJumpFalse { .. }
+        | Insn::CmpJumpFalseII { .. }
+        | Insn::CmpJumpFalseFF { .. } => {}
+        // The increment only succeeds when the counter was Int, so on
+        // every path out of this instruction the register is Int.
+        Insn::IncCmpJump { var, .. } | Insn::IncJump { var, .. } => set(env, var, Ty::Int),
+        Insn::Call { dst, func, base, n } => {
+            clear_args(env, base, n);
+            let t = rets[func as usize];
+            set(env, dst, if t == Ty::Bottom { Ty::Dynamic } else { t });
+        }
+        Insn::CallValue { dst, base, n, .. } => {
+            clear_args(env, base, n);
+            set(env, dst, Ty::Dynamic);
+        }
+        Insn::OmpCall { dst, sym, base, n } => {
+            clear_args(env, base, n);
+            let t = omp_ret_ty(&f.omp_syms[sym as usize]);
+            set(env, dst, t);
+        }
+        Insn::Builtin {
+            dst, op, base, n, ..
+        } => {
+            let t = match op {
+                BuiltinOp::IntToFloat
+                | BuiltinOp::Sqrt
+                | BuiltinOp::Log
+                | BuiltinOp::Exp
+                | BuiltinOp::Sin
+                | BuiltinOp::Cos
+                | BuiltinOp::Pow => Ty::Float,
+                BuiltinOp::FloatToInt | BuiltinOp::Len => Ty::Int,
+                BuiltinOp::AllocF => Ty::ArrF,
+                BuiltinOp::AllocI => Ty::ArrI,
+                BuiltinOp::Abs | BuiltinOp::Max | BuiltinOp::Min => {
+                    let mut t = Ty::Bottom;
+                    for r in base..base + n as Reg {
+                        t = t.join(get(env, r));
+                    }
+                    match t {
+                        Ty::Int | Ty::Float => t,
+                        _ => Ty::Dynamic,
+                    }
+                }
+                BuiltinOp::Dyn => Ty::Dynamic,
+            };
+            set(env, dst, t);
+        }
+        Insn::Print { .. } => {}
+        // Installed after inference/specialization; nothing to model.
+        Insn::BulkLoop { .. } => {}
+        Insn::Trap { .. } | Insn::Ret { .. } | Insn::RetVoid => {}
+    }
+}
+
+/// Rewrite of one site permitted by the environment, if any.
+fn specialize_insn(insn: &Insn, env: &[Ty]) -> Option<Insn> {
+    let t = |r: Reg| env[r as usize];
+    match *insn {
+        Insn::Arith { op, dst, a, b } => match (t(a), t(b)) {
+            (Ty::Int, Ty::Int) => Some(Insn::ArithII { op, dst, a, b }),
+            (Ty::Float, Ty::Float) => Some(Insn::ArithFF { op, dst, a, b }),
+            _ => None,
+        },
+        Insn::Cmp { op, dst, a, b } => match (t(a), t(b)) {
+            (Ty::Int, Ty::Int) => Some(Insn::CmpII { op, dst, a, b }),
+            (Ty::Float, Ty::Float) => Some(Insn::CmpFF { op, dst, a, b }),
+            _ => None,
+        },
+        Insn::CmpJumpFalse { op, a, b, to } => match (t(a), t(b)) {
+            (Ty::Int, Ty::Int) => Some(Insn::CmpJumpFalseII { op, a, b, to }),
+            (Ty::Float, Ty::Float) => Some(Insn::CmpJumpFalseFF { op, a, b, to }),
+            _ => None,
+        },
+        Insn::Index { dst, arr, idx } => match (t(arr), t(idx)) {
+            (Ty::ArrF, Ty::Int) => Some(Insn::IndexF { dst, arr, idx }),
+            (Ty::ArrI, Ty::Int) => Some(Insn::IndexI { dst, arr, idx }),
+            _ => None,
+        },
+        Insn::IndexSet { arr, idx, src } => match (t(arr), t(idx), t(src)) {
+            (Ty::ArrF, Ty::Int, Ty::Float) => Some(Insn::IndexSetF { arr, idx, src }),
+            (Ty::ArrI, Ty::Int, Ty::Int) => Some(Insn::IndexSetI { arr, idx, src }),
+            _ => None,
+        },
+        _ => None,
+    }
+}
+
+/// Statically specialize every function in the image in place
+/// (`--opt>=2`). Sites whose operands inference can prove Int/Float
+/// get their quickened opcode emitted directly; everything else is
+/// left for runtime quickening.
+pub fn specialize_image(image: &mut Image) {
+    let types = infer_image(image);
+    let nfuncs = image.funcs.len();
+    for (fi, f) in image.funcs.iter_mut().enumerate() {
+        specialize_fn(f, &types.fns[fi], &types.rets, nfuncs);
+    }
+}
+
+fn specialize_fn(f: &mut CompiledFn, types: &FnTypes, rets: &[Ty], nfuncs: usize) {
+    let fir = ir::lift(f);
+    let orig = if f.pre_opt.is_none() {
+        Some(f.code.clone())
+    } else {
+        None
+    };
+    let mut changed = false;
+    for (b, blk) in fir.blocks.iter().enumerate() {
+        let Some(entry) = &types.entry[b] else {
+            continue;
+        };
+        let mut env = entry.clone();
+        for pc in blk.start..=blk.end {
+            let insn = f.code[pc];
+            if let Some(spec) = specialize_insn(&insn, &env) {
+                f.code[pc] = spec;
+                changed = true;
+            }
+            transfer(&insn, &mut env, f, rets);
+        }
+    }
+    if changed {
+        if let Some(code) = orig {
+            f.pre_opt = Some(PreOpt {
+                code,
+                nconsts: f.consts.len(),
+            });
+        }
+        if let Err(e) = verify_fn(f, nfuncs) {
+            panic!("type specialization produced invalid bytecode: {e}");
+        }
+    }
+}

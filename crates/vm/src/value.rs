@@ -102,6 +102,16 @@ macro_rules! shared_array {
                 Ok(())
             }
 
+            /// Raw element storage for the `--opt=3` bulk kernels
+            /// ([`crate::kernels`]). Kernels bounds-check the whole
+            /// index range themselves (in every safety mode) and bail
+            /// back to the interpreter on violation, so the exact
+            /// checked/unchecked error behaviour of `get`/`set` is
+            /// reproduced by the interpreter replay.
+            pub(crate) fn cells(&self) -> &[UnsafeCell<$elem>] {
+                &self.data
+            }
+
             /// Snapshot for verification/tests.
             pub fn to_vec(&self) -> Vec<$elem> {
                 (0..self.data.len() as i64)

@@ -11,18 +11,19 @@ use zomp_vm::{Backend, OptLevel, Value, Vm};
 
 /// Every optimization level the bytecode backend must stay faithful at:
 /// `O0` is the raw stream, `O1` adds folding/copy-prop/DSE, `O2` adds
-/// superinstruction fusion and runtime quickening.
-const OPT_LEVELS: [OptLevel; 3] = [OptLevel::O0, OptLevel::O1, OptLevel::O2];
+/// superinstruction fusion, static type specialization, and runtime
+/// quickening, `O3` adds native bulk-kernel installation for hot loops.
+const OPT_LEVELS: [OptLevel; 4] = [OptLevel::O0, OptLevel::O1, OptLevel::O2, OptLevel::O3];
 
 /// The opt levels this process actually exercises: all of [`OPT_LEVELS`]
-/// by default, or just the one named by `ZAG_TEST_OPT=0|1|2` — the hook
+/// by default, or just the one named by `ZAG_TEST_OPT=0|1|2|3` — the hook
 /// the CI opt-level matrix uses to run each level as a separate step with
 /// its own pass/fail line.
 fn opt_levels() -> Vec<OptLevel> {
     match std::env::var("ZAG_TEST_OPT") {
         Ok(s) => {
             let opt = OptLevel::parse(&s)
-                .unwrap_or_else(|| panic!("ZAG_TEST_OPT must be 0|1|2, got {s:?}"));
+                .unwrap_or_else(|| panic!("ZAG_TEST_OPT must be 0|1|2|3, got {s:?}"));
             vec![opt]
         }
         Err(_) => OPT_LEVELS.to_vec(),
@@ -38,13 +39,16 @@ fn run_on(src: &str, backend: Backend, opt: OptLevel) -> Result<Vec<String>, Str
 }
 
 /// The bytecode backend, at every opt level, must agree with the
-/// tree-walking oracle on output lines *and* on error messages.
+/// tree-walking oracle on output lines *and* on error messages; the
+/// native backend (which forces `--opt=3`) must agree too.
 fn assert_backends_agree(name: &str, src: &str) {
     let ast = run_on(src, Backend::Ast, OptLevel::O0);
     for opt in opt_levels() {
         let bc = run_on(src, Backend::Bytecode, opt);
         assert_eq!(bc, ast, "{name}: backends diverged at --opt={opt}");
     }
+    let native = run_on(src, Backend::Native, OptLevel::O2);
+    assert_eq!(native, ast, "{name}: native backend diverged");
 }
 
 #[test]

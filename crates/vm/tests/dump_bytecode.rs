@@ -3,9 +3,11 @@
 //!
 //! Codegen changes (new fusion rules, different register assignment,
 //! constant-pool ordering) show up as a readable diff against
-//! `tests/golden/loop.disasm` (the raw `--opt=0` stream) and
-//! `tests/golden/loop.opt{1,2}.disasm` (the `--dump-bytecode` pre/post
-//! view, so fusion regressions are visible as instruction-level diffs).
+//! `tests/golden/loop.disasm` (the raw `--opt=0` stream),
+//! `tests/golden/loop.opt{1,2,3}.disasm` (the `--dump-bytecode` pre/post
+//! view, so fusion regressions are visible as instruction-level diffs),
+//! and `tests/golden/loop.ir` (the `--dump-ir` typed block view, so
+//! inference regressions show up as type-annotation diffs).
 //! To accept a new golden output:
 //!
 //! ```text
@@ -65,4 +67,29 @@ fn loop_program_opt1_disassembly_matches_golden() {
 #[test]
 fn loop_program_opt2_disassembly_matches_golden() {
     check(OptLevel::O2, "loop.opt2.disasm");
+}
+
+#[test]
+fn loop_program_opt3_disassembly_matches_golden() {
+    check(OptLevel::O3, "loop.opt3.disasm");
+}
+
+/// The `--dump-ir` surface: blocks, predecessors/successors, and the
+/// inferred per-block entry types for the same loop program at `--opt=2`.
+#[test]
+fn loop_program_ir_dump_matches_golden() {
+    let program = zomp_vm::compile_opt(PROGRAM, Some("golden.zag"), OptLevel::O2).expect("compile");
+    let got = zomp_vm::ir::dump(&program.code);
+    let path = format!("{}/tests/golden/loop.ir", env!("CARGO_MANIFEST_DIR"));
+    if std::env::var_os("UPDATE_GOLDEN").is_some() {
+        std::fs::write(&path, &got).expect("write golden");
+        return;
+    }
+    let want = std::fs::read_to_string(&path)
+        .expect("golden file missing — run with UPDATE_GOLDEN=1 to create it");
+    assert_eq!(
+        got, want,
+        "IR dump drifted from tests/golden/loop.ir; \
+         review the diff and re-bless with UPDATE_GOLDEN=1 if intended"
+    );
 }

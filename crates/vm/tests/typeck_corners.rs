@@ -1,0 +1,196 @@
+//! Corner cases of the static type-inference pass ([`zomp_vm::typeck`])
+//! and the native bulk-kernel tier ([`zomp_vm::kernels`]).
+//!
+//! The differential suite proves whole-program agreement; these tests pin
+//! the *mechanism*: which instructions the specializer rewrites statically,
+//! which slots it must leave `Dynamic` (so runtime quickening keeps the
+//! deopt safety net), and that a bulk kernel's mid-loop bail reproduces
+//! the interpreter's exact error.
+
+use zomp_vm::bytecode::disasm_fn;
+use zomp_vm::typeck::{infer_image, Ty};
+use zomp_vm::{Backend, OptLevel, Vm};
+
+fn build(src: &str, opt: OptLevel) -> Vm {
+    Vm::build(src, None, Backend::Bytecode, opt).unwrap_or_else(|e| panic!("{}", e.render(src)))
+}
+
+fn run(src: &str, backend: Backend, opt: OptLevel) -> Result<Vec<String>, String> {
+    let vm = Vm::build(src, None, backend, opt).unwrap_or_else(|e| panic!("{}", e.render(src)));
+    match vm.call_function("main", Vec::new()) {
+        Ok(_) => Ok(vm.output.into_inner()),
+        Err(e) => Err(e.to_string()),
+    }
+}
+
+/// A monomorphic integer loop specializes *statically*: the compiled
+/// image already holds `cjfii`/`addii` before the first instruction runs
+/// (quickening would only get there after a warm-up execution).
+#[test]
+fn int_loop_specializes_before_execution() {
+    let src = r#"fn main() void {
+    var s: i64 = 0;
+    var i: i64 = 0;
+    while (i < 10) : (i += 1) { s = s + i; }
+    print(s);
+}"#;
+    let vm = build(src, OptLevel::O2);
+    let dis = disasm_fn(vm.program.code.get("main").unwrap());
+    assert!(
+        dis.contains("cjfii"),
+        "loop compare not specialized:\n{dis}"
+    );
+    assert!(dis.contains("addii"), "int add not specialized:\n{dis}");
+}
+
+/// A slot reassigned from Int to Float joins to `Dynamic`: the add on it
+/// must stay generic so runtime quickening (and its deopt) still owns it,
+/// and the program must keep matching the oracle through the type flip.
+#[test]
+fn mixed_reassignment_stays_dynamic_and_deopts() {
+    let src = r#"fn main() void {
+    var x: any = undefined;
+    x = 1;
+    var i: i64 = 0;
+    while (i < 6) : (i += 1) {
+        x = x + x;
+        if (i == 2) { x = 0.5; }
+    }
+    print(x);
+}"#;
+    let vm = build(src, OptLevel::O2);
+    let dis = disasm_fn(vm.program.code.get("main").unwrap());
+    assert!(
+        dis.contains("add        r"),
+        "the Int/Float-flipping add must stay generic:\n{dis}"
+    );
+    assert!(
+        !dis.contains("addii") && !dis.contains("addff"),
+        "a Dynamic slot must not be statically specialized:\n{dis}"
+    );
+    let ast = run(src, Backend::Ast, OptLevel::O0);
+    for opt in [OptLevel::O2, OptLevel::O3] {
+        assert_eq!(
+            run(src, Backend::Bytecode, opt),
+            ast,
+            "quickening deopt diverged at --opt={opt}"
+        );
+    }
+}
+
+/// `&x` boxes the local: inference types its register as a cell pointer
+/// at every block boundary after the `newcell`, and reads through it stay
+/// `Dynamic` (no static specialization of derefed arithmetic).
+#[test]
+fn address_taken_local_is_ptr() {
+    let src = r#"fn main() void {
+    var x: i64 = 1;
+    var p: any = &x;
+    var i: i64 = 0;
+    while (i < 3) : (i += 1) { p.* = x + 1; }
+    print(x);
+}"#;
+    let vm = build(src, OptLevel::O2);
+    let f = vm.program.code.get("main").unwrap();
+    let dis = disasm_fn(f);
+    assert!(dis.contains("newcell"), "local `x` should be boxed:\n{dis}");
+    let &(xreg, _, addr_taken) = f
+        .locals
+        .iter()
+        .find(|(_, name, _)| name == "x")
+        .expect("local x");
+    assert!(addr_taken, "local `x` should be flagged address-taken");
+    let idx = vm.program.code.by_name["main"];
+    let types = infer_image(&vm.program.code);
+    let saw_ptr = types.fns[idx]
+        .entry
+        .iter()
+        .flatten()
+        .any(|env| env[xreg as usize] == Ty::Ptr);
+    assert!(
+        saw_ptr,
+        "boxed local never inferred as Ptr at a block entry"
+    );
+}
+
+/// An array allocated inside a `parallel` body keeps a stable element
+/// type across the whole outlined function: its index/index-set sites
+/// specialize statically to the `F` forms inside `__omp_outlined_0`.
+#[test]
+fn private_array_elem_type_stable_across_parallel_body() {
+    let src = r#"fn main() void {
+    var t: i64 = 0;
+    //$omp parallel num_threads(2) reduction(+: t)
+    {
+        var a: f64 = @allocF(8);
+        var j: i64 = 0;
+        while (j < 8) : (j += 1) { a[j] = 1.5; }
+        var s: f64 = 0.0;
+        var k: i64 = 0;
+        while (k < 8) : (k += 1) { s = s + a[k]; }
+        t += @floatToInt(s);
+    }
+    print(t);
+}"#;
+    let vm = build(src, OptLevel::O2);
+    let dis = disasm_fn(vm.program.code.get("__omp_outlined_0").unwrap());
+    assert!(
+        dis.contains("indexsetf"),
+        "array store not specialized in outlined fn:\n{dis}"
+    );
+    assert!(
+        dis.contains("indexf"),
+        "array load not specialized in outlined fn:\n{dis}"
+    );
+    assert_eq!(
+        run(src, Backend::Bytecode, OptLevel::O2),
+        Ok(vec!["24".to_string()])
+    );
+}
+
+/// At `--opt=3` the work-shared fill loop becomes a bulk kernel; when the
+/// loop runs out of bounds mid-flight the kernel must bail back to the
+/// interpreter and surface the *exact* error the oracle produces.
+#[test]
+fn bulk_kernel_bails_with_oracle_error() {
+    let src = r#"fn main() void {
+    var a: f64 = @allocF(10);
+    //$omp parallel num_threads(1) shared(a)
+    {
+        var i: i64 = 0;
+        //$omp while schedule(static)
+        while (i < 20) : (i += 1) { a[i] = 0.5; }
+    }
+    print(a[0]);
+}"#;
+    let vm = build(src, OptLevel::O3);
+    assert!(
+        vm.program.code.funcs.iter().any(|f| !f.kernels.is_empty()),
+        "expected a bulk kernel to install for the fill loop"
+    );
+    let ast = run(src, Backend::Ast, OptLevel::O0);
+    assert!(ast.is_err(), "expected an out-of-bounds error");
+    assert_eq!(run(src, Backend::Bytecode, OptLevel::O3), ast);
+    assert_eq!(run(src, Backend::Native, OptLevel::O2), ast);
+}
+
+/// The happy path of the same kernel: in-bounds fill at `--opt=3` agrees
+/// with the oracle and still installs the kernel (i.e. the agreement is
+/// exercising the bulk path, not a failed match).
+#[test]
+fn bulk_kernel_fill_agrees_in_bounds() {
+    let src = r#"fn main() void {
+    var a: f64 = @allocF(16);
+    //$omp parallel num_threads(2) shared(a)
+    {
+        var i: i64 = 0;
+        //$omp while schedule(static)
+        while (i < 16) : (i += 1) { a[i] = 2.5; }
+    }
+    print(a[0], a[15]);
+}"#;
+    let vm = build(src, OptLevel::O3);
+    assert!(vm.program.code.funcs.iter().any(|f| !f.kernels.is_empty()));
+    let ast = run(src, Backend::Ast, OptLevel::O0);
+    assert_eq!(run(src, Backend::Bytecode, OptLevel::O3), ast);
+}
