@@ -165,8 +165,10 @@ fn main() {
     // shared cursor at 4 contending threads.
     let speedup = legacy_ns / steal_ns;
 
+    let meta = zomp_bench::meta::json_object();
     let json = format!(
         "{{\n  \
+         \"meta\": {meta},\n  \
          \"threads\": {THREADS},\n  \
          \"samples\": {SAMPLES},\n  \
          \"median_ns\": {{\n    \

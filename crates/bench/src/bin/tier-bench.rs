@@ -1,0 +1,242 @@
+//! Emit `BENCH_tiers.json`: execution-tier residency for the three NPB
+//! kernel ports at the native tier (`--opt=3`) — per pragma loop, how
+//! many iterations ran inside native bulk kernels vs through the
+//! interpreter, with kernel-bail / deopt / quicken counts. This is the
+//! profiler's (`zag --profile`) answer to "where does ROADMAP's
+//! EP gap live?" pinned as a benchmark artefact: CG and IS loops should
+//! be majority-native, EP stays interpreted at its `randlc` call
+//! boundary (the matching `--remarks` golden names the callee).
+//!
+//! Usage: `cargo run --release -p zomp-bench --bin tier-bench [-- OUT]`
+//! (default output path `BENCH_tiers.json`), or `-- --smoke` for the CI
+//! guard: run only the CG port and exit nonzero unless at least one of
+//! its pragma loops is majority-native.
+
+use std::sync::Arc;
+
+use npb::cg::makea::makea;
+use npb::class::{CgParams, Class};
+use zomp::profile::{self, LoopTier};
+use zomp_bench::ports::{ZAG_EP, ZAG_MATVEC, ZAG_RANK};
+use zomp_vm::value::{ArrF, ArrI, Value};
+use zomp_vm::{Backend, OptLevel, Vm};
+
+const THREADS: i64 = 4;
+
+fn to_arr_f(v: &[f64]) -> Arc<ArrF> {
+    let a = Arc::new(ArrF::new(v.len()));
+    for (i, &x) in v.iter().enumerate() {
+        a.set(i as i64, x).unwrap();
+    }
+    a
+}
+
+fn to_arr_i(v: &[i64]) -> Arc<ArrI> {
+    let a = Arc::new(ArrI::new(v.len()));
+    for (i, &x) in v.iter().enumerate() {
+        a.set(i as i64, x).unwrap();
+    }
+    a
+}
+
+/// Run `f` once with profiling on and fold the event stream into
+/// per-loop tier rows (iteration-count descending, like `--profile`).
+fn profiled(f: impl FnOnce()) -> Vec<LoopTier> {
+    profile::reset();
+    profile::enable();
+    f();
+    profile::disable();
+    profile::tier_report()
+}
+
+fn run_cg() -> Vec<LoopTier> {
+    let params = CgParams {
+        class: Class::S,
+        na: 1400,
+        nonzer: 7,
+        niter: 1,
+        shift: 7.0,
+        zeta_verify: f64::NAN,
+    };
+    let mat = makea(&params);
+    let n = mat.n;
+    let rowstr = to_arr_i(&mat.rowstr.iter().map(|&v| v as i64).collect::<Vec<_>>());
+    let colidx = to_arr_i(&mat.colidx.iter().map(|&v| v as i64).collect::<Vec<_>>());
+    let a = to_arr_f(&mat.a);
+    let p = to_arr_f(&vec![1.0f64; n]);
+    let q = Arc::new(ArrF::new(n));
+    let vm = Vm::build(ZAG_MATVEC, Some("cg.zag"), Backend::Native, OptLevel::O3)
+        .expect("compile matvec");
+    profiled(|| {
+        vm.call_function(
+            "matvec",
+            vec![
+                Value::Int(n as i64),
+                Value::ArrI(rowstr),
+                Value::ArrI(colidx),
+                Value::ArrF(a),
+                Value::ArrF(p),
+                Value::ArrF(q),
+                Value::Int(3),
+                Value::Int(THREADS),
+            ],
+        )
+        .expect("run matvec");
+    })
+}
+
+fn run_ep() -> Vec<LoopTier> {
+    let vm = Vm::build(ZAG_EP, Some("ep.zag"), Backend::Native, OptLevel::O3).expect("compile ep");
+    let q = Arc::new(ArrF::new(10));
+    profiled(|| {
+        vm.call_function(
+            "ep",
+            vec![
+                Value::Int(13),
+                Value::Int(10),
+                Value::Int(THREADS),
+                Value::ArrF(q),
+            ],
+        )
+        .expect("run ep");
+    })
+}
+
+fn run_is() -> Vec<LoopTier> {
+    let maxlog = 11u32;
+    let nblog = 5u32;
+    let params = npb::is::custom_params(14, maxlog, nblog);
+    let keys: Vec<i64> = npb::is::create_seq(&params)
+        .iter()
+        .map(|&k| k as i64)
+        .collect();
+    let nkeys = keys.len();
+    let nb = 1usize << nblog;
+    let keys_arr = to_arr_i(&keys);
+    let counts = Arc::new(ArrI::new(THREADS as usize * nb));
+    let starts = Arc::new(ArrI::new(nb + 1));
+    let buff2 = Arc::new(ArrI::new(nkeys));
+    let ranks = Arc::new(ArrI::new(1usize << maxlog));
+    let vm =
+        Vm::build(ZAG_RANK, Some("is.zag"), Backend::Native, OptLevel::O3).expect("compile rank");
+    profiled(|| {
+        vm.call_function(
+            "rank",
+            vec![
+                Value::ArrI(keys_arr),
+                Value::Int(nkeys as i64),
+                Value::Int(maxlog as i64),
+                Value::Int(nblog as i64),
+                Value::ArrI(counts),
+                Value::ArrI(starts),
+                Value::ArrI(buff2),
+                Value::ArrI(ranks),
+                Value::Int(THREADS),
+            ],
+        )
+        .expect("run rank");
+    })
+}
+
+fn port_json(name: &str, tiers: &[LoopTier]) -> String {
+    let total: u64 = tiers.iter().map(|t| t.total_iters).sum();
+    let native: u64 = tiers.iter().map(|t| t.native_iters).sum();
+    let bails: u64 = tiers.iter().map(|t| t.bails).sum();
+    let deopts: u64 = tiers.iter().map(|t| t.deopts).sum();
+    let quickens: u64 = tiers.iter().map(|t| t.quickens).sum();
+    let loops: Vec<String> = tiers
+        .iter()
+        .map(|t| {
+            format!(
+                "      {{\"loop\": \"{}\", \"spans\": {}, \"iters\": {}, \"native_iters\": {}, \
+                 \"native_frac\": {:.4}, \"bails\": {}, \"deopts\": {}, \"quickens\": {}}}",
+                t.label,
+                t.dispatches,
+                t.total_iters,
+                t.native_iters,
+                t.native_frac(),
+                t.bails,
+                t.deopts,
+                t.quickens,
+            )
+        })
+        .collect();
+    format!(
+        "    \"{name}\": {{\n      \"native_frac\": {:.4},\n      \"bails\": {bails},\n      \
+         \"deopts\": {deopts},\n      \"quickens\": {quickens},\n      \"loops\": [\n{}\n      ]\n    }}",
+        if total == 0 {
+            0.0
+        } else {
+            native as f64 / total as f64
+        },
+        loops.join(",\n"),
+    )
+}
+
+/// CI guard: the CG port's dynamic matvec loop must be majority-native
+/// at `--opt=3` — the bulk-kernel tier actually carrying the iterations
+/// is the whole point of the tier; a silent fall-back to the interpreter
+/// would still pass every correctness test.
+fn smoke() -> ! {
+    let tiers = run_cg();
+    for t in &tiers {
+        eprintln!(
+            "  {} iters={} native={} ({:.1}%) bails={} deopts={}",
+            t.label,
+            t.total_iters,
+            t.native_iters,
+            100.0 * t.native_frac(),
+            t.bails,
+            t.deopts
+        );
+    }
+    let ok = tiers
+        .iter()
+        .any(|t| t.total_iters > 0 && t.native_frac() > 0.5);
+    if !ok {
+        eprintln!("tier-bench --smoke: no CG pragma loop is majority-native at --opt=3");
+        std::process::exit(1);
+    }
+    eprintln!("tier-bench --smoke: ok");
+    std::process::exit(0);
+}
+
+fn main() {
+    let arg = std::env::args().nth(1);
+    if arg.as_deref() == Some("--smoke") {
+        smoke();
+    }
+    let out = arg.unwrap_or_else(|| "BENCH_tiers.json".into());
+
+    eprintln!("cg matvec tier residency ({THREADS} threads, --opt=3)...");
+    let cg = run_cg();
+    eprintln!("ep batch tier residency...");
+    let ep = run_ep();
+    eprintln!("is rank tier residency...");
+    let is = run_is();
+
+    let meta = zomp_bench::meta::json_object();
+    let json = format!(
+        "{{\n  \"meta\": {meta},\n  \"threads\": {THREADS},\n  \"ports\": {{\n{},\n{},\n{}\n  }}\n}}\n",
+        port_json("cg", &cg),
+        port_json("ep", &ep),
+        port_json("is", &is),
+    );
+    std::fs::write(&out, &json).expect("write BENCH_tiers.json");
+    print!("{json}");
+    let frac = |tiers: &[LoopTier]| {
+        let total: u64 = tiers.iter().map(|t| t.total_iters).sum();
+        let native: u64 = tiers.iter().map(|t| t.native_iters).sum();
+        if total == 0 {
+            0.0
+        } else {
+            100.0 * native as f64 / total as f64
+        }
+    };
+    eprintln!(
+        "native iteration share: cg {:.1}%, ep {:.1}%, is {:.1}% -> {out}",
+        frac(&cg),
+        frac(&ep),
+        frac(&is)
+    );
+}

@@ -10,7 +10,10 @@
 //!   comparable to `dispatch_next_steal` in `BENCH_runtime.json`);
 //! - `loop_iter_ns`: end-to-end `parallel_for` dynamic loop, per
 //!   iteration (this path crosses the chunk/dispatch instrumentation);
-//! - `fork_join_ns`: region enter/exit (region spans + join wait).
+//! - `fork_join_ns`: region enter/exit (region spans + join wait);
+//! - `kernel_probe_ns`: the `--opt=3` bulk-kernel telemetry probe pair
+//!   (`kernel_begin_ts` + `kernel_end`) plus a quicken mark — the hooks
+//!   the tiered VM crosses on every kernel entry and rewrite.
 //!
 //! Usage: `cargo run --release -p zomp-bench --bin trace-overhead [-- OUT]`
 //! (default output path `BENCH_trace_overhead.json`).
@@ -85,10 +88,28 @@ fn bench_fork_join() -> f64 {
     })
 }
 
+/// The kernel-telemetry probe pair the VM's `BulkLoop` arm executes per
+/// native kernel run, plus a quickening mark — measured bare so the
+/// disabled number bounds what `--opt=3` pays with tracing off.
+fn bench_kernel_probe() -> f64 {
+    const CALLS: u64 = 1 << 17;
+    median_ns_per_op(CALLS, || {
+        for i in 0..CALLS {
+            let t0 = trace::kernel_begin_ts();
+            trace::kernel_end("bench-kernel", 7, 64, None, t0);
+            if i & 0xfff == 0 {
+                trace::quicken("index->index.f", 11);
+            }
+            black_box(t0);
+        }
+    })
+}
+
 struct Tier {
     dispatch_claim_ns: f64,
     loop_iter_ns: f64,
     fork_join_ns: f64,
+    kernel_probe_ns: f64,
 }
 
 fn measure_tier() -> Tier {
@@ -97,6 +118,7 @@ fn measure_tier() -> Tier {
         dispatch_claim_ns: bench_dispatch_claim(TRIP),
         loop_iter_ns: bench_loop_iter(1 << 17),
         fork_join_ns: bench_fork_join(),
+        kernel_probe_ns: bench_kernel_probe(),
     }
 }
 
@@ -122,12 +144,13 @@ fn main() {
     let tier_json = |t: &Tier| {
         format!(
             "{{\n      \"dispatch_claim\": {:.2},\n      \"loop_iter\": {:.2},\n      \
-             \"fork_join\": {:.1}\n    }}",
-            t.dispatch_claim_ns, t.loop_iter_ns, t.fork_join_ns
+             \"fork_join\": {:.1},\n      \"kernel_probe\": {:.2}\n    }}",
+            t.dispatch_claim_ns, t.loop_iter_ns, t.fork_join_ns, t.kernel_probe_ns
         )
     };
+    let meta = zomp_bench::meta::json_object();
     let json = format!(
-        "{{\n  \"threads\": {THREADS},\n  \"samples\": {SAMPLES},\n  \"median_ns\": {{\n    \
+        "{{\n  \"meta\": {meta},\n  \"threads\": {THREADS},\n  \"samples\": {SAMPLES},\n  \"median_ns\": {{\n    \
          \"disabled\": {},\n    \"counters\": {},\n    \"events\": {}\n  }},\n  \
          \"loop_iter_overhead_ratio\": {{\n    \"counters\": {:.3},\n    \"events\": {:.3}\n  }}\n}}\n",
         tier_json(&off),

@@ -18,4 +18,6 @@
 
 pub mod experiments;
 pub mod format;
+pub mod meta;
 pub mod paper;
+pub mod ports;

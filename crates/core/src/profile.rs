@@ -192,6 +192,14 @@ pub fn breakdown() -> Vec<BreakdownStat> {
                         EventKind::BarrierWait => a.barrier_ns += ev.dur_ns,
                         EventKind::ReductionCombine => a.reduction_ns += ev.dur_ns,
                         EventKind::TaskWait => a.join_ns += ev.dur_ns,
+                        // Tier events (bulk kernels, bails, deopts,
+                        // quickens) run *inside* chunk/compute time — they
+                        // are folded by `tier_report`, not double-counted
+                        // here.
+                        EventKind::BulkLoop
+                        | EventKind::KernelBail
+                        | EventKind::Deopt
+                        | EventKind::Quicken => {}
                         EventKind::Parallel | EventKind::Implicit => unreachable!(),
                     }
                 }
@@ -219,6 +227,132 @@ pub fn breakdown() -> Vec<BreakdownStat> {
         .collect();
     out.sort_by_key(|r| std::cmp::Reverse(r.busy));
     out
+}
+
+/// Per-pragma-loop execution-tier residency: how many iterations of a
+/// worksharing loop ran inside native bulk kernels vs through the
+/// interpreter, plus the kernel-bail / deopt / quicken activity observed
+/// inside the loop's spans. One entry per loop label (the pragma's
+/// `unit:line` when the front end supplied one, else the schedule name).
+#[derive(Debug, Clone, Default)]
+pub struct LoopTier {
+    pub label: String,
+    /// Loop-construct spans folded in (per thread, per entry).
+    pub dispatches: u64,
+    /// Iterations executed under this label, all tiers.
+    pub total_iters: u64,
+    /// Iterations completed inside native bulk kernels.
+    pub native_iters: u64,
+    /// Kernel runs that bailed back to the interpreter.
+    pub bails: u64,
+    /// In-place deoptimisations of quickened instructions.
+    pub deopts: u64,
+    /// Generic instructions quickened to typed variants.
+    pub quickens: u64,
+}
+
+impl LoopTier {
+    /// Fraction of iterations that ran natively, in `[0, 1]`.
+    pub fn native_frac(&self) -> f64 {
+        if self.total_iters == 0 {
+            0.0
+        } else {
+            self.native_iters as f64 / self.total_iters as f64
+        }
+    }
+}
+
+/// Fold the event stream into per-loop tier residency. Each
+/// chunk / bulk-kernel / bail / deopt / quicken event is attributed to the
+/// innermost enclosing loop-construct span on the same thread; a loop span
+/// with no chunk events nested (the statically partitioned path, which
+/// claims no per-chunk spans) contributes its own iteration payload
+/// instead. Sorted by total iterations descending.
+pub fn tier_report() -> Vec<LoopTier> {
+    #[derive(Default)]
+    struct SpanAccum {
+        chunk_iters: u64,
+        has_chunks: bool,
+        native: u64,
+        bails: u64,
+        deopts: u64,
+        quickens: u64,
+    }
+    let contains = |outer: &Event, inner: &Event| {
+        inner.t_ns >= outer.t_ns && inner.t_ns + inner.dur_ns <= outer.t_ns + outer.dur_ns
+    };
+    let mut acc: HashMap<String, LoopTier> = HashMap::new();
+    for (_seq, _name, events) in trace::all_events() {
+        let loops: Vec<usize> = (0..events.len())
+            .filter(|&i| events[i].kind == EventKind::LoopDispatch)
+            .collect();
+        let mut spans: HashMap<usize, SpanAccum> = HashMap::new();
+        for ev in &events {
+            let slot = loops
+                .iter()
+                .filter(|&&i| !std::ptr::eq(&events[i], ev) && contains(&events[i], ev))
+                .max_by_key(|&&i| events[i].t_ns);
+            let Some(&slot) = slot else { continue };
+            let a = spans.entry(slot).or_default();
+            match ev.kind {
+                EventKind::ChunkOwned | EventKind::ChunkStolen => {
+                    a.has_chunks = true;
+                    a.chunk_iters += ev.b;
+                }
+                EventKind::BulkLoop => a.native += ev.a,
+                EventKind::KernelBail => a.bails += 1,
+                EventKind::Deopt => a.deopts += 1,
+                EventKind::Quicken => a.quickens += 1,
+                _ => {}
+            }
+        }
+        for &i in &loops {
+            let ev = &events[i];
+            let span = spans.remove(&i).unwrap_or_default();
+            let t = acc.entry(display_label(ev).to_string()).or_default();
+            t.label = display_label(ev).to_string();
+            t.dispatches += 1;
+            // Claimed worksharing iterations, floored by the kernel count:
+            // a bulk kernel that subsumes a loop *nested inside* the chunk
+            // body (e.g. IS's per-bucket ranking under `static,1`) executes
+            // more iterations than the outer loop claims, and those
+            // iterations are real work under this label.
+            let claimed = if span.has_chunks {
+                span.chunk_iters
+            } else {
+                ev.a
+            };
+            t.total_iters += claimed.max(span.native);
+            t.native_iters += span.native;
+            t.bails += span.bails;
+            t.deopts += span.deopts;
+            t.quickens += span.quickens;
+        }
+    }
+    let mut out: Vec<LoopTier> = acc.into_values().collect();
+    out.sort_by_key(|t| std::cmp::Reverse(t.total_iters));
+    out
+}
+
+/// Render the per-loop tier residency as a table.
+pub fn render_tiers() -> String {
+    let mut s = String::from(
+        "loop                            spans        iters       native  native%   bails  deopts  quickens\n",
+    );
+    for t in tier_report() {
+        s.push_str(&format!(
+            "{:<30} {:>6} {:>12} {:>12} {:>8.1} {:>7} {:>7} {:>9}\n",
+            t.label,
+            t.dispatches,
+            t.total_iters,
+            t.native_iters,
+            100.0 * t.native_frac(),
+            t.bails,
+            t.deopts,
+            t.quickens,
+        ));
+    }
+    s
 }
 
 /// Render the flat profile as a table.
@@ -258,6 +392,58 @@ pub fn render_breakdown() -> String {
             ms(r.join),
         ));
     }
+    s
+}
+
+/// Render the whole profile — per-construct breakdown joined with the
+/// per-loop tier residency — as one JSON object (`zag --profile=json`).
+pub fn render_json() -> String {
+    fn esc(s: &str) -> String {
+        s.chars()
+            .flat_map(|c| match c {
+                '"' => "\\\"".chars().collect::<Vec<_>>(),
+                '\\' => "\\\\".chars().collect(),
+                '\n' => "\\n".chars().collect(),
+                c => vec![c],
+            })
+            .collect()
+    }
+    let ns = |d: Duration| d.as_nanos() as u64;
+    let mut s = String::from("{\n  \"breakdown\": [\n");
+    let rows = breakdown();
+    for (i, r) in rows.iter().enumerate() {
+        s.push_str(&format!(
+            "    {{\"region\": \"{}\", \"calls\": {}, \"busy_ns\": {}, \"compute_ns\": {}, \
+             \"dispatch_ns\": {}, \"barrier_ns\": {}, \"reduction_ns\": {}, \"join_ns\": {}}}{}\n",
+            esc(&r.label),
+            r.invocations,
+            ns(r.busy),
+            ns(r.compute),
+            ns(r.dispatch),
+            ns(r.barrier),
+            ns(r.reduction),
+            ns(r.join),
+            if i + 1 < rows.len() { "," } else { "" },
+        ));
+    }
+    s.push_str("  ],\n  \"tiers\": [\n");
+    let tiers = tier_report();
+    for (i, t) in tiers.iter().enumerate() {
+        s.push_str(&format!(
+            "    {{\"loop\": \"{}\", \"spans\": {}, \"iters\": {}, \"native_iters\": {}, \
+             \"native_frac\": {:.4}, \"bails\": {}, \"deopts\": {}, \"quickens\": {}}}{}\n",
+            esc(&t.label),
+            t.dispatches,
+            t.total_iters,
+            t.native_iters,
+            t.native_frac(),
+            t.bails,
+            t.deopts,
+            t.quickens,
+            if i + 1 < tiers.len() { "," } else { "" },
+        ));
+    }
+    s.push_str("  ]\n}\n");
     s
 }
 

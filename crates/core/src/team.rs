@@ -321,6 +321,18 @@ impl<'a> ThreadCtx<'a> {
     /// shape, handle-based). `runtime` schedules are resolved against the
     /// ICVs here.
     pub fn dispatch_begin(&self, sched: crate::schedule::Schedule, trip: u64) -> WsDispatch {
+        self.dispatch_begin_labelled(sched, trip, None)
+    }
+
+    /// [`ThreadCtx::dispatch_begin`] with an explicit construct label for
+    /// the `LoopDispatch` trace span — the pragma's `unit:line` when the
+    /// front end supplied one; `None` falls back to the schedule name.
+    pub fn dispatch_begin_labelled(
+        &self,
+        sched: crate::schedule::Schedule,
+        trip: u64,
+        label: Option<&'static str>,
+    ) -> WsDispatch {
         use crate::schedule::{DynamicDispatch, GuidedDispatch, ScheduleKind};
         let sched = if sched.kind == ScheduleKind::Runtime {
             crate::icv::Icvs::global().run_schedule()
@@ -330,10 +342,10 @@ impl<'a> ThreadCtx<'a> {
         let (slot, c) = self.enter_construct();
         let nth = self.num_threads();
         let t0 = trace::dispatch_begin_ts(true);
-        let label = match sched.kind {
+        let label = label.unwrap_or(match sched.kind {
             ScheduleKind::Guided => "guided",
             _ => "dynamic",
-        };
+        });
         let dispatcher = self.slot_dispatcher(slot, || match sched.kind {
             ScheduleKind::Guided => Dispatcher::Guided(GuidedDispatch::new(trip, nth, sched.chunk)),
             _ => Dispatcher::Dynamic(DynamicDispatch::new(trip, nth, sched.chunk)),
@@ -342,10 +354,10 @@ impl<'a> ThreadCtx<'a> {
             construct: c,
             dispatcher,
             finished: std::cell::Cell::new(false),
-            trip,
             label,
             t0,
             pending: std::cell::Cell::new(None),
+            claimed: std::cell::Cell::new(0),
         }
     }
 
@@ -365,6 +377,7 @@ impl<'a> ThreadCtx<'a> {
         match d.dispatcher.next_with_origin(self.thread_num()) {
             Some((r, origin)) => {
                 if trace::active() {
+                    d.claimed.set(d.claimed.get() + (r.end - r.start));
                     d.pending.set(Some(PendingChunk {
                         origin,
                         start: r.start,
@@ -388,7 +401,10 @@ impl<'a> ThreadCtx<'a> {
             if let Some(p) = d.pending.take() {
                 trace::chunk(p.origin, p.start, p.len, p.t0);
             }
-            trace::dispatch_end(d.label, d.trip, true, d.t0);
+            // The span reports this thread's claimed share, not the full
+            // trip: per-thread spans must sum to the loop's iteration
+            // count when the profiler folds them.
+            trace::dispatch_end(d.label, d.claimed.get(), true, d.t0);
             let slot = &self.team.slots[(d.construct as usize) % NUM_CONSTRUCT_SLOTS];
             self.team.release_slot(slot);
         }
@@ -439,13 +455,16 @@ pub struct WsDispatch {
     construct: u64,
     dispatcher: Arc<Dispatcher>,
     finished: std::cell::Cell<bool>,
-    /// Trip count and schedule label, reported on the construct's
-    /// `LoopDispatch` trace span.
-    trip: u64,
+    /// Schedule label reported on the construct's `LoopDispatch` span.
     label: &'static str,
     /// Construct-entry timestamp (0 when tracing was off at entry).
     t0: u64,
     pending: std::cell::Cell<Option<PendingChunk>>,
+    /// Iterations this thread actually claimed — reported on its
+    /// `LoopDispatch` span so per-thread spans sum to the loop's trip
+    /// (the tier profiler folds them; a thread that claimed nothing
+    /// must not report the whole trip).
+    claimed: std::cell::Cell<u64>,
 }
 
 /// Token of a split-phase `single` construct. See

@@ -155,6 +155,21 @@ pub enum EventKind {
     BarrierWait,
     /// One atomic merge into a reduction cell.
     ReductionCombine,
+    /// One native bulk-kernel execution (`--opt=3` tier): `a` = iterations
+    /// completed natively, `b` = 1 if the kernel bailed back to the
+    /// interpreter mid-loop. Labelled with the worksharing pragma's
+    /// `unit:line` (falling back to the kernel shape name).
+    BulkLoop,
+    /// A kernel bail, recorded alongside its [`EventKind::BulkLoop`] span:
+    /// the label is the machine-readable reason, `a` = the loop-head pc,
+    /// `b` = iterations completed before the bail.
+    KernelBail,
+    /// A quickened instruction deoptimised back to its generic form
+    /// (`a` = pc). The label names the rewrite, e.g. `"index.f->index"`.
+    Deopt,
+    /// A generic instruction quickened to a typed variant (`a` = pc). The
+    /// label names the rewrite, e.g. `"index->index.f"`.
+    Quicken,
 }
 
 impl EventKind {
@@ -169,6 +184,10 @@ impl EventKind {
             EventKind::ChunkStolen => "chunk (stolen)",
             EventKind::BarrierWait => "barrier wait",
             EventKind::ReductionCombine => "reduction",
+            EventKind::BulkLoop => "bulk loop",
+            EventKind::KernelBail => "kernel bail",
+            EventKind::Deopt => "deopt",
+            EventKind::Quicken => "quicken",
         }
     }
 }
@@ -221,6 +240,11 @@ pub(crate) struct Counters {
     pub dispatch_finis: AtomicU64,
     pub reductions: AtomicU64,
     pub task_waits: AtomicU64,
+    pub kernel_enters: AtomicU64,
+    pub kernel_iters: AtomicU64,
+    pub kernel_bails: AtomicU64,
+    pub deopts: AtomicU64,
+    pub quickens: AtomicU64,
 }
 
 /// One OS thread's event ring + counters, padded so neighbouring threads'
@@ -369,6 +393,11 @@ pub fn reset() {
             &c.dispatch_finis,
             &c.reductions,
             &c.task_waits,
+            &c.kernel_enters,
+            &c.kernel_iters,
+            &c.kernel_bails,
+            &c.deopts,
+            &c.quickens,
         ] {
             a.store(0, Ordering::Relaxed);
         }
@@ -446,6 +475,20 @@ pub enum Probe<'a> {
     ReductionCombine,
     TaskWait {
         wait_ns: u64,
+    },
+    /// One native bulk-kernel run (`ompt_callback_work`-flavoured): how
+    /// many iterations ran natively, and the bail reason when the kernel
+    /// handed the loop back to the interpreter mid-flight.
+    Kernel {
+        label: &'a str,
+        iters: u64,
+        bail: Option<&'a str>,
+        dur_ns: u64,
+    },
+    /// A quickened instruction rewrote itself back to its generic form.
+    Deopt {
+        rewrite: &'a str,
+        pc: u32,
     },
 }
 
@@ -780,6 +823,128 @@ pub fn task_wait(t0: u64) {
     }
 }
 
+/// Timestamp just before a native bulk kernel runs (0 when neither events
+/// nor callbacks are on — counter-only tracing skips the clock read, and
+/// the disabled path stays one relaxed load).
+#[inline]
+pub fn kernel_begin_ts() -> u64 {
+    if mode() & (EVENTS | CALLBACKS) == 0 {
+        0
+    } else {
+        now_ns()
+    }
+}
+
+/// One native bulk-kernel execution, after it ran. `iters` is the count of
+/// loop iterations the kernel completed natively; `bail` carries the
+/// machine-readable reason when it handed the remaining iterations back to
+/// the interpreter. Records the [`EventKind::BulkLoop`] span (plus a
+/// [`EventKind::KernelBail`] marker on bails) and bumps the
+/// kernel enter/iteration/bail counters.
+pub fn kernel_end(label: &'static str, pc: u32, iters: u64, bail: Option<&'static str>, t0: u64) {
+    let m = mode();
+    if m == 0 {
+        return;
+    }
+    if m & COUNTERS != 0 {
+        count(|c| {
+            c.kernel_enters.fetch_add(1, Ordering::Relaxed);
+            c.kernel_iters.fetch_add(iters, Ordering::Relaxed);
+            if bail.is_some() {
+                c.kernel_bails.fetch_add(1, Ordering::Relaxed);
+            }
+        });
+    }
+    if m & CALLBACKS != 0 {
+        let dur = if t0 == 0 {
+            0
+        } else {
+            now_ns().saturating_sub(t0)
+        };
+        fire(Probe::Kernel {
+            label,
+            iters,
+            bail,
+            dur_ns: dur,
+        });
+    }
+    if t0 == 0 || m & EVENTS == 0 {
+        return;
+    }
+    let dur = now_ns().saturating_sub(t0);
+    record(Event {
+        kind: EventKind::BulkLoop,
+        t_ns: t0,
+        dur_ns: dur,
+        a: iters,
+        b: bail.is_some() as u64,
+        label,
+    });
+    if let Some(reason) = bail {
+        record(Event {
+            kind: EventKind::KernelBail,
+            t_ns: t0,
+            dur_ns: dur,
+            a: pc as u64,
+            b: iters,
+            label: reason,
+        });
+    }
+}
+
+/// A quickened instruction deoptimised in place back to its generic form.
+/// `rewrite` names the transition (e.g. `"index.f->index"`), `pc` the slot.
+pub fn deopt(rewrite: &'static str, pc: u32) {
+    let m = mode();
+    if m == 0 {
+        return;
+    }
+    if m & COUNTERS != 0 {
+        count(|c| {
+            c.deopts.fetch_add(1, Ordering::Relaxed);
+        });
+    }
+    if m & CALLBACKS != 0 {
+        fire(Probe::Deopt { rewrite, pc });
+    }
+    if m & EVENTS != 0 {
+        let t = now_ns();
+        record(Event {
+            kind: EventKind::Deopt,
+            t_ns: t,
+            dur_ns: 0,
+            a: pc as u64,
+            b: 0,
+            label: rewrite,
+        });
+    }
+}
+
+/// A generic instruction quickened itself to a typed variant (runtime
+/// specialization hit). `rewrite` names the transition, `pc` the slot.
+pub fn quicken(rewrite: &'static str, pc: u32) {
+    let m = mode();
+    if m == 0 {
+        return;
+    }
+    if m & COUNTERS != 0 {
+        count(|c| {
+            c.quickens.fetch_add(1, Ordering::Relaxed);
+        });
+    }
+    if m & EVENTS != 0 {
+        let t = now_ns();
+        record(Event {
+            kind: EventKind::Quicken,
+            t_ns: t,
+            dur_ns: 0,
+            a: pc as u64,
+            b: 0,
+            label: rewrite,
+        });
+    }
+}
+
 // ---------------------------------------------------------------------------
 // Metrics snapshot
 // ---------------------------------------------------------------------------
@@ -815,6 +980,16 @@ pub struct MetricsSnapshot {
     pub reductions: u64,
     /// Master join waits.
     pub task_waits: u64,
+    /// Native bulk-kernel entries (`--opt=3` tier).
+    pub kernel_enters: u64,
+    /// Loop iterations executed natively inside bulk kernels.
+    pub kernel_iters: u64,
+    /// Kernel runs that bailed back to the interpreter mid-loop.
+    pub kernel_bails: u64,
+    /// Quickened instructions deoptimised in place to their generic forms.
+    pub deopts: u64,
+    /// Generic instructions quickened to typed variants at runtime.
+    pub quickens: u64,
     /// Events currently held in the rings.
     pub events_recorded: u64,
     /// Events dropped because a ring was full.
@@ -845,6 +1020,11 @@ pub fn metrics() -> MetricsSnapshot {
         s.dispatch_finis += c.dispatch_finis.load(Ordering::Relaxed);
         s.reductions += c.reductions.load(Ordering::Relaxed);
         s.task_waits += c.task_waits.load(Ordering::Relaxed);
+        s.kernel_enters += c.kernel_enters.load(Ordering::Relaxed);
+        s.kernel_iters += c.kernel_iters.load(Ordering::Relaxed);
+        s.kernel_bails += c.kernel_bails.load(Ordering::Relaxed);
+        s.deopts += c.deopts.load(Ordering::Relaxed);
+        s.quickens += c.quickens.load(Ordering::Relaxed);
         let end = r.len.load(Ordering::Acquire).min(RING_CAP);
         let start = r.start.load(Ordering::Relaxed).min(end);
         s.events_recorded += (end - start) as u64;
@@ -926,6 +1106,15 @@ pub fn chrome_trace_json() -> String {
                     )
                 }
                 EventKind::BarrierWait => format!(",\"args\":{{\"parked\":{}}}", ev.a != 0),
+                EventKind::BulkLoop => {
+                    format!(",\"args\":{{\"iters\":{},\"bailed\":{}}}", ev.a, ev.b != 0)
+                }
+                EventKind::KernelBail => {
+                    format!(",\"args\":{{\"pc\":{},\"iters_done\":{}}}", ev.a, ev.b)
+                }
+                EventKind::Deopt | EventKind::Quicken => {
+                    format!(",\"args\":{{\"pc\":{}}}", ev.a)
+                }
                 _ => String::new(),
             };
             e.push_str(&args);
@@ -945,8 +1134,9 @@ pub fn metrics_json() -> String {
          \"chunks_stolen\": {},\n  \"iters_owned\": {},\n  \"iters_stolen\": {},\n  \
          \"steal_failures\": {},\n  \"barrier_waits\": {},\n  \"barrier_spins\": {},\n  \
          \"barrier_parks\": {},\n  \"dispatch_inits\": {},\n  \"dispatch_finis\": {},\n  \
-         \"reductions\": {},\n  \"task_waits\": {},\n  \"events_recorded\": {},\n  \
-         \"events_dropped\": {}\n}}\n",
+         \"reductions\": {},\n  \"task_waits\": {},\n  \"kernel_enters\": {},\n  \
+         \"kernel_iters\": {},\n  \"kernel_bails\": {},\n  \"deopts\": {},\n  \
+         \"quickens\": {},\n  \"events_recorded\": {},\n  \"events_dropped\": {}\n}}\n",
         s.threads,
         s.regions,
         s.chunks_owned,
@@ -961,6 +1151,11 @@ pub fn metrics_json() -> String {
         s.dispatch_finis,
         s.reductions,
         s.task_waits,
+        s.kernel_enters,
+        s.kernel_iters,
+        s.kernel_bails,
+        s.deopts,
+        s.quickens,
         s.events_recorded,
         s.events_dropped,
     )
@@ -984,6 +1179,10 @@ pub fn write_metrics_json(path: &str) -> std::io::Result<()> {
 struct Outputs {
     trace_path: Option<String>,
     metrics_path: Option<String>,
+    /// Where the rendered profile report goes when [`finish`] runs:
+    /// `None` = profiling not requested, `Some(None)` = stderr,
+    /// `Some(Some(path))` = file.
+    profile_out: Option<Option<String>>,
 }
 
 fn outputs() -> &'static Mutex<Outputs> {
@@ -1006,6 +1205,15 @@ pub fn set_metrics_path(path: &str) {
     enable_counters();
 }
 
+/// Route the rendered profile report (regions, per-construct breakdown,
+/// per-loop tier residency) to `path` — or stderr when `None` — when
+/// [`finish`] runs. Enables profiling (programmatic equivalent of
+/// `ZOMP_PROFILE=1` / `ZOMP_PROFILE=<path>`).
+pub fn set_profile_out(path: Option<&str>) {
+    outputs().lock().profile_out = Some(path.map(|p| p.to_string()));
+    crate::profile::enable();
+}
+
 /// Read `ZOMP_TRACE` / `ZOMP_METRICS` once and activate the matching
 /// instrumentation. Called lazily by [`crate::team::fork_call`], so any
 /// zomp application honours the variables; a `fn main` that wants the
@@ -1024,15 +1232,25 @@ pub fn init_from_env() {
                 set_metrics_path(&p);
             }
         }
+        if let Ok(p) = std::env::var("ZOMP_PROFILE") {
+            if !p.is_empty() {
+                // `1` means "report to stderr"; anything else is a path.
+                set_profile_out((p != "1").then_some(p.as_str()));
+            }
+        }
     });
 }
 
 /// Write any outputs configured via env vars or `set_*_path`. Returns the
 /// paths written.
 pub fn finish() -> std::io::Result<Vec<String>> {
-    let (trace_path, metrics_path) = {
+    let (trace_path, metrics_path, profile_out) = {
         let g = outputs().lock();
-        (g.trace_path.clone(), g.metrics_path.clone())
+        (
+            g.trace_path.clone(),
+            g.metrics_path.clone(),
+            g.profile_out.clone(),
+        )
     };
     let mut written = Vec::new();
     if let Some(p) = trace_path {
@@ -1042,6 +1260,22 @@ pub fn finish() -> std::io::Result<Vec<String>> {
     if let Some(p) = metrics_path {
         write_metrics_json(&p)?;
         written.push(p);
+    }
+    if let Some(dest) = profile_out {
+        let report = format!(
+            "--- region profile (gprof-style) ---\n{}\n--- per-construct breakdown ---\n{}\n\
+             --- per-loop tier residency ---\n{}",
+            crate::profile::render_report(),
+            crate::profile::render_breakdown(),
+            crate::profile::render_tiers(),
+        );
+        match dest {
+            Some(p) => {
+                std::fs::write(&p, report)?;
+                written.push(p);
+            }
+            None => eprint!("{report}"),
+        }
     }
     Ok(written)
 }

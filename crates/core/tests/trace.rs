@@ -473,6 +473,41 @@ fn disabled_tracing_overhead_guard() {
     );
 }
 
+/// The kernel/deopt telemetry probes added for the tier profiler share
+/// the disabled-cost bound with the dispatch path: with `mode() == 0`,
+/// `kernel_begin_ts` must not read a clock and `kernel_end`/`deopt`/
+/// `quicken` must early-return after one relaxed load each.
+#[test]
+fn disabled_kernel_probe_overhead_guard() {
+    let _g = serial();
+    assert_eq!(trace::mode(), 0, "instrumentation must be off");
+
+    const CALLS: u64 = 1 << 20;
+    let mut best_ns_per_probe = f64::INFINITY;
+    for pass in 0..4 {
+        let t0 = Instant::now();
+        for i in 0..CALLS {
+            let ts = trace::kernel_begin_ts();
+            trace::kernel_end("guard-kernel", 3, 8, None, ts);
+            if i & 0xffff == 0 {
+                trace::deopt("index.f->index", 5);
+                trace::quicken("index->index.f", 5);
+            }
+            std::hint::black_box(ts);
+        }
+        let ns = t0.elapsed().as_nanos() as f64 / CALLS as f64;
+        if pass > 0 {
+            best_ns_per_probe = best_ns_per_probe.min(ns);
+        }
+    }
+    assert!(
+        best_ns_per_probe < 100.0,
+        "disabled kernel probe pair took {best_ns_per_probe:.1} ns \
+         (expected ~1 ns; >100 ns means a clock read or lock leaked \
+         into the disabled path)"
+    );
+}
+
 /// `finish()` writes the configured outputs and reports their paths.
 #[test]
 fn finish_writes_configured_outputs() {

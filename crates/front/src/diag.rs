@@ -10,11 +10,13 @@
 //! so `zag` has exactly one diagnostic formatter.
 
 /// How bad is it: `Error` refuses the program, `Warning` reports and
-/// continues (unless the user asked for `--check=deny`).
+/// continues (unless the user asked for `--check=deny`), `Remark` is
+/// purely informational (optimization remarks, `zag --remarks`).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Severity {
     Error,
     Warning,
+    Remark,
 }
 
 /// One structured diagnostic.
@@ -47,6 +49,13 @@ impl std::fmt::Display for Diag {
                     self.code, self.offset, self.message
                 )
             }
+            Severity::Remark => {
+                write!(
+                    f,
+                    "remark[{}] at byte {}: {}",
+                    self.code, self.offset, self.message
+                )
+            }
         }
     }
 }
@@ -75,6 +84,18 @@ impl Diag {
     pub fn warning(code: &'static str, offset: usize, message: impl Into<String>) -> Diag {
         Diag {
             severity: Severity::Warning,
+            code,
+            offset,
+            label: None,
+            message: message.into(),
+            note: None,
+        }
+    }
+
+    /// An optimization remark carrying a stable code (`zag --remarks`).
+    pub fn remark(code: &'static str, offset: usize, message: impl Into<String>) -> Diag {
+        Diag {
+            severity: Severity::Remark,
             code,
             offset,
             label: None,
@@ -122,6 +143,9 @@ impl Diag {
             Severity::Error => format!("{}:{}: {}", line, col, self.message),
             Severity::Warning => {
                 format!("{}:{}: warning[{}]: {}", line, col, self.code, self.message)
+            }
+            Severity::Remark => {
+                format!("{}:{}: remark[{}]: {}", line, col, self.code, self.message)
             }
         };
         if let Some(label) = &self.label {

@@ -134,7 +134,7 @@ fn run_pass(
         let node = *ast.node(id);
         let payload = match node.tag {
             N::OmpParallel => replace_parallel(ast, id, &node, counter, unit)?,
-            N::OmpWhile => replace_while(ast, id, &node, counter)?,
+            N::OmpWhile => replace_while(ast, id, &node, counter, unit)?,
             _ => replace_simple(ast, id, &node)?,
         };
         payloads.push(payload);
@@ -447,10 +447,21 @@ fn loop_shape_inner(ast: &Ast, while_id: NodeId) -> Result<LoopShape, Diag> {
     })
 }
 
-fn replace_while(ast: &Ast, id: NodeId, node: &Node, counter: &mut usize) -> Result<Payload, Diag> {
+fn replace_while(
+    ast: &Ast,
+    id: NodeId,
+    node: &Node,
+    counter: &mut usize,
+    unit: Option<&str>,
+) -> Result<Payload, Diag> {
     let clauses = Clauses::read(&ast.extra_data, node.lhs);
     let k = *counter;
     *counter += 1;
+    // Loop label for the observability layer, like `replace_parallel`'s
+    // region label: the pragma's `unit:line` in the current pass source
+    // (loops inside outlined regions shift with the splices). Rides as a
+    // leading string argument of `ws_begin`.
+    let ws_label = ws_label_arg(ast, id, unit);
 
     if clauses.flags.collapse > 2 {
         let (s, _) = ast.byte_span(id);
@@ -460,7 +471,7 @@ fn replace_while(ast: &Ast, id: NodeId, node: &Node, counter: &mut usize) -> Res
         ));
     }
     if clauses.flags.collapse == 2 {
-        return replace_while_collapse2(ast, id, node, &clauses, k);
+        return replace_while_collapse2(ast, id, node, &clauses, k, unit);
     }
 
     let shape = loop_shape(ast, node.rhs)?;
@@ -541,7 +552,7 @@ fn replace_while(ast: &Ast, id: NodeId, node: &Node, counter: &mut usize) -> Res
     };
     let text =
         format!(
-        "{{\n{pre}const {ws} = omp.internal.ws_begin({kind_code}, {chunk}, {var}, {}, {}, {});\n\
+        "{{\n{pre}const {ws} = omp.internal.ws_begin({ws_label}{kind_code}, {chunk}, {var}, {}, {}, {});\n\
          while (omp.internal.ws_next({ws})) {{\n\
          {var} = omp.internal.ws_lb({ws});\n\
          const {ub} = omp.internal.ws_ub({ws});\n\
@@ -580,8 +591,10 @@ fn replace_while_collapse2(
     node: &Node,
     clauses: &Clauses,
     k: usize,
+    unit: Option<&str>,
 ) -> Result<Payload, Diag> {
     let (start, _) = ast.byte_span(id);
+    let ws_label = ws_label_arg(ast, id, unit);
     let outer = loop_shape(ast, node.rhs)?;
 
     // The outer body: [VarDecl inner-counter, While inner].
@@ -678,7 +691,7 @@ fn replace_while_collapse2(
     };
 
     let text = format!(
-        "{{\n{pre}         const {lba} = {ovar};\n         const {lbb} = {inner_lb};\n         const {ta} = omp.internal.trip_count({lba}, {uba}, {inca}, {cmpa});\n         const {tb} = omp.internal.trip_count({lbb}, {ubb}, {incb}, {cmpb});\n         const {ws} = omp.internal.ws_begin({kind_code}, {chunk}, 0, {ta} * {tb}, 1, 0);\n         while (omp.internal.ws_next({ws})) {{\n         var {idx}: i64 = omp.internal.ws_lb({ws});\n         const {idxub} = omp.internal.ws_ub({ws});\n         while ({idx} < {idxub}) : ({idx} += 1) {{\n         {ovar} = {lba} + ({idx} / {tb}) * ({inca});\n         var {ivar}: any = {lbb} + ({idx} % {tb}) * ({incb});\n         {body}\n         _ = {ivar};\n         }}\n         }}\n         omp.internal.ws_fini({ws}, {nowait_flag});\n{post}}}",
+        "{{\n{pre}         const {lba} = {ovar};\n         const {lbb} = {inner_lb};\n         const {ta} = omp.internal.trip_count({lba}, {uba}, {inca}, {cmpa});\n         const {tb} = omp.internal.trip_count({lbb}, {ubb}, {incb}, {cmpb});\n         const {ws} = omp.internal.ws_begin({ws_label}{kind_code}, {chunk}, 0, {ta} * {tb}, 1, 0);\n         while (omp.internal.ws_next({ws})) {{\n         var {idx}: i64 = omp.internal.ws_lb({ws});\n         const {idxub} = omp.internal.ws_ub({ws});\n         while ({idx} < {idxub}) : ({idx} += 1) {{\n         {ovar} = {lba} + ({idx} / {tb}) * ({inca});\n         var {ivar}: any = {lbb} + ({idx} % {tb}) * ({incb});\n         {body}\n         _ = {ivar};\n         }}\n         }}\n         omp.internal.ws_fini({ws}, {nowait_flag});\n{post}}}",
         inner_lb = inner_lb_text,
         uba = outer.ub_text,
         inca = outer.incr_text,
@@ -694,6 +707,18 @@ fn replace_while_collapse2(
         text,
         appendix: String::new(),
     })
+}
+
+/// The `"unit:line", ` leading-argument text for `ws_begin` when the
+/// translation unit is named, `""` otherwise — the worksharing twin of
+/// `replace_parallel`'s region label.
+fn ws_label_arg(ast: &Ast, id: NodeId, unit: Option<&str>) -> String {
+    unit.map(|u| {
+        let (start, _) = ast.byte_span(id);
+        let line = ast.source[..start].matches('\n').count() + 1;
+        format!("\"{u}:{line}\", ")
+    })
+    .unwrap_or_default()
 }
 
 /// [`loop_shape`] for a bare `While` node (not a directive's rhs).
@@ -818,6 +843,29 @@ mod tests {
         parse(&out).unwrap();
         // The unnamed path stays byte-identical (no label argument).
         assert!(!pp(src).contains("demo.zag"), "unnamed must not label");
+    }
+
+    #[test]
+    fn named_units_label_ws_begin_with_pragma_line() {
+        let src = "fn main() void {\n\
+                   var i: i64 = 0;\n\
+                   //$omp while schedule(dynamic, 8)\n\
+                   while (i < 100) : (i += 1) {\n\
+                   }\n\
+                   }";
+        let out = preprocess_named(src, "demo.zag").unwrap();
+        // The worksharing pragma sits on line 3; the label rides as the
+        // leading `ws_begin` argument (the loop twin of the fork label).
+        assert!(
+            out.contains("omp.internal.ws_begin(\"demo.zag:3\", 1, 8, i, 100, 1, 0)"),
+            "{out}"
+        );
+        parse(&out).unwrap();
+        // The unnamed path keeps the historical six-argument form.
+        assert!(
+            pp(src).contains("omp.internal.ws_begin(1, 8, i, 100, 1, 0)"),
+            "unnamed must not label"
+        );
     }
 
     #[test]

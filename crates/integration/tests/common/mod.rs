@@ -1,0 +1,38 @@
+//! Shared golden-file helper for the optimization-remark tests that ride
+//! with each NPB port (`zag_cg.rs`, `zag_ep.rs`, `zag_is.rs`).
+//!
+//! To accept a new golden output:
+//!
+//! ```text
+//! UPDATE_GOLDEN=1 cargo test -p zomp-integration
+//! ```
+
+/// Collect `--remarks` output for `source` at `--opt=3`, render it the
+/// way `zag --remarks` does, and compare against
+/// `tests/golden/<golden>`. Remarks pin the compiler's observable
+/// decisions — which loops became kernels and why the rest did not — so
+/// a drifted golden means the tiering story changed, not just codegen.
+pub fn check_remarks_golden(source: &str, unit: &str, golden: &str) {
+    let diags =
+        zomp_vm::remarks::collect(source, unit, zomp_vm::OptLevel::O3).expect("collect remarks");
+    let mut got = String::new();
+    for d in &diags {
+        got.push_str(unit);
+        got.push(':');
+        got.push_str(&d.render(source));
+        got.push('\n');
+    }
+    let path = format!("{}/tests/golden/{golden}", env!("CARGO_MANIFEST_DIR"));
+    if std::env::var_os("UPDATE_GOLDEN").is_some() {
+        std::fs::create_dir_all(format!("{}/tests/golden", env!("CARGO_MANIFEST_DIR"))).ok();
+        std::fs::write(&path, &got).expect("write golden");
+        return;
+    }
+    let want = std::fs::read_to_string(&path)
+        .expect("golden file missing — run with UPDATE_GOLDEN=1 to create it");
+    assert_eq!(
+        got, want,
+        "remarks drifted from tests/golden/{golden}; review the diff and \
+         re-bless with UPDATE_GOLDEN=1 if intended"
+    );
+}

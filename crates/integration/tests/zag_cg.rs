@@ -257,3 +257,12 @@ fn port_passes_data_sharing_check() {
         "lint findings on clean port: {rendered:#?}"
     );
 }
+
+mod common;
+
+/// Golden `--remarks` output for the CG port: pins which conj_grad loops
+/// lower to bulk kernels at `--opt=3` and why the rest stay interpreted.
+#[test]
+fn cg_port_remarks_match_golden() {
+    common::check_remarks_golden(ZAG_CONJ_GRAD, "cg.zag", "remarks_cg.txt");
+}

@@ -244,3 +244,28 @@ fn port_passes_data_sharing_check() {
         "lint findings on clean port: {rendered:#?}"
     );
 }
+
+mod common;
+
+/// Golden `--remarks` output for the EP port.
+#[test]
+fn ep_port_remarks_match_golden() {
+    common::check_remarks_golden(ZAG_EP, "ep.zag", "remarks_ep.txt");
+}
+
+/// ROADMAP item 1 made observable: EP's hot loop is not kernelized
+/// because the matcher stops at the `randlc` call boundary, and the
+/// remark must say exactly that so the gap is diagnosable from the CLI.
+#[test]
+fn ep_remarks_name_the_randlc_call_boundary() {
+    let diags = zomp_vm::remarks::collect(ZAG_EP, "ep.zag", zomp_vm::OptLevel::O3)
+        .expect("collect remarks");
+    assert!(
+        diags.iter().any(|d| {
+            d.code == "kernel-missed"
+                && d.message.contains("call boundary")
+                && d.note.as_deref().is_some_and(|n| n.contains("`randlc`"))
+        }),
+        "no kernel-missed remark names randlc: {diags:#?}"
+    );
+}

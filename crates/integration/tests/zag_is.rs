@@ -194,3 +194,12 @@ fn port_passes_data_sharing_check() {
         "lint findings on clean port: {rendered:#?}"
     );
 }
+
+mod common;
+
+/// Golden `--remarks` output for the IS port: the histogram, prefix-sum
+/// and scatter phases should all appear as installed kernels.
+#[test]
+fn is_port_remarks_match_golden() {
+    common::check_remarks_golden(ZAG_RANK, "is.zag", "remarks_is.txt");
+}

@@ -15,6 +15,8 @@
 //! zag --opt 0 p.zag               # bytecode optimization level (0|1|2|3)
 //! zag --dump-bytecode p.zag       # print pre- and post-opt streams
 //! zag --dump-ir p.zag             # print the typed block-structured IR
+//! zag --remarks p.zag             # optimization remarks, no execution
+//! zag --remarks=json p.zag        # same, as a JSON array
 //! ```
 
 use zomp::safety::SafetyMode;
@@ -23,10 +25,10 @@ use zomp_vm::{Backend, OptLevel, Vm};
 
 fn usage() -> ! {
     eprintln!(
-        "usage: zag [--check[=deny]] [--emit-preprocessed] [--trace-passes] [--dump-ast] \
-         [--dump-bytecode] [--dump-ir] [--backend ast|bytecode|native] [--opt 0|1|2|3] \
-         [--threads N] [--safety debug|production|paranoid] [--profile] [--trace FILE] \
-         [--metrics FILE] <program.zag>"
+        "usage: zag [--check[=deny]] [--remarks[=json]] [--emit-preprocessed] [--trace-passes] \
+         [--dump-ast] [--dump-bytecode] [--dump-ir] [--backend ast|bytecode|native] \
+         [--opt 0|1|2|3] [--threads N] [--safety debug|production|paranoid] [--profile[=json]] \
+         [--trace FILE] [--metrics FILE] <program.zag>"
     );
     std::process::exit(2);
 }
@@ -61,9 +63,13 @@ fn main() {
     let mut dump_bytecode = false;
     let mut dump_ir = false;
     let mut profile = false;
+    let mut profile_json = false;
     let mut check = CheckMode::Warn;
+    // `--remarks`: None = off, Some(true) = JSON output.
+    let mut remarks: Option<bool> = None;
     let mut backend = Backend::default();
     let mut opt = OptLevel::default();
+    let mut opt_explicit = false;
     let mut path: Option<String> = None;
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
@@ -75,6 +81,8 @@ fn main() {
             "--dump-ir" => dump_ir = true,
             "--check" => check = CheckMode::Report,
             "--check=deny" => check = CheckMode::Deny,
+            "--remarks" => remarks = Some(false),
+            "--remarks=json" => remarks = Some(true),
             "--backend" => {
                 backend = args
                     .next()
@@ -91,11 +99,17 @@ fn main() {
                     .as_deref()
                     .and_then(OptLevel::parse)
                     .unwrap_or_else(|| usage());
+                opt_explicit = true;
             }
             _ if a.starts_with("--opt=") => {
                 opt = OptLevel::parse(&a["--opt=".len()..]).unwrap_or_else(|| usage());
+                opt_explicit = true;
             }
             "--profile" => profile = true,
+            "--profile=json" => {
+                profile = true;
+                profile_json = true;
+            }
             "--trace" => {
                 let f = args.next().unwrap_or_else(|| usage());
                 zomp::trace::set_trace_path(&f);
@@ -152,6 +166,29 @@ fn main() {
             std::process::exit(1);
         }
         return;
+    }
+
+    if let Some(json) = remarks {
+        // Remark collection recompiles with the pipeline instrumented;
+        // default to --opt=3 so kernel-installed/missed remarks appear
+        // unless the user pinned a lower level explicitly.
+        let ropt = if opt_explicit { opt } else { OptLevel::O3 };
+        match zomp_vm::remarks::collect(&source, &path, ropt) {
+            Ok(diags) => {
+                if json {
+                    print!("{}", zomp_vm::remarks::render_json(&diags, &source));
+                } else {
+                    for d in &diags {
+                        println!("{}", render_diag(&path, &source, d));
+                    }
+                    if diags.is_empty() {
+                        println!("zag: {path}: no remarks at --opt={ropt}");
+                    }
+                }
+                return;
+            }
+            Err(e) => fail(&path, &source, &e),
+        }
     }
 
     if dump_ast {
@@ -214,10 +251,16 @@ fn main() {
 
     if profile {
         zomp::profile::disable();
-        eprintln!("\n--- region profile (gprof-style) ---");
-        eprint!("{}", zomp::profile::render_report());
-        eprintln!("\n--- per-construct breakdown ---");
-        eprint!("{}", zomp::profile::render_breakdown());
+        if profile_json {
+            print!("{}", zomp::profile::render_json());
+        } else {
+            eprintln!("\n--- region profile (gprof-style) ---");
+            eprint!("{}", zomp::profile::render_report());
+            eprintln!("\n--- per-construct breakdown ---");
+            eprint!("{}", zomp::profile::render_breakdown());
+            eprintln!("\n--- per-loop tier residency ---");
+            eprint!("{}", zomp::profile::render_tiers());
+        }
     }
     match zomp::trace::finish() {
         Ok(written) => {

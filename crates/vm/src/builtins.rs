@@ -435,12 +435,18 @@ fn cmp_from_code(code: i64) -> VmResult<LoopCmp> {
 }
 
 fn ws_begin(args: Vec<Value>) -> VmResult<Value> {
-    let kind_code = args[0].as_int()?;
-    let chunk_raw = args[1].as_int()?;
-    let lb = args[2].as_int()?;
-    let ub = args[3].as_int()?;
-    let incr = args[4].as_int()?;
-    let cmp = cmp_from_code(args[5].as_int()?)?;
+    // An optional leading string is the worksharing pragma's `unit:line`
+    // label (named translation units only), mirroring `fork_call`.
+    let (label, base) = match args.first() {
+        Some(Value::Str(s)) => (zomp::trace::intern(s), 1usize),
+        _ => ("", 0usize),
+    };
+    let kind_code = args[base].as_int()?;
+    let chunk_raw = args[base + 1].as_int()?;
+    let lb = args[base + 2].as_int()?;
+    let ub = args[base + 3].as_int()?;
+    let incr = args[base + 4].as_int()?;
+    let cmp = cmp_from_code(args[base + 5].as_int()?)?;
     let chunk = (chunk_raw > 0).then_some(chunk_raw);
 
     let bounds = LoopBounds { lb, ub, incr, cmp };
@@ -474,12 +480,25 @@ fn ws_begin(args: Vec<Value>) -> VmResult<Value> {
                 ),
             },
             _ => match ctx {
-                Some(ctx) => WsMode::Dispatch(ctx.dispatch_begin(sched, trip)),
+                Some(ctx) => WsMode::Dispatch(ctx.dispatch_begin_labelled(
+                    sched,
+                    trip,
+                    (!label.is_empty()).then_some(label),
+                )),
                 // Serial fallback: a 1-thread deck claimed as tid 0.
                 None => WsMode::Local(DynamicDispatch::new(trip, 1, sched.chunk)),
             },
         })
     })?;
+
+    // The locally driven modes record their own `LoopDispatch` span
+    // (closed when the loop exhausts or at fini); team `Dispatch` already
+    // spans the construct through `dispatch_begin_labelled`.
+    let t0 = match &mode {
+        WsMode::Dispatch(_) => 0,
+        WsMode::Local(_) => zomp::trace::dispatch_begin_ts(true),
+        _ => zomp::trace::dispatch_begin_ts(false),
+    };
 
     Ok(Value::Ws(Arc::new(WsIter {
         state: Mutex::new(WsState {
@@ -488,8 +507,25 @@ fn ws_begin(args: Vec<Value>) -> VmResult<Value> {
             mode,
             cur: None,
             finished: false,
+            label,
+            t0,
+            iters: 0,
+            pending: None,
         }),
     })))
+}
+
+/// Close a locally driven loop's trace bookkeeping: flush the pending
+/// chunk span and record the thread's `LoopDispatch` span. No-op for team
+/// [`WsMode::Dispatch`] loops (the team handle spans those).
+fn ws_close_span(st: &mut WsState) {
+    if let Some((start, len, t0)) = st.pending.take() {
+        zomp::trace::chunk(zomp::schedule::ChunkOrigin::Owned, start, len, t0);
+    }
+    if !matches!(st.mode, WsMode::Dispatch(_)) {
+        let dynamic = matches!(st.mode, WsMode::Local(_));
+        zomp::trace::dispatch_end(st.label, st.iters, dynamic, st.t0);
+    }
 }
 
 fn as_ws(v: &Value) -> VmResult<&Arc<WsIter>> {
@@ -505,6 +541,14 @@ fn as_ws(v: &Value) -> VmResult<&Arc<WsIter>> {
 fn ws_next(args: Vec<Value>) -> VmResult<Value> {
     let ws = as_ws(&args[0])?;
     let mut st = ws.state.lock();
+    let traced = zomp::trace::active();
+    if traced {
+        // Split-phase: the previous chunk's body ran between calls — close
+        // its span before claiming the next (team Dispatch does its own).
+        if let Some((start, len, t0)) = st.pending.take() {
+            zomp::trace::chunk(zomp::schedule::ChunkOrigin::Owned, start, len, t0);
+        }
+    }
     let logical = match &mut st.mode {
         WsMode::StaticBlock(r) => r.take().filter(|r| !r.is_empty()),
         WsMode::StaticChunked(it) => it.next(),
@@ -516,12 +560,19 @@ fn ws_next(args: Vec<Value>) -> VmResult<Value> {
     };
     match logical {
         Some(r) => {
+            if traced && !matches!(st.mode, WsMode::Dispatch(_)) {
+                st.iters += r.end - r.start;
+                st.pending = Some((r.start, r.end - r.start, zomp::trace::chunk_begin_ts()));
+            }
             let lo = st.lb + r.start as i64 * st.incr;
             let hi = st.lb + r.end as i64 * st.incr;
             st.cur = Some((lo, hi));
             Ok(Value::Bool(true))
         }
         None => {
+            if traced && !st.finished {
+                ws_close_span(&mut st);
+            }
             st.finished = true;
             st.cur = None;
             Ok(Value::Bool(false))
@@ -544,7 +595,7 @@ fn ws_fini(args: Vec<Value>) -> VmResult<Value> {
     {
         let mut st = ws.state.lock();
         // Loops abandoned before exhaustion must still release their team
-        // construct slot.
+        // construct slot (and close their trace spans).
         if let WsMode::Dispatch(d) = &st.mode {
             if !st.finished {
                 with_ctx(|ctx| {
@@ -554,6 +605,9 @@ fn ws_fini(args: Vec<Value>) -> VmResult<Value> {
                 });
                 st.finished = true;
             }
+        } else if !st.finished && zomp::trace::active() {
+            ws_close_span(&mut st);
+            st.finished = true;
         }
     }
     if !nowait {

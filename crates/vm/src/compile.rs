@@ -70,14 +70,32 @@ pub fn compile_image(ast: &Ast) -> Image {
 /// ([`crate::typeck`]); `O3` finally installs the native bulk kernels
 /// ([`crate::kernels`]) on the fully-rewritten stream.
 pub fn compile_image_opt(ast: &Ast, opt: crate::optimize::OptLevel) -> Image {
+    compile_image_opt_collect(ast, opt, None)
+}
+
+/// [`compile_image_opt`], optionally filling a [`crate::remarks::PassData`]
+/// with per-pass statistics as the pipeline runs (`zag --remarks`). The
+/// single pipeline definition — the remark path and the normal path
+/// cannot drift.
+pub(crate) fn compile_image_opt_collect(
+    ast: &Ast,
+    opt: crate::optimize::OptLevel,
+    mut data: Option<&mut crate::remarks::PassData>,
+) -> Image {
     let mut image = compile_image(ast);
     if opt > crate::optimize::OptLevel::O0 {
         let nfuncs = image.funcs.len();
         for f in &mut image.funcs {
-            crate::optimize::optimize_fn(f, opt, nfuncs);
+            let stats = crate::optimize::optimize_fn_stats(f, opt, nfuncs);
+            if let Some(d) = data.as_deref_mut() {
+                d.opt_stats.push(stats);
+            }
         }
         if opt >= crate::optimize::OptLevel::O2 {
-            crate::typeck::specialize_image(&mut image);
+            match data {
+                Some(d) => d.sites = crate::typeck::specialize_image_remarked(&mut image),
+                None => crate::typeck::specialize_image(&mut image),
+            }
         }
         if opt >= crate::optimize::OptLevel::O3 {
             crate::kernels::install_image(&mut image);

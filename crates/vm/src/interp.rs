@@ -752,12 +752,14 @@ impl Vm {
                         Value::ArrF(a) => {
                             if C::QUICKENS {
                                 code.quicken(pc - 1, Insn::IndexF { dst, arr, idx });
+                                zomp::trace::quicken("index->index.f", (pc - 1) as u32);
                             }
                             Value::Float(a.get(i)?)
                         }
                         Value::ArrI(a) => {
                             if C::QUICKENS {
                                 code.quicken(pc - 1, Insn::IndexI { dst, arr, idx });
+                                zomp::trace::quicken("index->index.i", (pc - 1) as u32);
                             }
                             Value::Int(a.get(i)?)
                         }
@@ -772,6 +774,7 @@ impl Vm {
                     }
                     _ => {
                         code.quicken(pc - 1, Insn::Index { dst, arr, idx });
+                        zomp::trace::deopt("index.f->index", (pc - 1) as u32);
                         pc -= 1;
                         continue;
                     }
@@ -783,6 +786,7 @@ impl Vm {
                     }
                     _ => {
                         code.quicken(pc - 1, Insn::Index { dst, arr, idx });
+                        zomp::trace::deopt("index.i->index", (pc - 1) as u32);
                         pc -= 1;
                         continue;
                     }
@@ -794,6 +798,7 @@ impl Vm {
                             let v = rg(regs, src).as_float()?;
                             if C::QUICKENS {
                                 code.quicken(pc - 1, Insn::IndexSetF { arr, idx, src });
+                                zomp::trace::quicken("index_set->index_set.f", (pc - 1) as u32);
                             }
                             a.set(i, v)?;
                         }
@@ -801,6 +806,7 @@ impl Vm {
                             let v = rg(regs, src).as_int()?;
                             if C::QUICKENS {
                                 code.quicken(pc - 1, Insn::IndexSetI { arr, idx, src });
+                                zomp::trace::quicken("index_set->index_set.i", (pc - 1) as u32);
                             }
                             a.set(i, v)?;
                         }
@@ -812,6 +818,7 @@ impl Vm {
                         (Value::ArrF(a), Value::Int(i), Value::Float(v)) => a.set(*i, *v)?,
                         _ => {
                             code.quicken(pc - 1, Insn::IndexSet { arr, idx, src });
+                            zomp::trace::deopt("index_set.f->index_set", (pc - 1) as u32);
                             pc -= 1;
                             continue;
                         }
@@ -822,6 +829,7 @@ impl Vm {
                         (Value::ArrI(a), Value::Int(i), Value::Int(v)) => a.set(*i, *v)?,
                         _ => {
                             code.quicken(pc - 1, Insn::IndexSet { arr, idx, src });
+                            zomp::trace::deopt("index_set.i->index_set", (pc - 1) as u32);
                             pc -= 1;
                             continue;
                         }
@@ -832,12 +840,14 @@ impl Vm {
                         (Value::Float(x), Value::Float(y)) => {
                             if C::QUICKENS {
                                 code.quicken(pc - 1, Insn::ArithFF { op, dst, a, b });
+                                zomp::trace::quicken("arith->arith.ff", (pc - 1) as u32);
                             }
                             Value::Float(float_arith(op, *x, *y))
                         }
                         (Value::Int(x), Value::Int(y)) => {
                             if C::QUICKENS {
                                 code.quicken(pc - 1, Insn::ArithII { op, dst, a, b });
+                                zomp::trace::quicken("arith->arith.ii", (pc - 1) as u32);
                             }
                             Value::Int(int_arith(op, *x, *y)?)
                         }
@@ -852,6 +862,7 @@ impl Vm {
                     }
                     _ => {
                         code.quicken(pc - 1, Insn::Arith { op, dst, a, b });
+                        zomp::trace::deopt("arith.ii->arith", (pc - 1) as u32);
                         pc -= 1;
                         continue;
                     }
@@ -863,6 +874,7 @@ impl Vm {
                     }
                     _ => {
                         code.quicken(pc - 1, Insn::Arith { op, dst, a, b });
+                        zomp::trace::deopt("arith.ff->arith", (pc - 1) as u32);
                         pc -= 1;
                         continue;
                     }
@@ -1252,12 +1264,14 @@ impl Vm {
                         (Value::Int(x), Value::Int(y)) => {
                             if C::QUICKENS {
                                 code.quicken(pc - 1, Insn::CmpII { op, dst, a, b });
+                                zomp::trace::quicken("cmp->cmp.ii", (pc - 1) as u32);
                             }
                             Value::Bool(cmp_int(op, *x, *y))
                         }
                         (Value::Float(x), Value::Float(y)) => {
                             if C::QUICKENS {
                                 code.quicken(pc - 1, Insn::CmpFF { op, dst, a, b });
+                                zomp::trace::quicken("cmp->cmp.ff", (pc - 1) as u32);
                             }
                             Value::Bool(cmp_float(op, *x, *y))
                         }
@@ -1272,6 +1286,7 @@ impl Vm {
                     }
                     _ => {
                         code.quicken(pc - 1, Insn::Cmp { op, dst, a, b });
+                        zomp::trace::deopt("cmp.ii->cmp", (pc - 1) as u32);
                         pc -= 1;
                         continue;
                     }
@@ -1283,6 +1298,7 @@ impl Vm {
                     }
                     _ => {
                         code.quicken(pc - 1, Insn::Cmp { op, dst, a, b });
+                        zomp::trace::deopt("cmp.ff->cmp", (pc - 1) as u32);
                         pc -= 1;
                         continue;
                     }
@@ -1319,12 +1335,14 @@ impl Vm {
                         (Value::Int(x), Value::Int(y)) => {
                             if C::QUICKENS {
                                 code.quicken(pc - 1, Insn::CmpJumpFalseII { op, a, b, to });
+                                zomp::trace::quicken("cmp_jf->cmp_jf.ii", (pc - 1) as u32);
                             }
                             cmp_int(op, *x, *y)
                         }
                         (Value::Float(x), Value::Float(y)) => {
                             if C::QUICKENS {
                                 code.quicken(pc - 1, Insn::CmpJumpFalseFF { op, a, b, to });
+                                zomp::trace::quicken("cmp_jf->cmp_jf.ff", (pc - 1) as u32);
                             }
                             cmp_float(op, *x, *y)
                         }
@@ -1342,6 +1360,7 @@ impl Vm {
                     }
                     _ => {
                         code.quicken(pc - 1, Insn::CmpJumpFalse { op, a, b, to });
+                        zomp::trace::deopt("cmp_jf.ii->cmp_jf", (pc - 1) as u32);
                         pc -= 1;
                         continue;
                     }
@@ -1354,6 +1373,7 @@ impl Vm {
                     }
                     _ => {
                         code.quicken(pc - 1, Insn::CmpJumpFalse { op, a, b, to });
+                        zomp::trace::deopt("cmp_jf.ff->cmp_jf", (pc - 1) as u32);
                         pc -= 1;
                         continue;
                     }
@@ -1504,7 +1524,7 @@ impl Vm {
                     // instruction replays the failing iteration interpreted
                     // (raising the exact error the interpreter would).
                     let desc = &f.kernels[kidx as usize];
-                    if crate::kernels::run(desc, regs, consts) {
+                    if crate::kernels::run(desc, (pc - 1) as u32, regs, consts) {
                         pc = desc.exit as usize;
                     } else {
                         code.quicken(pc - 1, desc.orig);

@@ -51,6 +51,11 @@ pub struct KernelDesc {
     /// pc to resume at after a normal kernel exit.
     pub exit: u32,
     pub kind: KernelKind,
+    /// Pragma `unit:line` label of the nearest enclosing worksharing
+    /// loop (resolved at install from the preceding `ws_begin` call's
+    /// string constant), or `""` when the unit was compiled unnamed.
+    /// Rides into `BulkLoop` trace spans and `--remarks` output.
+    pub label: &'static str,
 }
 
 /// The recognised loop shapes. Register fields are bound by the
@@ -154,6 +159,22 @@ pub enum KernelKind {
 }
 
 impl KernelKind {
+    /// The register the kernel advances every iteration. Written back
+    /// on both success and bail, so the dispatcher can derive the
+    /// native iteration count as the before/after delta without the
+    /// individual kernels carrying counters.
+    pub fn induction(&self) -> Reg {
+        match *self {
+            KernelKind::MatvecRows { j, .. } => j,
+            KernelKind::MatvecGather { k, .. } => k,
+            KernelKind::Histogram { i, .. } => i,
+            KernelKind::FillConst { i, .. } => i,
+            KernelKind::PrefixSum { i, .. } => i,
+            KernelKind::RankInc { q, .. } => q,
+            KernelKind::Scatter { i, .. } => i,
+        }
+    }
+
     /// Short stable name for disassembly (`bulkloop kernel0 (matvec)`).
     pub fn name(&self) -> &'static str {
         match self {
@@ -309,6 +330,7 @@ fn install_fn(f: &mut CompiledFn, nfuncs: usize) {
             orig: f.code[pc],
             exit,
             kind,
+            label: loop_label(f, pc),
         });
         f.code[pc] = Insn::BulkLoop { kidx };
         installed = true;
@@ -324,6 +346,38 @@ fn install_fn(f: &mut CompiledFn, nfuncs: usize) {
             panic!("kernel installation produced invalid bytecode: {e}");
         }
     }
+}
+
+/// Resolve the pragma label of the worksharing loop enclosing the
+/// kernel at `pc`: the nearest preceding `omp.internal.ws_begin` call
+/// whose first argument is a string constant (the preprocessor only
+/// emits that argument for named units). `""` when absent.
+pub(crate) fn loop_label(f: &CompiledFn, pc: usize) -> &'static str {
+    for i in (0..pc).rev() {
+        let Insn::OmpCall { sym, base, .. } = f.code[i] else {
+            continue;
+        };
+        let path = &f.omp_syms[sym as usize];
+        if path.last().map(String::as_str) != Some("ws_begin") {
+            continue;
+        }
+        // The label argument is materialised by a `const` into the
+        // call's first argument register somewhere before the call.
+        for j in (0..i).rev() {
+            let Insn::Const { dst, k } = f.code[j] else {
+                continue;
+            };
+            if dst != base {
+                continue;
+            }
+            if let Some(Value::Str(s)) = f.consts.get(k as usize) {
+                return zomp::trace::intern(s);
+            }
+            break;
+        }
+        break;
+    }
+    ""
 }
 
 fn all_distinct(rs: &[Reg]) -> bool {
@@ -771,7 +825,55 @@ fn match_scatter(f: &CompiledFn, pc: usize) -> Option<(KernelKind, u32)> {
 /// Run one kernel against the current frame. `true` = the loop
 /// completed and all defined registers were written back (jump to
 /// `desc.exit`); `false` = deopt (replay `desc.orig` interpreted).
-pub(crate) fn run(desc: &KernelDesc, regs: &mut [Value], consts: &[Value]) -> bool {
+///
+/// `pc` is the `BulkLoop` instruction's own address, for telemetry.
+/// When tracing is active the dispatcher records a `BulkLoop` span
+/// (native iterations derived from the induction register's
+/// before/after delta) and, on a bail, a `KernelBail` event carrying
+/// the machine-readable reason; the disabled-tracing cost is one
+/// relaxed atomic load.
+pub(crate) fn run(desc: &KernelDesc, pc: u32, regs: &mut [Value], consts: &[Value]) -> bool {
+    if !zomp::trace::active() {
+        return run_inner(desc, regs, consts).is_ok();
+    }
+    let t0 = zomp::trace::kernel_begin_ts();
+    let ind = desc.kind.induction() as usize;
+    let before = match regs[ind] {
+        Value::Int(v) => v,
+        _ => 0,
+    };
+    let r = run_inner(desc, regs, consts);
+    let after = match regs[ind] {
+        Value::Int(v) => v,
+        _ => before,
+    };
+    let iters = after.wrapping_sub(before).max(0) as u64;
+    zomp::trace::kernel_end(kernel_span_label(desc), pc, iters, r.err(), t0);
+    r.is_ok()
+}
+
+/// Span label: the pragma `unit:line` label when known, else the
+/// kernel shape name so unlabelled spans still identify the loop.
+fn kernel_span_label(desc: &KernelDesc) -> &'static str {
+    if desc.label.is_empty() {
+        desc.kind.name()
+    } else {
+        desc.label
+    }
+}
+
+/// Machine-readable bail reasons (also the `KernelBail` event labels).
+/// `type`: a bound register or constant did not hold the matched
+/// Int/Float/array shape. `bounds`: an index left its array. `div`:
+/// division by zero or `i64::MIN / -1`. `overflow`: induction
+/// arithmetic overflowed.
+type Bail = &'static str;
+const BAIL_TYPE: Bail = "type";
+const BAIL_BOUNDS: Bail = "bounds";
+const BAIL_DIV: Bail = "div";
+const BAIL_OVERFLOW: Bail = "overflow";
+
+fn run_inner(desc: &KernelDesc, regs: &mut [Value], consts: &[Value]) -> Result<(), Bail> {
     match desc.kind {
         KernelKind::MatvecRows { .. } => run_matvec_rows(&desc.kind, regs, consts),
         KernelKind::MatvecGather { .. } => run_matvec(&desc.kind, regs),
@@ -830,7 +932,7 @@ fn div_ok(x: i64, y: i64) -> bool {
     y != 0 && !(y == -1 && x == i64::MIN)
 }
 
-fn run_matvec_rows(kind: &KernelKind, regs: &mut [Value], consts: &[Value]) -> bool {
+fn run_matvec_rows(kind: &KernelKind, regs: &mut [Value], consts: &[Value]) -> Result<(), Bail> {
     let KernelKind::MatvecRows {
         rowcell,
         j,
@@ -845,7 +947,7 @@ fn run_matvec_rows(kind: &KernelKind, regs: &mut [Value], consts: &[Value]) -> b
         sk,
     } = *kind
     else {
-        return false;
+        return Err(BAIL_TYPE);
     };
     let (Some(rows), Some(xv), Some(av), Some(ic), Some(qv)) = (
         cell_arri(regs, rowcell),
@@ -854,13 +956,13 @@ fn run_matvec_rows(kind: &KernelKind, regs: &mut [Value], consts: &[Value]) -> b
         cell_arri(regs, icell),
         cell_arrf(regs, qcell),
     ) else {
-        return false;
+        return Err(BAIL_TYPE);
     };
     let (Some(mut jv), Some(ubv)) = (reg_int(regs, j), reg_int(regs, ub)) else {
-        return false;
+        return Err(BAIL_TYPE);
     };
     let Some(Value::Float(seed)) = consts.get(sk as usize) else {
-        return false;
+        return Err(BAIL_TYPE);
     };
     let seed = *seed;
     let rc = rows.cells();
@@ -876,22 +978,22 @@ fn run_matvec_rows(kind: &KernelKind, regs: &mut [Value], consts: &[Value]) -> b
     // bail the interpreter replays the failing row from the head, so the
     // registers must look exactly as they did when that row started.
     let mut last: Option<(i64, i64, f64)> = None;
-    let bail = |regs: &mut [Value], jv: i64, last: Option<(i64, i64, f64)>| {
+    let bail = |regs: &mut [Value], jv: i64, last: Option<(i64, i64, f64)>, why: Bail| {
         regs[j as usize] = Value::Int(jv);
         if let Some((kv, bv, s)) = last {
             regs[k as usize] = Value::Int(kv);
             regs[bound as usize] = Value::Int(bv);
             regs[acc as usize] = Value::Float(s);
         }
-        false
+        Err(why)
     };
     // do-while: any jump to the head runs at least one row.
     loop {
         let Some(jo) = jv.checked_add(1) else {
-            return bail(regs, jv, last);
+            return bail(regs, jv, last, BAIL_OVERFLOW);
         };
         if jv < 0 || jo as usize >= rc.len() {
-            return bail(regs, jv, last);
+            return bail(regs, jv, last, BAIL_BOUNDS);
         }
         // SAFETY: jv and jo bounds-checked just above; OpenMP
         // no-data-race contract for the elements themselves.
@@ -906,7 +1008,7 @@ fn run_matvec_rows(kind: &KernelKind, regs: &mut [Value], consts: &[Value]) -> b
                 let xe = unsafe { *xc.get_unchecked(kv as usize).get() };
                 let ie = unsafe { *icc.get_unchecked(kv as usize).get() };
                 if ie < 0 || ie >= an {
-                    return bail(regs, jv, last);
+                    return bail(regs, jv, last, BAIL_BOUNDS);
                 }
                 // SAFETY: ie bounds-checked just above.
                 let ae = unsafe { *ac.get_unchecked(ie as usize).get() };
@@ -918,13 +1020,13 @@ fn run_matvec_rows(kind: &KernelKind, regs: &mut [Value], consts: &[Value]) -> b
         } else {
             while kv < bv {
                 if kv < 0 || kv >= xn || kv >= icn {
-                    return bail(regs, jv, last);
+                    return bail(regs, jv, last, BAIL_BOUNDS);
                 }
                 // SAFETY: kv bounds-checked just above.
                 let xe = unsafe { *xc.get_unchecked(kv as usize).get() };
                 let ie = unsafe { *icc.get_unchecked(kv as usize).get() };
                 if ie < 0 || ie >= an {
-                    return bail(regs, jv, last);
+                    return bail(regs, jv, last, BAIL_BOUNDS);
                 }
                 // SAFETY: ie bounds-checked just above.
                 let ae = unsafe { *ac.get_unchecked(ie as usize).get() };
@@ -934,7 +1036,7 @@ fn run_matvec_rows(kind: &KernelKind, regs: &mut [Value], consts: &[Value]) -> b
         }
         if jv >= qn {
             // `q[j] = s` would be out of bounds (jv >= 0 held above).
-            return bail(regs, jv, last);
+            return bail(regs, jv, last, BAIL_BOUNDS);
         }
         // SAFETY: jv bounds-checked against qn just above.
         unsafe { *qc.get_unchecked(jv as usize).get() = s };
@@ -945,12 +1047,12 @@ fn run_matvec_rows(kind: &KernelKind, regs: &mut [Value], consts: &[Value]) -> b
             regs[k as usize] = Value::Int(kv);
             regs[bound as usize] = Value::Int(bv);
             regs[acc as usize] = Value::Float(s);
-            return true;
+            return Ok(());
         }
     }
 }
 
-fn run_matvec(kind: &KernelKind, regs: &mut [Value]) -> bool {
+fn run_matvec(kind: &KernelKind, regs: &mut [Value]) -> Result<(), Bail> {
     let KernelKind::MatvecGather {
         rowcell,
         j,
@@ -962,7 +1064,7 @@ fn run_matvec(kind: &KernelKind, regs: &mut [Value]) -> bool {
         icell,
     } = *kind
     else {
-        return false;
+        return Err(BAIL_TYPE);
     };
     let (Some(rows), Some(xv), Some(av), Some(ic)) = (
         cell_arri(regs, rowcell),
@@ -970,21 +1072,21 @@ fn run_matvec(kind: &KernelKind, regs: &mut [Value]) -> bool {
         cell_arrf(regs, acell),
         cell_arri(regs, icell),
     ) else {
-        return false;
+        return Err(BAIL_TYPE);
     };
     let (Some(jv), Some(mut kv), Some(mut s)) =
         (reg_int(regs, j), reg_int(regs, k), reg_float(regs, acc))
     else {
-        return false;
+        return Err(BAIL_TYPE);
     };
     let rc = rows.cells();
     let Some(jo) = jv.checked_add(1) else {
-        return false;
+        return Err(BAIL_OVERFLOW);
     };
     if jv < 0 || jo as usize >= rc.len() {
         // The head load itself would be out of bounds (or the row
         // array is checked and rejects it) — replay with no effects.
-        return false;
+        return Err(BAIL_BOUNDS);
     }
     // SAFETY: jo bounds-checked just above; OpenMP no-data-race
     // contract for the element itself.
@@ -1009,7 +1111,7 @@ fn run_matvec(kind: &KernelKind, regs: &mut [Value]) -> bool {
             let ie = unsafe { *icc.get_unchecked(kv as usize).get() };
             if ie < 0 || ie >= an {
                 writeback(regs, kv, s);
-                return false;
+                return Err(BAIL_BOUNDS);
             }
             // SAFETY: ie bounds-checked just above.
             let ae = unsafe { *ac.get_unchecked(ie as usize).get() };
@@ -1022,14 +1124,14 @@ fn run_matvec(kind: &KernelKind, regs: &mut [Value]) -> bool {
         while kv < lt {
             if kv < 0 || kv >= xn || kv >= icn {
                 writeback(regs, kv, s);
-                return false;
+                return Err(BAIL_BOUNDS);
             }
             // SAFETY: kv bounds-checked just above.
             let xe = unsafe { *xc.get_unchecked(kv as usize).get() };
             let ie = unsafe { *icc.get_unchecked(kv as usize).get() };
             if ie < 0 || ie >= an {
                 writeback(regs, kv, s);
-                return false;
+                return Err(BAIL_BOUNDS);
             }
             // SAFETY: ie bounds-checked just above.
             let ae = unsafe { *ac.get_unchecked(ie as usize).get() };
@@ -1040,10 +1142,10 @@ fn run_matvec(kind: &KernelKind, regs: &mut [Value]) -> bool {
         }
     }
     writeback(regs, kv, s);
-    true
+    Ok(())
 }
 
-fn run_histogram(kind: &KernelKind, regs: &mut [Value], consts: &[Value]) -> bool {
+fn run_histogram(kind: &KernelKind, regs: &mut [Value], consts: &[Value]) -> Result<(), Bail> {
     let KernelKind::Histogram {
         keys,
         i,
@@ -1055,18 +1157,18 @@ fn run_histogram(kind: &KernelKind, regs: &mut [Value], consts: &[Value]) -> boo
         k,
     } = *kind
     else {
-        return false;
+        return Err(BAIL_TYPE);
     };
     let (Some(ka), Some(la)) = (cell_arri(regs, keys), reg_arri(regs, local)) else {
-        return false;
+        return Err(BAIL_TYPE);
     };
     let (Some(mut iv), Some(sdv), Some(ubv)) =
         (reg_int(regs, i), reg_int(regs, sd), reg_int(regs, ub))
     else {
-        return false;
+        return Err(BAIL_TYPE);
     };
     let Some(Value::Int(c)) = consts.get(k as usize) else {
-        return false;
+        return Err(BAIL_TYPE);
     };
     let c = *c;
     let kc = ka.cells();
@@ -1077,18 +1179,18 @@ fn run_histogram(kind: &KernelKind, regs: &mut [Value], consts: &[Value]) -> boo
     loop {
         if iv < 0 || iv >= kn {
             regs[i as usize] = Value::Int(iv);
-            return false;
+            return Err(BAIL_BOUNDS);
         }
         // SAFETY: iv bounds-checked just above.
         let tv = unsafe { *kc.get_unchecked(iv as usize).get() };
         if !div_ok(tv, sdv) {
             regs[i as usize] = Value::Int(iv);
-            return false;
+            return Err(BAIL_DIV);
         }
         let bv = tv / sdv;
         if bv < 0 || bv >= ln {
             regs[i as usize] = Value::Int(iv);
-            return false;
+            return Err(BAIL_BOUNDS);
         }
         // SAFETY: bv bounds-checked just above.
         unsafe {
@@ -1100,7 +1202,7 @@ fn run_histogram(kind: &KernelKind, regs: &mut [Value], consts: &[Value]) -> boo
             regs[i as usize] = Value::Int(iv);
             regs[t as usize] = Value::Int(tv);
             regs[b as usize] = Value::Int(bv);
-            return true;
+            return Ok(());
         }
     }
 }
@@ -1146,17 +1248,17 @@ fn fill_elems<T: Copy>(
     }
 }
 
-fn run_fill(kind: &KernelKind, regs: &mut [Value], consts: &[Value]) -> bool {
+fn run_fill(kind: &KernelKind, regs: &mut [Value], consts: &[Value]) -> Result<(), Bail> {
     let KernelKind::FillConst { arr, i, c, lim, k } = *kind else {
-        return false;
+        return Err(BAIL_TYPE);
     };
     let (Some(mut iv), Some(limv)) = (reg_int(regs, i), reg_int(regs, lim)) else {
-        return false;
+        return Err(BAIL_TYPE);
     };
     let done = match consts.get(k as usize) {
         Some(Value::Int(v)) => {
             let Some(a) = cell_arri(regs, arr) else {
-                return false;
+                return Err(BAIL_TYPE);
             };
             let done = fill_elems(a.cells(), &mut iv, limv, *v);
             if done {
@@ -1166,7 +1268,7 @@ fn run_fill(kind: &KernelKind, regs: &mut [Value], consts: &[Value]) -> bool {
         }
         Some(Value::Float(v)) => {
             let Some(a) = cell_arrf(regs, arr) else {
-                return false;
+                return Err(BAIL_TYPE);
             };
             let done = fill_elems(a.cells(), &mut iv, limv, *v);
             if done {
@@ -1174,13 +1276,17 @@ fn run_fill(kind: &KernelKind, regs: &mut [Value], consts: &[Value]) -> bool {
             }
             done
         }
-        _ => return false,
+        _ => return Err(BAIL_TYPE),
     };
     regs[i as usize] = Value::Int(iv);
-    done
+    if done {
+        Ok(())
+    } else {
+        Err(BAIL_BOUNDS)
+    }
 }
 
-fn run_prefix(kind: &KernelKind, regs: &mut [Value]) -> bool {
+fn run_prefix(kind: &KernelKind, regs: &mut [Value]) -> Result<(), Bail> {
     let KernelKind::PrefixSum {
         arr,
         i,
@@ -1189,14 +1295,14 @@ fn run_prefix(kind: &KernelKind, regs: &mut [Value]) -> bool {
         lim,
     } = *kind
     else {
-        return false;
+        return Err(BAIL_TYPE);
     };
     let (Some(mut iv), Some(limv)) = (reg_int(regs, i), reg_int(regs, lim)) else {
-        return false;
+        return Err(BAIL_TYPE);
     };
     if let Some(a) = cell_arri(regs, arr) {
         let Some(mut accv) = reg_int(regs, acc) else {
-            return false;
+            return Err(BAIL_TYPE);
         };
         let cells = a.cells();
         let n = cells.len() as i64;
@@ -1205,7 +1311,7 @@ fn run_prefix(kind: &KernelKind, regs: &mut [Value]) -> bool {
             if iv < 0 || iv >= n {
                 regs[i as usize] = Value::Int(iv);
                 regs[acc as usize] = Value::Int(accv);
-                return false;
+                return Err(BAIL_BOUNDS);
             }
             // SAFETY: iv bounds-checked just above.
             unsafe {
@@ -1219,13 +1325,13 @@ fn run_prefix(kind: &KernelKind, regs: &mut [Value]) -> bool {
                 regs[i as usize] = Value::Int(iv);
                 regs[acc as usize] = Value::Int(accv);
                 regs[t as usize] = Value::Int(tv);
-                return true;
+                return Ok(());
             }
         }
     }
     if let Some(a) = cell_arrf(regs, arr) {
         let Some(mut accv) = reg_float(regs, acc) else {
-            return false;
+            return Err(BAIL_TYPE);
         };
         let cells = a.cells();
         let n = cells.len() as i64;
@@ -1234,7 +1340,7 @@ fn run_prefix(kind: &KernelKind, regs: &mut [Value]) -> bool {
             if iv < 0 || iv >= n {
                 regs[i as usize] = Value::Int(iv);
                 regs[acc as usize] = Value::Float(accv);
-                return false;
+                return Err(BAIL_BOUNDS);
             }
             // SAFETY: iv bounds-checked just above.
             unsafe {
@@ -1248,14 +1354,14 @@ fn run_prefix(kind: &KernelKind, regs: &mut [Value]) -> bool {
                 regs[i as usize] = Value::Int(iv);
                 regs[acc as usize] = Value::Float(accv);
                 regs[t as usize] = Value::Float(tv);
-                return true;
+                return Ok(());
             }
         }
     }
-    false
+    Err(BAIL_TYPE)
 }
 
-fn run_rank_inc(kind: &KernelKind, regs: &mut [Value], consts: &[Value]) -> bool {
+fn run_rank_inc(kind: &KernelKind, regs: &mut [Value], consts: &[Value]) -> Result<(), Bail> {
     let KernelKind::RankInc {
         rkcell,
         bcell,
@@ -1270,16 +1376,16 @@ fn run_rank_inc(kind: &KernelKind, regs: &mut [Value], consts: &[Value]) -> bool
         k,
     } = *kind
     else {
-        return false;
+        return Err(BAIL_TYPE);
     };
     let (Some(rk), Some(ba)) = (cell_arri(regs, rkcell), cell_arri(regs, bcell)) else {
-        return false;
+        return Err(BAIL_TYPE);
     };
     let (Some(mut qv), Some(limv)) = (reg_int(regs, q), reg_int(regs, lim)) else {
-        return false;
+        return Err(BAIL_TYPE);
     };
     let Some(Value::Int(c)) = consts.get(k as usize) else {
-        return false;
+        return Err(BAIL_TYPE);
     };
     let c = *c;
     let bc = ba.cells();
@@ -1289,13 +1395,13 @@ fn run_rank_inc(kind: &KernelKind, regs: &mut [Value], consts: &[Value]) -> bool
     loop {
         if qv < 0 || qv >= bn {
             regs[q as usize] = Value::Int(qv);
-            return false;
+            return Err(BAIL_BOUNDS);
         }
         // SAFETY: qv bounds-checked just above.
         let vv = unsafe { *bc.get_unchecked(qv as usize).get() };
         if vv < 0 || vv >= rn {
             regs[q as usize] = Value::Int(qv);
-            return false;
+            return Err(BAIL_BOUNDS);
         }
         // SAFETY: vv bounds-checked just above. The second b[q] load
         // of the interpreted body reads the same element before any
@@ -1317,12 +1423,12 @@ fn run_rank_inc(kind: &KernelKind, regs: &mut [Value], consts: &[Value]) -> bool
             regs[v2 as usize] = Value::Int(vv);
             regs[x as usize] = Value::Int(xv);
             regs[y as usize] = Value::Int(yv);
-            return true;
+            return Ok(());
         }
     }
 }
 
-fn run_scatter(kind: &KernelKind, regs: &mut [Value], consts: &[Value]) -> bool {
+fn run_scatter(kind: &KernelKind, regs: &mut [Value], consts: &[Value]) -> Result<(), Bail> {
     let KernelKind::Scatter {
         keys,
         i,
@@ -1337,22 +1443,22 @@ fn run_scatter(kind: &KernelKind, regs: &mut [Value], consts: &[Value]) -> bool 
         k,
     } = *kind
     else {
-        return false;
+        return Err(BAIL_TYPE);
     };
     let (Some(ka), Some(ba), Some(ca)) = (
         cell_arri(regs, keys),
         cell_arri(regs, bcell),
         reg_arri(regs, cur),
     ) else {
-        return false;
+        return Err(BAIL_TYPE);
     };
     let (Some(mut iv), Some(sdv), Some(limv)) =
         (reg_int(regs, i), reg_int(regs, sd), reg_int(regs, lim))
     else {
-        return false;
+        return Err(BAIL_TYPE);
     };
     let Some(Value::Int(inc)) = consts.get(k as usize) else {
-        return false;
+        return Err(BAIL_TYPE);
     };
     let inc = *inc;
     let kc = ka.cells();
@@ -1364,24 +1470,24 @@ fn run_scatter(kind: &KernelKind, regs: &mut [Value], consts: &[Value]) -> bool 
     loop {
         if iv < 0 || iv >= kn {
             regs[i as usize] = Value::Int(iv);
-            return false;
+            return Err(BAIL_BOUNDS);
         }
         // SAFETY: iv bounds-checked just above.
         let tv = unsafe { *kc.get_unchecked(iv as usize).get() };
         if !div_ok(tv, sdv) {
             regs[i as usize] = Value::Int(iv);
-            return false;
+            return Err(BAIL_DIV);
         }
         let dv = tv / sdv;
         if dv < 0 || dv >= cn {
             regs[i as usize] = Value::Int(iv);
-            return false;
+            return Err(BAIL_BOUNDS);
         }
         // SAFETY: dv bounds-checked just above.
         let cv = unsafe { *cc.get_unchecked(dv as usize).get() };
         if cv < 0 || cv >= bn {
             regs[i as usize] = Value::Int(iv);
-            return false;
+            return Err(BAIL_BOUNDS);
         }
         // SAFETY: cv bounds-checked just above.
         unsafe { *bc.get_unchecked(cv as usize).get() = tv };
@@ -1399,7 +1505,7 @@ fn run_scatter(kind: &KernelKind, regs: &mut [Value], consts: &[Value]) -> bool 
             regs[t2 as usize] = Value::Int(tv);
             regs[b2 as usize] = Value::ArrI(ba.clone());
             regs[c as usize] = Value::Int(cv);
-            return true;
+            return Ok(());
         }
     }
 }

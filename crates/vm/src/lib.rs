@@ -47,6 +47,7 @@ pub mod interp;
 pub mod ir;
 pub mod kernels;
 pub mod optimize;
+pub mod remarks;
 pub mod typeck;
 pub mod value;
 

@@ -756,15 +756,35 @@ fn cse_key(insn: &Insn) -> Option<(Insn, Reg)> {
 // `f.consts` (folding) and consulting positionally-keyed side tables, so
 // iterator forms would fight the borrow checker for no clarity gain.
 #[allow(clippy::needless_range_loop)]
-fn fold_and_copyprop(f: &mut CompiledFn) -> bool {
+/// Per-function counts of what the optimization pipeline did, reported
+/// through `zag --remarks` (`remarks::collect`). Instruction-granular:
+/// `folded` counts rewrites by constant folding / copy propagation,
+/// `cse` pure ops replaced with a copy of an earlier identical result,
+/// `dse` dead stores removed, `fused` instructions eliminated by
+/// superinstruction fusion.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct OptStats {
+    pub folded: u32,
+    pub cse: u32,
+    pub dse: u32,
+    pub fused: u32,
+}
+
+impl OptStats {
+    pub fn any(&self) -> bool {
+        self.folded + self.cse + self.dse + self.fused > 0
+    }
+}
+
+fn fold_and_copyprop(f: &mut CompiledFn, stats: &mut OptStats) -> bool {
     let lead = leaders(&f.code);
     let mut changed = false;
     let mut copy_of: HashMap<Reg, Reg> = HashMap::new();
     let mut const_of: HashMap<Reg, u16> = HashMap::new();
     let mut avail: Vec<(Insn, Reg)> = Vec::new();
     let mut defs: Vec<Reg> = Vec::new();
-    for i in 0..f.code.len() {
-        if lead[i] {
+    for (i, &is_lead) in lead.iter().enumerate() {
+        if is_lead {
             copy_of.clear();
             const_of.clear();
             avail.clear();
@@ -838,10 +858,12 @@ fn fold_and_copyprop(f: &mut CompiledFn) -> bool {
         // `i % 4` recomputed on both sides of `h[i % 4] = h[i % 4] + 1`
         // is what stands between that store and `IncElemK` fusion.)
         let mut new_avail: Option<(Insn, Reg)> = None;
+        let mut cse_hit = false;
         if let Some((key, dst)) = cse_key(&insn) {
             if let Some(&(_, src)) = avail.iter().find(|(k2, _)| *k2 == key) {
                 if src != dst {
                     insn = Insn::Move { dst, src };
+                    cse_hit = true;
                 }
             } else {
                 // Only record when `dst` is not an operand: the key names
@@ -856,6 +878,11 @@ fn fold_and_copyprop(f: &mut CompiledFn) -> bool {
         if insn != f.code[i] {
             f.code[i] = insn;
             changed = true;
+            if cse_hit {
+                stats.cse += 1;
+            } else {
+                stats.folded += 1;
+            }
         }
         // Map maintenance: kill everything the instruction defines, then
         // record what it establishes.
@@ -1355,16 +1382,27 @@ fn fuse(f: &mut CompiledFn) -> bool {
 /// the result — the interpreter's unchecked register access depends on
 /// every executed stream having passed [`verify_fn`].
 pub fn optimize_fn(f: &mut CompiledFn, opt: OptLevel, nfuncs: usize) {
+    optimize_fn_stats(f, opt, nfuncs);
+}
+
+/// [`optimize_fn`], additionally reporting what each pass did — the
+/// data source for `zag --remarks`.
+pub fn optimize_fn_stats(f: &mut CompiledFn, opt: OptLevel, nfuncs: usize) -> OptStats {
+    let mut stats = OptStats::default();
     if opt == OptLevel::O0 {
-        return;
+        return stats;
     }
     let orig_code = f.code.clone();
     let orig_nconsts = f.consts.len();
     for _ in 0..8 {
-        let mut changed = fold_and_copyprop(f);
+        let mut changed = fold_and_copyprop(f, &mut stats);
+        let pre_dse = f.code.len();
         changed |= dse(f);
+        stats.dse += (pre_dse - f.code.len()) as u32;
         if opt >= OptLevel::O2 {
+            let pre_fuse = f.code.len();
             changed |= fuse(f);
+            stats.fused += (pre_fuse - f.code.len()) as u32;
         }
         if !changed {
             break;
@@ -1382,6 +1420,7 @@ pub fn optimize_fn(f: &mut CompiledFn, opt: OptLevel, nfuncs: usize) {
     if let Err(e) = verify_fn(f, nfuncs) {
         panic!("optimizer produced invalid bytecode: {e}");
     }
+    stats
 }
 
 #[cfg(test)]

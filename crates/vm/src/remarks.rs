@@ -1,0 +1,422 @@
+//! Optimization remarks (`zag --remarks[=json]`).
+//!
+//! Recompiles a program with the pipeline instrumented and reports,
+//! through the unified [`Diag`] API, what the tiered compiler actually
+//! did — the compile-time half of the observability layer (the runtime
+//! half is `zomp::trace` / `zag --profile`):
+//!
+//! - **`kernel-installed`** — a loop lowered to one of the seven native
+//!   bulk-kernel shapes (`--opt=3`), named.
+//! - **`kernel-missed`** — a loop that stayed interpreted, with a
+//!   machine-readable reason: `call-boundary` (naming every callee the
+//!   matcher stopped at — the EP port's `randlc` is the canonical
+//!   case), `unsupported-op`, `dynamic-type`, or `shape`.
+//! - **`typeck-summary` / `typeck-dynamic`** — per-function static
+//!   specialization outcome (`--opt>=2`): how many sites inference
+//!   proved Int/Float, and for each site left to runtime quickening,
+//!   the operand types that blocked it.
+//! - **`opt-pipeline`** — per-function fold/copy-propagation, local
+//!   CSE, dead-store-elimination and fusion counts (`--opt>=1`).
+//!
+//! Remarks belonging to a pragma loop carry its `unit:line` label (the
+//! same label the preprocessor threads into `ws_begin`/`fork_call` for
+//! runtime spans), so `--remarks` and `--profile` rows join on it.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+use zomp_front::Diag;
+
+use crate::bytecode::{CompiledFn, Image, Insn};
+use crate::optimize::{OptLevel, OptStats};
+use crate::typeck::SiteOutcome;
+use crate::value::Value;
+
+/// Per-pass statistics collected while
+/// [`crate::compile::compile_image_opt_collect`] runs, indexed like
+/// `image.funcs`.
+#[derive(Default)]
+pub struct PassData {
+    pub opt_stats: Vec<OptStats>,
+    pub sites: Vec<Vec<SiteOutcome>>,
+}
+
+/// Compile `source` at `opt` with the pipeline instrumented and return
+/// the optimization remarks. `unit` labels pragma loops `unit:line`
+/// (normally the source path, as in `compile_named`).
+pub fn collect(source: &str, unit: &str, opt: OptLevel) -> Result<Vec<Diag>, Diag> {
+    let pre = zomp_front::preprocess::preprocess_named(source, unit)?;
+    let ast = zomp_front::parse(&pre)?;
+    let mut data = PassData::default();
+    let image = crate::compile::compile_image_opt_collect(&ast, opt, Some(&mut data));
+    Ok(assemble(source, &image, &data, opt))
+}
+
+fn assemble(source: &str, image: &Image, data: &PassData, opt: OptLevel) -> Vec<Diag> {
+    let mut out = Vec::new();
+    for (fi, f) in image.funcs.iter().enumerate() {
+        if opt >= OptLevel::O3 {
+            kernel_remarks(source, image, f, &mut out);
+        }
+        if opt >= OptLevel::O2 {
+            if let Some(sites) = data.sites.get(fi) {
+                typeck_remarks(source, f, sites, &mut out);
+            }
+        }
+        if let Some(stats) = data.opt_stats.get(fi) {
+            if stats.any() {
+                out.push(Diag::remark(
+                    "opt-pipeline",
+                    0,
+                    format!(
+                        "fn `{}`: {} folded/copy-propagated, {} local CSE, {} dead stores removed, {} fused away",
+                        f.name, stats.folded, stats.cse, stats.dse, stats.fused
+                    ),
+                ));
+            }
+        }
+    }
+    out
+}
+
+/// `kernel-installed` for every `BulkLoop` in the final stream, then
+/// `kernel-missed` (with a reason) for every remaining back-edge loop
+/// that is not part of the worksharing protocol itself.
+fn kernel_remarks(source: &str, image: &Image, f: &CompiledFn, out: &mut Vec<Diag>) {
+    // Installed spans: the BulkLoop pc and everything to its exit —
+    // the replaced loop body (including any nested loop the shape
+    // subsumes, e.g. matvec-rows' inner gather) lives in that range.
+    let mut installed: Vec<(usize, usize)> = Vec::new();
+    for (pc, insn) in f.code.iter().enumerate() {
+        let Insn::BulkLoop { kidx } = insn else {
+            continue;
+        };
+        let desc = &f.kernels[*kidx as usize];
+        installed.push((pc, desc.exit as usize));
+        let mut d = Diag::remark(
+            "kernel-installed",
+            label_offset(source, desc.label),
+            format!(
+                "fn `{}`: kernel installed: {} (pc {pc})",
+                f.name,
+                desc.kind.name()
+            ),
+        );
+        if !desc.label.is_empty() {
+            d = d.with_label(desc.label);
+        }
+        out.push(d);
+    }
+    for (head, tail) in loops_of(f) {
+        if installed.iter().any(|&(s, e)| head >= s && head < e) {
+            continue;
+        }
+        // The `while (ws_next(ws))` driver loop is the worksharing
+        // protocol, not a compute loop; its *inner* chunk loop is
+        // reported separately.
+        let is_protocol = (head..=tail).any(|pc| match f.code[pc] {
+            Insn::OmpCall { sym, .. } => {
+                f.omp_syms[sym as usize].last().map(String::as_str) == Some("ws_next")
+            }
+            _ => false,
+        });
+        if is_protocol {
+            continue;
+        }
+        let (reason, note) = classify_miss(image, f, head, tail);
+        let label = crate::kernels::loop_label(f, head);
+        let mut d = Diag::remark(
+            "kernel-missed",
+            label_offset(source, label),
+            format!(
+                "fn `{}`: loop at pc {head}..{tail} not lowered to a bulk kernel: {reason}",
+                f.name
+            ),
+        )
+        .with_note(note);
+        if !label.is_empty() {
+            d = d.with_label(label);
+        }
+        out.push(d);
+    }
+}
+
+/// Why the kernel matcher could not take a loop, most actionable
+/// reason first: a call boundary beats everything (inlining would be
+/// the fix), then an opcode no shape covers, then operand types the
+/// specializer could not prove, and finally a plain shape mismatch.
+fn classify_miss(
+    image: &Image,
+    f: &CompiledFn,
+    head: usize,
+    tail: usize,
+) -> (&'static str, String) {
+    let mut callees: Vec<String> = Vec::new();
+    let mut push = |c: String| {
+        if !callees.contains(&c) {
+            callees.push(c);
+        }
+    };
+    let mut dynamic: Option<&'static str> = None;
+    let mut unsupported: Option<&'static str> = None;
+    for pc in head..=tail.min(f.code.len().saturating_sub(1)) {
+        match f.code[pc] {
+            Insn::Call { func, .. } => push(format!("`{}`", image.funcs[func as usize].name)),
+            Insn::CallValue { .. } => push("an indirect call".to_string()),
+            Insn::OmpCall { sym, .. } => {
+                push(format!("`omp.{}`", f.omp_syms[sym as usize].join(".")))
+            }
+            Insn::Builtin { name_k, .. } => {
+                let name: &str = match f.consts.get(name_k as usize) {
+                    Some(Value::Str(s)) => s,
+                    _ => "@builtin",
+                };
+                push(format!("`{name}`"));
+            }
+            Insn::Arith { .. } => dynamic = dynamic.or(Some("arith")),
+            Insn::Cmp { .. } => dynamic = dynamic.or(Some("cmp")),
+            Insn::CmpJumpFalse { .. } => dynamic = dynamic.or(Some("cmp_jf")),
+            Insn::Index { .. } => dynamic = dynamic.or(Some("index")),
+            Insn::IndexSet { .. } => dynamic = dynamic.or(Some("index_set")),
+            Insn::Print { .. } => unsupported = unsupported.or(Some("print")),
+            Insn::NewCell { .. } => unsupported = unsupported.or(Some("newcell")),
+            Insn::CellGet { .. } => unsupported = unsupported.or(Some("cellget")),
+            Insn::CellSet { .. } => unsupported = unsupported.or(Some("cellset")),
+            Insn::StorePtr { .. } => unsupported = unsupported.or(Some("storeptr")),
+            Insn::ElemAddr { .. } => unsupported = unsupported.or(Some("elemaddr")),
+            Insn::AddrDeref { .. } => unsupported = unsupported.or(Some("addrderef")),
+            _ => {}
+        }
+    }
+    if !callees.is_empty() {
+        (
+            "call boundary",
+            format!(
+                "the matcher stops at calls; loop body calls {}",
+                callees.join(", ")
+            ),
+        )
+    } else if let Some(op) = unsupported {
+        (
+            "unsupported opcode",
+            format!("`{op}` has no bulk-kernel lowering"),
+        )
+    } else if let Some(op) = dynamic {
+        (
+            "dynamic operand types",
+            format!("`{op}` operands were not statically proven Int/Float"),
+        )
+    } else {
+        (
+            "shape mismatch",
+            "loop bounds/indexing structure matches none of the seven kernel shapes".to_string(),
+        )
+    }
+}
+
+fn typeck_remarks(source: &str, f: &CompiledFn, sites: &[SiteOutcome], out: &mut Vec<Diag>) {
+    if sites.is_empty() {
+        return;
+    }
+    let spec = sites.iter().filter(|s| s.specialized.is_some()).count();
+    out.push(Diag::remark(
+        "typeck-summary",
+        0,
+        format!(
+            "fn `{}`: {spec} of {} specializable sites statically typed Int/Float, {} left to runtime quickening",
+            f.name,
+            sites.len(),
+            sites.len() - spec
+        ),
+    ));
+    for s in sites.iter().filter(|s| s.specialized.is_none()) {
+        let tys: Vec<&str> = s.operands.iter().map(|t| t.name()).collect();
+        out.push(Diag::remark(
+            "typeck-dynamic",
+            0,
+            format!(
+                "fn `{}`: `{}` at pc {} stayed dynamic (operands {})",
+                f.name,
+                s.insn,
+                s.pc,
+                tys.join(", ")
+            ),
+        ));
+    }
+    let _ = source;
+}
+
+/// Back-edge loops of a function: `head -> furthest back-edge pc`.
+fn loops_of(f: &CompiledFn) -> Vec<(usize, usize)> {
+    let mut map: BTreeMap<usize, usize> = BTreeMap::new();
+    for (pc, insn) in f.code.iter().enumerate() {
+        let to = match *insn {
+            Insn::Jump { to }
+            | Insn::JumpIfFalse { to, .. }
+            | Insn::JumpIfTrue { to, .. }
+            | Insn::CmpJumpFalse { to, .. }
+            | Insn::CmpJumpFalseII { to, .. }
+            | Insn::CmpJumpFalseFF { to, .. }
+            | Insn::IncCmpJump { to, .. }
+            | Insn::IncJump { to, .. } => to as usize,
+            _ => continue,
+        };
+        if to <= pc {
+            let e = map.entry(to).or_insert(pc);
+            *e = (*e).max(pc);
+        }
+    }
+    map.into_iter().collect()
+}
+
+/// Byte offset of the line a `unit:line` label names, so rendered
+/// remarks point at the pragma. `0` for unlabelled remarks.
+fn label_offset(source: &str, label: &str) -> usize {
+    let Some(line) = label
+        .rsplit(':')
+        .next()
+        .and_then(|l| l.parse::<usize>().ok())
+    else {
+        return 0;
+    };
+    source
+        .split_inclusive('\n')
+        .take(line.saturating_sub(1))
+        .map(str::len)
+        .sum()
+}
+
+/// Render remarks as a JSON array (`zag --remarks=json`), with
+/// line/column resolved against `source` exactly like [`Diag::render`].
+pub fn render_json(diags: &[Diag], source: &str) -> String {
+    let mut out = String::from("[\n");
+    for (i, d) in diags.iter().enumerate() {
+        let upto = &source[..d.offset.min(source.len())];
+        let line = upto.matches('\n').count() + 1;
+        let col = d.offset.min(source.len()) - upto.rfind('\n').map(|p| p + 1).unwrap_or(0) + 1;
+        let _ = write!(
+            out,
+            "  {{\"code\": \"{}\", \"line\": {line}, \"col\": {col}, \"label\": {}, \"message\": \"{}\", \"note\": {}}}",
+            esc(d.code),
+            d.label
+                .as_deref()
+                .map(|l| format!("\"{}\"", esc(l)))
+                .unwrap_or_else(|| "null".to_string()),
+            esc(&d.message),
+            d.note
+                .as_deref()
+                .map(|n| format!("\"{}\"", esc(n)))
+                .unwrap_or_else(|| "null".to_string()),
+        );
+        out.push_str(if i + 1 < diags.len() { ",\n" } else { "\n" });
+    }
+    out.push_str("]\n");
+    out
+}
+
+fn esc(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const LOOPY: &str = r#"fn main() void {
+    var n: i64 = 64;
+    var a: []f64 = @allocF(64);
+    //$omp parallel num_threads(2) shared(a) firstprivate(n)
+    {
+        var i: i64 = 0;
+        //$omp while schedule(static)
+        while (i < n) : (i += 1) {
+            a[i] = 1.0;
+        }
+    }
+    print(a[0]);
+}
+"#;
+
+    #[test]
+    fn collect_reports_opt_and_typeck_remarks() {
+        let diags = collect(LOOPY, "demo.zag", OptLevel::O2).expect("collect");
+        assert!(
+            diags.iter().any(|d| d.code == "typeck-summary"),
+            "{diags:?}"
+        );
+    }
+
+    #[test]
+    fn o3_reports_installed_fill_kernel_with_pragma_label() {
+        let diags = collect(LOOPY, "demo.zag", OptLevel::O3).expect("collect");
+        let installed: Vec<_> = diags
+            .iter()
+            .filter(|d| d.code == "kernel-installed")
+            .collect();
+        assert!(
+            installed.iter().any(|d| d.message.contains("fill-const")),
+            "{installed:?}"
+        );
+        assert!(
+            installed.iter().any(|d| d
+                .label
+                .as_deref()
+                .is_some_and(|l| l.starts_with("demo.zag:"))),
+            "{installed:?}"
+        );
+    }
+
+    #[test]
+    fn call_boundary_miss_names_the_callee() {
+        let src = r#"fn randlc(x: *f64, a: f64) f64 {
+    x.* = x.* * a;
+    return x.*;
+}
+fn main() void {
+    var n: i64 = 8;
+    var s: f64 = 0.0;
+    //$omp parallel num_threads(2) shared(s) firstprivate(n)
+    {
+        var t: f64 = 1.0;
+        var i: i64 = 0;
+        //$omp while reduction(+: s)
+        while (i < n) : (i += 1) {
+            s = s + randlc(&t, 0.5);
+        }
+    }
+    print(s);
+}
+"#;
+        let diags = collect(src, "ep.zag", OptLevel::O3).expect("collect");
+        let missed: Vec<_> = diags.iter().filter(|d| d.code == "kernel-missed").collect();
+        assert!(
+            missed.iter().any(|d| {
+                d.message.contains("call boundary")
+                    && d.note.as_deref().is_some_and(|n| n.contains("randlc"))
+            }),
+            "{missed:?}"
+        );
+    }
+
+    #[test]
+    fn json_escapes_and_shapes() {
+        let d = Diag::remark("kernel-missed", 0, "say \"hi\"").with_label("a.zag:1");
+        let json = render_json(&[d], "x\n");
+        assert!(json.contains("\\\"hi\\\""), "{json}");
+        assert!(json.contains("\"label\": \"a.zag:1\""), "{json}");
+        assert!(json.trim_start().starts_with('['), "{json}");
+    }
+}

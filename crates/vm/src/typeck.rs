@@ -454,11 +454,76 @@ pub fn specialize_image(image: &mut Image) {
     let types = infer_image(image);
     let nfuncs = image.funcs.len();
     for (fi, f) in image.funcs.iter_mut().enumerate() {
-        specialize_fn(f, &types.fns[fi], &types.rets, nfuncs);
+        specialize_fn(f, &types.fns[fi], &types.rets, nfuncs, None);
     }
 }
 
-fn specialize_fn(f: &mut CompiledFn, types: &FnTypes, rets: &[Ty], nfuncs: usize) {
+/// Outcome of one statically-specializable site, reported through
+/// `zag --remarks`: did inference prove the operand types, and if
+/// not, what it saw instead (the "why it stayed dynamic").
+#[derive(Debug, Clone)]
+pub struct SiteOutcome {
+    pub pc: u32,
+    /// Generic opcode at the site (`arith`, `index`, ...).
+    pub insn: &'static str,
+    /// `Some(specialized opcode)` when the rewrite fired; `None` when
+    /// the site is left to runtime quickening.
+    pub specialized: Option<&'static str>,
+    /// The operand types inference had at the site.
+    pub operands: Vec<Ty>,
+}
+
+/// [`specialize_image`], additionally reporting every specializable
+/// site's outcome per function — the data source for `--remarks`.
+pub fn specialize_image_remarked(image: &mut Image) -> Vec<Vec<SiteOutcome>> {
+    let types = infer_image(image);
+    let nfuncs = image.funcs.len();
+    let mut all = Vec::with_capacity(image.funcs.len());
+    for (fi, f) in image.funcs.iter_mut().enumerate() {
+        let mut sink = Vec::new();
+        specialize_fn(f, &types.fns[fi], &types.rets, nfuncs, Some(&mut sink));
+        all.push(sink);
+    }
+    all
+}
+
+/// The generic opcode name and operand registers of a specializable
+/// site, or `None` for every other instruction.
+fn site_shape(insn: &Insn) -> Option<(&'static str, Vec<Reg>)> {
+    match *insn {
+        Insn::Arith { a, b, .. } => Some(("arith", vec![a, b])),
+        Insn::Cmp { a, b, .. } => Some(("cmp", vec![a, b])),
+        Insn::CmpJumpFalse { a, b, .. } => Some(("cmp_jf", vec![a, b])),
+        Insn::Index { arr, idx, .. } => Some(("index", vec![arr, idx])),
+        Insn::IndexSet { arr, idx, src } => Some(("index_set", vec![arr, idx, src])),
+        _ => None,
+    }
+}
+
+/// Name of the specialized opcode a rewrite produced.
+fn spec_name(insn: &Insn) -> &'static str {
+    match insn {
+        Insn::ArithII { .. } => "arith.ii",
+        Insn::ArithFF { .. } => "arith.ff",
+        Insn::CmpII { .. } => "cmp.ii",
+        Insn::CmpFF { .. } => "cmp.ff",
+        Insn::CmpJumpFalseII { .. } => "cmp_jf.ii",
+        Insn::CmpJumpFalseFF { .. } => "cmp_jf.ff",
+        Insn::IndexF { .. } => "index.f",
+        Insn::IndexI { .. } => "index.i",
+        Insn::IndexSetF { .. } => "index_set.f",
+        Insn::IndexSetI { .. } => "index_set.i",
+        _ => "specialized",
+    }
+}
+
+fn specialize_fn(
+    f: &mut CompiledFn,
+    types: &FnTypes,
+    rets: &[Ty],
+    nfuncs: usize,
+    mut sink: Option<&mut Vec<SiteOutcome>>,
+) {
     let fir = ir::lift(f);
     let orig = if f.pre_opt.is_none() {
         Some(f.code.clone())
@@ -473,7 +538,16 @@ fn specialize_fn(f: &mut CompiledFn, types: &FnTypes, rets: &[Ty], nfuncs: usize
         let mut env = entry.clone();
         for pc in blk.start..=blk.end {
             let insn = f.code[pc];
-            if let Some(spec) = specialize_insn(&insn, &env) {
+            let spec = specialize_insn(&insn, &env);
+            if let (Some(out), Some((name, regs))) = (sink.as_deref_mut(), site_shape(&insn)) {
+                out.push(SiteOutcome {
+                    pc: pc as u32,
+                    insn: name,
+                    specialized: spec.as_ref().map(spec_name),
+                    operands: regs.iter().map(|&r| env[r as usize]).collect(),
+                });
+            }
+            if let Some(spec) = spec {
                 f.code[pc] = spec;
                 changed = true;
             }

@@ -221,6 +221,19 @@ pub struct WsState {
     /// directional bound).
     pub cur: Option<(i64, i64)>,
     pub finished: bool,
+    /// The worksharing pragma's `unit:line` label for the observability
+    /// layer; `""` when the translation unit was unnamed.
+    pub label: &'static str,
+    /// Construct-entry timestamp of this thread's `LoopDispatch` trace
+    /// span (0 = tracing off at entry). Only the locally driven modes use
+    /// it — team [`WsMode::Dispatch`] records its own span.
+    pub t0: u64,
+    /// Iterations claimed so far (the local span's trip payload).
+    pub iters: u64,
+    /// A claimed-but-unclosed chunk `(start, len, t0)`: its body runs
+    /// between `ws_next` calls, so the span closes on the next claim or at
+    /// fini (the split-phase pattern of `team::WsDispatch`).
+    pub pending: Option<(u64, u64, u64)>,
 }
 
 pub enum WsMode {
