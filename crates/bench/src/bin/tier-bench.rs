@@ -1,16 +1,17 @@
 //! Emit `BENCH_tiers.json`: execution-tier residency for the three NPB
 //! kernel ports at the native tier (`--opt=3`) — per pragma loop, how
 //! many iterations ran inside native bulk kernels vs through the
-//! interpreter, with kernel-bail / deopt / quicken counts. This is the
-//! profiler's (`zag --profile`) answer to "where does ROADMAP's
-//! EP gap live?" pinned as a benchmark artefact: CG and IS loops should
-//! be majority-native, EP stays interpreted at its `randlc` call
-//! boundary (the matching `--remarks` golden names the callee).
+//! interpreter, with kernel-bail / deopt / quicken counts, plus the
+//! machine-readable `kernel-missed` reasons for every compute loop the
+//! matcher left interpreted, so a 0%-native loop self-explains in the
+//! artefact. Since cross-call matching landed, EP's `randlc` fill and
+//! pairs loops are native too (`lcg-fill` / `ep-pairs`); the residual
+//! missed loops are serial setup code.
 //!
 //! Usage: `cargo run --release -p zomp-bench --bin tier-bench [-- OUT]`
 //! (default output path `BENCH_tiers.json`), or `-- --smoke` for the CI
-//! guard: run only the CG port and exit nonzero unless at least one of
-//! its pragma loops is majority-native.
+//! guard: run the CG and EP ports and exit nonzero unless each has a
+//! majority-native pragma loop.
 
 use std::sync::Arc;
 
@@ -138,7 +139,36 @@ fn run_is() -> Vec<LoopTier> {
     })
 }
 
-fn port_json(name: &str, tiers: &[LoopTier]) -> String {
+/// JSON-escape for the strings embedded below (labels, notes).
+fn esc(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+/// The port's `kernel-missed` rows (machine-readable reason slugs from
+/// `zomp_vm::remarks`), rendered as a JSON array.
+fn missed_json(source: &str, unit: &str) -> String {
+    let rows = zomp_vm::remarks::kernel_misses(source, unit).expect("remarks recompile");
+    if rows.is_empty() {
+        return "[]".into();
+    }
+    let items: Vec<String> = rows
+        .iter()
+        .map(|r| {
+            format!(
+                "        {{\"fn\": \"{}\", \"loop\": \"{}\", \"pc\": {}, \"reason\": \"{}\", \
+                 \"note\": \"{}\"}}",
+                esc(&r.func),
+                esc(&r.label),
+                r.head,
+                r.reason,
+                esc(&r.note),
+            )
+        })
+        .collect();
+    format!("[\n{}\n      ]", items.join(",\n"))
+}
+
+fn port_json(name: &str, tiers: &[LoopTier], missed: &str) -> String {
     let total: u64 = tiers.iter().map(|t| t.total_iters).sum();
     let native: u64 = tiers.iter().map(|t| t.native_iters).sum();
     let bails: u64 = tiers.iter().map(|t| t.bails).sum();
@@ -163,7 +193,8 @@ fn port_json(name: &str, tiers: &[LoopTier]) -> String {
         .collect();
     format!(
         "    \"{name}\": {{\n      \"native_frac\": {:.4},\n      \"bails\": {bails},\n      \
-         \"deopts\": {deopts},\n      \"quickens\": {quickens},\n      \"loops\": [\n{}\n      ]\n    }}",
+         \"deopts\": {deopts},\n      \"quickens\": {quickens},\n      \"loops\": [\n{}\n      ],\n      \
+         \"kernel_missed\": {missed}\n    }}",
         if total == 0 {
             0.0
         } else {
@@ -173,28 +204,35 @@ fn port_json(name: &str, tiers: &[LoopTier]) -> String {
     )
 }
 
-/// CI guard: the CG port's dynamic matvec loop must be majority-native
-/// at `--opt=3` — the bulk-kernel tier actually carrying the iterations
-/// is the whole point of the tier; a silent fall-back to the interpreter
-/// would still pass every correctness test.
+/// CI guard: the CG port's dynamic matvec loop AND the EP port's batch
+/// loop must be majority-native at `--opt=3` — the bulk-kernel tier
+/// actually carrying the iterations is the whole point of the tier
+/// (EP's loops only became claimable with cross-call `randlc`
+/// matching); a silent fall-back to the interpreter would still pass
+/// every correctness test.
 fn smoke() -> ! {
-    let tiers = run_cg();
-    for t in &tiers {
-        eprintln!(
-            "  {} iters={} native={} ({:.1}%) bails={} deopts={}",
-            t.label,
-            t.total_iters,
-            t.native_iters,
-            100.0 * t.native_frac(),
-            t.bails,
-            t.deopts
-        );
+    let mut failed = false;
+    for (name, tiers) in [("CG", run_cg()), ("EP", run_ep())] {
+        for t in &tiers {
+            eprintln!(
+                "  [{name}] {} iters={} native={} ({:.1}%) bails={} deopts={}",
+                t.label,
+                t.total_iters,
+                t.native_iters,
+                100.0 * t.native_frac(),
+                t.bails,
+                t.deopts
+            );
+        }
+        let ok = tiers
+            .iter()
+            .any(|t| t.total_iters > 0 && t.native_frac() > 0.5);
+        if !ok {
+            eprintln!("tier-bench --smoke: no {name} pragma loop is majority-native at --opt=3");
+            failed = true;
+        }
     }
-    let ok = tiers
-        .iter()
-        .any(|t| t.total_iters > 0 && t.native_frac() > 0.5);
-    if !ok {
-        eprintln!("tier-bench --smoke: no CG pragma loop is majority-native at --opt=3");
+    if failed {
         std::process::exit(1);
     }
     eprintln!("tier-bench --smoke: ok");
@@ -218,9 +256,9 @@ fn main() {
     let meta = zomp_bench::meta::json_object();
     let json = format!(
         "{{\n  \"meta\": {meta},\n  \"threads\": {THREADS},\n  \"ports\": {{\n{},\n{},\n{}\n  }}\n}}\n",
-        port_json("cg", &cg),
-        port_json("ep", &ep),
-        port_json("is", &is),
+        port_json("cg", &cg, &missed_json(ZAG_MATVEC, "cg.zag")),
+        port_json("ep", &ep, &missed_json(ZAG_EP, "ep.zag")),
+        port_json("is", &is, &missed_json(ZAG_RANK, "is.zag")),
     );
     std::fs::write(&out, &json).expect("write BENCH_tiers.json");
     print!("{json}");

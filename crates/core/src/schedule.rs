@@ -31,7 +31,7 @@
 use std::cell::UnsafeCell;
 use std::fmt;
 use std::ops::Range;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 
 use crate::pad::CachePadded;
 
@@ -428,6 +428,14 @@ unsafe impl Sync for StealSlot {}
 /// ordered by the construct's barriers, not by the dispatch protocol.
 pub(crate) struct StealDeck {
     slots: Box<[CachePadded<StealSlot>]>,
+    /// Has any thread ever entered the steal path on this deck? Sticky,
+    /// set before the victim scan. While false, every slot's remaining
+    /// range is untouched by thieves, so bulk claimants
+    /// ([`Self::next_dynamic_bulk`]) may take their whole batch in one
+    /// claim without starving anyone: a thread that *would* want to
+    /// steal flips the flag first, and from then on bulk claims degrade
+    /// to the chunk-at-a-time protocol that leaves stealable remainders.
+    contended: AtomicBool,
 }
 
 impl StealDeck {
@@ -443,7 +451,10 @@ impl StealDeck {
                 })
             })
             .collect();
-        StealDeck { slots }
+        StealDeck {
+            slots,
+            contended: AtomicBool::new(false),
+        }
     }
 
     /// Claim up to `want` iterations from this thread's own slot.
@@ -474,6 +485,11 @@ impl StealDeck {
     /// remnants, and remnants smaller than one iteration's worth of interest
     /// could outlive every active claimant.
     fn steal(&self, tid: usize, min_keep: u64) -> Option<(u32, u32)> {
+        // Sticky contention mark, set *before* scanning victims so a bulk
+        // claimant racing this thief sees the flag no later than the thief
+        // sees the claimant's slot state (both sides are RMW/load on the
+        // same slot words; the flag is advisory — see `next_dynamic_bulk`).
+        self.contended.store(true, Ordering::Relaxed);
         let n = self.slots.len();
         for off in 1..n {
             let slot = &self.slots[(tid + off) % n];
@@ -552,6 +568,47 @@ impl StealDeck {
                 None => return None,
             }
         }
+    }
+
+    /// Bulk variant of [`Self::next_dynamic`] for claimants whose chunk
+    /// body is a single native kernel (`--opt=3` `BulkLoop`): while the
+    /// deck is uncontended, hand back the *entire* owner batch in one
+    /// claim instead of `chunk`-sized pieces, amortising the claim
+    /// protocol (and the VM's per-chunk `ws_next`/kernel-entry overhead)
+    /// across `chunk * STEAL_BATCH` iterations.
+    ///
+    /// The contention flag is advisory, not a lock: a thief that races a
+    /// bulk claim still operates on the same atomic range words, so every
+    /// iteration is claimed exactly once either way — a lost race only
+    /// means one oversized chunk that could have been split. Once the
+    /// flag is up it stays up, and this degrades to `next_dynamic`
+    /// exactly, preserving stealable remainders under real contention.
+    #[inline]
+    fn next_dynamic_bulk(&self, tid: usize, chunk: u64) -> Option<(Range<u64>, ChunkOrigin)> {
+        if self.contended.load(Ordering::Relaxed) {
+            return self.next_dynamic(tid, chunk);
+        }
+        let slot = &self.slots[tid];
+        // SAFETY: `local` is owner-private per the `next(tid)` contract.
+        let cache = unsafe { &mut *slot.local.get() };
+        if cache.0 < cache.1 {
+            // Drain whatever a previous chunked claim left cached.
+            let (lo, hi) = (cache.0, cache.1);
+            cache.0 = hi;
+            let origin = if cache.2 {
+                ChunkOrigin::Stolen
+            } else {
+                ChunkOrigin::Owned
+            };
+            return Some((lo as u64..hi as u64, origin));
+        }
+        let batch = (chunk.saturating_mul(STEAL_BATCH)).min(STEAL_BATCH_CAP);
+        if let Some((lo, hi)) = self.claim_local(tid, batch) {
+            return Some((lo as u64..hi as u64, ChunkOrigin::Owned));
+        }
+        // Own slot drained: fall back to the stealing protocol (which
+        // raises the contention flag before touching any victim).
+        self.next_dynamic(tid, chunk)
     }
 
     /// `schedule(guided)` claim protocol: each claim takes half the *local*
@@ -676,6 +733,25 @@ impl DynamicDispatch {
             DynCore::Steal(deck) => deck.next_dynamic(tid, self.chunk),
             DynCore::Legacy(d) => d.next().map(|r| (r, ChunkOrigin::Owned)),
         }
+    }
+
+    /// Bulk claim for single-kernel chunk bodies: whole owner batches
+    /// while the deck is uncontended, [`Self::next_with_origin`]'s
+    /// chunk-at-a-time protocol once any thread has entered the steal
+    /// path. The legacy shared-cursor core has no per-thread slots to
+    /// coarsen, so it dispatches unchanged.
+    #[inline]
+    pub fn next_bulk_with_origin(&self, tid: usize) -> Option<(Range<u64>, ChunkOrigin)> {
+        match &self.core {
+            DynCore::Steal(deck) => deck.next_dynamic_bulk(tid, self.chunk),
+            DynCore::Legacy(d) => d.next().map(|r| (r, ChunkOrigin::Owned)),
+        }
+    }
+
+    /// [`Self::next_bulk_with_origin`] without the provenance payload.
+    #[inline]
+    pub fn next_bulk(&self, tid: usize) -> Option<Range<u64>> {
+        self.next_bulk_with_origin(tid).map(|(r, _)| r)
     }
 
     /// The chunk size in effect.

@@ -52,6 +52,20 @@ impl Dispatcher {
             Dispatcher::Guided(g) => g.next_with_origin(tid),
         }
     }
+
+    /// Bulk claim for chunk bodies that are a single native kernel: the
+    /// dynamic deck hands out whole owner batches while uncontended (see
+    /// [`DynamicDispatch::next_bulk_with_origin`]); guided chunks already
+    /// start at `~trip/(2*nth)`, so they dispatch unchanged.
+    pub(crate) fn next_bulk_with_origin(
+        &self,
+        tid: usize,
+    ) -> Option<(std::ops::Range<u64>, ChunkOrigin)> {
+        match self {
+            Dispatcher::Dynamic(d) => d.next_bulk_with_origin(tid),
+            Dispatcher::Guided(g) => g.next_with_origin(tid),
+        }
+    }
 }
 
 #[derive(Default)]
@@ -368,13 +382,30 @@ impl<'a> ThreadCtx<'a> {
     /// each call closes out the previous chunk's trace span before opening
     /// the next one (the handle's `pending` cell carries it over).
     pub fn dispatch_next(&self, d: &WsDispatch) -> Option<std::ops::Range<u64>> {
+        self.dispatch_next_inner(d, false)
+    }
+
+    /// [`ThreadCtx::dispatch_next`] claiming bulk ranges: whole owner
+    /// batches while the deck is uncontended. For chunk bodies that are a
+    /// single `--opt=3` native kernel, where per-chunk claim/loop-entry
+    /// overhead dominates and the kernel handles any chunk length.
+    pub fn dispatch_next_bulk(&self, d: &WsDispatch) -> Option<std::ops::Range<u64>> {
+        self.dispatch_next_inner(d, true)
+    }
+
+    fn dispatch_next_inner(&self, d: &WsDispatch, bulk: bool) -> Option<std::ops::Range<u64>> {
         if d.finished.get() {
             return None;
         }
         if let Some(p) = d.pending.take() {
             trace::chunk(p.origin, p.start, p.len, p.t0);
         }
-        match d.dispatcher.next_with_origin(self.thread_num()) {
+        let claim = if bulk {
+            d.dispatcher.next_bulk_with_origin(self.thread_num())
+        } else {
+            d.dispatcher.next_with_origin(self.thread_num())
+        };
+        match claim {
             Some((r, origin)) => {
                 if trace::active() {
                     d.claimed.set(d.claimed.get() + (r.end - r.start));

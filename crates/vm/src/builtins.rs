@@ -298,7 +298,13 @@ fn internal(vm: &Vm, name: &str, #[allow(unused_mut)] mut args: Vec<Value>) -> V
                 .map_err(|e| crate::value::VmError(e.to_string()))?;
             Ok(Value::Int(trip as i64))
         }
-        "ws_begin" => ws_begin(args),
+        "ws_begin" => ws_begin(args, false),
+        // Installed by the `--opt=3` kernel tier in place of `ws_begin`
+        // when every chunk body is a single native bulk kernel: same
+        // protocol, but dynamic claims are batch-granular while the deck
+        // is uncontended (the kernel handles any chunk length, so the
+        // clause chunk size only matters for steal granularity).
+        "ws_begin_bulk" => ws_begin(args, true),
         "ws_next" => ws_next(args),
         "ws_lb" => ws_cur(args, true),
         "ws_ub" => ws_cur(args, false),
@@ -434,7 +440,7 @@ fn cmp_from_code(code: i64) -> VmResult<LoopCmp> {
     })
 }
 
-fn ws_begin(args: Vec<Value>) -> VmResult<Value> {
+fn ws_begin(args: Vec<Value>, greedy: bool) -> VmResult<Value> {
     // An optional leading string is the worksharing pragma's `unit:line`
     // label (named translation units only), mirroring `fork_call`.
     let (label, base) = match args.first() {
@@ -511,6 +517,7 @@ fn ws_begin(args: Vec<Value>) -> VmResult<Value> {
             t0,
             iters: 0,
             pending: None,
+            greedy,
         }),
     })))
 }
@@ -549,13 +556,18 @@ fn ws_next(args: Vec<Value>) -> VmResult<Value> {
             zomp::trace::chunk(zomp::schedule::ChunkOrigin::Owned, start, len, t0);
         }
     }
+    let greedy = st.greedy;
     let logical = match &mut st.mode {
         WsMode::StaticBlock(r) => r.take().filter(|r| !r.is_empty()),
+        // Static chunking is a *mapping* of iterations to threads, not a
+        // dispatch protocol — bulk mode must not change it.
         WsMode::StaticChunked(it) => it.next(),
         WsMode::Dispatch(d) => with_ctx(|ctx| match ctx {
+            Some(ctx) if greedy => ctx.dispatch_next_bulk(d),
             Some(ctx) => ctx.dispatch_next(d),
             None => None,
         }),
+        WsMode::Local(d) if greedy => d.next_bulk(0),
         WsMode::Local(d) => d.next(0),
     };
     match logical {

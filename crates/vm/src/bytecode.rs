@@ -525,6 +525,11 @@ pub struct PreOpt {
 pub struct CompiledFn {
     pub name: String,
     pub nparams: usize,
+    /// Source-level parameter type annotations, verbatim (`"i64"`,
+    /// `"[]f64"`, `"*f64"`, `"any"`, ...), one per parameter. Zag does
+    /// not enforce these at call boundaries; the type inference pass
+    /// reads them as speculative seeds (see [`crate::typeck`]).
+    pub param_tys: Vec<String>,
     /// Register-file size: params, locals, then temporaries.
     pub nregs: usize,
     pub code: Vec<Insn>,

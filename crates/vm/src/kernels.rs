@@ -36,7 +36,7 @@
 //! static specialization have already happened), which is what makes
 //! the shapes short and stable enough to match insn-by-insn.
 
-use crate::bytecode::{ArithOp, CmpOp, CompiledFn, Image, Insn, PreOpt, Reg};
+use crate::bytecode::{ArithOp, BuiltinOp, CmpOp, CompiledFn, Image, Insn, PreOpt, Reg};
 use crate::optimize::verify_fn;
 use crate::value::{ArrF, ArrI, Value};
 use std::sync::Arc;
@@ -156,6 +156,59 @@ pub enum KernelKind {
         lim: Reg,
         k: u16,
     },
+    /// EP batched deviate fill — the first cross-call kernel:
+    /// `while (j < c * nk) { x[j] = randlc(&t, a); j += 1 }` where the
+    /// called function was verified *symbolically* (see [`lcg_callee`])
+    /// to compute exactly the NPB 46-bit LCG step, so the kernel runs a
+    /// `vranlc`-style batch against a local copy of the seed cell.
+    /// `targ`/`aarg` are the call's argument window (left `Undefined`
+    /// by the interpreter's arg-stealing calls, reproduced on exit).
+    LcgFill {
+        /// Cell register holding `Ptr` to the seed (`&t`).
+        tcell: Reg,
+        /// Call argument window: `targ` receives the cell, `aarg` the
+        /// multiplier (`aarg == targ + 1`).
+        targ: Reg,
+        aarg: Reg,
+        /// Loop-invariant multiplier register (`a`).
+        areg: Reg,
+        /// Call result register (last deviate after a full batch).
+        res: Reg,
+        /// Output array (`ArrF`, plain register).
+        arr: Reg,
+        j: Reg,
+        /// Trip-limit register, recomputed `c * nk` at the loop head.
+        lim: Reg,
+        nk: Reg,
+        /// Const-pool index of the Int factor `c`.
+        k: u16,
+    },
+    /// EP acceptance tail over Gaussian pair candidates:
+    /// `do { x1 = 2x[2i]-1; x2 = 2x[2i+1]-1; tt = x1²+x2²;
+    /// if (tt <= 1) { t2 = sqrt(-2 ln tt / tt); q[max(|x1 t2|,|x2 t2|)] += 1;
+    /// sx += x1 t2; sy += x2 t2 } i += 1 } while (i < nk)`.
+    /// The eleven temporaries (`ra..rl`) are tracked so every register
+    /// the body defines is written back with its exact final-iteration
+    /// value (reject- and accept-path values differ; see the runner).
+    EpPairs {
+        i: Reg,
+        nk: Reg,
+        x: Reg,
+        q: Reg,
+        sx: Reg,
+        sy: Reg,
+        ra: Reg,
+        rb: Reg,
+        rc: Reg,
+        rd: Reg,
+        re: Reg,
+        rf: Reg,
+        rg: Reg,
+        rh: Reg,
+        ri: Reg,
+        rj: Reg,
+        rl: Reg,
+    },
 }
 
 impl KernelKind {
@@ -172,6 +225,8 @@ impl KernelKind {
             KernelKind::PrefixSum { i, .. } => i,
             KernelKind::RankInc { q, .. } => q,
             KernelKind::Scatter { i, .. } => i,
+            KernelKind::LcgFill { j, .. } => j,
+            KernelKind::EpPairs { i, .. } => i,
         }
     }
 
@@ -185,6 +240,8 @@ impl KernelKind {
             KernelKind::PrefixSum { .. } => "prefix-sum",
             KernelKind::RankInc { .. } => "rank-inc",
             KernelKind::Scatter { .. } => "scatter",
+            KernelKind::LcgFill { .. } => "lcg-fill",
+            KernelKind::EpPairs { .. } => "ep-pairs",
         }
     }
 }
@@ -294,8 +351,277 @@ impl KernelDesc {
                     f(r);
                 }
             }
+            KernelKind::LcgFill {
+                tcell,
+                targ,
+                aarg,
+                areg,
+                res,
+                arr,
+                j,
+                lim,
+                nk,
+                k: _,
+            } => {
+                for r in [tcell, targ, aarg, areg, res, arr, j, lim, nk] {
+                    f(r);
+                }
+            }
+            KernelKind::EpPairs {
+                i,
+                nk,
+                x,
+                q,
+                sx,
+                sy,
+                ra,
+                rb,
+                rc,
+                rd,
+                re,
+                rf,
+                rg,
+                rh,
+                ri,
+                rj,
+                rl,
+            } => {
+                for r in [
+                    i, nk, x, q, sx, sy, ra, rb, rc, rd, re, rf, rg, rh, ri, rj, rl,
+                ] {
+                    f(r);
+                }
+            }
         }
     }
+}
+
+// ---------------------------------------------------------------------------
+// Cross-call matching: symbolic verification of small pure callees
+// ---------------------------------------------------------------------------
+
+/// Symbolic value over a two-parameter `(ptr, scalar)` callee. `Trunc`
+/// is the NPB truncation idiom `@intToFloat(@floatToInt(v))`; `FtoI`
+/// is its half-finished intermediate (an `i64`-typed node that is only
+/// legal as the immediate operand of `IntToFloat`).
+#[derive(Clone)]
+enum Sym {
+    /// The pointer parameter itself (only dereferenced/stored through).
+    Ptr,
+    /// The scalar (`f64`) parameter.
+    A,
+    /// The pointee's value on entry.
+    X,
+    /// A float constant, by exact bit pattern.
+    C(u64),
+    FtoI(std::rc::Rc<Sym>),
+    Trunc(std::rc::Rc<Sym>),
+    Add(std::rc::Rc<Sym>, std::rc::Rc<Sym>),
+    Sub(std::rc::Rc<Sym>, std::rc::Rc<Sym>),
+    Mul(std::rc::Rc<Sym>, std::rc::Rc<Sym>),
+}
+
+/// Canonical key: a string rendering with the operands of the
+/// commutative nodes (`Add`, `Mul`) sorted, so two trees are
+/// semantically identical LCG dataflow iff their keys match. Trees are
+/// a few hundred expanded nodes at most, so the quadratic string
+/// building is irrelevant.
+fn sym_key(s: &Sym, out: &mut String) {
+    match s {
+        Sym::Ptr => out.push('p'),
+        Sym::A => out.push('a'),
+        Sym::X => out.push('x'),
+        Sym::C(bits) => {
+            out.push('c');
+            out.push_str(&bits.to_string());
+        }
+        Sym::FtoI(v) => {
+            out.push_str("i(");
+            sym_key(v, out);
+            out.push(')');
+        }
+        Sym::Trunc(v) => {
+            out.push_str("t(");
+            sym_key(v, out);
+            out.push(')');
+        }
+        Sym::Sub(l, r) => {
+            out.push_str("-(");
+            sym_key(l, out);
+            out.push(',');
+            sym_key(r, out);
+            out.push(')');
+        }
+        Sym::Add(l, r) | Sym::Mul(l, r) => {
+            out.push(if matches!(s, Sym::Add(..)) { '+' } else { '*' });
+            let (mut a, mut b) = (String::new(), String::new());
+            sym_key(l, &mut a);
+            sym_key(r, &mut b);
+            if a > b {
+                std::mem::swap(&mut a, &mut b);
+            }
+            out.push('(');
+            out.push_str(&a);
+            out.push(',');
+            out.push_str(&b);
+            out.push(')');
+        }
+    }
+}
+
+/// The NPB 46-bit LCG step (`randlc`), as the canonical symbolic pair
+/// `(return value, final pointee)`. Exact constants: the kernel is only
+/// bit-identical to the callee when the callee uses these very values.
+fn lcg_canonical() -> (String, String) {
+    use std::rc::Rc;
+    const R23: f64 = 0.000_000_119_209_289_550_781_25;
+    const T23: f64 = 8_388_608.0;
+    const R46: f64 = R23 * R23;
+    const T46: f64 = T23 * T23;
+    let c = |v: f64| Rc::new(Sym::C(v.to_bits()));
+    let mul = |l: &Rc<Sym>, r: &Rc<Sym>| Rc::new(Sym::Mul(l.clone(), r.clone()));
+    let add = |l: &Rc<Sym>, r: &Rc<Sym>| Rc::new(Sym::Add(l.clone(), r.clone()));
+    let sub = |l: &Rc<Sym>, r: &Rc<Sym>| Rc::new(Sym::Sub(l.clone(), r.clone()));
+    let trunc = |v: &Rc<Sym>| Rc::new(Sym::Trunc(v.clone()));
+    let (r23, t23, r46, t46) = (c(R23), c(T23), c(R46), c(T46));
+    let (a, x) = (Rc::new(Sym::A), Rc::new(Sym::X));
+    let a1 = trunc(&mul(&r23, &a));
+    let a2 = sub(&a, &mul(&t23, &a1));
+    let x1 = trunc(&mul(&r23, &x));
+    let x2 = sub(&x, &mul(&t23, &x1));
+    let t1 = add(&mul(&a1, &x2), &mul(&a2, &x1));
+    let t2 = trunc(&mul(&r23, &t1));
+    let z = sub(&t1, &mul(&t23, &t2));
+    let t3 = add(&mul(&t23, &z), &mul(&a2, &x2));
+    let t4 = trunc(&mul(&r46, &t3));
+    let xp = sub(&t3, &mul(&t46, &t4));
+    let ret = mul(&r46, &xp);
+    let (mut rk, mut mk) = (String::new(), String::new());
+    sym_key(&ret, &mut rk);
+    sym_key(&xp, &mut mk);
+    (rk, mk)
+}
+
+/// `true` iff `f` is a two-parameter `(ptr, f64)` function whose body
+/// is straight-line float dataflow computing *exactly* the NPB 46-bit
+/// LCG step: return value `r46 * x'`, pointee updated to `x'`. The
+/// whole body is abstractly interpreted over [`Sym`]; any instruction
+/// outside the tiny pure-dataflow subset (a jump, a call, an index)
+/// rejects. Tree equality (commutative in `Add`/`Mul`, exact in
+/// constants) implies the kernel's hardcoded step reproduces the
+/// callee bit-for-bit — float addition and multiplication are
+/// deterministic, so equal dataflow means equal bits.
+fn lcg_callee(f: &CompiledFn) -> bool {
+    use std::rc::Rc;
+    if f.nparams != 2 {
+        return false;
+    }
+    let mut env: Vec<Option<Rc<Sym>>> = vec![None; f.nregs.max(2)];
+    env[0] = Some(Rc::new(Sym::Ptr));
+    env[1] = Some(Rc::new(Sym::A));
+    let mut mem: Rc<Sym> = Rc::new(Sym::X);
+    let get = |env: &[Option<Rc<Sym>>], r: Reg| env.get(r as usize).cloned().flatten();
+    let is_ptr = |env: &[Option<Rc<Sym>>], r: Reg| matches!(get(env, r).as_deref(), Some(Sym::Ptr));
+    for insn in &f.code {
+        match *insn {
+            Insn::Const { dst, k } => {
+                env[dst as usize] = match f.consts.get(k as usize) {
+                    Some(Value::Float(v)) => Some(Rc::new(Sym::C(v.to_bits()))),
+                    _ => None,
+                };
+            }
+            Insn::Move { dst, src } => env[dst as usize] = get(&env, src),
+            Insn::Arith { op, dst, a, b } | Insn::ArithFF { op, dst, a, b } => {
+                let (Some(l), Some(r)) = (get(&env, a), get(&env, b)) else {
+                    return false;
+                };
+                env[dst as usize] = Some(Rc::new(match op {
+                    ArithOp::Add => Sym::Add(l, r),
+                    ArithOp::Sub => Sym::Sub(l, r),
+                    ArithOp::Mul => Sym::Mul(l, r),
+                    _ => return false,
+                }));
+            }
+            Insn::ArithK { op, dst, a, k } => {
+                let (Some(l), Some(Value::Float(v))) = (get(&env, a), f.consts.get(k as usize))
+                else {
+                    return false;
+                };
+                let r = Rc::new(Sym::C(v.to_bits()));
+                env[dst as usize] = Some(Rc::new(match op {
+                    ArithOp::Add => Sym::Add(l, r),
+                    ArithOp::Sub => Sym::Sub(l, r),
+                    ArithOp::Mul => Sym::Mul(l, r),
+                    _ => return false,
+                }));
+            }
+            Insn::ArithKL { op, dst, k, b } => {
+                let (Some(Value::Float(v)), Some(r)) = (f.consts.get(k as usize), get(&env, b))
+                else {
+                    return false;
+                };
+                let l = Rc::new(Sym::C(v.to_bits()));
+                env[dst as usize] = Some(Rc::new(match op {
+                    ArithOp::Add => Sym::Add(l, r),
+                    ArithOp::Sub => Sym::Sub(l, r),
+                    ArithOp::Mul => Sym::Mul(l, r),
+                    _ => return false,
+                }));
+            }
+            Insn::Builtin {
+                dst,
+                op: BuiltinOp::FloatToInt,
+                base,
+                n: 1,
+                ..
+            } => {
+                let Some(v) = get(&env, base) else {
+                    return false;
+                };
+                env[dst as usize] = Some(Rc::new(Sym::FtoI(v)));
+            }
+            Insn::Builtin {
+                dst,
+                op: BuiltinOp::IntToFloat,
+                base,
+                n: 1,
+                ..
+            } => {
+                let Some(v) = get(&env, base) else {
+                    return false;
+                };
+                let Sym::FtoI(inner) = &*v else { return false };
+                env[dst as usize] = Some(Rc::new(Sym::Trunc(inner.clone())));
+            }
+            Insn::Deref { dst, ptr } => {
+                if !is_ptr(&env, ptr) {
+                    return false;
+                }
+                env[dst as usize] = Some(mem.clone());
+            }
+            Insn::StorePtr { ptr, src } => {
+                if !is_ptr(&env, ptr) {
+                    return false;
+                }
+                let Some(v) = get(&env, src) else {
+                    return false;
+                };
+                mem = v;
+            }
+            Insn::Ret { src } => {
+                let Some(ret) = get(&env, src) else {
+                    return false;
+                };
+                let (mut rk, mut mk) = (String::new(), String::new());
+                sym_key(&ret, &mut rk);
+                sym_key(&mem, &mut mk);
+                let (crk, cmk) = lcg_canonical();
+                return rk == crk && mk == cmk;
+            }
+            _ => return false,
+        }
+    }
+    false
 }
 
 // ---------------------------------------------------------------------------
@@ -303,15 +629,18 @@ impl KernelDesc {
 // ---------------------------------------------------------------------------
 
 /// Install bulk kernels in every function (`--opt=3` only; runs after
-/// optimization and static specialization).
+/// optimization and static specialization). A pre-pass classifies
+/// every function as LCG-shaped or not so the loop matchers can see
+/// *through* `Call` boundaries without borrowing the image twice.
 pub fn install_image(image: &mut Image) {
     let nfuncs = image.funcs.len();
+    let lcg: Vec<bool> = image.funcs.iter().map(lcg_callee).collect();
     for f in &mut image.funcs {
-        install_fn(f, nfuncs);
+        install_fn(f, nfuncs, &lcg);
     }
 }
 
-fn install_fn(f: &mut CompiledFn, nfuncs: usize) {
+fn install_fn(f: &mut CompiledFn, nfuncs: usize, lcg: &[bool]) {
     let orig = if f.pre_opt.is_none() {
         Some(f.code.clone())
     } else {
@@ -322,7 +651,7 @@ fn install_fn(f: &mut CompiledFn, nfuncs: usize) {
         if f.kernels.len() >= u16::MAX as usize {
             break;
         }
-        let Some((kind, exit)) = match_at(f, pc) else {
+        let Some((kind, exit)) = match_at(f, pc, lcg) else {
             continue;
         };
         let kidx = f.kernels.len() as u16;
@@ -336,6 +665,7 @@ fn install_fn(f: &mut CompiledFn, nfuncs: usize) {
         installed = true;
     }
     if installed {
+        rewrite_ws_begin_bulk(f);
         if let Some(code) = orig {
             f.pre_opt = Some(PreOpt {
                 code,
@@ -344,6 +674,56 @@ fn install_fn(f: &mut CompiledFn, nfuncs: usize) {
         }
         if let Err(e) = verify_fn(f, nfuncs) {
             panic!("kernel installation produced invalid bytecode: {e}");
+        }
+    }
+}
+
+/// Retarget the `omp.internal.ws_begin` call enclosing each installed
+/// kernel to `ws_begin_bulk`: the chunk body is (dominated by) a native
+/// bulk kernel, which handles any chunk length, so the dynamic dispatcher
+/// may claim whole owner batches while its deck is uncontended instead of
+/// paying the claim protocol and kernel entry per clause-sized chunk. The
+/// schedule's *mapping* semantics are untouched — static chunking and
+/// contended dynamic dispatch behave exactly as before (see
+/// `zomp::schedule::DynamicDispatch::next_bulk_with_origin`).
+fn rewrite_ws_begin_bulk(f: &mut CompiledFn) {
+    let heads: Vec<usize> = (0..f.code.len())
+        .filter(|&pc| matches!(f.code[pc], Insn::BulkLoop { .. }))
+        .collect();
+    for pc in heads {
+        // Nearest preceding worksharing begin, the same resolution rule
+        // as `loop_label`. A `ws_begin_bulk` hit means another kernel in
+        // the same loop already retargeted it.
+        let mut target = None;
+        for i in (0..pc).rev() {
+            let Insn::OmpCall { sym, .. } = f.code[i] else {
+                continue;
+            };
+            match f.omp_syms[sym as usize].last().map(String::as_str) {
+                Some("ws_begin") => target = Some((i, sym)),
+                Some("ws_begin_bulk") => {}
+                _ => continue,
+            }
+            break;
+        }
+        let Some((i, sym)) = target else {
+            continue;
+        };
+        let mut path = f.omp_syms[sym as usize].clone();
+        *path.last_mut().unwrap() = "ws_begin_bulk".to_string();
+        let idx = f
+            .omp_syms
+            .iter()
+            .position(|p| *p == path)
+            .unwrap_or_else(|| {
+                f.omp_syms.push(path);
+                f.omp_syms.len() - 1
+            });
+        if idx > u16::MAX as usize {
+            continue;
+        }
+        if let Insn::OmpCall { sym, .. } = &mut f.code[i] {
+            *sym = idx as u16;
         }
     }
 }
@@ -358,7 +738,9 @@ pub(crate) fn loop_label(f: &CompiledFn, pc: usize) -> &'static str {
             continue;
         };
         let path = &f.omp_syms[sym as usize];
-        if path.last().map(String::as_str) != Some("ws_begin") {
+        // `starts_with`: kernel installation may have retargeted the call
+        // to `ws_begin_bulk`, and remarks resolve labels post-install.
+        if !path.last().is_some_and(|s| s.starts_with("ws_begin")) {
             continue;
         }
         // The label argument is materialised by a `const` into the
@@ -402,7 +784,7 @@ fn const_int(f: &CompiledFn, k: u16) -> Option<i64> {
     }
 }
 
-fn match_at(f: &CompiledFn, pc: usize) -> Option<(KernelKind, u32)> {
+fn match_at(f: &CompiledFn, pc: usize, lcg: &[bool]) -> Option<(KernelKind, u32)> {
     match_matvec_rows(f, pc)
         .or_else(|| match_matvec(f, pc))
         .or_else(|| match_histogram(f, pc))
@@ -410,6 +792,8 @@ fn match_at(f: &CompiledFn, pc: usize) -> Option<(KernelKind, u32)> {
         .or_else(|| match_prefix(f, pc))
         .or_else(|| match_rank_inc(f, pc))
         .or_else(|| match_scatter(f, pc))
+        .or_else(|| match_lcg_fill(f, pc, lcg))
+        .or_else(|| match_ep_pairs(f, pc))
 }
 
 fn match_matvec_rows(f: &CompiledFn, pc: usize) -> Option<(KernelKind, u32)> {
@@ -818,6 +1202,221 @@ fn match_scatter(f: &CompiledFn, pc: usize) -> Option<(KernelKind, u32)> {
     ))
 }
 
+/// EP deviate fill, matched *through* the call boundary:
+/// ```text
+/// pc+0  kmul   lim, k, nk          ; lim = c * nk (head, re-executed)
+/// pc+1  cjfii  j < lim -> pc+7     ; while-loop guard
+/// pc+2  move   targ, tcell         ; arg 0: the seed cell (&t)
+/// pc+3  move   aarg, areg          ; arg 1: the multiplier
+/// pc+4  call   res, f, targ..2     ; f verified LCG-shaped
+/// pc+5  indexsetf arr[j], res
+/// pc+6  incjump j += 1 -> pc+0
+/// ```
+/// Only installs when `lcg[f]` held for the callee, i.e. the call is
+/// *provably* the NPB 46-bit LCG step; the kernel then runs the whole
+/// batch against a local copy of the seed without frame setup per
+/// element.
+fn match_lcg_fill(f: &CompiledFn, pc: usize, lcg: &[bool]) -> Option<(KernelKind, u32)> {
+    let code = &f.code;
+    let Insn::ArithKL {
+        op: ArithOp::Mul,
+        dst: lim,
+        k,
+        b: nk,
+    } = *code.get(pc)?
+    else {
+        return None;
+    };
+    const_int(f, k)?;
+    let Insn::CmpJumpFalseII {
+        op: CmpOp::Lt,
+        a: j,
+        b: lim2,
+        to,
+    } = *code.get(pc + 1)?
+    else {
+        return None;
+    };
+    if lim2 != lim || to as usize != pc + 7 {
+        return None;
+    }
+    let Insn::Move {
+        dst: targ,
+        src: tcell,
+    } = *code.get(pc + 2)?
+    else {
+        return None;
+    };
+    let Insn::Move {
+        dst: aarg,
+        src: areg,
+    } = *code.get(pc + 3)?
+    else {
+        return None;
+    };
+    if aarg != targ + 1 {
+        return None;
+    }
+    let Insn::Call {
+        dst: res,
+        func,
+        base,
+        n: 2,
+    } = *code.get(pc + 4)?
+    else {
+        return None;
+    };
+    if base != targ || !lcg.get(func as usize).copied().unwrap_or(false) {
+        return None;
+    }
+    let Insn::IndexSetF { arr, idx, src } = *code.get(pc + 5)? else {
+        return None;
+    };
+    if idx != j || src != res {
+        return None;
+    }
+    let Insn::IncJump {
+        var,
+        step: 1,
+        to: to2,
+    } = *code.get(pc + 6)?
+    else {
+        return None;
+    };
+    if var != j || to2 as usize != pc {
+        return None;
+    }
+    // `lim` may alias `targ`/`aarg`/`res` (the head recomputes it before
+    // the guard reads it), but the induction variable and the
+    // loop-invariant operands must be untouched by every write.
+    let writes = [lim, targ, aarg, res, j];
+    if !all_distinct(&[j, lim]) || [targ, aarg, res].contains(&j) {
+        return None;
+    }
+    if [nk, tcell, areg, arr].iter().any(|r| writes.contains(r)) {
+        return None;
+    }
+    Some((
+        KernelKind::LcgFill {
+            tcell,
+            targ,
+            aarg,
+            areg,
+            res,
+            arr,
+            j,
+            lim,
+            nk,
+            k,
+        },
+        (pc + 7) as u32,
+    ))
+}
+
+fn const_float_is(f: &CompiledFn, k: u16, want: f64) -> bool {
+    matches!(f.consts.get(k as usize), Some(Value::Float(v)) if v.to_bits() == want.to_bits())
+}
+
+/// EP Gaussian-acceptance tail (do-while body at `pc..pc+31`,
+/// back-edge at `pc+31`, exit `pc+32`): candidate pair from `x[2i]`,
+/// `x[2i+1]`, radius test `tt <= 1.0`, Box–Muller transform,
+/// histogram bump `q[l] += 1.0` and the two reduction accumulators.
+/// All arithmetic in the body is total under the interpreter (wrapping
+/// int ops, IEEE float ops, saturating `@floatToInt`), so the only
+/// bail sources are the three array accesses.
+#[rustfmt::skip]
+fn match_ep_pairs(f: &CompiledFn, pc: usize) -> Option<(KernelKind, u32)> {
+    let code = &f.code;
+    let at = |o: usize| code.get(pc + o).copied();
+    // pc+0: x1' = 2.0 (candidate scale)
+    let Insn::Const { dst: ra, k: k2f } = at(0)? else { return None };
+    if !const_float_is(f, k2f, 2.0) { return None; }
+    // pc+1: rc = 2 * i
+    let Insn::ArithKL { op: ArithOp::Mul, dst: rc, k: k2i, b: i } = at(1)? else { return None };
+    if const_int(f, k2i)? != 2 { return None; }
+    // pc+2: rd = x[rc]
+    let Insn::IndexF { dst: rd, arr: x, idx } = at(2)? else { return None };
+    if idx != rc { return None; }
+    // pc+3..5: x1 = 2.0 * x[2i] - 1.0
+    let Insn::ArithFF { op: ArithOp::Mul, dst: re, a, b } = at(3)? else { return None };
+    if a != ra || b != rd { return None; }
+    let Insn::ArithK { op: ArithOp::Sub, dst: rg, a, k: k1f } = at(4)? else { return None };
+    if a != re || !const_float_is(f, k1f, 1.0) { return None; }
+    let Insn::Move { dst, src } = at(5)? else { return None };
+    if dst != ra || src != rg { return None; }
+    // pc+6..10: x2 = 2.0 * x[2i+1] - 1.0
+    let Insn::Const { dst: rb, k } = at(6)? else { return None };
+    if !const_float_is(f, k, 2.0) { return None; }
+    let Insn::IndexOff { dst, arr, idx, off: 1 } = at(7)? else { return None };
+    if dst != rg || arr != x || idx != rc { return None; }
+    let Insn::ArithFF { op: ArithOp::Mul, dst: rh, a, b } = at(8)? else { return None };
+    if a != rb || b != rg { return None; }
+    let Insn::ArithK { op: ArithOp::Sub, dst: rj, a, k } = at(9)? else { return None };
+    if a != rh || !const_float_is(f, k, 1.0) { return None; }
+    let Insn::Move { dst, src } = at(10)? else { return None };
+    if dst != rb || src != rj { return None; }
+    // pc+11..14: tt = x1*x1 + x2*x2
+    let Insn::ArithFF { op: ArithOp::Mul, dst, a, b } = at(11)? else { return None };
+    if dst != rc || a != ra || b != ra { return None; }
+    let Insn::ArithFF { op: ArithOp::Mul, dst, a, b } = at(12)? else { return None };
+    if dst != rd || a != rj || b != rj { return None; }
+    let Insn::ArithFF { op: ArithOp::Add, dst, a, b } = at(13)? else { return None };
+    if dst != re || a != rc || b != rd { return None; }
+    let Insn::Move { dst, src } = at(14)? else { return None };
+    if dst != rc || src != re { return None; }
+    // pc+15..16: if !(tt <= 1.0) skip the transform
+    let Insn::Const { dst, k } = at(15)? else { return None };
+    if dst != rd || !const_float_is(f, k, 1.0) { return None; }
+    let Insn::CmpJumpFalseFF { op: CmpOp::Le, a, b, to } = at(16)? else { return None };
+    if a != re || b != rd || to as usize != pc + 31 { return None; }
+    // pc+17..21: t2 = sqrt(-2.0 * ln(tt) / tt)
+    let Insn::Const { dst: rf, k } = at(17)? else { return None };
+    if !const_float_is(f, k, -2.0) { return None; }
+    let Insn::Builtin { dst, op: BuiltinOp::Log, base, n: 1, .. } = at(18)? else { return None };
+    if dst != rh || base != rc { return None; }
+    let Insn::ArithFF { op: ArithOp::Mul, dst: ri, a, b } = at(19)? else { return None };
+    if a != rf || b != rh { return None; }
+    let Insn::ArithFF { op: ArithOp::Div, dst, a, b } = at(20)? else { return None };
+    if dst != rd || a != ri || b != rc { return None; }
+    let Insn::Builtin { dst, op: BuiltinOp::Sqrt, base, n: 1, .. } = at(21)? else { return None };
+    if dst != rj || base != rd { return None; }
+    // pc+22..23: t3 = x1 * t2; t4 = x2 * t2
+    let Insn::ArithFF { op: ArithOp::Mul, dst, a, b } = at(22)? else { return None };
+    if dst != re || a != ra || b != rj { return None; }
+    let Insn::ArithFF { op: ArithOp::Mul, dst, a, b } = at(23)? else { return None };
+    if dst != rf || a != rb || b != rj { return None; }
+    // pc+24..27: l = floatToInt(max(|t3|, |t4|))
+    let Insn::Builtin { dst, op: BuiltinOp::Abs, base, n: 1, .. } = at(24)? else { return None };
+    if dst != rh || base != re { return None; }
+    let Insn::Builtin { dst, op: BuiltinOp::Abs, base, n: 1, .. } = at(25)? else { return None };
+    if dst != ri || base != rf { return None; }
+    let Insn::Builtin { dst: rg2, op: BuiltinOp::Max, base, n: 2, .. } = at(26)? else { return None };
+    if rg2 != rg || base != rh || ri != rh + 1 { return None; }
+    let Insn::Builtin { dst: rl, op: BuiltinOp::FloatToInt, base, n: 1, .. } = at(27)? else { return None };
+    if base != rg { return None; }
+    // pc+28: q[l] += 1.0
+    let Insn::IncElemK { op: ArithOp::Add, arr: q, idx, k } = at(28)? else { return None };
+    if idx != rl || !const_float_is(f, k, 1.0) { return None; }
+    // pc+29..30: sx += t3; sy += t4
+    let Insn::ArithFF { op: ArithOp::Add, dst: sx, a, b } = at(29)? else { return None };
+    if a != sx || b != re { return None; }
+    let Insn::ArithFF { op: ArithOp::Add, dst: sy, a, b } = at(30)? else { return None };
+    if a != sy || b != rf { return None; }
+    // pc+31: i += 1; while (i < nk)
+    let Insn::IncCmpJump { var, step: 1, limit: nk, op: CmpOp::Lt, to } = at(31)? else { return None };
+    if var != i || to as usize != pc { return None; }
+    let writes = [i, sx, sy, ra, rb, rc, rd, re, rf, rg, rh, ri, rj, rl];
+    if !disciplined(&writes, &[nk, x, q]) {
+        return None;
+    }
+    Some((
+        KernelKind::EpPairs {
+            i, nk, x, q, sx, sy, ra, rb, rc, rd, re, rf, rg, rh, ri, rj, rl,
+        },
+        (pc + 32) as u32,
+    ))
+}
+
 // ---------------------------------------------------------------------------
 // Runtime
 // ---------------------------------------------------------------------------
@@ -873,8 +1472,67 @@ const BAIL_BOUNDS: Bail = "bounds";
 const BAIL_DIV: Bail = "div";
 const BAIL_OVERFLOW: Bail = "overflow";
 
+/// An array a kernel is about to write through raw [`ArrF::cells`] /
+/// [`ArrI::cells`] storage, held open for a seqlock write fence so
+/// concurrent [`ArrI::range_hint`] scans can't cache a range the
+/// kernel's stores invalidate.
+enum FencedArr {
+    F(Arc<ArrF>, bool),
+    I(Arc<ArrI>, bool),
+}
+
+impl FencedArr {
+    fn begin_f(a: Option<Arc<ArrF>>) -> Option<FencedArr> {
+        a.map(|a| {
+            let b = a.write_fence_begin();
+            FencedArr::F(a, b)
+        })
+    }
+    fn begin_i(a: Option<Arc<ArrI>>) -> Option<FencedArr> {
+        a.map(|a| {
+            let b = a.write_fence_begin();
+            FencedArr::I(a, b)
+        })
+    }
+    fn end(self) {
+        match self {
+            FencedArr::F(a, b) => a.write_fence_end(b),
+            FencedArr::I(a, b) => a.write_fence_end(b),
+        }
+    }
+}
+
+/// Open write fences on every array the kernel stores into (resolved
+/// best-effort: an unresolvable register means the kernel is about to
+/// bail on its own type precheck without writing anything).
+fn begin_fences(kind: &KernelKind, regs: &[Value]) -> [Option<FencedArr>; 2] {
+    match *kind {
+        KernelKind::MatvecRows { qcell, .. } => [FencedArr::begin_f(cell_arrf(regs, qcell)), None],
+        KernelKind::MatvecGather { .. } => [None, None],
+        KernelKind::Histogram { local, .. } => [FencedArr::begin_i(reg_arri(regs, local)), None],
+        KernelKind::FillConst { arr, .. } => [
+            FencedArr::begin_i(cell_arri(regs, arr))
+                .or_else(|| FencedArr::begin_f(cell_arrf(regs, arr))),
+            None,
+        ],
+        KernelKind::PrefixSum { arr, .. } => [
+            FencedArr::begin_i(cell_arri(regs, arr))
+                .or_else(|| FencedArr::begin_f(cell_arrf(regs, arr))),
+            None,
+        ],
+        KernelKind::RankInc { rkcell, .. } => [FencedArr::begin_i(cell_arri(regs, rkcell)), None],
+        KernelKind::Scatter { bcell, cur, .. } => [
+            FencedArr::begin_i(cell_arri(regs, bcell)),
+            FencedArr::begin_i(reg_arri(regs, cur)),
+        ],
+        KernelKind::LcgFill { arr, .. } => [FencedArr::begin_f(reg_arrf(regs, arr)), None],
+        KernelKind::EpPairs { q, .. } => [FencedArr::begin_f(reg_arrf(regs, q)), None],
+    }
+}
+
 fn run_inner(desc: &KernelDesc, regs: &mut [Value], consts: &[Value]) -> Result<(), Bail> {
-    match desc.kind {
+    let fences = begin_fences(&desc.kind, regs);
+    let r = match desc.kind {
         KernelKind::MatvecRows { .. } => run_matvec_rows(&desc.kind, regs, consts),
         KernelKind::MatvecGather { .. } => run_matvec(&desc.kind, regs),
         KernelKind::Histogram { .. } => run_histogram(&desc.kind, regs, consts),
@@ -882,7 +1540,13 @@ fn run_inner(desc: &KernelDesc, regs: &mut [Value], consts: &[Value]) -> Result<
         KernelKind::PrefixSum { .. } => run_prefix(&desc.kind, regs),
         KernelKind::RankInc { .. } => run_rank_inc(&desc.kind, regs, consts),
         KernelKind::Scatter { .. } => run_scatter(&desc.kind, regs, consts),
+        KernelKind::LcgFill { .. } => run_lcg_fill(&desc.kind, regs, consts),
+        KernelKind::EpPairs { .. } => run_ep_pairs(&desc.kind, regs),
+    };
+    for f in fences.into_iter().flatten() {
+        f.end();
     }
+    r
 }
 
 fn cell_arrf(regs: &[Value], r: Reg) -> Option<Arc<ArrF>> {
@@ -974,6 +1638,12 @@ fn run_matvec_rows(kind: &KernelKind, regs: &mut [Value], consts: &[Value]) -> R
     let an = ac.len() as i64;
     let icn = icc.len() as i64;
     let qn = qc.len() as i64;
+    // Gather bounds check hoisted to kernel entry: when the cached
+    // min/max of the index array proves every `colidx` element lands
+    // inside `a`, the hot inner loop runs with no per-element check at
+    // all. The hint is seqlock-validated against writes, and any array
+    // this kernel doesn't prove stays on the checked paths below.
+    let hoisted = ic.range_hint().is_some_and(|(lo, hi)| lo >= 0 && hi < an);
     // Final inner-loop state of the last *completed* row: on a mid-row
     // bail the interpreter replays the failing row from the head, so the
     // registers must look exactly as they did when that row started.
@@ -1000,7 +1670,21 @@ fn run_matvec_rows(kind: &KernelKind, regs: &mut [Value], consts: &[Value]) -> R
         let mut kv = unsafe { *rc.get_unchecked(jv as usize).get() };
         let bv = unsafe { *rc.get_unchecked(jo as usize).get() };
         let mut s = seed;
-        if kv >= 0 && bv <= xn && bv <= icn {
+        if hoisted && kv >= 0 && bv <= xn && bv <= icn {
+            // Hottest path: k-range proven at row entry, gathered
+            // indexes proven at kernel entry — zero checks per element.
+            while kv < bv {
+                // SAFETY: 0 <= kv < bv <= len for both arrays, and the
+                // range hint proved 0 <= colidx[*] < an.
+                let xe = unsafe { *xc.get_unchecked(kv as usize).get() };
+                let ie = unsafe { *icc.get_unchecked(kv as usize).get() };
+                let ae = unsafe { *ac.get_unchecked(ie as usize).get() };
+                // Mul then add, matching the interpreter's FmaGather
+                // exactly (no fused multiply-add: rounding must agree).
+                s += xe * ae;
+                kv = kv.wrapping_add(1);
+            }
+        } else if kv >= 0 && bv <= xn && bv <= icn {
             // Hot path: the k-range is provably in bounds, only the
             // gathered index needs a per-element check.
             while kv < bv {
@@ -1012,8 +1696,6 @@ fn run_matvec_rows(kind: &KernelKind, regs: &mut [Value], consts: &[Value]) -> R
                 }
                 // SAFETY: ie bounds-checked just above.
                 let ae = unsafe { *ac.get_unchecked(ie as usize).get() };
-                // Mul then add, matching the interpreter's FmaGather
-                // exactly (no fused multiply-add: rounding must agree).
                 s += xe * ae;
                 kv = kv.wrapping_add(1);
             }
@@ -1102,7 +1784,21 @@ fn run_matvec(kind: &KernelKind, regs: &mut [Value]) -> Result<(), Bail> {
         regs[acc as usize] = Value::Float(s);
         regs[bound as usize] = Value::Int(lt);
     };
-    if kv >= 0 && lt <= xn && lt <= icn {
+    // Same hoisted gather proof as `run_matvec_rows`.
+    let hoisted = ic.range_hint().is_some_and(|(lo, hi)| lo >= 0 && hi < an);
+    if hoisted && kv >= 0 && lt <= xn && lt <= icn {
+        while kv < lt {
+            // SAFETY: 0 <= kv < lt <= len for both arrays, and the
+            // range hint proved 0 <= colidx[*] < an.
+            let xe = unsafe { *xc.get_unchecked(kv as usize).get() };
+            let ie = unsafe { *icc.get_unchecked(kv as usize).get() };
+            let ae = unsafe { *ac.get_unchecked(ie as usize).get() };
+            // Mul then add, matching the interpreter's FmaGather
+            // exactly (no fused multiply-add: rounding must agree).
+            s += xe * ae;
+            kv = kv.wrapping_add(1);
+        }
+    } else if kv >= 0 && lt <= xn && lt <= icn {
         // Hot path: the k-range is provably in bounds, only the
         // gathered index needs a per-element check.
         while kv < lt {
@@ -1115,8 +1811,6 @@ fn run_matvec(kind: &KernelKind, regs: &mut [Value]) -> Result<(), Bail> {
             }
             // SAFETY: ie bounds-checked just above.
             let ae = unsafe { *ac.get_unchecked(ie as usize).get() };
-            // Mul then add, matching the interpreter's FmaGather
-            // exactly (no fused multiply-add: rounding must agree).
             s += xe * ae;
             kv = kv.wrapping_add(1);
         }
@@ -1508,4 +2202,271 @@ fn run_scatter(kind: &KernelKind, regs: &mut [Value], consts: &[Value]) -> Resul
             return Ok(());
         }
     }
+}
+
+fn reg_arrf(regs: &[Value], r: Reg) -> Option<Arc<ArrF>> {
+    match &regs[r as usize] {
+        Value::ArrF(a) => Some(a.clone()),
+        _ => None,
+    }
+}
+
+/// The interpreter's `@intToFloat(@floatToInt(v))` pair: a saturating
+/// (NaN-to-zero) `as i64` cast widened straight back. This is the NPB
+/// truncation primitive the symbolic verifier proved the callee uses.
+#[inline(always)]
+fn npb_trunc(v: f64) -> f64 {
+    (v as i64) as f64
+}
+
+/// One NPB 46-bit LCG step, dataflow-identical to the verified callee
+/// (see [`lcg_canonical`]): every multiply and subtract below is a node
+/// of that DAG, so the result and the updated seed match the
+/// interpreted `randlc` call bit for bit. `a1`/`a2` only depend on the
+/// loop-invariant multiplier; the caller hoists them out of the batch.
+#[inline(always)]
+fn lcg_step(x: &mut f64, a1: f64, a2: f64) -> f64 {
+    const R23: f64 = 0.000_000_119_209_289_550_781_25;
+    const T23: f64 = 8_388_608.0;
+    const R46: f64 = R23 * R23;
+    const T46: f64 = T23 * T23;
+    let x1 = npb_trunc(R23 * *x);
+    let x2 = *x - T23 * x1;
+    let t1 = a1 * x2 + a2 * x1;
+    let t2 = npb_trunc(R23 * t1);
+    let z = t1 - T23 * t2;
+    let t3 = T23 * z + a2 * x2;
+    let t4 = npb_trunc(R46 * t3);
+    *x = t3 - T46 * t4;
+    R46 * *x
+}
+
+fn run_lcg_fill(kind: &KernelKind, regs: &mut [Value], consts: &[Value]) -> Result<(), Bail> {
+    const R23: f64 = 0.000_000_119_209_289_550_781_25;
+    const T23: f64 = 8_388_608.0;
+    let KernelKind::LcgFill {
+        tcell,
+        targ,
+        aarg,
+        areg,
+        res,
+        arr,
+        j,
+        lim,
+        nk,
+        k,
+    } = *kind
+    else {
+        return Err(BAIL_TYPE);
+    };
+    let (Some(xv), Some(mut jv), Some(nkv), Some(av)) = (
+        reg_arrf(regs, arr),
+        reg_int(regs, j),
+        reg_int(regs, nk),
+        reg_float(regs, areg),
+    ) else {
+        return Err(BAIL_TYPE);
+    };
+    let Some(Value::Int(c)) = consts.get(k as usize) else {
+        return Err(BAIL_TYPE);
+    };
+    // The head recomputes `lim = c * nk` every iteration with the
+    // interpreter's wrapping semantics; it is constant across the batch.
+    let limv = c.wrapping_mul(nkv);
+    let Value::Ptr(slot) = &regs[tcell as usize] else {
+        return Err(BAIL_TYPE);
+    };
+    let slot = slot.clone();
+    let mut t = match *slot.lock() {
+        Value::Float(v) => v,
+        _ => return Err(BAIL_TYPE),
+    };
+    // Seed-invariant halves of the multiplier, hoisted: the callee
+    // recomputes them per call from the same `a`, so the values are
+    // identical every iteration.
+    let a1 = npb_trunc(R23 * av);
+    let a2 = av - T23 * a1;
+    let xc = xv.cells();
+    let xn = xc.len() as i64;
+    let mut last: Option<f64> = None;
+    while jv < limv {
+        if jv < 0 || jv >= xn {
+            // Bail *before* this iteration's call: the replay performs
+            // the seed advance itself and then raises the store's
+            // out-of-bounds error. Only the state the replayed
+            // iteration reads is written back (`j` and the seed cell);
+            // the arg window and `res` are rewritten by the replay
+            // before anything reads them.
+            regs[j as usize] = Value::Int(jv);
+            regs[lim as usize] = Value::Int(limv);
+            *slot.lock() = Value::Float(t);
+            return Err(BAIL_BOUNDS);
+        }
+        let d = lcg_step(&mut t, a1, a2);
+        // SAFETY: jv bounds-checked just above; OpenMP no-data-race
+        // contract for the elements themselves.
+        unsafe { *xc.get_unchecked(jv as usize).get() = d };
+        last = Some(d);
+        jv = jv.wrapping_add(1);
+    }
+    // Normal exit. Interpreter frame state after the final guard: the
+    // call consumed the arg window (`Undefined`), the head re-ran
+    // `kmul` (so `lim` holds the Int limit even when it aliases
+    // `aarg`), and `res` holds the last deviate. Zero-trip entries
+    // only executed the head and the guard.
+    if last.is_some() {
+        regs[targ as usize] = Value::Undefined;
+        regs[aarg as usize] = Value::Undefined;
+    }
+    regs[lim as usize] = Value::Int(limv);
+    regs[j as usize] = Value::Int(jv);
+    if let Some(d) = last {
+        regs[res as usize] = Value::Float(d);
+    }
+    *slot.lock() = Value::Float(t);
+    Ok(())
+}
+
+/// Final-iteration temporary values for [`run_ep_pairs`] writeback.
+/// `any` is refreshed every iteration (both paths); `acc` only by
+/// iterations that pass the radius test, matching which registers the
+/// accept-path instructions define.
+#[derive(Clone, Copy)]
+struct EpLast {
+    x1: f64,
+    x2: f64,
+    tt: f64,
+    rd: f64,
+    re: f64,
+    rg: f64,
+    rh: f64,
+    rj: f64,
+}
+
+fn run_ep_pairs(kind: &KernelKind, regs: &mut [Value]) -> Result<(), Bail> {
+    let KernelKind::EpPairs {
+        i,
+        nk,
+        x,
+        q,
+        sx,
+        sy,
+        ra,
+        rb,
+        rc,
+        rd,
+        re,
+        rf,
+        rg,
+        rh,
+        ri,
+        rj,
+        rl,
+    } = *kind
+    else {
+        return Err(BAIL_TYPE);
+    };
+    let (Some(xv), Some(qv), Some(mut iv), Some(nkv), Some(mut sxv), Some(mut syv)) = (
+        reg_arrf(regs, x),
+        reg_arrf(regs, q),
+        reg_int(regs, i),
+        reg_int(regs, nk),
+        reg_float(regs, sx),
+        reg_float(regs, sy),
+    ) else {
+        return Err(BAIL_TYPE);
+    };
+    let xc = xv.cells();
+    let qc = qv.cells();
+    let xn = xc.len() as i64;
+    let qn = qc.len() as i64;
+    let bail = |regs: &mut [Value], iv: i64, sxv: f64, syv: f64, why: Bail| {
+        // Pre-iteration state only: every bail fires before the failing
+        // iteration's first side effect, and the replay recomputes the
+        // (deterministic) dataflow up to the identical error point.
+        regs[i as usize] = Value::Int(iv);
+        regs[sx as usize] = Value::Float(sxv);
+        regs[sy as usize] = Value::Float(syv);
+        Err(why)
+    };
+    let mut any;
+    let mut acc: Option<(f64, f64, i64)> = None;
+    // do-while: the loop head is the body's first instruction, so every
+    // dispatch runs at least one iteration (the guard sits before the
+    // BulkLoop and after the back-edge).
+    loop {
+        let ti = 2i64.wrapping_mul(iv);
+        let ti1 = ti.wrapping_add(1);
+        if ti < 0 || ti >= xn || ti1 < 0 || ti1 >= xn {
+            return bail(regs, iv, sxv, syv, BAIL_BOUNDS);
+        }
+        // SAFETY: ti and ti1 bounds-checked just above.
+        let e0 = unsafe { *xc.get_unchecked(ti as usize).get() };
+        let e1 = unsafe { *xc.get_unchecked(ti1 as usize).get() };
+        let x1 = 2.0 * e0 - 1.0;
+        let x2 = 2.0 * e1 - 1.0;
+        let tt = x1 * x1 + x2 * x2;
+        any = EpLast {
+            x1,
+            x2,
+            tt,
+            rd: 1.0,
+            re: tt,
+            rg: e1,
+            rh: 2.0 * e1,
+            rj: x2,
+        };
+        // NaN fails `<=` exactly like the interpreter's CmpJumpFalseFF.
+        if tt <= 1.0 {
+            let ratio = (-2.0 * tt.ln()) / tt;
+            let t2 = ratio.sqrt();
+            let t3 = x1 * t2;
+            let t4 = x2 * t2;
+            let a3 = t3.abs();
+            let a4 = t4.abs();
+            // f64::max, matching the interpreter's Max builtin.
+            let lv = a3.max(a4) as i64;
+            if lv < 0 || lv >= qn {
+                return bail(regs, iv, sxv, syv, BAIL_BOUNDS);
+            }
+            // SAFETY: lv bounds-checked just above.
+            unsafe {
+                let p = qc.get_unchecked(lv as usize).get();
+                *p += 1.0;
+            }
+            sxv += t3;
+            syv += t4;
+            any.rd = ratio;
+            any.re = t3;
+            any.rg = a3.max(a4);
+            any.rh = a3;
+            any.rj = t2;
+            acc = Some((t4, a4, lv));
+        }
+        iv = iv.wrapping_add(1);
+        if iv >= nkv {
+            break;
+        }
+    }
+    // Normal exit: write back the accumulators and every temporary with
+    // its exact final-iteration value. `rf`/`ri`/`rl` are only defined
+    // by accept-path instructions, so they keep their pre-loop values
+    // when every iteration of this run was rejected.
+    regs[i as usize] = Value::Int(iv);
+    regs[sx as usize] = Value::Float(sxv);
+    regs[sy as usize] = Value::Float(syv);
+    regs[ra as usize] = Value::Float(any.x1);
+    regs[rb as usize] = Value::Float(any.x2);
+    regs[rc as usize] = Value::Float(any.tt);
+    regs[rd as usize] = Value::Float(any.rd);
+    regs[re as usize] = Value::Float(any.re);
+    regs[rg as usize] = Value::Float(any.rg);
+    regs[rh as usize] = Value::Float(any.rh);
+    regs[rj as usize] = Value::Float(any.rj);
+    if let Some((t4, a4, lv)) = acc {
+        regs[rf as usize] = Value::Float(t4);
+        regs[ri as usize] = Value::Float(a4);
+        regs[rl as usize] = Value::Int(lv);
+    }
+    Ok(())
 }

@@ -5,12 +5,15 @@
 //! did — the compile-time half of the observability layer (the runtime
 //! half is `zomp::trace` / `zag --profile`):
 //!
-//! - **`kernel-installed`** — a loop lowered to one of the seven native
+//! - **`kernel-installed`** — a loop lowered to one of the nine native
 //!   bulk-kernel shapes (`--opt=3`), named.
 //! - **`kernel-missed`** — a loop that stayed interpreted, with a
 //!   machine-readable reason: `call-boundary` (naming every callee the
-//!   matcher stopped at — the EP port's `randlc` is the canonical
-//!   case), `unsupported-op`, `dynamic-type`, or `shape`.
+//!   matcher stopped at — the matcher sees *through* a call only when
+//!   the callee verifies as the NPB 46-bit LCG, so anything else is a
+//!   boundary), `unsupported-op`, `dynamic-type`, or `shape`. The same
+//!   rows are exported structurally via [`kernel_misses`] so bench
+//!   artifacts (`BENCH_tiers.json`) can embed them per loop.
 //! - **`typeck-summary` / `typeck-dynamic`** — per-function static
 //!   specialization outcome (`--opt>=2`): how many sites inference
 //!   proved Int/Float, and for each site left to runtime quickening,
@@ -123,7 +126,7 @@ fn kernel_remarks(source: &str, image: &Image, f: &CompiledFn, out: &mut Vec<Dia
         if is_protocol {
             continue;
         }
-        let (reason, note) = classify_miss(image, f, head, tail);
+        let (_, reason, note) = classify_miss(image, f, head, tail, &installed);
         let label = crate::kernels::loop_label(f, head);
         let mut d = Diag::remark(
             "kernel-missed",
@@ -142,15 +145,22 @@ fn kernel_remarks(source: &str, image: &Image, f: &CompiledFn, out: &mut Vec<Dia
 }
 
 /// Why the kernel matcher could not take a loop, most actionable
-/// reason first: a call boundary beats everything (inlining would be
-/// the fix), then an opcode no shape covers, then operand types the
-/// specializer could not prove, and finally a plain shape mismatch.
+/// reason first: a call boundary beats everything (verifying or
+/// inlining the callee would be the fix), then an opcode no shape
+/// covers, then operand types the specializer could not prove, and
+/// finally a plain shape mismatch. Returns `(slug, human reason,
+/// note)`; the slug is the stable machine-readable vocabulary
+/// promised in the module docs. Instructions inside an `installed`
+/// kernel span are skipped: they were subsumed by a `BulkLoop` and no
+/// longer block the *enclosing* loop, so naming them (e.g. the
+/// `randlc` call inside an installed `lcg-fill`) would be noise.
 fn classify_miss(
     image: &Image,
     f: &CompiledFn,
     head: usize,
     tail: usize,
-) -> (&'static str, String) {
+    installed: &[(usize, usize)],
+) -> (&'static str, &'static str, String) {
     let mut callees: Vec<String> = Vec::new();
     let mut push = |c: String| {
         if !callees.contains(&c) {
@@ -160,6 +170,9 @@ fn classify_miss(
     let mut dynamic: Option<&'static str> = None;
     let mut unsupported: Option<&'static str> = None;
     for pc in head..=tail.min(f.code.len().saturating_sub(1)) {
+        if installed.iter().any(|&(s, e)| pc >= s && pc < e) {
+            continue;
+        }
         match f.code[pc] {
             Insn::Call { func, .. } => push(format!("`{}`", image.funcs[func as usize].name)),
             Insn::CallValue { .. } => push("an indirect call".to_string()),
@@ -190,28 +203,95 @@ fn classify_miss(
     }
     if !callees.is_empty() {
         (
+            "call-boundary",
             "call boundary",
             format!(
-                "the matcher stops at calls; loop body calls {}",
+                "the matcher only sees through calls whose callee verifies as the \
+                 46-bit LCG; loop body calls {}",
                 callees.join(", ")
             ),
         )
     } else if let Some(op) = unsupported {
         (
+            "unsupported-op",
             "unsupported opcode",
             format!("`{op}` has no bulk-kernel lowering"),
         )
     } else if let Some(op) = dynamic {
         (
+            "dynamic-type",
             "dynamic operand types",
             format!("`{op}` operands were not statically proven Int/Float"),
         )
     } else {
         (
+            "shape",
             "shape mismatch",
-            "loop bounds/indexing structure matches none of the seven kernel shapes".to_string(),
+            "loop bounds/indexing structure matches none of the nine kernel shapes".to_string(),
         )
     }
+}
+
+/// One `kernel-missed` row in structural form, for bench artifacts
+/// (`tier-bench` embeds these in `BENCH_tiers.json` so a 0%-native
+/// loop self-explains without re-running `--remarks`).
+pub struct MissRow {
+    /// Enclosing function name.
+    pub func: String,
+    /// The worksharing pragma's `unit:line` label, `""` when the loop
+    /// sits outside any labelled pragma.
+    pub label: String,
+    /// Loop head pc in the final instruction stream.
+    pub head: usize,
+    /// Stable reason slug: `call-boundary`, `unsupported-op`,
+    /// `dynamic-type`, or `shape`.
+    pub reason: &'static str,
+    /// Human-readable detail (callee names, blocking opcode, ...).
+    pub note: String,
+}
+
+/// Recompile `source` at `--opt=3` and report every compute loop the
+/// kernel matcher left interpreted, with machine-readable reasons —
+/// the structural twin of the `kernel-missed` remarks.
+pub fn kernel_misses(source: &str, unit: &str) -> Result<Vec<MissRow>, Diag> {
+    let pre = zomp_front::preprocess::preprocess_named(source, unit)?;
+    let ast = zomp_front::parse(&pre)?;
+    let image = crate::compile::compile_image_opt(&ast, OptLevel::O3);
+    let mut rows = Vec::new();
+    for f in &image.funcs {
+        let installed: Vec<(usize, usize)> = f
+            .code
+            .iter()
+            .enumerate()
+            .filter_map(|(pc, insn)| match insn {
+                Insn::BulkLoop { kidx } => Some((pc, f.kernels[*kidx as usize].exit as usize)),
+                _ => None,
+            })
+            .collect();
+        for (head, tail) in loops_of(f) {
+            if installed.iter().any(|&(s, e)| head >= s && head < e) {
+                continue;
+            }
+            let is_protocol = (head..=tail).any(|pc| match f.code[pc] {
+                Insn::OmpCall { sym, .. } => {
+                    f.omp_syms[sym as usize].last().map(String::as_str) == Some("ws_next")
+                }
+                _ => false,
+            });
+            if is_protocol {
+                continue;
+            }
+            let (slug, _, note) = classify_miss(&image, f, head, tail, &installed);
+            rows.push(MissRow {
+                func: f.name.clone(),
+                label: crate::kernels::loop_label(f, head).to_string(),
+                head,
+                reason: slug,
+                note,
+            });
+        }
+    }
+    Ok(rows)
 }
 
 fn typeck_remarks(source: &str, f: &CompiledFn, sites: &[SiteOutcome], out: &mut Vec<Diag>) {

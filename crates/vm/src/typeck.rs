@@ -20,10 +20,24 @@
 //!
 //! The lattice is deliberately flat: `Bottom < {Int, Float, Bool, …}
 //! < Dynamic`. Joining two different concrete types goes straight to
-//! `Dynamic`; there is no subtyping. Calls are handled with an
-//! interprocedural return-type summary computed to fixpoint across
-//! the image (parameters are always `Dynamic` — `fork_call` and
-//! `CallValue` can pass anything).
+//! `Dynamic`, except inside the pointer and reduction families which
+//! collapse to their generic member (`Ptr` / `Red`) first. Calls are
+//! handled with interprocedural summaries computed to fixpoint across
+//! the image: a return type per function, and a parameter-type vector
+//! seeded from (in priority order) the source-level type annotations
+//! the parser recorded, then the join of every internal `Call` /
+//! `fork_call` argument. Parameters with neither — entry points only
+//! reachable from the host, and functions whose `Fn` value escapes
+//! first-class — stay `Dynamic`.
+//!
+//! Annotation-seeded and cell-content types (`*f64` params, `NewCell`
+//! of a known scalar) are *speculative*: Zag does not enforce
+//! annotations at call boundaries, and an aliased `CellSet` can
+//! change a cell's pointee type at any time. That is safe here for
+//! the same reason quickening is: every consumer of these facts —
+//! the specialized opcodes and the native kernels — re-checks types
+//! at runtime and deopts to the generic path, so a wrong guess costs
+//! speed, never behavior.
 
 use crate::bytecode::{BuiltinOp, CompiledFn, Image, Insn, PreOpt, Reg};
 use crate::ir;
@@ -46,8 +60,14 @@ pub enum Ty {
     ArrF,
     /// `[]i64` shared array.
     ArrI,
-    /// Boxed scalar cell (`Value::Ptr`).
+    /// Boxed scalar cell (`Value::Ptr`) of unknown pointee type.
     Ptr,
+    /// Pointer to an `f64`: a cell currently holding a float, or an
+    /// element pointer — either way `.*` yields `Float`. Speculative
+    /// (see module docs).
+    PtrF,
+    /// Pointer to an `i64`.
+    PtrI,
     /// Element pointer into a `[]f64` (`&a[i]`).
     ElemPtrF,
     /// Element pointer into a `[]i64`.
@@ -57,8 +77,12 @@ pub enum Ty {
     Void,
     /// Slot not yet initialised at runtime (`Value::Undefined`).
     Undef,
-    /// Reduction handle.
+    /// Reduction handle of unknown element type.
     Red,
+    /// Reduction handle over `i64` (seed was provably Int).
+    RedI,
+    /// Reduction handle over `f64`.
+    RedF,
     /// Work-sharing iterator handle.
     Ws,
     /// Dataflow ⊤: statically unknown; runtime quickening owns it.
@@ -66,13 +90,23 @@ pub enum Ty {
 }
 
 impl Ty {
-    /// Lattice join: `⊥ ∨ t = t`, `t ∨ t = t`, anything else is
+    /// Lattice join: `⊥ ∨ t = t`, `t ∨ t = t`; mismatches inside the
+    /// pointer family collapse to the widest member that still derefs
+    /// usefully (`PtrF`/`PtrI` when the pointee agrees, else `Ptr`),
+    /// reduction handles collapse to `Red`, anything else is
     /// `Dynamic`.
     pub fn join(self, other: Ty) -> Ty {
+        use Ty::*;
         match (self, other) {
-            (Ty::Bottom, t) | (t, Ty::Bottom) => t,
+            (Bottom, t) | (t, Bottom) => t,
             (a, b) if a == b => a,
-            _ => Ty::Dynamic,
+            (PtrF | ElemPtrF, PtrF | ElemPtrF) => PtrF,
+            (PtrI | ElemPtrI, PtrI | ElemPtrI) => PtrI,
+            (Ptr | PtrF | PtrI | ElemPtrF | ElemPtrI, Ptr | PtrF | PtrI | ElemPtrF | ElemPtrI) => {
+                Ptr
+            }
+            (Red | RedI | RedF, Red | RedI | RedF) => Red,
+            _ => Dynamic,
         }
     }
 
@@ -87,12 +121,16 @@ impl Ty {
             Ty::ArrF => "[]f64",
             Ty::ArrI => "[]i64",
             Ty::Ptr => "*any",
+            Ty::PtrF => "ptr.f64",
+            Ty::PtrI => "ptr.i64",
             Ty::ElemPtrF => "*f64",
             Ty::ElemPtrI => "*i64",
             Ty::FnRef => "fn",
             Ty::Void => "void",
             Ty::Undef => "undef",
             Ty::Red => "red",
+            Ty::RedI => "red.i64",
+            Ty::RedF => "red.f64",
             Ty::Ws => "ws",
             Ty::Dynamic => "dyn",
         }
@@ -109,6 +147,24 @@ impl Ty {
             Value::Undefined => Ty::Undef,
             _ => Ty::Dynamic,
         }
+    }
+
+    /// Static type named by a source-level annotation, `None` for
+    /// `any` and everything we do not model. `*f64`/`*i64` map to the
+    /// pointee-typed pointer variants: a `&local` argument and a
+    /// `&arr[i]` element pointer both deref to the annotated scalar.
+    pub fn of_decl(s: &str) -> Option<Ty> {
+        Some(match s {
+            "i64" => Ty::Int,
+            "f64" => Ty::Float,
+            "bool" => Ty::Bool,
+            "str" => Ty::Str,
+            "[]f64" => Ty::ArrF,
+            "[]i64" => Ty::ArrI,
+            "*f64" => Ty::PtrF,
+            "*i64" => Ty::PtrI,
+            _ => return None,
+        })
     }
 }
 
@@ -130,18 +186,61 @@ pub struct ImageTypes {
     /// Per-function return-type summaries (the fixpoint the `fns`
     /// environments were computed against).
     pub rets: Vec<Ty>,
+    /// Per-function parameter-type summaries: annotation pins plus
+    /// internal call-site evidence, `Dynamic` where neither exists.
+    pub params: Vec<Vec<Ty>>,
 }
 
 /// Run type inference over every function, iterating the
-/// interprocedural return summaries to fixpoint.
+/// interprocedural return and parameter summaries to fixpoint.
 pub fn infer_image(image: &Image) -> ImageTypes {
     let firs: Vec<ir::FnIr> = image.funcs.iter().map(ir::lift).collect();
-    let mut rets = vec![Ty::Bottom; image.funcs.len()];
+    let n = image.funcs.len();
+    let mut rets = vec![Ty::Bottom; n];
+    // A function whose `Fn` const appears in some pool is usable
+    // first-class: it can be stored, passed around, and invoked via
+    // `CallValue` with arguments we cannot enumerate. Compiler-
+    // generated outlined bodies are exempt — their consts pair only
+    // with `fork_call`, whose arguments the seeding pass reads.
+    let mut open = vec![false; n];
+    for f in &image.funcs {
+        for v in &f.consts {
+            if let Value::Fn(name) = v {
+                if let Some(&fi) = image.by_name.get(&**name) {
+                    if !image.funcs[fi].name.starts_with("__omp_outlined_") {
+                        open[fi] = true;
+                    }
+                }
+            }
+        }
+    }
+    // Source annotations pin a parameter's type outright (speculative,
+    // deopt-guarded — see module docs); everything else accumulates
+    // call-site evidence starting from ⊥.
+    let pins: Vec<Vec<Option<Ty>>> = image
+        .funcs
+        .iter()
+        .map(|f| f.param_tys.iter().map(|s| Ty::of_decl(s)).collect())
+        .collect();
+    let mut params: Vec<Vec<Ty>> = image
+        .funcs
+        .iter()
+        .enumerate()
+        .map(|(i, f)| {
+            (0..f.nparams)
+                .map(|j| match pins[i].get(j) {
+                    Some(&Some(t)) => t,
+                    _ if open[i] => Ty::Dynamic,
+                    _ => Ty::Bottom,
+                })
+                .collect()
+        })
+        .collect();
     loop {
-        let mut fns = Vec::with_capacity(image.funcs.len());
+        let mut fns = Vec::with_capacity(n);
         let mut changed = false;
         for (i, f) in image.funcs.iter().enumerate() {
-            let ft = infer_fn(f, &firs[i], &rets);
+            let ft = infer_fn(f, &firs[i], &rets, &params[i]);
             let joined = rets[i].join(ft.ret);
             if joined != rets[i] {
                 rets[i] = joined;
@@ -149,24 +248,206 @@ pub fn infer_image(image: &Image) -> ImageTypes {
             }
             fns.push(ft);
         }
-        // The summaries only ever move up the (two-level) lattice, so
-        // this converges in a handful of rounds; the environments
-        // returned are the ones computed against the final summaries.
-        if !changed {
-            return ImageTypes { fns, rets };
+        for (i, f) in image.funcs.iter().enumerate() {
+            seed_params(
+                f,
+                &firs[i],
+                &fns[i],
+                &rets,
+                image,
+                &pins,
+                &mut params,
+                &mut changed,
+            );
+        }
+        // Summaries only ever move up the lattice, so this converges
+        // in a handful of rounds.
+        if changed {
+            continue;
+        }
+        // A parameter still ⊥ has no internal caller and never will:
+        // the function is only reachable from the host, which can
+        // pass anything. Promoting may widen return summaries, so
+        // fall through into another fixpoint round.
+        let mut promoted = false;
+        for p in params.iter_mut().flat_map(|v| v.iter_mut()) {
+            if *p == Ty::Bottom {
+                *p = Ty::Dynamic;
+                promoted = true;
+            }
+        }
+        if !promoted {
+            return ImageTypes { fns, rets, params };
+        }
+    }
+}
+
+/// Register written by an instruction, if any — used to invalidate
+/// the `Fn`-const tracking in [`seed_params`].
+fn written_reg(insn: &Insn) -> Option<Reg> {
+    match *insn {
+        Insn::Const { dst, .. }
+        | Insn::Move { dst, .. }
+        | Insn::NewCell { dst, .. }
+        | Insn::CellGet { dst, .. }
+        | Insn::Deref { dst, .. }
+        | Insn::ElemAddr { dst, .. }
+        | Insn::AddrDeref { dst, .. }
+        | Insn::Index { dst, .. }
+        | Insn::IndexOff { dst, .. }
+        | Insn::IndexF { dst, .. }
+        | Insn::IndexI { dst, .. }
+        | Insn::Arith { dst, .. }
+        | Insn::ArithII { dst, .. }
+        | Insn::ArithFF { dst, .. }
+        | Insn::ArithK { dst, .. }
+        | Insn::ArithKL { dst, .. }
+        | Insn::IndexArith { dst, .. }
+        | Insn::FmaIdx { dst, .. }
+        | Insn::DerefFmaIdx { dst, .. }
+        | Insn::FmaIdxCC { dst, .. }
+        | Insn::FmaGather { dst, .. }
+        | Insn::DerefIndex { dst, .. }
+        | Insn::DerefIndexOff { dst, .. }
+        | Insn::Cmp { dst, .. }
+        | Insn::CmpII { dst, .. }
+        | Insn::CmpFF { dst, .. }
+        | Insn::Neg { dst, .. }
+        | Insn::Not { dst, .. }
+        | Insn::Truthy { dst, .. }
+        | Insn::Call { dst, .. }
+        | Insn::CallValue { dst, .. }
+        | Insn::OmpCall { dst, .. }
+        | Insn::Builtin { dst, .. } => Some(dst),
+        Insn::IncCmpJump { var, .. } | Insn::IncJump { var, .. } => Some(var),
+        _ => None,
+    }
+}
+
+/// Join call-site argument evidence into the parameter summaries.
+/// Walks every reachable block with the converged environments,
+/// tracking which registers provably hold a specific `Fn` const so
+/// `fork_call` and `CallValue` callees resolve without a CFG walk
+/// (the const is emitted adjacent to its use by codegen; losing track
+/// across a block boundary just costs evidence, never correctness).
+#[allow(clippy::too_many_arguments)]
+fn seed_params(
+    f: &CompiledFn,
+    fir: &ir::FnIr,
+    types: &FnTypes,
+    rets: &[Ty],
+    image: &Image,
+    pins: &[Vec<Option<Ty>>],
+    params: &mut [Vec<Ty>],
+    changed: &mut bool,
+) {
+    let join_arg = |params: &mut [Vec<Ty>], fi: usize, j: usize, t: Ty, changed: &mut bool| {
+        if pins[fi].get(j).is_some_and(|p| p.is_some()) {
+            return; // annotation pin wins over evidence
+        }
+        if let Some(slot) = params[fi].get_mut(j) {
+            let joined = slot.join(t);
+            if joined != *slot {
+                *slot = joined;
+                *changed = true;
+            }
+        }
+    };
+    for (b, blk) in fir.blocks.iter().enumerate() {
+        let Some(entry) = &types.entry[b] else {
+            continue;
+        };
+        let mut env = entry.clone();
+        let mut known_fn: Vec<Option<usize>> = vec![None; f.nregs];
+        for insn in &f.code[blk.start..=blk.end] {
+            // New Fn-const knowledge this instruction establishes.
+            let kf = match *insn {
+                Insn::Const { dst, k } => Some((
+                    dst,
+                    match &f.consts[k as usize] {
+                        Value::Fn(name) => image.by_name.get(&**name).copied(),
+                        _ => None,
+                    },
+                )),
+                Insn::Move { dst, src } => Some((dst, known_fn[src as usize])),
+                _ => None,
+            };
+            match *insn {
+                Insn::Call { func, base, n, .. } => {
+                    let fi = func as usize;
+                    for j in 0..(n as usize).min(image.funcs[fi].nparams) {
+                        join_arg(params, fi, j, env[base as usize + j], changed);
+                    }
+                }
+                Insn::CallValue {
+                    callee, base, n, ..
+                } => {
+                    if let Some(fi) = known_fn[callee as usize] {
+                        for j in 0..(n as usize).min(image.funcs[fi].nparams) {
+                            join_arg(params, fi, j, env[base as usize + j], changed);
+                        }
+                    }
+                    // Unknown callee: the target's Fn value escaped
+                    // first-class, so `open` already made it Dynamic.
+                }
+                Insn::OmpCall { sym, base, n, .. }
+                    if matches!(f.omp_syms[sym as usize].as_slice(),
+                        [a, b] if a == "internal" && b == "fork_call") =>
+                {
+                    // fork_call([label,] nt, fname, args...): the label
+                    // is statically a Str const when present, nt an
+                    // Int; anything else means we cannot trust the
+                    // layout, so contribute no evidence.
+                    let b0 = base as usize;
+                    let fnpos = match env.get(b0) {
+                        Some(Ty::Str) => Some(b0 + 2),
+                        Some(Ty::Int) => Some(b0 + 1),
+                        _ => None,
+                    };
+                    if let Some(fnpos) = fnpos.filter(|&p| p < b0 + n as usize) {
+                        if let Some(fi) = known_fn[fnpos] {
+                            let nargs = b0 + n as usize - (fnpos + 1);
+                            for j in 0..nargs.min(image.funcs[fi].nparams) {
+                                join_arg(params, fi, j, env[fnpos + 1 + j], changed);
+                            }
+                        }
+                    }
+                }
+                _ => {}
+            }
+            transfer(insn, &mut env, f, rets);
+            match kf {
+                Some((d, v)) => known_fn[d as usize] = v,
+                None => {
+                    if let Some(d) = written_reg(insn) {
+                        known_fn[d as usize] = None;
+                    }
+                }
+            }
+            // Argument windows are consumed by calls; their Fn-const
+            // knowledge dies with them.
+            if let Insn::Call { base, n, .. }
+            | Insn::CallValue { base, n, .. }
+            | Insn::OmpCall { base, n, .. } = *insn
+            {
+                for r in base..base + n as Reg {
+                    known_fn[r as usize] = None;
+                }
+            }
         }
     }
 }
 
 /// Forward dataflow over one function's blocks.
-fn infer_fn(f: &CompiledFn, fir: &ir::FnIr, rets: &[Ty]) -> FnTypes {
+fn infer_fn(f: &CompiledFn, fir: &ir::FnIr, rets: &[Ty], params: &[Ty]) -> FnTypes {
     let nb = fir.blocks.len();
     let mut entry: Vec<Option<Vec<Ty>>> = vec![None; nb];
     // Runtime truth at function entry: parameters hold caller values
-    // (anything), every other slot is Value::Undefined.
+    // (typed by the interprocedural summary), every other slot is
+    // Value::Undefined.
     let mut env0 = vec![Ty::Undef; f.nregs];
-    for t in env0.iter_mut().take(f.nparams) {
-        *t = Ty::Dynamic;
+    for (j, t) in env0.iter_mut().take(f.nparams).enumerate() {
+        *t = params.get(j).copied().unwrap_or(Ty::Dynamic);
     }
     entry[0] = Some(env0);
     let mut work = vec![0usize];
@@ -237,15 +518,37 @@ fn elem_ty(arr: Ty) -> Ty {
     }
 }
 
-/// Return type of an `omp.*` runtime call, by symbol path.
-fn omp_ret_ty(path: &[String]) -> Ty {
+/// Reduction-handle type for a seed value type.
+fn red_of(seed: Ty) -> Ty {
+    match seed {
+        Ty::Int => Ty::RedI,
+        Ty::Float => Ty::RedF,
+        _ => Ty::Red,
+    }
+}
+
+/// Element type carried by a reduction handle.
+fn red_elem(h: Ty) -> Ty {
+    match h {
+        Ty::RedI => Ty::Int,
+        Ty::RedF => Ty::Float,
+        _ => Ty::Dynamic,
+    }
+}
+
+/// Return type of an `omp.*` runtime call, by symbol path. `env`,
+/// `base` give the argument types at the site — the reduction
+/// builtins' results are typed by their seed/handle argument.
+fn omp_ret_ty(path: &[String], env: &[Ty], base: Reg) -> Ty {
     let parts: Vec<&str> = path.iter().map(|s| s.as_str()).collect();
+    let arg = |i: usize| env.get(base as usize + i).copied().unwrap_or(Ty::Dynamic);
     match parts.as_slice() {
         ["internal", name] => match *name {
             "ws_next" | "is_master" | "single_begin" => Ty::Bool,
             "ws_lb" | "ws_ub" | "trip_count" | "if_threads" => Ty::Int,
-            "ws_begin" => Ty::Ws,
-            "red_cell" | "red_loop_begin" => Ty::Red,
+            "ws_begin" | "ws_begin_bulk" => Ty::Ws,
+            "red_cell" | "red_loop_begin" => red_of(arg(1)),
+            "red_identity" | "red_get" | "red_loop_end" => red_elem(arg(0)),
             "ws_fini" | "barrier" | "single_end" | "critical_enter" | "critical_exit"
             | "atomic_rmw" | "red_combine" | "fork_call" => Ty::Void,
             _ => Ty::Dynamic,
@@ -277,13 +580,30 @@ fn transfer(insn: &Insn, env: &mut [Ty], f: &CompiledFn, rets: &[Ty]) {
     match *insn {
         Insn::Const { dst, k } => set(env, dst, Ty::of_const(&f.consts[k as usize])),
         Insn::Move { dst, src } => set(env, dst, get(env, src)),
-        Insn::NewCell { dst, .. } => set(env, dst, Ty::Ptr),
-        Insn::CellGet { dst, .. } => set(env, dst, Ty::Dynamic),
+        Insn::NewCell { dst, src } => {
+            // The cell's pointee type is the boxed value's type at
+            // creation — speculative past any aliased CellSet (module
+            // docs), which the deopt arms absorb.
+            let t = match get(env, src) {
+                Ty::Float => Ty::PtrF,
+                Ty::Int => Ty::PtrI,
+                _ => Ty::Ptr,
+            };
+            set(env, dst, t);
+        }
+        Insn::CellGet { dst, cell } => {
+            let t = match get(env, cell) {
+                Ty::PtrF => Ty::Float,
+                Ty::PtrI => Ty::Int,
+                _ => Ty::Dynamic,
+            };
+            set(env, dst, t);
+        }
         Insn::CellSet { .. } | Insn::StorePtr { .. } => {}
         Insn::Deref { dst, ptr } => {
             let t = match get(env, ptr) {
-                Ty::ElemPtrF => Ty::Float,
-                Ty::ElemPtrI => Ty::Int,
+                Ty::ElemPtrF | Ty::PtrF => Ty::Float,
+                Ty::ElemPtrI | Ty::PtrI => Ty::Int,
                 _ => Ty::Dynamic,
             };
             set(env, dst, t);
@@ -298,7 +618,7 @@ fn transfer(insn: &Insn, env: &mut [Ty], f: &CompiledFn, rets: &[Ty]) {
         }
         Insn::AddrDeref { dst, src } => {
             let t = match get(env, src) {
-                t @ (Ty::Ptr | Ty::ElemPtrF | Ty::ElemPtrI) => t,
+                t @ (Ty::Ptr | Ty::PtrF | Ty::PtrI | Ty::ElemPtrF | Ty::ElemPtrI) => t,
                 _ => Ty::Dynamic,
             };
             set(env, dst, t);
@@ -374,8 +694,10 @@ fn transfer(insn: &Insn, env: &mut [Ty], f: &CompiledFn, rets: &[Ty]) {
             set(env, dst, Ty::Dynamic);
         }
         Insn::OmpCall { dst, sym, base, n } => {
+            // Result typing reads the argument types, so compute it
+            // before the argument window is consumed.
+            let t = omp_ret_ty(&f.omp_syms[sym as usize], env, base);
             clear_args(env, base, n);
-            let t = omp_ret_ty(&f.omp_syms[sym as usize]);
             set(env, dst, t);
         }
         Insn::Builtin {

@@ -13,6 +13,7 @@
 //! (debug = checked, production = unchecked).
 
 use std::cell::UnsafeCell;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 use parking_lot::Mutex;
@@ -50,6 +51,16 @@ macro_rules! shared_array {
         pub struct $name {
             data: Box<[UnsafeCell<$elem>]>,
             checked: bool,
+            /// Write seqlock for [`Self::range_hint`]. `0` = hint
+            /// tracking inactive (the common case: `set` pays one
+            /// relaxed load and nothing else). Activated lazily by the
+            /// first `range_hint` call; from then on every write
+            /// brackets itself with two `+1` bumps (odd = in flight),
+            /// so a cached scan is provably from a quiescent array.
+            stamp: AtomicU64,
+            /// Last successful scan: `(stamp it was taken at, min, max)`.
+            #[allow(dead_code)] // only the int variant is consulted today
+            hint: Mutex<Option<(u64, $elem, $elem)>>,
         }
 
         // SAFETY: cross-thread element access is governed by the OpenMP
@@ -63,6 +74,8 @@ macro_rules! shared_array {
                 Self {
                     data,
                     checked: safety_mode() != SafetyMode::Production,
+                    stamp: AtomicU64::new(0),
+                    hint: Mutex::new(None),
                 }
             }
 
@@ -97,9 +110,93 @@ macro_rules! shared_array {
             #[inline]
             pub fn set(&self, i: i64, v: $elem) -> VmResult<()> {
                 let i = self.check(i)?;
+                let tracked = self.stamp.load(Ordering::Relaxed) != 0;
+                if tracked {
+                    self.stamp.fetch_add(1, Ordering::Release);
+                }
                 // SAFETY: as for `get`.
                 unsafe { *self.data.get_unchecked(i).get() = v };
+                if tracked {
+                    self.stamp.fetch_add(1, Ordering::Release);
+                }
                 Ok(())
+            }
+
+            /// Bracket a raw bulk write (a kernel storing through
+            /// [`Self::cells`]) so concurrent/later [`Self::range_hint`]
+            /// scans can't cache a stale range. Returns whether the
+            /// stamp was bumped; pass that to [`Self::write_fence_end`]
+            /// (tracking may activate mid-kernel, and the end bump must
+            /// pair with the begin bump to keep the stamp even).
+            pub(crate) fn write_fence_begin(&self) -> bool {
+                let tracked = self.stamp.load(Ordering::Relaxed) != 0;
+                if tracked {
+                    self.stamp.fetch_add(1, Ordering::Release);
+                }
+                tracked
+            }
+
+            pub(crate) fn write_fence_end(&self, bumped: bool) {
+                if bumped {
+                    self.stamp.fetch_add(1, Ordering::Release);
+                }
+            }
+
+            /// `(min, max)` over all elements, cached against the write
+            /// seqlock: the scan is O(n) once and O(1) on every later
+            /// call until a write bumps the stamp. `None` when the
+            /// array is empty, a write is in flight, or a write raced
+            /// the scan — callers fall back to per-element checks.
+            ///
+            /// The first call activates write tracking (stamp 0 → 2);
+            /// a writer racing that very activation may skip its bump,
+            /// which is the same program-level data race the raw
+            /// element accesses already exclude by the OpenMP no-race
+            /// contract, so a hint cached here is sound for any
+            /// contract-abiding program.
+            #[allow(dead_code)] // only the int variant is consulted today
+            pub(crate) fn range_hint(&self) -> Option<($elem, $elem)> {
+                if self.data.is_empty() {
+                    return None;
+                }
+                let mut s0 = self.stamp.load(Ordering::Acquire);
+                if s0 == 0 {
+                    s0 =
+                        match self
+                            .stamp
+                            .compare_exchange(0, 2, Ordering::AcqRel, Ordering::Acquire)
+                        {
+                            Ok(_) => 2,
+                            Err(cur) => cur,
+                        };
+                }
+                if s0 & 1 == 1 {
+                    return None;
+                }
+                if let Some((s, lo, hi)) = *self.hint.lock() {
+                    if s == s0 {
+                        return Some((lo, hi));
+                    }
+                }
+                // SAFETY: non-empty checked above; reads are raw under
+                // the no-race contract, and the stamp recheck below
+                // rejects the scan if any tracked write overlapped it.
+                let mut lo = unsafe { *self.data.get_unchecked(0).get() };
+                let mut hi = lo;
+                for c in self.data.iter() {
+                    let v = unsafe { *c.get() };
+                    if v < lo {
+                        lo = v;
+                    }
+                    if v > hi {
+                        hi = v;
+                    }
+                }
+                if self.stamp.load(Ordering::Acquire) != s0 {
+                    return None;
+                }
+                *self.hint.lock() = Some((s0, lo, hi));
+                Some((lo, hi))
             }
 
             /// Raw element storage for the `--opt=3` bulk kernels
@@ -234,6 +331,11 @@ pub struct WsState {
     /// between `ws_next` calls, so the span closes on the next claim or at
     /// fini (the split-phase pattern of `team::WsDispatch`).
     pub pending: Option<(u64, u64, u64)>,
+    /// Bulk-claim mode (`omp.internal.ws_begin_bulk`, installed by the
+    /// `--opt=3` kernel tier when the chunk body is a single native
+    /// kernel): dynamic claims take whole owner batches while the
+    /// work-stealing deck is uncontended.
+    pub greedy: bool,
 }
 
 pub enum WsMode {

@@ -79,8 +79,9 @@ fn mixed_reassignment_stays_dynamic_and_deopts() {
 }
 
 /// `&x` boxes the local: inference types its register as a cell pointer
-/// at every block boundary after the `newcell`, and reads through it stay
-/// `Dynamic` (no static specialization of derefed arithmetic).
+/// at every block boundary after the `newcell` (the pointee-typed
+/// `ptr.i64` when the seed is provably Int, the generic `*any`
+/// otherwise).
 #[test]
 fn address_taken_local_is_ptr() {
     let src = r#"fn main() void {
@@ -106,7 +107,7 @@ fn address_taken_local_is_ptr() {
         .entry
         .iter()
         .flatten()
-        .any(|env| env[xreg as usize] == Ty::Ptr);
+        .any(|env| matches!(env[xreg as usize], Ty::Ptr | Ty::PtrI | Ty::PtrF));
     assert!(
         saw_ptr,
         "boxed local never inferred as Ptr at a block entry"
