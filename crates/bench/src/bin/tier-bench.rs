@@ -240,7 +240,23 @@ fn smoke() -> ! {
 }
 
 fn main() {
-    let arg = std::env::args().nth(1);
+    // Shared execution flags (`--threads`, `--schedule`, `--trace`,
+    // `--metrics`, `--safety`) go through the common builder; what is
+    // left is `--smoke` or the output path.
+    let mut cfg = zomp::ExecConfig::new();
+    let mut arg: Option<String> = None;
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        match cfg.parse_flag(&a, &mut it) {
+            Ok(true) => continue,
+            Ok(false) => arg = Some(a),
+            Err(e) => {
+                eprintln!("tier-bench: {e}");
+                std::process::exit(2);
+            }
+        }
+    }
+    cfg.apply_global();
     if arg.as_deref() == Some("--smoke") {
         smoke();
     }

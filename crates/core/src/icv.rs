@@ -4,13 +4,13 @@
 //! that govern the behaviour of the runtime: the default team size
 //! (`nthreads-var`), the schedule applied by `schedule(runtime)`
 //! (`run-sched-var`), whether the implementation may adjust team sizes
-//! (`dyn-var`), and so on. They are seeded from the environment
-//! (`OMP_NUM_THREADS`, `OMP_SCHEDULE`, `OMP_DYNAMIC`) exactly once, and can
-//! subsequently be modified through the [`crate::omp`] functions
+//! (`dyn-var`), and so on. Each [`crate::runtime::Runtime`] owns one
+//! [`Icvs`] block, seeded from [`crate::runtime::RuntimeConfig`] (the
+//! environment, for [`crate::runtime::Runtime::new`]) at construction and
+//! subsequently modified through the [`crate::omp`] functions
 //! (`set_num_threads`, `set_schedule`, ...).
 
 use std::sync::atomic::{AtomicBool, AtomicI64, AtomicUsize, Ordering};
-use std::sync::OnceLock;
 
 use crate::schedule::{Schedule, ScheduleKind};
 
@@ -19,7 +19,7 @@ use crate::schedule::{Schedule, ScheduleKind};
 /// oversubscription so strong-scaling tests work on small hosts.
 pub const MAX_THREADS_LIMIT: usize = 512;
 
-/// The global ICV block.
+/// One ICV block (one per [`crate::runtime::Runtime`]).
 ///
 /// All fields are atomics so that the `omp_set_*` API can be called from any
 /// thread without locking, mirroring libomp's global ICV handling for the
@@ -41,11 +41,11 @@ pub struct Icvs {
     num_procs: usize,
 }
 
-fn parse_env_usize(name: &str) -> Option<usize> {
+pub(crate) fn parse_env_usize(name: &str) -> Option<usize> {
     std::env::var(name).ok()?.trim().parse().ok()
 }
 
-fn parse_env_bool(name: &str) -> Option<bool> {
+pub(crate) fn parse_env_bool(name: &str) -> Option<bool> {
     let v = std::env::var(name).ok()?;
     match v.trim().to_ascii_lowercase().as_str() {
         "true" | "1" | "yes" | "on" => Some(true),
@@ -108,36 +108,48 @@ pub(crate) fn decode_sched(v: usize) -> ScheduleKind {
     }
 }
 
+impl Default for Icvs {
+    fn default() -> Self {
+        Icvs::with_overrides(None, None, None)
+    }
+}
+
 impl Icvs {
-    fn from_env() -> Self {
+    /// Construct an ICV block with explicit overrides; `None` fields take
+    /// the OpenMP defaults (team size = detected hardware concurrency,
+    /// `dyn-var` = false, `run-sched-var` = static). Environment handling
+    /// lives in [`crate::runtime::RuntimeConfig::from_env`] so nothing here
+    /// is latched per process.
+    pub fn with_overrides(
+        nthreads: Option<usize>,
+        dynamic: Option<bool>,
+        run_schedule: Option<Schedule>,
+    ) -> Self {
         let num_procs = std::thread::available_parallelism()
             .map(|n| n.get())
             .unwrap_or(1);
-        let nthreads = parse_env_usize("OMP_NUM_THREADS")
+        let nthreads = nthreads
             .filter(|&n| n >= 1)
             .unwrap_or(num_procs)
             .min(MAX_THREADS_LIMIT);
-        let sched = std::env::var("OMP_SCHEDULE")
-            .ok()
-            .map(|s| parse_omp_schedule(&s))
-            .unwrap_or(Schedule {
-                kind: ScheduleKind::Static,
-                chunk: None,
-            });
+        let sched = run_schedule.unwrap_or(Schedule {
+            kind: ScheduleKind::Static,
+            chunk: None,
+        });
         Icvs {
             nthreads: AtomicUsize::new(nthreads),
-            dynamic: AtomicBool::new(parse_env_bool("OMP_DYNAMIC").unwrap_or(false)),
+            dynamic: AtomicBool::new(dynamic.unwrap_or(false)),
             run_sched_kind: AtomicUsize::new(encode_sched(sched.kind)),
             run_sched_chunk: AtomicI64::new(sched.chunk.unwrap_or(0)),
             num_procs,
         }
     }
 
-    /// The process-wide ICV block, initialised from the environment on first
-    /// use.
+    /// The default runtime's ICV block.
+    #[deprecated(note = "process-global ICVs cannot isolate concurrent programs; \
+                use `Runtime::global().icvs()` or a per-instance `Runtime`")]
     pub fn global() -> &'static Icvs {
-        static ICVS: OnceLock<Icvs> = OnceLock::new();
-        ICVS.get_or_init(Icvs::from_env)
+        crate::runtime::Runtime::global().icvs()
     }
 
     /// `nthreads-var`.
@@ -236,14 +248,27 @@ mod tests {
 
     #[test]
     fn global_icvs_are_sane() {
-        let icvs = Icvs::global();
+        let icvs = crate::runtime::Runtime::global().icvs();
         assert!(icvs.num_threads() >= 1);
         assert!(icvs.num_procs() >= 1);
     }
 
     #[test]
+    fn overrides_apply_and_clamp() {
+        let icvs = Icvs::with_overrides(Some(3), Some(true), Some(Schedule::dynamic(Some(2))));
+        assert_eq!(icvs.num_threads(), 3);
+        assert!(icvs.dynamic());
+        assert_eq!(icvs.run_schedule().kind, ScheduleKind::Dynamic);
+        // A zero override is invalid and falls back to the default.
+        let icvs = Icvs::with_overrides(Some(0), None, None);
+        assert!(icvs.num_threads() >= 1);
+        let icvs = Icvs::with_overrides(Some(usize::MAX), None, None);
+        assert_eq!(icvs.num_threads(), MAX_THREADS_LIMIT);
+    }
+
+    #[test]
     fn set_num_threads_clamps() {
-        let icvs = Icvs::from_env();
+        let icvs = Icvs::default();
         icvs.set_num_threads(0);
         assert_eq!(icvs.num_threads(), 1);
         icvs.set_num_threads(usize::MAX);
@@ -252,7 +277,7 @@ mod tests {
 
     #[test]
     fn run_schedule_roundtrip() {
-        let icvs = Icvs::from_env();
+        let icvs = Icvs::default();
         icvs.set_run_schedule(Schedule {
             kind: ScheduleKind::Guided,
             chunk: Some(5),
@@ -264,7 +289,7 @@ mod tests {
 
     #[test]
     fn runtime_in_run_sched_normalises_to_static() {
-        let icvs = Icvs::from_env();
+        let icvs = Icvs::default();
         icvs.set_run_schedule(Schedule {
             kind: ScheduleKind::Runtime,
             chunk: None,

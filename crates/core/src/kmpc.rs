@@ -112,7 +112,7 @@ pub fn dispatch_init<'a, 'b>(
     trip: u64,
 ) -> Result<DispatchHandle<'a, 'b>, ScheduleError> {
     let sched = if sched.kind == ScheduleKind::Runtime {
-        crate::icv::Icvs::global().run_schedule()
+        ctx.runtime().icvs().run_schedule()
     } else {
         sched
     };

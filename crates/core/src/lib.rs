@@ -50,12 +50,14 @@
 
 pub mod atomic;
 pub mod barrier;
+pub mod config;
 pub mod icv;
 pub mod kmpc;
 pub mod omp;
 pub mod pad;
 pub mod profile;
 pub mod reduction;
+pub mod runtime;
 pub mod safety;
 pub mod schedule;
 pub mod shared;
@@ -65,9 +67,11 @@ pub mod threadprivate;
 pub mod trace;
 pub mod workshare;
 
+pub use config::ExecConfig;
 pub use reduction::RedOp;
+pub use runtime::{Runtime, RuntimeConfig};
 pub use schedule::{LoopBounds, Schedule, ScheduleKind};
-pub use team::{fork_call, Parallel, ThreadCtx};
+pub use team::{fork_call, fork_call_rt, Parallel, ThreadCtx};
 pub use trace::MetricsSnapshot;
 pub use workshare::{parallel_for, parallel_reduce};
 

@@ -13,11 +13,17 @@
 //! omp::Schedule::dynamic(Some(4)))` needs one import. Functions follow
 //! the OpenMP 5.2 definitions; outside a parallel region the querying
 //! functions return the sequential values (thread 0 of a team of 1).
+//!
+//! Every ICV-touching function here is a thin wrapper over
+//! [`Runtime::current`]: inside a region (or an explicit [`Runtime::enter`]
+//! scope) it reads and writes *that* runtime's ICVs; everywhere else it
+//! falls back to the default global instance, so standalone callers behave
+//! exactly as before the per-instance redesign.
 
 use std::sync::OnceLock;
 use std::time::Instant;
 
-use crate::icv::Icvs;
+use crate::runtime::Runtime;
 use crate::team;
 
 pub use crate::schedule::{Schedule, ScheduleKind};
@@ -34,17 +40,17 @@ pub fn get_num_threads() -> usize {
 
 /// `omp_get_max_threads`: team size the next region would get.
 pub fn get_max_threads() -> usize {
-    Icvs::global().num_threads()
+    Runtime::current().icvs().num_threads()
 }
 
 /// `omp_set_num_threads`.
 pub fn set_num_threads(n: usize) {
-    Icvs::global().set_num_threads(n);
+    Runtime::current().icvs().set_num_threads(n);
 }
 
 /// `omp_get_num_procs`.
 pub fn get_num_procs() -> usize {
-    Icvs::global().num_procs()
+    Runtime::current().icvs().num_procs()
 }
 
 /// `omp_in_parallel`.
@@ -59,22 +65,22 @@ pub fn get_level() -> usize {
 
 /// `omp_get_dynamic`.
 pub fn get_dynamic() -> bool {
-    Icvs::global().dynamic()
+    Runtime::current().icvs().dynamic()
 }
 
 /// `omp_set_dynamic`.
 pub fn set_dynamic(v: bool) {
-    Icvs::global().set_dynamic(v);
+    Runtime::current().icvs().set_dynamic(v);
 }
 
 /// `omp_get_schedule`: the `run-sched-var` consulted by `schedule(runtime)`.
 pub fn get_schedule() -> Schedule {
-    Icvs::global().run_schedule()
+    Runtime::current().icvs().run_schedule()
 }
 
 /// `omp_set_schedule`.
 pub fn set_schedule(s: Schedule) {
-    Icvs::global().set_run_schedule(s);
+    Runtime::current().icvs().set_run_schedule(s);
 }
 
 fn epoch() -> Instant {
@@ -136,5 +142,23 @@ mod tests {
         set_num_threads(5);
         assert_eq!(get_max_threads(), 5);
         set_num_threads(prev);
+    }
+
+    #[test]
+    fn facade_follows_entered_runtime() {
+        use crate::runtime::{Runtime, RuntimeConfig};
+        let rt = Runtime::with_config(&RuntimeConfig::default().num_threads(2));
+        {
+            let _g = rt.enter();
+            assert_eq!(get_max_threads(), 2);
+            // 129 is a value no other test (and no plausible host) uses, so
+            // the cross-check below cannot race with parallel tests that
+            // legitimately mutate the global ICVs.
+            set_num_threads(129);
+            assert_eq!(get_max_threads(), 129);
+        }
+        // The entered runtime absorbed the write; the global one did not.
+        assert_eq!(rt.icvs().num_threads(), 129);
+        assert_ne!(Runtime::global().icvs().num_threads(), 129);
     }
 }

@@ -1,44 +1,29 @@
 //! `critical` sections and the `omp_*` lock API.
 //!
 //! `critical` regions are mutual exclusion keyed by name: all unnamed
-//! criticals share one global lock, and every distinct name gets its own —
-//! exactly the libomp `__kmpc_critical(ident, lock)` semantics. The lock API
-//! mirrors `omp_init_lock` / `omp_set_lock` / `omp_unset_lock` /
-//! `omp_test_lock` and the nestable variants.
+//! criticals share one lock, and every distinct name gets its own —
+//! exactly the libomp `__kmpc_critical(ident, lock)` semantics. The lock
+//! registries are owned by [`crate::runtime::Runtime`] (programs on
+//! different runtimes cannot contend); the free functions here are thin
+//! wrappers over [`Runtime::current`]. The lock API mirrors
+//! `omp_init_lock` / `omp_set_lock` / `omp_unset_lock` / `omp_test_lock`
+//! and the nestable variants.
 
-use std::collections::HashMap;
-use std::sync::{Arc, OnceLock};
 use std::thread::ThreadId;
 
 use parking_lot::lock_api::RawMutex as _;
 use parking_lot::{Condvar, Mutex, RawMutex};
 
-/// Registry of named critical-section locks.
-fn critical_registry() -> &'static Mutex<HashMap<String, Arc<Mutex<()>>>> {
-    static REG: OnceLock<Mutex<HashMap<String, Arc<Mutex<()>>>>> = OnceLock::new();
-    REG.get_or_init(|| Mutex::new(HashMap::new()))
-}
+use crate::runtime::Runtime;
 
-/// The single lock shared by all *unnamed* `critical` constructs.
-fn unnamed_critical() -> &'static Mutex<()> {
-    static LOCK: OnceLock<Mutex<()>> = OnceLock::new();
-    LOCK.get_or_init(|| Mutex::new(()))
-}
-
-/// Execute `f` inside an unnamed `critical` section.
+/// Execute `f` inside the current runtime's unnamed `critical` section.
 pub fn critical<R>(f: impl FnOnce() -> R) -> R {
-    let _g = unnamed_critical().lock();
-    f()
+    Runtime::current().critical(f)
 }
 
-/// Execute `f` inside the `critical(name)` section.
+/// Execute `f` inside the current runtime's `critical(name)` section.
 pub fn critical_named<R>(name: &str, f: impl FnOnce() -> R) -> R {
-    let lock = {
-        let mut reg = critical_registry().lock();
-        Arc::clone(reg.entry(name.to_string()).or_default())
-    };
-    let _g = lock.lock();
-    f()
+    Runtime::current().critical_named(name, f)
 }
 
 /// A simple (non-nestable) OpenMP lock: `omp_init_lock` et al.

@@ -23,6 +23,7 @@ use parking_lot::{Condvar, Mutex};
 
 use crate::barrier::{Barrier, Latch};
 use crate::icv::Icvs;
+use crate::runtime::Runtime;
 use crate::schedule::{ChunkOrigin, DynamicDispatch, GuidedDispatch};
 use crate::trace;
 
@@ -109,12 +110,16 @@ pub struct TeamShared {
     /// Region label (pragma `file:line` or `.label()`), carried so worker
     /// threads can tag their implicit-task trace spans.
     label: &'static str,
+    /// The runtime this team is bound to: workers enter it so ICV queries,
+    /// `schedule(runtime)` resolution, and `critical` sections inside the
+    /// region all resolve against the forking runtime, not a process global.
+    runtime: Arc<Runtime>,
     /// First panic payload raised inside the region, re-thrown by the master.
     panic_payload: Mutex<Option<Box<dyn std::any::Any + Send>>>,
 }
 
 impl TeamShared {
-    fn new(nthreads: usize, label: &'static str) -> Self {
+    fn new(nthreads: usize, label: &'static str, runtime: Arc<Runtime>) -> Self {
         let slots = (0..NUM_CONSTRUCT_SLOTS)
             .map(|k| ConstructSlot {
                 gen: AtomicU64::new(k as u64),
@@ -127,12 +132,18 @@ impl TeamShared {
             barrier: Barrier::new(nthreads),
             slots,
             label,
+            runtime,
             panic_payload: Mutex::new(None),
         }
     }
 
     pub fn num_threads(&self) -> usize {
         self.nthreads
+    }
+
+    /// The runtime this team was forked from.
+    pub fn runtime(&self) -> &Arc<Runtime> {
+        &self.runtime
     }
 
     /// Wait until the ring slot for construct `c` is available and return it.
@@ -212,6 +223,12 @@ impl<'a> ThreadCtx<'a> {
     #[inline]
     pub fn is_master(&self) -> bool {
         self.tid == 0
+    }
+
+    /// The [`Runtime`] this thread's team is bound to.
+    #[inline]
+    pub fn runtime(&self) -> &Arc<Runtime> {
+        self.team.runtime()
     }
 
     /// Explicit `omp barrier`.
@@ -349,7 +366,7 @@ impl<'a> ThreadCtx<'a> {
     ) -> WsDispatch {
         use crate::schedule::{DynamicDispatch, GuidedDispatch, ScheduleKind};
         let sched = if sched.kind == ScheduleKind::Runtime {
-            crate::icv::Icvs::global().run_schedule()
+            self.team.runtime.icvs().run_schedule()
         } else {
             sched
         };
@@ -562,6 +579,10 @@ fn worker_loop(slot: Arc<WorkerSlot>) {
         let job = slot.take();
         let result = panic::catch_unwind(AssertUnwindSafe(|| {
             let ctx = ThreadCtx::new(job.tid, &job.team);
+            // Bind the forking runtime on this pool thread for the region's
+            // duration: the pool is shared by all runtimes, so the binding
+            // must travel with the job, not live on the thread.
+            let _rt = job.team.runtime.enter();
             with_region_state(job.tid, job.team.nthreads, || {
                 let t0 = trace::stamp();
                 // SAFETY: the master blocks on `job.latch` until we count
@@ -697,12 +718,12 @@ impl Parallel {
         self
     }
 
-    fn resolve_team_size(&self) -> usize {
+    fn resolve_team_size(&self, icvs: &Icvs) -> usize {
         if !self.if_clause {
             return 1;
         }
         self.num_threads
-            .unwrap_or_else(|| Icvs::global().num_threads())
+            .unwrap_or_else(|| icvs.num_threads())
             .clamp(1, crate::icv::MAX_THREADS_LIMIT)
     }
 }
@@ -726,10 +747,28 @@ pub fn fork_call<F>(par: Parallel, f: F)
 where
     F: for<'x> Fn(&ThreadCtx<'x>) + Sync,
 {
+    fork_call_rt(&Runtime::current(), par, f)
+}
+
+/// [`fork_call`] against an explicit [`Runtime`] instance: the team's ICVs,
+/// `critical` registries, and `schedule(runtime)` resolution all come from
+/// `rt`, and every team thread has `rt` as [`Runtime::current`] for the
+/// region's duration. This is the entry point a multi-tenant host (`zagd`)
+/// uses to run concurrent programs with isolated runtime state over one
+/// shared worker pool.
+#[track_caller]
+pub fn fork_call_rt<F>(rt: &Arc<Runtime>, par: Parallel, f: F)
+where
+    F: for<'x> Fn(&ThreadCtx<'x>) + Sync,
+{
     let caller = std::panic::Location::caller();
-    trace::init_from_env();
+    rt.init_sinks_from_env();
     let nested = current_region().is_some();
-    let n = if nested { 1 } else { par.resolve_team_size() };
+    let n = if nested {
+        1
+    } else {
+        par.resolve_team_size(rt.icvs())
+    };
 
     // Region instrumentation (the paper's proposed profiling support):
     // one relaxed load when disabled, label resolution only when on.
@@ -757,13 +796,14 @@ where
     };
 
     if n == 1 {
-        let team = TeamShared::new(1, label);
+        let team = TeamShared::new(1, label, Arc::clone(rt));
         let ctx = ThreadCtx::new(0, &team);
+        let _rt = rt.enter();
         with_region_state(0, 1, || f(&ctx));
         return;
     }
 
-    let team = Arc::new(TeamShared::new(n, label));
+    let team = Arc::new(TeamShared::new(n, label, Arc::clone(rt)));
     let latch = Arc::new(Latch::new(n - 1));
     let fref: &(dyn for<'x> Fn(&ThreadCtx<'x>) + Sync) = &f;
     // SAFETY: we erase the lifetime, then guarantee liveness by not
@@ -787,6 +827,7 @@ where
 
     let master_result = panic::catch_unwind(AssertUnwindSafe(|| {
         let ctx = ThreadCtx::new(0, &team);
+        let _rt = rt.enter();
         with_region_state(0, n, || f(&ctx));
     }));
 

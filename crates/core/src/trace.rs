@@ -1175,109 +1175,49 @@ pub fn write_metrics_json(path: &str) -> std::io::Result<()> {
 // Environment activation
 // ---------------------------------------------------------------------------
 
-#[derive(Default)]
-struct Outputs {
-    trace_path: Option<String>,
-    metrics_path: Option<String>,
-    /// Where the rendered profile report goes when [`finish`] runs:
-    /// `None` = profiling not requested, `Some(None)` = stderr,
-    /// `Some(Some(path))` = file.
-    profile_out: Option<Option<String>>,
-}
-
-fn outputs() -> &'static Mutex<Outputs> {
-    static OUT: OnceLock<Mutex<Outputs>> = OnceLock::new();
-    OUT.get_or_init(|| Mutex::new(Outputs::default()))
-}
+// The output-path table moved into [`crate::runtime::Runtime`]: each runtime
+// owns its trace/metrics/profile sinks, so a multi-tenant host can route
+// different programs' artefacts to different files. The functions below are
+// the historical free-function surface, now thin wrappers over
+// [`crate::runtime::Runtime::current`] (the default global instance for
+// standalone binaries).
 
 /// Route the Chrome trace to `path` when [`finish`] runs, enabling event
-/// recording (programmatic equivalent of `ZOMP_TRACE=<path>`).
+/// recording (programmatic equivalent of `ZOMP_TRACE=<path>`). Applies to
+/// the current [`crate::runtime::Runtime`].
 pub fn set_trace_path(path: &str) {
-    outputs().lock().trace_path = Some(path.to_string());
-    enable_events();
-    enable_counters();
+    crate::runtime::Runtime::current().set_trace_path(path);
 }
 
 /// Route the metrics dump to `path` when [`finish`] runs, enabling
-/// counters (programmatic equivalent of `ZOMP_METRICS=<path>`).
+/// counters (programmatic equivalent of `ZOMP_METRICS=<path>`). Applies to
+/// the current [`crate::runtime::Runtime`].
 pub fn set_metrics_path(path: &str) {
-    outputs().lock().metrics_path = Some(path.to_string());
-    enable_counters();
+    crate::runtime::Runtime::current().set_metrics_path(path);
 }
 
 /// Route the rendered profile report (regions, per-construct breakdown,
 /// per-loop tier residency) to `path` — or stderr when `None` — when
 /// [`finish`] runs. Enables profiling (programmatic equivalent of
-/// `ZOMP_PROFILE=1` / `ZOMP_PROFILE=<path>`).
+/// `ZOMP_PROFILE=1` / `ZOMP_PROFILE=<path>`). Applies to the current
+/// [`crate::runtime::Runtime`].
 pub fn set_profile_out(path: Option<&str>) {
-    outputs().lock().profile_out = Some(path.map(|p| p.to_string()));
-    crate::profile::enable();
+    crate::runtime::Runtime::current().set_profile_out(path);
 }
 
-/// Read `ZOMP_TRACE` / `ZOMP_METRICS` once and activate the matching
-/// instrumentation. Called lazily by [`crate::team::fork_call`], so any
-/// zomp application honours the variables; a `fn main` that wants the
-/// files written must call [`finish`] before exiting (the shipped
-/// binaries do).
+/// Read `ZOMP_TRACE` / `ZOMP_METRICS` and activate the matching
+/// instrumentation — at most once per *runtime*, not per process
+/// ([`crate::runtime::Runtime::init_sinks_from_env`]). Called lazily by
+/// [`crate::team::fork_call`]; a `fn main` that wants the files written
+/// must call [`finish`] before exiting (the shipped binaries do).
 pub fn init_from_env() {
-    static ONCE: std::sync::Once = std::sync::Once::new();
-    ONCE.call_once(|| {
-        if let Ok(p) = std::env::var("ZOMP_TRACE") {
-            if !p.is_empty() {
-                set_trace_path(&p);
-            }
-        }
-        if let Ok(p) = std::env::var("ZOMP_METRICS") {
-            if !p.is_empty() {
-                set_metrics_path(&p);
-            }
-        }
-        if let Ok(p) = std::env::var("ZOMP_PROFILE") {
-            if !p.is_empty() {
-                // `1` means "report to stderr"; anything else is a path.
-                set_profile_out((p != "1").then_some(p.as_str()));
-            }
-        }
-    });
+    crate::runtime::Runtime::current().init_sinks_from_env();
 }
 
-/// Write any outputs configured via env vars or `set_*_path`. Returns the
-/// paths written.
+/// Write any outputs configured on the current runtime via env vars or
+/// `set_*_path`. Returns the paths written.
 pub fn finish() -> std::io::Result<Vec<String>> {
-    let (trace_path, metrics_path, profile_out) = {
-        let g = outputs().lock();
-        (
-            g.trace_path.clone(),
-            g.metrics_path.clone(),
-            g.profile_out.clone(),
-        )
-    };
-    let mut written = Vec::new();
-    if let Some(p) = trace_path {
-        write_chrome_trace(&p)?;
-        written.push(p);
-    }
-    if let Some(p) = metrics_path {
-        write_metrics_json(&p)?;
-        written.push(p);
-    }
-    if let Some(dest) = profile_out {
-        let report = format!(
-            "--- region profile (gprof-style) ---\n{}\n--- per-construct breakdown ---\n{}\n\
-             --- per-loop tier residency ---\n{}",
-            crate::profile::render_report(),
-            crate::profile::render_breakdown(),
-            crate::profile::render_tiers(),
-        );
-        match dest {
-            Some(p) => {
-                std::fs::write(&p, report)?;
-                written.push(p);
-            }
-            None => eprint!("{report}"),
-        }
-    }
-    Ok(written)
+    crate::runtime::Runtime::current().finish()
 }
 
 // ---------------------------------------------------------------------------

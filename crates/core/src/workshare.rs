@@ -23,10 +23,11 @@ use crate::schedule::{
 use crate::team::{fork_call, Dispatcher, Parallel, ThreadCtx};
 use crate::trace;
 
-/// Resolve `schedule(runtime)` against the ICVs at loop entry.
-fn resolve_schedule(sched: Schedule) -> Schedule {
+/// Resolve `schedule(runtime)` against the forking runtime's ICVs at loop
+/// entry.
+fn resolve_schedule(ctx: &ThreadCtx<'_>, sched: Schedule) -> Schedule {
     if sched.kind == ScheduleKind::Runtime {
-        crate::icv::Icvs::global().run_schedule()
+        ctx.runtime().icvs().run_schedule()
     } else {
         sched
     }
@@ -45,7 +46,7 @@ where
 {
     let bounds: LoopBounds = bounds.into();
     let trip = bounds.trip_count();
-    let sched = resolve_schedule(sched);
+    let sched = resolve_schedule(ctx, sched);
 
     match sched.kind {
         ScheduleKind::Static => {
@@ -370,19 +371,20 @@ mod tests {
 
     #[test]
     fn runtime_schedule_reads_icv() {
-        crate::icv::Icvs::global().set_run_schedule(Schedule::dynamic(Some(4)));
-        let n = 1000i64;
-        let got = parallel_reduce(
-            Parallel::new().num_threads(4),
-            Schedule::runtime(),
-            0..n,
-            0i64,
-            RedOp::Add,
-            |i, acc| *acc += i,
+        // An isolated runtime carries the run-sched-var, so this test cannot
+        // race with others mutating the global ICVs.
+        use crate::runtime::{Runtime, RuntimeConfig};
+        let rt = Runtime::with_config(
+            &RuntimeConfig::default().run_schedule(Schedule::dynamic(Some(4))),
         );
-        assert_eq!(got, n * (n - 1) / 2);
-        // Restore default for other tests.
-        crate::icv::Icvs::global().set_run_schedule(Schedule::static_default());
+        let n = 1000i64;
+        let cell = RedCell::new(RedOp::Add, 0i64);
+        rt.fork_call(Parallel::new().num_threads(4), |ctx| {
+            for_reduce(ctx, Schedule::runtime(), 0..n, true, &cell, |i, acc| {
+                *acc += i
+            });
+        });
+        assert_eq!(cell.get(), n * (n - 1) / 2);
     }
 
     #[test]

@@ -131,14 +131,24 @@ impl Diag {
         self
     }
 
+    /// The 1-based `(line, column)` of [`Diag::offset`] against the source
+    /// the diagnostic was produced for. This is the structured form of the
+    /// location [`Diag::render`] prints — consumers that ship diagnostics
+    /// as data (the `zagd` service returns them as JSON values) use this
+    /// rather than re-deriving it from the rendered string.
+    pub fn line_col(&self, source: &str) -> (usize, usize) {
+        let upto = &source[..self.offset.min(source.len())];
+        let line = upto.matches('\n').count() + 1;
+        let col = self.offset.min(source.len()) - upto.rfind('\n').map(|p| p + 1).unwrap_or(0) + 1;
+        (line, col)
+    }
+
     /// Render with line/column context against the source the diagnostic
     /// was produced for. Errors keep the historical `line:col: message`
     /// shape; warnings add their rule code and pragma label, and notes
     /// continue on an indented second line.
     pub fn render(&self, source: &str) -> String {
-        let upto = &source[..self.offset.min(source.len())];
-        let line = upto.matches('\n').count() + 1;
-        let col = self.offset.min(source.len()) - upto.rfind('\n').map(|p| p + 1).unwrap_or(0) + 1;
+        let (line, col) = self.line_col(source);
         let mut out = match self.severity {
             Severity::Error => format!("{}:{}: {}", line, col, self.message),
             Severity::Warning => {
@@ -195,5 +205,13 @@ mod tests {
     fn offset_past_end_clamps() {
         let d = Diag::new(999, "late");
         assert_eq!(d.render("ab"), "1:3: late");
+    }
+
+    #[test]
+    fn line_col_matches_render() {
+        let src = "fn f() {\n x\n}";
+        let d = Diag::parse(10, "expected ';'");
+        assert_eq!(d.line_col(src), (2, 2));
+        assert_eq!(Diag::new(0, "start").line_col(src), (1, 1));
     }
 }

@@ -15,6 +15,7 @@ use std::time::Instant;
 
 use npb::class::{CgParams, Class, EpParams, IsParams};
 use npb::verify::VerifyStatus;
+use zomp::ExecConfig;
 
 struct Args {
     kernel: String,
@@ -37,29 +38,25 @@ fn usage() -> ! {
 }
 
 fn parse_args() -> Args {
+    // The shared execution flags (`--threads`, `--trace`, `--metrics`,
+    // `--schedule`, `--safety`) come from the `ExecConfig` builder; the
+    // kernel/class positionals and `--serial-check` stay local.
+    let mut cfg = ExecConfig::new();
     let mut kernel = None;
     let mut class = None;
-    let mut threads = None;
     let mut serial_check = false;
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
+        match cfg.parse_flag(&a, &mut it) {
+            Ok(true) => continue,
+            Ok(false) => {}
+            Err(e) => {
+                eprintln!("npb-run: {e}");
+                usage();
+            }
+        }
         match a.as_str() {
-            "--threads" => {
-                threads = Some(
-                    it.next()
-                        .and_then(|v| v.parse().ok())
-                        .unwrap_or_else(|| usage()),
-                )
-            }
             "--serial-check" => serial_check = true,
-            "--trace" => {
-                let f = it.next().unwrap_or_else(|| usage());
-                zomp::trace::set_trace_path(&f);
-            }
-            "--metrics" => {
-                let f = it.next().unwrap_or_else(|| usage());
-                zomp::trace::set_metrics_path(&f);
-            }
             "--help" | "-h" => usage(),
             other if kernel.is_none() => kernel = Some(other.to_ascii_lowercase()),
             other if class.is_none() => {
@@ -68,10 +65,11 @@ fn parse_args() -> Args {
             _ => usage(),
         }
     }
+    cfg.apply_global();
     Args {
         kernel: kernel.unwrap_or_else(|| usage()),
         class: class.unwrap_or_else(|| usage()),
-        threads,
+        threads: cfg.threads,
         serial_check,
     }
 }

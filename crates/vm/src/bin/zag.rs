@@ -18,8 +18,14 @@
 //! zag --remarks p.zag             # optimization remarks, no execution
 //! zag --remarks=json p.zag        # same, as a JSON array
 //! ```
+//!
+//! The execution knobs shared with the other drivers (`--backend`, `--opt`,
+//! `--threads`, `--schedule`, `--safety`, `--trace`, `--metrics`,
+//! `--check`) are parsed by [`zomp::ExecConfig`]; only the flags unique to
+//! `zag` are matched here.
 
-use zomp::safety::SafetyMode;
+use zomp::config::CheckMode;
+use zomp::ExecConfig;
 use zomp_front::Diag;
 use zomp_vm::{Backend, OptLevel, Vm};
 
@@ -27,22 +33,11 @@ fn usage() -> ! {
     eprintln!(
         "usage: zag [--check[=deny]] [--remarks[=json]] [--emit-preprocessed] [--trace-passes] \
          [--dump-ast] [--dump-bytecode] [--dump-ir] [--backend ast|bytecode|native] \
-         [--opt 0|1|2|3] [--threads N] [--safety debug|production|paranoid] [--profile[=json]] \
+         [--opt 0|1|2|3] [--threads N] [--schedule kind[,chunk]] \
+         [--safety debug|production|paranoid] [--profile[=json]] \
          [--trace FILE] [--metrics FILE] <program.zag>"
     );
     std::process::exit(2);
-}
-
-/// How `--check` findings gate execution.
-#[derive(Clone, Copy, PartialEq, Eq)]
-enum CheckMode {
-    /// Default run mode: print findings as warnings, then execute.
-    Warn,
-    /// `--check`: report findings and exit without executing.
-    Report,
-    /// `--check=deny`: report findings; any finding refuses compilation
-    /// with a non-zero exit.
-    Deny,
 }
 
 /// The single diagnostic formatter: every front-end error and every
@@ -64,75 +59,32 @@ fn main() {
     let mut dump_ir = false;
     let mut profile = false;
     let mut profile_json = false;
-    let mut check = CheckMode::Warn;
     // `--remarks`: None = off, Some(true) = JSON output.
     let mut remarks: Option<bool> = None;
-    let mut backend = Backend::default();
-    let mut opt = OptLevel::default();
-    let mut opt_explicit = false;
+    let mut cfg = ExecConfig::new();
     let mut path: Option<String> = None;
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
+        match cfg.parse_flag(&a, &mut args) {
+            Ok(true) => continue,
+            Ok(false) => {}
+            Err(e) => {
+                eprintln!("zag: {e}");
+                usage();
+            }
+        }
         match a.as_str() {
             "--emit-preprocessed" => emit = true,
             "--trace-passes" => trace = true,
             "--dump-ast" => dump_ast = true,
             "--dump-bytecode" => dump_bytecode = true,
             "--dump-ir" => dump_ir = true,
-            "--check" => check = CheckMode::Report,
-            "--check=deny" => check = CheckMode::Deny,
             "--remarks" => remarks = Some(false),
             "--remarks=json" => remarks = Some(true),
-            "--backend" => {
-                backend = args
-                    .next()
-                    .as_deref()
-                    .and_then(Backend::parse)
-                    .unwrap_or_else(|| usage());
-            }
-            _ if a.starts_with("--backend=") => {
-                backend = Backend::parse(&a["--backend=".len()..]).unwrap_or_else(|| usage());
-            }
-            "--opt" => {
-                opt = args
-                    .next()
-                    .as_deref()
-                    .and_then(OptLevel::parse)
-                    .unwrap_or_else(|| usage());
-                opt_explicit = true;
-            }
-            _ if a.starts_with("--opt=") => {
-                opt = OptLevel::parse(&a["--opt=".len()..]).unwrap_or_else(|| usage());
-                opt_explicit = true;
-            }
             "--profile" => profile = true,
             "--profile=json" => {
                 profile = true;
                 profile_json = true;
-            }
-            "--trace" => {
-                let f = args.next().unwrap_or_else(|| usage());
-                zomp::trace::set_trace_path(&f);
-            }
-            "--metrics" => {
-                let f = args.next().unwrap_or_else(|| usage());
-                zomp::trace::set_metrics_path(&f);
-            }
-            "--threads" => {
-                let n: usize = args
-                    .next()
-                    .and_then(|v| v.parse().ok())
-                    .unwrap_or_else(|| usage());
-                zomp::omp::set_num_threads(n);
-            }
-            "--safety" => {
-                let mode = match args.next().as_deref() {
-                    Some("debug") => SafetyMode::Debug,
-                    Some("production") => SafetyMode::Production,
-                    Some("paranoid") => SafetyMode::Paranoid,
-                    _ => usage(),
-                };
-                zomp::safety::set_safety_mode(mode);
             }
             "--help" | "-h" => usage(),
             other if !other.starts_with('-') && path.is_none() => path = Some(other.to_string()),
@@ -145,7 +97,11 @@ fn main() {
         std::process::exit(1);
     });
 
-    if check != CheckMode::Warn {
+    let backend = cfg.backend.map(Backend::from).unwrap_or_default();
+    let opt = cfg.opt.map(OptLevel::from_index).unwrap_or_default();
+    cfg.apply_global();
+
+    if cfg.check != CheckMode::Warn {
         // Lint-only modes: parse the pragma'd source and run the
         // data-sharing analysis, nothing else.
         let ast = match zomp_front::parse(&source) {
@@ -158,7 +114,7 @@ fn main() {
         }
         if findings.is_empty() {
             eprintln!("zag: {path}: check clean");
-        } else if check == CheckMode::Deny {
+        } else if cfg.check == CheckMode::Deny {
             eprintln!(
                 "zag: {path}: {} finding(s); refusing to compile (--check=deny)",
                 findings.len()
@@ -172,7 +128,7 @@ fn main() {
         // Remark collection recompiles with the pipeline instrumented;
         // default to --opt=3 so kernel-installed/missed remarks appear
         // unless the user pinned a lower level explicitly.
-        let ropt = if opt_explicit { opt } else { OptLevel::O3 };
+        let ropt = if cfg.opt.is_some() { opt } else { OptLevel::O3 };
         match zomp_vm::remarks::collect(&source, &path, ropt) {
             Ok(diags) => {
                 if json {

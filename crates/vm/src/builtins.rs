@@ -7,7 +7,6 @@
 //! guard enforces.
 
 use std::cell::RefCell;
-use std::collections::HashMap;
 use std::sync::{Arc, OnceLock};
 
 use parking_lot::Mutex;
@@ -15,7 +14,6 @@ use zomp::reduction::RedOp;
 use zomp::schedule::{
     static_block, DynamicDispatch, LoopBounds, LoopCmp, Schedule, ScheduleKind, StaticChunked,
 };
-use zomp::sync::OmpLock;
 use zomp::team::{Parallel, SingleToken, ThreadCtx};
 
 use crate::interp::Vm;
@@ -109,11 +107,6 @@ fn red_op_from_code(code: i64) -> VmResult<RedOp> {
     })
 }
 
-fn critical_locks() -> &'static Mutex<HashMap<String, Arc<OmpLock>>> {
-    static LOCKS: OnceLock<Mutex<HashMap<String, Arc<OmpLock>>>> = OnceLock::new();
-    LOCKS.get_or_init(|| Mutex::new(HashMap::new()))
-}
-
 /// Striped locks giving atomicity to `omp.internal.atomic_rmw` on array
 /// elements (scalar slots use their own mutex).
 fn atomic_stripes() -> &'static [Mutex<()>; 64] {
@@ -138,13 +131,15 @@ pub(crate) fn call(vm: &Vm, path: &[&str], args: Vec<Value>) -> VmResult<Value> 
         // (paper Listing 7).
         ["get_thread_num"] => Ok(Value::Int(zomp::omp::get_thread_num() as i64)),
         ["get_num_threads"] => Ok(Value::Int(zomp::omp::get_num_threads() as i64)),
-        ["get_max_threads"] => Ok(Value::Int(zomp::omp::get_max_threads() as i64)),
+        ["get_max_threads"] => Ok(Value::Int(vm.runtime.icvs().num_threads() as i64)),
         ["get_num_procs"] => Ok(Value::Int(zomp::omp::get_num_procs() as i64)),
         ["in_parallel"] => Ok(Value::Bool(zomp::omp::in_parallel())),
         ["get_level"] => Ok(Value::Int(zomp::omp::get_level() as i64)),
         ["get_wtime"] => Ok(Value::Float(zomp::omp::get_wtime())),
         ["set_num_threads"] => {
-            zomp::omp::set_num_threads(args[0].as_int()?.max(1) as usize);
+            vm.runtime
+                .icvs()
+                .set_num_threads(args[0].as_int()?.max(1) as usize);
             Ok(Value::Void)
         }
         other => err(format!("unknown omp function omp.{}", other.join("."))),
@@ -200,22 +195,16 @@ fn internal(vm: &Vm, name: &str, #[allow(unused_mut)] mut args: Vec<Value>) -> V
             let Value::Str(name) = &args[0] else {
                 return err("critical_enter expects a name string");
             };
-            let lock = {
-                let mut reg = critical_locks().lock();
-                Arc::clone(reg.entry(name.to_string()).or_default())
-            };
-            lock.set();
+            // Split-phase (enter/exit straddle interpreter calls), so the
+            // guardless `OmpLock` from the VM runtime's registry is used.
+            vm.runtime.critical_lock(name).set();
             Ok(Value::Void)
         }
         "critical_exit" => {
             let Value::Str(name) = &args[0] else {
                 return err("critical_exit expects a name string");
             };
-            let lock = {
-                let mut reg = critical_locks().lock();
-                Arc::clone(reg.entry(name.to_string()).or_default())
-            };
-            lock.unset();
+            vm.runtime.critical_lock(name).unset();
             Ok(Value::Void)
         }
         "atomic_rmw" => atomic_rmw(args),
@@ -298,13 +287,13 @@ fn internal(vm: &Vm, name: &str, #[allow(unused_mut)] mut args: Vec<Value>) -> V
                 .map_err(|e| crate::value::VmError(e.to_string()))?;
             Ok(Value::Int(trip as i64))
         }
-        "ws_begin" => ws_begin(args, false),
+        "ws_begin" => ws_begin(vm, args, false),
         // Installed by the `--opt=3` kernel tier in place of `ws_begin`
         // when every chunk body is a single native bulk kernel: same
         // protocol, but dynamic claims are batch-granular while the deck
         // is uncontended (the kernel handles any chunk length, so the
         // clause chunk size only matters for steal granularity).
-        "ws_begin_bulk" => ws_begin(args, true),
+        "ws_begin_bulk" => ws_begin(vm, args, true),
         "ws_next" => ws_next(args),
         "ws_lb" => ws_cur(args, true),
         "ws_ub" => ws_cur(args, false),
@@ -345,7 +334,7 @@ fn fork_call(vm: &Vm, args: Vec<Value>) -> VmResult<Value> {
     };
     let par = par.label(label);
     let failure: Mutex<Option<crate::value::VmError>> = Mutex::new(None);
-    zomp::fork_call(par, |ctx| {
+    zomp::fork_call_rt(&vm.runtime, par, |ctx| {
         let _guard = CtxGuard::push(ctx);
         if let Err(e) = vm.call_function(fname, rest.clone()) {
             let mut slot = failure.lock();
@@ -440,7 +429,7 @@ fn cmp_from_code(code: i64) -> VmResult<LoopCmp> {
     })
 }
 
-fn ws_begin(args: Vec<Value>, greedy: bool) -> VmResult<Value> {
+fn ws_begin(vm: &Vm, args: Vec<Value>, greedy: bool) -> VmResult<Value> {
     // An optional leading string is the worksharing pragma's `unit:line`
     // label (named translation units only), mirroring `fork_call`.
     let (label, base) = match args.first() {
@@ -466,7 +455,7 @@ fn ws_begin(args: Vec<Value>, greedy: bool) -> VmResult<Value> {
     let sched = match kind_code {
         1 => Schedule::dynamic(chunk),
         2 => Schedule::guided(chunk),
-        3 => zomp::omp::get_schedule(),
+        3 => vm.runtime.icvs().run_schedule(),
         _ => Schedule {
             kind: ScheduleKind::Static,
             chunk,

@@ -29,7 +29,7 @@ use crate::optimize::OptLevel;
 use crate::value::{err, ArrF, ArrI, Slot, Value, VmError, VmResult};
 
 /// Which execution engine runs function bodies.
-#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
 pub enum Backend {
     /// Flat register-bytecode VM (default).
     #[default]
@@ -50,6 +50,18 @@ impl Backend {
             "bytecode" => Some(Backend::Bytecode),
             "native" => Some(Backend::Native),
             _ => None,
+        }
+    }
+}
+
+/// Map the core crate's backend selector (plain CLI/request data) onto
+/// the VM's engine enum.
+impl From<zomp::config::BackendSel> for Backend {
+    fn from(sel: zomp::config::BackendSel) -> Backend {
+        match sel {
+            zomp::config::BackendSel::Ast => Backend::Ast,
+            zomp::config::BackendSel::Bytecode => Backend::Bytecode,
+            zomp::config::BackendSel::Native => Backend::Native,
         }
     }
 }
@@ -138,6 +150,11 @@ pub struct Vm {
     pub echo: bool,
     /// Execution engine for function bodies (bytecode by default).
     pub backend: Backend,
+    /// The parallel runtime instance this VM executes against. Every
+    /// `omp.*` builtin — fork, ICV queries, critical sections — resolves
+    /// through this handle, so two `Vm`s with distinct runtimes share
+    /// nothing but the worker pool. Defaults to the process-wide runtime.
+    pub runtime: Arc<zomp::Runtime>,
 }
 
 /// Lexical environment of one function activation.
@@ -190,23 +207,21 @@ enum Place {
 impl Vm {
     /// Compile and wrap a program.
     pub fn new(source: &str) -> Result<Vm, zomp_front::Diag> {
-        Ok(Vm {
-            program: Arc::new(compile(source)?),
-            output: Mutex::new(Vec::new()),
-            echo: false,
-            backend: Backend::default(),
-        })
+        Ok(Vm::from_program(
+            Arc::new(compile(source)?),
+            Backend::default(),
+            Arc::clone(zomp::Runtime::global()),
+        ))
     }
 
     /// [`Vm::new`] with a compilation-unit name: region trace/profile
     /// labels become the pragma's `unit:line`.
     pub fn with_unit(source: &str, unit: &str) -> Result<Vm, zomp_front::Diag> {
-        Ok(Vm {
-            program: Arc::new(compile_named(source, unit)?),
-            output: Mutex::new(Vec::new()),
-            echo: false,
-            backend: Backend::default(),
-        })
+        Ok(Vm::from_program(
+            Arc::new(compile_named(source, unit)?),
+            Backend::default(),
+            Arc::clone(zomp::Runtime::global()),
+        ))
     }
 
     /// [`Vm::new`] with an explicit execution backend.
@@ -231,12 +246,30 @@ impl Vm {
         } else {
             opt
         };
-        Ok(Vm {
-            program: Arc::new(compile_opt(source, unit, opt)?),
+        Ok(Vm::from_program(
+            Arc::new(compile_opt(source, unit, opt)?),
+            backend,
+            Arc::clone(zomp::Runtime::global()),
+        ))
+    }
+
+    /// Wrap an already-compiled program. This is the constructor the `zagd`
+    /// service uses: the `Arc<Program>` comes from its compiled-program
+    /// cache (compile once, run many) and `runtime` is the per-request
+    /// instance, so concurrent executions of the same cached program see
+    /// independent ICVs, critical sections, and threadprivate storage.
+    pub fn from_program(
+        program: Arc<Program>,
+        backend: Backend,
+        runtime: Arc<zomp::Runtime>,
+    ) -> Vm {
+        Vm {
+            program,
             output: Mutex::new(Vec::new()),
             echo: false,
             backend,
-        })
+            runtime,
+        }
     }
 
     /// Compile and run `main()`, returning the captured output lines.
@@ -246,8 +279,12 @@ impl Vm {
         Ok(vm.output.into_inner())
     }
 
-    /// Call a function by name on the configured backend.
+    /// Call a function by name on the configured backend. The VM's runtime
+    /// is entered for the dynamic extent of the call, so `omp.*` facade
+    /// lookups made by program code resolve against [`Vm::runtime`] rather
+    /// than whatever instance the calling thread happened to have current.
     pub fn call_function(&self, name: &str, args: Vec<Value>) -> VmResult<Value> {
+        let _rt = self.runtime.enter();
         match self.backend {
             Backend::Bytecode | Backend::Native => {
                 let &fi = self

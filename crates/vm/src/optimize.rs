@@ -83,6 +83,17 @@ impl OptLevel {
             _ => None,
         }
     }
+
+    /// Map a numeric level (from `ExecConfig::opt` or a service request)
+    /// onto the enum; values above 3 clamp to `O3`.
+    pub fn from_index(n: u8) -> OptLevel {
+        match n {
+            0 => OptLevel::O0,
+            1 => OptLevel::O1,
+            2 => OptLevel::O2,
+            _ => OptLevel::O3,
+        }
+    }
 }
 
 impl fmt::Display for OptLevel {

@@ -1,0 +1,183 @@
+//! `serve-bench` — measure the `zagd` service end to end and emit
+//! `BENCH_serve.json`.
+//!
+//! Starts an in-process server, then drives it the way a client fleet
+//! would: a warm-up round that populates the compiled-program cache,
+//! followed by timed rounds of concurrent `POST /run` requests cycling
+//! through the CG/EP/IS demo programs with varying per-request
+//! `threads`. Reported: programs/sec, p50/p99 request latency, and the
+//! cache hit rate.
+//!
+//! Usage: `serve-bench [OUT | --smoke]` (default `BENCH_serve.json`).
+//! `--smoke` runs a reduced load and exits nonzero unless the cache hit
+//! rate is positive and throughput clears a conservative floor — the CI
+//! regression guard.
+
+use std::net::SocketAddr;
+use std::sync::Arc;
+use std::time::Instant;
+
+use zagd::json::Json;
+use zagd::{client, demo, Server, ServerConfig};
+
+/// One benchmark workload: a program plus its entry/args request body.
+struct Load {
+    name: &'static str,
+    body: String,
+}
+
+fn loads(small: bool) -> Vec<Load> {
+    let (cg_n, ep_m, is_n) = if small {
+        (400, 10, 1500)
+    } else {
+        (1200, 14, 6000)
+    };
+    vec![
+        Load {
+            name: "cg",
+            body: run_body(&demo::cg(), "cg_demo", &format!("[{cg_n}, 2, 2]"), 2),
+        },
+        Load {
+            name: "ep",
+            body: run_body(&demo::ep(), "ep_demo", &format!("[{ep_m}, 8, 2]"), 2),
+        },
+        Load {
+            name: "is",
+            body: run_body(&demo::is(), "is_demo", &format!("[{is_n}, 9, 4, 2]"), 2),
+        },
+    ]
+}
+
+fn run_body(source: &str, entry: &str, args: &str, threads: usize) -> String {
+    Json::Obj(
+        [
+            ("source".to_string(), Json::Str(source.to_string())),
+            ("entry".to_string(), Json::Str(entry.to_string())),
+            ("args".to_string(), Json::parse(args).unwrap()),
+            ("threads".to_string(), Json::Int(threads as i64)),
+            ("timeout_ms".to_string(), Json::Int(60_000)),
+        ]
+        .into_iter()
+        .collect(),
+    )
+    .render()
+}
+
+/// Fire `total` requests at `addr` from `clients` threads, cycling the
+/// workloads; returns each request's latency in milliseconds.
+fn drive(addr: SocketAddr, loads: &Arc<Vec<Load>>, clients: usize, total: usize) -> Vec<f64> {
+    let mut handles = Vec::new();
+    let per = total / clients;
+    for c in 0..clients {
+        let loads = Arc::clone(loads);
+        handles.push(std::thread::spawn(move || {
+            let mut lat = Vec::with_capacity(per);
+            for i in 0..per {
+                let load = &loads[(c + i) % loads.len()];
+                let t0 = Instant::now();
+                let resp = client::post(addr, "/run", &load.body)
+                    .unwrap_or_else(|e| panic!("{}: transport error: {e}", load.name));
+                assert_eq!(
+                    resp.status, 200,
+                    "{}: unexpected status {}: {}",
+                    load.name, resp.status, resp.body
+                );
+                lat.push(t0.elapsed().as_secs_f64() * 1e3);
+            }
+            lat
+        }));
+    }
+    let mut all = Vec::with_capacity(total);
+    for h in handles {
+        all.extend(h.join().expect("client thread"));
+    }
+    all
+}
+
+fn percentile(sorted: &[f64], p: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let idx = ((sorted.len() as f64 - 1.0) * p).round() as usize;
+    sorted[idx.min(sorted.len() - 1)]
+}
+
+fn main() {
+    let arg = std::env::args().nth(1);
+    let smoke = arg.as_deref() == Some("--smoke");
+    let out = if smoke {
+        None
+    } else {
+        Some(arg.unwrap_or_else(|| "BENCH_serve.json".into()))
+    };
+
+    let server = Server::bind(ServerConfig {
+        addr: "127.0.0.1:0".into(),
+        workers: 4,
+        queue_cap: 128,
+        cache_cap: 32,
+        default_timeout_ms: 120_000,
+    })
+    .expect("bind");
+    let addr = server.start();
+
+    let loads = Arc::new(loads(smoke));
+    let (clients, total) = if smoke { (4, 24) } else { (6, 120) };
+
+    // Warm-up: one request per workload compiles and fills the cache
+    // (every timed request after this should be a cache hit).
+    eprintln!("warm-up (compiling {} programs)...", loads.len());
+    for load in loads.iter() {
+        let resp = client::post(addr, "/run", &load.body).expect("warm-up");
+        assert_eq!(resp.status, 200, "{}: {}", load.name, resp.body);
+    }
+
+    eprintln!("driving {total} requests from {clients} clients...");
+    let t0 = Instant::now();
+    let mut lat = drive(addr, &loads, clients, total);
+    let wall = t0.elapsed().as_secs_f64();
+    lat.sort_by(|a, b| a.total_cmp(b));
+
+    let stats = client::get(addr, "/stats").expect("stats");
+    let stats_json = Json::parse(&stats.body).expect("stats JSON");
+    let cache = stats_json.get("cache").expect("cache block");
+    let hit_rate = cache.get("hit_rate").and_then(Json::as_f64).unwrap_or(0.0);
+    let programs_per_sec = lat.len() as f64 / wall;
+    let p50 = percentile(&lat, 0.50);
+    let p99 = percentile(&lat, 0.99);
+
+    let meta = zomp_bench::meta::json_object();
+    let json = format!(
+        "{{\n  \"meta\": {meta},\n  \"workloads\": [\"cg\", \"ep\", \"is\"],\n  \
+         \"clients\": {clients},\n  \"requests\": {},\n  \
+         \"programs_per_sec\": {programs_per_sec:.2},\n  \
+         \"latency_ms\": {{\"p50\": {p50:.2}, \"p99\": {p99:.2}}},\n  \
+         \"cache\": {}\n}}\n",
+        lat.len(),
+        cache.render(),
+    );
+    print!("{json}");
+
+    if let Some(out) = out {
+        std::fs::write(&out, &json).expect("write BENCH_serve.json");
+        eprintln!("wrote {out}");
+    }
+
+    if smoke {
+        // The guard: re-submission must hit the cache, and the service
+        // must clear a floor far below any healthy configuration so the
+        // check only trips on real regressions (compile-per-request,
+        // serialized execution).
+        assert!(
+            hit_rate > 0.5,
+            "smoke: cache hit rate {hit_rate:.2} <= 0.5 — recompiling per request?"
+        );
+        assert!(
+            programs_per_sec > 2.0,
+            "smoke: {programs_per_sec:.2} programs/sec under the floor"
+        );
+        eprintln!(
+            "smoke ok: {programs_per_sec:.1} programs/sec, hit rate {hit_rate:.2}, p99 {p99:.1} ms"
+        );
+    }
+}

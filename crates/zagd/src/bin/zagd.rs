@@ -1,0 +1,62 @@
+//! `zagd` — the persistent compile-and-run daemon.
+//!
+//! ```text
+//! zagd [--addr HOST:PORT] [--workers N] [--queue-cap N] [--cache-cap N]
+//!      [--timeout-ms N]
+//! ```
+//!
+//! Serves `POST /run`, `GET /stats`, `GET /health` (see the crate docs
+//! for the request protocol). Per-request execution knobs come in the
+//! request body; daemon flags only size the service itself.
+
+use zagd::{Server, ServerConfig};
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: zagd [--addr HOST:PORT] [--workers N] [--queue-cap N] [--cache-cap N] \
+         [--timeout-ms N]"
+    );
+    std::process::exit(2);
+}
+
+fn main() {
+    let mut cfg = ServerConfig::default();
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        let mut value = |flag: &str| -> String {
+            a.strip_prefix(&format!("{flag}="))
+                .map(str::to_string)
+                .or_else(|| args.next())
+                .unwrap_or_else(|| usage())
+        };
+        match a.as_str() {
+            "--addr" => cfg.addr = value("--addr"),
+            s if s.starts_with("--addr=") => cfg.addr = value("--addr"),
+            "--workers" => cfg.workers = parse(&value("--workers")),
+            s if s.starts_with("--workers=") => cfg.workers = parse(&value("--workers")),
+            "--queue-cap" => cfg.queue_cap = parse(&value("--queue-cap")),
+            s if s.starts_with("--queue-cap=") => cfg.queue_cap = parse(&value("--queue-cap")),
+            "--cache-cap" => cfg.cache_cap = parse(&value("--cache-cap")),
+            s if s.starts_with("--cache-cap=") => cfg.cache_cap = parse(&value("--cache-cap")),
+            "--timeout-ms" => cfg.default_timeout_ms = parse(&value("--timeout-ms")),
+            s if s.starts_with("--timeout-ms=") => {
+                cfg.default_timeout_ms = parse(&value("--timeout-ms"))
+            }
+            _ => usage(),
+        }
+    }
+    let server = Server::bind(cfg).unwrap_or_else(|e| {
+        eprintln!("zagd: cannot bind: {e}");
+        std::process::exit(1);
+    });
+    let addr = server.start();
+    eprintln!("zagd: serving on http://{addr} (POST /run, GET /stats, GET /health)");
+    // The acceptor and workers are detached threads; keep the process up.
+    loop {
+        std::thread::park();
+    }
+}
+
+fn parse<T: std::str::FromStr>(s: &str) -> T {
+    s.parse().unwrap_or_else(|_| usage())
+}
