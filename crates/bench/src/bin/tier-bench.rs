@@ -204,15 +204,16 @@ fn port_json(name: &str, tiers: &[LoopTier], missed: &str) -> String {
     )
 }
 
-/// CI guard: the CG port's dynamic matvec loop AND the EP port's batch
-/// loop must be majority-native at `--opt=3` — the bulk-kernel tier
-/// actually carrying the iterations is the whole point of the tier
-/// (EP's loops only became claimable with cross-call `randlc`
-/// matching); a silent fall-back to the interpreter would still pass
-/// every correctness test.
+/// CI guard: the CG port's dynamic matvec loop, the EP port's batch
+/// loop, AND the IS port's rank phases must be majority-native at
+/// `--opt=3` — the bulk-kernel tier actually carrying the iterations is
+/// the whole point of the tier (EP's loops only became claimable with
+/// cross-call `randlc` matching, IS's with the fused rank pipeline); a
+/// silent fall-back to the interpreter would still pass every
+/// correctness test.
 fn smoke() -> ! {
     let mut failed = false;
-    for (name, tiers) in [("CG", run_cg()), ("EP", run_ep())] {
+    for (name, tiers) in [("CG", run_cg()), ("EP", run_ep()), ("IS", run_is())] {
         for t in &tiers {
             eprintln!(
                 "  [{name}] {} iters={} native={} ({:.1}%) bails={} deopts={}",
@@ -230,6 +231,25 @@ fn smoke() -> ! {
         if !ok {
             eprintln!("tier-bench --smoke: no {name} pragma loop is majority-native at --opt=3");
             failed = true;
+        }
+        // IS additionally gates the aggregate: every rank phase has a
+        // fixed kernel now (histogram, scatter, the fused rank
+        // pipeline), so a single majority-native loop is not enough —
+        // the port as a whole must run mostly native.
+        if name == "IS" {
+            let total: u64 = tiers.iter().map(|t| t.total_iters).sum();
+            let native: u64 = tiers.iter().map(|t| t.native_iters).sum();
+            if total == 0 || (native as f64) / (total as f64) <= 0.5 {
+                eprintln!(
+                    "tier-bench --smoke: IS aggregate native residency {:.1}% is not a majority",
+                    if total == 0 {
+                        0.0
+                    } else {
+                        100.0 * native as f64 / total as f64
+                    }
+                );
+                failed = true;
+            }
         }
     }
     if failed {

@@ -229,3 +229,35 @@ fn rank(keys: []i64, nkeys: i64, maxlog: i64, nblog: i64,
     }
 }
 "#;
+
+/// Template-tier fixture: two typed loops whose shapes miss every fixed
+/// bulk kernel (a 3-point float stencil and a squared-sum int reduction)
+/// at a trip count large enough to measure the template speedup over the
+/// `--opt=2` bytecode. The real shape-missed loops in the NPB ports (EP's
+/// `nk`/`batches` setup doublings) run a handful of iterations, so the
+/// smoke gate measures here instead.
+pub const ZAG_TEMPLATE: &str = r#"
+fn smooth(u: []f64, v: []f64, n: i64, reps: i64) f64 {
+    var m: i64 = n - 1;
+    var r: i64 = 0;
+    while (r < reps) : (r += 1) {
+        var i: i64 = 1;
+        while (i < m) : (i += 1) {
+            v[i] = 0.25 * u[i - 1] + 0.5 * u[i] + 0.25 * u[i + 1];
+        }
+    }
+    return v[n / 2];
+}
+
+fn sumsq(x: []i64, n: i64, reps: i64) i64 {
+    var acc: i64 = 0;
+    var r: i64 = 0;
+    while (r < reps) : (r += 1) {
+        var i: i64 = 0;
+        while (i < n) : (i += 1) {
+            acc = acc + x[i] * x[i];
+        }
+    }
+    return acc;
+}
+"#;

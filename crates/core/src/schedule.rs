@@ -328,6 +328,25 @@ impl StaticChunked {
     }
 }
 
+impl StaticChunked {
+    /// Greedy claim for bulk-kernel loops (`ws_begin_bulk`): when this
+    /// thread owns *every* remaining chunk — a single-thread team, where
+    /// the round-robin stride equals the chunk size so consecutive chunks
+    /// are contiguous — coalesce them into one claim instead of paying
+    /// the claim protocol and kernel prologue per clause-sized chunk.
+    /// With more than one thread the chunks interleave and the static
+    /// *mapping* of iterations to threads must not change, so the claim
+    /// falls back to the per-chunk iterator.
+    pub fn next_bulk(&mut self) -> Option<Range<u64>> {
+        if self.stride == self.chunk && self.next_start < self.trip {
+            let start = self.next_start;
+            self.next_start = self.trip;
+            return Some(start..self.trip);
+        }
+        self.next()
+    }
+}
+
 impl Iterator for StaticChunked {
     type Item = Range<u64>;
 

@@ -137,6 +137,7 @@ fn zag_rank_matches_rust_serial() {
         (zomp_vm::Backend::Bytecode, zomp_vm::OptLevel::O2),
         (zomp_vm::Backend::Bytecode, zomp_vm::OptLevel::O3),
         (zomp_vm::Backend::Native, zomp_vm::OptLevel::O2),
+        (zomp_vm::Backend::Native, zomp_vm::OptLevel::O3),
         (zomp_vm::Backend::Ast, zomp_vm::OptLevel::O0),
     ] {
         let vm = Vm::build(ZAG_RANK, None, backend, opt).expect("compile Zag rank");
@@ -178,6 +179,63 @@ fn zag_rank_matches_rust_serial() {
                 buff, sorted_input,
                 "scatter lost keys at {threads} threads ({backend:?})"
             );
+        }
+    }
+}
+
+/// The fused rank-pipeline kernel (`--opt=3` on the phase-4 bucket
+/// loop) must produce bit-identical ranks to the `--opt=2` interpreter
+/// no matter how the worksharing runtime carves the bucket iterations
+/// up — every schedule kind crossed with 1/2/4-thread teams, all
+/// against the serial Rust oracle. The kernel claims whole buckets
+/// through `ws_begin`, so a chunking bug would shear exactly here.
+#[test]
+fn rank_pipeline_native_bit_identity_across_schedules_and_threads() {
+    let maxlog = 9u32;
+    let nblog = 4u32;
+    let params = custom_params(11, maxlog, nblog);
+    let keys: Vec<u32> = npb::is::create_seq(&params);
+    let keys_i: Vec<i64> = keys.iter().map(|&k| k as i64).collect();
+    let want = rank_serial(&keys, &params);
+    let nb = 1usize << nblog;
+
+    for sched in ["static", "static, 1", "static, 3", "dynamic", "dynamic, 2", "guided"] {
+        let src = ZAG_RANK.replace(
+            "schedule(static, 1) nowait",
+            &format!("schedule({sched}) nowait"),
+        );
+        assert!(src.contains(sched), "schedule substitution failed");
+        for (backend, opt) in [
+            (zomp_vm::Backend::Bytecode, zomp_vm::OptLevel::O2),
+            (zomp_vm::Backend::Native, zomp_vm::OptLevel::O3),
+        ] {
+            let vm = Vm::build(&src, None, backend, opt).expect("compile Zag rank");
+            for threads in [1i64, 2, 4] {
+                let counts = Arc::new(ArrI::new(threads as usize * nb));
+                let starts = Arc::new(ArrI::new(nb + 1));
+                let buff2 = Arc::new(ArrI::new(keys.len()));
+                let ranks = Arc::new(ArrI::new(1 << maxlog));
+                vm.call_function(
+                    "rank",
+                    vec![
+                        Value::ArrI(to_arr(&keys_i)),
+                        Value::Int(keys.len() as i64),
+                        Value::Int(maxlog as i64),
+                        Value::Int(nblog as i64),
+                        Value::ArrI(Arc::clone(&counts)),
+                        Value::ArrI(Arc::clone(&starts)),
+                        Value::ArrI(Arc::clone(&buff2)),
+                        Value::ArrI(Arc::clone(&ranks)),
+                        Value::Int(threads),
+                    ],
+                )
+                .expect("run Zag rank");
+                let got: Vec<u32> = ranks.to_vec().iter().map(|&v| v as u32).collect();
+                assert_eq!(
+                    got, want,
+                    "rank mismatch: schedule({sched}), {threads} threads ({backend:?}, {opt:?})"
+                );
+            }
         }
     }
 }

@@ -549,7 +549,9 @@ fn ws_next(args: Vec<Value>) -> VmResult<Value> {
     let logical = match &mut st.mode {
         WsMode::StaticBlock(r) => r.take().filter(|r| !r.is_empty()),
         // Static chunking is a *mapping* of iterations to threads, not a
-        // dispatch protocol — bulk mode must not change it.
+        // dispatch protocol — bulk mode only coalesces chunks when the
+        // mapping is unaffected (single-thread teams; see `next_bulk`).
+        WsMode::StaticChunked(it) if greedy => it.next_bulk(),
         WsMode::StaticChunked(it) => it.next(),
         WsMode::Dispatch(d) => with_ctx(|ctx| match ctx {
             Some(ctx) if greedy => ctx.dispatch_next_bulk(d),

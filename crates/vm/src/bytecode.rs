@@ -500,6 +500,18 @@ pub enum Insn {
     BulkLoop {
         kidx: u16,
     },
+    /// Typed-template loop dispatch (`--opt=3` only, installed by
+    /// [`crate::templates`] after the fixed kernels): replaces the
+    /// head instruction of a short typed loop that missed every fixed
+    /// kernel shape. `tidx` indexes [`CompiledFn::templates`]; the
+    /// descriptor carries the monomorphized op chain, the exit pc,
+    /// and the replaced original instruction. Deopt behaviour is
+    /// identical to [`Insn::BulkLoop`]: on a type precheck failure or
+    /// a mid-loop bail the interpreter quickens back to the original
+    /// and replays the loop interpreted.
+    TemplateLoop {
+        tidx: u16,
+    },
     /// Unconditional runtime error with the pooled message (compile-time
     /// detected failures that the tree-walker would only raise when the
     /// offending node executes).
@@ -544,6 +556,9 @@ pub struct CompiledFn {
     /// Native bulk-kernel descriptors referenced by [`Insn::BulkLoop`]
     /// (`--opt=3` only; empty below that).
     pub kernels: Vec<crate::kernels::KernelDesc>,
+    /// Typed-template descriptors referenced by
+    /// [`Insn::TemplateLoop`] (`--opt=3` only; empty below that).
+    pub templates: Vec<crate::templates::TemplateDesc>,
 }
 
 /// A whole program's compiled image, functions in declaration order.
@@ -788,6 +803,14 @@ pub(crate) fn insn_text(f: &CompiledFn, insn: &Insn) -> String {
                 .map(|d| d.kind.name())
                 .unwrap_or("?");
             format!("bulkloop   kernel{kidx} ({what})")
+        }
+        Insn::TemplateLoop { tidx } => {
+            let what = f
+                .templates
+                .get(*tidx as usize)
+                .map(|d| format!("{} insns, {} variants", d.prog.ninsns, d.prog.variants.len()))
+                .unwrap_or_else(|| "?".to_string());
+            format!("templateloop tmpl{tidx} ({what})")
         }
         Insn::Trap { msg } => format!("trap       k{msg}"),
         Insn::Ret { src } => format!("ret        r{src}"),

@@ -209,6 +209,7 @@ impl<'a> FnCx<'a> {
             locals: self.locals_debug,
             pre_opt: None,
             kernels: Vec::new(),
+            templates: Vec::new(),
         }
     }
 

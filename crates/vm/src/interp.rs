@@ -1569,6 +1569,20 @@ impl Vm {
                         continue;
                     }
                 }
+                Insn::TemplateLoop { tidx } => {
+                    // Typed-template tier (`--opt=3` only): run the
+                    // whole loop as a chain of monomorphized template
+                    // ops over an unboxed frame. Deopt contract is
+                    // identical to `BulkLoop` above.
+                    let desc = &f.templates[tidx as usize];
+                    if crate::templates::run(desc, (pc - 1) as u32, regs) {
+                        pc = desc.exit as usize;
+                    } else {
+                        code.quicken(pc - 1, desc.orig);
+                        pc -= 1;
+                        continue;
+                    }
+                }
                 Insn::Trap { msg } => match kc(consts, msg) {
                     Value::Str(s) => return Err(VmError(s.to_string())),
                     _ => unreachable!("trap message constant is not a string"),

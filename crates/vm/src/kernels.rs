@@ -156,6 +156,61 @@ pub enum KernelKind {
         lim: Reg,
         k: u16,
     },
+    /// IS fused rank pipeline — one bucket-partitioned outer loop whose
+    /// body chains the three rank phases over the bucket's key range:
+    /// ```text
+    /// do { keylo = b4*sd; keyhi = (b4+1)*sd;
+    ///      st = starts[b4]; en = starts[b4+1];
+    ///      while (k < keyhi)  ranks[k] = 0;          // fill
+    ///      while (p < en)     ranks[buff2[p]] += 1;  // rank-inc
+    ///      while (k2 < keyhi) { acc += ranks[k2]; ranks[k2] = acc }
+    ///      b4 += 1 } while (b4 < ub)
+    /// ```
+    /// The private count range stays hot across all three phases and the
+    /// per-bucket precheck (key range, scatter range, and the `buff2`
+    /// range hint) hoists every per-element bounds check, so a bail can
+    /// only happen *before* a bucket's first store — the interpreter
+    /// replays the whole bucket with identical effects.
+    RankPipeline {
+        /// Cells: bucket boundaries, the ranks output, scattered keys.
+        scell: Reg,
+        rcell: Reg,
+        bcell: Reg,
+        b4: Reg,
+        sd: Reg,
+        ub: Reg,
+        // Per-bucket scalars, in program order (several share physical
+        // registers in the IS stream; the runner writes them back in
+        // this order so aliases land exactly as the bytecode would).
+        keylo: Reg,
+        th: Reg,
+        kh0: Reg,
+        keyhi: Reg,
+        st0: Reg,
+        st: Reg,
+        en0: Reg,
+        en: Reg,
+        /// Fill-loop induction and const registers.
+        kf: Reg,
+        fc: Reg,
+        /// Rank-inc loop induction and temporaries.
+        p: Reg,
+        ra: Reg,
+        v: Reg,
+        x: Reg,
+        y: Reg,
+        rb: Reg,
+        v2: Reg,
+        /// Prefix loop accumulator, induction, and load temp.
+        acc: Reg,
+        k2: Reg,
+        t3: Reg,
+        /// Const-pool indices: the `b4 + 1` offset, the fill value, and
+        /// the rank increment (all Int).
+        kone: u16,
+        kfill: u16,
+        kinc: u16,
+    },
     /// EP batched deviate fill — the first cross-call kernel:
     /// `while (j < c * nk) { x[j] = randlc(&t, a); j += 1 }` where the
     /// called function was verified *symbolically* (see [`lcg_callee`])
@@ -224,6 +279,7 @@ impl KernelKind {
             KernelKind::FillConst { i, .. } => i,
             KernelKind::PrefixSum { i, .. } => i,
             KernelKind::RankInc { q, .. } => q,
+            KernelKind::RankPipeline { b4, .. } => b4,
             KernelKind::Scatter { i, .. } => i,
             KernelKind::LcgFill { j, .. } => j,
             KernelKind::EpPairs { i, .. } => i,
@@ -239,6 +295,7 @@ impl KernelKind {
             KernelKind::FillConst { .. } => "fill-const",
             KernelKind::PrefixSum { .. } => "prefix-sum",
             KernelKind::RankInc { .. } => "rank-inc",
+            KernelKind::RankPipeline { .. } => "rank-pipeline",
             KernelKind::Scatter { .. } => "scatter",
             KernelKind::LcgFill { .. } => "lcg-fill",
             KernelKind::EpPairs { .. } => "ep-pairs",
@@ -331,6 +388,42 @@ impl KernelDesc {
                 k: _,
             } => {
                 for r in [rkcell, bcell, q, ra, v, x, y, rb, v2, lim] {
+                    f(r);
+                }
+            }
+            KernelKind::RankPipeline {
+                scell,
+                rcell,
+                bcell,
+                b4,
+                sd,
+                ub,
+                keylo,
+                th,
+                kh0,
+                keyhi,
+                st0,
+                st,
+                en0,
+                en,
+                kf,
+                fc,
+                p,
+                ra,
+                v,
+                x,
+                y,
+                rb,
+                v2,
+                acc,
+                k2,
+                t3,
+                ..
+            } => {
+                for r in [
+                    scell, rcell, bcell, b4, sd, ub, keylo, th, kh0, keyhi, st0, st, en0, en, kf,
+                    fc, p, ra, v, x, y, rb, v2, acc, k2, t3,
+                ] {
                     f(r);
                 }
             }
@@ -664,6 +757,10 @@ fn install_fn(f: &mut CompiledFn, nfuncs: usize, lcg: &[bool]) {
         f.code[pc] = Insn::BulkLoop { kidx };
         installed = true;
     }
+    // Typed-template tier: generic loops that missed every fixed
+    // kernel shape (runs second so the specialised kernels win the
+    // overlap; skips pcs covered by an installed kernel span).
+    installed |= crate::templates::install_fn(f);
     if installed {
         rewrite_ws_begin_bulk(f);
         if let Some(code) = orig {
@@ -679,8 +776,8 @@ fn install_fn(f: &mut CompiledFn, nfuncs: usize, lcg: &[bool]) {
 }
 
 /// Retarget the `omp.internal.ws_begin` call enclosing each installed
-/// kernel to `ws_begin_bulk`: the chunk body is (dominated by) a native
-/// bulk kernel, which handles any chunk length, so the dynamic dispatcher
+/// kernel or template to `ws_begin_bulk`: the chunk body is (dominated
+/// by) a native loop, which handles any chunk length, so the dynamic dispatcher
 /// may claim whole owner batches while its deck is uncontended instead of
 /// paying the claim protocol and kernel entry per clause-sized chunk. The
 /// schedule's *mapping* semantics are untouched — static chunking and
@@ -688,7 +785,12 @@ fn install_fn(f: &mut CompiledFn, nfuncs: usize, lcg: &[bool]) {
 /// `zomp::schedule::DynamicDispatch::next_bulk_with_origin`).
 fn rewrite_ws_begin_bulk(f: &mut CompiledFn) {
     let heads: Vec<usize> = (0..f.code.len())
-        .filter(|&pc| matches!(f.code[pc], Insn::BulkLoop { .. }))
+        .filter(|&pc| {
+            matches!(
+                f.code[pc],
+                Insn::BulkLoop { .. } | Insn::TemplateLoop { .. }
+            )
+        })
         .collect();
     for pc in heads {
         // Nearest preceding worksharing begin, the same resolution rule
@@ -784,6 +886,49 @@ fn const_int(f: &CompiledFn, k: u16) -> Option<i64> {
     }
 }
 
+// Generic-or-specialized views. Static specialization (`--opt>=2`)
+// rewrites `Arith`→`ArithII`/`ArithFF`, `Index`→`IndexI`/`IndexF`,
+// `IndexSet`→`IndexSetI`/`IndexSetF` and `CmpJumpFalse`→`..II`/`..FF`
+// wherever inference proves the operand types; the kernel semantics
+// are identical either way (the specialized opcodes deopt on a type
+// mismatch exactly where the generic ones would re-quicken), so the
+// matchers accept both forms.
+fn as_arith(insn: Insn) -> Option<(ArithOp, Reg, Reg, Reg)> {
+    match insn {
+        Insn::Arith { op, dst, a, b }
+        | Insn::ArithII { op, dst, a, b }
+        | Insn::ArithFF { op, dst, a, b } => Some((op, dst, a, b)),
+        _ => None,
+    }
+}
+
+fn as_index(insn: Insn) -> Option<(Reg, Reg, Reg)> {
+    match insn {
+        Insn::Index { dst, arr, idx }
+        | Insn::IndexI { dst, arr, idx }
+        | Insn::IndexF { dst, arr, idx } => Some((dst, arr, idx)),
+        _ => None,
+    }
+}
+
+fn as_index_set(insn: Insn) -> Option<(Reg, Reg, Reg)> {
+    match insn {
+        Insn::IndexSet { arr, idx, src }
+        | Insn::IndexSetI { arr, idx, src }
+        | Insn::IndexSetF { arr, idx, src } => Some((arr, idx, src)),
+        _ => None,
+    }
+}
+
+fn as_cmp_jf(insn: Insn) -> Option<(CmpOp, Reg, Reg, u32)> {
+    match insn {
+        Insn::CmpJumpFalse { op, a, b, to }
+        | Insn::CmpJumpFalseII { op, a, b, to }
+        | Insn::CmpJumpFalseFF { op, a, b, to } => Some((op, a, b, to)),
+        _ => None,
+    }
+}
+
 fn match_at(f: &CompiledFn, pc: usize, lcg: &[bool]) -> Option<(KernelKind, u32)> {
     match_matvec_rows(f, pc)
         .or_else(|| match_matvec(f, pc))
@@ -791,6 +936,7 @@ fn match_at(f: &CompiledFn, pc: usize, lcg: &[bool]) -> Option<(KernelKind, u32)
         .or_else(|| match_fill(f, pc))
         .or_else(|| match_prefix(f, pc))
         .or_else(|| match_rank_inc(f, pc))
+        .or_else(|| match_rank_pipeline(f, pc))
         .or_else(|| match_scatter(f, pc))
         .or_else(|| match_lcg_fill(f, pc, lcg))
         .or_else(|| match_ep_pairs(f, pc))
@@ -821,13 +967,8 @@ fn match_matvec_rows(f: &CompiledFn, pc: usize) -> Option<(KernelKind, u32)> {
         } if cell == rowcell && idx == j => dst,
         _ => return None,
     };
-    match *code.get(pc + 3)? {
-        Insn::CmpJumpFalse {
-            op: CmpOp::Lt,
-            a,
-            b,
-            to,
-        } if a == k && b == bound && to as usize == pc + 6 => {}
+    match as_cmp_jf(*code.get(pc + 3)?)? {
+        (CmpOp::Lt, a, b, to) if a == k && b == bound && to as usize == pc + 6 => {}
         _ => return None,
     }
     let (xcell, acell, icell) = match *code.get(pc + 4)? {
@@ -893,13 +1034,8 @@ fn match_matvec(f: &CompiledFn, pc: usize) -> Option<(KernelKind, u32)> {
         } => (dst, cell, idx),
         _ => return None,
     };
-    let (k, exit) = match *code.get(pc + 1)? {
-        Insn::CmpJumpFalse {
-            op: CmpOp::Lt,
-            a,
-            b,
-            to,
-        } if b == bound => (a, to),
+    let (k, exit) = match as_cmp_jf(*code.get(pc + 1)?)? {
+        (CmpOp::Lt, a, b, to) if b == bound => (a, to),
         _ => return None,
     };
     let (acc, xcell, acell, icell) = match *code.get(pc + 2)? {
@@ -940,13 +1076,8 @@ fn match_histogram(f: &CompiledFn, pc: usize) -> Option<(KernelKind, u32)> {
         Insn::DerefIndex { dst, cell, idx } => (dst, cell, idx),
         _ => return None,
     };
-    let (b, sd) = match *code.get(pc + 1)? {
-        Insn::Arith {
-            op: ArithOp::Div,
-            dst,
-            a,
-            b,
-        } if a == t => (dst, b),
+    let (b, sd) = match as_arith(*code.get(pc + 1)?)? {
+        (ArithOp::Div, dst, a, b) if a == t => (dst, b),
         _ => return None,
     };
     let (local, kidx) = match *code.get(pc + 2)? {
@@ -1021,13 +1152,8 @@ fn match_prefix(f: &CompiledFn, pc: usize) -> Option<(KernelKind, u32)> {
         Insn::DerefIndex { dst, cell, idx } => (dst, cell, idx),
         _ => return None,
     };
-    let acc = match *code.get(pc + 1)? {
-        Insn::Arith {
-            op: ArithOp::Add,
-            dst,
-            a,
-            b,
-        } if a == dst && b == t => dst,
+    let acc = match as_arith(*code.get(pc + 1)?)? {
+        (ArithOp::Add, dst, a, b) if a == dst && b == t => dst,
         _ => return None,
     };
     match *code.get(pc + 2)? {
@@ -1069,8 +1195,8 @@ fn match_rank_inc(f: &CompiledFn, pc: usize) -> Option<(KernelKind, u32)> {
         Insn::DerefIndex { dst, cell, idx } => (dst, cell, idx),
         _ => return None,
     };
-    let x = match *code.get(pc + 2)? {
-        Insn::Index { dst, arr, idx } if arr == ra && idx == v => dst,
+    let x = match as_index(*code.get(pc + 2)?)? {
+        (dst, arr, idx) if arr == ra && idx == v => dst,
         _ => return None,
     };
     let (y, k) = match *code.get(pc + 3)? {
@@ -1093,8 +1219,8 @@ fn match_rank_inc(f: &CompiledFn, pc: usize) -> Option<(KernelKind, u32)> {
         Insn::DerefIndex { dst, cell, idx } if cell == bcell && idx == q => dst,
         _ => return None,
     };
-    match *code.get(pc + 6)? {
-        Insn::IndexSet { arr, idx, src } if arr == rb && idx == v2 && src == y => {}
+    match as_index_set(*code.get(pc + 6)?)? {
+        (arr, idx, src) if arr == rb && idx == v2 && src == y => {}
         _ => return None,
     }
     let (lim, exit) = match *code.get(pc + 7)? {
@@ -1138,25 +1264,20 @@ fn match_scatter(f: &CompiledFn, pc: usize) -> Option<(KernelKind, u32)> {
         Insn::Move { dst, src } if src == t => dst,
         _ => return None,
     };
-    let sd = match *code.get(pc + 2)? {
-        Insn::Arith {
-            op: ArithOp::Div,
-            dst,
-            a,
-            b,
-        } if dst == t && a == t => b,
+    let sd = match as_arith(*code.get(pc + 2)?)? {
+        (ArithOp::Div, dst, a, b) if dst == t && a == t => b,
         _ => return None,
     };
     let (b2, bcell) = match *code.get(pc + 3)? {
         Insn::Deref { dst, ptr } => (dst, ptr),
         _ => return None,
     };
-    let (c, cur) = match *code.get(pc + 4)? {
-        Insn::Index { dst, arr, idx } if idx == t => (dst, arr),
+    let (c, cur) = match as_index(*code.get(pc + 4)?)? {
+        (dst, arr, idx) if idx == t => (dst, arr),
         _ => return None,
     };
-    match *code.get(pc + 5)? {
-        Insn::IndexSet { arr, idx, src } if arr == b2 && idx == c && src == t2 => {}
+    match as_index_set(*code.get(pc + 5)?)? {
+        (arr, idx, src) if arr == b2 && idx == c && src == t2 => {}
         _ => return None,
     }
     let k = match *code.get(pc + 6)? {
@@ -1199,6 +1320,268 @@ fn match_scatter(f: &CompiledFn, pc: usize) -> Option<(KernelKind, u32)> {
             k,
         },
         exit,
+    ))
+}
+
+/// The IS phase-4 bucket loop, fused across the adjacent
+/// fill → rank-inc → prefix-sum triple (31 instructions; see
+/// [`KernelKind::RankPipeline`]). The shape is the optimizer's
+/// canonical output for the source idiom, the same bet
+/// [`match_ep_pairs`] makes on its 32-instruction body:
+/// ```text
+/// pc+0   keylo = b4 * sd               pc+13  p = st
+/// pc+1   th = b4 + 1                   pc+14  if !(st < en) -> +23
+/// pc+2   kh0 = th * sd                 pc+15  ra = *rcell
+/// pc+3   keyhi = kh0                   pc+16  v = (*bcell)[p]
+/// pc+4   st0 = (*scell)[b4]            pc+17  x = ra[v]
+/// pc+5   st = st0                      pc+18  y = x + kinc
+/// pc+6   en0 = (*scell)[b4+1]          pc+19  rb = *rcell
+/// pc+7   en = en0                      pc+20  v2 = (*bcell)[p]
+/// pc+8   k = keylo                     pc+21  rb[v2] = y
+/// pc+9   if !(keylo < keyhi) -> +13    pc+22  p += 1; p < en -> +15
+/// pc+10  fc = kfill                    pc+23  acc = st
+/// pc+11  (*rcell)[k] = fc              pc+24  k2 = keylo
+/// pc+12  k += 1; k < keyhi -> +10      pc+25  if !(keylo < keyhi) -> +30
+///                                      pc+26  t3 = (*rcell)[k2]
+///                                      pc+27  acc = acc + t3
+///                                      pc+28  (*rcell)[k2] = acc
+///                                      pc+29  k2 += 1; k2 < keyhi -> +26
+///                                      pc+30  b4 += 1; b4 < ub -> pc
+/// ```
+fn match_rank_pipeline(f: &CompiledFn, pc: usize) -> Option<(KernelKind, u32)> {
+    let code = &f.code;
+    let (keylo, b4, sd) = match as_arith(*code.get(pc)?)? {
+        (ArithOp::Mul, dst, a, b) => (dst, a, b),
+        _ => return None,
+    };
+    let (th, kone) = match *code.get(pc + 1)? {
+        Insn::ArithK {
+            op: ArithOp::Add,
+            dst,
+            a,
+            k,
+        } if a == b4 => {
+            const_int(f, k)?;
+            (dst, k)
+        }
+        _ => return None,
+    };
+    let kh0 = match as_arith(*code.get(pc + 2)?)? {
+        (ArithOp::Mul, dst, a, b) if a == th && b == sd => dst,
+        _ => return None,
+    };
+    let keyhi = match *code.get(pc + 3)? {
+        Insn::Move { dst, src } if src == kh0 => dst,
+        _ => return None,
+    };
+    let (st0, scell) = match *code.get(pc + 4)? {
+        Insn::DerefIndex { dst, cell, idx } if idx == b4 => (dst, cell),
+        _ => return None,
+    };
+    let st = match *code.get(pc + 5)? {
+        Insn::Move { dst, src } if src == st0 => dst,
+        _ => return None,
+    };
+    let en0 = match *code.get(pc + 6)? {
+        Insn::DerefIndexOff {
+            dst,
+            cell,
+            idx,
+            off: 1,
+        } if cell == scell && idx == b4 => dst,
+        _ => return None,
+    };
+    let en = match *code.get(pc + 7)? {
+        Insn::Move { dst, src } if src == en0 => dst,
+        _ => return None,
+    };
+    let kf = match *code.get(pc + 8)? {
+        Insn::Move { dst, src } if src == keylo => dst,
+        _ => return None,
+    };
+    match as_cmp_jf(*code.get(pc + 9)?)? {
+        (CmpOp::Lt, a, b, to) if a == keylo && b == keyhi && to as usize == pc + 13 => {}
+        _ => return None,
+    }
+    let (fc, kfill) = match *code.get(pc + 10)? {
+        Insn::Const { dst, k } => {
+            const_int(f, k)?;
+            (dst, k)
+        }
+        _ => return None,
+    };
+    let rcell = match *code.get(pc + 11)? {
+        Insn::DerefIndexSet { cell, idx, src } if idx == kf && src == fc => cell,
+        _ => return None,
+    };
+    match *code.get(pc + 12)? {
+        Insn::IncCmpJump {
+            var,
+            step: 1,
+            limit,
+            op: CmpOp::Lt,
+            to,
+        } if var == kf && limit == keyhi && to as usize == pc + 10 => {}
+        _ => return None,
+    }
+    let p = match *code.get(pc + 13)? {
+        Insn::Move { dst, src } if src == st => dst,
+        _ => return None,
+    };
+    match as_cmp_jf(*code.get(pc + 14)?)? {
+        (CmpOp::Lt, a, b, to) if a == st && b == en && to as usize == pc + 23 => {}
+        _ => return None,
+    }
+    let ra = match *code.get(pc + 15)? {
+        Insn::Deref { dst, ptr } if ptr == rcell => dst,
+        _ => return None,
+    };
+    let (v, bcell) = match *code.get(pc + 16)? {
+        Insn::DerefIndex { dst, cell, idx } if idx == p => (dst, cell),
+        _ => return None,
+    };
+    let x = match as_index(*code.get(pc + 17)?)? {
+        (dst, arr, idx) if arr == ra && idx == v => dst,
+        _ => return None,
+    };
+    let (y, kinc) = match *code.get(pc + 18)? {
+        Insn::ArithK {
+            op: ArithOp::Add,
+            dst,
+            a,
+            k,
+        } if a == x => {
+            const_int(f, k)?;
+            (dst, k)
+        }
+        _ => return None,
+    };
+    let rb = match *code.get(pc + 19)? {
+        Insn::Deref { dst, ptr } if ptr == rcell => dst,
+        _ => return None,
+    };
+    let v2 = match *code.get(pc + 20)? {
+        Insn::DerefIndex { dst, cell, idx } if cell == bcell && idx == p => dst,
+        _ => return None,
+    };
+    match as_index_set(*code.get(pc + 21)?)? {
+        (arr, idx, src) if arr == rb && idx == v2 && src == y => {}
+        _ => return None,
+    }
+    match *code.get(pc + 22)? {
+        Insn::IncCmpJump {
+            var,
+            step: 1,
+            limit,
+            op: CmpOp::Lt,
+            to,
+        } if var == p && limit == en && to as usize == pc + 15 => {}
+        _ => return None,
+    }
+    let acc = match *code.get(pc + 23)? {
+        Insn::Move { dst, src } if src == st => dst,
+        _ => return None,
+    };
+    let k2 = match *code.get(pc + 24)? {
+        Insn::Move { dst, src } if src == keylo => dst,
+        _ => return None,
+    };
+    match as_cmp_jf(*code.get(pc + 25)?)? {
+        (CmpOp::Lt, a, b, to) if a == keylo && b == keyhi && to as usize == pc + 30 => {}
+        _ => return None,
+    }
+    let t3 = match *code.get(pc + 26)? {
+        Insn::DerefIndex { dst, cell, idx } if cell == rcell && idx == k2 => dst,
+        _ => return None,
+    };
+    match as_arith(*code.get(pc + 27)?)? {
+        (ArithOp::Add, dst, a, b) if dst == acc && a == acc && b == t3 => {}
+        _ => return None,
+    }
+    match *code.get(pc + 28)? {
+        Insn::DerefIndexSet { cell, idx, src } if cell == rcell && idx == k2 && src == acc => {}
+        _ => return None,
+    }
+    match *code.get(pc + 29)? {
+        Insn::IncCmpJump {
+            var,
+            step: 1,
+            limit,
+            op: CmpOp::Lt,
+            to,
+        } if var == k2 && limit == keyhi && to as usize == pc + 26 => {}
+        _ => return None,
+    }
+    let ub = match *code.get(pc + 30)? {
+        Insn::IncCmpJump {
+            var,
+            step: 1,
+            limit,
+            op: CmpOp::Lt,
+            to,
+        } if var == b4 && to as usize == pc => limit,
+        _ => return None,
+    };
+    // Alias discipline. Several per-bucket temporaries share physical
+    // registers by design (the runner writes them back in program
+    // order), so instead of `all_distinct` over everything, require
+    // exactly the invariances the runner leans on: the cells, divisor
+    // and bound are never written; the outer induction and the scalars
+    // re-read *after* an inner loop (`keylo`/`keyhi`/`st`/`en`) are not
+    // clobbered by any inner-loop write; and each inner loop keeps its
+    // own discipline (mirroring the standalone kernels').
+    let writes = [
+        keylo, th, kh0, keyhi, st0, st, en0, en, kf, fc, p, ra, v, x, y, rb, v2, acc, k2, t3, b4,
+    ];
+    if [scell, rcell, bcell, sd, ub]
+        .iter()
+        .any(|r| writes.contains(r))
+    {
+        return None;
+    }
+    let inner_writes = [fc, kf, p, ra, v, x, y, rb, v2, acc, k2, t3];
+    if [b4, keylo, keyhi, st, en]
+        .iter()
+        .any(|r| inner_writes.contains(r))
+    {
+        return None;
+    }
+    if !all_distinct(&[fc, kf]) || !all_distinct(&[ra, v, x, y, rb, v2, p]) || !all_distinct(&[t3, acc, k2]) {
+        return None;
+    }
+    Some((
+        KernelKind::RankPipeline {
+            scell,
+            rcell,
+            bcell,
+            b4,
+            sd,
+            ub,
+            keylo,
+            th,
+            kh0,
+            keyhi,
+            st0,
+            st,
+            en0,
+            en,
+            kf,
+            fc,
+            p,
+            ra,
+            v,
+            x,
+            y,
+            rb,
+            v2,
+            acc,
+            k2,
+            t3,
+            kone,
+            kfill,
+            kinc,
+        },
+        pc as u32 + 31,
     ))
 }
 
@@ -1521,6 +1904,9 @@ fn begin_fences(kind: &KernelKind, regs: &[Value]) -> [Option<FencedArr>; 2] {
             None,
         ],
         KernelKind::RankInc { rkcell, .. } => [FencedArr::begin_i(cell_arri(regs, rkcell)), None],
+        KernelKind::RankPipeline { rcell, .. } => {
+            [FencedArr::begin_i(cell_arri(regs, rcell)), None]
+        }
         KernelKind::Scatter { bcell, cur, .. } => [
             FencedArr::begin_i(cell_arri(regs, bcell)),
             FencedArr::begin_i(reg_arri(regs, cur)),
@@ -1539,6 +1925,7 @@ fn run_inner(desc: &KernelDesc, regs: &mut [Value], consts: &[Value]) -> Result<
         KernelKind::FillConst { .. } => run_fill(&desc.kind, regs, consts),
         KernelKind::PrefixSum { .. } => run_prefix(&desc.kind, regs),
         KernelKind::RankInc { .. } => run_rank_inc(&desc.kind, regs, consts),
+        KernelKind::RankPipeline { .. } => run_rank_pipeline(&desc.kind, regs, consts),
         KernelKind::Scatter { .. } => run_scatter(&desc.kind, regs, consts),
         KernelKind::LcgFill { .. } => run_lcg_fill(&desc.kind, regs, consts),
         KernelKind::EpPairs { .. } => run_ep_pairs(&desc.kind, regs),
@@ -1869,6 +2256,95 @@ fn run_histogram(kind: &KernelKind, regs: &mut [Value], consts: &[Value]) -> Res
     let lc = la.cells();
     let kn = kc.len() as i64;
     let ln = lc.len() as i64;
+    // Key-range bounds check hoisted to kernel entry, mirroring the CG
+    // gather hoist: the cached min/max of the key array proves every
+    // bucket index `key / sd` lands inside `local` (division by a
+    // positive divisor is monotone, so the quotient range is
+    // `[lo/sd, hi/sd]`), and the whole induction range is validated
+    // up front — the hot loop then runs with zero per-element checks.
+    // A power-of-two divisor further strength-reduces the division to
+    // a shift, exact because the hint proves the keys nonnegative
+    // (truncating and flooring division agree there).
+    let end = if ubv > iv { ubv } else { iv.wrapping_add(1) };
+    if iv >= 0
+        && iv < end
+        && end <= kn
+        && sdv > 0
+        && ka
+            .range_hint()
+            .is_some_and(|(lo, hi)| lo >= 0 && hi / sdv < ln)
+    {
+        let (mut tv, mut bv) = (0i64, 0i64);
+        // A fresh local count buffer breaks the `UnsafeCell` aliasing
+        // chain: without it LLVM must assume every count increment may
+        // clobber the key array and re-load it each iteration. Copied
+        // in and flushed out around the loop, so it pays off when the
+        // buffer is small next to the claim; an aliased key/count pair
+        // must observe its own stores, which only the direct loops
+        // below reproduce.
+        if ln <= end - iv && ln <= (1 << 16) && !Arc::ptr_eq(&ka, &la) {
+            let mut buf: Vec<i64> = (0..ln as usize)
+                .map(|j| unsafe { *lc.get_unchecked(j).get() })
+                .collect();
+            if sdv & (sdv - 1) == 0 {
+                let s = sdv.trailing_zeros();
+                for idx in iv..end {
+                    // SAFETY: idx < end <= kn; the range hint proved
+                    // 0 <= key >> s < ln. OpenMP no-data-race contract
+                    // for the elements themselves.
+                    tv = unsafe { *kc.get_unchecked(idx as usize).get() };
+                    bv = tv >> s;
+                    // SAFETY: bucket index proven by the hint.
+                    unsafe {
+                        let p = buf.get_unchecked_mut(bv as usize);
+                        *p = p.wrapping_add(c);
+                    }
+                }
+            } else {
+                for idx in iv..end {
+                    // SAFETY: as above, with the exact division.
+                    tv = unsafe { *kc.get_unchecked(idx as usize).get() };
+                    bv = tv / sdv;
+                    // SAFETY: bucket index proven by the hint.
+                    unsafe {
+                        let p = buf.get_unchecked_mut(bv as usize);
+                        *p = p.wrapping_add(c);
+                    }
+                }
+            }
+            for (j, v) in buf.iter().enumerate() {
+                // SAFETY: j < ln by construction.
+                unsafe { *lc.get_unchecked(j).get() = *v };
+            }
+        } else if sdv & (sdv - 1) == 0 {
+            let s = sdv.trailing_zeros();
+            for idx in iv..end {
+                // SAFETY: idx < end <= kn; the range hint proved
+                // 0 <= key >> s < ln. OpenMP no-data-race contract for
+                // the elements themselves.
+                tv = unsafe { *kc.get_unchecked(idx as usize).get() };
+                bv = tv >> s;
+                unsafe {
+                    let p = lc.get_unchecked(bv as usize).get();
+                    *p = (*p).wrapping_add(c);
+                }
+            }
+        } else {
+            for idx in iv..end {
+                // SAFETY: as above, with the exact division.
+                tv = unsafe { *kc.get_unchecked(idx as usize).get() };
+                bv = tv / sdv;
+                unsafe {
+                    let p = lc.get_unchecked(bv as usize).get();
+                    *p = (*p).wrapping_add(c);
+                }
+            }
+        }
+        regs[i as usize] = Value::Int(end);
+        regs[t as usize] = Value::Int(tv);
+        regs[b as usize] = Value::Int(bv);
+        return Ok(());
+    }
     // do-while: the body always runs at least once.
     loop {
         if iv < 0 || iv >= kn {
@@ -2086,6 +2562,37 @@ fn run_rank_inc(kind: &KernelKind, regs: &mut [Value], consts: &[Value]) -> Resu
     let rc = rk.cells();
     let bn = bc.len() as i64;
     let rn = rc.len() as i64;
+    // Hoisted path: the scattered-key range hint proves every gathered
+    // index lands inside `rk`, and the induction range is validated up
+    // front — zero per-element checks in the increment loop.
+    let end = if limv > qv { limv } else { qv.wrapping_add(1) };
+    if qv >= 0
+        && qv < end
+        && end <= bn
+        && ba.range_hint().is_some_and(|(lo, hi)| lo >= 0 && hi < rn)
+    {
+        let (mut vv, mut xv, mut yv) = (0i64, 0i64, 0i64);
+        for idx in qv..end {
+            // SAFETY: idx < end <= bn; the range hint proved
+            // 0 <= b[idx] < rn. OpenMP no-data-race contract for the
+            // elements themselves.
+            unsafe {
+                vv = *bc.get_unchecked(idx as usize).get();
+                let p = rc.get_unchecked(vv as usize).get();
+                xv = *p;
+                yv = xv.wrapping_add(c);
+                *p = yv;
+            }
+        }
+        regs[q as usize] = Value::Int(end);
+        regs[ra as usize] = Value::ArrI(rk.clone());
+        regs[rb as usize] = Value::ArrI(rk.clone());
+        regs[v as usize] = Value::Int(vv);
+        regs[v2 as usize] = Value::Int(vv);
+        regs[x as usize] = Value::Int(xv);
+        regs[y as usize] = Value::Int(yv);
+        return Ok(());
+    }
     loop {
         if qv < 0 || qv >= bn {
             regs[q as usize] = Value::Int(qv);
@@ -2119,6 +2626,270 @@ fn run_rank_inc(kind: &KernelKind, regs: &mut [Value], consts: &[Value]) -> Resu
             regs[y as usize] = Value::Int(yv);
             return Ok(());
         }
+    }
+}
+
+/// The fused IS phase-4 pipeline. Every fallible condition of a bucket
+/// — the `starts[b4]`/`starts[b4+1]` loads, the fill/prefix key range,
+/// the rank-inc scan range, and (when the `buff2` range hint can't
+/// prove it) the gathered indexes themselves — is validated *before*
+/// the bucket's first store, so a bail always replays the whole bucket
+/// interpreted against untouched memory and produces the identical
+/// error. Scalar registers are written back eagerly per bucket in
+/// program order, which resolves the register aliasing in the matched
+/// stream for free.
+fn run_rank_pipeline(kind: &KernelKind, regs: &mut [Value], consts: &[Value]) -> Result<(), Bail> {
+    let KernelKind::RankPipeline {
+        scell,
+        rcell,
+        bcell,
+        b4,
+        sd,
+        ub,
+        keylo,
+        th,
+        kh0,
+        keyhi,
+        st0,
+        st,
+        en0,
+        en,
+        kf,
+        fc,
+        p,
+        ra,
+        v,
+        x,
+        y,
+        rb,
+        v2,
+        acc,
+        k2,
+        t3,
+        kone,
+        kfill,
+        kinc,
+    } = *kind
+    else {
+        return Err(BAIL_TYPE);
+    };
+    let (Some(sa), Some(rk), Some(bu)) = (
+        cell_arri(regs, scell),
+        cell_arri(regs, rcell),
+        cell_arri(regs, bcell),
+    ) else {
+        return Err(BAIL_TYPE);
+    };
+    // Aliased arrays would break the kernel's proofs: `buff2 == ranks`
+    // lets the unchecked rank-inc loop invalidate its own entry check,
+    // and `starts == ranks` would let one bucket's (deferred) count
+    // writes feed the next bucket's start loads. Leave those programs
+    // to the interpreter (IS never aliases them).
+    if Arc::ptr_eq(&bu, &rk) || Arc::ptr_eq(&sa, &rk) {
+        return Err(BAIL_TYPE);
+    }
+    let (Some(mut b4v), Some(sdv), Some(ubv)) =
+        (reg_int(regs, b4), reg_int(regs, sd), reg_int(regs, ub))
+    else {
+        return Err(BAIL_TYPE);
+    };
+    let (Some(onev), Some(fcv), Some(cv)) = (
+        const_int_v(consts, kone),
+        const_int_v(consts, kfill),
+        const_int_v(consts, kinc),
+    ) else {
+        return Err(BAIL_TYPE);
+    };
+    let sc = sa.cells();
+    let rc = rk.cells();
+    let bc = bu.cells();
+    let sn = sc.len() as i64;
+    let rn = rc.len() as i64;
+    let bn = bc.len() as i64;
+    let bail = |regs: &mut [Value], b4v: i64, why: Bail| {
+        regs[b4 as usize] = Value::Int(b4v);
+        Err(why)
+    };
+    // Per-bucket count buffer, reused across the claim. Holding the
+    // bucket's counts in a fresh local allocation (instead of storing
+    // through `ranks`' `UnsafeCell`s) buys three things: the fill
+    // becomes one `resize` memset, the gather increments stop forcing
+    // `buff2` re-loads (LLVM knows the buffer aliases nothing), and
+    // the prefix pass fuses with the write-back — the only stores the
+    // bucket makes to shared memory are its final rank values, which
+    // the interpreter's fill+inc+prefix sequence would also leave.
+    let mut buf: Vec<i64> = Vec::new();
+    // do-while over the claimed buckets.
+    loop {
+        // --- per-bucket precheck: no stores before this point.
+        // Integer arithmetic wraps like the interpreter's.
+        let keylov = b4v.wrapping_mul(sdv);
+        let thv = b4v.wrapping_add(onev);
+        let keyhiv = thv.wrapping_mul(sdv);
+        let b4o = b4v.wrapping_add(1);
+        if b4v < 0 || b4v >= sn || b4o < 0 || b4o >= sn {
+            return bail(regs, b4v, BAIL_BOUNDS);
+        }
+        // SAFETY: b4v and b4o bounds-checked just above; OpenMP
+        // no-data-race contract for the elements themselves.
+        let stv = unsafe { *sc.get_unchecked(b4v as usize).get() };
+        let env = unsafe { *sc.get_unchecked(b4o as usize).get() };
+        let fill_runs = keylov < keyhiv;
+        if fill_runs && (keylov < 0 || keyhiv > rn) {
+            return bail(regs, b4v, BAIL_BOUNDS);
+        }
+        let ri_runs = stv < env;
+        if ri_runs && (stv < 0 || env > bn) {
+            return bail(regs, b4v, BAIL_BOUNDS);
+        }
+        // Scalar writebacks follow bytecode program order (pc+0..pc+8).
+        // A later bail in this bucket is still exact: the replay
+        // recomputes every one of these deterministically from `b4`
+        // and memory the kernel has not touched.
+        regs[keylo as usize] = Value::Int(keylov);
+        regs[th as usize] = Value::Int(thv);
+        regs[kh0 as usize] = Value::Int(keyhiv);
+        regs[keyhi as usize] = Value::Int(keyhiv);
+        regs[st0 as usize] = Value::Int(stv);
+        regs[st as usize] = Value::Int(stv);
+        regs[en0 as usize] = Value::Int(env);
+        regs[en as usize] = Value::Int(env);
+        regs[kf as usize] = Value::Int(keylov);
+        if fill_runs && keyhiv.wrapping_sub(keylov) <= (1 << 22) {
+            let span = (keyhiv - keylov) as usize;
+            // --- fill, deferred: the bucket's counts start at the
+            // fill constant in the local buffer. Nothing is written
+            // to `ranks` until the prefix pass below.
+            buf.clear();
+            buf.resize(span, fcv);
+            regs[fc as usize] = Value::Int(fcv);
+            regs[kf as usize] = Value::Int(keyhiv);
+            // --- rank-inc into the buffer.
+            regs[p as usize] = Value::Int(stv);
+            if ri_runs {
+                let (mut lastv, mut lastx, mut lasty) = (0i64, 0i64, 0i64);
+                for pp in stv..env {
+                    // SAFETY: pp range-checked at bucket entry.
+                    let vv = unsafe { *bc.get_unchecked(pp as usize).get() };
+                    if vv < keylov || vv >= keyhiv {
+                        // A key outside its own bucket's range: the
+                        // interpreter may accept it (anywhere in
+                        // `ranks`), but it breaks the buffered-counts
+                        // plan. This bucket has not written a single
+                        // shared byte yet, so deopting at the bucket
+                        // head replays it exactly.
+                        return bail(regs, b4v, BAIL_BOUNDS);
+                    }
+                    lastv = vv;
+                    // SAFETY: vv within [keylov, keyhiv) just checked.
+                    let slot = unsafe { buf.get_unchecked_mut((vv - keylov) as usize) };
+                    lastx = *slot;
+                    lasty = lastx.wrapping_add(cv);
+                    *slot = lasty;
+                }
+                regs[ra as usize] = Value::ArrI(rk.clone());
+                regs[v as usize] = Value::Int(lastv);
+                regs[x as usize] = Value::Int(lastx);
+                regs[y as usize] = Value::Int(lasty);
+                regs[rb as usize] = Value::ArrI(rk.clone());
+                regs[v2 as usize] = Value::Int(lastv);
+                regs[p as usize] = Value::Int(env);
+            }
+            // --- prefix fused with the write-back: the bucket's only
+            // shared stores, identical to what fill+inc+prefix leave.
+            regs[acc as usize] = Value::Int(stv);
+            regs[k2 as usize] = Value::Int(keylov);
+            let mut accv = stv;
+            let mut t3v = 0i64;
+            for (o, c) in buf.iter().enumerate() {
+                t3v = *c;
+                accv = accv.wrapping_add(t3v);
+                // SAFETY: keylov + o < keyhiv <= rn, checked at entry.
+                unsafe { *rc.get_unchecked(keylov as usize + o).get() = accv };
+            }
+            regs[t3 as usize] = Value::Int(t3v);
+            regs[acc as usize] = Value::Int(accv);
+            regs[k2 as usize] = Value::Int(keyhiv);
+        } else {
+            // Degenerate bucket (empty/overflowing key range, or one
+            // too large to buffer): run the three phases directly
+            // against shared memory, with a read-only pre-scan
+            // guarding the unchecked gather.
+            if ri_runs {
+                for pp in stv..env {
+                    // SAFETY: stv/env range-checked above.
+                    let vv = unsafe { *bc.get_unchecked(pp as usize).get() };
+                    if vv < 0 || vv >= rn {
+                        return bail(regs, b4v, BAIL_BOUNDS);
+                    }
+                }
+            }
+            // --- fill: reset the bucket's count range.
+            if fill_runs {
+                // SAFETY: 0 <= keylov < keyhiv <= rn checked above; the
+                // tight loop LLVM turns into a memset.
+                for idx in keylov..keyhiv {
+                    unsafe { *rc.get_unchecked(idx as usize).get() = fcv };
+                }
+                regs[fc as usize] = Value::Int(fcv);
+                regs[kf as usize] = Value::Int(keyhiv);
+            }
+            // --- rank-inc: count this bucket's keys.
+            regs[p as usize] = Value::Int(stv);
+            if ri_runs {
+                let (mut lastv, mut lastx, mut lasty) = (0i64, 0i64, 0i64);
+                for pp in stv..env {
+                    // SAFETY: pp range-checked at bucket entry; the
+                    // gather index proven by the pre-scan (no-race
+                    // contract for the values in between).
+                    unsafe {
+                        lastv = *bc.get_unchecked(pp as usize).get();
+                        let ptr = rc.get_unchecked(lastv as usize).get();
+                        lastx = *ptr;
+                        lasty = lastx.wrapping_add(cv);
+                        *ptr = lasty;
+                    }
+                }
+                regs[ra as usize] = Value::ArrI(rk.clone());
+                regs[v as usize] = Value::Int(lastv);
+                regs[x as usize] = Value::Int(lastx);
+                regs[y as usize] = Value::Int(lasty);
+                regs[rb as usize] = Value::ArrI(rk.clone());
+                regs[v2 as usize] = Value::Int(lastv);
+                regs[p as usize] = Value::Int(env);
+            }
+            // --- prefix: counts become ranks, seeded by the start.
+            regs[acc as usize] = Value::Int(stv);
+            regs[k2 as usize] = Value::Int(keylov);
+            if fill_runs {
+                let mut accv = stv;
+                let mut t3v = 0i64;
+                for idx in keylov..keyhiv {
+                    // SAFETY: same range as the fill above.
+                    unsafe {
+                        let ptr = rc.get_unchecked(idx as usize).get();
+                        t3v = *ptr;
+                        accv = accv.wrapping_add(t3v);
+                        *ptr = accv;
+                    }
+                }
+                regs[t3 as usize] = Value::Int(t3v);
+                regs[acc as usize] = Value::Int(accv);
+                regs[k2 as usize] = Value::Int(keyhiv);
+            }
+        }
+        b4v = b4v.wrapping_add(1);
+        if b4v >= ubv {
+            regs[b4 as usize] = Value::Int(b4v);
+            return Ok(());
+        }
+    }
+}
+
+fn const_int_v(consts: &[Value], k: u16) -> Option<i64> {
+    match consts.get(k as usize)? {
+        Value::Int(v) => Some(*v),
+        _ => None,
     }
 }
 
@@ -2161,6 +2932,100 @@ fn run_scatter(kind: &KernelKind, regs: &mut [Value], consts: &[Value]) -> Resul
     let kn = kc.len() as i64;
     let bn = bc.len() as i64;
     let cn = cc.len() as i64;
+    // Same hoist as `run_histogram`: the key-range hint proves every
+    // cursor index `key / sd` lands inside `cur`, the induction range
+    // is validated up front, and a power-of-two divisor becomes a
+    // shift. Only the data-dependent cursor *value* still needs its
+    // per-element check (the kernel itself advances it).
+    let end = if limv > iv { limv } else { iv.wrapping_add(1) };
+    if iv >= 0
+        && iv < end
+        && end <= kn
+        && sdv > 0
+        && ka
+            .range_hint()
+            .is_some_and(|(lo, hi)| lo >= 0 && hi / sdv < cn)
+    {
+        let shift = (sdv & (sdv - 1) == 0).then(|| sdv.trailing_zeros());
+        let (mut tv, mut dv, mut cv) = (0i64, 0i64, 0i64);
+        // Same trick as `run_histogram`: a fresh local cursor buffer
+        // lets LLVM keep the cursor loads out of the way of the
+        // scattered stores (through `UnsafeCell` it must otherwise
+        // assume every `buff2` store clobbers a cursor). Legal only
+        // when the cursor array genuinely is a distinct allocation —
+        // an aliased cursor must see the key loads and scatter stores
+        // punch through, which only the direct loop reproduces.
+        if cn <= end - iv && cn <= (1 << 16) && !Arc::ptr_eq(&ba, &ca) && !Arc::ptr_eq(&ka, &ca) {
+            let mut buf: Vec<i64> = (0..cn as usize)
+                .map(|j| unsafe { *cc.get_unchecked(j).get() })
+                .collect();
+            let flush = |buf: &[i64]| {
+                for (j, v) in buf.iter().enumerate() {
+                    // SAFETY: j < cn by construction.
+                    unsafe { *cc.get_unchecked(j).get() = *v };
+                }
+            };
+            for idx in iv..end {
+                // SAFETY: idx < end <= kn; the range hint proved
+                // 0 <= key / sd < cn. OpenMP no-data-race contract for
+                // the elements themselves.
+                tv = unsafe { *kc.get_unchecked(idx as usize).get() };
+                dv = match shift {
+                    Some(s) => tv >> s,
+                    None => tv / sdv,
+                };
+                // SAFETY: dv proven by the hint.
+                cv = unsafe { *buf.get_unchecked(dv as usize) };
+                if cv < 0 || cv >= bn {
+                    // Flush the completed iterations' cursor state so
+                    // the interpreted replay sees exactly the memory
+                    // the element loop would have left, and errors on
+                    // this same element.
+                    flush(&buf);
+                    regs[i as usize] = Value::Int(idx);
+                    return Err(BAIL_BOUNDS);
+                }
+                // SAFETY: cv bounds-checked just above; dv as before.
+                unsafe {
+                    *bc.get_unchecked(cv as usize).get() = tv;
+                    *buf.get_unchecked_mut(dv as usize) = cv.wrapping_add(inc);
+                }
+            }
+            flush(&buf);
+        } else {
+            for idx in iv..end {
+                // SAFETY: idx < end <= kn; the range hint proved
+                // 0 <= key / sd < cn. OpenMP no-data-race contract for the
+                // elements themselves.
+                tv = unsafe { *kc.get_unchecked(idx as usize).get() };
+                dv = match shift {
+                    Some(s) => tv >> s,
+                    None => tv / sdv,
+                };
+                // SAFETY: dv proven by the hint.
+                cv = unsafe { *cc.get_unchecked(dv as usize).get() };
+                if cv < 0 || cv >= bn {
+                    regs[i as usize] = Value::Int(idx);
+                    return Err(BAIL_BOUNDS);
+                }
+                // SAFETY: cv bounds-checked just above; dv as before. The
+                // interpreter re-loads cur[dv] after the store, reproduced
+                // by incrementing through the pointer after `bc` is written
+                // (exact under aliasing).
+                unsafe {
+                    *bc.get_unchecked(cv as usize).get() = tv;
+                    let p = cc.get_unchecked(dv as usize).get();
+                    *p = (*p).wrapping_add(inc);
+                }
+            }
+        }
+        regs[i as usize] = Value::Int(end);
+        regs[t as usize] = Value::Int(dv);
+        regs[t2 as usize] = Value::Int(tv);
+        regs[b2 as usize] = Value::ArrI(ba.clone());
+        regs[c as usize] = Value::Int(cv);
+        return Ok(());
+    }
     loop {
         if iv < 0 || iv >= kn {
             regs[i as usize] = Value::Int(iv);

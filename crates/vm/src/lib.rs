@@ -48,6 +48,7 @@ pub mod ir;
 pub mod kernels;
 pub mod optimize;
 pub mod remarks;
+pub mod templates;
 pub mod typeck;
 pub mod value;
 

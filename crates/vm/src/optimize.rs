@@ -123,6 +123,7 @@ pub(crate) fn visit_uses(insn: &Insn, mut f: impl FnMut(Reg)) {
         | Insn::Jump { .. }
         | Insn::Trap { .. }
         | Insn::BulkLoop { .. }
+        | Insn::TemplateLoop { .. }
         | Insn::RetVoid => {}
         Insn::Move { src, .. }
         | Insn::NewCell { src, .. }
@@ -324,6 +325,7 @@ pub(crate) fn visit_defs(insn: &Insn, mut f: impl FnMut(Reg)) {
         | Insn::Print { .. }
         | Insn::Trap { .. }
         | Insn::BulkLoop { .. }
+        | Insn::TemplateLoop { .. }
         | Insn::Ret { .. }
         | Insn::RetVoid => {}
     }
@@ -482,6 +484,28 @@ pub fn verify_fn(f: &CompiledFn, nfuncs: usize) -> Result<(), String> {
             }
             if desc.exit as usize >= n {
                 return bad(pc, format!("kernel exit pc {} out of range", desc.exit));
+            }
+        }
+        // TemplateLoop likewise carries its registers and exit pc in
+        // the template descriptor.
+        if let Insn::TemplateLoop { tidx } = *insn {
+            let Some(desc) = f.templates.get(tidx as usize) else {
+                return bad(pc, format!("template index {tidx} out of range"));
+            };
+            let mut reg_err = None;
+            desc.visit_regs(|r| {
+                if (r as usize) >= f.nregs && reg_err.is_none() {
+                    reg_err = Some(r);
+                }
+            });
+            if let Some(r) = reg_err {
+                return bad(
+                    pc,
+                    format!("template register r{r} out of range (nregs {})", f.nregs),
+                );
+            }
+            if desc.exit as usize >= n {
+                return bad(pc, format!("template exit pc {} out of range", desc.exit));
             }
         }
     }

@@ -82,13 +82,15 @@ fn assemble(source: &str, image: &Image, data: &PassData, opt: OptLevel) -> Vec<
     out
 }
 
-/// `kernel-installed` for every `BulkLoop` in the final stream, then
-/// `kernel-missed` (with a reason) for every remaining back-edge loop
-/// that is not part of the worksharing protocol itself.
+/// `kernel-installed` for every `BulkLoop` and `template-installed`
+/// for every `TemplateLoop` in the final stream, then `kernel-missed`
+/// (with a reason) for every remaining back-edge loop that is not
+/// part of the worksharing protocol itself.
 fn kernel_remarks(source: &str, image: &Image, f: &CompiledFn, out: &mut Vec<Diag>) {
-    // Installed spans: the BulkLoop pc and everything to its exit —
-    // the replaced loop body (including any nested loop the shape
-    // subsumes, e.g. matvec-rows' inner gather) lives in that range.
+    // Installed spans: the BulkLoop/TemplateLoop pc and everything to
+    // its exit — the replaced loop body (including any nested loop the
+    // shape subsumes, e.g. matvec-rows' inner gather) lives in that
+    // range.
     let mut installed: Vec<(usize, usize)> = Vec::new();
     for (pc, insn) in f.code.iter().enumerate() {
         let Insn::BulkLoop { kidx } = insn else {
@@ -103,6 +105,25 @@ fn kernel_remarks(source: &str, image: &Image, f: &CompiledFn, out: &mut Vec<Dia
                 "fn `{}`: kernel installed: {} (pc {pc})",
                 f.name,
                 desc.kind.name()
+            ),
+        );
+        if !desc.label.is_empty() {
+            d = d.with_label(desc.label);
+        }
+        out.push(d);
+    }
+    for (pc, insn) in f.code.iter().enumerate() {
+        let Insn::TemplateLoop { tidx } = insn else {
+            continue;
+        };
+        let desc = &f.templates[*tidx as usize];
+        installed.push((pc, desc.exit as usize));
+        let mut d = Diag::remark(
+            "template-installed",
+            label_offset(source, desc.label),
+            format!(
+                "fn `{}`: template installed: typed loop, {} insns (pc {pc})",
+                f.name, desc.prog.ninsns
             ),
         );
         if !desc.label.is_empty() {
@@ -127,21 +148,64 @@ fn kernel_remarks(source: &str, image: &Image, f: &CompiledFn, out: &mut Vec<Dia
             continue;
         }
         let (_, reason, note) = classify_miss(image, f, head, tail, &installed);
-        let label = crate::kernels::loop_label(f, head);
-        let mut d = Diag::remark(
+        let label = miss_label(image, f, head);
+        let d = Diag::remark(
             "kernel-missed",
-            label_offset(source, label),
+            label_offset(source, &label),
             format!(
                 "fn `{}`: loop at pc {head}..{tail} not lowered to a bulk kernel: {reason}",
                 f.name
             ),
         )
-        .with_note(note);
-        if !label.is_empty() {
-            d = d.with_label(label);
-        }
+        .with_note(note)
+        .with_label(label);
         out.push(d);
     }
+}
+
+/// Label for a `kernel-missed` row. Loops under a worksharing pragma
+/// get its `unit:line` label; loops outside any labelled pragma (e.g.
+/// inside a helper function the pragma body calls) are attributed to
+/// the unique pragma label enclosing the function's call sites, and
+/// failing that to a stable `fn:<name>` slug — so every miss row has
+/// a non-empty key that profiler and bench artifacts can join on.
+fn miss_label(image: &Image, f: &CompiledFn, head: usize) -> String {
+    let own = crate::kernels::loop_label(f, head);
+    if !own.is_empty() {
+        return own.to_string();
+    }
+    let fi = image.by_name.get(&f.name).copied();
+    let mut found: Option<&'static str> = None;
+    for g in &image.funcs {
+        for (pc, insn) in g.code.iter().enumerate() {
+            let referenced = match insn {
+                Insn::Call { func, .. } => Some(*func as usize) == fi,
+                // Fork/task sites pass the outlined function as a
+                // `Fn` constant rather than a direct call.
+                Insn::Const { k, .. } => matches!(
+                    g.consts.get(*k as usize),
+                    Some(Value::Fn(n)) if n.as_ref() == f.name
+                ),
+                _ => false,
+            };
+            if !referenced {
+                continue;
+            }
+            let l = crate::kernels::loop_label(g, pc);
+            if l.is_empty() {
+                continue;
+            }
+            match found {
+                None => found = Some(l),
+                Some(prev) if prev == l => {}
+                // Ambiguous: called from more than one pragma.
+                Some(_) => return format!("fn:{}", f.name),
+            }
+        }
+    }
+    found
+        .map(str::to_string)
+        .unwrap_or_else(|| format!("fn:{}", f.name))
 }
 
 /// Why the kernel matcher could not take a loop, most actionable
@@ -265,6 +329,9 @@ pub fn kernel_misses(source: &str, unit: &str) -> Result<Vec<MissRow>, Diag> {
             .enumerate()
             .filter_map(|(pc, insn)| match insn {
                 Insn::BulkLoop { kidx } => Some((pc, f.kernels[*kidx as usize].exit as usize)),
+                Insn::TemplateLoop { tidx } => {
+                    Some((pc, f.templates[*tidx as usize].exit as usize))
+                }
                 _ => None,
             })
             .collect();
@@ -284,7 +351,7 @@ pub fn kernel_misses(source: &str, unit: &str) -> Result<Vec<MissRow>, Diag> {
             let (slug, _, note) = classify_miss(&image, f, head, tail, &installed);
             rows.push(MissRow {
                 func: f.name.clone(),
-                label: crate::kernels::loop_label(f, head).to_string(),
+                label: miss_label(&image, f, head),
                 head,
                 reason: slug,
                 note,

@@ -68,6 +68,13 @@ pub enum Ty {
     PtrF,
     /// Pointer to an `i64`.
     PtrI,
+    /// Boxed shared array (`NewCell` of a `[]f64`): `.*` yields
+    /// `ArrF`. The preprocessor boxes every `shared(...)` array this
+    /// way, so the outlined-body cells dominating NPB loops land here.
+    /// Speculative like the scalar cell types (see module docs).
+    PtrAF,
+    /// Boxed `[]i64` shared array.
+    PtrAI,
     /// Element pointer into a `[]f64` (`&a[i]`).
     ElemPtrF,
     /// Element pointer into a `[]i64`.
@@ -102,9 +109,10 @@ impl Ty {
             (a, b) if a == b => a,
             (PtrF | ElemPtrF, PtrF | ElemPtrF) => PtrF,
             (PtrI | ElemPtrI, PtrI | ElemPtrI) => PtrI,
-            (Ptr | PtrF | PtrI | ElemPtrF | ElemPtrI, Ptr | PtrF | PtrI | ElemPtrF | ElemPtrI) => {
-                Ptr
-            }
+            (
+                Ptr | PtrF | PtrI | PtrAF | PtrAI | ElemPtrF | ElemPtrI,
+                Ptr | PtrF | PtrI | PtrAF | PtrAI | ElemPtrF | ElemPtrI,
+            ) => Ptr,
             (Red | RedI | RedF, Red | RedI | RedF) => Red,
             _ => Dynamic,
         }
@@ -123,6 +131,8 @@ impl Ty {
             Ty::Ptr => "*any",
             Ty::PtrF => "ptr.f64",
             Ty::PtrI => "ptr.i64",
+            Ty::PtrAF => "ptr.[]f64",
+            Ty::PtrAI => "ptr.[]i64",
             Ty::ElemPtrF => "*f64",
             Ty::ElemPtrI => "*i64",
             Ty::FnRef => "fn",
@@ -587,6 +597,8 @@ fn transfer(insn: &Insn, env: &mut [Ty], f: &CompiledFn, rets: &[Ty]) {
             let t = match get(env, src) {
                 Ty::Float => Ty::PtrF,
                 Ty::Int => Ty::PtrI,
+                Ty::ArrF => Ty::PtrAF,
+                Ty::ArrI => Ty::PtrAI,
                 _ => Ty::Ptr,
             };
             set(env, dst, t);
@@ -595,6 +607,8 @@ fn transfer(insn: &Insn, env: &mut [Ty], f: &CompiledFn, rets: &[Ty]) {
             let t = match get(env, cell) {
                 Ty::PtrF => Ty::Float,
                 Ty::PtrI => Ty::Int,
+                Ty::PtrAF => Ty::ArrF,
+                Ty::PtrAI => Ty::ArrI,
                 _ => Ty::Dynamic,
             };
             set(env, dst, t);
@@ -604,6 +618,8 @@ fn transfer(insn: &Insn, env: &mut [Ty], f: &CompiledFn, rets: &[Ty]) {
             let t = match get(env, ptr) {
                 Ty::ElemPtrF | Ty::PtrF => Ty::Float,
                 Ty::ElemPtrI | Ty::PtrI => Ty::Int,
+                Ty::PtrAF => Ty::ArrF,
+                Ty::PtrAI => Ty::ArrI,
                 _ => Ty::Dynamic,
             };
             set(env, dst, t);
@@ -618,7 +634,8 @@ fn transfer(insn: &Insn, env: &mut [Ty], f: &CompiledFn, rets: &[Ty]) {
         }
         Insn::AddrDeref { dst, src } => {
             let t = match get(env, src) {
-                t @ (Ty::Ptr | Ty::PtrF | Ty::PtrI | Ty::ElemPtrF | Ty::ElemPtrI) => t,
+                t @ (Ty::Ptr | Ty::PtrF | Ty::PtrI | Ty::PtrAF | Ty::PtrAI | Ty::ElemPtrF
+                | Ty::ElemPtrI) => t,
                 _ => Ty::Dynamic,
             };
             set(env, dst, t);
@@ -657,11 +674,18 @@ fn transfer(insn: &Insn, env: &mut [Ty], f: &CompiledFn, rets: &[Ty]) {
         Insn::DerefFmaIdx { dst, .. }
         | Insn::FmaIdxCC { dst, .. }
         | Insn::FmaGather { dst, .. } => {
-            // Element types behind cells are not tracked.
+            // Float-only fused accumulators; the result joins the
+            // accumulator with a gathered product whose types the
+            // runtime re-checks anyway.
             set(env, dst, Ty::Dynamic);
         }
-        Insn::DerefIndex { dst, .. } | Insn::DerefIndexOff { dst, .. } => {
-            set(env, dst, Ty::Dynamic)
+        Insn::DerefIndex { dst, cell, .. } | Insn::DerefIndexOff { dst, cell, .. } => {
+            let t = match get(env, cell) {
+                Ty::PtrAF => Ty::Float,
+                Ty::PtrAI => Ty::Int,
+                _ => Ty::Dynamic,
+            };
+            set(env, dst, t);
         }
         Insn::DerefIndexSet { .. } => {}
         Insn::Cmp { dst, .. } | Insn::CmpII { dst, .. } | Insn::CmpFF { dst, .. } => {
@@ -730,7 +754,7 @@ fn transfer(insn: &Insn, env: &mut [Ty], f: &CompiledFn, rets: &[Ty]) {
         }
         Insn::Print { .. } => {}
         // Installed after inference/specialization; nothing to model.
-        Insn::BulkLoop { .. } => {}
+        Insn::BulkLoop { .. } | Insn::TemplateLoop { .. } => {}
         Insn::Trap { .. } | Insn::Ret { .. } | Insn::RetVoid => {}
     }
 }

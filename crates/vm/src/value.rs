@@ -539,4 +539,96 @@ mod tests {
         assert_eq!(Value::Float(2.0).render(), "2.0");
         assert_eq!(Value::Float(2.5).render(), "2.5");
     }
+
+    /// Property: over pseudo-random contents and interleaved writes,
+    /// `range_hint` always agrees with a naive min/max scan, and a
+    /// write between two calls invalidates the cached range.
+    #[test]
+    fn range_hint_matches_naive_min_max_under_writes() {
+        let mut seed = 0x2545f4914f6cdd1du64;
+        let mut next = move || {
+            seed ^= seed << 13;
+            seed ^= seed >> 7;
+            seed ^= seed << 17;
+            seed
+        };
+        for case in 0..50 {
+            let n = 1 + (next() % 64) as usize;
+            let a = ArrI::new(n);
+            for i in 0..n {
+                a.set(i as i64, (next() % 2001) as i64 - 1000).unwrap();
+            }
+            let naive = |a: &ArrI| {
+                let v = a.to_vec();
+                (*v.iter().min().unwrap(), *v.iter().max().unwrap())
+            };
+            assert_eq!(a.range_hint(), Some(naive(&a)), "case {case} initial");
+            // Cached path returns the same thing.
+            assert_eq!(a.range_hint(), Some(naive(&a)), "case {case} cached");
+            // A write invalidates the cache; the next scan sees it.
+            let i = (next() % n as u64) as i64;
+            let v = (next() % 20001) as i64 - 10000;
+            a.set(i, v).unwrap();
+            assert_eq!(a.range_hint(), Some(naive(&a)), "case {case} after write");
+        }
+    }
+
+    /// The write seqlock mechanics: tracking activates on first call
+    /// (stamp 0 means untracked writes stay free), an in-flight bulk
+    /// write (odd stamp) returns `None` instead of a torn range, and
+    /// the fence-end makes the hint observable again.
+    #[test]
+    fn range_hint_stamp_activation_and_inflight_write() {
+        let a = ArrI::new(8);
+        // Untracked: set() must not bump the stamp before the first
+        // range_hint call activates tracking.
+        a.set(0, 7).unwrap();
+        assert_eq!(a.stamp.load(Ordering::Relaxed), 0);
+        assert_eq!(a.range_hint(), Some((0, 7)));
+        let s = a.stamp.load(Ordering::Relaxed);
+        assert!(s != 0 && s % 2 == 0, "tracking active and quiescent");
+        // Bulk-write fence held open: the hint must refuse to scan.
+        let bumped = a.write_fence_begin();
+        assert!(bumped);
+        assert_eq!(a.range_hint(), None, "in-flight write must hide the hint");
+        a.write_fence_end(bumped);
+        assert_eq!(a.range_hint(), Some((0, 7)));
+        // Tracked set() leaves the stamp even and the hint fresh.
+        a.set(1, -3).unwrap();
+        assert_eq!(a.stamp.load(Ordering::Relaxed) % 2, 0);
+        assert_eq!(a.range_hint(), Some((-3, 7)));
+    }
+
+    /// A concurrent writer never lets a reader cache a range that
+    /// misses its writes: once the writer joins, the very next hint
+    /// reflects the final contents, and no hint observed during the
+    /// race ever claims a bound outside the values that were ever
+    /// present in the array.
+    #[test]
+    fn range_hint_concurrent_writer_invalidation() {
+        let a = Arc::new(ArrI::new(64));
+        // Values only ever in [0, 1000]: any hint outside that range
+        // would be a torn read leaking through the seqlock.
+        assert_eq!(a.range_hint(), Some((0, 0)));
+        std::thread::scope(|s| {
+            let w = Arc::clone(&a);
+            s.spawn(move || {
+                for round in 0..200i64 {
+                    w.set(round % 64, round % 1000 + 1).unwrap();
+                }
+            });
+            let r = Arc::clone(&a);
+            s.spawn(move || {
+                for _ in 0..200 {
+                    if let Some((lo, hi)) = r.range_hint() {
+                        assert!((0..=1000).contains(&lo) && (0..=1000).contains(&hi));
+                        assert!(lo <= hi);
+                    }
+                }
+            });
+        });
+        let v = a.to_vec();
+        let want = (*v.iter().min().unwrap(), *v.iter().max().unwrap());
+        assert_eq!(a.range_hint(), Some(want), "post-join hint must be exact");
+    }
 }
